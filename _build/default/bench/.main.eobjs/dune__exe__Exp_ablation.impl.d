@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Abrr_core Array Bgp Exp_common List Metrics Printf Topo

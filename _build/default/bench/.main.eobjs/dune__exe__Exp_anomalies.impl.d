@@ -1,0 +1,1 @@
+bench/exp_anomalies.ml: Abrr_core List Metrics

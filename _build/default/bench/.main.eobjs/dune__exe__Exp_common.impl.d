@@ -1,0 +1,1 @@
+bench/exp_common.ml: Abrr_core Bgp Eventsim Format Fun List Metrics Printf Topo

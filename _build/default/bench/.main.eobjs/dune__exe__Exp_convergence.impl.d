@@ -1,0 +1,1 @@
+bench/exp_convergence.ml: Abrr_core Bgp Eventsim Igp Ipv4 List Metrics Netaddr Prefix Printf Time

@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Analysis Bgp Exp_common Format List Metrics Topo

@@ -1,0 +1,1 @@
+bench/exp_fig67.ml: Abrr_core Analysis Bgp Exp_common List Metrics Printf Topo

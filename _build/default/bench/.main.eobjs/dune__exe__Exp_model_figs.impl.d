@@ -1,0 +1,1 @@
+bench/exp_model_figs.ml: Analysis Float List Metrics Printf

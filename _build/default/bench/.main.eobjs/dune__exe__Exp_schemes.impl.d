@@ -1,0 +1,1 @@
+bench/exp_schemes.ml: Abrr_core Exp_common Fun List Metrics Printf Topo

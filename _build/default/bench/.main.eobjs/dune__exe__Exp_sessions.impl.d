@@ -1,0 +1,1 @@
+bench/exp_sessions.ml: Abrr_core Eventsim List Metrics Printf

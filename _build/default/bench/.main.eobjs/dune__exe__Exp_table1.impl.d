@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Abrr_core Bgp Igp Ipv4 Metrics Netaddr Prefix

@@ -1,0 +1,1 @@
+bench/exp_updates.ml: Abrr_core Exp_common Metrics Printf Topo

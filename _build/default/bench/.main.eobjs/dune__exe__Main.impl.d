@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_anomalies Exp_convergence Exp_fig3 Exp_fig67 Exp_model_figs Exp_schemes Exp_sessions Exp_table1 Exp_updates List Micro Printf String Sys

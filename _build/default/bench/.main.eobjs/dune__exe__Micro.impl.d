@@ -1,0 +1,1 @@
+bench/micro.ml: Abrr_core Analyze Bechamel Benchmark Bgp Bytes Hashtbl Igp Instance Ipv4 List Measure Metrics Netaddr Prefix Prefix_trie Printf Staged Test Time Toolkit

@@ -1,0 +1,139 @@
+(* Ablations over the design choices called out in DESIGN.md:
+   1. reflected-bit vs CLUSTER_LIST loop prevention (wire overhead);
+   2. uniform vs prefix-balanced address partitions (per-ARR variance);
+   3. MED comparison mode on the RFC 3345 gadget. *)
+
+open Exp_common
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+module G = Abrr_core.Gadgets
+module A = Abrr_core.Anomaly
+
+let small_scale = { n_prefixes = 500; trace_events = 400 }
+
+let loop_prevention_ablation topo table trace =
+  print_endline "== Ablation: ABRR loop-prevention encoding ==";
+  let bytes lp =
+    let result =
+      run_scheme ~label:"lp" ~topo ~table ~trace
+        (T.abrr_scheme ~loop_prevention:lp ~aps:8 ~arrs_per_ap:2 topo)
+    in
+    (stats result.rr_ids (fun i ->
+         (N.counters result.net i).Abrr_core.Counters.bytes_transmitted))
+      .Metrics.Summary.mean
+  in
+  let rb = bytes C.Reflected_bit and cl = bytes C.Cluster_list in
+  Metrics.Table.print
+    ~header:[ "encoding"; "bytes tx per ARR (trace)" ]
+    [
+      [ "reflected bit (8-byte ext community)"; Printf.sprintf "%.0f" rb ];
+      [ "CLUSTER_LIST (RFC 4456)"; Printf.sprintf "%.0f" cl ];
+    ];
+  Printf.printf "overhead ratio: %.3f\n\n" (rb /. cl)
+
+let partition_ablation topo table =
+  print_endline "== Ablation: uniform vs prefix-balanced partitions (§4.1) ==";
+  let spread partition =
+    let scheme = C.abrr ~partition (T.abrr_arrs topo ~aps:8 ~arrs_per_ap:2) in
+    let net = N.create (config topo scheme) in
+    RG.inject_all table net;
+    ignore (N.run ~max_events:100_000_000 net);
+    let rrs = reflectors net topo.T.n_routers in
+    let s = stats rrs (fun i -> R.rib_out_entries (N.router net i)) in
+    (s.Metrics.Summary.min, s.Metrics.Summary.mean, s.Metrics.Summary.max)
+  in
+  let prefixes = Array.to_list table.RG.prefixes in
+  let u_min, u_avg, u_max = spread (Abrr_core.Partition.uniform 8) in
+  let b_min, b_avg, b_max = spread (Abrr_core.Partition.balanced ~prefixes 8) in
+  Metrics.Table.print
+    ~header:[ "partitioning"; "RIB-Out min"; "avg"; "max"; "max/avg" ]
+    [
+      [ "uniform address ranges"; Printf.sprintf "%.0f" u_min;
+        Printf.sprintf "%.0f" u_avg; Printf.sprintf "%.0f" u_max;
+        Printf.sprintf "%.2f" (u_max /. u_avg) ];
+      [ "balanced by prefix count"; Printf.sprintf "%.0f" b_min;
+        Printf.sprintf "%.0f" b_avg; Printf.sprintf "%.0f" b_max;
+        Printf.sprintf "%.2f" (b_max /. b_avg) ];
+    ];
+  print_newline ()
+
+let blast_radius_ablation topo table =
+  print_endline "== Ablation: failure blast radius (two reflectors lost) ==";
+  let module N = Abrr_core.Network in
+  let lost_prefixes scheme victims observer =
+    let net = N.create (config topo scheme) in
+    RG.inject_all table net;
+    ignore (N.run ~max_events:100_000_000 net);
+    let known p = N.best net ~router:observer p <> None in
+    let before =
+      Array.to_list table.RG.prefixes |> List.filter known |> List.length
+    in
+    List.iter (fun v -> N.fail net ~router:v) victims;
+    ignore (N.run ~max_events:100_000_000 net);
+    let after =
+      Array.to_list table.RG.prefixes |> List.filter known |> List.length
+    in
+    (before, before - after)
+  in
+  (* TBRR: kill cluster 0's TRR pair. ABRR: kill AP 0's ARR pair.
+     Observe a pure access router of the failed cluster's PoP and one in
+     a remote PoP. *)
+  let tbrr_victims =
+    match topo.T.clusters with
+    | c :: _ -> c.Abrr_core.Config.trrs
+    | [] -> []
+  in
+  let abrr_arrs = T.abrr_arrs topo ~aps:8 ~arrs_per_ap:2 in
+  let is_victim r = List.mem r abrr_arrs.(0) in
+  let near = List.find (fun r -> not (is_victim r)) topo.T.access_routers in
+  let far =
+    List.find (fun r -> not (is_victim r)) (List.rev topo.T.access_routers)
+  in
+  let abrr_scheme =
+    Abrr_core.Config.abrr ~partition:(Abrr_core.Partition.uniform 8) abrr_arrs
+  in
+  let row label scheme victims observer =
+    let before, lost = lost_prefixes scheme victims observer in
+    [ label; string_of_int before; string_of_int lost ]
+  in
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~header:[ "scheme / observer"; "prefixes before"; "prefixes lost" ]
+    [
+      row "TBRR, client of the failed cluster" (T.tbrr_scheme topo) tbrr_victims
+        near;
+      row "TBRR, client of another cluster" (T.tbrr_scheme topo) tbrr_victims far;
+      row "ABRR 8 APs, client near the failed pair" abrr_scheme abrr_arrs.(0) near;
+      row "ABRR 8 APs, client far from the failed pair" abrr_scheme abrr_arrs.(0)
+        far;
+    ];
+  print_newline ()
+
+let med_mode_ablation () =
+  print_endline "== Ablation: MED comparison mode on the RFC 3345 gadget ==";
+  let verdict med_mode =
+    let g = G.med_oscillation G.G_tbrr in
+    let cfg = { g.G.config with C.med_mode } in
+    let net = N.create cfg in
+    g.G.inject net;
+    if A.oscillates (A.run ~max_events:50_000 net) then "OSCILLATES" else "converges"
+  in
+  Metrics.Table.print
+    ~header:[ "MED mode"; "TBRR behaviour" ]
+    [
+      [ "per-neighbour-AS (RFC 4271)"; verdict Bgp.Decision.Per_neighbor_as ];
+      [ "always-compare (operator fix)"; verdict Bgp.Decision.Always_compare ];
+    ];
+  print_newline ()
+
+let run () =
+  let topo = tier1_topo () in
+  let table = tier1_table topo small_scale in
+  let trace = tier1_trace table small_scale in
+  loop_prevention_ablation topo table trace;
+  partition_ablation topo table;
+  blast_radius_ablation topo table;
+  med_mode_ablation ()

@@ -1,0 +1,82 @@
+(* Shared setup for the figure-reproduction experiments: one Tier-1
+   model (13 clusters, 25 peer ASes with 8 peering points, §4) reused by
+   Figures 6, 7 and the §4.2 update accounting. All experiments are
+   scaled down in prefix count (the compared quantities scale linearly)
+   and report their own workload parameters. *)
+
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+module TG = Topo.Trace_gen
+
+type scale = { n_prefixes : int; trace_events : int }
+
+let default_scale = { n_prefixes = 1000; trace_events = 1200 }
+
+let tier1_topo () =
+  T.generate
+    (T.spec ~pops:13 ~routers_per_pop:8 ~peer_ases:25 ~peering_points_per_as:8 ())
+
+let tier1_table topo scale = RG.generate topo (RG.spec ~n_prefixes:scale.n_prefixes ())
+
+let tier1_trace table scale =
+  TG.generate table
+    (TG.spec ~events:scale.trace_events ~duration:(Eventsim.Time.days 14)
+       ~jitter:(Eventsim.Time.ms 80) ~single_point_share:0.35 ~flap_share:0.45 ())
+
+(* The paper's testbed avoids MED oscillation by configuration
+   (footnote 1); we model that with always-compare MED. *)
+let config topo scheme =
+  T.config ~med_mode:Bgp.Decision.Always_compare
+    ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
+    ~scheme topo
+
+type run_result = {
+  label : string;
+  net : N.t;
+  rr_ids : int list;
+  client_ids : int list;
+}
+
+let reflectors net n =
+  List.filter
+    (fun i -> R.is_trr (N.router net i) || R.is_arr (N.router net i))
+    (List.init n Fun.id)
+
+(* Feed the snapshot, reset counters, then replay the trace: the paper's
+   §4 methodology (Figure 7 counts trace-phase updates only). *)
+let run_scheme ~label ~topo ~table ~trace scheme =
+  let net = N.create (config topo scheme) in
+  RG.inject_all table net;
+  (match N.run ~max_events:100_000_000 net with
+  | Eventsim.Sim.Quiescent -> ()
+  | o ->
+    Printf.eprintf "warning: %s snapshot ended with %s\n" label
+      (Format.asprintf "%a" Eventsim.Sim.pp_outcome o));
+  for i = 0 to N.router_count net - 1 do
+    Abrr_core.Counters.reset (N.counters net i)
+  done;
+  TG.schedule net trace;
+  (match N.run ~max_events:200_000_000 net with
+  | Eventsim.Sim.Quiescent -> ()
+  | o ->
+    Printf.eprintf "warning: %s trace ended with %s\n" label
+      (Format.asprintf "%a" Eventsim.Sim.pp_outcome o));
+  let rr_ids = reflectors net topo.T.n_routers in
+  let client_ids =
+    List.filter (fun i -> not (List.mem i rr_ids)) (List.init topo.T.n_routers Fun.id)
+  in
+  { label; net; rr_ids; client_ids }
+
+let stats ids f =
+  Metrics.Summary.of_list (List.map (fun i -> float_of_int (f i)) ids)
+
+let min_avg_max (s : Metrics.Summary.t) =
+  ( int_of_float s.Metrics.Summary.min,
+    int_of_float s.Metrics.Summary.mean,
+    int_of_float s.Metrics.Summary.max )
+
+let abrr_ap_counts = [ 1; 2; 4; 8; 16; 32 ]
+
+let fi = float_of_int

@@ -1,0 +1,114 @@
+(* Figures 6 and 7: experimental RIB sizes and update counts of route
+   reflectors on the modelled Tier-1 AS — ABRR with 1..32 uniform APs
+   (2 ARRs each) against TBRR with its 13 clusters (2 TRRs each) —
+   alongside the Appendix A analytical expectation. *)
+
+open Exp_common
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+module M = Analysis.Model
+
+type row = {
+  label : string;
+  rib_in : int * int * int;  (** min / avg / max *)
+  rib_in_expect : int;
+  rib_out : int * int * int;
+  rib_out_expect : int;
+  rx : int;  (** avg updates received over the trace *)
+  gen : int;  (** avg updates generated *)
+  client_rx : int;
+}
+
+let analytic ~prefixes ~bal ~groups ~rrs_per_group ~tbrr =
+  let p = M.params ~prefixes ~groups ~rrs_per_group ~bal () in
+  if tbrr then (M.tbrr_rib_in p, M.tbrr_rib_out p)
+  else (M.abrr_rib_in p, M.abrr_rib_out p)
+
+let collect ~label ~analytic:(ain, aout) result =
+  let rr f = stats result.rr_ids (fun i -> f (Abrr_core.Network.router result.net i)) in
+  let counter ids field =
+    int_of_float (stats ids (fun i -> field (Abrr_core.Network.counters result.net i))).Metrics.Summary.mean
+  in
+  {
+    label;
+    rib_in = min_avg_max (rr Abrr_core.Router.rib_in_entries);
+    rib_in_expect = int_of_float ain;
+    rib_out = min_avg_max (rr Abrr_core.Router.rib_out_entries);
+    rib_out_expect = int_of_float aout;
+    rx = counter result.rr_ids (fun c -> c.Abrr_core.Counters.updates_received);
+    gen = counter result.rr_ids (fun c -> c.Abrr_core.Counters.updates_generated);
+    client_rx = counter result.client_ids (fun c -> c.Abrr_core.Counters.updates_received);
+  }
+
+let run ?(scale = default_scale) () =
+  let topo = tier1_topo () in
+  let table = tier1_table topo scale in
+  let trace = tier1_trace table scale in
+  let bal =
+    Analysis.Bal.average ~med_mode:Bgp.Decision.Always_compare (RG.tables table)
+  in
+  let a, w = Topo.Trace_gen.action_count trace in
+  Printf.printf
+    "Workload: %d routers / %d clusters, %d prefixes, measured #BAL = %.2f,\n\
+     trace: %d announcements + %d withdrawals over 14 simulated days.\n\n"
+    topo.T.n_routers (List.length topo.T.clusters) scale.n_prefixes bal a w;
+  let rows = ref [] in
+  let add row = rows := row :: !rows in
+  List.iter
+    (fun aps ->
+      let label = Printf.sprintf "ABRR %2d APs" aps in
+      let result =
+        run_scheme ~label ~topo ~table ~trace
+          (T.abrr_scheme ~aps ~arrs_per_ap:2 topo)
+      in
+      add
+        (collect ~label
+           ~analytic:
+             (analytic ~prefixes:scale.n_prefixes ~bal ~groups:aps
+                ~rrs_per_group:2 ~tbrr:false)
+           result))
+    abrr_ap_counts;
+  let tbrr_result =
+    run_scheme ~label:"TBRR" ~topo ~table ~trace (T.tbrr_scheme topo)
+  in
+  add
+    (collect ~label:"TBRR 13 clu"
+       ~analytic:
+         (analytic ~prefixes:scale.n_prefixes ~bal
+            ~groups:(List.length topo.T.clusters) ~rrs_per_group:2 ~tbrr:true)
+       tbrr_result);
+  let rows = List.rev !rows in
+  let fmt3 (a, b, c) =
+    Printf.sprintf "%s/%s/%s" (Metrics.Table.fmt_int a) (Metrics.Table.fmt_int b)
+      (Metrics.Table.fmt_int c)
+  in
+  print_endline "== Figure 6: RIB-In and RIB-Out sizes of an ARR/TRR ==";
+  Metrics.Table.print
+    ~header:
+      [ "config"; "RIB-In min/avg/max"; "analysis"; "RIB-Out min/avg/max"; "analysis" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           fmt3 r.rib_in;
+           Metrics.Table.fmt_int r.rib_in_expect;
+           fmt3 r.rib_out;
+           Metrics.Table.fmt_int r.rib_out_expect;
+         ])
+       rows);
+  print_newline ();
+  print_endline
+    "== Figure 7: updates received / generated per RR over the trace ==";
+  Metrics.Table.print
+    ~header:[ "config"; "received (avg)"; "generated (avg)"; "client rx (avg)" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Metrics.Table.fmt_int r.rx;
+           Metrics.Table.fmt_int r.gen;
+           Metrics.Table.fmt_int r.client_rx;
+         ])
+       rows);
+  print_newline ();
+  rows

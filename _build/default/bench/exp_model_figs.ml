@@ -1,0 +1,64 @@
+(* Figures 4 and 5: analytical RIB-In / RIB-Out sizes of an ARR vs TRR
+   (single- and multi-path) as each parameter varies around the defaults
+   (2000 routers, 50 APs/clusters, 2 RRs per group, 30 peer ASes, 400K
+   prefixes). Sub-figure (a) varies the router count, on which none of
+   the Appendix A expressions depend — the flat lines reproduce the
+   paper's point that RIB sizes are insensitive to it. *)
+
+module M = Analysis.Model
+
+type metric = Rib_in | Rib_out
+
+let eval metric p =
+  match metric with
+  | Rib_in -> [ M.abrr_rib_in p; M.tbrr_rib_in p; M.multi_rib_in p ]
+  | Rib_out -> [ M.abrr_rib_out p; M.tbrr_rib_out p; M.multi_rib_out p ]
+
+let labels = [ "ABRR"; "TBRR"; "TBRR-multi" ]
+
+let sub_figure ~title ~x_label ~metric ~truncate_tbrr points =
+  let rows =
+    List.map
+      (fun (x, p) ->
+        let vals = eval metric p in
+        let vals =
+          match truncate_tbrr with
+          | Some cap when x > cap -> (
+            match vals with [ a; _; _ ] -> [ a; Float.nan; Float.nan ] | v -> v)
+          | Some _ | None -> vals
+        in
+        (x, vals))
+      points
+  in
+  print_endline
+    (Metrics.Table.series ~title ~x_label ~y_labels:labels rows);
+  print_newline ()
+
+let vary_routers () = List.map (fun n -> (float_of_int n, M.params ())) [ 500; 1000; 2000; 4000; 8000 ]
+let vary_groups () = List.map (fun k -> (float_of_int k, M.params ~groups:k ())) [ 5; 10; 25; 50; 100; 200; 400 ]
+let vary_redundancy () = List.map (fun r -> (float_of_int r, M.params ~rrs_per_group:r ())) [ 1; 2; 3; 4; 6; 8 ]
+let vary_pas () = List.map (fun s -> (float_of_int s, M.params ~bal:(M.default_bal s) ())) [ 5; 10; 15; 20; 25; 30; 40; 50 ]
+
+let run_figure ~fig ~metric =
+  let name = match metric with Rib_in -> "RIB-In" | Rib_out -> "RIB-Out" in
+  sub_figure
+    ~title:(Printf.sprintf "Figure %s(a): #%s entries vs #Routers" fig name)
+    ~x_label:"#Routers" ~metric ~truncate_tbrr:None (vary_routers ());
+  sub_figure
+    ~title:
+      (Printf.sprintf "Figure %s(b): #%s entries vs #APs/#Clusters%s" fig name
+         (match metric with
+         | Rib_out -> " (TBRR truncated at 100 clusters)"
+         | Rib_in -> ""))
+    ~x_label:"#APs/#Clusters" ~metric
+    ~truncate_tbrr:(match metric with Rib_out -> Some 100. | Rib_in -> None)
+    (vary_groups ());
+  sub_figure
+    ~title:(Printf.sprintf "Figure %s(c): #%s entries vs #RRs per AP/Cluster" fig name)
+    ~x_label:"#RRs/group" ~metric ~truncate_tbrr:None (vary_redundancy ());
+  sub_figure
+    ~title:(Printf.sprintf "Figure %s(d): #%s entries vs #Peer ASes" fig name)
+    ~x_label:"#PASs" ~metric ~truncate_tbrr:None (vary_pas ())
+
+let run_fig4 () = run_figure ~fig:"4" ~metric:Rib_in
+let run_fig5 () = run_figure ~fig:"5" ~metric:Rib_out

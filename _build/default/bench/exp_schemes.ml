@@ -1,0 +1,60 @@
+(* Capstone comparison (beyond the paper's tables): every implemented
+   iBGP organisation on one mid-size Tier-1 workload. Reflector columns
+   average over the scheme's control nodes (TRRs / ARRs / RCP nodes);
+   full-mesh and confederations have none, so their rows report the
+   all-router average instead, marked with *. *)
+
+open Exp_common
+module T = Topo.Isp_topo
+module R = Abrr_core.Router
+module N = Abrr_core.Network
+
+let scale = { n_prefixes = 500; trace_events = 500 }
+
+let run () =
+  let topo =
+    T.generate (T.spec ~pops:8 ~routers_per_pop:6 ~peer_ases:15 ~peering_points_per_as:6 ())
+  in
+  let table = tier1_table topo scale in
+  let trace = tier1_trace table scale in
+  let row (label, scheme) =
+    let result = run_scheme ~label ~topo ~table ~trace scheme in
+    let rcp_ids =
+      List.filter (fun i -> R.is_rcp (N.router result.net i))
+        (List.init topo.T.n_routers Fun.id)
+    in
+    let nodes, starred =
+      match result.rr_ids @ rcp_ids with
+      | [] -> (List.init topo.T.n_routers Fun.id, true)
+      | ids -> (ids, false)
+    in
+    let avg f = (stats nodes (fun i -> f i)).Metrics.Summary.mean in
+    [
+      (label ^ if starred then " *" else "");
+      string_of_int (List.length nodes);
+      Printf.sprintf "%.0f" (avg (fun i -> R.rib_in_entries (N.router result.net i)));
+      Printf.sprintf "%.0f" (avg (fun i -> R.rib_out_entries (N.router result.net i)
+                                           + R.rib_out_client_entries (N.router result.net i)));
+      Printf.sprintf "%.0f" (avg (fun i -> (N.counters result.net i).Abrr_core.Counters.updates_received));
+      Printf.sprintf "%.0f" (avg (fun i -> (N.counters result.net i).Abrr_core.Counters.updates_generated));
+    ]
+  in
+  let rows =
+    List.map row
+      [
+        ("full mesh", Abrr_core.Config.Full_mesh);
+        ("TBRR", T.tbrr_scheme topo);
+        ("TBRR multi-path", T.tbrr_scheme ~multipath:true topo);
+        ("Confederation", T.confed_scheme topo);
+        ("RCP x2", T.rcp_scheme topo);
+        ("ABRR 8 APs x2", T.abrr_scheme ~aps:8 ~arrs_per_ap:2 topo);
+      ]
+  in
+  print_endline
+    "== All implemented iBGP organisations on one workload (48 routers, 500 prefixes) ==";
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~header:[ "scheme"; "nodes"; "RIB-In"; "RIB-Out"; "rx (trace)"; "gen (trace)" ]
+    rows;
+  print_endline "(* = no dedicated control nodes; all-router averages)";
+  print_newline ()

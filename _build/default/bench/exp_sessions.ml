@@ -1,0 +1,32 @@
+(* §3.3: an ARR peers with every router in the AS (1000+ sessions in the
+   measured Tier-1; the ASR1000 is tested to 8000). The paper argues the
+   session count is affordable and only boot time grows. We measure boot
+   time through the full BGP FSM: transport setup, OPEN exchange,
+   capability negotiation and first KEEPALIVE, with inbound messages
+   serialized through the booting reflector's CPU. *)
+
+module S = Abrr_core.Session_setup
+
+let counts = [ 100; 200; 500; 1000; 2000; 4000; 8000 ]
+
+let run () =
+  print_endline
+    "== §3.3: reflector boot time vs session count (20 ms RTT, 200 us/msg) ==";
+  let rows =
+    List.map
+      (fun sessions ->
+        let r = S.run (S.spec ~sessions ()) in
+        [
+          Metrics.Table.fmt_int sessions;
+          Printf.sprintf "%.2f" (Eventsim.Time.to_sec r.S.boot_time);
+          Metrics.Table.fmt_int r.S.messages_processed;
+          string_of_int r.S.established;
+        ])
+      counts
+  in
+  Metrics.Table.print
+    ~header:[ "sessions"; "boot time (s)"; "msgs processed"; "established" ]
+    rows;
+  Printf.printf
+    "\nEven at the ASR1000's tested 8000 sessions, boot completes in\n\
+     seconds — and redundant ARRs cover the window (§3.3).\n\n"

@@ -1,0 +1,92 @@
+(* Table 1: the advertisement rule matrix, observed on live networks so
+   each row reports behaviour, not intent. Uses one TBRR network and one
+   ABRR network (2 redundant ARRs) with a border router injecting a
+   route, plus a second prefix outside the probed AP. *)
+
+open Netaddr
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+module Part = Abrr_core.Partition
+
+let low = Prefix.of_string "20.0.0.0/16" (* AP 0 of a 2-way partition *)
+let high = Prefix.of_string "200.0.0.0/16" (* AP 1 *)
+let neighbor k = Ipv4.of_int (0xAC10_0000 + k)
+
+let igp n =
+  let g = Igp.Graph.create ~n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Igp.Graph.add_edge g i j (100 + i + j)
+    done
+  done;
+  g
+
+let inject net router p =
+  N.inject net ~router ~neighbor:(neighbor router)
+    (Bgp.Route.make
+       ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int 7000 ])
+       ~prefix:p ~next_hop:(neighbor router) ())
+
+let yes_no b = if b then "yes" else "no"
+
+let run () =
+  (* TBRR: clusters {0,1}+{4,5} and {2,3}+{6,7}; client 4 injects. *)
+  let tbrr_net =
+    N.create
+      (C.make ~n_routers:8 ~igp:(igp 8)
+         ~scheme:
+           (C.tbrr
+              [ { C.trrs = [ 0; 1 ]; clients = [ 4; 5 ] };
+                { C.trrs = [ 2; 3 ]; clients = [ 6; 7 ] } ])
+         ())
+  in
+  inject tbrr_net 4 low;
+  ignore (N.run tbrr_net);
+  (* ABRR: ARRs {0,1} for AP0 and {2,3} for AP1; client 4 injects both
+     prefixes. *)
+  let abrr_net =
+    N.create
+      (C.make ~n_routers:8 ~igp:(igp 8)
+         ~scheme:(C.abrr ~partition:(Part.uniform 2) [| [ 0; 1 ]; [ 2; 3 ] |])
+         ())
+  in
+  inject abrr_net 4 low;
+  inject abrr_net 4 high;
+  ignore (N.run abrr_net);
+  print_endline "== Table 1: observed advertisement behaviour ==";
+  let rows =
+    [
+      [ "Client -> TRR: best eBGP route reaches both cluster TRRs";
+        yes_no
+          (R.best (N.router tbrr_net 0) low <> None
+          && R.best (N.router tbrr_net 1) low <> None) ];
+      [ "TRR -> TRR: cluster best crosses the mesh";
+        yes_no (R.best (N.router tbrr_net 2) low <> None) ];
+      [ "TRR -> Client: remote cluster's client learns it";
+        yes_no (R.received_set (N.router tbrr_net 6) ~from:2 low <> []
+                || R.received_set (N.router tbrr_net 6) ~from:3 low <> []) ];
+      [ "TRR -> Client: not returned to the sending client";
+        yes_no (R.received_set (N.router tbrr_net 4) ~from:0 low = []) ];
+      [ "Client -> ARR: AP0 route reaches AP0's ARRs only";
+        yes_no
+          (R.reflector_set (N.router abrr_net 0) low <> []
+          && R.reflector_set (N.router abrr_net 2) low = []) ];
+      [ "Client -> ARR: AP1 route reaches AP1's ARRs only";
+        yes_no
+          (R.reflector_set (N.router abrr_net 2) high <> []
+          && R.reflector_set (N.router abrr_net 0) high = []) ];
+      [ "ARR -> Client: best AS-level set delivered to clients";
+        yes_no (R.received_set (N.router abrr_net 6) ~from:0 low <> []) ];
+      [ "ARR -> ARR (same AP): nothing exchanged";
+        yes_no (R.received_set (N.router abrr_net 1) ~from:0 low = []) ];
+      [ "ARR -> Client: not returned to the sending client";
+        yes_no (R.received_set (N.router abrr_net 4) ~from:0 low = []) ];
+      [ "Clients never re-advertise iBGP-learned routes";
+        yes_no
+          (R.advertised_route (N.router abrr_net 6) low = None
+          && R.advertised_route (N.router tbrr_net 6) low = None) ];
+    ]
+  in
+  Metrics.Table.print ~align:[ Metrics.Table.Left ] ~header:[ "rule"; "observed" ] rows;
+  print_newline ()

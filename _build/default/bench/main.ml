@@ -1,0 +1,49 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation. Run all experiments with `dune exec bench/main.exe`, or a
+   single one by name, e.g. `dune exec bench/main.exe -- fig6`. *)
+
+let experiments =
+  [
+    ("table1", "Table 1: advertisement rules, observed live",
+     fun () -> Exp_table1.run ());
+    ("fig3", "Figure 3: best AS-level routes per prefix vs peer ASes",
+     fun () -> ignore (Exp_fig3.run ()));
+    ("fig4", "Figure 4: analytical RIB-In sizes", Exp_model_figs.run_fig4);
+    ("fig5", "Figure 5: analytical RIB-Out sizes", Exp_model_figs.run_fig5);
+    ("fig6+7", "Figures 6 & 7: experimental RIB sizes and update counts",
+     fun () -> ignore (Exp_fig67.run ()));
+    ("updates", "Sec 4.2: transmitted updates / bytes; client updates",
+     fun () -> ignore (Exp_updates.run ()));
+    ("anomalies", "Sec 2.3: oscillation / path-efficiency matrix",
+     Exp_anomalies.run);
+    ("convergence", "Sec 3.5: MRAI convergence (3 hops vs 2)", Exp_convergence.run);
+    ("sessions", "Sec 3.3: reflector boot time vs session count",
+     Exp_sessions.run);
+    ("schemes", "All iBGP organisations on one workload", Exp_schemes.run);
+    ("ablation", "Design-choice ablations", Exp_ablation.run);
+    ("micro", "Bechamel micro-benchmarks", Micro.run);
+  ]
+
+let matches arg (name, _, _) =
+  name = arg || ((arg = "fig6" || arg = "fig7") && name = "fig6+7")
+
+let run_one (name, descr, f) =
+  Printf.printf "################ %s - %s ################\n\n" name descr;
+  let t0 = Sys.time () in
+  f ();
+  Printf.printf "[%s finished in %.1fs cpu]\n\n" name (Sys.time () -. t0)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> List.iter run_one experiments
+  | _ :: args ->
+    List.iter
+      (fun arg ->
+        match List.find_opt (matches arg) experiments with
+        | Some exp -> run_one exp
+        | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" arg
+            (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+          exit 1)
+      args
+  | [] -> assert false

@@ -1,0 +1,130 @@
+(* Bechamel micro-benchmarks over the primitives every experiment leans
+   on: the decision process (Table 2), best-AS-level selection, prefix
+   trie operations, the wire codec and SPF. *)
+
+open Bechamel
+open Toolkit
+open Netaddr
+
+let prefix_of i = Prefix.make (Ipv4.of_int (i * 65_536)) 16
+
+let candidates n =
+  List.init n (fun i ->
+      Bgp.Decision.candidate ~learned:Bgp.Decision.Ibgp
+        ~peer_id:(Ipv4.of_int (0x0A00_0000 + i))
+        ~peer_addr:(Ipv4.of_int (0x0A00_0000 + i))
+        ~igp_cost:(100 + ((i * 37) mod 61))
+        (Bgp.Route.make
+           ~as_path:
+             (Bgp.As_path.of_asns
+                [ Bgp.Asn.of_int (3000 + (i mod 7)); Bgp.Asn.of_int 55000 ])
+           ~med:(Some ((i * 13) mod 97))
+           ~prefix:(prefix_of 1)
+           ~next_hop:(Ipv4.of_int (0x0A00_0000 + i))
+           ()))
+
+let cands16 = candidates 16
+
+let bench_decision =
+  Test.make ~name:"decision.best (16 candidates)"
+    (Staged.stage (fun () ->
+         ignore (Bgp.Decision.best ~med_mode:Bgp.Decision.Per_neighbor_as cands16)))
+
+let bench_bal =
+  Test.make ~name:"decision.steps_1_to_4 (16 candidates)"
+    (Staged.stage (fun () ->
+         ignore
+           (Bgp.Decision.steps_1_to_4 ~med_mode:Bgp.Decision.Per_neighbor_as cands16)))
+
+let trie_1k =
+  List.fold_left
+    (fun t i -> Prefix_trie.add (prefix_of i) i t)
+    Prefix_trie.empty
+    (List.init 1000 (fun i -> i))
+
+let bench_trie_insert =
+  Test.make ~name:"trie.add into 1k entries"
+    (Staged.stage (fun () -> ignore (Prefix_trie.add (prefix_of 1500) 0 trie_1k)))
+
+let bench_trie_lpm =
+  Test.make ~name:"trie.longest_match over 1k"
+    (Staged.stage (fun () ->
+         ignore (Prefix_trie.longest_match (Ipv4.of_int (500 * 65_536 + 77)) trie_1k)))
+
+let update_msg =
+  Bgp.Msg.Update
+    {
+      Bgp.Msg.withdrawn = [];
+      announced =
+        List.init 10 (fun i ->
+            Bgp.Route.make ~path_id:(i + 1)
+              ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int 3001 ])
+              ~med:(Some i) ~prefix:(prefix_of i)
+              ~next_hop:(Ipv4.of_int (0x0A00_0000 + i))
+              ());
+    }
+
+let encoded = Bytes.concat Bytes.empty (Bgp.Wire.encode ~add_paths:true update_msg)
+
+let bench_wire_encode =
+  Test.make ~name:"wire.encode (10-route update)"
+    (Staged.stage (fun () -> ignore (Bgp.Wire.encode ~add_paths:true update_msg)))
+
+let bench_wire_decode =
+  Test.make ~name:"wire.decode (10-route update)"
+    (Staged.stage (fun () -> ignore (Bgp.Wire.decode_all ~add_paths:true encoded)))
+
+let spf_graph =
+  let g = Igp.Graph.create ~n:200 in
+  for i = 0 to 199 do
+    Igp.Graph.add_edge g i ((i + 1) mod 200) 10;
+    Igp.Graph.add_edge g i ((i + 17) mod 200) 35
+  done;
+  g
+
+let bench_spf =
+  Test.make ~name:"spf.distances (200-node graph)"
+    (Staged.stage (fun () -> ignore (Igp.Spf.distances spf_graph ~src:0)))
+
+let partition32 = Abrr_core.Partition.uniform 32
+
+let bench_partition =
+  Test.make ~name:"partition.aps_of_prefix (32 APs)"
+    (Staged.stage (fun () ->
+         ignore (Abrr_core.Partition.aps_of_prefix partition32 (prefix_of 12345))))
+
+let tests =
+  [
+    bench_decision;
+    bench_bal;
+    bench_trie_insert;
+    bench_trie_lpm;
+    bench_wire_encode;
+    bench_wire_decode;
+    bench_spf;
+    bench_partition;
+  ]
+
+let run () =
+  print_endline "== micro-benchmarks (ns per call, OLS fit) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ t ] -> rows := (name, t) :: !rows
+      | Some _ | None -> ())
+    ols;
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  Metrics.Table.print
+    ~align:[ Metrics.Table.Left ]
+    ~header:[ "benchmark"; "ns/run" ]
+    (List.map (fun (name, t) -> [ name; Printf.sprintf "%.1f" t ]) rows);
+  print_newline ()

@@ -1,0 +1,254 @@
+(* abrr-sim: command-line front end to the ABRR simulator.
+
+   Subcommands:
+     simulate   run a synthetic Tier-1 workload under a chosen iBGP scheme
+     gadget     run one of the Sec 2.3 anomaly gadgets
+     trace      generate an MRT update trace (and optionally replay it)
+     partition  print an address-partition layout *)
+
+open Cmdliner
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+module TG = Topo.Trace_gen
+
+(* ---- shared options ------------------------------------------------ *)
+
+let scheme_enum =
+  Arg.enum
+    [ ("full-mesh", `Full_mesh); ("tbrr", `Tbrr); ("tbrr-multi", `Tbrr_multi);
+      ("tbrr-best-external", `Tbrr_be); ("confed", `Confed); ("rcp", `Rcp);
+      ("abrr", `Abrr) ]
+
+let scheme_t =
+  Arg.(value & opt scheme_enum `Abrr & info [ "scheme" ] ~doc:"iBGP scheme: $(docv)."
+         ~docv:"full-mesh|tbrr|tbrr-multi|abrr")
+
+let med_enum =
+  Arg.enum [ ("per-as", Bgp.Decision.Per_neighbor_as); ("always", Bgp.Decision.Always_compare) ]
+
+let med_t =
+  Arg.(value & opt med_enum Bgp.Decision.Always_compare
+       & info [ "med" ] ~doc:"MED comparison mode ($(docv)).")
+
+let pops_t = Arg.(value & opt int 8 & info [ "pops" ] ~doc:"Number of PoPs (= TBRR clusters).")
+let rpp_t = Arg.(value & opt int 6 & info [ "routers-per-pop" ] ~doc:"Routers per PoP.")
+let pas_t = Arg.(value & opt int 15 & info [ "peer-ases" ] ~doc:"Number of peer ASes.")
+let points_t = Arg.(value & opt int 6 & info [ "points" ] ~doc:"Peering points per peer AS.")
+let prefixes_t = Arg.(value & opt int 500 & info [ "prefixes" ] ~doc:"Number of prefixes.")
+let aps_t = Arg.(value & opt int 8 & info [ "aps" ] ~doc:"ABRR address partitions.")
+let arrs_t = Arg.(value & opt int 2 & info [ "arrs-per-ap" ] ~doc:"Redundant ARRs per AP.")
+let events_t = Arg.(value & opt int 500 & info [ "events" ] ~doc:"Trace routing events.")
+let seed_t = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
+let mrai_t = Arg.(value & opt int 0 & info [ "mrai" ] ~doc:"MRAI timer in seconds (0 = off).")
+
+let build_topo pops rpp pas points seed =
+  T.generate (T.spec ~pops ~routers_per_pop:rpp ~peer_ases:pas ~peering_points_per_as:points ~seed ())
+
+let resolve_scheme topo aps arrs_per_ap = function
+  | `Full_mesh -> C.Full_mesh
+  | `Tbrr -> T.tbrr_scheme topo
+  | `Tbrr_multi -> T.tbrr_scheme ~multipath:true topo
+  | `Tbrr_be -> C.tbrr ~best_external:true topo.T.clusters
+  | `Confed -> T.confed_scheme topo
+  | `Rcp -> T.rcp_scheme topo
+  | `Abrr -> T.abrr_scheme ~aps ~arrs_per_ap topo
+
+(* ---- simulate ------------------------------------------------------ *)
+
+let simulate scheme med pops rpp pas points prefixes aps arrs events seed mrai =
+  let topo = build_topo pops rpp pas points seed in
+  let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
+  let trace =
+    TG.generate table
+      (TG.spec ~events ~duration:(Eventsim.Time.days 14) ~jitter:(Eventsim.Time.ms 80)
+         ~seed ())
+  in
+  let cfg =
+    (* per-router processing phases: synchronized rounds can livelock
+       confederations (and TBRR) on ties; real routers are never in
+       lockstep *)
+    T.config ~med_mode:med ~mrai:(Eventsim.Time.sec mrai)
+      ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
+      ~scheme:(resolve_scheme topo aps arrs scheme)
+      topo
+  in
+  let net = N.create cfg in
+  RG.inject_all table net;
+  let snapshot_outcome = N.run ~max_events:200_000_000 net in
+  for i = 0 to N.router_count net - 1 do
+    Abrr_core.Counters.reset (N.counters net i)
+  done;
+  TG.schedule net trace;
+  let trace_outcome = N.run ~max_events:500_000_000 net in
+  Printf.printf
+    "topology : %d routers, %d PoPs, %d eBGP sessions\nworkload : %d prefixes (%d routes), %d trace events\n"
+    topo.T.n_routers pops (List.length topo.T.sessions) prefixes
+    (RG.total_routes table) events;
+  Printf.printf "snapshot : %s\ntrace    : %s\n"
+    (Format.asprintf "%a" Eventsim.Sim.pp_outcome snapshot_outcome)
+    (Format.asprintf "%a" Eventsim.Sim.pp_outcome trace_outcome);
+  let rr_ids =
+    List.filter
+      (fun i -> R.is_trr (N.router net i) || R.is_arr (N.router net i))
+      (List.init topo.T.n_routers Fun.id)
+  in
+  let avg f =
+    match rr_ids with
+    | [] -> 0.
+    | _ ->
+      (Metrics.Summary.of_list (List.map (fun i -> float_of_int (f i)) rr_ids))
+        .Metrics.Summary.mean
+  in
+  if rr_ids <> [] then begin
+    Printf.printf "reflector averages over %d RRs:\n" (List.length rr_ids);
+    Printf.printf "  rib-in %.0f  rib-out %.0f  rx %.0f  gen %.0f  tx %.0f\n"
+      (avg (fun i -> R.rib_in_entries (N.router net i)))
+      (avg (fun i -> R.rib_out_entries (N.router net i)))
+      (avg (fun i -> (N.counters net i).Abrr_core.Counters.updates_received))
+      (avg (fun i -> (N.counters net i).Abrr_core.Counters.updates_generated))
+      (avg (fun i -> (N.counters net i).Abrr_core.Counters.updates_transmitted))
+  end;
+  let total = N.total_counters net in
+  Printf.printf "network totals: rx %d  gen %d  tx %d  bytes-tx %d\n"
+    total.Abrr_core.Counters.updates_received
+    total.Abrr_core.Counters.updates_generated
+    total.Abrr_core.Counters.updates_transmitted
+    total.Abrr_core.Counters.bytes_transmitted;
+  `Ok ()
+
+let simulate_cmd =
+  let term =
+    Term.(
+      ret
+        (const simulate $ scheme_t $ med_t $ pops_t $ rpp_t $ pas_t $ points_t
+        $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t))
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run a synthetic Tier-1 workload.") term
+
+(* ---- gadget --------------------------------------------------------- *)
+
+let gadget_enum =
+  Arg.enum
+    [ ("med", `Med); ("topology", `Topology); ("path", `Path) ]
+
+let _ = Abrr_core.Gadgets.G_confed (* gadget flavors listed below *)
+
+let gflavor_enum =
+  Arg.enum
+    [ ("full-mesh", Abrr_core.Gadgets.G_full_mesh); ("tbrr", Abrr_core.Gadgets.G_tbrr);
+      ("tbrr-best-external", Abrr_core.Gadgets.G_tbrr_best_external);
+      ("confed", Abrr_core.Gadgets.G_confed);
+      ("rcp", Abrr_core.Gadgets.G_rcp);
+      ("abrr", Abrr_core.Gadgets.G_abrr 1); ("abrr2", Abrr_core.Gadgets.G_abrr 2) ]
+
+let gadget kind flavor =
+  let module G = Abrr_core.Gadgets in
+  let module A = Abrr_core.Anomaly in
+  let g =
+    match kind with
+    | `Med -> G.med_oscillation flavor
+    | `Topology -> G.topology_oscillation flavor
+    | `Path -> G.path_inefficiency flavor
+  in
+  let net = G.build g in
+  let v = A.run ~max_events:50_000 net in
+  Printf.printf "%s\n" g.G.description;
+  Printf.printf "outcome: %s (%d best changes, %d events)\n"
+    (if A.oscillates v then "OSCILLATES" else "converges")
+    v.A.best_changes v.A.events;
+  (match kind with
+  | `Path ->
+    (match N.best_exit net ~router:G.observer g.G.prefix with
+    | Some e ->
+      Printf.printf "observer exit: r%d (%s)\n" e
+        (if e = G.near_exit then "optimal" else "detour")
+    | None -> print_endline "observer has no route")
+  | `Med | `Topology -> ());
+  `Ok ()
+
+let gadget_cmd =
+  let kind = Arg.(value & opt gadget_enum `Med & info [ "gadget" ] ~doc:"Gadget: med, topology or path.") in
+  let flavor = Arg.(value & opt gflavor_enum Abrr_core.Gadgets.G_tbrr & info [ "run-scheme" ] ~doc:"Scheme flavor.") in
+  Cmd.v (Cmd.info "gadget" ~doc:"Run a Sec 2.3 anomaly gadget.")
+    Term.(ret (const gadget $ kind $ flavor))
+
+(* ---- trace ----------------------------------------------------------- *)
+
+let trace out replay pops rpp pas points prefixes events seed =
+  let topo = build_topo pops rpp pas points seed in
+  let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
+  let events_l =
+    TG.generate table (TG.spec ~events ~duration:(Eventsim.Time.days 14) ~seed ())
+  in
+  let local_as = Bgp.Asn.of_int 65000 in
+  Topo.Mrt.save out ~local_as events_l;
+  let a, w = TG.action_count events_l in
+  Printf.printf "wrote %s: %d announcements, %d withdrawals\n" out a w;
+  if replay then begin
+    match Topo.Mrt.load out with
+    | Error e -> Printf.eprintf "replay failed: %s\n" e
+    | Ok loaded ->
+      let cfg =
+        T.config ~med_mode:Bgp.Decision.Always_compare
+          ~scheme:(T.abrr_scheme ~aps:8 ~arrs_per_ap:2 topo)
+          topo
+      in
+      let net = N.create cfg in
+      RG.inject_all table net;
+      ignore (N.run ~max_events:200_000_000 net);
+      TG.schedule net loaded;
+      let o = N.run ~max_events:500_000_000 net in
+      Printf.printf "replayed %d events from disk: %s\n" (List.length loaded)
+        (Format.asprintf "%a" Eventsim.Sim.pp_outcome o)
+  end;
+  `Ok ()
+
+let trace_cmd =
+  let out = Arg.(value & opt string "trace.mrt" & info [ "out" ] ~doc:"Output MRT file.") in
+  let replay = Arg.(value & flag & info [ "replay" ] ~doc:"Reload the file and replay it.") in
+  Cmd.v (Cmd.info "trace" ~doc:"Generate (and optionally replay) an MRT update trace.")
+    Term.(ret (const trace $ out $ replay $ pops_t $ rpp_t $ pas_t $ points_t
+               $ prefixes_t $ events_t $ seed_t))
+
+(* ---- boot ------------------------------------------------------------ *)
+
+let boot sessions rtt_ms cost_us =
+  let r =
+    Abrr_core.Session_setup.run
+      (Abrr_core.Session_setup.spec ~sessions ~rtt:(Eventsim.Time.ms rtt_ms)
+         ~per_message_cost:(Eventsim.Time.us cost_us) ())
+  in
+  Printf.printf "%d sessions established in %.3f s (%d messages processed)
+"
+    r.Abrr_core.Session_setup.established
+    (Eventsim.Time.to_sec r.Abrr_core.Session_setup.boot_time)
+    r.Abrr_core.Session_setup.messages_processed;
+  `Ok ()
+
+let boot_cmd =
+  let sessions = Arg.(value & opt int 1000 & info [ "sessions" ] ~doc:"Number of iBGP sessions.") in
+  let rtt = Arg.(value & opt int 20 & info [ "rtt-ms" ] ~doc:"Round-trip time, ms.") in
+  let cost = Arg.(value & opt int 200 & info [ "cost-us" ] ~doc:"CPU cost per inbound message, us.") in
+  Cmd.v (Cmd.info "boot" ~doc:"Measure ARR boot time through the BGP FSM (Sec 3.3).")
+    Term.(ret (const boot $ sessions $ rtt $ cost))
+
+(* ---- partition -------------------------------------------------------- *)
+
+let partition aps =
+  Format.printf "%a@." Abrr_core.Partition.pp (Abrr_core.Partition.uniform aps);
+  `Ok ()
+
+let partition_cmd =
+  Cmd.v (Cmd.info "partition" ~doc:"Print a uniform address-partition layout.")
+    Term.(ret (const partition $ aps_t))
+
+let () =
+  let doc = "Address-Based Route Reflection simulator (CoNEXT 2011 reproduction)" in
+  let info = Cmd.info "abrr-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ simulate_cmd; gadget_cmd; trace_cmd; boot_cmd; partition_cmd ]))

@@ -1,0 +1,1 @@
+examples/failure_demo.ml: Abrr_core Bgp Igp Ipv4 Netaddr Prefix Printf

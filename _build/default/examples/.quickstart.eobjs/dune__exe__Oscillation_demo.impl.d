@@ -1,0 +1,1 @@
+examples/oscillation_demo.ml: Abrr_core List Printf String

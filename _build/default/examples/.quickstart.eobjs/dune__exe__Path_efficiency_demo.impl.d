@@ -1,0 +1,1 @@
+examples/path_efficiency_demo.ml: Abrr_core Printf

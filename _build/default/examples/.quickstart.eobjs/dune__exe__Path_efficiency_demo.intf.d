@@ -1,0 +1,1 @@
+examples/path_efficiency_demo.mli:

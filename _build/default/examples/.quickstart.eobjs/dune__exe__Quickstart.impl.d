@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abrr_core Bgp Eventsim Format Igp Ipv4 Netaddr Prefix Printf

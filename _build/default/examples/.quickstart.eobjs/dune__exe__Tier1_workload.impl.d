@@ -1,0 +1,1 @@
+examples/tier1_workload.ml: Abrr_core Array Bgp Eventsim Fun List Metrics Printf Topo

@@ -1,0 +1,1 @@
+examples/transition_demo.ml: Abrr_core Array Bgp Fun Igp Ipv4 List Netaddr Prefix Printf

@@ -1,0 +1,41 @@
+(* §2.3 demonstration: the MED gadget (RFC 3345) and the cyclic-IGP
+   topology gadget oscillate forever under traditional route reflection,
+   while full-mesh iBGP and ABRR converge.
+
+   Run with: dune exec examples/oscillation_demo.exe *)
+
+module G = Abrr_core.Gadgets
+module A = Abrr_core.Anomaly
+
+let flavors =
+  [
+    ("full-mesh iBGP", G.G_full_mesh);
+    ("TBRR (traditional)", G.G_tbrr);
+    ("ABRR, 1 ARR", G.G_abrr 1);
+    ("ABRR, 2 redundant ARRs", G.G_abrr 2);
+  ]
+
+let show gadget_name make =
+  Printf.printf "%s\n%s\n" gadget_name (String.make (String.length gadget_name) '-');
+  List.iter
+    (fun (name, flavor) ->
+      let g = make flavor in
+      let net = G.build g in
+      let v = A.run ~max_events:50_000 net in
+      Printf.printf "  %-24s %s  (%d best-path changes in %d events)\n" name
+        (if A.oscillates v then "OSCILLATES" else "converges")
+        v.A.best_changes v.A.events)
+    flavors;
+  print_newline ()
+
+let () =
+  let med = G.med_oscillation G.G_tbrr in
+  Printf.printf "Gadget A: %s\n\n" med.G.description;
+  show "MED-based oscillation" G.med_oscillation;
+  let topo = G.topology_oscillation G.G_tbrr in
+  Printf.printf "Gadget B: %s\n\n" topo.G.description;
+  show "Topology-based oscillation" G.topology_oscillation;
+  Printf.printf
+    "ABRR converges on both gadgets regardless of ARR count or placement:\n\
+     per prefix it is logically centralized (one reflection hop), and ARRs\n\
+     advertise all best AS-level routes, so clients decide like full mesh.\n"

@@ -1,0 +1,87 @@
+(* §2.4 demonstration: hitless incremental migration from TBRR to ABRR,
+   one address partition at a time, with a rollback.
+
+   Run with: dune exec examples/transition_demo.exe *)
+
+open Netaddr
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module Part = Abrr_core.Partition
+
+let low = Prefix.of_string "20.0.0.0/16" (* AP 0 of a 4-way partition *)
+let mid = Prefix.of_string "130.0.0.0/16" (* AP 2 *)
+let high = Prefix.of_string "200.0.0.0/16" (* AP 3 *)
+let prefixes = [ ("20.0.0.0/16", low, 4); ("130.0.0.0/16", mid, 5); ("200.0.0.0/16", high, 6) ]
+
+let flat_igp n =
+  let g = Igp.Graph.create ~n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Igp.Graph.add_edge g i j (100 + i + (2 * j))
+    done
+  done;
+  g
+
+let () =
+  (* Both schemes configured simultaneously; acceptance starts on TBRR. *)
+  let tbrr =
+    {
+      C.clusters =
+        [
+          { C.trrs = [ 0; 1 ]; clients = [ 4; 5 ] };
+          { C.trrs = [ 2; 3 ]; clients = [ 6; 7 ] };
+        ];
+      multipath = false;
+      best_external = false;
+    }
+  in
+  let aps = 4 in
+  let abrr =
+    {
+      C.partition = Part.uniform aps;
+      arrs = [| [ 1 ]; [ 3 ]; [ 5 ]; [ 7 ] |];
+      loop_prevention = C.Reflected_bit;
+    }
+  in
+  let accept = Array.make aps C.Accept_tbrr in
+  let cfg =
+    C.make ~n_routers:8 ~igp:(flat_igp 8) ~scheme:(C.Dual { tbrr; abrr; accept }) ()
+  in
+  let net = N.create cfg in
+  List.iter
+    (fun (_, p, router) ->
+      N.inject net ~router
+        ~neighbor:(Ipv4.of_int (0xAC10_0000 + router))
+        (Bgp.Route.make
+           ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int 7018 ])
+           ~prefix:p
+           ~next_hop:(Ipv4.of_int (0xAC10_0000 + router))
+           ()))
+    prefixes;
+  ignore (N.run net);
+
+  let reachable () =
+    List.for_all
+      (fun (_, p, exit) ->
+        List.for_all
+          (fun i -> i = exit || N.best_exit net ~router:i p = Some exit)
+          (List.init 8 Fun.id))
+      prefixes
+  in
+  let stage msg =
+    ignore (N.run net);
+    Printf.printf "%-52s all prefixes reachable: %b\n" msg (reachable ())
+  in
+  stage "Stage 0: TBRR everywhere.";
+  for ap = 0 to aps - 1 do
+    N.set_acceptance net ~ap C.Accept_abrr;
+    stage (Printf.sprintf "Stage %d: AP %d cut over to ABRR." (ap + 1) ap)
+  done;
+  N.set_acceptance net ~ap:2 C.Accept_tbrr;
+  stage "Rollback drill: AP 2 back on TBRR.";
+  N.set_acceptance net ~ap:2 C.Accept_abrr;
+  stage "AP 2 re-cutover; migration complete (TBRR can be retired).";
+  Printf.printf
+    "\nEvery stage converged with full reachability: the ABRR plane was\n\
+     already populated before each cutover, so flipping acceptance is\n\
+     hitless in both directions.\n"

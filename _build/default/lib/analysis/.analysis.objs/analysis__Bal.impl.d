@@ -1,0 +1,1 @@
+lib/analysis/bal.ml: Bgp List Netaddr Prefix

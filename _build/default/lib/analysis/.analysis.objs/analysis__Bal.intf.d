@@ -1,0 +1,1 @@
+lib/analysis/bal.mli: Bgp Netaddr Prefix

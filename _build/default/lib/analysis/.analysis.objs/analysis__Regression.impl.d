@@ -1,0 +1,1 @@
+lib/analysis/regression.ml: Float Format List

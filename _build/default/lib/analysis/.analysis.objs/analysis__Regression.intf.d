@@ -1,0 +1,1 @@
+lib/analysis/regression.mli: Format

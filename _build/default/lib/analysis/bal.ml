@@ -1,0 +1,22 @@
+open Netaddr
+
+let best_as_level_count ~med_mode routes =
+  match routes with
+  | [] -> 0
+  | _ ->
+    let cands = List.map (fun r -> Bgp.Decision.candidate r) routes in
+    List.length (Bgp.Decision.steps_1_to_4 ~med_mode cands)
+
+let average ?(count_empty = false) ~med_mode tables =
+  let counts =
+    List.filter_map
+      (fun ((_ : Prefix.t), routes) ->
+        match routes with
+        | [] -> if count_empty then Some 0 else None
+        | _ -> Some (best_as_level_count ~med_mode routes))
+      tables
+  in
+  match counts with
+  | [] -> 0.
+  | _ ->
+    float_of_int (List.fold_left ( + ) 0 counts) /. float_of_int (List.length counts)

@@ -1,0 +1,18 @@
+(** Measuring #BAL — the average number of best AS-level routes per
+    prefix (§3.1, Figure 3) — over a collection of route tables. *)
+
+open Netaddr
+
+val best_as_level_count :
+  med_mode:Bgp.Decision.med_mode -> Bgp.Route.t list -> int
+(** Survivors of decision steps 1-4 among the given routes for one
+    prefix. 0 for the empty list. *)
+
+val average :
+  ?count_empty:bool ->
+  med_mode:Bgp.Decision.med_mode ->
+  (Prefix.t * Bgp.Route.t list) list ->
+  float
+(** Mean best-AS-level count. By default prefixes with no routes are
+    skipped; with [count_empty] they contribute 0 (the Figure 3 curves
+    average over the full prefix set). *)

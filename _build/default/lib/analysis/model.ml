@@ -1,0 +1,56 @@
+type params = { prefixes : int; groups : int; rrs_per_group : int; bal : float }
+
+(* Linear fit to the "All Sources" curve of Fig. 3, anchored at the
+   paper's measured point F(25) = 10.2 and roughly one AS-level route for
+   a stub network with a single peer. *)
+let default_bal pas = 1.0 +. (0.368 *. float_of_int pas)
+
+let params ?(prefixes = 400_000) ?(groups = 50) ?(rrs_per_group = 2)
+    ?(bal = default_bal 30) () =
+  if prefixes < 0 || groups < 1 || rrs_per_group < 1 || bal < 0. then
+    invalid_arg "Model.params: nonsensical parameters";
+  { prefixes; groups; rrs_per_group; bal }
+
+let fl = float_of_int
+
+(* --- ABRR (A.1) ---------------------------------------------------- *)
+
+let abrr_rib_in_managed p = p.bal *. fl p.prefixes /. fl p.groups
+
+let abrr_rib_in_unmanaged p =
+  fl p.rrs_per_group *. fl p.prefixes *. (1. -. (1. /. fl p.groups))
+
+let abrr_rib_in p = abrr_rib_in_managed p +. abrr_rib_in_unmanaged p
+let abrr_rib_out p = abrr_rib_in_managed p
+
+(* --- Single-path TBRR (A.2) ---------------------------------------- *)
+
+let tbrr_rib_in_managed p = p.bal /. fl p.groups *. fl p.prefixes
+
+let g p =
+  if p.bal < fl p.groups then p.bal /. fl p.groups *. fl p.prefixes
+  else fl p.prefixes
+
+let total_rrs p = p.groups * p.rrs_per_group
+let tbrr_rib_in_unmanaged p = g p *. fl (total_rrs p - 1)
+let tbrr_rib_in p = tbrr_rib_in_managed p +. tbrr_rib_in_unmanaged p
+let tbrr_rib_out p = (g p *. 2.) +. (fl p.prefixes -. g p)
+
+(* --- Multi-path TBRR (A.3) ----------------------------------------- *)
+
+let multi_rib_in_managed = tbrr_rib_in_managed
+let multi_rib_in_unmanaged p = multi_rib_in_managed p *. fl (total_rrs p - 1)
+let multi_rib_in p = multi_rib_in_managed p +. multi_rib_in_unmanaged p
+let multi_rib_out p = (multi_rib_in_managed p *. 2.) +. multi_rib_in_unmanaged p
+
+(* --- Sessions (§3.3) ------------------------------------------------ *)
+
+let abrr_sessions_per_arr ~n_routers = n_routers - 1
+
+let tbrr_sessions_per_trr ~n_routers p =
+  (* clients spread evenly over clusters, plus the TRR full mesh *)
+  let clients_per_cluster = fl (n_routers - total_rrs p) /. fl p.groups in
+  clients_per_cluster +. fl (total_rrs p - 1)
+
+let abrr_sessions_per_client p = p.groups * p.rrs_per_group
+let tbrr_sessions_per_client p = p.rrs_per_group

@@ -1,0 +1,49 @@
+(** Appendix A closed-form RIB-size models for ABRR, single-path TBRR and
+    multi-path TBRR. All sizes are entry counts (routes, not prefixes). *)
+
+type params = {
+  prefixes : int;  (** #Prefixes *)
+  groups : int;  (** #APs (ABRR) or #Clusters (TBRR) *)
+  rrs_per_group : int;  (** redundant ARRs per AP / TRRs per cluster *)
+  bal : float;  (** #BAL: average best AS-level routes per prefix *)
+}
+
+val params :
+  ?prefixes:int -> ?groups:int -> ?rrs_per_group:int -> ?bal:float -> unit -> params
+(** Paper defaults: 400K prefixes, 50 groups, 2 RRs per group, and
+    [bal = default_bal 30] (30 peer ASes). *)
+
+val default_bal : int -> float
+(** The regression line F(#PASs) of §3.1 fitted to the "All Sources"
+    curve; calibrated so that F(25) = 10.2, the measured Tier-1 value. *)
+
+(** {1 ABRR (A.1)} *)
+
+val abrr_rib_in_managed : params -> float
+val abrr_rib_in_unmanaged : params -> float
+val abrr_rib_in : params -> float
+val abrr_rib_out : params -> float
+
+(** {1 Single-path TBRR (A.2)} *)
+
+val g : params -> float
+(** The G function: routes a TRR advertises to another TRR. *)
+
+val tbrr_rib_in_managed : params -> float
+val tbrr_rib_in_unmanaged : params -> float
+val tbrr_rib_in : params -> float
+val tbrr_rib_out : params -> float
+
+(** {1 Multi-path TBRR (A.3)} *)
+
+val multi_rib_in_managed : params -> float
+val multi_rib_in_unmanaged : params -> float
+val multi_rib_in : params -> float
+val multi_rib_out : params -> float
+
+(** {1 Session counts (§3.3)} *)
+
+val abrr_sessions_per_arr : n_routers:int -> int
+val tbrr_sessions_per_trr : n_routers:int -> params -> float
+val abrr_sessions_per_client : params -> int
+val tbrr_sessions_per_client : params -> int

@@ -1,0 +1,11 @@
+(** Least-squares fitting, used to derive the F(#PASs) regression line of
+    §3.1 from measured best-AS-level route counts. *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear : (float * float) list -> fit
+(** Ordinary least squares y = slope * x + intercept.
+    @raise Invalid_argument with fewer than two distinct x values. *)
+
+val predict : fit -> float -> float
+val pp : Format.formatter -> fit -> unit

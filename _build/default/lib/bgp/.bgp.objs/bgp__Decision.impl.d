@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: As_path Asn Hashtbl Ipv4 List Netaddr Origin Printf Route

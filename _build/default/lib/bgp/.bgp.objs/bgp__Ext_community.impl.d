@@ -1,0 +1,1 @@
+lib/bgp/ext_community.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/bgp/ext_community.mli: Format

@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Asn Format Ipv4 Netaddr Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/msg.mli: Asn Format Ipv4 Netaddr Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/origin.ml: Format Int

@@ -1,0 +1,1 @@
+lib/bgp/origin.mli: Format

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Hashtbl List Netaddr Option Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/route.ml: As_path Community Ext_community Format Int Ipv4 List Netaddr Origin Prefix

@@ -1,0 +1,1 @@
+lib/bgp/route.mli: As_path Asn Community Ext_community Format Ipv4 Netaddr Origin Prefix

@@ -1,0 +1,1 @@
+lib/bgp/wire.ml: As_path Asn Buffer Bytes Char Community Ext_community Format Hashtbl Ipv4 List Msg Netaddr Option Origin Prefix Printf Route String

@@ -1,0 +1,78 @@
+type segment =
+  | Seq of Asn.t list
+  | Set of Asn.t list
+  | Confed_seq of Asn.t list
+  | Confed_set of Asn.t list
+type t = segment list
+
+let empty = []
+let of_segments segs = segs
+let segments t = t
+let of_asns = function [] -> [] | asns -> [ Seq asns ]
+
+let length t =
+  let seg_len = function
+    | Seq asns -> List.length asns
+    | Set _ -> 1
+    | Confed_seq _ | Confed_set _ -> 0
+  in
+  List.fold_left (fun n s -> n + seg_len s) 0 t
+
+let prepend asn = function
+  | Seq asns :: rest -> Seq (asn :: asns) :: rest
+  | segs -> Seq [ asn ] :: segs
+
+let prepend_confed asn = function
+  | Confed_seq asns :: rest -> Confed_seq (asn :: asns) :: rest
+  | segs -> Confed_seq [ asn ] :: segs
+
+let strip_confed t =
+  List.filter (function Confed_seq _ | Confed_set _ -> false | Seq _ | Set _ -> true) t
+
+let confed_contains asn t =
+  List.exists
+    (function
+      | Confed_seq asns | Confed_set asns -> List.exists (Asn.equal asn) asns
+      | Seq _ | Set _ -> false)
+    t
+
+let contains asn t =
+  let in_seg = function
+    | Seq asns | Set asns | Confed_seq asns | Confed_set asns ->
+      List.exists (Asn.equal asn) asns
+  in
+  List.exists in_seg t
+
+let first_as t =
+  match strip_confed t with Seq (a :: _) :: _ -> Some a | _ -> None
+
+let origin_as t =
+  let rec last = function [] -> None | [ x ] -> Some x | _ :: tl -> last tl in
+  match last (strip_confed t) with
+  | Some (Seq asns) -> last asns
+  | Some (Set _ | Confed_seq _ | Confed_set _) | None -> None
+
+let seg_rank = function Seq _ -> 0 | Set _ -> 1 | Confed_seq _ -> 2 | Confed_set _ -> 3
+
+let seg_compare a b =
+  match (a, b) with
+  | Seq x, Seq y | Set x, Set y | Confed_seq x, Confed_seq y
+  | Confed_set x, Confed_set y ->
+    List.compare Asn.compare x y
+  | _, _ -> Int.compare (seg_rank a) (seg_rank b)
+
+let compare = List.compare seg_compare
+let equal a b = compare a b = 0
+
+let to_string t =
+  let seg_str = function
+    | Seq asns -> String.concat " " (List.map Asn.to_string asns)
+    | Set asns -> "{" ^ String.concat "," (List.map Asn.to_string asns) ^ "}"
+    | Confed_seq asns ->
+      "(" ^ String.concat " " (List.map Asn.to_string asns) ^ ")"
+    | Confed_set asns ->
+      "[" ^ String.concat "," (List.map Asn.to_string asns) ^ "]"
+  in
+  String.concat " " (List.map seg_str t)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

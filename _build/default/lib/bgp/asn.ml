@@ -1,0 +1,12 @@
+type t = int
+
+let of_int n =
+  if n < 0 || n > 0xFFFF_FFFF then invalid_arg "Asn.of_int: out of range";
+  n
+
+let to_int n = n
+let compare = Int.compare
+let equal = Int.equal
+let to_string n = string_of_int n
+let pp fmt n = Format.pp_print_int fmt n
+let hash = Hashtbl.hash

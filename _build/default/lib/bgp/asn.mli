@@ -1,0 +1,13 @@
+(** Autonomous System Numbers (4-byte, RFC 6793). *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument if outside [0, 2^32). *)
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val hash : t -> int

@@ -1,0 +1,122 @@
+open Netaddr
+
+type learned = Ebgp | Confed_ebgp | Ibgp | Local
+
+type candidate = {
+  route : Route.t;
+  learned : learned;
+  peer_id : Ipv4.t;
+  peer_addr : Ipv4.t;
+  igp_cost : int;
+}
+
+let candidate ?(learned = Local) ?(peer_id = Ipv4.zero) ?(peer_addr = Ipv4.zero)
+    ?(igp_cost = 0) route =
+  { route; learned; peer_id; peer_addr; igp_cost }
+
+type med_mode = Always_compare | Per_neighbor_as
+
+let med (r : Route.t) = match r.Route.med with None -> 0 | Some m -> m
+
+(* Keep the candidates minimising [f]; preserves input order. *)
+let keep_min f cands =
+  match cands with
+  | [] | [ _ ] -> cands
+  | _ ->
+    let m = List.fold_left (fun acc c -> min acc (f c)) max_int cands in
+    List.filter (fun c -> f c = m) cands
+
+let step1 cands = keep_min (fun c -> -c.route.Route.local_pref) cands
+let step2 cands = keep_min (fun c -> As_path.length c.route.Route.as_path) cands
+let step3 cands = keep_min (fun c -> Origin.rank c.route.Route.origin) cands
+
+let step4 ~med_mode cands =
+  match med_mode with
+  | Always_compare -> keep_min (fun c -> med c.route) cands
+  | Per_neighbor_as ->
+    (* MED only discriminates among routes from the same neighbour AS. *)
+    let key c =
+      match Route.neighbor_as c.route with
+      | None -> -1
+      | Some asn -> Asn.to_int asn
+    in
+    let min_by_key = Hashtbl.create 8 in
+    let note c =
+      let k = key c and m = med c.route in
+      match Hashtbl.find_opt min_by_key k with
+      | Some m' when m' <= m -> ()
+      | _ -> Hashtbl.replace min_by_key k m
+    in
+    List.iter note cands;
+    List.filter (fun c -> med c.route = Hashtbl.find min_by_key (key c)) cands
+
+let step5 cands =
+  (* eBGP over confed-external over iBGP; locally-originated routes rank
+     with eBGP *)
+  let rank c =
+    match c.learned with Ebgp | Local -> 0 | Confed_ebgp -> 1 | Ibgp -> 2
+  in
+  keep_min rank cands
+
+let step6 cands = keep_min (fun c -> c.igp_cost) cands
+
+let router_id c =
+  match c.route.Route.originator_id with
+  | Some id -> Ipv4.to_int id
+  | None -> Ipv4.to_int c.peer_id
+
+let step7 cands = keep_min router_id cands
+let step8 cands = keep_min (fun c -> Ipv4.to_int c.peer_addr) cands
+
+let steps_1_to_4 ~med_mode cands =
+  cands |> step1 |> step2 |> step3 |> step4 ~med_mode
+
+let all_steps ~med_mode =
+  [ step1; step2; step3; step4 ~med_mode; step5; step6; step7; step8 ]
+
+let final_tie_break cands =
+  match cands with
+  | [] -> None
+  | first :: rest ->
+    let better a b = if Route.compare a.route b.route <= 0 then a else b in
+    Some (List.fold_left better first rest)
+
+let best ~med_mode cands =
+  final_tie_break (List.fold_left (fun cs f -> f cs) cands (all_steps ~med_mode))
+
+let rank ~med_mode cands =
+  (* MED per-neighbour-AS comparison is not transitive, so we cannot sort
+     with a comparator: extract the winner repeatedly instead. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | cands -> (
+      match best ~med_mode cands with
+      | None -> List.rev acc
+      | Some w ->
+        let rest = List.filter (fun c -> c != w) cands in
+        go (w :: acc) rest)
+  in
+  go [] cands
+
+let tie_break_step ~med_mode cands =
+  match cands with
+  | [] | [ _ ] -> 0
+  | _ ->
+    let rec go i fs cs =
+      match fs with
+      | [] -> 8
+      | f :: fs' -> ( match f cs with [ _ ] -> i | cs' -> go (i + 1) fs' cs')
+    in
+    go 1 (all_steps ~med_mode) cands
+
+let describe_step = function
+  | 0 -> "single candidate"
+  | 1 -> "highest local preference"
+  | 2 -> "shortest AS path"
+  | 3 -> "lowest origin type"
+  | 4 -> "lowest MED"
+  | 5 -> "eBGP over iBGP"
+  | 6 -> "lowest IGP metric"
+  | 7 -> "lowest router ID"
+  | 8 -> "lowest peer address"
+  | n -> Printf.sprintf "unknown step %d" n

@@ -1,0 +1,58 @@
+(** RFC 4271 §9.1.2.2 best-path selection (Table 2 of the paper), plus the
+    "best AS-level routes" selection (steps 1–4 only) used by ABRR route
+    reflectors. *)
+
+open Netaddr
+
+type learned =
+  | Ebgp
+  | Confed_ebgp  (** learned over a confed-eBGP session (RFC 5065) *)
+  | Ibgp
+  | Local
+
+type candidate = {
+  route : Route.t;
+  learned : learned;  (** how the deciding router learned the route *)
+  peer_id : Ipv4.t;  (** BGP identifier of the advertising peer *)
+  peer_addr : Ipv4.t;  (** address of the peering session *)
+  igp_cost : int;  (** IGP metric to the route's NEXT_HOP *)
+}
+
+val candidate :
+  ?learned:learned ->
+  ?peer_id:Ipv4.t ->
+  ?peer_addr:Ipv4.t ->
+  ?igp_cost:int ->
+  Route.t ->
+  candidate
+(** Defaults: [Local], peer fields 0.0.0.0, cost 0. *)
+
+type med_mode =
+  | Always_compare
+      (** MED compared across all routes ("always-compare-med"); removes
+          the non-determinism that causes MED oscillations. *)
+  | Per_neighbor_as
+      (** RFC 4271 semantics: MED is only comparable among routes learned
+          from the same neighbouring AS. *)
+
+val steps_1_to_4 : med_mode:med_mode -> candidate list -> candidate list
+(** Survivors of Local-Pref / AS-path length / Origin / MED — the paper's
+    {e best AS-level routes}. Order of the input is preserved. *)
+
+val best : med_mode:med_mode -> candidate list -> candidate option
+(** Full 8-step decision. Deterministic: ties after step 8 are broken by
+    [Route.compare]. [None] on an empty input. *)
+
+val rank : med_mode:med_mode -> candidate list -> candidate list
+(** All candidates sorted from best to worst under the full process
+    (used for multi-path RIBs and diagnostics). *)
+
+val tie_break_step : med_mode:med_mode -> candidate list -> int
+(** Which decision step (1-8) discriminated the winner, or 0 when only a
+    single candidate was supplied. Diagnostic aid. *)
+
+val describe_step : int -> string
+
+val med : Route.t -> int
+(** Missing-MED semantics used throughout: absent MED is treated as 0
+    (best), matching the paper's Cisco-derived setting. *)

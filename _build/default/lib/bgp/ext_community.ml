@@ -1,0 +1,23 @@
+type t = { typ : int; subtyp : int; value : int }
+
+let make ~typ ~subtyp ~value =
+  if typ < 0 || typ > 0xFF || subtyp < 0 || subtyp > 0xFF then
+    invalid_arg "Ext_community.make: type fields must be bytes";
+  if value < 0 || value > 0xFFFF_FFFF_FFFF then
+    invalid_arg "Ext_community.make: value must fit in 48 bits";
+  { typ; subtyp; value }
+
+let reflected = { typ = 0x80; subtyp = 0x52; value = 0 }
+let is_reflected t = t.typ = reflected.typ && t.subtyp = reflected.subtyp
+let typ t = t.typ
+let subtyp t = t.subtyp
+let value t = t.value
+
+let compare a b =
+  match Int.compare a.typ b.typ with
+  | 0 -> ( match Int.compare a.subtyp b.subtyp with 0 -> Int.compare a.value b.value | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+let to_string t = Printf.sprintf "0x%02x:0x%02x:%d" t.typ t.subtyp t.value
+let pp fmt t = Format.pp_print_string fmt (to_string t)

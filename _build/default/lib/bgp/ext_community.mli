@@ -1,0 +1,24 @@
+(** Extended communities (RFC 4360): 8-byte opaque values.
+
+    ABRR (§2.3.2) marks updates that have already been reflected by an ARR
+    with a single-purpose extended community — a cheaper loop breaker than
+    CLUSTER_LIST — exposed here as {!reflected}. *)
+
+type t = private { typ : int; subtyp : int; value : int }
+(** [typ], [subtyp] are bytes; [value] is the remaining 48 bits. *)
+
+val make : typ:int -> subtyp:int -> value:int -> t
+(** @raise Invalid_argument if a field is out of range. *)
+
+val reflected : t
+(** The ABRR "update was reflected by an ARR" marker
+    (experimental type 0x80, sub-type 0x52 'R'). *)
+
+val is_reflected : t -> bool
+val typ : t -> int
+val subtyp : t -> int
+val value : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,9 @@
+type t = Igp | Egp | Incomplete
+
+let rank = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let to_code = rank
+let of_code = function 0 -> Some Igp | 1 -> Some Egp | 2 -> Some Incomplete | _ -> None
+let to_string = function Igp -> "IGP" | Egp -> "EGP" | Incomplete -> "INCOMPLETE"
+let pp fmt t = Format.pp_print_string fmt (to_string t)

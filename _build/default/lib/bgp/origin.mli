@@ -1,0 +1,15 @@
+(** BGP ORIGIN attribute (RFC 4271 §5.1.1). *)
+
+type t = Igp | Egp | Incomplete
+
+val rank : t -> int
+(** Decision-process rank: lower is preferred (IGP < EGP < Incomplete). *)
+
+val compare : t -> t -> int
+(** Orders by preference rank. *)
+
+val equal : t -> t -> bool
+val to_code : t -> int
+val of_code : int -> t option
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,79 @@
+open Netaddr
+
+type t = { table : (int, Route.t list) Hashtbl.t; mutable entries : int }
+
+let create ?(size_hint = 256) () = { table = Hashtbl.create size_hint; entries = 0 }
+
+let get t prefix =
+  match Hashtbl.find_opt t.table (Prefix.to_key prefix) with
+  | None -> []
+  | Some routes -> routes
+
+let set t prefix routes =
+  let key = Prefix.to_key prefix in
+  let old = match Hashtbl.find_opt t.table key with None -> 0 | Some rs -> List.length rs in
+  (match routes with
+  | [] -> Hashtbl.remove t.table key
+  | _ -> Hashtbl.replace t.table key routes);
+  t.entries <- t.entries - old + List.length routes
+
+let upsert t (route : Route.t) =
+  let key = Prefix.to_key route.Route.prefix in
+  let old = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
+  let replaced = ref None in
+  let rest =
+    List.filter
+      (fun (r : Route.t) ->
+        if r.Route.path_id = route.Route.path_id then (
+          replaced := Some r;
+          false)
+        else true)
+      old
+  in
+  match !replaced with
+  | Some r when Route.equal r route -> false
+  | Some _ ->
+    Hashtbl.replace t.table key (rest @ [ route ]);
+    true
+  | None ->
+    Hashtbl.replace t.table key (old @ [ route ]);
+    t.entries <- t.entries + 1;
+    true
+
+let drop t prefix ~path_id =
+  let key = Prefix.to_key prefix in
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some old ->
+    let rest = List.filter (fun (r : Route.t) -> r.Route.path_id <> path_id) old in
+    if List.length rest = List.length old then false
+    else (
+      (match rest with
+      | [] -> Hashtbl.remove t.table key
+      | _ -> Hashtbl.replace t.table key rest);
+      t.entries <- t.entries - 1;
+      true)
+
+let clear_prefix t prefix =
+  let key = Prefix.to_key prefix in
+  match Hashtbl.find_opt t.table key with
+  | None -> 0
+  | Some old ->
+    let n = List.length old in
+    Hashtbl.remove t.table key;
+    t.entries <- t.entries - n;
+    n
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.entries <- 0
+
+let entry_count t = t.entries
+let prefix_count t = Hashtbl.length t.table
+let mem t prefix = Hashtbl.mem t.table (Prefix.to_key prefix)
+
+let fold f t acc =
+  Hashtbl.fold (fun key routes acc -> f (Prefix.of_key key) routes acc) t.table acc
+
+let iter f t = Hashtbl.iter (fun key routes -> f (Prefix.of_key key) routes) t.table
+let prefixes t = fold (fun p _ acc -> p :: acc) t []

@@ -1,0 +1,42 @@
+(** A mutable route table holding, per prefix, one or more routes
+    distinguished by their add-paths Path Identifier. Used for
+    Adj-RIB-In (one per peer), Loc-RIB and Adj-RIB-Out.
+
+    Entry counts follow the paper's accounting: the size of a RIB is the
+    total number of routes stored, not the number of prefixes. *)
+
+open Netaddr
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+
+val get : t -> Prefix.t -> Route.t list
+(** All routes stored for a prefix (possibly []), in insertion order of
+    path ids. *)
+
+val set : t -> Prefix.t -> Route.t list -> unit
+(** Replace the full route set for a prefix; [set t p []] removes it. *)
+
+val upsert : t -> Route.t -> bool
+(** Insert or replace by (prefix, path_id). Returns [true] when the table
+    changed (new entry, or replaced entry differs). *)
+
+val drop : t -> Prefix.t -> path_id:int -> bool
+(** Remove one route; [true] if it was present. *)
+
+val clear_prefix : t -> Prefix.t -> int
+(** Remove all routes for the prefix; returns how many were removed. *)
+
+val clear : t -> unit
+
+val entry_count : t -> int
+(** Total stored routes (paper's RIB size). O(1). *)
+
+val prefix_count : t -> int
+
+val mem : t -> Prefix.t -> bool
+
+val fold : (Prefix.t -> Route.t list -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Prefix.t -> Route.t list -> unit) -> t -> unit
+val prefixes : t -> Prefix.t list

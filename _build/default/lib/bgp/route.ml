@@ -1,0 +1,99 @@
+open Netaddr
+
+type t = {
+  prefix : Prefix.t;
+  path_id : int;
+  origin : Origin.t;
+  as_path : As_path.t;
+  next_hop : Ipv4.t;
+  med : int option;
+  local_pref : int;
+  originator_id : Ipv4.t option;
+  cluster_list : Ipv4.t list;
+  communities : Community.t list;
+  ext_communities : Ext_community.t list;
+}
+
+let default_local_pref = 100
+
+let make ?(path_id = 0) ?(origin = Origin.Igp) ?(as_path = As_path.empty)
+    ?(med = None) ?(local_pref = default_local_pref) ?(originator_id = None)
+    ?(cluster_list = []) ?(communities = []) ?(ext_communities = []) ~prefix
+    ~next_hop () =
+  {
+    prefix;
+    path_id;
+    origin;
+    as_path;
+    next_hop;
+    med;
+    local_pref;
+    originator_id;
+    cluster_list;
+    communities;
+    ext_communities;
+  }
+
+let with_path_id path_id t = { t with path_id }
+let with_prefix prefix t = { t with prefix }
+let is_reflected t = List.exists Ext_community.is_reflected t.ext_communities
+
+let mark_reflected t =
+  if is_reflected t then t
+  else { t with ext_communities = Ext_community.reflected :: t.ext_communities }
+
+let add_cluster id t = { t with cluster_list = id :: t.cluster_list }
+let in_cluster_list id t = List.exists (Ipv4.equal id) t.cluster_list
+let neighbor_as t = As_path.first_as t.as_path
+
+let compare_opt cmp a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> cmp x y
+
+let compare_attrs a b =
+  let c = Prefix.compare a.prefix b.prefix in
+  if c <> 0 then c
+  else
+    let c = Origin.compare a.origin b.origin in
+    if c <> 0 then c
+    else
+      let c = As_path.compare a.as_path b.as_path in
+      if c <> 0 then c
+      else
+        let c = Ipv4.compare a.next_hop b.next_hop in
+        if c <> 0 then c
+        else
+          let c = compare_opt Int.compare a.med b.med in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.local_pref b.local_pref in
+            if c <> 0 then c
+            else
+              let c = compare_opt Ipv4.compare a.originator_id b.originator_id in
+              if c <> 0 then c
+              else
+                let c = List.compare Ipv4.compare a.cluster_list b.cluster_list in
+                if c <> 0 then c
+                else
+                  let c = List.compare Community.compare a.communities b.communities in
+                  if c <> 0 then c
+                  else
+                    List.compare Ext_community.compare a.ext_communities
+                      b.ext_communities
+
+let same_path a b = compare_attrs a b = 0
+
+let compare a b =
+  let c = Int.compare a.path_id b.path_id in
+  if c <> 0 then c else compare_attrs a b
+
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  Format.fprintf fmt "%a[id=%d] lp=%d path=[%a] origin=%a nh=%a med=%s"
+    Prefix.pp t.prefix t.path_id t.local_pref As_path.pp t.as_path Origin.pp
+    t.origin Ipv4.pp t.next_hop
+    (match t.med with None -> "-" | Some m -> string_of_int m)

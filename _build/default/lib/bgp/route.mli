@@ -1,0 +1,63 @@
+(** A route: a destination prefix plus the path attributes carried in a
+    BGP UPDATE, together with an add-paths Path Identifier. *)
+
+open Netaddr
+
+type t = {
+  prefix : Prefix.t;
+  path_id : int;  (** add-paths Path Identifier; 0 when add-paths is off *)
+  origin : Origin.t;
+  as_path : As_path.t;
+  next_hop : Ipv4.t;  (** with next-hop-self, the injecting border router *)
+  med : int option;
+  local_pref : int;  (** assigned at ingress, carried across iBGP *)
+  originator_id : Ipv4.t option;  (** RFC 4456 loop prevention *)
+  cluster_list : Ipv4.t list;  (** RFC 4456 loop prevention *)
+  communities : Community.t list;
+  ext_communities : Ext_community.t list;
+}
+
+val make :
+  ?path_id:int ->
+  ?origin:Origin.t ->
+  ?as_path:As_path.t ->
+  ?med:int option ->
+  ?local_pref:int ->
+  ?originator_id:Ipv4.t option ->
+  ?cluster_list:Ipv4.t list ->
+  ?communities:Community.t list ->
+  ?ext_communities:Ext_community.t list ->
+  prefix:Prefix.t ->
+  next_hop:Ipv4.t ->
+  unit ->
+  t
+(** Defaults: path_id 0, origin Igp, empty AS path, no MED, local_pref
+    100, no reflection attributes, no communities. *)
+
+val default_local_pref : int
+
+val with_path_id : int -> t -> t
+val with_prefix : Prefix.t -> t -> t
+
+val mark_reflected : t -> t
+(** Add the ABRR {!Ext_community.reflected} marker (idempotent). *)
+
+val is_reflected : t -> bool
+
+val add_cluster : Ipv4.t -> t -> t
+(** Prepend a cluster ID to the CLUSTER_LIST. *)
+
+val in_cluster_list : Ipv4.t -> t -> bool
+
+val neighbor_as : t -> Asn.t option
+(** The AS the route was learned from (leftmost AS of the path); [None]
+    for locally-originated routes. Used for per-neighbour-AS MED
+    comparison. *)
+
+val same_path : t -> t -> bool
+(** Attribute equality ignoring [path_id]: do two advertisements describe
+    the same path? *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

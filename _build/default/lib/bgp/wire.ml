@@ -1,0 +1,484 @@
+open Netaddr
+
+type error =
+  | Truncated
+  | Bad_marker
+  | Bad_length of int
+  | Bad_type of int
+  | Bad_attribute of string
+  | Bad_capability of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated message"
+  | Bad_marker -> Format.pp_print_string fmt "bad marker"
+  | Bad_length n -> Format.fprintf fmt "bad length %d" n
+  | Bad_type n -> Format.fprintf fmt "bad message type %d" n
+  | Bad_attribute s -> Format.fprintf fmt "bad attribute: %s" s
+  | Bad_capability s -> Format.fprintf fmt "bad capability: %s" s
+
+let max_message_size = 4096
+let header_size = 19
+let msg_type_open = 1
+let msg_type_update = 2
+let msg_type_notification = 3
+let msg_type_keepalive = 4
+
+(* --- writers ------------------------------------------------------- *)
+
+let w8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let w16 buf v =
+  w8 buf (v lsr 8);
+  w8 buf v
+
+let w32 buf v =
+  w16 buf (v lsr 16);
+  w16 buf (v land 0xFFFF)
+
+let w_addr buf a = w32 buf (Ipv4.to_int a)
+
+let prefix_byte_len len = (len + 7) / 8
+
+let w_prefix buf p =
+  let len = Prefix.len p in
+  w8 buf len;
+  let a = Ipv4.to_int (Prefix.addr p) in
+  for i = 0 to prefix_byte_len len - 1 do
+    w8 buf ((a lsr (24 - (8 * i))) land 0xFF)
+  done
+
+let w_nlri buf ~add_paths ~path_id p =
+  if add_paths then w32 buf path_id;
+  w_prefix buf p
+
+(* Attribute: flags, type, (extended) length, payload. *)
+let w_attr buf ~flags ~typ payload =
+  let n = Buffer.length payload in
+  if n > 0xFF then (
+    w8 buf (flags lor 0x10);
+    w8 buf typ;
+    w16 buf n)
+  else (
+    w8 buf flags;
+    w8 buf typ;
+    w8 buf n);
+  Buffer.add_buffer buf payload
+
+let flag_transitive = 0x40
+let flag_optional = 0x80
+let flag_opt_transitive = 0xC0
+
+(* Encode the path attributes of a route (excluding prefix/path id). *)
+let encode_attrs (r : Route.t) =
+  let buf = Buffer.create 64 in
+  let payload = Buffer.create 16 in
+  let attr ~flags ~typ fill =
+    Buffer.clear payload;
+    fill payload;
+    w_attr buf ~flags ~typ payload
+  in
+  attr ~flags:flag_transitive ~typ:1 (fun b -> w8 b (Origin.to_code r.origin));
+  attr ~flags:flag_transitive ~typ:2 (fun b ->
+      let seg (s : As_path.segment) =
+        let code, asns =
+          match s with
+          | As_path.Set a -> (1, a)
+          | As_path.Seq a -> (2, a)
+          | As_path.Confed_seq a -> (3, a)
+          | As_path.Confed_set a -> (4, a)
+        in
+        w8 b code;
+        w8 b (List.length asns);
+        List.iter (fun asn -> w32 b (Asn.to_int asn)) asns
+      in
+      List.iter seg (As_path.segments r.as_path));
+  attr ~flags:flag_transitive ~typ:3 (fun b -> w_addr b r.next_hop);
+  (match r.med with
+  | None -> ()
+  | Some m -> attr ~flags:flag_optional ~typ:4 (fun b -> w32 b m));
+  attr ~flags:flag_transitive ~typ:5 (fun b -> w32 b r.local_pref);
+  (match r.communities with
+  | [] -> ()
+  | cs ->
+    attr ~flags:flag_opt_transitive ~typ:8 (fun b ->
+        List.iter (fun c -> w32 b (Community.to_int c)) cs));
+  (match r.originator_id with
+  | None -> ()
+  | Some id -> attr ~flags:flag_optional ~typ:9 (fun b -> w_addr b id));
+  (match r.cluster_list with
+  | [] -> ()
+  | ids ->
+    attr ~flags:flag_optional ~typ:10 (fun b -> List.iter (w_addr b) ids));
+  (match r.ext_communities with
+  | [] -> ()
+  | ecs ->
+    attr ~flags:flag_opt_transitive ~typ:16 (fun b ->
+        let ec e =
+          w8 b (Ext_community.typ e);
+          w8 b (Ext_community.subtyp e);
+          let v = Ext_community.value e in
+          w16 b (v lsr 32);
+          w32 b (v land 0xFFFF_FFFF)
+        in
+        List.iter ec ecs));
+  Buffer.contents buf
+
+let finish_message typ body =
+  let n = String.length body + header_size in
+  assert (n <= max_message_size);
+  let buf = Buffer.create n in
+  for _ = 1 to 16 do
+    w8 buf 0xFF
+  done;
+  w16 buf n;
+  w8 buf typ;
+  Buffer.add_string buf body;
+  Buffer.to_bytes buf
+
+(* --- OPEN ---------------------------------------------------------- *)
+
+let encode_open (o : Msg.open_params) =
+  let caps = Buffer.create 16 in
+  (* Capability 65: 4-octet AS numbers. *)
+  w8 caps 65;
+  w8 caps 4;
+  w32 caps (Asn.to_int o.asn);
+  if o.add_paths then (
+    (* Capability 69: add-paths, AFI 1 / SAFI 1 / send+receive. *)
+    w8 caps 69;
+    w8 caps 4;
+    w16 caps 1;
+    w8 caps 1;
+    w8 caps 3);
+  let params = Buffer.create 16 in
+  w8 params 2 (* capability parameter *);
+  w8 params (Buffer.length caps);
+  Buffer.add_buffer params caps;
+  let body = Buffer.create 32 in
+  w8 body 4 (* version *);
+  let asn16 = if Asn.to_int o.asn > 0xFFFF then 23456 else Asn.to_int o.asn in
+  w16 body asn16;
+  w16 body o.hold_time;
+  w_addr body o.bgp_id;
+  w8 body (Buffer.length params);
+  Buffer.add_buffer body params;
+  finish_message msg_type_open (Buffer.contents body)
+
+(* --- UPDATE -------------------------------------------------------- *)
+
+let nlri_size ~add_paths p =
+  (if add_paths then 4 else 0) + 1 + prefix_byte_len (Prefix.len p)
+
+(* Split a list of items into chunks whose [size]s sum to at most [room]. *)
+let chunk ~room ~size items =
+  let rec go current current_sz acc = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      let s = size x in
+      if current <> [] && current_sz + s > room then
+        go [ x ] s (List.rev current :: acc) rest
+      else go (x :: current) (current_sz + s) acc rest
+  in
+  go [] 0 [] items
+
+let encode_update ~add_paths (u : Msg.update) =
+  let msgs = ref [] in
+  let emit body = msgs := finish_message msg_type_update body :: !msgs in
+  (* Withdrawal-only messages. *)
+  let wd_size (w : Msg.withdrawal) = nlri_size ~add_paths w.prefix in
+  let wd_room = max_message_size - header_size - 4 in
+  List.iter
+    (fun batch ->
+      let buf = Buffer.create 128 in
+      let wd = Buffer.create 128 in
+      List.iter
+        (fun (w : Msg.withdrawal) -> w_nlri wd ~add_paths ~path_id:w.path_id w.prefix)
+        batch;
+      w16 buf (Buffer.length wd);
+      Buffer.add_buffer buf wd;
+      w16 buf 0 (* no path attributes *);
+      emit (Buffer.contents buf))
+    (chunk ~room:wd_room ~size:wd_size u.withdrawn);
+  (* Announcements grouped by identical attribute encoding. *)
+  let groups : (string, Route.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = encode_attrs r in
+      match Hashtbl.find_opt groups key with
+      | Some l -> l := r :: !l
+      | None ->
+        Hashtbl.add groups key (ref [ r ]);
+        order := key :: !order)
+    u.announced;
+  List.iter
+    (fun key ->
+      let routes = List.rev !(Hashtbl.find groups key) in
+      let room = max_message_size - header_size - 4 - String.length key in
+      List.iter
+        (fun batch ->
+          let buf = Buffer.create 256 in
+          w16 buf 0 (* no withdrawals *);
+          w16 buf (String.length key);
+          Buffer.add_string buf key;
+          List.iter
+            (fun (r : Route.t) ->
+              w_nlri buf ~add_paths ~path_id:r.path_id r.prefix)
+            batch;
+          emit (Buffer.contents buf))
+        (chunk ~room ~size:(fun (r : Route.t) -> nlri_size ~add_paths r.prefix) routes))
+    (List.rev !order);
+  List.rev !msgs
+
+let encode_notification (n : Msg.notification) =
+  let buf = Buffer.create 16 in
+  w8 buf n.code;
+  w8 buf n.subcode;
+  Buffer.add_string buf n.data;
+  finish_message msg_type_notification (Buffer.contents buf)
+
+let encode ~add_paths = function
+  | Msg.Open o -> [ encode_open o ]
+  | Msg.Keepalive -> [ finish_message msg_type_keepalive "" ]
+  | Msg.Notification n -> [ encode_notification n ]
+  | Msg.Update u -> encode_update ~add_paths u
+
+let encoded_size ~add_paths msg =
+  List.fold_left (fun n b -> n + Bytes.length b) 0 (encode ~add_paths msg)
+
+(* --- readers ------------------------------------------------------- *)
+
+exception Decode_error of error
+
+let fail e = raise (Decode_error e)
+
+type reader = { data : bytes; mutable pos : int; limit : int }
+
+let need rd n = if rd.pos + n > rd.limit then fail Truncated
+
+let r8 rd =
+  need rd 1;
+  let v = Char.code (Bytes.get rd.data rd.pos) in
+  rd.pos <- rd.pos + 1;
+  v
+
+let r16 rd =
+  let a = r8 rd in
+  let b = r8 rd in
+  (a lsl 8) lor b
+
+let r32 rd =
+  let a = r16 rd in
+  let b = r16 rd in
+  (a lsl 16) lor b
+
+let r_addr rd = Ipv4.of_int (r32 rd)
+
+let r_prefix rd =
+  let len = r8 rd in
+  if len > 32 then fail (Bad_attribute "prefix length > 32");
+  let n = prefix_byte_len len in
+  let a = ref 0 in
+  for i = 0 to n - 1 do
+    a := !a lor (r8 rd lsl (24 - (8 * i)))
+  done;
+  Prefix.make (Ipv4.of_int !a) len
+
+let r_nlri rd ~add_paths =
+  let path_id = if add_paths then r32 rd else 0 in
+  let p = r_prefix rd in
+  (p, path_id)
+
+type raw_attrs = {
+  mutable origin : Origin.t option;
+  mutable as_path : As_path.t;
+  mutable next_hop : Ipv4.t option;
+  mutable med : int option;
+  mutable local_pref : int option;
+  mutable originator_id : Ipv4.t option;
+  mutable cluster_list : Ipv4.t list;
+  mutable communities : Community.t list;
+  mutable ext_communities : Ext_community.t list;
+}
+
+let decode_attrs rd =
+  let acc =
+    {
+      origin = None;
+      as_path = As_path.empty;
+      next_hop = None;
+      med = None;
+      local_pref = None;
+      originator_id = None;
+      cluster_list = [];
+      communities = [];
+      ext_communities = [];
+    }
+  in
+  while rd.pos < rd.limit do
+    let flags = r8 rd in
+    let typ = r8 rd in
+    let len = if flags land 0x10 <> 0 then r16 rd else r8 rd in
+    need rd len;
+    let attr_end = rd.pos + len in
+    let sub = { rd with limit = attr_end } in
+    (match typ with
+    | 1 -> (
+      match Origin.of_code (r8 sub) with
+      | Some o -> acc.origin <- Some o
+      | None -> fail (Bad_attribute "origin code"))
+    | 2 ->
+      let segs = ref [] in
+      while sub.pos < sub.limit do
+        let code = r8 sub in
+        let count = r8 sub in
+        let asns = List.init count (fun _ -> Asn.of_int (r32 sub)) in
+        match code with
+        | 1 -> segs := As_path.Set asns :: !segs
+        | 2 -> segs := As_path.Seq asns :: !segs
+        | 3 -> segs := As_path.Confed_seq asns :: !segs
+        | 4 -> segs := As_path.Confed_set asns :: !segs
+        | n -> fail (Bad_attribute (Printf.sprintf "AS path segment type %d" n))
+      done;
+      acc.as_path <- As_path.of_segments (List.rev !segs)
+    | 3 -> acc.next_hop <- Some (r_addr sub)
+    | 4 -> acc.med <- Some (r32 sub)
+    | 5 -> acc.local_pref <- Some (r32 sub)
+    | 8 ->
+      let cs = ref [] in
+      while sub.pos < sub.limit do
+        cs := Community.of_int32_bits (r32 sub) :: !cs
+      done;
+      acc.communities <- List.rev !cs
+    | 9 -> acc.originator_id <- Some (r_addr sub)
+    | 10 ->
+      let ids = ref [] in
+      while sub.pos < sub.limit do
+        ids := r_addr sub :: !ids
+      done;
+      acc.cluster_list <- List.rev !ids
+    | 16 ->
+      let ecs = ref [] in
+      while sub.pos < sub.limit do
+        let typ = r8 sub in
+        let subtyp = r8 sub in
+        let hi = r16 sub in
+        let lo = r32 sub in
+        ecs := Ext_community.make ~typ ~subtyp ~value:((hi lsl 32) lor lo) :: !ecs
+      done;
+      acc.ext_communities <- List.rev !ecs
+    | _ when flags land flag_optional <> 0 -> () (* skip unknown optional *)
+    | n -> fail (Bad_attribute (Printf.sprintf "unknown well-known attribute %d" n)));
+    rd.pos <- attr_end
+  done;
+  acc
+
+let decode_update rd ~add_paths =
+  let wd_len = r16 rd in
+  need rd wd_len;
+  let wd_end = rd.pos + wd_len in
+  let wrd = { rd with limit = wd_end } in
+  let withdrawn = ref [] in
+  while wrd.pos < wrd.limit do
+    let p, path_id = r_nlri wrd ~add_paths in
+    withdrawn := { Msg.prefix = p; path_id } :: !withdrawn
+  done;
+  rd.pos <- wd_end;
+  let attr_len = r16 rd in
+  need rd attr_len;
+  let attr_end = rd.pos + attr_len in
+  let ard = { rd with limit = attr_end } in
+  let attrs = decode_attrs ard in
+  rd.pos <- attr_end;
+  let announced = ref [] in
+  while rd.pos < rd.limit do
+    let p, path_id = r_nlri rd ~add_paths in
+    match (attrs.origin, attrs.next_hop) with
+    | Some origin, Some next_hop ->
+      let route =
+        Route.make ~path_id ~origin ~as_path:attrs.as_path ~med:attrs.med
+          ~local_pref:(Option.value ~default:Route.default_local_pref attrs.local_pref)
+          ~originator_id:attrs.originator_id ~cluster_list:attrs.cluster_list
+          ~communities:attrs.communities ~ext_communities:attrs.ext_communities
+          ~prefix:p ~next_hop ()
+      in
+      announced := route :: !announced
+    | None, _ -> fail (Bad_attribute "missing ORIGIN on announcement")
+    | _, None -> fail (Bad_attribute "missing NEXT_HOP on announcement")
+  done;
+  Msg.Update { withdrawn = List.rev !withdrawn; announced = List.rev !announced }
+
+let decode_open rd =
+  let version = r8 rd in
+  if version <> 4 then fail (Bad_capability (Printf.sprintf "version %d" version));
+  let asn16 = r16 rd in
+  let hold_time = r16 rd in
+  let bgp_id = r_addr rd in
+  let params_len = r8 rd in
+  need rd params_len;
+  let params_end = rd.pos + params_len in
+  let prd = { rd with limit = params_end } in
+  let asn = ref asn16 in
+  let add_paths = ref false in
+  while prd.pos < prd.limit do
+    let ptype = r8 prd in
+    let plen = r8 prd in
+    need prd plen;
+    let pend = prd.pos + plen in
+    if ptype = 2 then (
+      let crd = { prd with limit = pend } in
+      while crd.pos < crd.limit do
+        let code = r8 crd in
+        let clen = r8 crd in
+        need crd clen;
+        let cend = crd.pos + clen in
+        (match code with
+        | 65 when clen = 4 -> asn := r32 crd
+        | 69 -> add_paths := true
+        | _ -> ());
+        crd.pos <- cend
+      done);
+    prd.pos <- pend
+  done;
+  rd.pos <- params_end;
+  Msg.Open { asn = Asn.of_int !asn; hold_time; bgp_id; add_paths = !add_paths }
+
+let decode ~add_paths data ~pos =
+  try
+    let total = Bytes.length data in
+    if pos + header_size > total then fail Truncated;
+    for i = 0 to 15 do
+      if Char.code (Bytes.get data (pos + i)) <> 0xFF then fail Bad_marker
+    done;
+    let len =
+      (Char.code (Bytes.get data (pos + 16)) lsl 8)
+      lor Char.code (Bytes.get data (pos + 17))
+    in
+    if len < header_size || len > max_message_size then fail (Bad_length len);
+    if pos + len > total then fail Truncated;
+    let typ = Char.code (Bytes.get data (pos + 18)) in
+    let rd = { data; pos = pos + header_size; limit = pos + len } in
+    let msg =
+      if typ = msg_type_open then decode_open rd
+      else if typ = msg_type_update then decode_update rd ~add_paths
+      else if typ = msg_type_keepalive then Msg.Keepalive
+      else if typ = msg_type_notification then (
+        let code = r8 rd in
+        let subcode = r8 rd in
+        let data = Bytes.sub_string rd.data rd.pos (rd.limit - rd.pos) in
+        Msg.Notification { code; subcode; data })
+      else fail (Bad_type typ)
+    in
+    Ok (msg, pos + len)
+  with Decode_error e -> Error e
+
+let decode_all ~add_paths data =
+  let total = Bytes.length data in
+  let rec go pos acc =
+    if pos >= total then Ok (List.rev acc)
+    else
+      match decode ~add_paths data ~pos with
+      | Ok (msg, pos') -> go pos' (msg :: acc)
+      | Error e -> Error e
+  in
+  go 0 []

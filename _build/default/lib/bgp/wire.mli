@@ -1,0 +1,40 @@
+(** Binary wire codec for BGP messages (RFC 4271), with 4-byte ASNs
+    (RFC 6793) and the add-paths Path Identifier extension (the
+    draft-ietf-idr-add-paths encoding ABRR relies on).
+
+    A {!Msg.update} whose announcements carry differing attribute sets is
+    encoded as several UPDATE messages (one per distinct attribute set),
+    each at most {!max_message_size} bytes; [encode] therefore returns a
+    list of wire messages. *)
+
+type error =
+  | Truncated
+  | Bad_marker
+  | Bad_length of int
+  | Bad_type of int
+  | Bad_attribute of string
+  | Bad_capability of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val max_message_size : int
+(** 4096 octets (RFC 4271 §4). *)
+
+val header_size : int
+(** 19 octets. *)
+
+val encode : add_paths:bool -> Msg.t -> bytes list
+(** Encode a message. OPEN / KEEPALIVE / NOTIFICATION yield exactly one
+    wire message; UPDATE may yield several (attribute grouping and the
+    4096-byte ceiling). *)
+
+val encoded_size : add_paths:bool -> Msg.t -> int
+(** Total bytes over all wire messages produced by [encode]. *)
+
+val decode : add_paths:bool -> bytes -> pos:int -> (Msg.t * int, error) result
+(** Decode one message starting at [pos]; returns the message and the
+    position just past it. Updates that were split by [encode] decode as
+    separate UPDATE messages. *)
+
+val decode_all : add_paths:bool -> bytes -> (Msg.t list, error) result
+(** Decode a concatenated stream of messages. *)

@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Bgp Eventsim Format Igp Ipv4 List Netaddr Partition Time

@@ -1,0 +1,1 @@
+lib/core/config.mli: Bgp Eventsim Igp Ipv4 Netaddr Partition Time

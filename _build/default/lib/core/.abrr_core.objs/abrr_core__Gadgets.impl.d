@@ -1,0 +1,1 @@
+lib/core/gadgets.ml: Array Bgp Config Eventsim Igp Ipv4 List Netaddr Network Partition Prefix Time

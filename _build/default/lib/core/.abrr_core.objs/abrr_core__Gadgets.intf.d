@@ -1,0 +1,1 @@
+lib/core/gadgets.mli: Config Netaddr Network Prefix

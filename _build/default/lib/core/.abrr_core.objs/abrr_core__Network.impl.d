@@ -1,0 +1,1 @@
+lib/core/network.ml: Array Bgp Config Counters Eventsim Igp List Netaddr Prefix Printf Router Sim Time

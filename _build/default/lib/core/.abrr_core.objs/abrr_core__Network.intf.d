@@ -1,0 +1,1 @@
+lib/core/network.mli: Bgp Config Counters Eventsim Ipv4 Netaddr Prefix Router Sim Time

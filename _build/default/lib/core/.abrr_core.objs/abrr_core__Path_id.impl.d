@@ -1,0 +1,1 @@
+lib/core/path_id.ml: Bgp Hashtbl List Netaddr Prefix

@@ -1,0 +1,1 @@
+lib/core/proto.ml: Bgp Bytes Format List Netaddr Prefix

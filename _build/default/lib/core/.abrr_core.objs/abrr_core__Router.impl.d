@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Bgp Config Counters Eventsim Fun Hashtbl Igp Int Ipv4 List Netaddr Option Partition Path_id Prefix Prefix_trie Proto Queue Time

@@ -1,0 +1,1 @@
+lib/core/router.mli: Bgp Config Counters Eventsim Ipv4 Netaddr Prefix Proto Time

@@ -1,0 +1,1 @@
+lib/core/session_setup.ml: Array Bgp Eventsim List Netaddr Sim Time

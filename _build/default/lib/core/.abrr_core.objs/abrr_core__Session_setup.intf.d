@@ -1,0 +1,1 @@
+lib/core/session_setup.mli: Eventsim Time

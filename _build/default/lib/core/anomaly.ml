@@ -1,0 +1,52 @@
+
+type verdict = {
+  outcome : Eventsim.Sim.outcome;
+  events : int;
+  best_changes : int;
+}
+
+let run ?until ?(max_events = 200_000) net =
+  let sim = Network.sim net in
+  let before = Eventsim.Sim.events_processed sim in
+  let changes_before = Network.best_changes net in
+  let outcome = Network.run ?until ~max_events net in
+  {
+    outcome;
+    events = Eventsim.Sim.events_processed sim - before;
+    best_changes = Network.best_changes net - changes_before;
+  }
+
+let oscillates v = v.outcome = Eventsim.Sim.Event_limit
+
+type path_failure = Loop of int list | Blackhole of int list
+
+let forwarding_path net ~src prefix ~max_hops =
+  let rec follow current path hops =
+    if hops > max_hops then Error (Loop (List.rev path))
+    else
+      match Network.best net ~router:current prefix with
+      | None -> Error (Blackhole (List.rev path))
+      | Some route -> (
+        match
+          Config.router_of_loopback (Network.config net) route.Bgp.Route.next_hop
+        with
+        | None ->
+          (* Next hop is external: [current] is the exit border router. *)
+          Ok (List.rev path)
+        | Some owner ->
+          if owner = current then Ok (List.rev path)
+          else if List.mem owner path then Error (Loop (List.rev (owner :: path)))
+          else follow owner (owner :: path) (hops + 1))
+  in
+  follow src [ src ] 0
+
+let forwarding_loops net prefix =
+  let n = Network.router_count net in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match forwarding_path net ~src:i prefix ~max_hops:n with
+      | Ok _ | Error (Blackhole _) -> go (i + 1) acc
+      | Error (Loop path) -> go (i + 1) (path :: acc)
+  in
+  go 0 []

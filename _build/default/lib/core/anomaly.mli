@@ -1,0 +1,36 @@
+(** Routing-anomaly detection (§2.3): oscillation and forwarding-loop
+    checks over a network run. *)
+
+
+
+type verdict = {
+  outcome : Eventsim.Sim.outcome;
+  events : int;  (** events processed during this check *)
+  best_changes : int;  (** Loc-RIB changes network-wide *)
+}
+
+val run : ?until:Eventsim.Time.t -> ?max_events:int -> Network.t -> verdict
+(** Run the network; default event budget 200,000. *)
+
+val oscillates : verdict -> bool
+(** The network failed to quiesce within its event budget — with finite
+    external input and deterministic processing this is a protocol
+    divergence. *)
+
+type path_failure =
+  | Loop of int list  (** the walk revisited a router ([max_hops] counts) *)
+  | Blackhole of int list  (** a router on the path has no route *)
+
+val forwarding_path :
+  Network.t ->
+  src:int ->
+  Netaddr.Prefix.t ->
+  max_hops:int ->
+  (int list, path_failure) result
+(** Follow BGP next hops router-by-router from [src] until the exit
+    border router (the router whose best is eBGP-learned or local). *)
+
+val forwarding_loops : Network.t -> Netaddr.Prefix.t -> int list list
+(** All distinct looping forwarding paths for the prefix. Routers with
+    no route (e.g. pure control-plane nodes) are blackholes, not
+    loops. *)

@@ -1,0 +1,60 @@
+type t = {
+  mutable updates_received : int;
+  mutable updates_generated : int;
+  mutable updates_transmitted : int;
+  mutable messages_transmitted : int;
+  mutable bytes_transmitted : int;
+  mutable bytes_received : int;
+  mutable withdrawals_received : int;
+  mutable withdrawals_transmitted : int;
+  mutable decisions_run : int;
+  mutable last_change : Eventsim.Time.t;
+}
+
+let create () =
+  {
+    updates_received = 0;
+    updates_generated = 0;
+    updates_transmitted = 0;
+    messages_transmitted = 0;
+    bytes_transmitted = 0;
+    bytes_received = 0;
+    withdrawals_received = 0;
+    withdrawals_transmitted = 0;
+    decisions_run = 0;
+    last_change = Eventsim.Time.zero;
+  }
+
+let reset t =
+  t.updates_received <- 0;
+  t.updates_generated <- 0;
+  t.updates_transmitted <- 0;
+  t.messages_transmitted <- 0;
+  t.bytes_transmitted <- 0;
+  t.bytes_received <- 0;
+  t.withdrawals_received <- 0;
+  t.withdrawals_transmitted <- 0;
+  t.decisions_run <- 0;
+  t.last_change <- Eventsim.Time.zero
+
+let add acc x =
+  acc.updates_received <- acc.updates_received + x.updates_received;
+  acc.updates_generated <- acc.updates_generated + x.updates_generated;
+  acc.updates_transmitted <- acc.updates_transmitted + x.updates_transmitted;
+  acc.messages_transmitted <- acc.messages_transmitted + x.messages_transmitted;
+  acc.bytes_transmitted <- acc.bytes_transmitted + x.bytes_transmitted;
+  acc.bytes_received <- acc.bytes_received + x.bytes_received;
+  acc.withdrawals_received <- acc.withdrawals_received + x.withdrawals_received;
+  acc.withdrawals_transmitted <-
+    acc.withdrawals_transmitted + x.withdrawals_transmitted;
+  acc.decisions_run <- acc.decisions_run + x.decisions_run;
+  acc.last_change <- max acc.last_change x.last_change
+
+let pp fmt t =
+  Format.fprintf fmt
+    "rx=%d gen=%d tx=%d msgs=%d bytes_tx=%d bytes_rx=%d wd_rx=%d wd_tx=%d \
+     decisions=%d last_change=%a"
+    t.updates_received t.updates_generated t.updates_transmitted
+    t.messages_transmitted t.bytes_transmitted t.bytes_received
+    t.withdrawals_received t.withdrawals_transmitted t.decisions_run
+    Eventsim.Time.pp t.last_change

@@ -1,0 +1,30 @@
+(** Per-router measurement counters, matching the paper's accounting
+    (§4.2): an "update" is a per-prefix route change crossing a peering
+    session or a peer-group RIB-Out; bytes are measured with the wire
+    codec. *)
+
+type t = {
+  mutable updates_received : int;
+      (** prefix-level changes delivered to this router over iBGP *)
+  mutable updates_generated : int;
+      (** prefix-level changes applied to a peer-group Adj-RIB-Out —
+          the expensive operation (§3.3) *)
+  mutable updates_transmitted : int;
+      (** prefix-level changes sent, counted once per receiving session *)
+  mutable messages_transmitted : int;
+      (** wire messages sent (batched updates count once per message) *)
+  mutable bytes_transmitted : int;
+  mutable bytes_received : int;
+  mutable withdrawals_received : int;
+  mutable withdrawals_transmitted : int;
+  mutable decisions_run : int;
+  mutable last_change : Eventsim.Time.t;
+      (** simulated time of the most recent Loc-RIB change *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc] (last_change = max). *)
+
+val pp : Format.formatter -> t -> unit

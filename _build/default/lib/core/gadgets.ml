@@ -1,0 +1,164 @@
+open Netaddr
+open Eventsim
+
+type flavor = G_full_mesh | G_tbrr | G_tbrr_best_external | G_abrr of int | G_confed | G_rcp
+
+type t = {
+  config : Config.t;
+  inject : Network.t -> unit;
+  prefix : Prefix.t;
+  description : string;
+}
+
+let prefix = Prefix.v "20.0.0.0" 16
+
+let neighbor k = Ipv4.of_int (0xAC10_0000 + k)
+
+let route ~asn ~med k =
+  Bgp.Route.make
+    ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int asn ])
+    ~med:(Some med) ~prefix ~next_hop:(neighbor k) ()
+
+let build t =
+  let net = Network.create t.config in
+  t.inject net;
+  net
+
+(* Single-AP ABRR over dedicated reflector routers. *)
+let scheme_of flavor ~trr_clusters ~n =
+  match flavor with
+  | G_full_mesh -> Config.Full_mesh
+  | G_tbrr -> Config.tbrr trr_clusters
+  | G_tbrr_best_external -> Config.tbrr ~best_external:true trr_clusters
+  | G_abrr arrs ->
+    let all_trrs =
+      List.concat_map (fun (c : Config.cluster) -> c.trrs) trr_clusters
+    in
+    let rrs = List.filteri (fun i _ -> i < arrs) all_trrs in
+    ignore n;
+    Config.abrr ~partition:(Partition.uniform 1) [| rrs |]
+  | G_confed ->
+    (* one member sub-AS per cluster, chained through the lead routers *)
+    let sub_as_of = Array.make n 0 in
+    List.iteri
+      (fun i (c : Config.cluster) ->
+        List.iter (fun r -> sub_as_of.(r) <- i) (c.trrs @ c.clients))
+      trr_clusters;
+    let leads = List.map (fun (c : Config.cluster) -> List.hd c.trrs) trr_clusters in
+    let rec chain = function
+      | a :: (b :: _ as rest) -> (a, b) :: chain rest
+      | [ _ ] | [] -> []
+    in
+    Config.confed ~sub_as_of ~confed_links:(chain leads)
+  | G_rcp ->
+    let lead = List.hd (List.hd trr_clusters).Config.trrs in
+    Config.rcp [ lead ]
+
+(* --- MED oscillation (RFC 3345 / §2.3.1) --------------------------- *)
+
+(* Routers: 0 = RR1, 1 = RR2, 2 = A (route a), 3 = B (route b),
+   4 = C (route c). IGP distances: RR2: B(1) < C(2) < A(9);
+   RR1: C(2) < A(5). a beats b on MED (same AS 100); c is AS 200. *)
+let med_oscillation flavor =
+  let igp = Igp.Graph.create ~n:5 in
+  Igp.Graph.add_edge igp 0 2 5;
+  Igp.Graph.add_edge igp 0 4 2;
+  Igp.Graph.add_edge igp 1 3 1;
+  Igp.Graph.add_edge igp 1 4 2;
+  Igp.Graph.add_edge igp 0 1 4;
+  let clusters =
+    [
+      { Config.trrs = [ 0 ]; clients = [ 2 ] };
+      { Config.trrs = [ 1 ]; clients = [ 3; 4 ] };
+    ]
+  in
+  let config =
+    Config.make ~n_routers:5 ~igp
+      ~med_mode:Bgp.Decision.Per_neighbor_as
+      ~link_delay:(fun _ _ -> Time.ms 1)
+      ~scheme:(scheme_of flavor ~trr_clusters:clusters ~n:5)
+      ()
+  in
+  let inject net =
+    Network.inject net ~router:2 ~neighbor:(neighbor 1) (route ~asn:100 ~med:0 1);
+    Network.inject net ~router:3 ~neighbor:(neighbor 2) (route ~asn:100 ~med:1 2);
+    Network.inject net ~router:4 ~neighbor:(neighbor 3) (route ~asn:200 ~med:0 3)
+  in
+  { config; inject; prefix; description = "RFC 3345 MED oscillation gadget" }
+
+(* --- Topology-based oscillation (DISAGREE, §2.3.1) ------------------ *)
+
+(* Routers 0,1,2 are single-client reflectors for clients 3,4,5 holding
+   AS-level-equal routes a,b,c. IGP preferences are cyclic:
+   RR0: b < a < c, RR1: c < b < a, RR2: a < c < b. *)
+let topology_oscillation flavor =
+  let igp = Igp.Graph.create ~n:6 in
+  let edge = Igp.Graph.add_edge igp in
+  edge 0 3 20;
+  edge 0 4 10;
+  edge 0 5 30;
+  edge 1 3 30;
+  edge 1 4 20;
+  edge 1 5 10;
+  edge 2 3 10;
+  edge 2 4 30;
+  edge 2 5 20;
+  edge 0 1 100;
+  edge 1 2 100;
+  edge 0 2 100;
+  let clusters =
+    [
+      { Config.trrs = [ 0 ]; clients = [ 3 ] };
+      { Config.trrs = [ 1 ]; clients = [ 4 ] };
+      { Config.trrs = [ 2 ]; clients = [ 5 ] };
+    ]
+  in
+  let config =
+    Config.make ~n_routers:6 ~igp
+      ~med_mode:Bgp.Decision.Per_neighbor_as
+      ~link_delay:(fun _ _ -> Time.ms 1)
+      ~scheme:(scheme_of flavor ~trr_clusters:clusters ~n:6)
+      ()
+  in
+  let inject net =
+    (* distinct neighbour ASes so MED never discriminates *)
+    Network.inject net ~router:3 ~neighbor:(neighbor 1) (route ~asn:301 ~med:0 1);
+    Network.inject net ~router:4 ~neighbor:(neighbor 2) (route ~asn:302 ~med:0 2);
+    Network.inject net ~router:5 ~neighbor:(neighbor 3) (route ~asn:303 ~med:0 3)
+  in
+  {
+    config;
+    inject;
+    prefix;
+    description = "cyclic-IGP-preference (DISAGREE) topology oscillation";
+  }
+
+(* --- Path inefficiency (§2.3.3) -------------------------------------- *)
+
+let observer = 1
+let near_exit = 2
+let far_exit = 3
+
+(* Router 0 reflects for clients 1,2,3. Exits at 2 and 3 carry AS-level
+   equal routes. The observer (1) is near exit 2; the reflector is near
+   exit 3, so single-path TBRR steers the observer the long way round. *)
+let path_inefficiency flavor =
+  let igp = Igp.Graph.create ~n:4 in
+  let edge = Igp.Graph.add_edge igp in
+  edge 1 2 10;
+  edge 1 3 50;
+  edge 0 2 50;
+  edge 0 3 10;
+  edge 0 1 40;
+  let clusters = [ { Config.trrs = [ 0 ]; clients = [ 1; 2; 3 ] } ] in
+  let config =
+    Config.make ~n_routers:4 ~igp
+      ~link_delay:(fun _ _ -> Time.ms 1)
+      ~scheme:(scheme_of flavor ~trr_clusters:clusters ~n:4)
+      ()
+  in
+  let inject net =
+    Network.inject net ~router:2 ~neighbor:(neighbor 1) (route ~asn:401 ~med:0 1);
+    Network.inject net ~router:3 ~neighbor:(neighbor 2) (route ~asn:402 ~med:0 2)
+  in
+  { config; inject; prefix; description = "hot-potato path inefficiency gadget" }

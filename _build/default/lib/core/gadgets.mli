@@ -1,0 +1,52 @@
+(** Canonical anomaly scenarios from the literature, parameterised by
+    iBGP scheme — used to demonstrate §2.3: TBRR exhibits MED-based
+    oscillation (RFC 3345), topology-based oscillation and path
+    inefficiency, while ABRR and full-mesh do not. *)
+
+open Netaddr
+
+type flavor =
+  | G_full_mesh
+  | G_tbrr
+  | G_tbrr_best_external
+      (** TBRR with draft-ietf-idr-best-external (paper ref [25]) *)
+  | G_abrr of int  (** redundant ARRs for the single AP (1 or 2) *)
+  | G_confed
+      (** each cluster becomes a member sub-AS, chained by confed-eBGP
+          links (RFC 5065) — the other §1 scaling mechanism *)
+  | G_rcp
+      (** a Routing Control Platform node (related work §5) computes
+          every client's best path centrally *)
+
+type t = {
+  config : Config.t;
+  inject : Network.t -> unit;  (** queue the scenario's eBGP routes *)
+  prefix : Prefix.t;
+  description : string;
+}
+
+val build : t -> Network.t
+(** [Network.create config] followed by [inject]. *)
+
+val med_oscillation : flavor -> t
+(** RFC 3345-style gadget: routes a (AS100, MED 0), b (AS100, MED 1),
+    c (AS200) with IGP metrics forming a preference cycle between two
+    clusters. Under TBRR with per-neighbour-AS MED it never converges. *)
+
+val topology_oscillation : flavor -> t
+(** Three single-client clusters whose reflectors have cyclic IGP
+    preferences over three AS-level-equal routes (a DISAGREE gadget);
+    with symmetric timing TBRR cycles forever. *)
+
+val path_inefficiency : flavor -> t
+(** Two equal exits; the TBRR client is steered to the reflector's
+    closest exit instead of its own (§2.3.3). *)
+
+val observer : int
+(** The router whose exit choice [path_inefficiency] scrutinises. *)
+
+val near_exit : int
+(** The exit that is IGP-closest to {!observer}. *)
+
+val far_exit : int
+(** The exit the TBRR reflector picks instead. *)

@@ -1,0 +1,143 @@
+open Netaddr
+open Eventsim
+
+type t = {
+  config : Config.t;
+  sim : Sim.t;
+  mutable routers : Router.t array;
+  mutable dist : int array array;
+  mutable hooks : (int -> Prefix.t -> Bgp.Route.t option -> unit) list;
+  mutable best_changes : int;
+}
+
+let create ?(seed = 42) config =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Network.create: " ^ msg));
+  let sim = Sim.create ~seed () in
+  let t =
+    {
+      config;
+      sim;
+      routers = [||];
+      dist = Igp.Spf.all_pairs config.Config.igp;
+      hooks = [];
+      best_changes = 0;
+    }
+  in
+  let make_router i =
+    let env =
+      {
+        Router.id = i;
+        config;
+        now = (fun () -> Sim.now sim);
+        schedule = (fun delay action -> Sim.schedule sim ~delay action);
+        transmit =
+          (fun ~dst ~bytes ~msgs items ->
+            let delay =
+              if dst = i then Time.zero else config.Config.link_delay i dst
+            in
+            Sim.schedule sim ~delay (fun () ->
+                Router.receive t.routers.(dst) ~src:i ~items ~bytes ~msgs));
+        igp_cost =
+          (fun next_hop ->
+            match Config.router_of_loopback config next_hop with
+            | Some j -> t.dist.(i).(j)
+            | None -> 0);
+        igp_cost_from =
+          (fun ~src next_hop ->
+            match Config.router_of_loopback config next_hop with
+            | Some j -> t.dist.(src).(j)
+            | None -> 0);
+        on_best_change =
+          (fun prefix route ->
+            t.best_changes <- t.best_changes + 1;
+            List.iter (fun hook -> hook i prefix route) t.hooks);
+      }
+    in
+    Router.create env
+  in
+  t.routers <- Array.init config.Config.n_routers make_router;
+  t
+
+let config t = t.config
+let sim t = t.sim
+let router_count t = Array.length t.routers
+
+let router t i =
+  if i < 0 || i >= Array.length t.routers then
+    invalid_arg (Printf.sprintf "Network.router: %d out of range" i);
+  t.routers.(i)
+
+let inject t ~router:i ~neighbor route = Router.inject_ebgp (router t i) ~neighbor route
+
+let withdraw t ~router:i ~neighbor prefix ~path_id =
+  Router.withdraw_ebgp (router t i) ~neighbor prefix ~path_id
+
+let originate t ~router:i route = Router.originate (router t i) route
+let run ?until ?max_events t = Sim.run ?until ?max_events t.sim
+let at t time action = Sim.schedule_at t.sim ~time action
+let best t ~router:i p = Router.best (router t i) p
+let lookup t ~router:i addr = Router.lookup (router t i) addr
+let best_exit t ~router:i p = Router.best_exit (router t i) p
+let counters t i = Router.counters (router t i)
+
+let total_counters t =
+  let acc = Counters.create () in
+  Array.iter (fun r -> Counters.add acc (Router.counters r)) t.routers;
+  acc
+
+let last_change t =
+  Array.fold_left
+    (fun acc r -> max acc (Router.counters r).Counters.last_change)
+    Time.zero t.routers
+
+let on_best_change t hook = t.hooks <- t.hooks @ [ hook ]
+let best_changes t = t.best_changes
+let igp_distance t i j = t.dist.(i).(j)
+
+let refresh_igp t =
+  t.dist <- Igp.Spf.all_pairs t.config.Config.igp;
+  Array.iter Router.redecide_all t.routers
+
+let dual_accept t =
+  match t.config.Config.scheme with
+  | Config.Dual { accept; _ } -> accept
+  | Config.Full_mesh | Config.Tbrr _ | Config.Abrr _ | Config.Confed _
+  | Config.Rcp _ ->
+    invalid_arg "Network: acceptance switch requires the Dual scheme"
+
+let acceptance t ap = (dual_accept t).(ap)
+
+let set_acceptance t ~ap mode =
+  let accept = dual_accept t in
+  if ap < 0 || ap >= Array.length accept then
+    invalid_arg "Network.set_acceptance: AP out of range";
+  if accept.(ap) <> mode then begin
+    accept.(ap) <- mode;
+    Array.iter Router.redecide_all t.routers
+  end
+
+let hold_time = Time.sec 3
+
+let fail t ~router:i =
+  let failed = router t i in
+  Router.set_down failed;
+  (* Peers notice when the hold timer expires and purge the session. *)
+  Array.iteri
+    (fun j r ->
+      if j <> i then
+        Sim.schedule t.sim ~delay:hold_time (fun () ->
+            Router.purge_peer r ~peer:i))
+    t.routers
+
+let recover t ~router:i =
+  let recovered = router t i in
+  Router.set_up_cold recovered;
+  (* Sessions re-establish; each peer replays its Adj-RIB-Out. *)
+  Array.iteri
+    (fun j r ->
+      if j <> i then
+        Sim.schedule t.sim ~delay:hold_time (fun () ->
+            if Router.is_up r then Router.refresh_to r ~peer:i))
+    t.routers

@@ -1,0 +1,80 @@
+(** A simulated AS: routers wired per the configured iBGP scheme over a
+    discrete-event simulation, with eBGP injection, measurement hooks and
+    the §2.4 transition switch. *)
+
+open Netaddr
+open Eventsim
+
+type t
+
+val create : ?seed:int -> Config.t -> t
+(** @raise Invalid_argument when {!Config.validate} fails. *)
+
+val config : t -> Config.t
+val sim : t -> Sim.t
+val router_count : t -> int
+val router : t -> int -> Router.t
+
+(** {1 Driving the simulation} *)
+
+val inject : t -> router:int -> neighbor:Ipv4.t -> Bgp.Route.t -> unit
+(** Deliver an eBGP announcement to a border router at the current
+    simulated time. *)
+
+val withdraw : t -> router:int -> neighbor:Ipv4.t -> Prefix.t -> path_id:int -> unit
+val originate : t -> router:int -> Bgp.Route.t -> unit
+
+val run : ?until:Time.t -> ?max_events:int -> t -> Sim.outcome
+(** Run until quiescent (converged), the deadline, or the event budget —
+    the latter is how oscillations are detected. *)
+
+val at : t -> Time.t -> (unit -> unit) -> unit
+(** Schedule an action at an absolute simulated time (trace replay). *)
+
+(** {1 Observation} *)
+
+val best : t -> router:int -> Prefix.t -> Bgp.Route.t option
+
+val lookup : t -> router:int -> Ipv4.t -> (Prefix.t * Bgp.Route.t) option
+(** Longest-prefix-match forwarding lookup (the data-plane view). *)
+
+val best_exit : t -> router:int -> Prefix.t -> int option
+val counters : t -> int -> Counters.t
+val total_counters : t -> Counters.t
+val last_change : t -> Time.t
+(** Latest Loc-RIB change across all routers (convergence stamp). *)
+
+val on_best_change : t -> (int -> Prefix.t -> Bgp.Route.t option -> unit) -> unit
+(** Register a hook called on every Loc-RIB change (router, prefix,
+    new best). Multiple hooks compose. *)
+
+val best_changes : t -> int
+(** Total Loc-RIB changes since creation (oscillation diagnostics). *)
+
+val igp_distance : t -> int -> int -> int
+
+val refresh_igp : t -> unit
+(** Recompute SPF after the IGP graph was edited (link failure
+    experiments) and re-run every router's decision process. *)
+
+(** {1 Transition (§2.4)} *)
+
+val acceptance : t -> int -> Config.acceptance
+val set_acceptance : t -> ap:int -> Config.acceptance -> unit
+(** Flip one AP's acceptance (Dual scheme only) and trigger re-decision
+    everywhere. @raise Invalid_argument outside Dual. *)
+
+(** {1 Failure injection (§2.3.3)} *)
+
+val fail : t -> router:int -> unit
+(** Crash a router: it stops processing, and every other router tears
+    down its session to it (purging learned state) after the session
+    hold time elapses. *)
+
+val recover : t -> router:int -> unit
+(** Cold-restart a failed router: its BGP state is empty, and after
+    session re-establishment every peer replays its Adj-RIB-Out to it.
+    eBGP feeds must be re-injected by the caller. *)
+
+val hold_time : Eventsim.Time.t
+(** Simulated session teardown / re-establishment latency (3 s). *)

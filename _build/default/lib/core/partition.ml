@@ -1,0 +1,87 @@
+open Netaddr
+
+type t = { bounds : int array }
+(* bounds.(0) = 0; AP i spans [bounds.(i), bounds.(i+1)) with an implicit
+   final bound of 2^32. *)
+
+let space = 0x1_0000_0000
+
+let of_bounds_int bounds =
+  let k = Array.length bounds in
+  if k = 0 || bounds.(0) <> 0 then
+    invalid_arg "Partition: first bound must be 0.0.0.0";
+  for i = 1 to k - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Partition: bounds must be strictly increasing"
+  done;
+  { bounds }
+
+let of_bounds addrs = of_bounds_int (Array.of_list (List.map Ipv4.to_int addrs))
+
+let uniform k =
+  if k < 1 then invalid_arg "Partition.uniform: need at least one AP";
+  of_bounds_int (Array.init k (fun i -> i * (space / k)))
+
+let balanced ~prefixes k =
+  if k < 1 then invalid_arg "Partition.balanced: need at least one AP";
+  let addrs =
+    List.sort_uniq Int.compare
+      (List.map (fun p -> Ipv4.to_int (Prefix.addr p)) prefixes)
+  in
+  let arr = Array.of_list addrs in
+  let n = Array.length arr in
+  if n = 0 then uniform k
+  else begin
+    let bounds = Array.make k 0 in
+    (* Cut at quantiles of the observed prefix start addresses. *)
+    for i = 1 to k - 1 do
+      let idx = i * n / k in
+      bounds.(i) <- (if idx < n then arr.(idx) else space - 1)
+    done;
+    (* De-duplicate collapsed cuts by nudging upward. *)
+    for i = 1 to k - 1 do
+      if bounds.(i) <= bounds.(i - 1) then bounds.(i) <- bounds.(i - 1) + 1
+    done;
+    if bounds.(k - 1) >= space then
+      invalid_arg "Partition.balanced: too many APs for the prefix spread";
+    of_bounds_int bounds
+  end
+
+let count t = Array.length t.bounds
+let bounds t = Array.map Ipv4.of_int t.bounds
+
+let upper t i = if i + 1 < Array.length t.bounds then t.bounds.(i + 1) else space
+
+let range t i =
+  if i < 0 || i >= count t then invalid_arg "Partition.range: bad AP index";
+  (Ipv4.of_int t.bounds.(i), Ipv4.of_int (upper t i - 1))
+
+let ap_of_addr t a =
+  let x = Ipv4.to_int a in
+  (* Binary search for the last bound <= x. *)
+  let lo = ref 0 and hi = ref (Array.length t.bounds - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.bounds.(mid) <= x then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let aps_of_prefix t p =
+  let first = ap_of_addr t (Prefix.first p) in
+  let last = ap_of_addr t (Prefix.last p) in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let prefix_in_ap t i p =
+  let first = ap_of_addr t (Prefix.first p) in
+  let last = ap_of_addr t (Prefix.last p) in
+  i >= first && i <= last
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to count t - 1 do
+    let lo, hi = range t i in
+    Format.fprintf fmt "AP%d: %a - %a@," i Ipv4.pp lo Ipv4.pp hi
+  done;
+  Format.fprintf fmt "@]"
+
+let equal a b = a.bounds = b.bounds

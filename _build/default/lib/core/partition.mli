@@ -1,0 +1,40 @@
+(** Address Partitions (APs, §2.1): contiguous address ranges, each served
+    by one or more ARRs. A prefix belongs to every AP its address range
+    overlaps (a prefix spanning an AP boundary is advertised to the ARRs
+    of all spanned APs). *)
+
+open Netaddr
+
+type t
+
+val uniform : int -> t
+(** [uniform k] splits the IPv4 space into [k] equal-width contiguous
+    ranges (the configuration of §4's experiments).
+    @raise Invalid_argument if [k < 1]. *)
+
+val of_bounds : Ipv4.t list -> t
+(** Explicit lower bounds; the first must be 0.0.0.0, bounds strictly
+    increasing. Range [i] spans [bound i, bound (i+1)).
+    @raise Invalid_argument on malformed input. *)
+
+val balanced : prefixes:Prefix.t list -> int -> t
+(** [balanced ~prefixes k] chooses boundaries so each AP contains roughly
+    the same number of the given prefixes — the ISP knob the paper
+    describes for controlling per-AP variance (§4.1). *)
+
+val count : t -> int
+(** Number of APs. *)
+
+val bounds : t -> Ipv4.t array
+
+val range : t -> int -> Ipv4.t * Ipv4.t
+(** Inclusive [lo, hi] address range of an AP. *)
+
+val ap_of_addr : t -> Ipv4.t -> int
+
+val aps_of_prefix : t -> Prefix.t -> int list
+(** All APs (ascending) the prefix overlaps; at least one element. *)
+
+val prefix_in_ap : t -> int -> Prefix.t -> bool
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

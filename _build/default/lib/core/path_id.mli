@@ -1,0 +1,29 @@
+(** Stable add-paths Path Identifier allocation for set advertisements.
+
+    A reflector that advertises a *set* of routes per prefix must give
+    each distinct path a stable identifier so receivers can correlate
+    announcements and withdrawals across updates. *)
+
+open Netaddr
+
+type t
+
+val create : unit -> t
+
+val assign : t -> Prefix.t -> Bgp.Route.t list -> Bgp.Route.t list * int list
+(** [assign t prefix routes] matches [routes] (dedup by
+    {!Bgp.Route.same_path}) against the previously assigned set: unchanged
+    paths keep their ids, new paths get fresh ids (starting at 1), and the
+    ids of paths no longer present are returned as withdrawn. The internal
+    state is replaced by the new set. *)
+
+val current : t -> Prefix.t -> Bgp.Route.t list
+(** The set most recently assigned for the prefix (with ids). *)
+
+val drop_prefix : t -> Prefix.t -> int list
+(** Forget a prefix entirely; returns the withdrawn ids. *)
+
+val prefix_count : t -> int
+
+val clear : t -> unit
+(** Forget all assignments (cold restart). *)

@@ -1,0 +1,53 @@
+open Netaddr
+
+type channel = Mesh | Confed | To_trr | To_arr | From_trr | From_arr | To_rcp | From_rcp
+
+type delta = {
+  prefix : Prefix.t;
+  routes : Bgp.Route.t list;
+  withdrawn_ids : int list;
+}
+
+type item = channel * delta
+
+let delta ?(withdrawn_ids = []) prefix routes = { prefix; routes; withdrawn_ids }
+let is_withdraw d = d.routes = []
+
+let to_update deltas =
+  let withdrawn =
+    List.concat_map
+      (fun d ->
+        List.map (fun path_id -> { Bgp.Msg.prefix = d.prefix; path_id }) d.withdrawn_ids)
+      deltas
+  in
+  let announced = List.concat_map (fun d -> d.routes) deltas in
+  { Bgp.Msg.withdrawn; announced }
+
+let wire_size ~add_paths deltas =
+  let msgs = Bgp.Wire.encode ~add_paths (Bgp.Msg.Update (to_update deltas)) in
+  (List.fold_left (fun n b -> n + Bytes.length b) 0 msgs, List.length msgs)
+
+let channel_tag = function
+  | Mesh -> 0
+  | Confed -> 5
+  | To_trr -> 1
+  | To_arr -> 2
+  | From_trr -> 3
+  | From_arr -> 4
+  | To_rcp -> 6
+  | From_rcp -> 7
+
+let pp_channel fmt = function
+  | Mesh -> Format.pp_print_string fmt "mesh"
+  | Confed -> Format.pp_print_string fmt "confed"
+  | To_trr -> Format.pp_print_string fmt "to-trr"
+  | To_arr -> Format.pp_print_string fmt "to-arr"
+  | From_trr -> Format.pp_print_string fmt "from-trr"
+  | From_arr -> Format.pp_print_string fmt "from-arr"
+  | To_rcp -> Format.pp_print_string fmt "to-rcp"
+  | From_rcp -> Format.pp_print_string fmt "from-rcp"
+
+let pp_delta fmt d =
+  Format.fprintf fmt "%a: %d routes, %d withdrawn" Prefix.pp d.prefix
+    (List.length d.routes)
+    (List.length d.withdrawn_ids)

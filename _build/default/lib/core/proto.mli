@@ -1,0 +1,45 @@
+(** Protocol-level update items exchanged over iBGP sessions in the
+    simulation.
+
+    A {!delta} is the per-prefix unit of change: the full new set of
+    routes the sender offers for the prefix on that session (empty =
+    withdraw everything), plus the explicitly withdrawn add-paths ids.
+    This "replace the set" semantics is exactly what the paper describes
+    for ARRs (§3.4: "the ARRs will convey all such routes to the clients
+    with each update") and degenerates to ordinary implicit-replace
+    announcements in the single-path case. *)
+
+open Netaddr
+
+type channel =
+  | Mesh  (** ordinary iBGP peering: full-mesh, TRR-to-TRR, or sub-AS mesh *)
+  | Confed  (** confed-eBGP between member sub-ASes (RFC 5065) *)
+  | To_trr  (** client function -> TBRR reflector function *)
+  | To_arr  (** client function -> ABRR reflector function *)
+  | From_trr  (** TBRR reflector -> client function *)
+  | From_arr  (** ABRR reflector -> client function *)
+  | To_rcp  (** client -> Routing Control Platform node (related work §5) *)
+  | From_rcp  (** RCP node -> client: that client's computed best route *)
+
+type delta = {
+  prefix : Prefix.t;
+  routes : Bgp.Route.t list;  (** new full route set; [] = withdraw *)
+  withdrawn_ids : int list;  (** add-paths ids removed from the offer *)
+}
+
+type item = channel * delta
+
+val delta : ?withdrawn_ids:int list -> Prefix.t -> Bgp.Route.t list -> delta
+val is_withdraw : delta -> bool
+
+val to_update : delta list -> Bgp.Msg.update
+(** Collapse deltas into one abstract UPDATE (for wire-size accounting). *)
+
+val wire_size : add_paths:bool -> delta list -> int * int
+(** [(bytes, messages)] the deltas occupy on the wire. *)
+
+val channel_tag : channel -> int
+(** Small integer for use in hash keys. *)
+
+val pp_channel : Format.formatter -> channel -> unit
+val pp_delta : Format.formatter -> delta -> unit

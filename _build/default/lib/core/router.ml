@@ -1,0 +1,1400 @@
+open Netaddr
+open Eventsim
+module D = Bgp.Decision
+module R = Bgp.Route
+module Rib = Bgp.Rib
+module As_path = Bgp.As_path
+
+type env = {
+  id : int;
+  config : Config.t;
+  now : unit -> Time.t;
+  schedule : Time.t -> (unit -> unit) -> unit;
+  transmit : dst:int -> bytes:int -> msgs:int -> Proto.item list -> unit;
+  igp_cost : Ipv4.t -> int;
+  igp_cost_from : src:int -> Ipv4.t -> int;
+  on_best_change : Prefix.t -> R.t option -> unit;
+}
+
+type input =
+  | In_items of { src : int; items : Proto.item list }
+  | In_ebgp of { neighbor : Ipv4.t; route : R.t }
+  | In_ebgp_withdraw of { neighbor : Ipv4.t; prefix : Prefix.t; path_id : int }
+  | In_local of R.t
+  | In_local_withdraw of { prefix : Prefix.t; path_id : int }
+  | In_redecide_all
+
+type session = {
+  mutable mrai_until : Time.t;
+  pending : (int * int, Proto.item) Hashtbl.t;  (* (channel tag, prefix key) *)
+  mutable flush_scheduled : bool;
+}
+
+type roles = {
+  is_trr : bool;
+  is_client : bool;
+  my_cluster_ids : Ipv4.t list;
+  my_trrs : int list;
+  my_trr_clients : int list;
+  trr_mesh : int list;
+  tbrr_multipath : bool;
+  tbrr_best_external : bool;
+  arr_aps : int list;
+  arr_targets : int list array;  (* reflect targets per AP index (global array) *)
+  abrr_arrs : int list array;
+  partition : Partition.t option;
+  abrr_loop : Config.loop_prevention;
+  mesh_peers : int list;
+  confed_links : int list;  (* confed-eBGP neighbours (RFC 5065) *)
+  my_member_asn : Bgp.Asn.t option;
+  is_rcp : bool;
+  rcps : int list;  (* the control-plane nodes every client reports to *)
+  rcp_clients : int list;
+}
+
+(* Which table a decision candidate came from. *)
+type src_tag =
+  | S_ebgp
+  | S_local
+  | S_mesh
+  | S_confed
+  | S_from_rcp
+  | S_managed_trr
+  | S_from_trr
+  | S_from_arr
+  | S_own_arr
+
+type t = {
+  env : env;
+  self : Ipv4.t;
+  roles : roles;
+  ebgp_rib : Rib.t;
+  ebgp_neighbors : (int * int, Ipv4.t) Hashtbl.t;
+  local_rib : Rib.t;
+  managed_trr : (int, Rib.t) Hashtbl.t;
+  managed_arr : (int, Rib.t) Hashtbl.t;
+  mesh_in : (int, Rib.t) Hashtbl.t;
+  confed_in : (int, Rib.t) Hashtbl.t;
+  managed_rcp : (int, Rib.t) Hashtbl.t;  (* RCP node: routes per client *)
+  from_rcp : (int, Rib.t) Hashtbl.t;
+  rcp_out : (int, Rib.t) Hashtbl.t;  (* RCP node: per-client Adj-RIB-Out *)
+  from_trr : (int, Rib.t) Hashtbl.t;
+  from_arr : (int, Rib.t) Hashtbl.t;
+  loc_rib : Rib.t;
+  best_src : (int, int) Hashtbl.t;  (* prefix key -> sender router id, -1 = own *)
+  adv_mesh : Rib.t;
+  adv_confed : Rib.t;
+  adv_confed_src : (int, int) Hashtbl.t;
+  adv_rcp : Rib.t;
+  adv_trr : Rib.t;
+  adv_arr : Rib.t;
+  out_mesh : Rib.t;
+  out_clients : Rib.t;
+  out_arr : Rib.t;
+  out_clients_src : (int, int) Hashtbl.t;
+  out_mesh_src : (int, int) Hashtbl.t;
+  ids_mesh : Path_id.t;
+  ids_clients : Path_id.t;
+  ids_arr : Path_id.t;
+  ids_adv_trr : Path_id.t;
+  ids_adv_arr : Path_id.t;
+  seen : (int, Prefix.t) Hashtbl.t;
+  inbox : input Queue.t;
+  mutable process_scheduled : bool;
+  outgoing : (int, Proto.item list ref) Hashtbl.t;
+  sessions : (int, session) Hashtbl.t;
+  counters : Counters.t;
+  mutable rejected_loops : int;
+  mutable up : bool;
+  mutable fib : R.t Prefix_trie.t;  (* loc-rib as an LPM-queryable trie *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Role derivation                                                     *)
+
+let no_roles =
+  {
+    is_trr = false;
+    is_client = true;
+    my_cluster_ids = [];
+    my_trrs = [];
+    my_trr_clients = [];
+    trr_mesh = [];
+    tbrr_multipath = false;
+    tbrr_best_external = false;
+    arr_aps = [];
+    arr_targets = [||];
+    abrr_arrs = [||];
+    partition = None;
+    abrr_loop = Config.Reflected_bit;
+    mesh_peers = [];
+    confed_links = [];
+    my_member_asn = None;
+    is_rcp = false;
+    rcps = [];
+    rcp_clients = [];
+  }
+
+let dedup_ints l = List.sort_uniq Int.compare l
+
+let tbrr_roles (config : Config.t) id (s : Config.tbrr_spec) roles =
+  let my_clusters =
+    List.filteri (fun _ _ -> true) s.clusters
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, (c : Config.cluster)) -> List.mem id c.trrs)
+  in
+  let is_trr = my_clusters <> [] in
+  let my_cluster_ids = List.map (fun (i, _) -> Config.cluster_id i) my_clusters in
+  let my_trrs =
+    dedup_ints
+      (List.concat_map
+         (fun (c : Config.cluster) -> if List.mem id c.clients then c.trrs else [])
+         s.clusters)
+  in
+  let my_trr_clients =
+    dedup_ints (List.concat_map (fun (_, (c : Config.cluster)) -> c.clients) my_clusters)
+  in
+  let all_trrs =
+    dedup_ints (List.concat_map (fun (c : Config.cluster) -> c.trrs) s.clusters)
+  in
+  let trr_mesh = List.filter (fun x -> x <> id) all_trrs in
+  let is_client = roles.is_client && not (config.control_plane_rrs && is_trr) in
+  {
+    roles with
+    is_trr;
+    is_client;
+    my_cluster_ids;
+    my_trrs;
+    my_trr_clients;
+    trr_mesh = (if is_trr then trr_mesh else []);
+    tbrr_multipath = s.multipath;
+    tbrr_best_external = s.best_external;
+  }
+
+let abrr_roles (config : Config.t) id (s : Config.abrr_spec) roles =
+  let k = Partition.count s.partition in
+  let arr_aps =
+    List.filter (fun ap -> List.mem id s.arrs.(ap)) (List.init k Fun.id)
+  in
+  let is_rr_router r = Array.exists (fun arrs -> List.mem r arrs) s.arrs in
+  let is_client_router r = not (config.control_plane_rrs && is_rr_router r) in
+  let arr_targets =
+    Array.init k (fun ap ->
+        List.filter
+          (fun r -> is_client_router r && not (List.mem r s.arrs.(ap)))
+          (List.init config.n_routers Fun.id))
+  in
+  let is_client = roles.is_client && is_client_router id in
+  {
+    roles with
+    is_client;
+    arr_aps;
+    arr_targets;
+    abrr_arrs = s.arrs;
+    partition = Some s.partition;
+    abrr_loop = s.loop_prevention;
+  }
+
+let derive_roles (config : Config.t) id =
+  match config.scheme with
+  | Config.Full_mesh ->
+    let mesh_peers =
+      List.filter (fun x -> x <> id) (List.init config.n_routers Fun.id)
+    in
+    { no_roles with mesh_peers }
+  | Config.Tbrr s -> tbrr_roles config id s no_roles
+  | Config.Abrr s -> abrr_roles config id s no_roles
+  | Config.Confed s ->
+    let my_sub = s.Config.sub_as_of.(id) in
+    let mesh_peers =
+      List.filter
+        (fun x -> x <> id && s.Config.sub_as_of.(x) = my_sub)
+        (List.init config.n_routers Fun.id)
+    in
+    let confed_links =
+      List.filter_map
+        (fun (a, b) ->
+          if a = id then Some b else if b = id then Some a else None)
+        s.Config.confed_links
+      |> dedup_ints
+    in
+    { no_roles with mesh_peers; confed_links;
+      my_member_asn = Some (Config.member_asn my_sub) }
+  | Config.Rcp { rcps } ->
+    let is_rcp = List.mem id rcps in
+    let rcp_clients =
+      if is_rcp then
+        List.filter (fun x -> x <> id) (List.init config.n_routers Fun.id)
+      else []
+    in
+    { no_roles with is_rcp; rcps = List.filter (fun x -> x <> id) rcps;
+      rcp_clients; is_client = not is_rcp }
+  | Config.Dual { tbrr; abrr; accept = _ } ->
+    abrr_roles config id abrr (tbrr_roles config id tbrr no_roles)
+
+(* ------------------------------------------------------------------ *)
+
+let create env =
+  {
+    env;
+    self = Config.loopback env.id;
+    roles = derive_roles env.config env.id;
+    ebgp_rib = Rib.create ();
+    ebgp_neighbors = Hashtbl.create 16;
+    local_rib = Rib.create ();
+    managed_trr = Hashtbl.create 8;
+    managed_arr = Hashtbl.create 8;
+    mesh_in = Hashtbl.create 8;
+    confed_in = Hashtbl.create 8;
+    managed_rcp = Hashtbl.create 8;
+    from_rcp = Hashtbl.create 8;
+    rcp_out = Hashtbl.create 8;
+    from_trr = Hashtbl.create 8;
+    from_arr = Hashtbl.create 8;
+    loc_rib = Rib.create ();
+    best_src = Hashtbl.create 64;
+    adv_mesh = Rib.create ();
+    adv_confed = Rib.create ();
+    adv_confed_src = Hashtbl.create 64;
+    adv_rcp = Rib.create ();
+    adv_trr = Rib.create ();
+    adv_arr = Rib.create ();
+    out_mesh = Rib.create ();
+    out_clients = Rib.create ();
+    out_arr = Rib.create ();
+    out_clients_src = Hashtbl.create 64;
+    out_mesh_src = Hashtbl.create 64;
+    ids_mesh = Path_id.create ();
+    ids_clients = Path_id.create ();
+    ids_arr = Path_id.create ();
+    ids_adv_trr = Path_id.create ();
+    ids_adv_arr = Path_id.create ();
+    seen = Hashtbl.create 256;
+    inbox = Queue.create ();
+    process_scheduled = false;
+    outgoing = Hashtbl.create 16;
+    sessions = Hashtbl.create 16;
+    counters = Counters.create ();
+    rejected_loops = 0;
+    up = true;
+    fib = Prefix_trie.empty;
+  }
+
+let id t = t.env.id
+let loopback t = t.self
+let counters t = t.counters
+let is_trr t = t.roles.is_trr
+let is_arr t = t.roles.arr_aps <> []
+let is_rcp t = t.roles.is_rcp
+let arr_aps t = t.roles.arr_aps
+let rejected_loops t = t.rejected_loops
+
+let note_seen t prefix =
+  let key = Prefix.to_key prefix in
+  if not (Hashtbl.mem t.seen key) then Hashtbl.add t.seen key prefix
+
+let table_rib tbl src =
+  match Hashtbl.find_opt tbl src with
+  | Some rib -> rib
+  | None ->
+    let rib = Bgp.Rib.create () in
+    Hashtbl.add tbl src rib;
+    rib
+
+(* ------------------------------------------------------------------ *)
+(* Candidate construction                                              *)
+
+let ibgp_candidate t src (route : R.t) =
+  let peer = Config.loopback src in
+  {
+    D.route;
+    learned = D.Ibgp;
+    peer_id = peer;
+    peer_addr = peer;
+    igp_cost = t.env.igp_cost route.R.next_hop;
+  }
+
+let eligible (c : D.candidate) = c.igp_cost <> Igp.Spf.unreachable
+
+let table_candidates t tbl tag p acc =
+  Hashtbl.fold
+    (fun src rib acc ->
+      List.fold_left
+        (fun acc route ->
+          let c = ibgp_candidate t src route in
+          if eligible c then (c, src, tag) :: acc else acc)
+        acc (Rib.get rib p))
+    tbl acc
+
+let ebgp_candidates t p acc =
+  List.fold_left
+    (fun acc (route : R.t) ->
+      let neighbor =
+        match
+          Hashtbl.find_opt t.ebgp_neighbors (Prefix.to_key p, route.R.path_id)
+        with
+        | Some n -> n
+        | None -> route.R.next_hop
+      in
+      let c =
+        { D.route; learned = D.Ebgp; peer_id = neighbor; peer_addr = neighbor;
+          igp_cost = 0 }
+      in
+      (c, -1, S_ebgp) :: acc)
+    acc (Rib.get t.ebgp_rib p)
+
+let local_candidates t p acc =
+  List.fold_left
+    (fun acc (route : R.t) ->
+      let c =
+        { D.route; learned = D.Local; peer_id = t.self; peer_addr = t.self;
+          igp_cost = 0 }
+      in
+      (c, -1, S_local) :: acc)
+    acc (Rib.get t.local_rib p)
+
+let own_arr_candidates t p acc =
+  (* An ARR's client function reads its own reflected set directly (the
+     internal role passing of §2.1), skipping routes it injected itself. *)
+  List.fold_left
+    (fun acc (route : R.t) ->
+      let own =
+        match route.R.originator_id with
+        | Some o -> Ipv4.equal o t.self
+        | None -> false
+      in
+      if own then acc
+      else
+        let c = ibgp_candidate t t.env.id route in
+        if eligible c then (c, t.env.id, S_own_arr) :: acc else acc)
+    acc (Rib.get t.out_arr p)
+
+let serves_prefix t p =
+  match t.roles.partition with
+  | None -> false
+  | Some partition ->
+    List.exists (fun ap -> Partition.prefix_in_ap partition ap p) t.roles.arr_aps
+
+(* ABRR-plane candidates: from ARRs for other APs, plus own reflected set. *)
+let abrr_candidates t p acc =
+  let acc = table_candidates t t.from_arr S_from_arr p acc in
+  if serves_prefix t p then own_arr_candidates t p acc else acc
+
+(* TBRR-plane candidates, depending on role. *)
+let tbrr_candidates t p acc =
+  let acc =
+    if t.roles.is_trr then
+      table_candidates t t.mesh_in S_mesh p
+        (table_candidates t t.managed_trr S_managed_trr p acc)
+    else acc
+  in
+  if t.roles.my_trrs <> [] then table_candidates t t.from_trr S_from_trr p acc
+  else acc
+
+let confed_candidates t p acc =
+  Hashtbl.fold
+    (fun src rib acc ->
+      List.fold_left
+        (fun acc route ->
+          let c = { (ibgp_candidate t src route) with D.learned = D.Confed_ebgp } in
+          if eligible c then (c, src, S_confed) :: acc else acc)
+        acc (Rib.get rib p))
+    t.confed_in acc
+
+let collect_candidates t p =
+  let acc = local_candidates t p (ebgp_candidates t p []) in
+  match t.env.config.scheme with
+  | Config.Full_mesh -> table_candidates t t.mesh_in S_mesh p acc
+  | Config.Confed _ ->
+    confed_candidates t p (table_candidates t t.mesh_in S_mesh p acc)
+  | Config.Rcp _ -> table_candidates t t.from_rcp S_from_rcp p acc
+  | Config.Tbrr _ -> tbrr_candidates t p acc
+  | Config.Abrr _ -> abrr_candidates t p acc
+  | Config.Dual { abrr; accept; _ } -> (
+    let ap = Partition.ap_of_addr abrr.partition (Prefix.first p) in
+    match accept.(ap) with
+    | Config.Accept_abrr -> abrr_candidates t p acc
+    | Config.Accept_tbrr -> tbrr_candidates t p acc)
+
+(* ------------------------------------------------------------------ *)
+(* Output plumbing                                                     *)
+
+let enqueue t dst channel delta =
+  let items =
+    match Hashtbl.find_opt t.outgoing dst with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.outgoing dst r;
+      r
+  in
+  items := (channel, delta) :: !items
+
+let session t dst =
+  match Hashtbl.find_opt t.sessions dst with
+  | Some s -> s
+  | None ->
+    let s = { mrai_until = Time.zero; pending = Hashtbl.create 8; flush_scheduled = false } in
+    Hashtbl.add t.sessions dst s;
+    s
+
+let transmit_now t dst (s : session) items =
+  let items =
+    List.sort
+      (fun ((c1, d1) : Proto.item) (c2, d2) ->
+        match Int.compare (Proto.channel_tag c1) (Proto.channel_tag c2) with
+        | 0 -> Prefix.compare d1.Proto.prefix d2.Proto.prefix
+        | c -> c)
+      items
+  in
+  let n_withdraw =
+    List.length (List.filter (fun ((_, d) : Proto.item) -> Proto.is_withdraw d) items)
+  in
+  let bytes, msgs =
+    Proto.wire_size
+      ~add_paths:(Config.add_paths t.env.config)
+      (List.map snd items)
+  in
+  t.counters.updates_transmitted <-
+    t.counters.updates_transmitted + List.length items;
+  t.counters.withdrawals_transmitted <-
+    t.counters.withdrawals_transmitted + n_withdraw;
+  t.counters.bytes_transmitted <- t.counters.bytes_transmitted + bytes;
+  t.counters.messages_transmitted <- t.counters.messages_transmitted + msgs;
+  s.mrai_until <- t.env.now () + t.env.config.mrai;
+  t.env.transmit ~dst ~bytes ~msgs items
+
+let merge_pending (s : session) ((channel, delta) : Proto.item) =
+  let key = (Proto.channel_tag channel, Prefix.to_key delta.Proto.prefix) in
+  let merged =
+    match Hashtbl.find_opt s.pending key with
+    | None -> delta
+    | Some (_, old) ->
+      let new_ids =
+        List.map (fun (r : R.t) -> r.R.path_id) delta.Proto.routes
+      in
+      let carried =
+        List.filter (fun i -> not (List.mem i new_ids)) old.Proto.withdrawn_ids
+      in
+      {
+        delta with
+        Proto.withdrawn_ids =
+          dedup_ints (carried @ delta.Proto.withdrawn_ids);
+      }
+  in
+  Hashtbl.replace s.pending key (channel, merged)
+
+let rec send t dst items =
+  if dst = t.env.id then t.env.transmit ~dst ~bytes:0 ~msgs:0 items
+  else
+    let s = session t dst in
+    let now = t.env.now () in
+    if t.env.config.mrai = Time.zero || now >= s.mrai_until then
+      transmit_now t dst s items
+    else begin
+      List.iter (merge_pending s) items;
+      if not s.flush_scheduled then begin
+        s.flush_scheduled <- true;
+        t.env.schedule (s.mrai_until - now) (fun () -> flush_session t dst)
+      end
+    end
+
+and flush_session t dst =
+  let s = session t dst in
+  s.flush_scheduled <- false;
+  let items = Hashtbl.fold (fun _ item acc -> item :: acc) s.pending [] in
+  Hashtbl.reset s.pending;
+  if items <> [] then transmit_now t dst s items
+
+let flush_outgoing t =
+  let dsts = Hashtbl.fold (fun dst _ acc -> dst :: acc) t.outgoing [] in
+  let dsts = List.sort Int.compare dsts in
+  List.iter
+    (fun dst ->
+      let items = List.rev !(Hashtbl.find t.outgoing dst) in
+      send t dst items)
+    dsts;
+  Hashtbl.reset t.outgoing
+
+(* ------------------------------------------------------------------ *)
+(* Route derivation                                                    *)
+
+let strip_reflection (r : R.t) =
+  {
+    r with
+    R.originator_id = None;
+    cluster_list = [];
+    ext_communities =
+      List.filter
+        (fun e -> not (Bgp.Ext_community.is_reflected e))
+        r.R.ext_communities;
+  }
+
+(* The client function's iBGP advertisement of an other-learned route. *)
+let derive_own t (r : R.t) =
+  let r = strip_reflection r in
+  { r with R.next_hop = t.self; path_id = 0 }
+
+(* A TRR reflecting an iBGP-learned route (RFC 4456 attributes). *)
+let derive_trr_reflect t src (r : R.t) =
+  let originator =
+    match r.R.originator_id with Some o -> o | None -> Config.loopback src
+  in
+  let cluster =
+    match t.roles.my_cluster_ids with c :: _ -> c | [] -> t.self
+  in
+  R.add_cluster cluster { r with R.originator_id = Some originator; path_id = 0 }
+
+(* An ARR reflecting a client route (§2.3.2 loop marker). *)
+let derive_arr_reflect t src (r : R.t) =
+  let originator =
+    match r.R.originator_id with Some o -> o | None -> Config.loopback src
+  in
+  let r = { r with R.originator_id = Some originator } in
+  match t.roles.abrr_loop with
+  | Config.Reflected_bit -> R.mark_reflected r
+  | Config.Cluster_list -> R.add_cluster t.self r
+
+(* Assign stable ids to a derived set and report whether it changed. *)
+let assign_set ids p derived =
+  let previous = Path_id.current ids p in
+  let assigned, withdrawn = Path_id.assign ids p derived in
+  let sort_ids rs =
+    List.sort (fun (a : R.t) b -> Int.compare a.R.path_id b.R.path_id) rs
+  in
+  let changed =
+    withdrawn <> []
+    || not (List.equal R.equal (sort_ids previous) (sort_ids assigned))
+  in
+  (assigned, withdrawn, changed)
+
+let same_single old_routes desired =
+  match (old_routes, desired) with
+  | [], None -> true
+  | [ (old : R.t) ], Some (r : R.t) -> R.same_path old r
+  | _, _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* ARR reflection (§2.1): best AS-level routes over the managed RIB.    *)
+
+let recompute_arr t p =
+  match t.roles.partition with
+  | None -> ()
+  | Some partition ->
+    let my_aps =
+      List.filter (fun ap -> Partition.prefix_in_ap partition ap p) t.roles.arr_aps
+    in
+    if my_aps <> [] then begin
+      let tagged = table_candidates t t.managed_arr S_from_arr p [] in
+      (* Loop prevention and AS-level selection do not consult the IGP, so
+         include candidates regardless of next-hop reachability. *)
+      let tagged =
+        Hashtbl.fold
+          (fun src rib acc ->
+            List.fold_left
+              (fun acc route ->
+                let c = ibgp_candidate t src route in
+                if eligible c then acc (* already included above *)
+                else (c, src, S_from_arr) :: acc)
+              acc (Rib.get rib p))
+          t.managed_arr tagged
+      in
+      let cands = List.map (fun (c, _, _) -> c) tagged in
+      let survivors = D.steps_1_to_4 ~med_mode:t.env.config.med_mode cands in
+      let derived =
+        List.map
+          (fun (c : D.candidate) ->
+            let src =
+              List.find_map
+                (fun (c', src, _) -> if c' == c then Some src else None)
+                tagged
+            in
+            derive_arr_reflect t (Option.value ~default:t.env.id src) c.D.route)
+          survivors
+      in
+      let assigned, withdrawn, changed = assign_set t.ids_arr p derived in
+      if changed then begin
+        Rib.set t.out_arr p assigned;
+        t.counters.updates_generated <- t.counters.updates_generated + 1;
+        let targets =
+          dedup_ints (List.concat_map (fun ap -> t.roles.arr_targets.(ap)) my_aps)
+        in
+        List.iter
+          (fun dst ->
+            let dst_loopback = Config.loopback dst in
+            let routes =
+              List.filter
+                (fun (r : R.t) ->
+                  match r.R.originator_id with
+                  | Some o -> not (Ipv4.equal o dst_loopback)
+                  | None -> true)
+                assigned
+            in
+            enqueue t dst Proto.From_arr
+              { Proto.prefix = p; routes; withdrawn_ids = withdrawn })
+          targets
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* TRR reflection                                                      *)
+
+let source_is_clientside tag =
+  match tag with
+  | S_managed_trr | S_ebgp | S_local -> true
+  | S_mesh | S_confed | S_from_rcp | S_from_trr | S_from_arr | S_own_arr -> false
+
+let set_single_out t ~rib ~src_tbl ~channel ~targets p desired src =
+  let old = Rib.get rib p in
+  if not (same_single old desired) then begin
+    let key = Prefix.to_key p in
+    (match desired with
+    | Some r ->
+      Rib.set rib p [ r ];
+      Hashtbl.replace src_tbl key src
+    | None ->
+      Rib.set rib p [];
+      Hashtbl.remove src_tbl key);
+    t.counters.updates_generated <- t.counters.updates_generated + 1;
+    let announce =
+      match desired with
+      | None -> { Proto.prefix = p; routes = []; withdrawn_ids = [ 0 ] }
+      | Some r -> { Proto.prefix = p; routes = [ r ]; withdrawn_ids = [] }
+    in
+    (* Split horizon: the peer the best route came from gets a withdrawal
+       of whatever was previously advertised, never its own route back. *)
+    let back_to_sender = { Proto.prefix = p; routes = []; withdrawn_ids = [ 0 ] } in
+    List.iter
+      (fun dst ->
+        let delta =
+          if desired <> None && dst = src then back_to_sender else announce
+        in
+        enqueue t dst channel delta)
+      targets
+  end
+
+let recompute_trr_single t p =
+  let tagged =
+    local_candidates t p (ebgp_candidates t p [])
+    |> table_candidates t t.managed_trr S_managed_trr p
+    |> table_candidates t t.mesh_in S_mesh p
+  in
+  let cands = List.map (fun (c, _, _) -> c) tagged in
+  let best = D.best ~med_mode:t.env.config.med_mode cands in
+  let info =
+    Option.map
+      (fun (c : D.candidate) ->
+        let src, tag =
+          match
+            List.find_map
+              (fun (c', src, tag) -> if c' == c then Some (src, tag) else None)
+              tagged
+          with
+          | Some x -> x
+          | None -> (-1, S_local)
+        in
+        (c, src, tag))
+      best
+  in
+  let derived =
+    Option.map
+      (fun ((c : D.candidate), src, _) ->
+        match c.D.learned with
+        | D.Ibgp -> derive_trr_reflect t src c.D.route
+        | D.Ebgp | D.Local | D.Confed_ebgp -> derive_own t c.D.route)
+      info
+  in
+  let src = match info with Some (_, s, _) -> s | None -> -1 in
+  let clientside =
+    match info with Some (_, _, tag) -> source_is_clientside tag | None -> false
+  in
+  (* To clients: the best route, never back to the client it came from. *)
+  set_single_out t ~rib:t.out_clients ~src_tbl:t.out_clients_src
+    ~channel:Proto.From_trr ~targets:t.roles.my_trr_clients p derived src;
+  (* To the TRR mesh: only routes from clients / eBGP / local (Table 1).
+     With best-external, the best client-side route is advertised even
+     when the overall best was learned from the mesh. *)
+  let mesh_desired, mesh_src =
+    if clientside then (derived, src)
+    else if not t.roles.tbrr_best_external then (None, src)
+    else begin
+      let clientside_tagged =
+        List.filter (fun (_, _, tag) -> source_is_clientside tag) tagged
+      in
+      let cands = List.map (fun (c, _, _) -> c) clientside_tagged in
+      match D.best ~med_mode:t.env.config.med_mode cands with
+      | None -> (None, -1)
+      | Some c ->
+        let src', tag' =
+          match
+            List.find_map
+              (fun (c', s', tag') -> if c' == c then Some (s', tag') else None)
+              clientside_tagged
+          with
+          | Some x -> x
+          | None -> (-1, S_local)
+        in
+        let r =
+          match c.D.learned with
+          | D.Ibgp -> derive_trr_reflect t src' c.D.route
+          | D.Ebgp | D.Local | D.Confed_ebgp ->
+            ignore tag';
+            derive_own t c.D.route
+        in
+        (Some r, src')
+    end
+  in
+  set_single_out t ~rib:t.out_mesh ~src_tbl:t.out_mesh_src ~channel:Proto.Mesh
+    ~targets:t.roles.trr_mesh p mesh_desired mesh_src
+
+let set_multi_out t ~rib ~ids ~channel ~targets p tagged_survivors =
+  let derived =
+    List.map
+      (fun ((c : D.candidate), src, _tag) ->
+        match c.D.learned with
+        | D.Ibgp -> derive_trr_reflect t src c.D.route
+        | D.Ebgp | D.Local | D.Confed_ebgp -> derive_own t c.D.route)
+      tagged_survivors
+  in
+  let assigned, withdrawn, changed = assign_set ids p derived in
+  if changed then begin
+    Rib.set rib p assigned;
+    t.counters.updates_generated <- t.counters.updates_generated + 1;
+    List.iter
+      (fun dst ->
+        let dst_loopback = Config.loopback dst in
+        let routes =
+          List.filter
+            (fun (r : R.t) ->
+              match r.R.originator_id with
+              | Some o -> not (Ipv4.equal o dst_loopback)
+              | None -> true)
+            assigned
+        in
+        enqueue t dst channel { Proto.prefix = p; routes; withdrawn_ids = withdrawn })
+      targets
+  end
+
+let recompute_trr_multi t p =
+  let med_mode = t.env.config.med_mode in
+  let all_tagged =
+    local_candidates t p (ebgp_candidates t p [])
+    |> table_candidates t t.managed_trr S_managed_trr p
+    |> table_candidates t t.mesh_in S_mesh p
+  in
+  let pick tagged =
+    let cands = List.map (fun (c, _, _) -> c) tagged in
+    let survivors = D.steps_1_to_4 ~med_mode cands in
+    List.filter_map
+      (fun (s : D.candidate) ->
+        List.find_map
+          (fun ((c, _, _) as entry) -> if c == s then Some entry else None)
+          tagged)
+      survivors
+  in
+  set_multi_out t ~rib:t.out_clients ~ids:t.ids_clients ~channel:Proto.From_trr
+    ~targets:t.roles.my_trr_clients p (pick all_tagged);
+  let clientside_tagged =
+    List.filter (fun (_, _, tag) -> source_is_clientside tag) all_tagged
+  in
+  set_multi_out t ~rib:t.out_mesh ~ids:t.ids_mesh ~channel:Proto.Mesh
+    ~targets:t.roles.trr_mesh p (pick clientside_tagged)
+
+(* ------------------------------------------------------------------ *)
+(* Client function: decision + export                                  *)
+
+let tbrr_active t =
+  match t.env.config.scheme with
+  | Config.Tbrr _ | Config.Dual _ -> true
+  | Config.Full_mesh | Config.Abrr _ | Config.Confed _ | Config.Rcp _ -> false
+
+let abrr_active t =
+  match t.env.config.scheme with
+  | Config.Abrr _ | Config.Dual _ -> true
+  | Config.Full_mesh | Config.Tbrr _ | Config.Confed _ | Config.Rcp _ -> false
+
+let export_plane t ~adv ~channel ~targets p desired =
+  let old = Rib.get adv p in
+  if not (same_single old desired) then begin
+    (match desired with
+    | Some r -> Rib.set adv p [ r ]
+    | None -> Rib.set adv p []);
+    t.counters.updates_generated <- t.counters.updates_generated + 1;
+    let withdrawn_ids = match desired with None -> [ 0 ] | Some _ -> [] in
+    let routes = match desired with None -> [] | Some r -> [ r ] in
+    List.iter
+      (fun dst ->
+        enqueue t dst channel { Proto.prefix = p; routes; withdrawn_ids })
+      targets
+  end
+
+(* Table 1 reads "best routes" (plural): on add-paths planes the client
+   advertises every other-learned route that ties at AS level — exactly
+   what makes the ARR's managed RIB equal #BAL x #Prefixes / #APs in
+   Appendix A.1. *)
+let own_as_level_survivors t tagged =
+  let all = List.map (fun (c, _, _) -> c) tagged in
+  let survivors = D.steps_1_to_4 ~med_mode:t.env.config.med_mode all in
+  List.filter_map
+    (fun (c : D.candidate) ->
+      match c.D.learned with
+      | D.Ebgp | D.Local -> Some (derive_own t c.D.route)
+      | D.Ibgp | D.Confed_ebgp -> None)
+    survivors
+
+let export_plane_set t ~adv ~ids ~channel ~targets p derived =
+  let assigned, withdrawn, changed = assign_set ids p derived in
+  if changed then begin
+    Rib.set adv p assigned;
+    t.counters.updates_generated <- t.counters.updates_generated + 1;
+    List.iter
+      (fun dst ->
+        enqueue t dst channel
+          { Proto.prefix = p; routes = assigned; withdrawn_ids = withdrawn })
+      targets
+  end
+
+let client_export t p tagged (winner : (D.candidate * int * src_tag) option) =
+  if t.roles.is_client then begin
+    let desired =
+      match winner with
+      | Some (c, _, _) when c.D.learned = D.Ebgp || c.D.learned = D.Local ->
+        Some (derive_own t c.D.route)
+      | Some _ | None -> None
+    in
+    let own_survivors () = own_as_level_survivors t tagged in
+    (match t.env.config.scheme with
+    | Config.Full_mesh ->
+      export_plane t ~adv:t.adv_mesh ~channel:Proto.Mesh
+        ~targets:t.roles.mesh_peers p desired
+    | Config.Tbrr _ | Config.Abrr _ | Config.Confed _ | Config.Rcp _
+    | Config.Dual _ -> ());
+    if tbrr_active t && t.roles.my_trrs <> [] then begin
+      if t.roles.tbrr_multipath then
+        export_plane_set t ~adv:t.adv_trr ~ids:t.ids_adv_trr
+          ~channel:Proto.To_trr ~targets:t.roles.my_trrs p (own_survivors ())
+      else
+        export_plane t ~adv:t.adv_trr ~channel:Proto.To_trr
+          ~targets:t.roles.my_trrs p desired
+    end;
+    if abrr_active t then begin
+      match t.roles.partition with
+      | None -> ()
+      | Some partition ->
+        let aps = Partition.aps_of_prefix partition p in
+        let targets =
+          dedup_ints (List.concat_map (fun ap -> t.roles.abrr_arrs.(ap)) aps)
+        in
+        export_plane_set t ~adv:t.adv_arr ~ids:t.ids_adv_arr
+          ~channel:Proto.To_arr ~targets p (own_survivors ())
+    end
+  end
+
+let run_decision t p =
+  t.counters.decisions_run <- t.counters.decisions_run + 1;
+  let tagged = collect_candidates t p in
+  let cands = List.map (fun (c, _, _) -> c) tagged in
+  let best = D.best ~med_mode:t.env.config.med_mode cands in
+  let winner =
+    Option.map
+      (fun (c : D.candidate) ->
+        match
+          List.find_map
+            (fun (c', src, tag) -> if c' == c then Some (src, tag) else None)
+            tagged
+        with
+        | Some (src, tag) -> (c, src, tag)
+        | None -> (c, -1, S_local))
+      best
+  in
+  let key = Prefix.to_key p in
+  let old = Rib.get t.loc_rib p in
+  let new_route = Option.map (fun (c, _, _) -> (c : D.candidate).D.route) winner in
+  let changed = not (same_single old new_route) in
+  if changed then begin
+    (match new_route with
+    | Some r ->
+      Rib.set t.loc_rib p [ r ];
+      t.fib <- Prefix_trie.add p r t.fib
+    | None ->
+      Rib.set t.loc_rib p [];
+      t.fib <- Prefix_trie.remove p t.fib);
+    (match winner with
+    | Some (_, src, _) -> Hashtbl.replace t.best_src key src
+    | None -> Hashtbl.remove t.best_src key);
+    t.counters.last_change <- t.env.now ();
+    t.env.on_best_change p new_route
+  end;
+  (winner, tagged)
+
+(* Confederation advertisement rules (RFC 5065): inside the sub-AS the
+   best route is advertised iff it is not iBGP-learned (eBGP, local or
+   confed-external); over confed-eBGP links the best route is always
+   advertised (with our member ASN prepended to AS_CONFED_SEQUENCE),
+   relying on receiver-side confed loop detection plus split-horizon
+   withdrawal toward the sender. *)
+let confed_export t p (winner : (D.candidate * int * src_tag) option) =
+  let my_asn =
+    match t.roles.my_member_asn with Some a -> a | None -> Bgp.Asn.of_int 0
+  in
+  let derive_base (c : D.candidate) =
+    match c.D.learned with
+    | D.Ebgp | D.Local -> derive_own t c.D.route
+    | D.Confed_ebgp | D.Ibgp -> { (strip_reflection c.D.route) with R.path_id = 0 }
+  in
+  let mesh_desired =
+    match winner with
+    | Some (c, _, _) when c.D.learned <> D.Ibgp -> Some (derive_base c)
+    | Some _ | None -> None
+  in
+  export_plane t ~adv:t.adv_mesh ~channel:Proto.Mesh ~targets:t.roles.mesh_peers
+    p mesh_desired;
+  let confed_desired =
+    Option.map
+      (fun ((c : D.candidate), _, _) ->
+        let r = derive_base c in
+        { r with R.as_path = As_path.prepend_confed my_asn r.R.as_path })
+      winner
+  in
+  let src = match winner with Some (_, s, _) -> s | None -> -1 in
+  set_single_out t ~rib:t.adv_confed ~src_tbl:t.adv_confed_src
+    ~channel:Proto.Confed ~targets:t.roles.confed_links p confed_desired src
+
+let confed_active t =
+  match t.env.config.scheme with
+  | Config.Confed _ -> true
+  | Config.Full_mesh | Config.Tbrr _ | Config.Abrr _ | Config.Rcp _
+  | Config.Dual _ ->
+    false
+
+let rcp_active t =
+  match t.env.config.scheme with
+  | Config.Rcp _ -> true
+  | Config.Full_mesh | Config.Tbrr _ | Config.Abrr _ | Config.Confed _
+  | Config.Dual _ ->
+    false
+
+(* RCP node (related work §5): compute each client's best path from that
+   client's own IGP vantage over the platform's complete visibility, and
+   maintain a per-client Adj-RIB-Out. *)
+let recompute_rcp t p =
+  let all =
+    Hashtbl.fold
+      (fun src rib acc ->
+        List.fold_left (fun acc route -> (src, route) :: acc) acc (Rib.get rib p))
+      t.managed_rcp []
+  in
+  List.iter
+    (fun client ->
+      let client_loopback = Config.loopback client in
+      let cands =
+        List.filter_map
+          (fun (src, (route : R.t)) ->
+            let cost = t.env.igp_cost_from ~src:client route.R.next_hop in
+            if cost = Igp.Spf.unreachable then None
+            else
+              Some
+                ( {
+                    D.route;
+                    learned = (if src = client then D.Ebgp else D.Ibgp);
+                    peer_id = Config.loopback src;
+                    peer_addr = Config.loopback src;
+                    igp_cost = cost;
+                  },
+                  src ))
+          all
+      in
+      let best = D.best ~med_mode:t.env.config.med_mode (List.map fst cands) in
+      let desired =
+        match best with
+        | Some c -> (
+          match List.find_map (fun (c', src) -> if c' == c then Some src else None) cands with
+          | Some src when src <> client ->
+            Some
+              { (c.D.route) with
+                R.path_id = 0;
+                originator_id = Some (Config.loopback src) }
+          | Some _ | None -> None (* the client's own route: nothing to teach *))
+        | None -> None
+      in
+      ignore client_loopback;
+      let rib = table_rib t.rcp_out client in
+      let old = Rib.get rib p in
+      if not (same_single old desired) then begin
+        (match desired with
+        | Some r -> Rib.set rib p [ r ]
+        | None -> Rib.set rib p []);
+        t.counters.updates_generated <- t.counters.updates_generated + 1;
+        let delta =
+          match desired with
+          | Some r -> { Proto.prefix = p; routes = [ r ]; withdrawn_ids = [] }
+          | None -> { Proto.prefix = p; routes = []; withdrawn_ids = [ 0 ] }
+        in
+        enqueue t client Proto.From_rcp delta
+      end)
+    t.roles.rcp_clients
+
+let rcp_client_export t p tagged =
+  if t.roles.is_client then
+    export_plane_set t ~adv:t.adv_rcp ~ids:t.ids_adv_arr ~channel:Proto.To_rcp
+      ~targets:t.roles.rcps p (own_as_level_survivors t tagged)
+
+let recompute t p =
+  if abrr_active t then recompute_arr t p;
+  if t.roles.is_rcp then recompute_rcp t p;
+  let winner, tagged = run_decision t p in
+  if confed_active t then confed_export t p winner
+  else if rcp_active t then rcp_client_export t p tagged
+  else client_export t p tagged winner;
+  if t.roles.is_trr && tbrr_active t then
+    if t.roles.tbrr_multipath then recompute_trr_multi t p
+    else recompute_trr_single t p
+
+(* ------------------------------------------------------------------ *)
+(* Input application                                                   *)
+
+let reject_loop t = t.rejected_loops <- t.rejected_loops + 1
+
+let has_my_cluster_id t (r : R.t) =
+  List.exists (fun c -> R.in_cluster_list c r) t.roles.my_cluster_ids
+
+let filter_incoming t channel (r : R.t) =
+  (* Returns [None] to discard the route (loop prevention). *)
+  match channel with
+  | Proto.Mesh ->
+    if has_my_cluster_id t r then None
+    else if r.R.originator_id = Some t.self then None
+    else Some r
+  | Proto.To_trr ->
+    if has_my_cluster_id t r then None
+    else if r.R.originator_id = Some t.self then None
+    else Some r
+  | Proto.To_arr -> (
+    match t.roles.abrr_loop with
+    | Config.Reflected_bit -> if R.is_reflected r then None else Some r
+    | Config.Cluster_list -> if r.R.cluster_list <> [] then None else Some r)
+  | Proto.Confed -> (
+    (* RFC 5065 loop detection: our member ASN in a confed segment *)
+    match t.roles.my_member_asn with
+    | Some asn when As_path.confed_contains asn r.R.as_path -> None
+    | Some _ | None -> Some r)
+  | Proto.To_rcp -> Some r
+  | Proto.From_trr | Proto.From_arr | Proto.From_rcp ->
+    if r.R.originator_id = Some t.self then None else Some r
+
+(* What a client stores from a reflector's advertised set (§3.4). Under
+   always-compare MED one best route suffices for full-mesh-equivalent
+   decisions. Under per-neighbour-AS MED the client must keep one route
+   per neighbour AS (deterministic-MED-style storage): a discarded
+   low-MED route could otherwise fail to eliminate the client's own
+   eBGP route from the same AS (footnote 1 of the paper). *)
+let best_of_set t src routes =
+  match routes with
+  | [] | [ _ ] -> routes
+  | _ -> (
+    let med_mode = t.env.config.med_mode in
+    let pick group =
+      let cands = List.map (ibgp_candidate t src) group in
+      let usable = List.filter eligible cands in
+      if usable = [] then group
+      else
+        match D.best ~med_mode usable with
+        | Some c -> [ c.D.route ]
+        | None -> group
+    in
+    match med_mode with
+    | D.Always_compare -> pick routes
+    | D.Per_neighbor_as ->
+      let groups = Hashtbl.create 4 in
+      let order = ref [] in
+      List.iter
+        (fun r ->
+          let key =
+            match R.neighbor_as r with Some a -> Bgp.Asn.to_int a | None -> -1
+          in
+          match Hashtbl.find_opt groups key with
+          | Some l -> l := r :: !l
+          | None ->
+            Hashtbl.add groups key (ref [ r ]);
+            order := key :: !order)
+        routes;
+      List.concat_map
+        (fun key -> pick (List.rev !(Hashtbl.find groups key)))
+        (List.rev !order))
+
+let apply_item t src ((channel, delta) : Proto.item) dirty =
+  let p = delta.Proto.prefix in
+  note_seen t p;
+  let keep, rejected =
+    List.partition_map
+      (fun r ->
+        match filter_incoming t channel r with
+        | Some r -> Left r
+        | None -> Right r)
+      delta.Proto.routes
+  in
+  if rejected <> [] then reject_loop t;
+  let store tbl ~best_only =
+    let rib = table_rib tbl src in
+    let routes =
+      if best_only && not t.env.config.store_full_sets then best_of_set t src keep
+      else keep
+    in
+    Rib.set rib p routes;
+    Hashtbl.replace dirty (Prefix.to_key p) p
+  in
+  match channel with
+  | Proto.Mesh -> store t.mesh_in ~best_only:false
+  | Proto.Confed -> store t.confed_in ~best_only:false
+  | Proto.To_rcp ->
+    if t.roles.is_rcp then store t.managed_rcp ~best_only:false
+    else reject_loop t
+  | Proto.From_rcp -> store t.from_rcp ~best_only:false
+  | Proto.To_trr ->
+    if t.roles.is_trr then store t.managed_trr ~best_only:false
+    else reject_loop t
+  | Proto.To_arr ->
+    if t.roles.arr_aps <> [] && serves_prefix t p then
+      store t.managed_arr ~best_only:false
+    else reject_loop t
+  | Proto.From_trr -> store t.from_trr ~best_only:true
+  | Proto.From_arr -> store t.from_arr ~best_only:true
+
+let apply_input t input dirty =
+  match input with
+  | In_items { src; items } -> List.iter (fun item -> apply_item t src item dirty) items
+  | In_ebgp { neighbor; route } ->
+    note_seen t route.R.prefix;
+    let key = Prefix.to_key route.R.prefix in
+    ignore (Rib.upsert t.ebgp_rib route);
+    Hashtbl.replace t.ebgp_neighbors (key, route.R.path_id) neighbor;
+    Hashtbl.replace dirty key route.R.prefix
+  | In_ebgp_withdraw { neighbor = _; prefix; path_id } ->
+    note_seen t prefix;
+    let key = Prefix.to_key prefix in
+    if Rib.drop t.ebgp_rib prefix ~path_id then begin
+      Hashtbl.remove t.ebgp_neighbors (key, path_id);
+      Hashtbl.replace dirty key prefix
+    end
+  | In_local route ->
+    note_seen t route.R.prefix;
+    ignore (Rib.upsert t.local_rib route);
+    Hashtbl.replace dirty (Prefix.to_key route.R.prefix) route.R.prefix
+  | In_local_withdraw { prefix; path_id } ->
+    note_seen t prefix;
+    if Rib.drop t.local_rib prefix ~path_id then
+      Hashtbl.replace dirty (Prefix.to_key prefix) prefix
+  | In_redecide_all ->
+    Hashtbl.iter (fun key p -> Hashtbl.replace dirty key p) t.seen
+
+let process t () =
+  t.process_scheduled <- false;
+  if not t.up then Queue.clear t.inbox
+  else begin
+  let dirty = Hashtbl.create 32 in
+  let rec drain () =
+    match Queue.take_opt t.inbox with
+    | None -> ()
+    | Some input ->
+      apply_input t input dirty;
+      drain ()
+  in
+  drain ();
+  let prefixes = Hashtbl.fold (fun _ p acc -> p :: acc) dirty [] in
+  let prefixes = List.sort Prefix.compare prefixes in
+  List.iter (recompute t) prefixes;
+  flush_outgoing t
+  end
+
+let ensure_process t =
+  if not t.process_scheduled then begin
+    t.process_scheduled <- true;
+    t.env.schedule (Config.proc_delay_of t.env.config t.env.id) (process t)
+  end
+
+let push t input =
+  Queue.add input t.inbox;
+  ensure_process t
+
+(* ------------------------------------------------------------------ *)
+(* Public inputs                                                       *)
+
+let receive t ~src ~items ~bytes ~msgs =
+  ignore msgs;
+  if not t.up then ()
+  else begin
+  if src <> t.env.id then begin
+    t.counters.updates_received <- t.counters.updates_received + List.length items;
+    t.counters.withdrawals_received <-
+      t.counters.withdrawals_received
+      + List.length (List.filter (fun ((_, d) : Proto.item) -> Proto.is_withdraw d) items);
+    t.counters.bytes_received <- t.counters.bytes_received + bytes
+  end;
+  push t (In_items { src; items })
+  end
+
+let inject_ebgp t ~neighbor route = push t (In_ebgp { neighbor; route })
+
+let withdraw_ebgp t ~neighbor prefix ~path_id =
+  push t (In_ebgp_withdraw { neighbor; prefix; path_id })
+
+let originate t route = push t (In_local route)
+let withdraw_local t prefix ~path_id = push t (In_local_withdraw { prefix; path_id })
+let redecide_all t = push t In_redecide_all
+let is_up t = t.up
+
+(* Session teardown towards a failed peer: forget everything learned
+   from it and stop holding pending output for it. *)
+let purge_peer t ~peer =
+  if t.up then begin
+    let drop tbl =
+      match Hashtbl.find_opt tbl peer with
+      | None -> []
+      | Some rib ->
+        let prefixes = Rib.prefixes rib in
+        Hashtbl.remove tbl peer;
+        prefixes
+    in
+    let dirty =
+      List.concat_map drop
+        [ t.managed_trr; t.managed_arr; t.managed_rcp; t.mesh_in; t.confed_in;
+          t.from_trr; t.from_arr; t.from_rcp ]
+    in
+    Hashtbl.remove t.sessions peer;
+    if dirty <> [] then begin
+      let dirty_tbl = Hashtbl.create 16 in
+      List.iter (fun p -> Hashtbl.replace dirty_tbl (Prefix.to_key p) p) dirty;
+      let prefixes = Hashtbl.fold (fun _ p acc -> p :: acc) dirty_tbl [] in
+      List.iter (recompute t) (List.sort Prefix.compare prefixes);
+      flush_outgoing t
+    end
+  end
+
+(* Session re-establishment towards a recovered peer: replay the current
+   Adj-RIB-Out state that peer is entitled to (BGP's initial full table
+   exchange). *)
+let refresh_to t ~peer =
+  if t.up then begin
+    let replay rib channel entitled =
+      Rib.iter
+        (fun p routes ->
+          if entitled p then
+            enqueue t peer channel
+              { Proto.prefix = p; routes; withdrawn_ids = [] })
+        rib
+    in
+    let always _ = true in
+    if List.mem peer t.roles.mesh_peers then replay t.adv_mesh Proto.Mesh always;
+    if List.mem peer t.roles.confed_links then
+      replay t.adv_confed Proto.Confed always;
+    if List.mem peer t.roles.rcps then replay t.adv_rcp Proto.To_rcp always;
+    if t.roles.is_rcp then (
+      match Hashtbl.find_opt t.rcp_out peer with
+      | Some rib -> replay rib Proto.From_rcp always
+      | None -> ());
+    if List.mem peer t.roles.my_trrs then begin
+      replay t.adv_trr Proto.To_trr always
+    end;
+    (match t.roles.partition with
+    | Some partition ->
+      let arr_of p =
+        List.exists
+          (fun ap -> List.mem peer t.roles.abrr_arrs.(ap))
+          (Partition.aps_of_prefix partition p)
+      in
+      replay t.adv_arr Proto.To_arr arr_of
+    | None -> ());
+    if t.roles.is_trr then begin
+      if List.mem peer t.roles.my_trr_clients then
+        replay t.out_clients Proto.From_trr always;
+      if List.mem peer t.roles.trr_mesh then replay t.out_mesh Proto.Mesh always
+    end;
+    (match t.roles.partition with
+    | Some partition ->
+      let target_of p =
+        List.exists
+          (fun ap ->
+            Partition.prefix_in_ap partition ap p
+            && List.mem peer t.roles.arr_targets.(ap))
+          t.roles.arr_aps
+      in
+      replay t.out_arr Proto.From_arr target_of
+    | None -> ());
+    flush_outgoing t
+  end
+
+let set_down t =
+  t.up <- false;
+  Queue.clear t.inbox;
+  Hashtbl.reset t.outgoing
+
+(* Cold start: all BGP state is lost (eBGP feeds must be re-injected by
+   the caller, as a rebooted router would re-learn them). *)
+let set_up_cold t =
+  t.up <- true;
+  Rib.clear t.ebgp_rib;
+  Hashtbl.reset t.ebgp_neighbors;
+  Rib.clear t.local_rib;
+  List.iter Hashtbl.reset
+    [ t.managed_trr; t.managed_arr; t.managed_rcp; t.mesh_in; t.confed_in;
+      t.from_trr; t.from_arr; t.from_rcp; t.rcp_out ];
+  List.iter Rib.clear
+    [ t.loc_rib; t.adv_mesh; t.adv_confed; t.adv_trr; t.adv_arr; t.adv_rcp;
+      t.out_mesh; t.out_clients; t.out_arr ];
+  Hashtbl.reset t.adv_confed_src;
+  Hashtbl.reset t.best_src;
+  Hashtbl.reset t.out_clients_src;
+  Hashtbl.reset t.out_mesh_src;
+  t.fib <- Prefix_trie.empty;
+  List.iter Path_id.clear
+    [ t.ids_mesh; t.ids_clients; t.ids_arr; t.ids_adv_trr; t.ids_adv_arr ];
+  Hashtbl.reset t.sessions;
+  Hashtbl.reset t.seen;
+  Queue.clear t.inbox
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let best t p = match Rib.get t.loc_rib p with [] -> None | r :: _ -> Some r
+let lookup t addr = Prefix_trie.longest_match addr t.fib
+
+let best_exit t p =
+  match best t p with
+  | None -> None
+  | Some r -> Config.router_of_loopback t.env.config r.R.next_hop
+
+let sum_tbl tbl = Hashtbl.fold (fun _ rib acc -> acc + Rib.entry_count rib) tbl 0
+
+let rib_in_managed t =
+  sum_tbl t.managed_trr + sum_tbl t.managed_arr + sum_tbl t.managed_rcp
+
+let rib_in_unmanaged t =
+  sum_tbl t.mesh_in + sum_tbl t.confed_in + sum_tbl t.from_trr
+  + sum_tbl t.from_arr + sum_tbl t.from_rcp
+
+let rib_in_entries t = rib_in_managed t + rib_in_unmanaged t
+
+let rib_out_entries t =
+  Rib.entry_count t.out_mesh + Rib.entry_count t.out_clients
+  + Rib.entry_count t.out_arr + sum_tbl t.rcp_out
+
+let rib_out_client_entries t =
+  Rib.entry_count t.adv_mesh + Rib.entry_count t.adv_confed
+  + Rib.entry_count t.adv_trr + Rib.entry_count t.adv_arr
+  + Rib.entry_count t.adv_rcp
+
+let loc_rib_entries t = Rib.entry_count t.loc_rib
+let ebgp_entries t = Rib.entry_count t.ebgp_rib
+
+let received_set t ~from p =
+  let get tbl = match Hashtbl.find_opt tbl from with None -> [] | Some rib -> Rib.get rib p in
+  get t.from_arr @ get t.from_trr @ get t.mesh_in @ get t.confed_in
+  @ get t.from_rcp
+
+let reflector_set t p = Rib.get t.out_arr p
+let advertised_route t p =
+  match Rib.get t.adv_arr p @ Rib.get t.adv_trr p @ Rib.get t.adv_mesh p with
+  | [] -> None
+  | r :: _ -> Some r
+
+let known_prefixes t = Hashtbl.fold (fun _ p acc -> p :: acc) t.seen []

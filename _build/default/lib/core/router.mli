@@ -1,0 +1,119 @@
+(** A simulated router: the client function (sources/sinks iBGP updates,
+    runs the full decision process) plus optional reflector functions —
+    TRR (topology-based, single- or multi-path) and/or ARR (address-based,
+    §2.1).
+
+    Updates are processed in batches: deliveries arriving within one
+    processing window are applied together before any output is generated,
+    which reproduces the ARR batching behaviour the paper credits for the
+    ~30% reduction in client updates (§4.2). Outgoing updates are subject
+    to a per-peer MRAI timer when configured. *)
+
+open Netaddr
+open Eventsim
+
+type t
+
+type env = {
+  id : int;
+  config : Config.t;
+  now : unit -> Time.t;
+  schedule : Time.t -> (unit -> unit) -> unit;  (** relative delay *)
+  transmit : dst:int -> bytes:int -> msgs:int -> Proto.item list -> unit;
+      (** hand a batch to the network for delivery, with its precomputed
+          wire size (self-sends allowed: they model the internal
+          client/reflector role passing and carry zero bytes) *)
+  igp_cost : Ipv4.t -> int;
+      (** IGP metric from this router to the owner of a NEXT_HOP;
+          {!Igp.Spf.unreachable} if it cannot be resolved *)
+  igp_cost_from : src:int -> Ipv4.t -> int;
+      (** IGP metric from an arbitrary router — the RCP computes each
+          client's best path from that client's vantage point *)
+  on_best_change : Prefix.t -> Bgp.Route.t option -> unit;
+}
+
+val create : env -> t
+val id : t -> int
+val loopback : t -> Ipv4.t
+val counters : t -> Counters.t
+val is_trr : t -> bool
+val is_arr : t -> bool
+val is_rcp : t -> bool
+val arr_aps : t -> int list
+
+(** {1 Inputs} — all are queued and take effect at the next processing
+    batch, keeping the simulation deterministic. *)
+
+val receive : t -> src:int -> items:Proto.item list -> bytes:int -> msgs:int -> unit
+(** Called by the network at delivery time. *)
+
+val inject_ebgp : t -> neighbor:Ipv4.t -> Bgp.Route.t -> unit
+(** An eBGP neighbour announced a route. The route's [path_id] identifies
+    the eBGP session at this router (distinct neighbours must use
+    distinct ids for the same prefix). *)
+
+val withdraw_ebgp : t -> neighbor:Ipv4.t -> Prefix.t -> path_id:int -> unit
+val originate : t -> Bgp.Route.t -> unit
+val withdraw_local : t -> Prefix.t -> path_id:int -> unit
+
+val redecide_all : t -> unit
+(** Re-run the decision process on every known prefix (used when the
+    §2.4 per-AP acceptance switch flips). *)
+
+(** {1 Queries} *)
+
+val best : t -> Prefix.t -> Bgp.Route.t option
+val best_exit : t -> Prefix.t -> int option
+(** The border router (NEXT_HOP owner) traffic for the prefix exits
+    through; [None] when unknown or external. *)
+
+val rib_in_entries : t -> int
+(** Total iBGP Adj-RIB-In entries (managed + unmanaged). *)
+
+val rib_in_managed : t -> int
+(** Entries learned in a reflector role from clients. *)
+
+val rib_in_unmanaged : t -> int
+(** Entries learned in the client role (from reflectors / mesh peers). *)
+
+val rib_out_entries : t -> int
+(** Reflector peer-group Adj-RIB-Out entries. *)
+
+val rib_out_client_entries : t -> int
+(** Client-function Adj-RIB-Out entries (advertisements into iBGP). *)
+
+val loc_rib_entries : t -> int
+val ebgp_entries : t -> int
+val received_set : t -> from:int -> Prefix.t -> Bgp.Route.t list
+val reflector_set : t -> Prefix.t -> Bgp.Route.t list
+(** The ARR's currently advertised best-AS-level set for a prefix. *)
+
+val advertised_route : t -> Prefix.t -> Bgp.Route.t option
+(** What the client function currently advertises into iBGP. *)
+
+val known_prefixes : t -> Prefix.t list
+val rejected_loops : t -> int
+(** Updates discarded by loop prevention (§2.3.2). *)
+
+(** {1 Failure injection (§2.3.3 robustness)} *)
+
+val is_up : t -> bool
+
+val set_down : t -> unit
+(** Crash the router: stops processing and drops queued work. Use
+    {!Network.fail} so peers tear their sessions down too. *)
+
+val set_up_cold : t -> unit
+(** Restart with empty BGP state (eBGP feeds must be re-injected). *)
+
+val purge_peer : t -> peer:int -> unit
+(** Tear down the session to a failed peer: drop everything learned from
+    it and re-run the decision process on the affected prefixes. *)
+
+val refresh_to : t -> peer:int -> unit
+(** Replay the current Adj-RIB-Out towards a re-established peer (BGP's
+    initial full-table exchange). *)
+
+val lookup : t -> Netaddr.Ipv4.t -> (Netaddr.Prefix.t * Bgp.Route.t) option
+(** Longest-prefix-match forwarding lookup against the Loc-RIB (what the
+    FIB would do for a data packet). *)

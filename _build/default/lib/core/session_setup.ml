@@ -1,0 +1,104 @@
+open Eventsim
+
+type spec = {
+  sessions : int;
+  rtt : Time.t;
+  per_message_cost : Time.t;
+  hold_time : int;
+  add_paths : bool;
+}
+
+let spec ?(sessions = 1000) ?(rtt = Time.ms 20) ?(per_message_cost = Time.us 200)
+    ?(hold_time = 90) ?(add_paths = true) () =
+  if sessions < 1 then invalid_arg "Session_setup.spec: need sessions";
+  { sessions; rtt; per_message_cost; hold_time; add_paths }
+
+type result = {
+  boot_time : Time.t;
+  established : int;
+  messages_processed : int;
+}
+
+(* One endpoint pair per session: [local_] is the booting reflector
+   (message handling serialized through a single CPU with
+   [per_message_cost] per message), [remote] is the already-running
+   client (responds instantly). *)
+let run spec =
+  let sim = Sim.create () in
+  let config id =
+    {
+      Bgp.Fsm.local_asn = Bgp.Asn.of_int 65000;
+      local_id = Netaddr.Ipv4.of_int id;
+      hold_time = spec.hold_time;
+      add_paths = spec.add_paths;
+      connect_retry = 30;
+    }
+  in
+  let locals = Array.init spec.sessions (fun i -> Bgp.Fsm.create (config (i + 1))) in
+  let remotes =
+    Array.init spec.sessions (fun i -> Bgp.Fsm.create (config (100_000 + i)))
+  in
+  let established = ref 0 in
+  let last_established = ref Time.zero in
+  let messages = ref 0 in
+  (* The reflector CPU: a FIFO of thunks, each costing per_message_cost. *)
+  let cpu_busy_until = ref Time.zero in
+  let on_cpu work =
+    let start = max (Sim.now sim) !cpu_busy_until in
+    let finish = start + spec.per_message_cost in
+    cpu_busy_until := finish;
+    Sim.schedule_at sim ~time:finish work
+  in
+  let rec perform_local i actions =
+    List.iter
+      (fun action ->
+        match action with
+        | Bgp.Fsm.Send msg ->
+          Sim.schedule sim ~delay:(spec.rtt / 2) (fun () ->
+              deliver_remote i (Bgp.Fsm.Message msg))
+        | Bgp.Fsm.Connect_transport ->
+          Sim.schedule sim ~delay:spec.rtt (fun () ->
+              feed_local i Bgp.Fsm.Connection_up;
+              deliver_remote i Bgp.Fsm.Connection_up)
+        | Bgp.Fsm.Session_established _ ->
+          incr established;
+          last_established := Sim.now sim
+        | Bgp.Fsm.Session_down _ | Bgp.Fsm.Close_transport
+        | Bgp.Fsm.Set_hold_timer _ | Bgp.Fsm.Set_keepalive_timer _
+        | Bgp.Fsm.Set_connect_retry _ ->
+          ())
+      actions
+  and feed_local i event =
+    match event with
+    | Bgp.Fsm.Message _ ->
+      (* inbound messages contend for the reflector's CPU *)
+      on_cpu (fun () ->
+          incr messages;
+          perform_local i (Bgp.Fsm.handle locals.(i) event))
+    | _ -> perform_local i (Bgp.Fsm.handle locals.(i) event)
+  and deliver_remote i event =
+    List.iter
+      (fun action ->
+        match action with
+        | Bgp.Fsm.Send msg ->
+          Sim.schedule sim ~delay:(spec.rtt / 2) (fun () ->
+              feed_local i (Bgp.Fsm.Message msg))
+        | Bgp.Fsm.Connect_transport | Bgp.Fsm.Session_established _
+        | Bgp.Fsm.Session_down _ | Bgp.Fsm.Close_transport
+        | Bgp.Fsm.Set_hold_timer _ | Bgp.Fsm.Set_keepalive_timer _
+        | Bgp.Fsm.Set_connect_retry _ ->
+          ())
+      (Bgp.Fsm.handle remotes.(i) event)
+  in
+  for i = 0 to spec.sessions - 1 do
+    (* remotes listen passively: they are in Connect awaiting the
+       transport, having been started earlier *)
+    ignore (Bgp.Fsm.handle remotes.(i) Bgp.Fsm.Start);
+    feed_local i Bgp.Fsm.Start
+  done;
+  ignore (Sim.run sim);
+  {
+    boot_time = !last_established;
+    established = !established;
+    messages_processed = !messages;
+  }

@@ -1,0 +1,36 @@
+(** §3.3: session establishment at scale. An ARR peers with every router
+    in the AS — over 1000 sessions in the measured Tier-1 — and the paper
+    argues boot time grows but is not critical (redundant ARRs cover the
+    gap). This module measures it: a booting reflector brings up N
+    sessions through the full BGP FSM (transport setup, OPEN exchange,
+    capability negotiation, first KEEPALIVE), with inbound message
+    processing serialized through the reflector's CPU. *)
+
+open Eventsim
+
+type spec = {
+  sessions : int;
+  rtt : Time.t;  (** round-trip to the peer *)
+  per_message_cost : Time.t;  (** reflector CPU time per inbound message *)
+  hold_time : int;
+  add_paths : bool;
+}
+
+val spec :
+  ?sessions:int ->
+  ?rtt:Time.t ->
+  ?per_message_cost:Time.t ->
+  ?hold_time:int ->
+  ?add_paths:bool ->
+  unit ->
+  spec
+(** Defaults: 1000 sessions, 20 ms RTT, 200 us per message, hold 90 s,
+    add-paths on. *)
+
+type result = {
+  boot_time : Time.t;  (** simulated time until the last session is up *)
+  established : int;
+  messages_processed : int;
+}
+
+val run : spec -> result

@@ -1,0 +1,1 @@
+lib/eventsim/sim.ml: Format Int Pqueue Random Time

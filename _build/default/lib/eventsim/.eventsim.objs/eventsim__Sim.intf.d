@@ -1,0 +1,1 @@
+lib/eventsim/sim.mli: Format Random Time

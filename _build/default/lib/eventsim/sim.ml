@@ -1,0 +1,62 @@
+type event = { time : Time.t; seq : int; action : unit -> unit }
+
+type t = {
+  queue : event Pqueue.Heap.t;
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  mutable processed : int;
+  rng : Random.State.t;
+}
+
+type outcome = Quiescent | Deadline | Event_limit
+
+let cmp_event a b =
+  match Int.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+let create ?(seed = 42) () =
+  {
+    queue = Pqueue.Heap.create ~cmp:cmp_event ();
+    clock = Time.zero;
+    next_seq = 0;
+    processed = 0;
+    rng = Random.State.make [| seed |];
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Pqueue.Heap.push t.queue { time; seq; action }
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock + delay) action
+
+let pending t = Pqueue.Heap.length t.queue
+let events_processed t = t.processed
+
+let run ?(until = max_int) ?(max_events = max_int) t =
+  let budget = ref max_events in
+  let rec loop () =
+    if !budget <= 0 then Event_limit
+    else
+      match Pqueue.Heap.peek t.queue with
+      | None -> Quiescent
+      | Some ev when ev.time > until -> Deadline
+      | Some _ ->
+        let ev = Pqueue.Heap.pop_exn t.queue in
+        t.clock <- ev.time;
+        t.processed <- t.processed + 1;
+        decr budget;
+        ev.action ();
+        loop ()
+  in
+  loop ()
+
+let pp_outcome fmt = function
+  | Quiescent -> Format.pp_print_string fmt "quiescent"
+  | Deadline -> Format.pp_print_string fmt "deadline"
+  | Event_limit -> Format.pp_print_string fmt "event-limit"

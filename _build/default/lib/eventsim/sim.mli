@@ -1,0 +1,32 @@
+(** Deterministic discrete-event simulation core.
+
+    Events scheduled for the same instant fire in scheduling order, and
+    the random stream is owned by the simulator, so a run is a pure
+    function of (program, seed). *)
+
+type t
+
+type outcome =
+  | Quiescent  (** event queue drained *)
+  | Deadline  (** [until] reached with events still pending *)
+  | Event_limit  (** [max_events] processed — used by oscillation detectors *)
+
+val create : ?seed:int -> unit -> t
+val now : t -> Time.t
+val rng : t -> Random.State.t
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> unit
+(** @raise Invalid_argument on negative delay. *)
+
+val schedule_at : t -> time:Time.t -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [time] is in the past. *)
+
+val pending : t -> int
+val events_processed : t -> int
+
+val run : ?until:Time.t -> ?max_events:int -> t -> outcome
+(** Process events until the queue drains, simulated time would exceed
+    [until], or [max_events] have been processed (counted from this call).
+    Can be called repeatedly to continue a paused simulation. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,15 @@
+(** Simulated time: integer microseconds since simulation start. *)
+
+type t = int
+
+val zero : t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+val minutes : int -> t
+val hours : int -> t
+val days : int -> t
+val to_sec : t -> float
+val to_ms : t -> float
+val pp : Format.formatter -> t -> unit
+(** Human-readable, e.g. "12.500s". *)

@@ -1,0 +1,1 @@
+lib/igp/graph.ml: Array Hashtbl Printf

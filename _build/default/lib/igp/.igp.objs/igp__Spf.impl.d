@@ -1,0 +1,1 @@
+lib/igp/spf.ml: Array Fun Graph Int List Pqueue

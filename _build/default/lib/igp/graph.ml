@@ -1,0 +1,52 @@
+type t = { adj : (int, int) Hashtbl.t array; mutable arcs : int }
+(* adj.(u) maps neighbour v to the arc metric. *)
+
+let create ~n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { adj = Array.init n (fun _ -> Hashtbl.create 4); arcs = 0 }
+
+let node_count g = Array.length g.adj
+let edge_count g = g.arcs
+
+let check g u =
+  if u < 0 || u >= node_count g then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range" u)
+
+let add_arc g u v metric =
+  check g u;
+  check g v;
+  if metric < 0 then invalid_arg "Graph.add_arc: negative metric";
+  (match Hashtbl.find_opt g.adj.(u) v with
+  | None ->
+    Hashtbl.replace g.adj.(u) v metric;
+    g.arcs <- g.arcs + 1
+  | Some m -> if metric < m then Hashtbl.replace g.adj.(u) v metric)
+
+let add_edge g u v metric =
+  add_arc g u v metric;
+  add_arc g v u metric
+
+let neighbors g u =
+  check g u;
+  Hashtbl.fold (fun v m acc -> (v, m) :: acc) g.adj.(u) []
+
+let metric g u v =
+  check g u;
+  check g v;
+  Hashtbl.find_opt g.adj.(u) v
+
+let remove_arc g u v =
+  if Hashtbl.mem g.adj.(u) v then begin
+    Hashtbl.remove g.adj.(u) v;
+    g.arcs <- g.arcs - 1
+  end
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  remove_arc g u v;
+  remove_arc g v u
+
+let degree g u =
+  check g u;
+  Hashtbl.length g.adj.(u)

@@ -1,0 +1,28 @@
+(** Weighted graph over integer nodes [0 .. n-1], modelling the IGP
+    topology of an AS (links carry IGP metrics). *)
+
+type t
+
+val create : n:int -> t
+val node_count : t -> int
+val edge_count : t -> int
+(** Directed arc count; an undirected edge counts twice. *)
+
+val add_edge : t -> int -> int -> int -> unit
+(** [add_edge g u v metric] adds the undirected link [u -- v]. Adding an
+    existing link keeps the smaller metric.
+    @raise Invalid_argument on out-of-range nodes or negative metric. *)
+
+val add_arc : t -> int -> int -> int -> unit
+(** Directed variant. *)
+
+val neighbors : t -> int -> (int * int) list
+(** [(neighbor, metric)] pairs. *)
+
+val metric : t -> int -> int -> int option
+(** Metric of the arc [u -> v] if present. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Remove the undirected link (both arcs). *)
+
+val degree : t -> int -> int

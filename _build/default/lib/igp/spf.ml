@@ -1,0 +1,50 @@
+let unreachable = max_int
+
+let run g ~src =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Spf.run: source out of range";
+  let dist = Array.make n unreachable in
+  let parent = Array.make n (-1) in
+  let cmp (d1, _) (d2, _) = Int.compare d1 d2 in
+  let heap = Pqueue.Heap.create ~cmp () in
+  dist.(src) <- 0;
+  Pqueue.Heap.push heap (0, src);
+  let rec loop () =
+    match Pqueue.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if d = dist.(u) then
+        (* Not a stale heap entry: relax outgoing arcs. *)
+        List.iter
+          (fun (v, m) ->
+            let nd = d + m in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              parent.(v) <- u;
+              Pqueue.Heap.push heap (nd, v)
+            end)
+          (Graph.neighbors g u);
+      loop ()
+  in
+  loop ();
+  (dist, parent)
+
+let distances g ~src = fst (run g ~src)
+
+let path g ~src ~dst =
+  let dist, parent = run g ~src in
+  if dist.(dst) = unreachable then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    Some (build dst [])
+  end
+
+let all_pairs g =
+  Array.init (Graph.node_count g) (fun src -> distances g ~src)
+
+let reachable_from g ~src =
+  Array.map (fun d -> d <> unreachable) (distances g ~src)
+
+let connected g =
+  let n = Graph.node_count g in
+  n <= 1 || Array.for_all Fun.id (reachable_from g ~src:0)

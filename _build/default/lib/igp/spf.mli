@@ -1,0 +1,21 @@
+(** Shortest-path-first (Dijkstra) computation over an IGP graph, used for
+    decision step 6 (lowest IGP metric to the BGP next hop). *)
+
+val unreachable : int
+(** Distance value for unreachable nodes ([max_int]). *)
+
+val run : Graph.t -> src:int -> int array * int array
+(** [run g ~src] returns [(dist, parent)]: [dist.(v)] is the metric of the
+    shortest path from [src] to [v] ({!unreachable} if none), [parent.(v)]
+    the predecessor on that path (-1 for [src] and unreachable nodes). *)
+
+val distances : Graph.t -> src:int -> int array
+
+val path : Graph.t -> src:int -> dst:int -> int list option
+(** Node sequence from [src] to [dst] inclusive, or [None]. *)
+
+val all_pairs : Graph.t -> int array array
+(** Distance matrix: [m.(u).(v)] = metric of shortest path u→v. *)
+
+val reachable_from : Graph.t -> src:int -> bool array
+val connected : Graph.t -> bool

@@ -1,0 +1,15 @@
+(** Fixed-width bin histogram over floats. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [hi <= lo] or [bins < 1]. Samples outside
+    [lo, hi) land in the first/last bin. *)
+
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val bin_counts : t -> int array
+val bin_bounds : t -> int -> float * float
+val pp : ?width:int -> Format.formatter -> t -> unit
+(** ASCII bar rendering. *)

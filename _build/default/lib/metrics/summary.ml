@@ -1,0 +1,48 @@
+type t = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  sum : float;
+}
+
+let of_list samples =
+  match samples with
+  | [] -> invalid_arg "Summary.of_list: empty"
+  | _ ->
+    let count = List.length samples in
+    let sum = List.fold_left ( +. ) 0. samples in
+    let mean = sum /. float_of_int count in
+    let sq_dev = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples in
+    {
+      count;
+      min = List.fold_left min infinity samples;
+      max = List.fold_left max neg_infinity samples;
+      mean;
+      stddev = sqrt (sq_dev /. float_of_int count);
+      sum;
+    }
+
+let of_ints samples = of_list (List.map float_of_int samples)
+
+let percentile samples q =
+  if samples = [] then invalid_arg "Summary.percentile: empty";
+  if q < 0. || q > 100. then invalid_arg "Summary.percentile: q out of range";
+  let sorted = List.sort Float.compare samples in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = q /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+let median samples = percentile samples 50.
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d min=%.2f mean=%.2f max=%.2f sd=%.2f" t.count t.min
+    t.mean t.max t.stddev

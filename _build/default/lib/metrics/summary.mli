@@ -1,0 +1,22 @@
+(** Summary statistics over float samples. *)
+
+type t = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  sum : float;
+}
+
+val of_list : float list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val of_ints : int list -> t
+
+val percentile : float list -> float -> float
+(** [percentile samples q] with [q] in 0..100, linear interpolation.
+    @raise Invalid_argument on empty input or out-of-range [q]. *)
+
+val median : float list -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?(align = []) ~header rows =
+  let cols = List.length header in
+  let get_align i = match List.nth_opt align i with Some a -> a | None -> Right in
+  let widths = Array.make cols 0 in
+  let note row =
+    List.iteri (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  note header;
+  List.iter note rows;
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (get_align i) widths.(i) cell) row)
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let print ?align ~header rows = print_endline (render ?align ~header rows)
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let series ~title ~x_label ~y_labels points =
+  let header = x_label :: y_labels in
+  let rows =
+    List.map
+      (fun (x, ys) ->
+        fmt_float ~decimals:1 x :: List.map (fun y -> fmt_float y) ys)
+      points
+  in
+  Printf.sprintf "== %s ==\n%s" title (render ~header rows)

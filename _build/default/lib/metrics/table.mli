@@ -1,0 +1,20 @@
+(** ASCII table / data-series rendering for the benchmark harness: each
+    figure reproduction prints the same rows or series the paper plots. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** Pretty monospace table with a header rule. Missing alignments default
+    to Right. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+val fmt_int : int -> string
+(** Thousands separators: 1234567 -> "1,234,567". *)
+
+val fmt_float : ?decimals:int -> float -> string
+
+val series : title:string -> x_label:string -> y_labels:string list ->
+  (float * float list) list -> string
+(** Render a multi-series data set (one x column, n y columns) with a
+    title — the textual equivalent of one paper sub-figure. *)

@@ -1,0 +1,1 @@
+lib/netaddr/prefix.ml: Format Hashtbl Int Ipv4 Printf String

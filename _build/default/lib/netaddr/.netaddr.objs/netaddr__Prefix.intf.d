@@ -1,0 +1,1 @@
+lib/netaddr/prefix.mli: Format Ipv4

@@ -1,0 +1,1 @@
+lib/netaddr/prefix_trie.ml: Ipv4 List Option Prefix

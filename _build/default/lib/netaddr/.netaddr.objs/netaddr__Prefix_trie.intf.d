@@ -1,0 +1,1 @@
+lib/netaddr/prefix_trie.mli: Ipv4 Prefix

@@ -1,0 +1,57 @@
+type t = int
+
+let mask32 = 0xFFFF_FFFF
+let zero = 0
+let max_addr = mask32
+let of_int n = n land mask32
+let to_int a = a
+
+let of_octets a b c d =
+  ((a land 0xFF) lsl 24)
+  lor ((b land 0xFF) lsl 16)
+  lor ((c land 0xFF) lsl 8)
+  lor (d land 0xFF)
+
+let to_octets a =
+  ((a lsr 24) land 0xFF, (a lsr 16) land 0xFF, (a lsr 8) land 0xFF, a land 0xFF)
+
+let of_string_opt s =
+  (* Hand-rolled parser: rejects empty octets, values > 255 and trailing
+     garbage, which [Scanf] would silently accept in various forms. *)
+  let n = String.length s in
+  let rec octet i acc digits =
+    if i >= n then (i, acc, digits)
+    else
+      match s.[i] with
+      | '0' .. '9' when digits < 3 ->
+        octet (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0')) (digits + 1)
+      | _ -> (i, acc, digits)
+  in
+  let rec go i k acc =
+    let j, v, digits = octet i 0 0 in
+    if digits = 0 || v > 255 then None
+    else
+      let acc = (acc lsl 8) lor v in
+      if k = 3 then if j = n then Some acc else None
+      else if j < n && s.[j] = '.' then go (j + 1) (k + 1) acc
+      else None
+  in
+  go 0 0 0
+
+let of_string s =
+  match of_string_opt s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string: %S" s)
+
+let to_string a =
+  let x, y, z, w = to_octets a in
+  Printf.sprintf "%d.%d.%d.%d" x y z w
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+let compare = Int.compare
+let equal = Int.equal
+let succ a = (a + 1) land mask32
+let pred a = (a - 1) land mask32
+let add a n = (a + n) land mask32
+let bit a i = (a lsr (31 - i)) land 1 = 1
+let hash a = Hashtbl.hash a

@@ -1,0 +1,43 @@
+(** IPv4 addresses represented as unboxed OCaml integers in [0, 2^32). *)
+
+type t = private int
+
+val zero : t
+val max_addr : t
+
+val of_int : int -> t
+(** [of_int n] masks [n] to 32 bits. *)
+
+val to_int : t -> int
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] builds the address [a.b.c.d]. Each octet is masked
+    to 8 bits. *)
+
+val to_octets : t -> int * int * int * int
+
+val of_string : string -> t
+(** Parse dotted-quad notation. @raise Invalid_argument on malformed
+    input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val succ : t -> t
+(** Successor address, wrapping at 255.255.255.255. *)
+
+val pred : t -> t
+(** Predecessor address, wrapping at 0.0.0.0. *)
+
+val add : t -> int -> t
+(** [add a n] offsets [a] by [n], masked to 32 bits. *)
+
+val bit : t -> int -> bool
+(** [bit a i] is the [i]-th most significant bit of [a];
+    [i] ranges over 0..31. *)
+
+val hash : t -> int

@@ -1,0 +1,124 @@
+(* Path-compressed binary trie. Invariants:
+   - each [Node]'s children are strictly more specific than its prefix
+     and fall in its address range (left: next bit 0, right: next bit 1);
+   - a node with [value = None] has two non-empty children
+     (otherwise it is compressed away). *)
+
+type 'a t =
+  | Empty
+  | Node of { pfx : Prefix.t; value : 'a option; l : 'a t; r : 'a t }
+
+let empty = Empty
+let is_empty t = t = Empty
+let singleton pfx v = Node { pfx; value = Some v; l = Empty; r = Empty }
+
+(* Longest common prefix of two prefixes. *)
+let common_prefix p q =
+  let x = Ipv4.to_int (Prefix.addr p) lxor Ipv4.to_int (Prefix.addr q) in
+  let rec first_diff i = if i >= 32 then 32 else if (x lsr (31 - i)) land 1 = 1 then i else first_diff (i + 1) in
+  let l = min (min (Prefix.len p) (Prefix.len q)) (first_diff 0) in
+  Prefix.make (Prefix.addr p) l
+
+let node pfx value l r =
+  match (value, l, r) with
+  | None, Empty, Empty -> Empty
+  | None, only, Empty | None, Empty, only -> only
+  | _, _, _ -> Node { pfx; value; l; r }
+
+(* Direction of [q] below [pfx]: false = left (bit 0), true = right. *)
+let dir pfx q = Prefix.bit q (Prefix.len pfx)
+
+let join p tp q tq =
+  let c = common_prefix p q in
+  if dir c p then Node { pfx = c; value = None; l = tq; r = tp }
+  else Node { pfx = c; value = None; l = tp; r = tq }
+
+let rec update pfx f t =
+  match t with
+  | Empty -> ( match f None with None -> Empty | Some v -> singleton pfx v)
+  | Node ({ pfx = np; value; l; r } as n) ->
+    if Prefix.equal pfx np then node np (f value) l r
+    else if Prefix.subsumes np pfx then
+      if dir np pfx then node np value l (update pfx f r)
+      else node np value (update pfx f l) r
+    else (
+      (* [pfx] is outside or above [np]: splice in a new node. *)
+      match f None with
+      | None -> t
+      | Some v ->
+        if Prefix.subsumes pfx np then
+          if dir pfx np then Node { pfx; value = Some v; l = Empty; r = Node n }
+          else Node { pfx; value = Some v; l = Node n; r = Empty }
+        else join pfx (singleton pfx v) np (Node n))
+
+let add pfx v t = update pfx (fun _ -> Some v) t
+let remove pfx t = update pfx (fun _ -> None) t
+
+let rec find pfx t =
+  match t with
+  | Empty -> None
+  | Node { pfx = np; value; l; r } ->
+    if Prefix.equal pfx np then value
+    else if Prefix.subsumes np pfx && Prefix.len np < 32 then
+      find pfx (if dir np pfx then r else l)
+    else None
+
+let mem pfx t = find pfx t <> None
+
+let rec matches_acc a t acc =
+  match t with
+  | Empty -> acc
+  | Node { pfx; value; l; r } ->
+    if not (Prefix.mem a pfx) then acc
+    else
+      let acc = match value with Some v -> (pfx, v) :: acc | None -> acc in
+      if Prefix.len pfx >= 32 then acc
+      else if Ipv4.bit a (Prefix.len pfx) then matches_acc a r acc
+      else matches_acc a l acc
+
+let matches a t = matches_acc a t []
+
+let longest_match a t =
+  match matches a t with [] -> None | best :: _ -> Some best
+
+let rec fold f t acc =
+  match t with
+  | Empty -> acc
+  | Node { pfx; value; l; r } ->
+    let acc = match value with Some v -> f pfx v acc | None -> acc in
+    fold f r (fold f l acc)
+
+let iter f t = fold (fun p v () -> f p v) t ()
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+
+let to_list t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
+
+let of_list l = List.fold_left (fun t (p, v) -> add p v t) Empty l
+
+let keys t = List.map fst (to_list t)
+
+let rec map f t =
+  match t with
+  | Empty -> Empty
+  | Node { pfx; value; l; r } ->
+    Node { pfx; value = Option.map f value; l = map f l; r = map f r }
+
+let rec covered_all t acc =
+  match t with
+  | Empty -> acc
+  | Node { pfx; value; l; r } ->
+    let acc = covered_all r acc in
+    let acc = covered_all l acc in
+    (match value with Some v -> (pfx, v) :: acc | None -> acc)
+
+let rec covered pfx t =
+  match t with
+  | Empty -> []
+  | Node { pfx = np; value = _; l; r } ->
+    if Prefix.subsumes pfx np then covered_all t []
+    else if Prefix.subsumes np pfx then
+      if dir np pfx then covered pfx r else covered pfx l
+    else []
+
+let filter f t =
+  fold (fun p v acc -> if f p v then add p v acc else acc) t Empty

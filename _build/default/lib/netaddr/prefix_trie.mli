@@ -1,0 +1,45 @@
+(** Immutable path-compressed binary trie keyed by IPv4 prefixes.
+
+    Supports exact-match lookup, longest-prefix match on addresses, and
+    enumeration of covering / covered prefixes — the primitives needed by
+    RIBs and by ABRR address partitions. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val singleton : Prefix.t -> 'a -> 'a t
+
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** Insert or replace the binding for a prefix. *)
+
+val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t
+(** [update p f t] applies [f] to the current binding of [p] ([None] if
+    absent); [f]'s result replaces it ([None] removes). *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+val find : Prefix.t -> 'a t -> 'a option
+val mem : Prefix.t -> 'a t -> bool
+
+val longest_match : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
+(** Most specific prefix in the trie containing the address. *)
+
+val matches : Ipv4.t -> 'a t -> (Prefix.t * 'a) list
+(** All prefixes containing the address, most specific first. *)
+
+val covered : Prefix.t -> 'a t -> (Prefix.t * 'a) list
+(** All entries equal to or more specific than the given prefix,
+    in increasing prefix order. *)
+
+val cardinal : 'a t -> int
+val fold : (Prefix.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> (Prefix.t * 'a) list
+(** Bindings in increasing [Prefix.compare] order. *)
+
+val of_list : (Prefix.t * 'a) list -> 'a t
+
+val keys : 'a t -> Prefix.t list
+val map : ('a -> 'b) -> 'a t -> 'b t
+val filter : (Prefix.t -> 'a -> bool) -> 'a t -> 'a t

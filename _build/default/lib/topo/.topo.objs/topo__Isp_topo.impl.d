@@ -1,0 +1,1 @@
+lib/topo/isp_topo.ml: Abrr_core Array Bgp Fun Igp Int Ipv4 List Netaddr Random

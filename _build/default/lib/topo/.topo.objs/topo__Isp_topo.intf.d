@@ -1,0 +1,1 @@
+lib/topo/isp_topo.mli: Abrr_core Bgp Eventsim Igp Ipv4 Netaddr

@@ -1,0 +1,1 @@
+lib/topo/mrt.ml: Abrr_core Bgp Buffer Bytes Char Format Fun Ipv4 List Netaddr Printf Trace_gen

@@ -1,0 +1,1 @@
+lib/topo/mrt.mli: Bgp Trace_gen

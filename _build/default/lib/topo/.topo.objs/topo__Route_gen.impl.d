@@ -1,0 +1,1 @@
+lib/topo/route_gen.ml: Abrr_core Array Bgp Hashtbl Ipv4 Isp_topo List Netaddr Prefix Random

@@ -1,0 +1,1 @@
+lib/topo/route_gen.mli: Abrr_core Bgp Ipv4 Isp_topo Netaddr Prefix

@@ -1,0 +1,1 @@
+lib/topo/trace_gen.ml: Abrr_core Array Bgp Eventsim Float Fun Hashtbl Int Ipv4 List Netaddr Prefix Random Route_gen Time

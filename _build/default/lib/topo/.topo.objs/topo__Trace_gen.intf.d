@@ -1,0 +1,1 @@
+lib/topo/trace_gen.mli: Abrr_core Bgp Eventsim Ipv4 Netaddr Prefix Route_gen Time

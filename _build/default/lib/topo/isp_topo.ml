@@ -1,0 +1,170 @@
+open Netaddr
+
+type spec = {
+  pops : int;
+  routers_per_pop : int;
+  peer_ases : int;
+  peering_points_per_as : int;
+  intra_pop_metric : int;
+  inter_pop_metric : int;
+  seed : int;
+}
+
+let spec ?(pops = 13) ?(routers_per_pop = 8) ?(peer_ases = 25)
+    ?(peering_points_per_as = 8) ?(intra_pop_metric = 10)
+    ?(inter_pop_metric = 100) ?(seed = 7) () =
+  if pops < 1 || routers_per_pop < 3 then
+    invalid_arg "Isp_topo.spec: need at least 1 PoP with 3 routers";
+  if peer_ases < 1 || peering_points_per_as < 1 then
+    invalid_arg "Isp_topo.spec: need peer ASes and peering points";
+  {
+    pops;
+    routers_per_pop;
+    peer_ases;
+    peering_points_per_as;
+    intra_pop_metric;
+    inter_pop_metric;
+    seed;
+  }
+
+type session = { router : int; neighbor : Ipv4.t; peer_as : Bgp.Asn.t }
+
+type t = {
+  spec : spec;
+  n_routers : int;
+  igp : Igp.Graph.t;
+  pop_of : int array;
+  peering_routers : int list;
+  access_routers : int list;
+  sessions : session list;
+  clusters : Abrr_core.Config.cluster list;
+  trrs : int list;
+}
+
+let peer_asn k = Bgp.Asn.of_int (3000 + k)
+
+(* Router layout: PoP p owns routers [p*rpp, (p+1)*rpp). Within a PoP,
+   routers 0 and 1 are the TRR pair (and the PoP's backbone gateways),
+   router 2 is the PoP's peering router, the rest are access routers. *)
+
+let generate spec =
+  let rpp = spec.routers_per_pop in
+  let n = spec.pops * rpp in
+  let igp = Igp.Graph.create ~n in
+  let pop_of = Array.init n (fun i -> i / rpp) in
+  let rng = Random.State.make [| spec.seed |] in
+  (* Intra-PoP: star from both gateways to every other router, plus the
+     gateway pair link — metrics well below inter-PoP links, the standard
+     "clients close to their RRs" arrangement. *)
+  for p = 0 to spec.pops - 1 do
+    let base = p * rpp in
+    Igp.Graph.add_edge igp base (base + 1) spec.intra_pop_metric;
+    for r = base + 2 to base + rpp - 1 do
+      Igp.Graph.add_edge igp base r spec.intra_pop_metric;
+      Igp.Graph.add_edge igp (base + 1) r
+        (spec.intra_pop_metric + 1 + Random.State.int rng 3)
+    done
+  done;
+  (* Inter-PoP backbone: ring over gateway 0s, plus random chords. *)
+  for p = 0 to spec.pops - 1 do
+    let q = (p + 1) mod spec.pops in
+    if spec.pops > 1 then
+      Igp.Graph.add_edge igp (p * rpp) (q * rpp)
+        (spec.inter_pop_metric + Random.State.int rng 20)
+  done;
+  let chords = max 0 (spec.pops - 3) in
+  for _ = 1 to chords do
+    let p = Random.State.int rng spec.pops in
+    let q = Random.State.int rng spec.pops in
+    if p <> q then
+      Igp.Graph.add_edge igp ((p * rpp) + 1) ((q * rpp) + 1)
+        (spec.inter_pop_metric + Random.State.int rng 40)
+  done;
+  (* Peering routers: one per PoP (router 2), i.e. roughly 1/rpp of the
+     network, matching the <10% peering share of the measured AS. *)
+  let peering_routers = List.init spec.pops (fun p -> (p * rpp) + 2) in
+  let is_peering r = List.mem r peering_routers in
+  let access_routers =
+    List.filter
+      (fun r -> (not (is_peering r)) && r mod rpp <> 0 && r mod rpp <> 1)
+      (List.init n Fun.id)
+  in
+  (* Peer AS sessions: each peer AS picks peering points in distinct PoPs
+     (AT&T-style geographic diversity). *)
+  let sessions = ref [] in
+  let next_neighbor = ref 0 in
+  for k = 0 to spec.peer_ases - 1 do
+    let points = min spec.peering_points_per_as spec.pops in
+    let offset = Random.State.int rng spec.pops in
+    let step = 1 + Random.State.int rng (max 1 (spec.pops / points)) in
+    for j = 0 to points - 1 do
+      let pop = (offset + (j * step)) mod spec.pops in
+      let router = (pop * rpp) + 2 in
+      let neighbor = Ipv4.of_int (0xAC10_0000 + !next_neighbor) in
+      incr next_neighbor;
+      sessions := { router; neighbor; peer_as = peer_asn k } :: !sessions
+    done
+  done;
+  let sessions = List.rev !sessions in
+  (* TBRR clusters: one per PoP, TRR pair = the gateways. *)
+  let clusters =
+    List.init spec.pops (fun p ->
+        let base = p * rpp in
+        {
+          Abrr_core.Config.trrs = [ base; base + 1 ];
+          clients = List.init (rpp - 2) (fun i -> base + 2 + i);
+        })
+  in
+  let trrs =
+    List.concat_map (fun (c : Abrr_core.Config.cluster) -> c.trrs) clusters
+  in
+  { spec; n_routers = n; igp; pop_of; peering_routers; access_routers;
+    sessions; clusters; trrs }
+
+let sessions_of_as t asn =
+  List.filter (fun s -> Bgp.Asn.equal s.peer_as asn) t.sessions
+
+let abrr_arrs t ~aps ~arrs_per_ap =
+  (* AP k's j-th redundant ARR sits at pool position k + j*(n/redundancy):
+     redundant ARRs land in far-apart PoPs, and assignments are disjoint
+     across APs whenever the pool is large enough. Routers are reused
+     (an ARR serving several APs) only when it is not. *)
+  let pool = Array.of_list t.access_routers in
+  let n = Array.length pool in
+  if n < arrs_per_ap then invalid_arg "Isp_topo.abrr_arrs: not enough routers";
+  let stride = max 1 (n / arrs_per_ap) in
+  Array.init aps (fun ap ->
+      let rec pick j acc =
+        if j >= arrs_per_ap then acc
+        else begin
+          let base = (ap + (j * stride)) mod n in
+          let rec distinct k =
+            let cand = pool.((base + k) mod n) in
+            if List.mem cand acc then distinct (k + 1) else cand
+          in
+          pick (j + 1) (distinct 0 :: acc)
+        end
+      in
+      List.sort Int.compare (pick 0 []))
+
+let tbrr_scheme ?multipath t = Abrr_core.Config.tbrr ?multipath t.clusters
+
+let confed_scheme t =
+  let rpp = t.spec.routers_per_pop in
+  let confed_links =
+    List.init (t.spec.pops - 1) (fun p -> (p * rpp, (p + 1) * rpp))
+  in
+  Abrr_core.Config.confed ~sub_as_of:(Array.copy t.pop_of) ~confed_links
+
+let rcp_scheme ?(replicas = 2) t =
+  let arrs = abrr_arrs t ~aps:1 ~arrs_per_ap:replicas in
+  Abrr_core.Config.rcp arrs.(0)
+
+let abrr_scheme ?loop_prevention ~aps ~arrs_per_ap t =
+  let partition = Abrr_core.Partition.uniform aps in
+  Abrr_core.Config.abrr ?loop_prevention ~partition
+    (abrr_arrs t ~aps ~arrs_per_ap)
+
+let config ?med_mode ?mrai ?proc_delay ?proc_jitter ?store_full_sets ~scheme t =
+  Abrr_core.Config.make ?med_mode ?mrai ?proc_delay ?proc_jitter
+    ?store_full_sets ~n_routers:t.n_routers ~igp:t.igp ~scheme ()

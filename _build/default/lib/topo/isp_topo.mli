@@ -1,0 +1,86 @@
+(** Synthetic Tier-1 ISP topology: PoPs with intra-PoP meshes and an
+    inter-PoP backbone, TBRR clusters per PoP (the industry arrangement
+    of §1), peering routers spread over distinct PoPs, and peer-AS
+    sessions with geographically diverse peering points (§A.2).
+
+    Substitutes for the unpublishable Tier-1 topology; every statistic
+    the paper states (router counts, cluster counts, ~10% peering
+    routers, 25 peer ASes with ~8 peering points each) is reproducible
+    by choosing the spec accordingly. *)
+
+open Netaddr
+
+type spec = {
+  pops : int;
+  routers_per_pop : int;
+  peer_ases : int;
+  peering_points_per_as : int;
+  intra_pop_metric : int;
+  inter_pop_metric : int;
+  seed : int;
+}
+
+val spec :
+  ?pops:int ->
+  ?routers_per_pop:int ->
+  ?peer_ases:int ->
+  ?peering_points_per_as:int ->
+  ?intra_pop_metric:int ->
+  ?inter_pop_metric:int ->
+  ?seed:int ->
+  unit ->
+  spec
+(** Defaults: 13 PoPs x 8 routers, 25 peer ASes x 8 peering points,
+    metrics 10/100, seed 7. *)
+
+type session = { router : int; neighbor : Ipv4.t; peer_as : Bgp.Asn.t }
+(** One eBGP peering session. *)
+
+type t = {
+  spec : spec;
+  n_routers : int;
+  igp : Igp.Graph.t;
+  pop_of : int array;
+  peering_routers : int list;
+  access_routers : int list;
+  sessions : session list;
+  clusters : Abrr_core.Config.cluster list;  (** one per PoP, 2 TRRs each *)
+  trrs : int list;
+}
+
+val generate : spec -> t
+
+val peer_asn : int -> Bgp.Asn.t
+(** [peer_asn k] is the ASN of the k-th peer AS (3000 + k). *)
+
+val sessions_of_as : t -> Bgp.Asn.t -> session list
+
+val abrr_arrs : t -> aps:int -> arrs_per_ap:int -> int list array
+(** Pick ARR routers for each AP: non-peering routers spread round-robin
+    across PoPs (placement is free in ABRR — §2.3.3; this choice merely
+    diversifies failure domains). *)
+
+val tbrr_scheme : ?multipath:bool -> t -> Abrr_core.Config.scheme
+
+val confed_scheme : t -> Abrr_core.Config.scheme
+(** One member sub-AS per PoP, chained acyclically through the PoP
+    gateways (cyclic sub-AS graphs can oscillate; see the anomaly
+    matrix). *)
+
+val rcp_scheme : ?replicas:int -> t -> Abrr_core.Config.scheme
+(** Routing Control Platform nodes on access routers of distinct PoPs
+    (default 2 replicas). *)
+
+val abrr_scheme :
+  ?loop_prevention:Abrr_core.Config.loop_prevention ->
+  aps:int -> arrs_per_ap:int -> t -> Abrr_core.Config.scheme
+
+val config :
+  ?med_mode:Bgp.Decision.med_mode ->
+  ?mrai:Eventsim.Time.t ->
+  ?proc_delay:Eventsim.Time.t ->
+  ?proc_jitter:Eventsim.Time.t ->
+  ?store_full_sets:bool ->
+  scheme:Abrr_core.Config.scheme ->
+  t ->
+  Abrr_core.Config.t

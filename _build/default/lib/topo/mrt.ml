@@ -1,0 +1,159 @@
+open Netaddr
+
+let mrt_type_bgp4mp_et = 17
+let subtype_message_as4 = 4
+
+let w8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let w16 buf v =
+  w8 buf (v lsr 8);
+  w8 buf v
+
+let w32 buf v =
+  w16 buf (v lsr 16);
+  w16 buf (v land 0xFFFF)
+
+let encode_record buf ~time ~local_as ~peer_as ~peer_ip ~local_ip payload =
+  let sec = time / 1_000_000 and usec = time mod 1_000_000 in
+  let body = Buffer.create (32 + Bytes.length payload) in
+  w32 body usec;
+  w32 body (Bgp.Asn.to_int peer_as);
+  w32 body (Bgp.Asn.to_int local_as);
+  w16 body 0 (* interface index *);
+  w16 body 1 (* AFI IPv4 *);
+  w32 body (Ipv4.to_int peer_ip);
+  w32 body (Ipv4.to_int local_ip);
+  Buffer.add_bytes body payload;
+  w32 buf sec;
+  w16 buf mrt_type_bgp4mp_et;
+  w16 buf subtype_message_as4;
+  w32 buf (Buffer.length body);
+  Buffer.add_buffer buf body
+
+let event_update (action : Trace_gen.action) =
+  match action with
+  | Trace_gen.Announce { route; _ } -> { Bgp.Msg.withdrawn = []; announced = [ route ] }
+  | Trace_gen.Withdraw { prefix; path_id; _ } ->
+    { Bgp.Msg.withdrawn = [ { Bgp.Msg.prefix; path_id } ]; announced = [] }
+
+let encode_events ~local_as events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (ev : Trace_gen.event) ->
+      let router, neighbor =
+        match ev.Trace_gen.action with
+        | Trace_gen.Announce { router; neighbor; _ }
+        | Trace_gen.Withdraw { router; neighbor; _ } -> (router, neighbor)
+      in
+      let peer_as =
+        match ev.Trace_gen.action with
+        | Trace_gen.Announce { route; _ } -> (
+          match Bgp.Route.neighbor_as route with
+          | Some a -> a
+          | None -> Bgp.Asn.of_int 0)
+        | Trace_gen.Withdraw _ -> Bgp.Asn.of_int 0
+      in
+      let msgs =
+        Bgp.Wire.encode ~add_paths:true
+          (Bgp.Msg.Update (event_update ev.Trace_gen.action))
+      in
+      List.iter
+        (fun payload ->
+          encode_record buf ~time:ev.Trace_gen.time ~local_as ~peer_as
+            ~peer_ip:neighbor
+            ~local_ip:(Abrr_core.Config.loopback router)
+            payload)
+        msgs)
+    events;
+  Buffer.to_bytes buf
+
+exception Bad of string
+
+let decode_events data =
+  let total = Bytes.length data in
+  let pos = ref 0 in
+  let r8 () =
+    if !pos >= total then raise (Bad "truncated");
+    let v = Char.code (Bytes.get data !pos) in
+    incr pos;
+    v
+  in
+  let r16 () =
+    let a = r8 () in
+    (a lsl 8) lor r8 ()
+  in
+  let r32 () =
+    let a = r16 () in
+    (a lsl 16) lor r16 ()
+  in
+  try
+    let out = ref [] in
+    while !pos < total do
+      let sec = r32 () in
+      let typ = r16 () in
+      let subtype = r16 () in
+      let len = r32 () in
+      if typ <> mrt_type_bgp4mp_et || subtype <> subtype_message_as4 then
+        raise (Bad (Printf.sprintf "unsupported record %d/%d" typ subtype));
+      if !pos + len > total then raise (Bad "truncated record");
+      let record_end = !pos + len in
+      let usec = r32 () in
+      let _peer_as = r32 () in
+      let _local_as = r32 () in
+      let _ifindex = r16 () in
+      let afi = r16 () in
+      if afi <> 1 then raise (Bad "non-IPv4 AFI");
+      let peer_ip = Ipv4.of_int (r32 ()) in
+      let local_ip = Ipv4.of_int (r32 ()) in
+      let router = Ipv4.to_int local_ip - 0x0A00_0000 in
+      if router < 0 then raise (Bad "local IP is not a loopback");
+      let time = (sec * 1_000_000) + usec in
+      (match Bgp.Wire.decode ~add_paths:true data ~pos:!pos with
+      | Error e -> raise (Bad (Format.asprintf "%a" Bgp.Wire.pp_error e))
+      | Ok (Bgp.Msg.Update u, next) ->
+        if next <> record_end then raise (Bad "record length mismatch");
+        List.iter
+          (fun (w : Bgp.Msg.withdrawal) ->
+            out :=
+              {
+                Trace_gen.time;
+                action =
+                  Trace_gen.Withdraw
+                    {
+                      router;
+                      neighbor = peer_ip;
+                      prefix = w.Bgp.Msg.prefix;
+                      path_id = w.Bgp.Msg.path_id;
+                    };
+              }
+              :: !out)
+          u.Bgp.Msg.withdrawn;
+        List.iter
+          (fun route ->
+            out :=
+              {
+                Trace_gen.time;
+                action = Trace_gen.Announce { router; neighbor = peer_ip; route };
+              }
+              :: !out)
+          u.Bgp.Msg.announced
+      | Ok (_, _) -> raise (Bad "expected UPDATE"));
+      pos := record_end
+    done;
+    Ok (List.rev !out)
+  with Bad msg -> Error msg
+
+let save path ~local_as events =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (encode_events ~local_as events))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let data = really_input_string ic n in
+      decode_events (Bytes.of_string data))

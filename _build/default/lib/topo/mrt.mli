@@ -1,0 +1,15 @@
+(** MRT trace serialisation (RFC 6396): BGP4MP_ET records with
+    microsecond timestamps wrapping wire-encoded BGP UPDATE messages —
+    the format the paper's route regenerator consumes.
+
+    Router identity round-trips through the record's local IP using the
+    loopback convention of {!Abrr_core.Config.loopback}. *)
+
+val encode_events : local_as:Bgp.Asn.t -> Trace_gen.event list -> bytes
+
+val decode_events : bytes -> (Trace_gen.event list, string) result
+(** Inverse of [encode_events]: announcements and withdrawals are
+    recovered with their timestamps, sessions and full attribute sets. *)
+
+val save : string -> local_as:Bgp.Asn.t -> Trace_gen.event list -> unit
+val load : string -> (Trace_gen.event list, string) result

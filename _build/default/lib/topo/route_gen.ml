@@ -1,0 +1,215 @@
+open Netaddr
+
+type spec = {
+  n_prefixes : int;
+  peer_share : float;
+  carry_prob : float;
+  short_path_prob : float;
+  med_levels : int;
+  med_quantum : int;
+  multihomed_customer_prob : float;
+  seed : int;
+}
+
+let spec ?(n_prefixes = 2000) ?(peer_share = 0.76) ?(carry_prob = 0.7)
+    ?(short_path_prob = 0.3) ?(med_levels = 3) ?(med_quantum = 10)
+    ?(multihomed_customer_prob = 0.1) ?(seed = 11) () =
+  if n_prefixes < 1 then invalid_arg "Route_gen.spec: need prefixes";
+  let check01 name v =
+    if v < 0. || v > 1. then invalid_arg ("Route_gen.spec: " ^ name ^ " not in [0,1]")
+  in
+  check01 "peer_share" peer_share;
+  check01 "carry_prob" carry_prob;
+  check01 "short_path_prob" short_path_prob;
+  check01 "multihomed_customer_prob" multihomed_customer_prob;
+  if med_levels < 1 || med_quantum < 1 then
+    invalid_arg "Route_gen.spec: MED quantization must be positive";
+  {
+    n_prefixes;
+    peer_share;
+    carry_prob;
+    short_path_prob;
+    med_levels;
+    med_quantum;
+    multihomed_customer_prob;
+    seed;
+  }
+
+type ebgp_route = { router : int; neighbor : Ipv4.t; route : Bgp.Route.t }
+
+type t = {
+  gen_spec : spec;
+  prefixes : Prefix.t array;
+  from_peers : bool array;
+  routes : ebgp_route list array;
+}
+
+(* Prefix universe: distinct prefixes spread over the unicast space,
+   avoiding the first octets reserved by our conventions: loopbacks
+   (10/8), eBGP neighbours (172.16/12), cluster IDs (192.168/16) and
+   127/8. *)
+let gen_prefixes rng n =
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] in
+  let count = ref 0 in
+  while !count < n do
+    let len = 16 + Random.State.int rng 9 in
+    let a = 1 + Random.State.int rng 223 in
+    if a <> 10 && a <> 127 && a <> 172 && a <> 192 then begin
+      let addr =
+        Ipv4.of_octets a (Random.State.int rng 256) (Random.State.int rng 256) 0
+      in
+      let p = Prefix.make addr len in
+      let key = Prefix.to_key p in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        out := p :: !out;
+        incr count
+      end
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let origin_asn rng = Bgp.Asn.of_int (50_000 + Random.State.int rng 10_000)
+let transit_asn rng = Bgp.Asn.of_int (40_000 + Random.State.int rng 5_000)
+let customer_asn rng = Bgp.Asn.of_int (10_000 + Random.State.int rng 10_000)
+
+(* A unique add-paths id per (router, prefix) pair is required; we use a
+   globally unique id per eBGP session route which is stronger. *)
+let generate (topo : Isp_topo.t) spec =
+  let rng = Random.State.make [| spec.seed |] in
+  let prefixes = gen_prefixes rng spec.n_prefixes in
+  let from_peers =
+    Array.init spec.n_prefixes (fun _ -> Random.State.float rng 1. < spec.peer_share)
+  in
+  let routes = Array.make spec.n_prefixes [] in
+  let next_path_id = ref 1 in
+  let fresh_id () =
+    let id = !next_path_id in
+    incr next_path_id;
+    id
+  in
+  let peer_as_list =
+    List.init topo.Isp_topo.spec.Isp_topo.peer_ases Isp_topo.peer_asn
+  in
+  let access = Array.of_list topo.Isp_topo.access_routers in
+  for i = 0 to spec.n_prefixes - 1 do
+    let prefix = prefixes.(i) in
+    if from_peers.(i) then begin
+      let origin = origin_asn rng in
+      let transit = transit_asn rng in
+      let entries = ref [] in
+      List.iter
+        (fun peer_as ->
+          if Random.State.float rng 1. < spec.carry_prob then begin
+            let short = Random.State.float rng 1. < spec.short_path_prob in
+            let as_path =
+              if short then Bgp.As_path.of_asns [ peer_as; origin ]
+              else Bgp.As_path.of_asns [ peer_as; transit; origin ]
+            in
+            let points = Isp_topo.sessions_of_as topo peer_as in
+            List.iteri
+              (fun _j (s : Isp_topo.session) ->
+                let med = spec.med_quantum * Random.State.int rng spec.med_levels in
+                let route =
+                  Bgp.Route.make ~path_id:(fresh_id ()) ~as_path
+                    ~med:(Some med) ~prefix ~next_hop:s.Isp_topo.neighbor ()
+                in
+                entries :=
+                  { router = s.Isp_topo.router; neighbor = s.Isp_topo.neighbor; route }
+                  :: !entries)
+              points
+          end)
+        peer_as_list;
+      (* Guarantee at least one route per prefix. *)
+      if !entries = [] then begin
+        let peer_as = List.nth peer_as_list (Random.State.int rng (List.length peer_as_list)) in
+        let s = List.hd (Isp_topo.sessions_of_as topo peer_as) in
+        let route =
+          Bgp.Route.make ~path_id:(fresh_id ())
+            ~as_path:(Bgp.As_path.of_asns [ peer_as; origin ])
+            ~med:(Some (spec.med_quantum * Random.State.int rng spec.med_levels))
+            ~prefix ~next_hop:s.Isp_topo.neighbor ()
+        in
+        entries := [ { router = s.Isp_topo.router; neighbor = s.Isp_topo.neighbor; route } ]
+      end;
+      routes.(i) <- List.rev !entries
+    end
+    else begin
+      (* Customer prefix: originated behind one (occasionally two) access
+         routers. *)
+      let cust = customer_asn rng in
+      let mk () =
+        let r = access.(Random.State.int rng (Array.length access)) in
+        let neighbor =
+          Ipv4.of_int (0xAC20_0000 + Random.State.int rng 0xFFFF)
+        in
+        let route =
+          Bgp.Route.make ~path_id:(fresh_id ())
+            ~as_path:(Bgp.As_path.of_asns [ cust ])
+            ~prefix ~next_hop:neighbor ()
+        in
+        { router = r; neighbor; route }
+      in
+      let first = mk () in
+      let entries =
+        if Random.State.float rng 1. < spec.multihomed_customer_prob then
+          [ first; mk () ]
+        else [ first ]
+      in
+      routes.(i) <- entries
+    end
+  done;
+  { gen_spec = spec; prefixes; from_peers; routes }
+
+let total_routes t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.routes
+
+let peer_prefix_count t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.from_peers
+
+let inject_all t net =
+  Array.iter
+    (fun entries ->
+      List.iter
+        (fun e ->
+          Abrr_core.Network.inject net ~router:e.router ~neighbor:e.neighbor e.route)
+        entries)
+    t.routes
+
+let route_peer_as (r : Bgp.Route.t) = Bgp.Route.neighbor_as r
+
+let is_peer_asn asn = Bgp.Asn.to_int asn >= 3000 && Bgp.Asn.to_int asn < 10_000
+
+let peer_asns t =
+  let set = Hashtbl.create 32 in
+  Array.iter
+    (fun entries ->
+      List.iter
+        (fun e ->
+          match route_peer_as e.route with
+          | Some a when is_peer_asn a -> Hashtbl.replace set (Bgp.Asn.to_int a) ()
+          | Some _ | None -> ())
+        entries)
+    t.routes;
+  Hashtbl.fold (fun a () acc -> Bgp.Asn.of_int a :: acc) set []
+  |> List.sort Bgp.Asn.compare
+
+let tables ?peer_filter ?(include_customers = true) t =
+  let keep (r : Bgp.Route.t) =
+    match route_peer_as r with
+    | None -> include_customers
+    | Some asn ->
+      if is_peer_asn asn then
+        match peer_filter with None -> true | Some f -> f asn
+      else include_customers
+  in
+  let out = ref [] in
+  for i = Array.length t.prefixes - 1 downto 0 do
+    let routes =
+      List.filter_map
+        (fun e -> if keep e.route then Some e.route else None)
+        t.routes.(i)
+    in
+    out := (t.prefixes.(i), routes) :: !out
+  done;
+  !out

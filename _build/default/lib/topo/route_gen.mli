@@ -1,0 +1,68 @@
+(** Synthetic route tables calibrated to the paper's Tier-1 measurements:
+    ~76% of prefixes learned from peer ASes (the rest from customers),
+    AS-path-length ties across several peers and shared-vs-distinct MEDs
+    across peering points producing a Fig.3-like best-AS-level route
+    count (≈10 per prefix at 25 peer ASes). *)
+
+open Netaddr
+
+type spec = {
+  n_prefixes : int;
+  peer_share : float;  (** fraction of prefixes learned from peer ASes *)
+  carry_prob : float;  (** probability a peer AS carries a peer prefix *)
+  short_path_prob : float;  (** P(a carrier advertises the short AS path) *)
+  med_levels : int;
+      (** MEDs are quantized to [med_quantum * k], k < med_levels; ties at
+          the minimum are what produce multi-route best-AS-level sets *)
+  med_quantum : int;
+  multihomed_customer_prob : float;
+  seed : int;
+}
+
+val spec :
+  ?n_prefixes:int ->
+  ?peer_share:float ->
+  ?carry_prob:float ->
+  ?short_path_prob:float ->
+  ?med_levels:int ->
+  ?med_quantum:int ->
+  ?multihomed_customer_prob:float ->
+  ?seed:int ->
+  unit ->
+  spec
+(** Defaults: 2000 prefixes, 0.76 peer share, carry 0.7, short-path 0.3,
+    3 MED levels of quantum 10, multihoming 0.1, seed 11 — chosen so the
+    measured #BAL at 25 peer ASes lands near the paper's 10.2. *)
+
+type ebgp_route = {
+  router : int;
+  neighbor : Ipv4.t;
+  route : Bgp.Route.t;  (** carries a unique [path_id] per session *)
+}
+
+type t = {
+  gen_spec : spec;
+  prefixes : Prefix.t array;
+  from_peers : bool array;  (** prefix i learned from peer ASes? *)
+  routes : ebgp_route list array;  (** available eBGP routes per prefix *)
+}
+
+val generate : Isp_topo.t -> spec -> t
+
+val total_routes : t -> int
+val peer_prefix_count : t -> int
+
+val inject_all : t -> Abrr_core.Network.t -> unit
+(** Feed the initial RIB snapshot: every eBGP route injected at simulated
+    time zero (the paper's route-regenerator initialisation). *)
+
+val tables :
+  ?peer_filter:(Bgp.Asn.t -> bool) ->
+  ?include_customers:bool ->
+  t ->
+  (Prefix.t * Bgp.Route.t list) list
+(** Per-prefix route lists for #BAL measurement. [peer_filter] restricts
+    which peer ASes' routes are considered (Fig. 3's x-axis);
+    [include_customers] adds customer/static routes ("All Sources"). *)
+
+val peer_asns : t -> Bgp.Asn.t list

@@ -1,0 +1,172 @@
+open Netaddr
+open Eventsim
+
+type spec = {
+  duration : Time.t;
+  events : int;
+  zipf_s : float;
+  flap_share : float;
+  single_point_share : float;
+  jitter : Time.t;
+  seed : int;
+}
+
+let spec ?(duration = Time.days 14) ?(events = 5000) ?(zipf_s = 1.1)
+    ?(flap_share = 0.3) ?(single_point_share = 0.6) ?(jitter = Time.sec 2)
+    ?(seed = 23) () =
+  if events < 0 then invalid_arg "Trace_gen.spec: negative event count";
+  let check01 name v =
+    if v < 0. || v > 1. then invalid_arg ("Trace_gen.spec: " ^ name ^ " not in [0,1]")
+  in
+  check01 "flap_share" flap_share;
+  check01 "single_point_share" single_point_share;
+  { duration; events; zipf_s; flap_share; single_point_share; jitter; seed }
+
+type action =
+  | Announce of { router : int; neighbor : Ipv4.t; route : Bgp.Route.t }
+  | Withdraw of { router : int; neighbor : Ipv4.t; prefix : Prefix.t; path_id : int }
+
+type event = { time : Time.t; action : action }
+
+(* Zipf sampler over [0, n): inverse-CDF on precomputed weights. *)
+let zipf_cdf n s =
+  let weights = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let acc = ref 0. in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+let sample_cdf rng cdf =
+  let u = Random.State.float rng 1. in
+  let n = Array.length cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Group a prefix's eBGP routes by the advertising peer AS (customer
+   routes group under their customer AS). *)
+let groups_of_routes entries =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Route_gen.ebgp_route) ->
+      let key =
+        match Bgp.Route.neighbor_as e.Route_gen.route with
+        | Some a -> Bgp.Asn.to_int a
+        | None -> 0
+      in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := e :: !l
+      | None ->
+        Hashtbl.add tbl key (ref [ e ]);
+        order := key :: !order)
+    entries;
+  List.rev_map (fun key -> List.rev !(Hashtbl.find tbl key)) !order
+
+let generate (table : Route_gen.t) spec =
+  let rng = Random.State.make [| spec.seed |] in
+  let n = Array.length table.Route_gen.prefixes in
+  if n = 0 || spec.events = 0 then []
+  else begin
+    (* Popularity ranking: a deterministic shuffle of prefix indices. *)
+    let ranking = Array.init n Fun.id in
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = ranking.(i) in
+      ranking.(i) <- ranking.(j);
+      ranking.(j) <- tmp
+    done;
+    let cdf = zipf_cdf n spec.zipf_s in
+    let out = ref [] in
+    let emit time action = out := { time; action } :: !out in
+    let jitter () =
+      if spec.jitter = Time.zero then Time.zero
+      else Random.State.int rng spec.jitter
+    in
+    for _ = 1 to spec.events do
+      let idx = ranking.(sample_cdf rng cdf) in
+      let entries = table.Route_gen.routes.(idx) in
+      match groups_of_routes entries with
+      | [] -> ()
+      | groups ->
+        let group = List.nth groups (Random.State.int rng (List.length groups)) in
+        (* Most real-world churn is localised to one peering session; the
+           rest are AS-wide events hitting every point near-simultaneously
+           (the §4.2 race trigger). *)
+        let group =
+          if Random.State.float rng 1. < spec.single_point_share then
+            [ List.nth group (Random.State.int rng (List.length group)) ]
+          else group
+        in
+        let base = Random.State.full_int rng (max 1 spec.duration) in
+        if Random.State.float rng 1. < spec.flap_share then begin
+          (* Flap: all points withdraw, then restore 30-90 s later. *)
+          let restore = base + Time.sec (30 + Random.State.int rng 60) in
+          List.iter
+            (fun (e : Route_gen.ebgp_route) ->
+              let r = e.Route_gen.route in
+              emit (base + jitter ())
+                (Withdraw
+                   {
+                     router = e.Route_gen.router;
+                     neighbor = e.Route_gen.neighbor;
+                     prefix = r.Bgp.Route.prefix;
+                     path_id = r.Bgp.Route.path_id;
+                   });
+              emit (restore + jitter ())
+                (Announce
+                   {
+                     router = e.Route_gen.router;
+                     neighbor = e.Route_gen.neighbor;
+                     route = r;
+                   }))
+            group
+        end
+        else begin
+          (* Attribute change: the AS re-announces with fresh (still
+             quantized) MEDs at the affected points. *)
+          let gs = table.Route_gen.gen_spec in
+          List.iter
+            (fun (e : Route_gen.ebgp_route) ->
+              let r = e.Route_gen.route in
+              let med =
+                Some
+                  (gs.Route_gen.med_quantum
+                  * Random.State.int rng gs.Route_gen.med_levels)
+              in
+              let r = { r with Bgp.Route.med = med } in
+              emit (base + jitter ())
+                (Announce
+                   {
+                     router = e.Route_gen.router;
+                     neighbor = e.Route_gen.neighbor;
+                     route = r;
+                   }))
+            group
+        end
+    done;
+    List.sort (fun a b -> Int.compare a.time b.time) !out
+  end
+
+let schedule net events =
+  List.iter
+    (fun ev ->
+      Abrr_core.Network.at net ev.time (fun () ->
+          match ev.action with
+          | Announce { router; neighbor; route } ->
+            Abrr_core.Network.inject net ~router ~neighbor route
+          | Withdraw { router; neighbor; prefix; path_id } ->
+            Abrr_core.Network.withdraw net ~router ~neighbor prefix ~path_id))
+    events
+
+let action_count events =
+  List.fold_left
+    (fun (a, w) ev ->
+      match ev.action with Announce _ -> (a + 1, w) | Withdraw _ -> (a, w + 1))
+    (0, 0) events

@@ -1,0 +1,51 @@
+(** Two-week BGP update trace generator.
+
+    Events are {e routing events} at the granularity the paper observes:
+    a peer AS changes its route to a prefix, causing near-simultaneous
+    (jittered by up to ~2 s) updates at all of its peering points — the
+    source of the TBRR race conditions analysed in §4.2. Prefix activity
+    follows a Zipf law (a small set of unstable prefixes dominates). *)
+
+open Netaddr
+open Eventsim
+
+type spec = {
+  duration : Time.t;
+  events : int;  (** number of AS-level routing events *)
+  zipf_s : float;  (** popularity skew, 0 = uniform *)
+  flap_share : float;  (** events that withdraw then re-announce *)
+  single_point_share : float;
+      (** events affecting a single peering session rather than every
+          peering point of the AS *)
+  jitter : Time.t;  (** spread of per-point update arrivals *)
+  seed : int;
+}
+
+val spec :
+  ?duration:Time.t ->
+  ?events:int ->
+  ?zipf_s:float ->
+  ?flap_share:float ->
+  ?single_point_share:float ->
+  ?jitter:Time.t ->
+  ?seed:int ->
+  unit ->
+  spec
+(** Defaults: 14 days, 5000 events, skew 1.1, 30% flaps, 60% single-point
+    events, 2 s jitter, seed 23. *)
+
+type action =
+  | Announce of { router : int; neighbor : Ipv4.t; route : Bgp.Route.t }
+  | Withdraw of { router : int; neighbor : Ipv4.t; prefix : Prefix.t; path_id : int }
+
+type event = { time : Time.t; action : action }
+
+val generate : Route_gen.t -> spec -> event list
+(** Time-sorted. Announce/withdraw sequences per session are consistent
+    (a flap withdraws exactly what was announced, then restores it). *)
+
+val schedule : Abrr_core.Network.t -> event list -> unit
+(** Register every event with the network's simulator. *)
+
+val action_count : event list -> int * int
+(** (announcements, withdrawals). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Abrr_core Alcotest Bgp Eventsim Igp Ipv4 List Netaddr Option Prefix

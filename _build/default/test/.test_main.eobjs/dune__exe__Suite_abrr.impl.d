@@ -1,0 +1,1 @@
+test/suite_abrr.ml: Abrr_core Alcotest Bgp Helpers List Printf

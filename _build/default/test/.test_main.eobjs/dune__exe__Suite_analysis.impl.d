@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Analysis Bgp Float Helpers List Netaddr

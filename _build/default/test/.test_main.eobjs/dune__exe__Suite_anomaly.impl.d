@@ -1,0 +1,1 @@
+test/suite_anomaly.ml: Abrr_core Alcotest Bgp List Option Printf

@@ -1,0 +1,1 @@
+test/suite_aspath.ml: Alcotest As_path Asn Bgp

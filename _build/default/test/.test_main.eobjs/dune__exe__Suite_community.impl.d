@@ -1,0 +1,1 @@
+test/suite_community.ml: Alcotest Asn Bgp Community Ext_community List Origin

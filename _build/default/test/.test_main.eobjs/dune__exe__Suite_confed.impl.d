@@ -1,0 +1,1 @@
+test/suite_confed.ml: Abrr_core Alcotest Bgp Helpers List Printf Result

@@ -1,0 +1,1 @@
+test/suite_config.ml: Abrr_core Alcotest Array Eventsim Helpers Netaddr

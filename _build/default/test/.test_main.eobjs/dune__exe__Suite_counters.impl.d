@@ -1,0 +1,1 @@
+test/suite_counters.ml: Abrr_core Alcotest Eventsim

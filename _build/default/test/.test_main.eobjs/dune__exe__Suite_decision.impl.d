@@ -1,0 +1,1 @@
+test/suite_decision.ml: Alcotest As_path Asn Bgp Decision Gen Ipv4 List Netaddr Origin Prefix QCheck QCheck_alcotest Route

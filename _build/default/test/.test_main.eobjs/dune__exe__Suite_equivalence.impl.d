@@ -1,0 +1,1 @@
+test/suite_equivalence.ml: Abrr_core Alcotest Array Bgp Fun Helpers List Netaddr Option Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/suite_failure.ml: Abrr_core Alcotest Helpers

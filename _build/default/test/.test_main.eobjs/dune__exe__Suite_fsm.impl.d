@@ -1,0 +1,1 @@
+test/suite_fsm.ml: Abrr_core Alcotest Asn Bgp Eventsim Fsm Ipv4 List Msg Netaddr

@@ -1,0 +1,1 @@
+test/suite_fullmesh.ml: Abrr_core Alcotest Helpers List Printf

@@ -1,0 +1,1 @@
+test/suite_heap.ml: Alcotest Int List Pqueue QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_igp.ml: Alcotest Array Gen Igp List Printf QCheck QCheck_alcotest String

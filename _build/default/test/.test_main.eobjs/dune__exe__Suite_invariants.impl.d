@@ -1,0 +1,1 @@
+test/suite_invariants.ml: Abrr_core Alcotest Analysis Array Bgp Eventsim Helpers Lazy List Netaddr Topo

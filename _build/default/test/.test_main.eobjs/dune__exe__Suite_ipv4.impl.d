@@ -1,0 +1,1 @@
+test/suite_ipv4.ml: Alcotest Ipv4 List Netaddr Printf

@@ -1,0 +1,1 @@
+test/suite_loop_prevention.ml: Abrr_core Alcotest Bgp Helpers List

@@ -1,0 +1,1 @@
+test/suite_metrics.ml: Alcotest Array Float List Metrics QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_mrt.ml: Alcotest Bgp Bytes Filename Fun Helpers List Netaddr Result Sys Topo

@@ -1,0 +1,1 @@
+test/suite_network.ml: Abrr_core Alcotest Eventsim Helpers Igp List Netaddr

@@ -1,0 +1,1 @@
+test/suite_partition.ml: Abrr_core Alcotest Array Fun Ipv4 List Netaddr Prefix QCheck QCheck_alcotest

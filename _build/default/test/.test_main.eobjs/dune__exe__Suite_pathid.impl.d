@@ -1,0 +1,1 @@
+test/suite_pathid.ml: Abrr_core Alcotest Bgp Gen Int Ipv4 List Netaddr Prefix QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_prefix.ml: Alcotest Ipv4 List Netaddr Prefix QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_proto.ml: Abrr_core Alcotest Bgp Int Ipv4 List Netaddr Prefix

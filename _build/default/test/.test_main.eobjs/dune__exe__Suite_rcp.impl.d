@@ -1,0 +1,1 @@
+test/suite_rcp.ml: Abrr_core Alcotest Bgp Helpers Igp List Option Printf Result

@@ -1,0 +1,1 @@
+test/suite_rib.ml: Alcotest Bgp Gen Ipv4 List Netaddr Prefix QCheck QCheck_alcotest Rib Route

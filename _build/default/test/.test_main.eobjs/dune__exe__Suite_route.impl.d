@@ -1,0 +1,1 @@
+test/suite_route.ml: Alcotest As_path Asn Bgp Ipv4 List Netaddr Origin Prefix Route

@@ -1,0 +1,1 @@
+test/suite_routegen.ml: Alcotest Analysis Array Bgp Hashtbl Int List Netaddr Printf Topo

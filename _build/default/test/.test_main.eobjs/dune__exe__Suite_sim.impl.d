@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Buffer Eventsim List Printf Random Sim Time

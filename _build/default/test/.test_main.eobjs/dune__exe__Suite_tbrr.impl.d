@@ -1,0 +1,1 @@
+test/suite_tbrr.ml: Abrr_core Alcotest Bgp Helpers List Printf

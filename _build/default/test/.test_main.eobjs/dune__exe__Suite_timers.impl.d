@@ -1,0 +1,1 @@
+test/suite_timers.ml: Abrr_core Alcotest Bgp Eventsim Helpers Printf Time

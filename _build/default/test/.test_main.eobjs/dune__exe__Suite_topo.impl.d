@@ -1,0 +1,1 @@
+test/suite_topo.ml: Abrr_core Alcotest Array Igp Int List Printf Topo

@@ -1,0 +1,1 @@
+test/suite_tracegen.ml: Abrr_core Alcotest Bgp Eventsim Hashtbl Helpers List Netaddr Option Time Topo

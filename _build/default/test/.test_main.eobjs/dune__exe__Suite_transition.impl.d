@@ -1,0 +1,1 @@
+test/suite_transition.ml: Abrr_core Alcotest Array Fun Helpers List

@@ -1,0 +1,1 @@
+test/suite_trie.ml: Alcotest Gen Int Ipv4 List Netaddr Prefix Prefix_trie QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_wire.ml: Alcotest As_path Asn Bgp Bytes Char Community Ext_community Gen Hashtbl Ipv4 List Msg Netaddr Option Prefix Printf QCheck QCheck_alcotest Result Route Wire

@@ -1,0 +1,68 @@
+(* Shared builders for integration tests. *)
+
+open Netaddr
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+
+let pfx = Prefix.of_string
+let neighbor k = Ipv4.of_int (0xAC10_0000 + k)
+
+(* Complete graph over n routers, uniform metric, with per-pair noise to
+   make IGP distances distinct and decisions deterministic. *)
+let flat_igp ?(metric = 100) n =
+  let g = Igp.Graph.create ~n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Igp.Graph.add_edge g i j (metric + ((i * 7) + (j * 13) mod 23))
+    done
+  done;
+  g
+
+let ring_igp ?(metric = 10) n =
+  let g = Igp.Graph.create ~n in
+  for i = 0 to n - 1 do
+    Igp.Graph.add_edge g i ((i + 1) mod n) metric
+  done;
+  g
+
+let route ?(asn = 7000) ?med ?(lp = 100) ?(path_id = 0) ?(origin = Bgp.Origin.Igp)
+    ~prefix k =
+  Bgp.Route.make ~path_id ~origin ~local_pref:lp
+    ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int asn; Bgp.Asn.of_int 65500 ])
+    ~med ~prefix ~next_hop:(neighbor k) ()
+
+let inject net ~router ?(k = router) r = N.inject net ~router ~neighbor:(neighbor k) r
+
+let quiesce ?(max_events = 500_000) net =
+  match N.run ~max_events net with
+  | Eventsim.Sim.Quiescent -> ()
+  | o -> Alcotest.failf "network did not converge: %a" Eventsim.Sim.pp_outcome o
+
+let full_mesh_config ?med_mode ?mrai n =
+  C.make ?med_mode ?mrai ~n_routers:n ~igp:(flat_igp n) ~scheme:C.Full_mesh ()
+
+let single_ap_abrr ?(arrs = [ 0 ]) ?med_mode ?(n = 6) () =
+  C.make ?med_mode ~n_routers:n ~igp:(flat_igp n)
+    ~scheme:(C.abrr ~partition:(Abrr_core.Partition.uniform 1) [| arrs |])
+    ()
+
+(* With next-hop-self, the injecting border router of an iBGP route. *)
+let owner_of_route (r : Bgp.Route.t) =
+  Ipv4.to_int r.Bgp.Route.next_hop - 0x0A00_0000
+
+let exits net prefix =
+  List.init (N.router_count net) (fun i -> N.best_exit net ~router:i prefix)
+
+(* Compare steady-state routes of two networks router-by-router. *)
+let same_choices neta netb prefix =
+  let n = N.router_count neta in
+  let rec go i =
+    if i >= n then true
+    else
+      let nh x =
+        Option.map (fun (r : Bgp.Route.t) -> r.Bgp.Route.next_hop) (N.best x ~router:i prefix)
+      in
+      nh neta = nh netb && go (i + 1)
+  in
+  n = N.router_count netb && go 0

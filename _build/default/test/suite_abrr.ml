@@ -1,0 +1,203 @@
+open Helpers
+module N = Abrr_core.Network
+module C = Abrr_core.Config
+module R = Abrr_core.Router
+module Part = Abrr_core.Partition
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = pfx "20.0.0.0/16"
+
+(* 6 routers; ARR for the single AP is router 0 (or 0 and 1). *)
+
+let test_reflection_reaches_all () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0 ] ()) in
+  inject net ~router:3 (route ~prefix 3);
+  quiesce net;
+  for i = 0 to 5 do
+    if i <> 3 then
+      check_bool (Printf.sprintf "r%d" i) true (N.best_exit net ~router:i prefix = Some 3)
+  done
+
+let test_best_as_level_set () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0 ] ~med_mode:Bgp.Decision.Per_neighbor_as ()) in
+  (* three routes: two from AS 7000 (MED 1 beats MED 9), one from AS 8000 *)
+  inject net ~router:2 (route ~asn:7000 ~med:1 ~prefix 2);
+  inject net ~router:3 (route ~asn:7000 ~med:9 ~prefix 3);
+  inject net ~router:4 (route ~asn:8000 ~med:50 ~prefix 4);
+  quiesce net;
+  let set = R.reflector_set (N.router net 0) prefix in
+  check_int "two best AS-level routes" 2 (List.length set);
+  let nhs = List.sort compare (List.map owner_of_route set) in
+  check_bool "members" true (nhs = [ 2; 4 ])
+
+let test_client_stores_best_only () =
+  (* under always-compare MED (the paper's footnote-1 configuration) a
+     client keeps a single route per ARR (§3.4) *)
+  let net =
+    N.create (single_ap_abrr ~arrs:[ 0 ] ~med_mode:Bgp.Decision.Always_compare ())
+  in
+  inject net ~router:2 (route ~asn:7000 ~prefix 2);
+  inject net ~router:3 (route ~asn:8000 ~prefix 3);
+  quiesce net;
+  check_int "one per ARR" 1 (List.length (R.received_set (N.router net 5) ~from:0 prefix))
+
+let test_client_stores_per_as_under_med () =
+  (* per-neighbour-AS MED requires deterministic-MED storage: one stored
+     route per neighbour AS in the advertised set *)
+  let net =
+    N.create (single_ap_abrr ~arrs:[ 0 ] ~med_mode:Bgp.Decision.Per_neighbor_as ())
+  in
+  inject net ~router:2 (route ~asn:7000 ~prefix 2);
+  inject net ~router:3 (route ~asn:8000 ~prefix 3);
+  quiesce net;
+  check_int "one per AS" 2 (List.length (R.received_set (N.router net 5) ~from:0 prefix))
+
+let test_client_stores_full_set_when_configured () =
+  let cfg = single_ap_abrr ~arrs:[ 0 ] () in
+  let cfg = { cfg with C.store_full_sets = true } in
+  let net = N.create cfg in
+  inject net ~router:2 (route ~asn:7000 ~prefix 2);
+  inject net ~router:3 (route ~asn:8000 ~prefix 3);
+  quiesce net;
+  check_int "full set" 2 (List.length (R.received_set (N.router net 5) ~from:0 prefix))
+
+let test_redundant_arrs_consistent () =
+  let net =
+    N.create (single_ap_abrr ~arrs:[ 0; 1 ] ~med_mode:Bgp.Decision.Always_compare ())
+  in
+  inject net ~router:2 (route ~asn:7000 ~prefix 2);
+  inject net ~router:3 (route ~asn:8000 ~prefix 3);
+  quiesce net;
+  let s0 = R.reflector_set (N.router net 0) prefix in
+  let s1 = R.reflector_set (N.router net 1) prefix in
+  check_int "same size" (List.length s0) (List.length s1);
+  (* clients keep one stored route per redundant ARR *)
+  let stored r = List.length (R.received_set (N.router net r) ~from:0 prefix)
+                 + List.length (R.received_set (N.router net r) ~from:1 prefix) in
+  check_int "client stores per ARR" 2 (stored 4)
+
+let test_arr_failure_redundancy () =
+  (* with 2 ARRs, clients keep working when one ARR's routes vanish;
+     simulate by withdrawing after partitioning is impossible, so instead
+     verify both ARRs independently deliver the set *)
+  let net = N.create (single_ap_abrr ~arrs:[ 0; 1 ] ()) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  check_bool "from arr0" true (R.received_set (N.router net 4) ~from:0 prefix <> []);
+  check_bool "from arr1" true (R.received_set (N.router net 4) ~from:1 prefix <> [])
+
+let test_partitioned_aps () =
+  (* 2 APs with different ARRs; routes land with the right ARR only *)
+  let part = Part.uniform 2 in
+  let cfg =
+    C.make ~n_routers:6 ~igp:(flat_igp 6)
+      ~scheme:(C.abrr ~partition:part [| [ 0 ]; [ 1 ] |])
+      ()
+  in
+  let net = N.create cfg in
+  let low = pfx "20.0.0.0/16" (* AP 0 *) in
+  let high = pfx "200.0.0.0/16" (* AP 1 *) in
+  inject net ~router:2 (route ~prefix:low 2);
+  inject net ~router:3 (route ~prefix:high 3);
+  quiesce net;
+  check_bool "arr0 manages low" true (R.reflector_set (N.router net 0) low <> []);
+  check_bool "arr0 not high" true (R.reflector_set (N.router net 0) high = []);
+  check_bool "arr1 manages high" true (R.reflector_set (N.router net 1) high <> []);
+  check_bool "arr1 not low" true (R.reflector_set (N.router net 1) low = []);
+  (* all routers still learn both prefixes *)
+  check_bool "r4 low" true (N.best_exit net ~router:4 low = Some 2);
+  check_bool "r4 high" true (N.best_exit net ~router:4 high = Some 3);
+  (* and the ARRs themselves resolve prefixes of the other AP *)
+  check_bool "arr0 high" true (N.best_exit net ~router:0 high = Some 3);
+  check_bool "arr1 low" true (N.best_exit net ~router:1 low = Some 2)
+
+let test_spanning_prefix_goes_to_both () =
+  let part = Part.uniform 2 in
+  let cfg =
+    C.make ~n_routers:4 ~igp:(flat_igp 4)
+      ~scheme:(C.abrr ~partition:part [| [ 0 ]; [ 1 ] |])
+      ()
+  in
+  let net = N.create cfg in
+  let span = pfx "0.0.0.0/0" in
+  inject net ~router:2 (route ~prefix:span 2);
+  quiesce net;
+  check_bool "arr0 has it" true (R.reflector_set (N.router net 0) span <> []);
+  check_bool "arr1 has it" true (R.reflector_set (N.router net 1) span <> []);
+  check_bool "r3 resolves" true (N.best_exit net ~router:3 span = Some 2)
+
+let test_withdraw_empties_set () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0; 1 ] ()) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  N.withdraw net ~router:2 ~neighbor:(neighbor 2) prefix ~path_id:0;
+  quiesce net;
+  check_bool "set empty" true (R.reflector_set (N.router net 0) prefix = []);
+  List.iter (fun e -> check_bool "no route" true (e = None)) (exits net prefix)
+
+let test_arr_is_its_own_client () =
+  (* the ARR injects a route itself: internal role passing must deliver
+     it to its own reflector function and to everyone else *)
+  let net = N.create (single_ap_abrr ~arrs:[ 0 ] ()) in
+  inject net ~router:0 (route ~prefix 0);
+  quiesce net;
+  check_bool "set has own route" true (R.reflector_set (N.router net 0) prefix <> []);
+  check_bool "others learn" true (N.best_exit net ~router:5 prefix = Some 0)
+
+let test_reflected_marker_present () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0 ] ()) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  match R.received_set (N.router net 4) ~from:0 prefix with
+  | [ r ] -> check_bool "marked" true (Bgp.Route.is_reflected r)
+  | _ -> Alcotest.fail "expected one stored route"
+
+let test_client_advert_strips_marker () =
+  (* when the best route is eBGP-learned the advert into iBGP never
+     carries reflection attributes *)
+  let net = N.create (single_ap_abrr ~arrs:[ 0 ] ()) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  match R.advertised_route (N.router net 2) prefix with
+  | Some r ->
+    check_bool "not marked" false (Bgp.Route.is_reflected r);
+    check_bool "no cluster list" true (r.Bgp.Route.cluster_list = [])
+  | None -> Alcotest.fail "injector should advertise"
+
+let test_ebgp_route_replacement () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0; 1 ] ()) in
+  inject net ~router:2 (route ~med:10 ~prefix 2);
+  quiesce net;
+  inject net ~router:2 (route ~med:3 ~prefix 2);
+  quiesce net;
+  (match N.best net ~router:4 prefix with
+  | Some r -> check_bool "new med" true (r.Bgp.Route.med = Some 3)
+  | None -> Alcotest.fail "no route");
+  check_bool "still one set entry" true
+    (List.length (R.reflector_set (N.router net 0) prefix) = 1)
+
+let suite =
+  ( "abrr",
+    [
+      Alcotest.test_case "reflection reaches all clients" `Quick
+        test_reflection_reaches_all;
+      Alcotest.test_case "best AS-level set" `Quick test_best_as_level_set;
+      Alcotest.test_case "clients store best only" `Quick test_client_stores_best_only;
+      Alcotest.test_case "per-AS storage under MED" `Quick
+        test_client_stores_per_as_under_med;
+      Alcotest.test_case "full-set storage mode" `Quick
+        test_client_stores_full_set_when_configured;
+      Alcotest.test_case "redundant ARRs consistent" `Quick
+        test_redundant_arrs_consistent;
+      Alcotest.test_case "redundancy delivery" `Quick test_arr_failure_redundancy;
+      Alcotest.test_case "address partitioning" `Quick test_partitioned_aps;
+      Alcotest.test_case "prefix spanning two APs" `Quick
+        test_spanning_prefix_goes_to_both;
+      Alcotest.test_case "withdraw empties set" `Quick test_withdraw_empties_set;
+      Alcotest.test_case "ARR as its own client" `Quick test_arr_is_its_own_client;
+      Alcotest.test_case "reflected marker" `Quick test_reflected_marker_present;
+      Alcotest.test_case "client adverts strip reflection" `Quick
+        test_client_advert_strips_marker;
+      Alcotest.test_case "route replacement" `Quick test_ebgp_route_replacement;
+    ] )

@@ -1,0 +1,131 @@
+module M = Analysis.Model
+
+let check_bool = Alcotest.(check bool)
+let close ?(eps = 1e-6) a b = Float.abs (a -. b) < eps
+let check_close name a b = check_bool name true (close a b)
+
+let p = M.params ~prefixes:400_000 ~groups:50 ~rrs_per_group:2 ~bal:10. ()
+
+let test_abrr_formulas () =
+  (* S_m = BAL * P / k ; S_u = redundancy * P * (1 - 1/k) *)
+  check_close "managed" 80_000. (M.abrr_rib_in_managed p);
+  check_close "unmanaged" 784_000. (M.abrr_rib_in_unmanaged p);
+  check_close "total" 864_000. (M.abrr_rib_in p);
+  check_close "out = managed" (M.abrr_rib_in_managed p) (M.abrr_rib_out p)
+
+let test_g_function () =
+  (* bal < clusters: G = BAL/k * P *)
+  check_close "sparse" 80_000. (M.g p);
+  (* bal >= clusters: G = P *)
+  let p' = M.params ~prefixes:1000 ~groups:5 ~rrs_per_group:2 ~bal:10. () in
+  check_close "capped" 1000. (M.g p')
+
+let test_tbrr_formulas () =
+  check_close "managed" 80_000. (M.tbrr_rib_in_managed p);
+  check_close "unmanaged" (80_000. *. 99.) (M.tbrr_rib_in_unmanaged p);
+  check_close "out" ((80_000. *. 2.) +. 320_000.) (M.tbrr_rib_out p)
+
+let test_multi_formulas () =
+  check_close "managed" (M.tbrr_rib_in_managed p) (M.multi_rib_in_managed p);
+  check_close "unmanaged" (80_000. *. 99.) (M.multi_rib_in_unmanaged p);
+  check_close "out" (160_000. +. (80_000. *. 99.)) (M.multi_rib_out p)
+
+let test_paper_takeaways () =
+  (* Figures 4 & 5 headline: ABRR needs substantially less memory *)
+  let defaults = M.params () in
+  check_bool "rib-in smaller" true (M.abrr_rib_in defaults < M.tbrr_rib_in defaults);
+  check_bool "rib-out smaller" true
+    (M.abrr_rib_out defaults < M.tbrr_rib_out defaults);
+  check_bool "multi worst" true (M.multi_rib_in defaults >= M.tbrr_rib_in defaults)
+
+let test_rib_out_monotone_in_aps () =
+  (* Fig 5b: ARR RIB-Out shrinks steadily with #APs *)
+  let out k = M.abrr_rib_out (M.params ~groups:k ()) in
+  check_bool "monotone" true (out 10 > out 20 && out 20 > out 50 && out 50 > out 100)
+
+let test_rib_in_floor () =
+  (* Fig 4b: ARR RIB-In flattens to the DFZ floor as APs grow *)
+  let rib_in k = M.abrr_rib_in (M.params ~groups:k ()) in
+  let drop1 = rib_in 2 -. rib_in 4 in
+  let drop2 = rib_in 50 -. rib_in 100 in
+  check_bool "diminishing returns" true (drop1 > 10. *. Float.abs drop2)
+
+let test_default_bal_calibration () =
+  (* anchored at the paper's measurement: 10.2 at 25 peer ASes *)
+  check_bool "F(25) ~ 10.2" true (Float.abs (M.default_bal 25 -. 10.2) < 0.1);
+  check_bool "monotone" true (M.default_bal 5 < M.default_bal 30)
+
+let test_sessions () =
+  Alcotest.(check int) "arr sessions" 1999 (M.abrr_sessions_per_arr ~n_routers:2000);
+  check_bool "client sessions" true (M.abrr_sessions_per_client p = 100);
+  check_bool "tbrr client sessions" true (M.tbrr_sessions_per_client p = 2);
+  check_bool "trr sessions modest" true
+    (M.tbrr_sessions_per_trr ~n_routers:2000 p < 200.)
+
+let test_params_validation () =
+  check_bool "rejects" true
+    (try ignore (M.params ~groups:0 ()); false with Invalid_argument _ -> true)
+
+(* --- regression ------------------------------------------------------ *)
+
+let test_regression_exact () =
+  let fit = Analysis.Regression.linear [ (0., 1.); (1., 3.); (2., 5.) ] in
+  check_close "slope" 2. fit.Analysis.Regression.slope;
+  check_close "intercept" 1. fit.Analysis.Regression.intercept;
+  check_close "r2" 1. fit.Analysis.Regression.r2;
+  check_close "predict" 21. (Analysis.Regression.predict fit 10.)
+
+let test_regression_noise () =
+  let pts = List.init 50 (fun i ->
+      let x = float_of_int i in
+      (x, (0.4 *. x) +. 1. +. (if i mod 2 = 0 then 0.05 else -0.05)))
+  in
+  let fit = Analysis.Regression.linear pts in
+  check_bool "slope close" true (Float.abs (fit.Analysis.Regression.slope -. 0.4) < 0.01);
+  check_bool "good r2" true (fit.Analysis.Regression.r2 > 0.99)
+
+let test_regression_degenerate () =
+  check_bool "one point" true
+    (try ignore (Analysis.Regression.linear [ (1., 1.) ]); false
+     with Invalid_argument _ -> true);
+  check_bool "same x" true
+    (try ignore (Analysis.Regression.linear [ (1., 1.); (1., 2.) ]); false
+     with Invalid_argument _ -> true)
+
+(* --- BAL measurement -------------------------------------------------- *)
+
+let test_bal_counts () =
+  let prefix = Netaddr.Prefix.of_string "20.0.0.0/16" in
+  let r asn med = Helpers.route ~asn ~med ~prefix 1 in
+  let count routes =
+    Analysis.Bal.best_as_level_count ~med_mode:Bgp.Decision.Per_neighbor_as routes
+  in
+  Alcotest.(check int) "empty" 0 (count []);
+  Alcotest.(check int) "single" 1 (count [ r 100 0 ]);
+  (* same AS: MED discriminates; different AS: both kept *)
+  Alcotest.(check int) "med kill" 1 (count [ r 100 0; r 100 5 ]);
+  Alcotest.(check int) "cross as" 2 (count [ r 100 0; r 200 5 ]);
+  let avg =
+    Analysis.Bal.average ~med_mode:Bgp.Decision.Per_neighbor_as
+      [ (prefix, [ r 100 0 ]); (prefix, [ r 100 0; r 200 5 ]); (prefix, []) ]
+  in
+  check_close "average skips empty" 1.5 avg
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "ABRR formulas (A.1)" `Quick test_abrr_formulas;
+      Alcotest.test_case "G function (A.2)" `Quick test_g_function;
+      Alcotest.test_case "TBRR formulas (A.2)" `Quick test_tbrr_formulas;
+      Alcotest.test_case "multi-path formulas (A.3)" `Quick test_multi_formulas;
+      Alcotest.test_case "paper takeaways" `Quick test_paper_takeaways;
+      Alcotest.test_case "RIB-Out monotone in APs" `Quick test_rib_out_monotone_in_aps;
+      Alcotest.test_case "RIB-In diminishing returns" `Quick test_rib_in_floor;
+      Alcotest.test_case "F(#PAS) calibration" `Quick test_default_bal_calibration;
+      Alcotest.test_case "session counts" `Quick test_sessions;
+      Alcotest.test_case "params validation" `Quick test_params_validation;
+      Alcotest.test_case "regression exact" `Quick test_regression_exact;
+      Alcotest.test_case "regression noisy" `Quick test_regression_noise;
+      Alcotest.test_case "regression degenerate" `Quick test_regression_degenerate;
+      Alcotest.test_case "best-AS-level counting" `Quick test_bal_counts;
+    ] )

@@ -1,0 +1,116 @@
+(* §2.3: the gadget scenarios — TBRR oscillates / misroutes, ABRR and
+   full-mesh do not. *)
+
+module G = Abrr_core.Gadgets
+module A = Abrr_core.Anomaly
+module N = Abrr_core.Network
+
+let check_bool = Alcotest.(check bool)
+
+let verdict g =
+  let net = G.build g in
+  (net, A.run net)
+
+let test_med_tbrr_oscillates () =
+  let _, v = verdict (G.med_oscillation G.G_tbrr) in
+  check_bool "oscillates" true (A.oscillates v);
+  check_bool "many best changes" true (v.A.best_changes > 1000)
+
+let test_med_full_mesh_converges () =
+  let _, v = verdict (G.med_oscillation G.G_full_mesh) in
+  check_bool "converges" false (A.oscillates v)
+
+let test_med_abrr_converges () =
+  List.iter
+    (fun arrs ->
+      let _, v = verdict (G.med_oscillation (G.G_abrr arrs)) in
+      check_bool (Printf.sprintf "%d arrs" arrs) false (A.oscillates v))
+    [ 1; 2 ]
+
+let test_med_abrr_matches_full_mesh () =
+  let g_fm = G.med_oscillation G.G_full_mesh in
+  let g_ab = G.med_oscillation (G.G_abrr 2) in
+  let fm = G.build g_fm and ab = G.build g_ab in
+  ignore (A.run fm);
+  ignore (A.run ab);
+  (* clients (2,3,4 are border routers) agree with full mesh *)
+  List.iter
+    (fun i ->
+      let nh net = Option.map (fun (r : Bgp.Route.t) -> r.Bgp.Route.next_hop)
+          (N.best net ~router:i g_fm.G.prefix) in
+      check_bool (Printf.sprintf "router %d" i) true (nh fm = nh ab))
+    [ 2; 3; 4 ]
+
+let test_topology_tbrr_oscillates () =
+  let _, v = verdict (G.topology_oscillation G.G_tbrr) in
+  check_bool "oscillates" true (A.oscillates v)
+
+let test_topology_others_converge () =
+  List.iter
+    (fun (name, f) ->
+      let _, v = verdict (G.topology_oscillation f) in
+      check_bool name false (A.oscillates v))
+    [ ("full-mesh", G.G_full_mesh); ("abrr-1", G.G_abrr 1); ("abrr-2", G.G_abrr 2) ]
+
+let test_path_inefficiency () =
+  let exit_under f =
+    let g = G.path_inefficiency f in
+    let net = G.build g in
+    ignore (A.run net);
+    N.best_exit net ~router:G.observer g.G.prefix
+  in
+  Alcotest.(check (option int)) "full-mesh near" (Some G.near_exit)
+    (exit_under G.G_full_mesh);
+  Alcotest.(check (option int)) "abrr near" (Some G.near_exit)
+    (exit_under (G.G_abrr 1));
+  Alcotest.(check (option int)) "tbrr detours" (Some G.far_exit)
+    (exit_under G.G_tbrr)
+
+let test_no_forwarding_loops_after_convergence () =
+  List.iter
+    (fun f ->
+      let g = G.path_inefficiency f in
+      let net = G.build g in
+      ignore (A.run net);
+      check_bool "loop-free" true (A.forwarding_loops net g.G.prefix = []))
+    [ G.G_full_mesh; G.G_tbrr; G.G_abrr 2 ]
+
+let test_best_external_partial_fix () =
+  (* draft-ietf-idr-best-external (paper ref [25]): stabilizes these
+     gadgets but does not restore path efficiency — ABRR subsumes it *)
+  let _, med = verdict (G.med_oscillation G.G_tbrr_best_external) in
+  check_bool "med converges" false (A.oscillates med);
+  let _, topo = verdict (G.topology_oscillation G.G_tbrr_best_external) in
+  check_bool "topology converges" false (A.oscillates topo);
+  let net, _ = verdict (G.path_inefficiency G.G_tbrr_best_external) in
+  Alcotest.(check (option int)) "still detours" (Some G.far_exit)
+    (N.best_exit net ~router:G.observer (G.path_inefficiency G.G_tbrr).G.prefix)
+
+let test_forwarding_path () =
+  let g = G.path_inefficiency G.G_full_mesh in
+  let net = G.build g in
+  ignore (A.run net);
+  match A.forwarding_path net ~src:G.observer g.G.prefix ~max_hops:5 with
+  | Ok path -> check_bool "direct" true (path = [ G.observer; G.near_exit ])
+  | Error _ -> Alcotest.fail "loop reported"
+
+let suite =
+  ( "anomalies",
+    [
+      Alcotest.test_case "MED gadget: TBRR oscillates" `Slow test_med_tbrr_oscillates;
+      Alcotest.test_case "MED gadget: full mesh converges" `Quick
+        test_med_full_mesh_converges;
+      Alcotest.test_case "MED gadget: ABRR converges" `Quick test_med_abrr_converges;
+      Alcotest.test_case "MED gadget: ABRR == full mesh" `Quick
+        test_med_abrr_matches_full_mesh;
+      Alcotest.test_case "topology gadget: TBRR oscillates" `Slow
+        test_topology_tbrr_oscillates;
+      Alcotest.test_case "topology gadget: others converge" `Quick
+        test_topology_others_converge;
+      Alcotest.test_case "path inefficiency" `Quick test_path_inefficiency;
+      Alcotest.test_case "best-external is a partial fix" `Quick
+        test_best_external_partial_fix;
+      Alcotest.test_case "forwarding loop-freedom" `Quick
+        test_no_forwarding_loops_after_convergence;
+      Alcotest.test_case "forwarding path" `Quick test_forwarding_path;
+    ] )

@@ -1,0 +1,82 @@
+open Bgp
+
+let asn = Asn.of_int
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_length () =
+  check_int "empty" 0 (As_path.length As_path.empty);
+  check_int "seq" 3 (As_path.length (As_path.of_asns [ asn 1; asn 2; asn 3 ]));
+  (* an AS_SET counts as one hop *)
+  let p =
+    As_path.of_segments
+      [ As_path.Seq [ asn 1; asn 2 ]; As_path.Set [ asn 3; asn 4; asn 5 ] ]
+  in
+  check_int "seq+set" 3 (As_path.length p)
+
+let test_prepend () =
+  let p = As_path.prepend (asn 9) (As_path.of_asns [ asn 1 ]) in
+  check_int "len" 2 (As_path.length p);
+  check_bool "first" true (As_path.first_as p = Some (asn 9));
+  (* prepending to a path that starts with a SET opens a new SEQ *)
+  let q = As_path.prepend (asn 9) (As_path.of_segments [ As_path.Set [ asn 1 ] ]) in
+  check_int "set-prepend len" 2 (As_path.length q);
+  check_bool "set-prepend first" true (As_path.first_as q = Some (asn 9))
+
+let test_contains () =
+  let p =
+    As_path.of_segments [ As_path.Seq [ asn 1 ]; As_path.Set [ asn 2; asn 3 ] ]
+  in
+  check_bool "in seq" true (As_path.contains (asn 1) p);
+  check_bool "in set" true (As_path.contains (asn 3) p);
+  check_bool "absent" false (As_path.contains (asn 4) p)
+
+let test_ends () =
+  let p = As_path.of_asns [ asn 7; asn 8; asn 9 ] in
+  check_bool "first" true (As_path.first_as p = Some (asn 7));
+  check_bool "origin" true (As_path.origin_as p = Some (asn 9));
+  check_bool "empty first" true (As_path.first_as As_path.empty = None);
+  check_bool "empty origin" true (As_path.origin_as As_path.empty = None);
+  (* a path ending in a SET has no well-defined origin *)
+  let q = As_path.of_segments [ As_path.Seq [ asn 1 ]; As_path.Set [ asn 2 ] ] in
+  check_bool "set origin" true (As_path.origin_as q = None)
+
+let test_to_string () =
+  let p =
+    As_path.of_segments [ As_path.Seq [ asn 10; asn 20 ]; As_path.Set [ asn 30 ] ]
+  in
+  Alcotest.(check string) "render" "10 20 {30}" (As_path.to_string p)
+
+let test_confed_segments () =
+  let p =
+    As_path.of_segments
+      [ As_path.Confed_seq [ asn 64512; asn 64513 ]; As_path.Seq [ asn 1; asn 2 ] ]
+  in
+  check_int "confed hops free" 2 (As_path.length p);
+  check_bool "first skips confed" true (As_path.first_as p = Some (asn 1));
+  check_bool "origin" true (As_path.origin_as p = Some (asn 2));
+  check_bool "confed contains" true (As_path.confed_contains (asn 64513) p);
+  check_bool "not in confed" false (As_path.confed_contains (asn 1) p);
+  check_bool "strip" true
+    (As_path.equal (As_path.strip_confed p) (As_path.of_asns [ asn 1; asn 2 ]));
+  let q = As_path.prepend_confed (asn 64514) p in
+  check_bool "prepend confed" true (As_path.confed_contains (asn 64514) q);
+  check_int "still free" 2 (As_path.length q)
+
+let test_compare () =
+  let a = As_path.of_asns [ asn 1; asn 2 ] in
+  let b = As_path.of_asns [ asn 1; asn 2 ] in
+  check_bool "equal" true (As_path.equal a b);
+  check_bool "not equal" false (As_path.equal a (As_path.of_asns [ asn 2; asn 1 ]))
+
+let suite =
+  ( "as-path",
+    [
+      Alcotest.test_case "length semantics" `Quick test_length;
+      Alcotest.test_case "prepend" `Quick test_prepend;
+      Alcotest.test_case "contains" `Quick test_contains;
+      Alcotest.test_case "first/origin" `Quick test_ends;
+      Alcotest.test_case "render" `Quick test_to_string;
+      Alcotest.test_case "confederation segments" `Quick test_confed_segments;
+      Alcotest.test_case "compare" `Quick test_compare;
+    ] )

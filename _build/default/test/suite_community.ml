@@ -1,0 +1,63 @@
+open Bgp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_community () =
+  let c = Community.make 65000 120 in
+  check_int "asn" 65000 (Community.asn c);
+  check_int "tag" 120 (Community.tag c);
+  Alcotest.(check string) "render" "65000:120" (Community.to_string c);
+  check_bool "roundtrip" true
+    (Community.equal c (Community.of_int32_bits (Community.to_int c)));
+  check_bool "well-known" true (Community.asn Community.no_export = 0xFFFF);
+  check_bool "bounds" true
+    (try ignore (Community.make 70000 0); false with Invalid_argument _ -> true);
+  check_bool "neg" true
+    (try ignore (Community.make (-1) 0); false with Invalid_argument _ -> true)
+
+let test_ext_community () =
+  let e = Ext_community.make ~typ:0x02 ~subtyp:0x03 ~value:999 in
+  check_int "typ" 0x02 (Ext_community.typ e);
+  check_int "subtyp" 0x03 (Ext_community.subtyp e);
+  check_int "value" 999 (Ext_community.value e);
+  check_bool "not reflected" false (Ext_community.is_reflected e);
+  check_bool "reflected is" true (Ext_community.is_reflected Ext_community.reflected);
+  check_bool "48-bit bound" true
+    (try ignore (Ext_community.make ~typ:0 ~subtyp:0 ~value:(1 lsl 48)); false
+     with Invalid_argument _ -> true);
+  check_bool "byte bound" true
+    (try ignore (Ext_community.make ~typ:256 ~subtyp:0 ~value:0); false
+     with Invalid_argument _ -> true)
+
+let test_ordering () =
+  let a = Ext_community.make ~typ:1 ~subtyp:0 ~value:0 in
+  let b = Ext_community.make ~typ:2 ~subtyp:0 ~value:0 in
+  check_bool "ordered" true (Ext_community.compare a b < 0);
+  check_bool "equal" true (Ext_community.equal a a)
+
+let test_asn () =
+  check_bool "4-byte max" true (Asn.to_int (Asn.of_int 0xFFFF_FFFF) = 0xFFFF_FFFF);
+  check_bool "rejects negative" true
+    (try ignore (Asn.of_int (-1)); false with Invalid_argument _ -> true);
+  check_bool "rejects too large" true
+    (try ignore (Asn.of_int 0x1_0000_0000); false with Invalid_argument _ -> true)
+
+let test_origin () =
+  check_bool "ranks" true
+    (Origin.rank Origin.Igp < Origin.rank Origin.Egp
+    && Origin.rank Origin.Egp < Origin.rank Origin.Incomplete);
+  List.iter
+    (fun o -> check_bool "code roundtrip" true (Origin.of_code (Origin.to_code o) = Some o))
+    [ Origin.Igp; Origin.Egp; Origin.Incomplete ];
+  check_bool "bad code" true (Origin.of_code 3 = None)
+
+let suite =
+  ( "attributes",
+    [
+      Alcotest.test_case "communities" `Quick test_community;
+      Alcotest.test_case "extended communities" `Quick test_ext_community;
+      Alcotest.test_case "ext community ordering" `Quick test_ordering;
+      Alcotest.test_case "ASN bounds" `Quick test_asn;
+      Alcotest.test_case "origin codes" `Quick test_origin;
+    ] )

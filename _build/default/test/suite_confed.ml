@@ -1,0 +1,162 @@
+(* BGP Confederations (RFC 5065) — the other §1 scaling mechanism,
+   implemented as a third baseline. Sub-AS semantics: member-AS path
+   segments that are invisible to path length, confed-eBGP preference
+   between eBGP and iBGP, loop detection on member ASNs, and the known
+   pathology: cyclic sub-AS graphs can oscillate. *)
+
+open Helpers
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module A = Abrr_core.Anomaly
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = pfx "20.0.0.0/16"
+
+(* 9 routers, 3 sub-ASes of 3, chained 0|1|2 through border routers. *)
+let chain_net () =
+  let sub_as_of = [| 0; 0; 0; 1; 1; 1; 2; 2; 2 |] in
+  let confed_links = [ (2, 3); (5, 6) ] in
+  let cfg =
+    C.make ~n_routers:9 ~igp:(flat_igp 9) ~scheme:(C.confed ~sub_as_of ~confed_links) ()
+  in
+  N.create cfg
+
+let test_propagation_across_sub_ases () =
+  let net = chain_net () in
+  inject net ~router:4 (route ~prefix 4);
+  quiesce net;
+  for i = 0 to 8 do
+    if i <> 4 then
+      check_bool (Printf.sprintf "r%d" i) true (N.best_exit net ~router:i prefix = Some 4)
+  done
+
+let test_confed_segments_accumulate () =
+  let net = chain_net () in
+  inject net ~router:4 (route ~prefix 4);
+  quiesce net;
+  (* two sub-AS crossings to reach sub-AS 2's interior *)
+  (match N.best net ~router:7 prefix with
+  | Some r ->
+    check_bool "crossed sub-AS 1" true
+      (Bgp.As_path.confed_contains (C.member_asn 1) r.Bgp.Route.as_path);
+    (* confed segments are invisible to path length *)
+    check_int "length unchanged" 2 (Bgp.As_path.length r.Bgp.Route.as_path)
+  | None -> Alcotest.fail "no route at r7");
+  (* inside the originating sub-AS the path carries no confed segments *)
+  match N.best net ~router:3 prefix with
+  | Some r ->
+    check_bool "clean inside" false
+      (Bgp.As_path.confed_contains (C.member_asn 1) r.Bgp.Route.as_path)
+  | None -> Alcotest.fail "no route at r3"
+
+let test_withdraw_propagates () =
+  let net = chain_net () in
+  inject net ~router:4 (route ~prefix 4);
+  quiesce net;
+  N.withdraw net ~router:4 ~neighbor:(neighbor 4) prefix ~path_id:0;
+  quiesce net;
+  List.iter (fun e -> check_bool "gone" true (e = None)) (exits net prefix)
+
+let test_confed_length_does_not_penalize () =
+  (* a route crossing two sub-ASes still ties on AS-path length with a
+     local one; the decision falls through to later steps *)
+  let net = chain_net () in
+  inject net ~router:1 (route ~asn:7000 ~med:5 ~prefix 1);
+  inject net ~router:7 (route ~asn:8000 ~med:1 ~prefix 7);
+  quiesce net;
+  (* with always-compare... default per-AS MED: different ASes, so MED
+     doesn't discriminate; r4 sees both via confed links; both have equal
+     AS-level length despite confed hops *)
+  match N.best net ~router:4 prefix with
+  | Some r -> check_int "tie on length" 2 (Bgp.As_path.length r.Bgp.Route.as_path)
+  | None -> Alcotest.fail "no route"
+
+let test_loop_detection () =
+  let net = chain_net () in
+  inject net ~router:4 (route ~prefix 4);
+  quiesce net;
+  (* hand router 3 (sub-AS 1 border) a route already carrying its own
+     member ASN: it must be discarded *)
+  let looped =
+    Bgp.Route.make
+      ~as_path:
+        (Bgp.As_path.of_segments
+           [ Bgp.As_path.Confed_seq [ C.member_asn 1 ]; Bgp.As_path.Seq [ Bgp.Asn.of_int 9 ] ])
+      ~prefix:(pfx "30.0.0.0/16")
+      ~next_hop:(C.loopback 2) ()
+  in
+  Abrr_core.Router.receive (N.router net 3) ~src:2
+    ~items:[ (Abrr_core.Proto.Confed, Abrr_core.Proto.delta (pfx "30.0.0.0/16") [ looped ]) ]
+    ~bytes:0 ~msgs:1;
+  quiesce net;
+  check_bool "looped route dropped" true (N.best net ~router:3 (pfx "30.0.0.0/16") = None);
+  check_bool "counted" true (Abrr_core.Router.rejected_loops (N.router net 3) > 0)
+
+let test_ring_oscillates () =
+  (* cyclic sub-AS graph: mutual confed-external preference churns
+     forever — the §1 claim that confederations share RR pathologies *)
+  let sub_as_of = [| 0; 0; 0; 1; 1; 1; 2; 2; 2 |] in
+  let confed_links = [ (2, 3); (5, 6); (0, 8) ] in
+  let cfg =
+    C.make ~n_routers:9 ~igp:(flat_igp 9) ~scheme:(C.confed ~sub_as_of ~confed_links) ()
+  in
+  let net = N.create cfg in
+  inject net ~router:4 (route ~prefix 4);
+  let v = A.run ~max_events:100_000 net in
+  check_bool "oscillates" true (A.oscillates v)
+
+let test_confed_external_preference () =
+  (* step 5: confed-external beats iBGP; a border router prefers the
+     copy learned over the confed link to the same route via its own
+     sub-AS mesh *)
+  let net = chain_net () in
+  inject net ~router:2 (route ~asn:7000 ~med:0 ~prefix 2);
+  inject net ~router:4 (route ~asn:8000 ~med:0 ~prefix 4);
+  quiesce net;
+  (* router 3 hears 7000's route over the confed link from 2 (external)
+     and 8000's via its own mesh client 4 (iBGP): both AS-level equal.
+     Confed-external wins at step 5. *)
+  match N.best net ~router:3 prefix with
+  | Some r -> check_bool "confed external preferred" true (owner_of_route r = 2)
+  | None -> Alcotest.fail "no route"
+
+let test_validation () =
+  let bad_len = C.confed ~sub_as_of:[| 0; 0 |] ~confed_links:[] in
+  let cfg = C.make ~n_routers:3 ~igp:(flat_igp 3) ~scheme:bad_len () in
+  check_bool "length" true (Result.is_error (C.validate cfg));
+  let same_sub = C.confed ~sub_as_of:[| 0; 0; 1 |] ~confed_links:[ (0, 1) ] in
+  let cfg = C.make ~n_routers:3 ~igp:(flat_igp 3) ~scheme:same_sub () in
+  check_bool "same sub-AS link" true (Result.is_error (C.validate cfg));
+  let ok = C.confed ~sub_as_of:[| 0; 0; 1 |] ~confed_links:[ (1, 2) ] in
+  let cfg = C.make ~n_routers:3 ~igp:(flat_igp 3) ~scheme:ok () in
+  check_bool "valid" true (C.validate cfg = Ok ())
+
+let test_confed_vs_full_mesh_steady_state () =
+  (* on an acyclic confed with a single exit, forwarding matches full
+     mesh *)
+  let fm = N.create (full_mesh_config 9) in
+  let cf = chain_net () in
+  inject fm ~router:4 (route ~prefix 4);
+  inject cf ~router:4 (route ~prefix 4);
+  quiesce fm;
+  quiesce cf;
+  check_bool "same exits" true (same_choices fm cf prefix)
+
+let suite =
+  ( "confederation",
+    [
+      Alcotest.test_case "propagation across sub-ASes" `Quick
+        test_propagation_across_sub_ases;
+      Alcotest.test_case "confed segments" `Quick test_confed_segments_accumulate;
+      Alcotest.test_case "withdraw" `Quick test_withdraw_propagates;
+      Alcotest.test_case "confed hops free of length" `Quick
+        test_confed_length_does_not_penalize;
+      Alcotest.test_case "loop detection" `Quick test_loop_detection;
+      Alcotest.test_case "sub-AS ring oscillates" `Slow test_ring_oscillates;
+      Alcotest.test_case "confed-external preference" `Quick
+        test_confed_external_preference;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "matches full mesh (acyclic, single exit)" `Quick
+        test_confed_vs_full_mesh_steady_state;
+    ] )

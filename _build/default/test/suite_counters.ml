@@ -1,0 +1,44 @@
+module Ct = Abrr_core.Counters
+
+let check_int = Alcotest.(check int)
+
+let filled () =
+  let c = Ct.create () in
+  c.Ct.updates_received <- 3;
+  c.Ct.updates_generated <- 5;
+  c.Ct.updates_transmitted <- 7;
+  c.Ct.messages_transmitted <- 2;
+  c.Ct.bytes_transmitted <- 100;
+  c.Ct.bytes_received <- 90;
+  c.Ct.withdrawals_received <- 1;
+  c.Ct.withdrawals_transmitted <- 2;
+  c.Ct.decisions_run <- 11;
+  c.Ct.last_change <- Eventsim.Time.sec 9;
+  c
+
+let test_add () =
+  let acc = filled () and x = filled () in
+  x.Ct.last_change <- Eventsim.Time.sec 4;
+  Ct.add acc x;
+  check_int "rx" 6 acc.Ct.updates_received;
+  check_int "gen" 10 acc.Ct.updates_generated;
+  check_int "tx" 14 acc.Ct.updates_transmitted;
+  check_int "bytes" 200 acc.Ct.bytes_transmitted;
+  check_int "decisions" 22 acc.Ct.decisions_run;
+  (* last_change takes the max *)
+  check_int "last change" (Eventsim.Time.sec 9) acc.Ct.last_change
+
+let test_reset () =
+  let c = filled () in
+  Ct.reset c;
+  check_int "rx" 0 c.Ct.updates_received;
+  check_int "gen" 0 c.Ct.updates_generated;
+  check_int "bytes" 0 c.Ct.bytes_transmitted;
+  check_int "last change" Eventsim.Time.zero c.Ct.last_change
+
+let suite =
+  ( "counters",
+    [
+      Alcotest.test_case "add accumulates" `Quick test_add;
+      Alcotest.test_case "reset" `Quick test_reset;
+    ] )

@@ -1,0 +1,229 @@
+open Netaddr
+open Bgp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = Prefix.of_string "20.0.0.0/16"
+let nh k = Ipv4.of_int (0x0A00_0000 + k)
+let asn = Asn.of_int
+
+let mk ?(lp = 100) ?(path = [ 100; 200 ]) ?(origin = Origin.Igp) ?med ?(nhop = 1) ()
+    =
+  Route.make ~local_pref:lp
+    ~as_path:(As_path.of_asns (List.map asn path))
+    ~origin ~med ~prefix ~next_hop:(nh nhop) ()
+
+let cand ?(learned = Decision.Ibgp) ?(peer = 1) ?(igp = 10) route =
+  Decision.candidate ~learned ~peer_id:(nh peer) ~peer_addr:(nh peer)
+    ~igp_cost:igp route
+
+let best = Decision.best ~med_mode:Decision.Per_neighbor_as
+let winner cands = match best cands with Some c -> c | None -> Alcotest.fail "no winner"
+
+let test_empty () = check_bool "none" true (best [] = None)
+
+let test_local_pref () =
+  let a = cand (mk ~lp:200 ~nhop:1 ()) in
+  let b = cand (mk ~lp:100 ~path:[ 100 ] ~nhop:2 ()) in
+  (* higher local-pref wins even against shorter path *)
+  check_bool "lp wins" true (winner [ b; a ] == a)
+
+let test_as_path_len () =
+  let a = cand (mk ~path:[ 100 ] ~nhop:1 ()) in
+  let b = cand (mk ~path:[ 100; 200 ] ~nhop:2 ()) in
+  check_bool "shorter wins" true (winner [ b; a ] == a)
+
+let test_origin () =
+  let a = cand (mk ~origin:Origin.Igp ~nhop:1 ()) in
+  let b = cand (mk ~origin:Origin.Egp ~nhop:2 ()) in
+  let c = cand (mk ~origin:Origin.Incomplete ~nhop:3 ()) in
+  check_bool "igp wins" true (winner [ c; b; a ] == a)
+
+let test_med_same_as () =
+  let a = cand (mk ~med:5 ~nhop:1 ()) in
+  let b = cand (mk ~med:9 ~nhop:2 ()) in
+  check_bool "low med wins" true (winner [ b; a ] == a)
+
+let test_med_missing_is_best () =
+  let a = cand (mk ~nhop:1 ()) in
+  let b = cand (mk ~med:1 ~nhop:2 ()) in
+  check_bool "missing med = 0" true (winner [ b; a ] == a)
+
+let test_med_different_as () =
+  (* per-neighbour-AS mode: MED must not discriminate across ASes; the
+     high-MED route survives to step 6 and wins on IGP cost *)
+  let a = cand ~igp:50 (mk ~path:[ 100; 200 ] ~med:0 ~nhop:1 ()) in
+  let b = cand ~igp:10 (mk ~path:[ 300; 200 ] ~med:99 ~nhop:2 ()) in
+  check_bool "igp decides across ASes" true (winner [ a; b ] == b);
+  (* always-compare mode: MED decides *)
+  let w =
+    match Decision.best ~med_mode:Decision.Always_compare [ a; b ] with
+    | Some c -> c
+    | None -> Alcotest.fail "no winner"
+  in
+  check_bool "med decides when always-compare" true (w == a)
+
+let test_ebgp_over_ibgp () =
+  let a = cand ~learned:Decision.Ebgp ~igp:100 (mk ~nhop:1 ()) in
+  let b = cand ~learned:Decision.Ibgp ~igp:1 (mk ~nhop:2 ()) in
+  check_bool "ebgp wins" true (winner [ b; a ] == a)
+
+let test_igp_cost () =
+  let a = cand ~igp:5 (mk ~nhop:1 ()) in
+  let b = cand ~igp:7 (mk ~nhop:2 ()) in
+  check_bool "low igp wins" true (winner [ b; a ] == a)
+
+let test_router_id () =
+  let a = cand ~peer:1 ~igp:5 (mk ~nhop:1 ()) in
+  let b = cand ~peer:2 ~igp:5 (mk ~nhop:2 ()) in
+  check_bool "low router id wins" true (winner [ b; a ] == a)
+
+let test_originator_overrides_router_id () =
+  let ra = { (mk ~nhop:1 ()) with Route.originator_id = Some (nh 9) } in
+  let rb = { (mk ~nhop:2 ()) with Route.originator_id = Some (nh 3) } in
+  let a = cand ~peer:1 ~igp:5 ra in
+  let b = cand ~peer:2 ~igp:5 rb in
+  (* b's originator (3) beats a's (9) even though peer 1 < peer 2 *)
+  check_bool "originator id used" true (winner [ a; b ] == b)
+
+let test_steps_1_to_4 () =
+  let a = cand (mk ~med:0 ~nhop:1 ()) in
+  let b = cand (mk ~med:5 ~nhop:2 ()) in
+  let c = cand (mk ~path:[ 300; 200 ] ~med:9 ~nhop:3 ()) in
+  let survivors = Decision.steps_1_to_4 ~med_mode:Decision.Per_neighbor_as [ a; b; c ] in
+  (* b killed by a's MED (same AS 100); c survives (different AS) *)
+  check_int "two survive" 2 (List.length survivors);
+  check_bool "a in" true (List.memq a survivors);
+  check_bool "c in" true (List.memq c survivors);
+  let survivors' = Decision.steps_1_to_4 ~med_mode:Decision.Always_compare [ a; b; c ] in
+  check_int "always-compare keeps min only" 1 (List.length survivors')
+
+let test_tie_break_step () =
+  let a = cand ~igp:5 (mk ~nhop:1 ()) in
+  let b = cand ~igp:7 (mk ~nhop:2 ()) in
+  check_int "igp step" 6
+    (Decision.tie_break_step ~med_mode:Decision.Per_neighbor_as [ a; b ]);
+  check_int "single" 0 (Decision.tie_break_step ~med_mode:Decision.Per_neighbor_as [ a ])
+
+let test_rank_total () =
+  let cands =
+    [
+      cand ~peer:4 ~igp:9 (mk ~nhop:4 ());
+      cand ~peer:3 ~igp:3 (mk ~nhop:3 ());
+      cand ~peer:2 ~igp:7 (mk ~path:[ 100 ] ~nhop:2 ());
+    ]
+  in
+  let ranked = Decision.rank ~med_mode:Decision.Per_neighbor_as cands in
+  check_int "all ranked" 3 (List.length ranked);
+  check_bool "shortest path first" true
+    (As_path.length (List.hd ranked).Decision.route.Route.as_path = 1)
+
+let prop_best_is_rank_head =
+  QCheck.Test.make ~name:"best = head of rank" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 8) (pair (int_bound 100) (int_bound 3)))
+    (fun specs ->
+      let cands =
+        List.mapi
+          (fun i (igp, pathlen) ->
+            cand ~peer:(i + 1) ~igp
+              (mk ~path:(List.init (pathlen + 1) (fun j -> 100 + j)) ~nhop:(i + 1) ()))
+          specs
+      in
+      match (best cands, Decision.rank ~med_mode:Decision.Per_neighbor_as cands) with
+      | Some b, r :: _ -> b == r
+      | None, [] -> true
+      | _ -> false)
+
+let gen_candidate =
+  let open QCheck.Gen in
+  let* asn = int_range 0 2 in
+  let* med = opt (int_range 0 30) in
+  let* lp = int_range 90 110 in
+  let* pathlen = int_range 1 3 in
+  let* igp = int_range 1 100 in
+  let* peer = int_range 1 50 in
+  let* ebgp = bool in
+  return
+    (cand
+       ~learned:(if ebgp then Decision.Ebgp else Decision.Ibgp)
+       ~peer ~igp
+       (mk ~lp
+          ~path:(List.init pathlen (fun j -> 100 + (asn * 10) + j))
+          ?med ~nhop:peer ()))
+
+let arb_candidates = QCheck.make QCheck.Gen.(list_size (int_range 1 12) gen_candidate)
+
+let prop_best_in_survivors =
+  QCheck.Test.make ~name:"best survives steps 1-4" ~count:300 arb_candidates
+    (fun cands ->
+      List.for_all
+        (fun med_mode ->
+          match Decision.best ~med_mode cands with
+          | None -> cands = []
+          | Some b -> List.memq b (Decision.steps_1_to_4 ~med_mode cands))
+        [ Decision.Always_compare; Decision.Per_neighbor_as ])
+
+let prop_survivors_subset =
+  QCheck.Test.make ~name:"steps 1-4 return a non-empty subset" ~count:300
+    arb_candidates
+    (fun cands ->
+      List.for_all
+        (fun med_mode ->
+          let s = Decision.steps_1_to_4 ~med_mode cands in
+          s <> [] && List.for_all (fun c -> List.memq c cands) s)
+        [ Decision.Always_compare; Decision.Per_neighbor_as ])
+
+let prop_order_independent_always_compare =
+  QCheck.Test.make ~name:"best is input-order independent (always-compare)"
+    ~count:300 arb_candidates
+    (fun cands ->
+      let b1 = Decision.best ~med_mode:Decision.Always_compare cands in
+      let b2 = Decision.best ~med_mode:Decision.Always_compare (List.rev cands) in
+      match (b1, b2) with
+      | Some a, Some b -> a == b
+      | None, None -> true
+      | _ -> false)
+
+let prop_losers_do_not_matter =
+  QCheck.Test.make ~name:"removing a loser never changes the winner (always-compare)"
+    ~count:300 arb_candidates
+    (fun cands ->
+      match Decision.best ~med_mode:Decision.Always_compare cands with
+      | None -> true
+      | Some w ->
+        List.for_all
+          (fun dropped ->
+            dropped == w
+            ||
+            match
+              Decision.best ~med_mode:Decision.Always_compare
+                (List.filter (fun c -> c != dropped) cands)
+            with
+            | Some w' -> w' == w
+            | None -> false)
+          cands)
+
+let suite =
+  ( "decision",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "step 1: local pref" `Quick test_local_pref;
+      Alcotest.test_case "step 2: AS path length" `Quick test_as_path_len;
+      Alcotest.test_case "step 3: origin" `Quick test_origin;
+      Alcotest.test_case "step 4: MED same AS" `Quick test_med_same_as;
+      Alcotest.test_case "step 4: missing MED" `Quick test_med_missing_is_best;
+      Alcotest.test_case "step 4: MED across ASes" `Quick test_med_different_as;
+      Alcotest.test_case "step 5: eBGP over iBGP" `Quick test_ebgp_over_ibgp;
+      Alcotest.test_case "step 6: IGP cost" `Quick test_igp_cost;
+      Alcotest.test_case "step 7: router id" `Quick test_router_id;
+      Alcotest.test_case "step 7: originator id" `Quick
+        test_originator_overrides_router_id;
+      Alcotest.test_case "steps 1-4 (best AS-level)" `Quick test_steps_1_to_4;
+      Alcotest.test_case "tie-break step report" `Quick test_tie_break_step;
+      Alcotest.test_case "rank" `Quick test_rank_total;
+      QCheck_alcotest.to_alcotest prop_best_is_rank_head;
+      QCheck_alcotest.to_alcotest prop_best_in_survivors;
+      QCheck_alcotest.to_alcotest prop_survivors_subset;
+      QCheck_alcotest.to_alcotest prop_order_independent_always_compare;
+      QCheck_alcotest.to_alcotest prop_losers_do_not_matter;
+    ] )

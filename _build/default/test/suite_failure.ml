@@ -1,0 +1,143 @@
+(* §2.3.3 robustness: redundant ARRs mask single failures; the blast
+   radius of losing a reflector pair is one AP's prefixes under ABRR but
+   a whole cluster's visibility under TBRR. *)
+
+open Helpers
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+module Part = Abrr_core.Partition
+
+let check_bool = Alcotest.(check bool)
+let prefix = pfx "20.0.0.0/16"
+
+let settle net =
+  (* let hold timers expire and the network re-converge *)
+  quiesce net
+
+let test_redundant_arr_masks_failure () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0; 1 ] ()) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  N.fail net ~router:0;
+  settle net;
+  (* existing routes survive via the redundant ARR *)
+  check_bool "old route kept" true (N.best_exit net ~router:4 prefix = Some 2);
+  (* a brand-new route still propagates *)
+  let p2 = pfx "21.0.0.0/16" in
+  inject net ~router:3 (route ~prefix:p2 3);
+  settle net;
+  check_bool "new route via survivor" true (N.best_exit net ~router:4 p2 = Some 3);
+  check_bool "failed ARR holds nothing new" true (N.best net ~router:0 p2 = None)
+
+let test_single_arr_failure_blackholes_new_routes () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0 ] ()) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  N.fail net ~router:0;
+  settle net;
+  (* with the only ARR gone, reflected state is purged *)
+  check_bool "purged" true (N.best net ~router:4 prefix = None);
+  (* the injector itself still has its eBGP route *)
+  check_bool "injector keeps eBGP" true (N.best net ~router:2 prefix <> None)
+
+let two_ap_net () =
+  let part = Part.uniform 2 in
+  let cfg =
+    C.make ~n_routers:8 ~igp:(flat_igp 8)
+      ~scheme:(C.abrr ~partition:part [| [ 0; 1 ]; [ 2; 3 ] |])
+      ()
+  in
+  let net = N.create cfg in
+  inject net ~router:4 (route ~prefix 4);
+  inject net ~router:5 (route ~prefix:(pfx "200.0.0.0/16") 5);
+  quiesce net;
+  net
+
+let test_abrr_blast_radius_is_one_ap () =
+  let net = two_ap_net () in
+  let high = pfx "200.0.0.0/16" in
+  (* kill both ARRs of AP 0 *)
+  N.fail net ~router:0;
+  N.fail net ~router:1;
+  settle net;
+  check_bool "AP0 prefix lost" true (N.best net ~router:7 prefix = None);
+  check_bool "AP1 prefix survives" true (N.best_exit net ~router:7 high = Some 5)
+
+let test_tbrr_blast_radius_is_whole_cluster () =
+  let clusters =
+    [
+      { C.trrs = [ 0; 1 ]; clients = [ 4; 5 ] };
+      { C.trrs = [ 2; 3 ]; clients = [ 6; 7 ] };
+    ]
+  in
+  let cfg = C.make ~n_routers:8 ~igp:(flat_igp 8) ~scheme:(C.tbrr clusters) () in
+  let net = N.create cfg in
+  let high = pfx "200.0.0.0/16" in
+  inject net ~router:4 (route ~prefix 4);
+  inject net ~router:6 (route ~prefix:high 6);
+  quiesce net;
+  check_bool "before" true (N.best_exit net ~router:5 high = Some 6);
+  (* kill cluster 0's TRR pair: its clients lose all remote visibility *)
+  N.fail net ~router:0;
+  N.fail net ~router:1;
+  settle net;
+  check_bool "cluster client loses remote prefix" true
+    (N.best net ~router:5 high = None);
+  (* the other cluster keeps everything it originates *)
+  check_bool "other cluster fine" true (N.best_exit net ~router:7 high = Some 6)
+
+let test_recovery_resyncs () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0; 1 ] ()) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  N.fail net ~router:1;
+  settle net;
+  N.recover net ~router:1;
+  settle net;
+  (* the recovered ARR rebuilt its best-AS-level set from client replays *)
+  check_bool "set rebuilt" true (R.reflector_set (N.router net 1) prefix <> []);
+  check_bool "clients re-learned from it" true
+    (R.received_set (N.router net 4) ~from:1 prefix <> []);
+  (* and a post-recovery change flows through it *)
+  inject net ~router:3 (route ~med:0 ~prefix:(pfx "22.0.0.0/16") 3);
+  settle net;
+  check_bool "new route" true (N.best_exit net ~router:5 (pfx "22.0.0.0/16") = Some 3)
+
+let test_client_failure_withdraws_its_routes () =
+  let net = N.create (single_ap_abrr ~arrs:[ 0 ] ()) in
+  inject net ~router:2 (route ~med:1 ~prefix 2);
+  inject net ~router:3 (route ~med:5 ~prefix 3);
+  quiesce net;
+  check_bool "best via 2" true (N.best_exit net ~router:5 prefix = Some 2);
+  N.fail net ~router:2;
+  settle net;
+  (* the ARR purges router 2's advert; everyone falls back to router 3 *)
+  check_bool "fallback" true (N.best_exit net ~router:5 prefix = Some 3)
+
+let test_messages_to_down_router_dropped () =
+  let net = N.create (full_mesh_config 4) in
+  N.fail net ~router:3;
+  inject net ~router:1 (route ~prefix 1);
+  quiesce net;
+  check_bool "others fine" true (N.best_exit net ~router:0 prefix = Some 1);
+  check_bool "down router empty" true (N.best net ~router:3 prefix = None);
+  check_bool "marked down" false (R.is_up (N.router net 3))
+
+let suite =
+  ( "failure",
+    [
+      Alcotest.test_case "redundant ARR masks failure" `Quick
+        test_redundant_arr_masks_failure;
+      Alcotest.test_case "single-ARR failure blackholes" `Quick
+        test_single_arr_failure_blackholes_new_routes;
+      Alcotest.test_case "ABRR blast radius = one AP" `Quick
+        test_abrr_blast_radius_is_one_ap;
+      Alcotest.test_case "TBRR blast radius = whole cluster" `Quick
+        test_tbrr_blast_radius_is_whole_cluster;
+      Alcotest.test_case "recovery resyncs" `Quick test_recovery_resyncs;
+      Alcotest.test_case "client failure withdraws routes" `Quick
+        test_client_failure_withdraws_its_routes;
+      Alcotest.test_case "traffic to down router dropped" `Quick
+        test_messages_to_down_router_dropped;
+    ] )

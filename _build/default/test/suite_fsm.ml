@@ -1,0 +1,176 @@
+open Netaddr
+open Bgp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let config ?(hold = 90) ?(add_paths = true) id =
+  {
+    Fsm.local_asn = Asn.of_int 65000;
+    local_id = Ipv4.of_int id;
+    hold_time = hold;
+    add_paths;
+    connect_retry = 30;
+  }
+
+let peer_open ?(hold = 180) ?(add_paths = true) () =
+  Msg.Open
+    {
+      Msg.asn = Asn.of_int 65000;
+      hold_time = hold;
+      bgp_id = Ipv4.of_string "10.0.0.9";
+      add_paths;
+    }
+
+let has pred actions = List.exists pred actions
+let sends_open = function Fsm.Send (Msg.Open _) -> true | _ -> false
+let sends_keepalive = function Fsm.Send Msg.Keepalive -> true | _ -> false
+let sends_notification = function Fsm.Send (Msg.Notification _) -> true | _ -> false
+let establishes = function Fsm.Session_established _ -> true | _ -> false
+let goes_down = function Fsm.Session_down _ -> true | _ -> false
+
+(* Drive a session to Established; returns the fsm. *)
+let established ?hold ?add_paths ?(peer_hold = 180) ?(peer_ap = true) () =
+  let t = Fsm.create (config ?hold ?add_paths 1) in
+  ignore (Fsm.handle t Fsm.Start);
+  ignore (Fsm.handle t Fsm.Connection_up);
+  ignore (Fsm.handle t (Fsm.Message (peer_open ~hold:peer_hold ~add_paths:peer_ap ())));
+  ignore (Fsm.handle t (Fsm.Message Msg.Keepalive));
+  t
+
+let test_happy_path () =
+  let t = Fsm.create (config 1) in
+  check_bool "idle" true (Fsm.state t = Fsm.Idle);
+  let a1 = Fsm.handle t Fsm.Start in
+  check_bool "connects" true (has (( = ) Fsm.Connect_transport) a1);
+  check_bool "connect state" true (Fsm.state t = Fsm.Connect);
+  let a2 = Fsm.handle t Fsm.Connection_up in
+  check_bool "sends open" true (has sends_open a2);
+  check_bool "opensent" true (Fsm.state t = Fsm.Open_sent);
+  let a3 = Fsm.handle t (Fsm.Message (peer_open ())) in
+  check_bool "keepalive reply" true (has sends_keepalive a3);
+  check_bool "openconfirm" true (Fsm.state t = Fsm.Open_confirm);
+  let a4 = Fsm.handle t (Fsm.Message Msg.Keepalive) in
+  check_bool "established action" true (has establishes a4);
+  check_bool "established" true (Fsm.state t = Fsm.Established);
+  check_bool "peer learned" true (Fsm.peer t <> None)
+
+let test_hold_negotiation () =
+  (* min of both proposals *)
+  let t = established ~hold:90 ~peer_hold:30 () in
+  ignore t;
+  let t2 = Fsm.create (config ~hold:90 1) in
+  ignore (Fsm.handle t2 Fsm.Start);
+  ignore (Fsm.handle t2 Fsm.Connection_up);
+  let actions = Fsm.handle t2 (Fsm.Message (peer_open ~hold:30 ())) in
+  check_bool "hold timer is min" true
+    (has (function Fsm.Set_hold_timer 30 -> true | _ -> false) actions)
+
+let test_add_paths_negotiation () =
+  let t = established ~add_paths:true ~peer_ap:true () in
+  check_bool "both offer -> on" true (Fsm.negotiated_add_paths t);
+  let t = established ~add_paths:true ~peer_ap:false () in
+  check_bool "peer declines -> off" false (Fsm.negotiated_add_paths t);
+  let t = established ~add_paths:false ~peer_ap:true () in
+  check_bool "we decline -> off" false (Fsm.negotiated_add_paths t)
+
+let test_hold_expiry () =
+  let t = established () in
+  let actions = Fsm.handle t Fsm.Hold_timer_expired in
+  check_bool "notification" true (has sends_notification actions);
+  check_bool "down" true (has goes_down actions);
+  check_bool "idle" true (Fsm.state t = Fsm.Idle)
+
+let test_keepalive_refreshes () =
+  let t = established ~hold:90 ~peer_hold:90 () in
+  let actions = Fsm.handle t (Fsm.Message Msg.Keepalive) in
+  check_bool "refresh" true
+    (has (function Fsm.Set_hold_timer 90 -> true | _ -> false) actions);
+  let actions = Fsm.handle t Fsm.Keepalive_timer_expired in
+  check_bool "sends keepalive" true (has sends_keepalive actions);
+  check_bool "still up" true (Fsm.state t = Fsm.Established)
+
+let test_connect_retry () =
+  let t = Fsm.create (config 1) in
+  ignore (Fsm.handle t Fsm.Start);
+  ignore (Fsm.handle t Fsm.Connection_failed);
+  check_bool "active" true (Fsm.state t = Fsm.Active);
+  let actions = Fsm.handle t Fsm.Connect_retry_expired in
+  check_bool "retries" true (has (( = ) Fsm.Connect_transport) actions);
+  check_bool "connect" true (Fsm.state t = Fsm.Connect)
+
+let test_stop () =
+  let t = established () in
+  let actions = Fsm.handle t Fsm.Stop in
+  check_bool "down" true (has goes_down actions);
+  check_bool "idle" true (Fsm.state t = Fsm.Idle);
+  (* restartable *)
+  let actions = Fsm.handle t Fsm.Start in
+  check_bool "restart" true (has (( = ) Fsm.Connect_transport) actions)
+
+let test_protocol_errors () =
+  (* UPDATE before OPEN *)
+  let t = Fsm.create (config 1) in
+  ignore (Fsm.handle t Fsm.Start);
+  ignore (Fsm.handle t Fsm.Connection_up);
+  let actions = Fsm.handle t (Fsm.Message Msg.Keepalive) in
+  check_bool "rejected" true (has sends_notification actions);
+  check_bool "reset" true (Fsm.state t = Fsm.Idle);
+  (* duplicate OPEN once established *)
+  let t = established () in
+  let actions = Fsm.handle t (Fsm.Message (peer_open ())) in
+  check_bool "dup open kills" true (has sends_notification actions)
+
+let test_unacceptable_hold () =
+  let t = Fsm.create (config 1) in
+  ignore (Fsm.handle t Fsm.Start);
+  ignore (Fsm.handle t Fsm.Connection_up);
+  let actions = Fsm.handle t (Fsm.Message (peer_open ~hold:2 ())) in
+  check_bool "rejected" true (has sends_notification actions);
+  check_bool "idle" true (Fsm.state t = Fsm.Idle)
+
+let test_peer_notification () =
+  let t = established () in
+  let actions =
+    Fsm.handle t (Fsm.Message (Msg.Notification { Msg.code = 6; subcode = 0; data = "" }))
+  in
+  check_bool "down" true (has goes_down actions);
+  check_bool "idle" true (Fsm.state t = Fsm.Idle)
+
+(* --- session setup harness (§3.3) ----------------------------------- *)
+
+let test_boot_all_established () =
+  let r = Abrr_core.Session_setup.run (Abrr_core.Session_setup.spec ~sessions:50 ()) in
+  check_int "all up" 50 r.Abrr_core.Session_setup.established;
+  (* OPEN + KEEPALIVE inbound per session *)
+  check_int "messages" 100 r.Abrr_core.Session_setup.messages_processed;
+  check_bool "positive boot time" true
+    (r.Abrr_core.Session_setup.boot_time > Eventsim.Time.zero)
+
+let test_boot_scales_superlinearly_in_cpu () =
+  let boot n =
+    (Abrr_core.Session_setup.run (Abrr_core.Session_setup.spec ~sessions:n ()))
+      .Abrr_core.Session_setup.boot_time
+  in
+  let b100 = boot 100 and b1000 = boot 1000 in
+  check_bool "more sessions, longer boot" true (b1000 > b100);
+  (* at 1000 sessions the CPU serialization dominates the RTT *)
+  check_bool "cpu-bound regime" true
+    (b1000 > Eventsim.Time.ms 400 && b1000 < Eventsim.Time.sec 2)
+
+let suite =
+  ( "fsm",
+    [
+      Alcotest.test_case "happy path" `Quick test_happy_path;
+      Alcotest.test_case "hold-time negotiation" `Quick test_hold_negotiation;
+      Alcotest.test_case "add-paths negotiation" `Quick test_add_paths_negotiation;
+      Alcotest.test_case "hold expiry" `Quick test_hold_expiry;
+      Alcotest.test_case "keepalive" `Quick test_keepalive_refreshes;
+      Alcotest.test_case "connect retry" `Quick test_connect_retry;
+      Alcotest.test_case "stop/restart" `Quick test_stop;
+      Alcotest.test_case "protocol errors" `Quick test_protocol_errors;
+      Alcotest.test_case "unacceptable hold" `Quick test_unacceptable_hold;
+      Alcotest.test_case "peer notification" `Quick test_peer_notification;
+      Alcotest.test_case "boot: all sessions" `Quick test_boot_all_established;
+      Alcotest.test_case "boot: scaling" `Quick test_boot_scales_superlinearly_in_cpu;
+    ] )

@@ -1,0 +1,107 @@
+open Helpers
+module N = Abrr_core.Network
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = pfx "20.0.0.0/16"
+
+let test_propagation () =
+  let net = N.create (full_mesh_config 5) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  (* every router learns the route and exits via router 2 *)
+  List.iteri
+    (fun i e ->
+      if i = 2 then check_bool "injector external" true (e = None)
+      else check_bool (Printf.sprintf "r%d exit" i) true (e = Some 2))
+    (exits net prefix)
+
+let test_withdraw () =
+  let net = N.create (full_mesh_config 4) in
+  inject net ~router:1 (route ~prefix 1);
+  quiesce net;
+  N.withdraw net ~router:1 ~neighbor:(neighbor 1) prefix ~path_id:0;
+  quiesce net;
+  List.iter (fun e -> check_bool "gone" true (e = None)) (exits net prefix)
+
+let test_switch_to_better () =
+  let net = N.create (full_mesh_config 4) in
+  inject net ~router:1 (route ~med:10 ~prefix 1);
+  quiesce net;
+  check_bool "first exit" true (N.best_exit net ~router:3 prefix = Some 1);
+  inject net ~router:2 (route ~med:1 ~prefix 2);
+  quiesce net;
+  check_bool "better exit" true (N.best_exit net ~router:3 prefix = Some 2);
+  (* withdrawal of the better route falls back *)
+  N.withdraw net ~router:2 ~neighbor:(neighbor 2) prefix ~path_id:0;
+  quiesce net;
+  check_bool "fallback" true (N.best_exit net ~router:3 prefix = Some 1)
+
+let test_hot_potato () =
+  (* ring topology: each router picks its IGP-closest exit *)
+  let n = 6 in
+  let cfg =
+    Abrr_core.Config.make ~n_routers:n ~igp:(ring_igp n)
+      ~scheme:Abrr_core.Config.Full_mesh ()
+  in
+  let net = N.create cfg in
+  inject net ~router:0 (route ~prefix 0);
+  inject net ~router:3 (route ~prefix 3);
+  quiesce net;
+  check_bool "r1 -> 0" true (N.best_exit net ~router:1 prefix = Some 0);
+  check_bool "r2 -> 3" true (N.best_exit net ~router:2 prefix = Some 3 || N.best_exit net ~router:2 prefix = Some 0);
+  check_bool "r4 -> 3" true (N.best_exit net ~router:4 prefix = Some 3);
+  check_bool "r5 -> 0" true (N.best_exit net ~router:5 prefix = Some 0)
+
+let test_multi_prefix_independence () =
+  let net = N.create (full_mesh_config 4) in
+  let p2 = pfx "21.0.0.0/16" in
+  inject net ~router:1 (route ~prefix 1);
+  inject net ~router:2 (route ~prefix:p2 2);
+  quiesce net;
+  check_bool "p1" true (N.best_exit net ~router:0 prefix = Some 1);
+  check_bool "p2" true (N.best_exit net ~router:0 p2 = Some 2)
+
+let test_no_advert_of_ibgp_learned () =
+  let net = N.create (full_mesh_config 4) in
+  inject net ~router:1 (route ~prefix 1);
+  quiesce net;
+  (* routers whose best is iBGP-learned advertise nothing *)
+  for i = 0 to 3 do
+    let adv = Abrr_core.Router.advertised_route (N.router net i) prefix in
+    if i = 1 then check_bool "injector advertises" true (adv <> None)
+    else check_bool "silent" true (adv = None)
+  done
+
+let test_counters_track () =
+  let net = N.create (full_mesh_config 4) in
+  inject net ~router:1 (route ~prefix 1);
+  quiesce net;
+  let c = N.counters net 1 in
+  (* injector generated one update and transmitted it to 3 peers *)
+  check_int "generated" 1 c.Abrr_core.Counters.updates_generated;
+  check_int "transmitted" 3 c.Abrr_core.Counters.updates_transmitted;
+  check_bool "bytes counted" true (c.Abrr_core.Counters.bytes_transmitted > 0);
+  let c0 = N.counters net 0 in
+  check_int "received" 1 c0.Abrr_core.Counters.updates_received
+
+let test_forwarding_loop_free () =
+  let net = N.create (full_mesh_config 6) in
+  inject net ~router:1 (route ~med:5 ~prefix 1);
+  inject net ~router:4 (route ~med:5 ~prefix 4);
+  quiesce net;
+  check_bool "no loops" true (Abrr_core.Anomaly.forwarding_loops net prefix = [])
+
+let suite =
+  ( "full-mesh",
+    [
+      Alcotest.test_case "propagation" `Quick test_propagation;
+      Alcotest.test_case "withdraw" `Quick test_withdraw;
+      Alcotest.test_case "switch to better and fallback" `Quick test_switch_to_better;
+      Alcotest.test_case "hot potato on ring" `Quick test_hot_potato;
+      Alcotest.test_case "prefix independence" `Quick test_multi_prefix_independence;
+      Alcotest.test_case "iBGP-learned not re-advertised" `Quick
+        test_no_advert_of_ibgp_learned;
+      Alcotest.test_case "counters" `Quick test_counters_track;
+      Alcotest.test_case "forwarding loop-free" `Quick test_forwarding_loop_free;
+    ] )

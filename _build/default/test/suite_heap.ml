@@ -1,0 +1,75 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_basic () =
+  let h = Pqueue.Heap.create ~cmp:Int.compare () in
+  check_bool "empty" true (Pqueue.Heap.is_empty h);
+  List.iter (Pqueue.Heap.push h) [ 5; 1; 4; 1; 3 ];
+  check_int "length" 5 (Pqueue.Heap.length h);
+  check_bool "peek" true (Pqueue.Heap.peek h = Some 1);
+  check_bool "sorted drain" true
+    (Pqueue.Heap.to_sorted_list h = [ 1; 1; 3; 4; 5 ]);
+  check_bool "drained" true (Pqueue.Heap.is_empty h)
+
+let test_pop_empty () =
+  let h = Pqueue.Heap.create ~cmp:Int.compare () in
+  check_bool "pop none" true (Pqueue.Heap.pop h = None);
+  check_bool "pop_exn raises" true
+    (try
+       ignore (Pqueue.Heap.pop_exn h);
+       false
+     with Invalid_argument _ -> true)
+
+let test_clear () =
+  let h = Pqueue.Heap.of_list ~cmp:Int.compare [ 3; 1; 2 ] in
+  Pqueue.Heap.clear h;
+  check_bool "cleared" true (Pqueue.Heap.is_empty h);
+  Pqueue.Heap.push h 9;
+  check_bool "usable after clear" true (Pqueue.Heap.pop h = Some 9)
+
+let prop_heap_sort =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:300
+    QCheck.(list int)
+    (fun l ->
+      let h = Pqueue.Heap.of_list ~cmp:Int.compare l in
+      Pqueue.Heap.to_sorted_list h = List.sort Int.compare l)
+
+let remove_one x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: tl -> if y = x then List.rev_append acc tl else go (y :: acc) tl
+  in
+  go [] l
+
+let prop_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop maintains min" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Pqueue.Heap.create ~cmp:Int.compare () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_pop, v) ->
+          if is_pop then begin
+            let expected =
+              match !model with [] -> None | l -> Some (List.fold_left min max_int l)
+            in
+            let got = Pqueue.Heap.pop h in
+            (match got with Some x -> model := remove_one x !model | None -> ());
+            got = expected
+          end
+          else begin
+            Pqueue.Heap.push h v;
+            model := v :: !model;
+            true
+          end)
+        ops)
+
+let suite =
+  ( "heap",
+    [
+      Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "empty pops" `Quick test_pop_empty;
+      Alcotest.test_case "clear" `Quick test_clear;
+      QCheck_alcotest.to_alcotest prop_heap_sort;
+      QCheck_alcotest.to_alcotest prop_interleaved;
+    ] )

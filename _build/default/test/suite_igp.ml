@@ -1,0 +1,97 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let diamond () =
+  (* 0 -1- 1 -1- 3 ; 0 -5- 2 -1- 3 *)
+  let g = Igp.Graph.create ~n:4 in
+  Igp.Graph.add_edge g 0 1 1;
+  Igp.Graph.add_edge g 1 3 1;
+  Igp.Graph.add_edge g 0 2 5;
+  Igp.Graph.add_edge g 2 3 1;
+  g
+
+let test_graph_basics () =
+  let g = diamond () in
+  check_int "nodes" 4 (Igp.Graph.node_count g);
+  check_int "arcs" 8 (Igp.Graph.edge_count g);
+  check_int "degree" 2 (Igp.Graph.degree g 0);
+  check_bool "metric" true (Igp.Graph.metric g 0 1 = Some 1);
+  check_bool "no metric" true (Igp.Graph.metric g 0 3 = None);
+  (* re-adding keeps the smaller metric *)
+  Igp.Graph.add_edge g 0 1 10;
+  check_bool "keeps min" true (Igp.Graph.metric g 0 1 = Some 1);
+  Igp.Graph.add_edge g 0 1 0;
+  check_bool "lowers" true (Igp.Graph.metric g 0 1 = Some 0)
+
+let test_spf_distances () =
+  let dist = Igp.Spf.distances (diamond ()) ~src:0 in
+  check_int "self" 0 dist.(0);
+  check_int "d1" 1 dist.(1);
+  check_int "d3 via 1" 2 dist.(3);
+  check_int "d2 direct" 3 dist.(2)
+  (* 0-1-3-2 = 1+1+1 = 3 < direct 5 *)
+
+let test_spf_path () =
+  match Igp.Spf.path (diamond ()) ~src:0 ~dst:3 with
+  | Some [ 0; 1; 3 ] -> ()
+  | Some p ->
+    Alcotest.failf "wrong path: %s" (String.concat "," (List.map string_of_int p))
+  | None -> Alcotest.fail "no path"
+
+let test_unreachable () =
+  let g = Igp.Graph.create ~n:3 in
+  Igp.Graph.add_edge g 0 1 1;
+  let dist = Igp.Spf.distances g ~src:0 in
+  check_bool "unreachable" true (dist.(2) = Igp.Spf.unreachable);
+  check_bool "not connected" false (Igp.Spf.connected g);
+  check_bool "path none" true (Igp.Spf.path g ~src:0 ~dst:2 = None)
+
+let test_all_pairs_symmetric () =
+  let m = Igp.Spf.all_pairs (diamond ()) in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      check_int (Printf.sprintf "sym %d %d" i j) m.(i).(j) m.(j).(i)
+    done
+  done
+
+let test_remove_edge () =
+  let g = diamond () in
+  Igp.Graph.remove_edge g 0 1;
+  let dist = Igp.Spf.distances g ~src:0 in
+  check_int "reroutes" 5 dist.(2);
+  check_int "d3" 6 dist.(3)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"all-pairs satisfies triangle inequality" ~count:50
+    QCheck.(
+      list_of_size (Gen.int_range 5 30)
+        (triple (int_bound 9) (int_bound 9) (int_range 1 100)))
+    (fun edges ->
+      let g = Igp.Graph.create ~n:10 in
+      List.iter (fun (u, v, m) -> if u <> v then Igp.Graph.add_edge g u v m) edges;
+      let d = Igp.Spf.all_pairs g in
+      let ok = ref true in
+      for i = 0 to 9 do
+        for j = 0 to 9 do
+          for k = 0 to 9 do
+            if
+              d.(i).(k) <> Igp.Spf.unreachable
+              && d.(k).(j) <> Igp.Spf.unreachable
+              && d.(i).(j) <> Igp.Spf.unreachable
+            then if d.(i).(j) > d.(i).(k) + d.(k).(j) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  ( "igp",
+    [
+      Alcotest.test_case "graph basics" `Quick test_graph_basics;
+      Alcotest.test_case "spf distances" `Quick test_spf_distances;
+      Alcotest.test_case "spf path" `Quick test_spf_path;
+      Alcotest.test_case "unreachable" `Quick test_unreachable;
+      Alcotest.test_case "all pairs symmetric" `Quick test_all_pairs_symmetric;
+      Alcotest.test_case "remove edge reroutes" `Quick test_remove_edge;
+      QCheck_alcotest.to_alcotest prop_triangle_inequality;
+    ] )

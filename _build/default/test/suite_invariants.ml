@@ -1,0 +1,158 @@
+(* Whole-system invariants, checked over a mid-size randomized Tier-1
+   workload after convergence: the steady state every router reaches
+   must be independently re-derivable from the protocol's definitions. *)
+
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+module C = Abrr_core.Config
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+
+let check_bool = Alcotest.(check bool)
+
+let topo =
+  T.generate (T.spec ~pops:6 ~routers_per_pop:6 ~peer_ases:8 ~peering_points_per_as:4 ())
+
+let table = RG.generate topo (RG.spec ~n_prefixes:200 ~seed:31 ())
+
+let converged scheme =
+  let cfg =
+    T.config ~med_mode:Bgp.Decision.Always_compare ~scheme topo
+  in
+  let net = N.create cfg in
+  RG.inject_all table net;
+  (match N.run ~max_events:20_000_000 net with
+  | Eventsim.Sim.Quiescent -> ()
+  | o -> Alcotest.failf "did not converge: %a" Eventsim.Sim.pp_outcome o);
+  net
+
+let abrr_net = lazy (converged (T.abrr_scheme ~aps:4 ~arrs_per_ap:2 topo))
+let tbrr_net = lazy (converged (T.tbrr_scheme topo))
+
+let every_router net f =
+  for i = 0 to N.router_count net - 1 do
+    f i (N.router net i)
+  done
+
+let every_prefix f = Array.iter f table.RG.prefixes
+
+let test_no_self_originated_best () =
+  (* no router's best route is one it injected itself coming back via
+     iBGP: originator-id loop prevention held everywhere *)
+  List.iter
+    (fun net ->
+      let net = Lazy.force net in
+      every_router net (fun i _ ->
+          every_prefix (fun p ->
+              match N.best net ~router:i p with
+              | Some r ->
+                check_bool "not self-originated reflection" false
+                  (r.Bgp.Route.originator_id = Some (C.loopback i))
+              | None -> ())))
+    [ abrr_net; tbrr_net ]
+
+let test_arr_sets_equal_as_level_selection () =
+  (* every ARR's advertised set equals an independent steps-1-4 selection
+     over the union of what the border routers actually advertise *)
+  let net = Lazy.force abrr_net in
+  Array.iteri
+    (fun idx entries ->
+      let p = table.RG.prefixes.(idx) in
+      (* independent selection over the eBGP routes as they appear in
+         iBGP: next-hop-self applied, after which indistinguishable
+         routes co-located on one border router legitimately collapse *)
+      let as_advertised =
+        List.map
+          (fun (e : RG.ebgp_route) ->
+            { e.RG.route with Bgp.Route.next_hop = C.loopback e.RG.router })
+          entries
+      in
+      let deduped =
+        List.fold_left
+          (fun acc r ->
+            if List.exists (Bgp.Route.same_path r) acc then acc else r :: acc)
+          [] as_advertised
+      in
+      let expected_count =
+        Analysis.Bal.best_as_level_count ~med_mode:Bgp.Decision.Always_compare
+          deduped
+      in
+      every_router net (fun _ r ->
+          if R.is_arr r && R.reflector_set r p <> [] then
+            check_bool "set size = AS-level selection" true
+              (List.length (R.reflector_set r p) = expected_count)))
+    table.RG.routes
+
+let test_conservation_of_updates () =
+  (* everything transmitted was received, in updates and in bytes *)
+  List.iter
+    (fun net ->
+      let net = Lazy.force net in
+      let total = N.total_counters net in
+      check_bool "updates conserved" true
+        (total.Abrr_core.Counters.updates_transmitted
+        = total.Abrr_core.Counters.updates_received);
+      check_bool "bytes conserved" true
+        (total.Abrr_core.Counters.bytes_transmitted
+        = total.Abrr_core.Counters.bytes_received))
+    [ abrr_net; tbrr_net ]
+
+let test_forwarding_reaches_an_exit () =
+  (* every router holding a route can walk next hops to a border router
+     with no loops *)
+  List.iter
+    (fun net ->
+      let net = Lazy.force net in
+      every_prefix (fun p ->
+          check_bool "loop-free" true (Abrr_core.Anomaly.forwarding_loops net p = [])))
+    [ abrr_net; tbrr_net ]
+
+let test_borders_keep_surviving_ebgp_routes () =
+  (* step 5: a border router whose eBGP route survives steps 1-4 must
+     prefer it over anything iBGP-learned *)
+  let net = Lazy.force abrr_net in
+  Array.iteri
+    (fun idx entries ->
+      let p = table.RG.prefixes.(idx) in
+      let all_routes = List.map (fun (e : RG.ebgp_route) -> e.RG.route) entries in
+      let survivors =
+        Bgp.Decision.steps_1_to_4 ~med_mode:Bgp.Decision.Always_compare
+          (List.map Bgp.Decision.candidate all_routes)
+      in
+      List.iter
+        (fun (e : RG.ebgp_route) ->
+          let survives =
+            List.exists
+              (fun (c : Bgp.Decision.candidate) ->
+                Bgp.Route.equal c.Bgp.Decision.route e.RG.route)
+              survivors
+          in
+          if survives then
+            match N.best net ~router:e.RG.router p with
+            | Some best ->
+              check_bool "border keeps its eBGP route" true
+                (Netaddr.Ipv4.to_int best.Bgp.Route.next_hop >= 0xAC10_0000)
+            | None -> Alcotest.fail "border lost its route")
+        entries)
+    table.RG.routes
+
+let test_abrr_equals_full_mesh_at_scale () =
+  let fm = converged C.Full_mesh in
+  let ab = Lazy.force abrr_net in
+  every_prefix (fun p ->
+      check_bool "same choices" true (Helpers.same_choices fm ab p))
+
+let suite =
+  ( "invariants",
+    [
+      Alcotest.test_case "no self-originated best" `Quick test_no_self_originated_best;
+      Alcotest.test_case "ARR sets = AS-level selection" `Quick
+        test_arr_sets_equal_as_level_selection;
+      Alcotest.test_case "update conservation" `Quick test_conservation_of_updates;
+      Alcotest.test_case "forwarding loop-freedom at scale" `Quick
+        test_forwarding_reaches_an_exit;
+      Alcotest.test_case "borders keep surviving eBGP routes" `Quick
+        test_borders_keep_surviving_ebgp_routes;
+      Alcotest.test_case "ABRR == full mesh at scale" `Slow
+        test_abrr_equals_full_mesh_at_scale;
+    ] )

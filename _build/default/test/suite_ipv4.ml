@@ -1,0 +1,66 @@
+open Netaddr
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (Ipv4.to_string (Ipv4.of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.0.0.1"; "192.168.1.254"; "1.2.3.4" ]
+
+let test_octets () =
+  let a = Ipv4.of_octets 10 20 30 40 in
+  check_str "octets" "10.20.30.40" (Ipv4.to_string a);
+  let x, y, z, w = Ipv4.to_octets a in
+  check_int "o1" 10 x;
+  check_int "o2" 20 y;
+  check_int "o3" 30 z;
+  check_int "o4" 40 w
+
+let test_parse_rejects () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "reject %S" s) true (Ipv4.of_string_opt s = None))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "1..2.3"; "a.b.c.d"; "1.2.3.4 "; "01.2.3.4567" ]
+
+let test_parse_accepts_leading_zero () =
+  (* three digits max per octet; leading zeros are tolerated *)
+  check_bool "leading zero" true (Ipv4.of_string_opt "001.002.003.004" <> None)
+
+let test_ordering () =
+  let a = Ipv4.of_string "1.0.0.0" and b = Ipv4.of_string "2.0.0.0" in
+  check_bool "lt" true (Ipv4.compare a b < 0);
+  check_bool "eq" true (Ipv4.equal a (Ipv4.of_string "1.0.0.0"))
+
+let test_succ_pred_wrap () =
+  check_str "succ wraps" "0.0.0.0" (Ipv4.to_string (Ipv4.succ Ipv4.max_addr));
+  check_str "pred wraps" "255.255.255.255" (Ipv4.to_string (Ipv4.pred Ipv4.zero));
+  check_str "succ" "1.2.3.5" (Ipv4.to_string (Ipv4.succ (Ipv4.of_string "1.2.3.4")))
+
+let test_add () =
+  check_str "add 256" "1.2.4.3" (Ipv4.to_string (Ipv4.add (Ipv4.of_string "1.2.3.3") 256))
+
+let test_bit () =
+  let a = Ipv4.of_string "128.0.0.1" in
+  check_bool "msb" true (Ipv4.bit a 0);
+  check_bool "bit1" false (Ipv4.bit a 1);
+  check_bool "lsb" true (Ipv4.bit a 31)
+
+let test_of_int_masks () =
+  check_int "mask" 0 (Ipv4.to_int (Ipv4.of_int 0x1_0000_0000))
+
+let suite =
+  ( "ipv4",
+    [
+      Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "octets" `Quick test_octets;
+      Alcotest.test_case "parser rejects malformed" `Quick test_parse_rejects;
+      Alcotest.test_case "parser tolerates leading zeros" `Quick
+        test_parse_accepts_leading_zero;
+      Alcotest.test_case "ordering" `Quick test_ordering;
+      Alcotest.test_case "succ/pred wrap" `Quick test_succ_pred_wrap;
+      Alcotest.test_case "add" `Quick test_add;
+      Alcotest.test_case "bit extraction" `Quick test_bit;
+      Alcotest.test_case "of_int masks to 32 bits" `Quick test_of_int_masks;
+    ] )

@@ -1,0 +1,78 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let close a b = Float.abs (a -. b) < 1e-9
+
+let test_summary () =
+  let s = Metrics.Summary.of_list [ 1.; 2.; 3.; 4. ] in
+  check_int "count" 4 s.Metrics.Summary.count;
+  check_bool "min" true (close s.Metrics.Summary.min 1.);
+  check_bool "max" true (close s.Metrics.Summary.max 4.);
+  check_bool "mean" true (close s.Metrics.Summary.mean 2.5);
+  check_bool "sum" true (close s.Metrics.Summary.sum 10.);
+  check_bool "empty raises" true
+    (try ignore (Metrics.Summary.of_list []); false with Invalid_argument _ -> true)
+
+let test_percentile () =
+  let xs = [ 10.; 20.; 30.; 40.; 50. ] in
+  check_bool "p0" true (close (Metrics.Summary.percentile xs 0.) 10.);
+  check_bool "p50" true (close (Metrics.Summary.percentile xs 50.) 30.);
+  check_bool "p100" true (close (Metrics.Summary.percentile xs 100.) 50.);
+  check_bool "p25 interpolates" true (close (Metrics.Summary.percentile xs 25.) 20.);
+  check_bool "median" true (close (Metrics.Summary.median xs) 30.);
+  check_bool "range check" true
+    (try ignore (Metrics.Summary.percentile xs 101.); false
+     with Invalid_argument _ -> true)
+
+let test_histogram () =
+  let h = Metrics.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Metrics.Histogram.add h) [ 0.5; 1.5; 2.5; 9.9; -3.; 100. ];
+  check_int "total" 6 (Metrics.Histogram.count h);
+  let counts = Metrics.Histogram.bin_counts h in
+  (* 0.5 and 1.5 fall in [0,2); -3 underflows into the same bin *)
+  check_int "first bin holds underflow" 3 counts.(0);
+  check_int "second bin" 1 counts.(1);
+  check_int "last bin holds overflow" 2 counts.(4);
+  let lo, hi = Metrics.Histogram.bin_bounds h 1 in
+  check_bool "bounds" true (close lo 2. && close hi 4.)
+
+let test_table_render () =
+  let s =
+    Metrics.Table.render ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  check_bool "has rule" true (String.length s > 0 && String.contains s '-');
+  check_bool "aligned" true
+    (List.length (String.split_on_char '\n' s) = 4)
+
+let test_fmt_int () =
+  Alcotest.(check string) "thousands" "1,234,567" (Metrics.Table.fmt_int 1_234_567);
+  Alcotest.(check string) "small" "42" (Metrics.Table.fmt_int 42);
+  Alcotest.(check string) "negative" "-1,000" (Metrics.Table.fmt_int (-1000));
+  Alcotest.(check string) "zero" "0" (Metrics.Table.fmt_int 0)
+
+let test_series () =
+  let s =
+    Metrics.Table.series ~title:"t" ~x_label:"x" ~y_labels:[ "a"; "b" ]
+      [ (1., [ 2.; 3. ]); (2., [ 4.; 5. ]) ]
+  in
+  check_bool "title" true (String.length s > 0 && s.[0] = '=')
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within min/max" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 1000.)) (float_bound_inclusive 100.))
+    (fun (xs, q) ->
+      let p = Metrics.Summary.percentile xs q in
+      let s = Metrics.Summary.of_list xs in
+      p >= s.Metrics.Summary.min -. 1e-9 && p <= s.Metrics.Summary.max +. 1e-9)
+
+let suite =
+  ( "metrics",
+    [
+      Alcotest.test_case "summary" `Quick test_summary;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "fmt_int" `Quick test_fmt_int;
+      Alcotest.test_case "series" `Quick test_series;
+      QCheck_alcotest.to_alcotest prop_percentile_bounds;
+    ] )

@@ -1,0 +1,88 @@
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+module TG = Topo.Trace_gen
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let local_as = Bgp.Asn.of_int 65000
+
+let topo = T.generate (T.spec ~pops:4 ~routers_per_pop:4 ~peer_ases:5 ~peering_points_per_as:3 ())
+let table = RG.generate topo (RG.spec ~n_prefixes:60 ~seed:2 ())
+let events = TG.generate table (TG.spec ~events:80 ~seed:4 ())
+
+let same_event (a : TG.event) (b : TG.event) =
+  a.TG.time = b.TG.time
+  &&
+  match (a.TG.action, b.TG.action) with
+  | TG.Announce x, TG.Announce y ->
+    x.router = y.router
+    && Netaddr.Ipv4.equal x.neighbor y.neighbor
+    && Bgp.Route.equal x.route y.route
+  | TG.Withdraw x, TG.Withdraw y ->
+    x.router = y.router
+    && Netaddr.Ipv4.equal x.neighbor y.neighbor
+    && Netaddr.Prefix.equal x.prefix y.prefix
+    && x.path_id = y.path_id
+  | _, _ -> false
+
+let test_roundtrip () =
+  let encoded = Topo.Mrt.encode_events ~local_as events in
+  check_bool "nonempty" true (Bytes.length encoded > 0);
+  match Topo.Mrt.decode_events encoded with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok decoded ->
+    check_int "count" (List.length events) (List.length decoded);
+    List.iter2
+      (fun a b -> check_bool "event preserved" true (same_event a b))
+      events decoded
+
+let test_empty () =
+  let encoded = Topo.Mrt.encode_events ~local_as [] in
+  check_int "empty bytes" 0 (Bytes.length encoded);
+  check_bool "empty decode" true (Topo.Mrt.decode_events encoded = Ok [])
+
+let test_file_io () =
+  let path = Filename.temp_file "abrr_trace" ".mrt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Topo.Mrt.save path ~local_as events;
+      match Topo.Mrt.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok decoded -> check_int "count" (List.length events) (List.length decoded))
+
+let test_corrupt_rejected () =
+  let encoded = Topo.Mrt.encode_events ~local_as events in
+  let bad = Bytes.sub encoded 0 (Bytes.length encoded - 3) in
+  check_bool "truncated rejected" true (Result.is_error (Topo.Mrt.decode_events bad));
+  let garbled = Bytes.copy encoded in
+  Bytes.set garbled 5 '\xEE' (* record type *);
+  check_bool "bad type rejected" true
+    (Result.is_error (Topo.Mrt.decode_events garbled))
+
+let test_timestamps_microseconds () =
+  let ev =
+    {
+      TG.time = 1_234_567;
+      action =
+        TG.Announce
+          {
+            router = 2;
+            neighbor = Netaddr.Ipv4.of_string "172.16.0.1";
+            route = Helpers.route ~prefix:(Helpers.pfx "20.0.0.0/16") 1;
+          };
+    }
+  in
+  match Topo.Mrt.decode_events (Topo.Mrt.encode_events ~local_as [ ev ]) with
+  | Ok [ ev' ] -> check_int "usec preserved" 1_234_567 ev'.TG.time
+  | _ -> Alcotest.fail "roundtrip"
+
+let suite =
+  ( "mrt",
+    [
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "file io" `Quick test_file_io;
+      Alcotest.test_case "corruption rejected" `Quick test_corrupt_rejected;
+      Alcotest.test_case "microsecond timestamps" `Quick test_timestamps_microseconds;
+    ] )

@@ -1,0 +1,180 @@
+open Helpers
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+module Part = Abrr_core.Partition
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = pfx "20.0.0.0/16"
+
+let test_hooks_fire () =
+  let net = N.create (full_mesh_config 4) in
+  let calls = ref 0 in
+  N.on_best_change net (fun _ _ _ -> incr calls);
+  N.on_best_change net (fun _ _ _ -> incr calls);
+  inject net ~router:1 (route ~prefix 1);
+  quiesce net;
+  (* 4 routers adopt the route; two hooks each *)
+  check_int "hook calls" 8 !calls;
+  check_int "best changes" 4 (N.best_changes net)
+
+let test_total_counters () =
+  let net = N.create (full_mesh_config 4) in
+  inject net ~router:1 (route ~prefix 1);
+  quiesce net;
+  let total = N.total_counters net in
+  check_int "tx == rx" total.Abrr_core.Counters.updates_transmitted
+    total.Abrr_core.Counters.updates_received;
+  check_int "bytes tx == rx" total.Abrr_core.Counters.bytes_transmitted
+    total.Abrr_core.Counters.bytes_received
+
+let test_igp_failure_reroute () =
+  (* line topology 0-1-2-3; exits at both ends; router 1 prefers exit 0.
+     Cutting 0-1 must reroute router 1 to exit 3 after refresh_igp. *)
+  let g = Igp.Graph.create ~n:4 in
+  Igp.Graph.add_edge g 0 1 10;
+  Igp.Graph.add_edge g 1 2 10;
+  Igp.Graph.add_edge g 2 3 10;
+  (* a backup path so the graph stays connected *)
+  Igp.Graph.add_edge g 0 3 100;
+  let cfg = C.make ~n_routers:4 ~igp:g ~scheme:C.Full_mesh () in
+  let net = N.create cfg in
+  inject net ~router:0 (route ~prefix 0);
+  inject net ~router:3 (route ~prefix 3);
+  quiesce net;
+  check_bool "before" true (N.best_exit net ~router:1 prefix = Some 0);
+  check_int "igp distance" 10 (N.igp_distance net 1 0);
+  Igp.Graph.remove_edge g 0 1;
+  N.refresh_igp net;
+  quiesce net;
+  check_int "distance after" 20 (N.igp_distance net 1 3);
+  check_bool "rerouted" true (N.best_exit net ~router:1 prefix = Some 3)
+
+let test_igp_partition_drops_routes () =
+  (* disconnecting the only exit invalidates the route (unreachable
+     next hop) at remote routers *)
+  let g = Igp.Graph.create ~n:3 in
+  Igp.Graph.add_edge g 0 1 10;
+  Igp.Graph.add_edge g 1 2 10;
+  let cfg = C.make ~n_routers:3 ~igp:g ~scheme:C.Full_mesh () in
+  let net = N.create cfg in
+  inject net ~router:0 (route ~prefix 0);
+  quiesce net;
+  check_bool "reachable" true (N.best_exit net ~router:2 prefix = Some 0);
+  Igp.Graph.remove_edge g 0 1;
+  N.refresh_igp net;
+  quiesce net;
+  check_bool "unreachable next hop drops route" true
+    (N.best net ~router:2 prefix = None)
+
+let test_control_plane_rrs () =
+  (* pure control-plane ARRs (§3.3): reflect but hold no data-plane state
+     for other APs and inject nothing *)
+  let part = Part.uniform 2 in
+  let cfg =
+    C.make ~control_plane_rrs:true ~n_routers:6 ~igp:(flat_igp 6)
+      ~scheme:(C.abrr ~partition:part [| [ 0 ]; [ 1 ] |])
+      ()
+  in
+  let net = N.create cfg in
+  let low = pfx "20.0.0.0/16" and high = pfx "200.0.0.0/16" in
+  inject net ~router:2 (route ~prefix:low 2);
+  inject net ~router:3 (route ~prefix:high 3);
+  quiesce net;
+  (* clients resolve both prefixes *)
+  check_bool "client low" true (N.best_exit net ~router:4 low = Some 2);
+  check_bool "client high" true (N.best_exit net ~router:4 high = Some 3);
+  (* ARR 0 reflects its AP but receives nothing for the other AP *)
+  check_bool "arr manages own" true (R.reflector_set (N.router net 0) low <> []);
+  check_bool "arr has no other-AP state" true
+    (N.best net ~router:0 high = None)
+
+let test_at_scheduling () =
+  let net = N.create (full_mesh_config 3) in
+  N.at net (Eventsim.Time.sec 5) (fun () -> inject net ~router:1 (route ~prefix 1));
+  quiesce net;
+  check_bool "applied" true (N.best_exit net ~router:0 prefix = Some 1);
+  check_bool "time advanced" true (N.last_change net >= Eventsim.Time.sec 5)
+
+let test_router_bounds () =
+  let net = N.create (full_mesh_config 3) in
+  check_bool "raises" true
+    (try ignore (N.router net 3); false with Invalid_argument _ -> true)
+
+let test_invalid_config_rejected () =
+  let cfg = C.make ~n_routers:2 ~igp:(flat_igp 3) ~scheme:C.Full_mesh () in
+  check_bool "raises" true
+    (try ignore (N.create cfg); false with Invalid_argument _ -> true)
+
+let test_multi_ap_arr () =
+  (* one router serving two APs reflects both *)
+  let part = Part.uniform 2 in
+  let cfg =
+    C.make ~n_routers:4 ~igp:(flat_igp 4)
+      ~scheme:(C.abrr ~partition:part [| [ 0 ]; [ 0 ] |])
+      ()
+  in
+  let net = N.create cfg in
+  let low = pfx "20.0.0.0/16" and high = pfx "200.0.0.0/16" in
+  inject net ~router:1 (route ~prefix:low 1);
+  inject net ~router:2 (route ~prefix:high 2);
+  quiesce net;
+  let arr = N.router net 0 in
+  check_bool "serves both" true (R.arr_aps arr = [ 0; 1 ]);
+  check_bool "low set" true (R.reflector_set arr low <> []);
+  check_bool "high set" true (R.reflector_set arr high <> []);
+  check_bool "client sees both" true
+    (N.best_exit net ~router:3 low = Some 1 && N.best_exit net ~router:3 high = Some 2)
+
+let test_two_ebgp_routes_same_router () =
+  (* a border router with two eBGP sessions for one prefix advertises
+     its AS-level survivors; withdrawal of the better one falls back *)
+  let net = N.create (single_ap_abrr ~arrs:[ 0 ] ~n:4 ()) in
+  inject net ~router:2 ~k:21 (route ~asn:7000 ~med:1 ~path_id:1 ~prefix 21);
+  inject net ~router:2 ~k:22 (route ~asn:8000 ~med:9 ~path_id:2 ~prefix 22);
+  quiesce net;
+  (* both survive steps 1-4 (different ASes) and are advertised *)
+  check_int "set size" 2 (List.length (R.reflector_set (N.router net 0) prefix));
+  N.withdraw net ~router:2 ~neighbor:(neighbor 21) prefix ~path_id:1;
+  quiesce net;
+  check_int "one left" 1 (List.length (R.reflector_set (N.router net 0) prefix));
+  check_bool "still resolves" true (N.best_exit net ~router:3 prefix = Some 2)
+
+let test_lpm_lookup () =
+  let net = N.create (full_mesh_config 4) in
+  let coarse = pfx "20.0.0.0/8" and fine = pfx "20.5.0.0/16" in
+  inject net ~router:1 (route ~prefix:coarse 1);
+  inject net ~router:2 (route ~prefix:fine 2);
+  quiesce net;
+  let exit_of addr =
+    match N.lookup net ~router:3 (Netaddr.Ipv4.of_string addr) with
+    | Some (_, r) -> Some (owner_of_route r)
+    | None -> None
+  in
+  check_bool "specific wins" true (exit_of "20.5.9.9" = Some 2);
+  check_bool "coarse covers" true (exit_of "20.200.0.1" = Some 1);
+  check_bool "miss" true (exit_of "21.0.0.1" = None);
+  (* withdrawing the specific falls back to the covering prefix *)
+  N.withdraw net ~router:2 ~neighbor:(neighbor 2) fine ~path_id:0;
+  quiesce net;
+  check_bool "fallback to coarse" true (exit_of "20.5.9.9" = Some 1)
+
+let suite =
+  ( "network",
+    [
+      Alcotest.test_case "hooks" `Quick test_hooks_fire;
+      Alcotest.test_case "total counters balance" `Quick test_total_counters;
+      Alcotest.test_case "IGP failure reroutes" `Quick test_igp_failure_reroute;
+      Alcotest.test_case "IGP partition drops routes" `Quick
+        test_igp_partition_drops_routes;
+      Alcotest.test_case "control-plane RRs" `Quick test_control_plane_rrs;
+      Alcotest.test_case "absolute-time scheduling" `Quick test_at_scheduling;
+      Alcotest.test_case "router bounds" `Quick test_router_bounds;
+      Alcotest.test_case "invalid config rejected" `Quick
+        test_invalid_config_rejected;
+      Alcotest.test_case "multi-AP ARR" `Quick test_multi_ap_arr;
+      Alcotest.test_case "two eBGP routes one router" `Quick
+        test_two_ebgp_routes_same_router;
+      Alcotest.test_case "LPM forwarding lookup" `Quick test_lpm_lookup;
+    ] )

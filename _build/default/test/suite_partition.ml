@@ -1,0 +1,115 @@
+open Netaddr
+module Part = Abrr_core.Partition
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_uniform () =
+  let part = Part.uniform 4 in
+  check_int "count" 4 (Part.count part);
+  let lo0, hi0 = Part.range part 0 in
+  check_bool "starts at 0" true (Ipv4.equal lo0 Ipv4.zero);
+  check_bool "quarter" true (Ipv4.to_int hi0 = 0x3FFF_FFFF);
+  let lo3, hi3 = Part.range part 3 in
+  check_bool "last lo" true (Ipv4.to_int lo3 = 0xC000_0000);
+  check_bool "last hi" true (Ipv4.to_int hi3 = 0xFFFF_FFFF)
+
+let test_uniform_non_power_of_two () =
+  let part = Part.uniform 3 in
+  check_int "count" 3 (Part.count part);
+  (* every address belongs to exactly one AP *)
+  List.iter
+    (fun a ->
+      let ap = Part.ap_of_addr part (Ipv4.of_string a) in
+      check_bool a true (ap >= 0 && ap < 3))
+    [ "0.0.0.0"; "85.85.85.85"; "170.170.170.170"; "255.255.255.255" ]
+
+let test_ap_of_addr_boundaries () =
+  let part = Part.uniform 2 in
+  check_int "low half" 0 (Part.ap_of_addr part (Ipv4.of_string "127.255.255.255"));
+  check_int "high half" 1 (Part.ap_of_addr part (Ipv4.of_string "128.0.0.0"))
+
+let test_aps_of_prefix () =
+  let part = Part.uniform 2 in
+  check_bool "inside one" true
+    (Part.aps_of_prefix part (Prefix.of_string "10.0.0.0/8") = [ 0 ]);
+  (* the default route overlaps every AP *)
+  check_bool "spans" true
+    (Part.aps_of_prefix part (Prefix.of_string "0.0.0.0/0") = [ 0; 1 ]);
+  check_bool "in ap" true (Part.prefix_in_ap part 0 (Prefix.of_string "10.0.0.0/8"));
+  check_bool "not in ap" false
+    (Part.prefix_in_ap part 1 (Prefix.of_string "10.0.0.0/8"))
+
+let test_of_bounds () =
+  let part = Part.of_bounds [ Ipv4.zero; Ipv4.of_string "10.0.0.0" ] in
+  check_int "count" 2 (Part.count part);
+  check_int "below" 0 (Part.ap_of_addr part (Ipv4.of_string "9.255.255.255"));
+  check_int "at" 1 (Part.ap_of_addr part (Ipv4.of_string "10.0.0.0"));
+  check_bool "rejects non-zero start" true
+    (try
+       ignore (Part.of_bounds [ Ipv4.of_string "1.0.0.0" ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "rejects non-increasing" true
+    (try
+       ignore (Part.of_bounds [ Ipv4.zero; Ipv4.of_int 5; Ipv4.of_int 5 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_balanced () =
+  (* clustered prefixes: balanced bounds should even out the counts *)
+  let prefixes =
+    List.init 90 (fun i -> Prefix.make (Ipv4.of_octets 20 i 0 0) 24)
+    @ List.init 10 (fun i -> Prefix.make (Ipv4.of_octets 200 i 0 0) 24)
+  in
+  let part = Part.balanced ~prefixes 4 in
+  check_int "count" 4 (Part.count part);
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun p ->
+      let ap = Part.ap_of_addr part (Prefix.first p) in
+      counts.(ap) <- counts.(ap) + 1)
+    prefixes;
+  Array.iter (fun c -> check_bool "roughly balanced" true (c >= 10 && c <= 40)) counts;
+  (* uniform would put ~90% in AP 0 *)
+  let upart = Part.uniform 4 in
+  let ucount0 =
+    List.length
+      (List.filter (fun p -> Part.ap_of_addr upart (Prefix.first p) = 0) prefixes)
+  in
+  check_bool "uniform is skewed" true (ucount0 = 90)
+
+let prop_cover =
+  QCheck.Test.make ~name:"every address maps to exactly one AP" ~count:200
+    QCheck.(pair (int_range 1 64) (int_bound 0x3FFF_FFFF))
+    (fun (k, a) ->
+      let part = Part.uniform k in
+      let addr = Ipv4.of_int (a * 4) in
+      let ap = Part.ap_of_addr part addr in
+      let lo, hi = Part.range part ap in
+      Ipv4.compare lo addr <= 0 && Ipv4.compare addr hi <= 0)
+
+let prop_prefix_aps_contiguous =
+  QCheck.Test.make ~name:"aps_of_prefix is a contiguous ascending run" ~count:200
+    QCheck.(triple (int_range 1 32) (int_bound 0xFFFFF) (int_range 4 32))
+    (fun (k, a, len) ->
+      let part = Part.uniform k in
+      let p = Prefix.make (Ipv4.of_int (a * 4096)) len in
+      match Part.aps_of_prefix part p with
+      | [] -> false
+      | first :: _ as aps ->
+        List.mapi (fun i ap -> ap = first + i) aps |> List.for_all Fun.id)
+
+let suite =
+  ( "partition",
+    [
+      Alcotest.test_case "uniform" `Quick test_uniform;
+      Alcotest.test_case "uniform non-power-of-two" `Quick
+        test_uniform_non_power_of_two;
+      Alcotest.test_case "boundaries" `Quick test_ap_of_addr_boundaries;
+      Alcotest.test_case "prefix to APs" `Quick test_aps_of_prefix;
+      Alcotest.test_case "explicit bounds" `Quick test_of_bounds;
+      Alcotest.test_case "balanced partition" `Quick test_balanced;
+      QCheck_alcotest.to_alcotest prop_cover;
+      QCheck_alcotest.to_alcotest prop_prefix_aps_contiguous;
+    ] )

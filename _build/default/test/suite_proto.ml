@@ -1,0 +1,52 @@
+open Netaddr
+module Proto = Abrr_core.Proto
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = Prefix.of_string "20.0.0.0/16"
+
+(* same attributes, distinct path ids: exercises wire-level grouping *)
+let mk k =
+  Bgp.Route.make ~path_id:k ~prefix ~next_hop:(Ipv4.of_int 0x0A00_0001) ()
+
+let test_delta () =
+  let d = Proto.delta prefix [ mk 1 ] in
+  check_bool "announce" false (Proto.is_withdraw d);
+  let w = Proto.delta ~withdrawn_ids:[ 1 ] prefix [] in
+  check_bool "withdraw" true (Proto.is_withdraw w)
+
+let test_to_update () =
+  let u =
+    Proto.to_update
+      [ Proto.delta prefix [ mk 1; mk 2 ]; Proto.delta ~withdrawn_ids:[ 7 ] prefix [] ]
+  in
+  check_int "announced" 2 (List.length u.Bgp.Msg.announced);
+  check_int "withdrawn" 1 (List.length u.Bgp.Msg.withdrawn)
+
+let test_wire_size () =
+  let bytes1, msgs1 = Proto.wire_size ~add_paths:true [ Proto.delta prefix [ mk 1 ] ] in
+  let bytes2, msgs2 =
+    Proto.wire_size ~add_paths:true [ Proto.delta prefix [ mk 1; mk 2 ] ]
+  in
+  check_bool "positive" true (bytes1 > 0 && msgs1 = 1);
+  check_bool "more routes, more bytes" true (bytes2 > bytes1);
+  check_int "same attrs share a message" 1 msgs2;
+  (* add-paths carries 4 extra bytes per NLRI *)
+  let plain, _ = Proto.wire_size ~add_paths:false [ Proto.delta prefix [ mk 1 ] ] in
+  check_int "path id overhead" 4 (bytes1 - plain)
+
+let test_channel_tags_distinct () =
+  let tags =
+    List.map Proto.channel_tag
+      [ Proto.Mesh; Proto.To_trr; Proto.To_arr; Proto.From_trr; Proto.From_arr ]
+  in
+  check_int "distinct" 5 (List.length (List.sort_uniq Int.compare tags))
+
+let suite =
+  ( "proto",
+    [
+      Alcotest.test_case "delta" `Quick test_delta;
+      Alcotest.test_case "to_update" `Quick test_to_update;
+      Alcotest.test_case "wire size" `Quick test_wire_size;
+      Alcotest.test_case "channel tags" `Quick test_channel_tags_distinct;
+    ] )

@@ -1,0 +1,132 @@
+(* Routing Control Platform (related work §5): replicated control-plane
+   nodes with full visibility compute each client's best path from that
+   client's IGP vantage. Correct paths like ABRR, but the platform pays
+   a per-client RIB-Out and per-client update generation — the scaling
+   concern the paper raises against RCP. *)
+
+open Helpers
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module R = Abrr_core.Router
+module Part = Abrr_core.Partition
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = pfx "20.0.0.0/16"
+
+let rcp_config ?med_mode ?(rcps = [ 0 ]) n =
+  C.make ?med_mode ~n_routers:n ~igp:(flat_igp n) ~scheme:(C.rcp rcps) ()
+
+let test_propagation () =
+  let net = N.create (rcp_config 6) in
+  inject net ~router:2 (route ~prefix 2);
+  quiesce net;
+  for i = 1 to 5 do
+    if i <> 2 then
+      check_bool (Printf.sprintf "r%d" i) true (N.best_exit net ~router:i prefix = Some 2)
+  done;
+  (* the RCP node itself is pure control plane: no data-plane route *)
+  check_bool "rcp no route" true (N.best net ~router:0 prefix = None);
+  check_bool "is rcp" true (R.is_rcp (N.router net 0))
+
+let test_per_client_hot_potato () =
+  (* ring IGP, exits at 1 and 4: each client is told its own closest
+     exit — per-vantage computation, unlike a single-best reflector *)
+  let n = 7 in
+  let g = Igp.Graph.create ~n in
+  (* ring over routers 1..6; RCP node 0 hangs off router 1 *)
+  for i = 1 to 6 do
+    let j = if i = 6 then 1 else i + 1 in
+    Igp.Graph.add_edge g i j 10
+  done;
+  Igp.Graph.add_edge g 0 1 1;
+  let cfg = C.make ~n_routers:n ~igp:g ~scheme:(C.rcp [ 0 ]) () in
+  let net = N.create cfg in
+  inject net ~router:1 (route ~prefix 1);
+  inject net ~router:4 (route ~prefix 4);
+  quiesce net;
+  check_bool "r2 near 1" true (N.best_exit net ~router:2 prefix = Some 1);
+  check_bool "r3 near 4" true (N.best_exit net ~router:3 prefix = Some 4);
+  check_bool "r5 near 4" true (N.best_exit net ~router:5 prefix = Some 4);
+  check_bool "r6 near 1" true (N.best_exit net ~router:6 prefix = Some 1)
+
+let test_matches_full_mesh () =
+  let fm = N.create (full_mesh_config ~med_mode:Bgp.Decision.Always_compare 6) in
+  let rc = N.create (rcp_config ~med_mode:Bgp.Decision.Always_compare 6 ~rcps:[ 0 ]) in
+  List.iter
+    (fun net ->
+      inject net ~router:2 (route ~asn:7000 ~med:3 ~prefix 2);
+      inject net ~router:4 (route ~asn:8000 ~med:1 ~prefix 4);
+      quiesce net)
+    [ fm; rc ];
+  (* data-plane routers choose identically (the RCP node itself holds
+     no route, so compare clients only) *)
+  for i = 1 to 5 do
+    let nh net = Option.map (fun (r : Bgp.Route.t) -> r.Bgp.Route.next_hop) (N.best net ~router:i prefix) in
+    check_bool (Printf.sprintf "r%d" i) true (nh fm = nh rc)
+  done
+
+let test_no_echo_to_injector () =
+  let net = N.create (rcp_config 5) in
+  inject net ~router:3 (route ~prefix 3);
+  quiesce net;
+  check_bool "no echo" true (R.received_set (N.router net 3) ~from:0 prefix = [])
+
+let test_replicated_rcps () =
+  let net = N.create (rcp_config ~rcps:[ 0; 1 ] 6) in
+  inject net ~router:3 (route ~prefix 3);
+  quiesce net;
+  check_bool "from both" true
+    (R.received_set (N.router net 4) ~from:0 prefix <> []
+    && R.received_set (N.router net 4) ~from:1 prefix <> []);
+  (* one replica failing is masked *)
+  N.fail net ~router:0;
+  quiesce net;
+  inject net ~router:5 (route ~prefix:(pfx "21.0.0.0/16") 5);
+  quiesce net;
+  check_bool "survivor serves" true
+    (N.best_exit net ~router:4 (pfx "21.0.0.0/16") = Some 5)
+
+let test_withdraw () =
+  let net = N.create (rcp_config 5) in
+  inject net ~router:3 (route ~prefix 3);
+  quiesce net;
+  N.withdraw net ~router:3 ~neighbor:(neighbor 3) prefix ~path_id:0;
+  quiesce net;
+  List.iter (fun e -> check_bool "gone" true (e = None)) (exits net prefix)
+
+let test_per_client_generation_cost () =
+  (* the paper's scaling concern: a routing event with per-client
+     consequences makes the RCP generate one update per affected client,
+     where an ARR generates one peer-group update *)
+  let run scheme =
+    let cfg = C.make ~n_routers:8 ~igp:(ring_igp 8) ~scheme () in
+    let net = N.create cfg in
+    inject net ~router:1 (route ~prefix 1);
+    inject net ~router:5 (route ~prefix 5);
+    quiesce net;
+    (N.counters net 0).Abrr_core.Counters.updates_generated
+  in
+  let rcp_gen = run (C.rcp [ 0 ]) in
+  let abrr_gen = run (C.abrr ~partition:(Part.uniform 1) [| [ 0 ] |]) in
+  check_bool "rcp generates more" true (rcp_gen > abrr_gen)
+
+let test_validation () =
+  let cfg = C.make ~n_routers:3 ~igp:(flat_igp 3) ~scheme:(C.rcp []) () in
+  check_bool "empty" true (Result.is_error (C.validate cfg));
+  let cfg = C.make ~n_routers:3 ~igp:(flat_igp 3) ~scheme:(C.rcp [ 5 ]) () in
+  check_bool "range" true (Result.is_error (C.validate cfg))
+
+let suite =
+  ( "rcp",
+    [
+      Alcotest.test_case "propagation" `Quick test_propagation;
+      Alcotest.test_case "per-client hot potato" `Quick test_per_client_hot_potato;
+      Alcotest.test_case "matches full mesh" `Quick test_matches_full_mesh;
+      Alcotest.test_case "no echo to injector" `Quick test_no_echo_to_injector;
+      Alcotest.test_case "replication masks failure" `Quick test_replicated_rcps;
+      Alcotest.test_case "withdraw" `Quick test_withdraw;
+      Alcotest.test_case "per-client generation cost" `Quick
+        test_per_client_generation_cost;
+      Alcotest.test_case "validation" `Quick test_validation;
+    ] )

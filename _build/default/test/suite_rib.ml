@@ -1,0 +1,86 @@
+open Netaddr
+open Bgp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let p1 = Prefix.of_string "20.0.0.0/16"
+let p2 = Prefix.of_string "21.0.0.0/16"
+let nh k = Ipv4.of_int k
+let mk prefix id = Route.make ~path_id:id ~prefix ~next_hop:(nh (1000 + id)) ()
+
+let test_upsert_counts () =
+  let rib = Rib.create () in
+  check_bool "new" true (Rib.upsert rib (mk p1 1));
+  check_bool "second path" true (Rib.upsert rib (mk p1 2));
+  check_bool "other prefix" true (Rib.upsert rib (mk p2 1));
+  check_int "entries" 3 (Rib.entry_count rib);
+  check_int "prefixes" 2 (Rib.prefix_count rib);
+  (* replacing with an identical route reports no change *)
+  check_bool "idempotent" false (Rib.upsert rib (mk p1 1));
+  check_int "entries stable" 3 (Rib.entry_count rib);
+  (* replacing with different attrs reports change, count stable *)
+  let changed = Rib.upsert rib { (mk p1 1) with Route.local_pref = 300 } in
+  check_bool "attr change" true changed;
+  check_int "entries still" 3 (Rib.entry_count rib)
+
+let test_drop () =
+  let rib = Rib.create () in
+  ignore (Rib.upsert rib (mk p1 1));
+  ignore (Rib.upsert rib (mk p1 2));
+  check_bool "drop" true (Rib.drop rib p1 ~path_id:1);
+  check_bool "drop absent" false (Rib.drop rib p1 ~path_id:1);
+  check_int "entries" 1 (Rib.entry_count rib);
+  check_bool "remaining" true
+    (match Rib.get rib p1 with [ r ] -> r.Route.path_id = 2 | _ -> false)
+
+let test_set () =
+  let rib = Rib.create () in
+  Rib.set rib p1 [ mk p1 1; mk p1 2; mk p1 3 ];
+  check_int "entries" 3 (Rib.entry_count rib);
+  Rib.set rib p1 [ mk p1 9 ];
+  check_int "replaced" 1 (Rib.entry_count rib);
+  Rib.set rib p1 [];
+  check_int "cleared" 0 (Rib.entry_count rib);
+  check_bool "mem" false (Rib.mem rib p1)
+
+let test_clear_prefix () =
+  let rib = Rib.create () in
+  Rib.set rib p1 [ mk p1 1; mk p1 2 ];
+  Rib.set rib p2 [ mk p2 1 ];
+  check_int "removed" 2 (Rib.clear_prefix rib p1);
+  check_int "left" 1 (Rib.entry_count rib);
+  Rib.clear rib;
+  check_int "clear all" 0 (Rib.entry_count rib)
+
+let test_fold () =
+  let rib = Rib.create () in
+  Rib.set rib p1 [ mk p1 1 ];
+  Rib.set rib p2 [ mk p2 1; mk p2 2 ];
+  let total = Rib.fold (fun _ rs acc -> acc + List.length rs) rib 0 in
+  check_int "fold" 3 total;
+  check_int "prefixes" 2 (List.length (Rib.prefixes rib))
+
+let prop_entry_count_invariant =
+  QCheck.Test.make ~name:"entry_count tracks contents" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 50) (pair (int_bound 5) (int_bound 4)))
+    (fun ops ->
+      let rib = Rib.create () in
+      let prefix_of i = Prefix.make (Ipv4.of_int (i * 0x0100_0000)) 8 in
+      List.iter
+        (fun (pi, id) ->
+          if id = 4 then ignore (Rib.drop rib (prefix_of pi) ~path_id:0)
+          else ignore (Rib.upsert rib (mk (prefix_of pi) id)))
+        ops;
+      let real = Rib.fold (fun _ rs acc -> acc + List.length rs) rib 0 in
+      real = Rib.entry_count rib)
+
+let suite =
+  ( "rib",
+    [
+      Alcotest.test_case "upsert counting" `Quick test_upsert_counts;
+      Alcotest.test_case "drop" `Quick test_drop;
+      Alcotest.test_case "set replaces" `Quick test_set;
+      Alcotest.test_case "clear" `Quick test_clear_prefix;
+      Alcotest.test_case "fold/prefixes" `Quick test_fold;
+      QCheck_alcotest.to_alcotest prop_entry_count_invariant;
+    ] )

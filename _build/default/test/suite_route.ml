@@ -1,0 +1,75 @@
+open Netaddr
+open Bgp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = Prefix.of_string "20.0.0.0/16"
+let nh = Ipv4.of_string "10.0.0.1"
+
+let test_defaults () =
+  let r = Route.make ~prefix ~next_hop:nh () in
+  check_int "path id" 0 r.Route.path_id;
+  check_int "local pref" Route.default_local_pref r.Route.local_pref;
+  check_bool "origin" true (r.Route.origin = Origin.Igp);
+  check_bool "no med" true (r.Route.med = None);
+  check_bool "empty path" true (As_path.equal r.Route.as_path As_path.empty);
+  check_bool "no reflection" true
+    (r.Route.originator_id = None && r.Route.cluster_list = [])
+
+let test_reflected_marker () =
+  let r = Route.make ~prefix ~next_hop:nh () in
+  check_bool "initially unmarked" false (Route.is_reflected r);
+  let r' = Route.mark_reflected r in
+  check_bool "marked" true (Route.is_reflected r');
+  let r'' = Route.mark_reflected r' in
+  check_int "idempotent" 1 (List.length r''.Route.ext_communities)
+
+let test_cluster_list () =
+  let c1 = Ipv4.of_string "192.168.0.1" and c2 = Ipv4.of_string "192.168.0.2" in
+  let r = Route.make ~prefix ~next_hop:nh () in
+  let r = Route.add_cluster c2 (Route.add_cluster c1 r) in
+  (* most recent cluster is prepended *)
+  check_bool "order" true (r.Route.cluster_list = [ c2; c1 ]);
+  check_bool "member" true (Route.in_cluster_list c1 r);
+  check_bool "non-member" false
+    (Route.in_cluster_list (Ipv4.of_string "192.168.0.9") r)
+
+let test_neighbor_as () =
+  let r =
+    Route.make ~as_path:(As_path.of_asns [ Asn.of_int 5; Asn.of_int 6 ]) ~prefix
+      ~next_hop:nh ()
+  in
+  check_bool "first as" true (Route.neighbor_as r = Some (Asn.of_int 5));
+  let local = Route.make ~prefix ~next_hop:nh () in
+  check_bool "local none" true (Route.neighbor_as local = None)
+
+let test_same_path_ignores_path_id () =
+  let r = Route.make ~med:(Some 5) ~prefix ~next_hop:nh () in
+  let r' = Route.with_path_id 7 r in
+  check_bool "same path" true (Route.same_path r r');
+  check_bool "not equal" false (Route.equal r r');
+  let r'' = { r with Route.med = Some 6 } in
+  check_bool "different med" false (Route.same_path r r'')
+
+let test_with_prefix () =
+  let r = Route.make ~prefix ~next_hop:nh () in
+  let q = Prefix.of_string "30.0.0.0/8" in
+  check_bool "replaced" true (Prefix.equal (Route.with_prefix q r).Route.prefix q)
+
+let test_compare_total_order () =
+  let r1 = Route.make ~prefix ~next_hop:nh () in
+  let r2 = Route.make ~med:(Some 1) ~prefix ~next_hop:nh () in
+  check_bool "reflexive" true (Route.compare r1 r1 = 0);
+  check_bool "antisym" true (Route.compare r1 r2 = -Route.compare r2 r1)
+
+let suite =
+  ( "route",
+    [
+      Alcotest.test_case "defaults" `Quick test_defaults;
+      Alcotest.test_case "reflected marker" `Quick test_reflected_marker;
+      Alcotest.test_case "cluster list" `Quick test_cluster_list;
+      Alcotest.test_case "neighbor AS" `Quick test_neighbor_as;
+      Alcotest.test_case "same_path vs equal" `Quick test_same_path_ignores_path_id;
+      Alcotest.test_case "with_prefix" `Quick test_with_prefix;
+      Alcotest.test_case "compare" `Quick test_compare_total_order;
+    ] )

@@ -1,0 +1,113 @@
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let topo = T.generate (T.spec ~pops:6 ~routers_per_pop:6 ~peer_ases:10 ~peering_points_per_as:5 ())
+let table = RG.generate topo (RG.spec ~n_prefixes:400 ~seed:3 ())
+
+let test_counts () =
+  check_int "prefixes" 400 (Array.length table.RG.prefixes);
+  let peer = RG.peer_prefix_count table in
+  (* 76% +- sampling noise *)
+  check_bool "peer share" true (peer > 250 && peer < 350);
+  check_bool "routes exist" true (RG.total_routes table > 400)
+
+let test_prefixes_distinct_and_clear_of_conventions () =
+  let keys = Array.map Netaddr.Prefix.to_key table.RG.prefixes in
+  let distinct = List.sort_uniq Int.compare (Array.to_list keys) in
+  check_int "distinct" 400 (List.length distinct);
+  Array.iter
+    (fun p ->
+      let a, _, _, _ = Netaddr.Ipv4.to_octets (Netaddr.Prefix.addr p) in
+      check_bool "octet clear" true (a <> 10 && a <> 127 && a <> 172 && a <> 192))
+    table.RG.prefixes
+
+let test_every_prefix_has_a_route () =
+  Array.iteri
+    (fun i entries ->
+      check_bool (Printf.sprintf "prefix %d" i) true (entries <> []))
+    table.RG.routes
+
+let test_unique_path_ids () =
+  let ids = Hashtbl.create 1024 in
+  Array.iter
+    (List.iter (fun (e : RG.ebgp_route) ->
+         let id = e.RG.route.Bgp.Route.path_id in
+         check_bool "unique id" false (Hashtbl.mem ids id);
+         Hashtbl.add ids id ()))
+    table.RG.routes
+
+let test_peer_routes_on_peering_routers () =
+  Array.iteri
+    (fun i entries ->
+      if table.RG.from_peers.(i) then
+        List.iter
+          (fun (e : RG.ebgp_route) ->
+            check_bool "on peering router" true
+              (List.mem e.RG.router topo.T.peering_routers))
+          entries
+      else
+        List.iter
+          (fun (e : RG.ebgp_route) ->
+            check_bool "on access router" true
+              (List.mem e.RG.router topo.T.access_routers))
+          entries)
+    table.RG.routes
+
+let test_bal_grows_with_peer_ases () =
+  let bal k =
+    let keep asn = Bgp.Asn.to_int asn - 3000 < k in
+    Analysis.Bal.average ~med_mode:Bgp.Decision.Per_neighbor_as
+      (RG.tables ~peer_filter:keep table)
+  in
+  let b2 = bal 2 and b5 = bal 5 and b10 = bal 10 in
+  check_bool "monotone" true (b2 <= b5 && b5 <= b10);
+  check_bool "nontrivial diversity" true (b10 > 1.5)
+
+let test_all_sources_at_least_peers_only () =
+  let peers_only =
+    Analysis.Bal.average ~med_mode:Bgp.Decision.Per_neighbor_as
+      (RG.tables ~include_customers:false table
+      |> List.filter (fun (_, rs) -> rs <> []))
+  in
+  let all =
+    Analysis.Bal.average ~med_mode:Bgp.Decision.Per_neighbor_as (RG.tables table)
+  in
+  check_bool "both positive" true (peers_only > 0. && all > 0.)
+
+let test_determinism () =
+  let t2 = RG.generate topo (RG.spec ~n_prefixes:400 ~seed:3 ()) in
+  check_int "same total" (RG.total_routes table) (RG.total_routes t2);
+  check_bool "same prefixes" true (table.RG.prefixes = t2.RG.prefixes)
+
+let test_peer_asns () =
+  let asns = RG.peer_asns table in
+  check_bool "some peers" true (List.length asns > 0);
+  check_bool "all in range" true
+    (List.for_all (fun a -> Bgp.Asn.to_int a >= 3000 && Bgp.Asn.to_int a < 3010) asns)
+
+let test_spec_validation () =
+  check_bool "bad share" true
+    (try ignore (RG.spec ~peer_share:1.5 ()); false with Invalid_argument _ -> true);
+  check_bool "bad count" true
+    (try ignore (RG.spec ~n_prefixes:0 ()); false with Invalid_argument _ -> true)
+
+let suite =
+  ( "route-gen",
+    [
+      Alcotest.test_case "counts" `Quick test_counts;
+      Alcotest.test_case "prefixes distinct and clear" `Quick
+        test_prefixes_distinct_and_clear_of_conventions;
+      Alcotest.test_case "every prefix routed" `Quick test_every_prefix_has_a_route;
+      Alcotest.test_case "unique path ids" `Quick test_unique_path_ids;
+      Alcotest.test_case "router classes" `Quick test_peer_routes_on_peering_routers;
+      Alcotest.test_case "BAL grows with peer ASes (Fig 3 shape)" `Quick
+        test_bal_grows_with_peer_ases;
+      Alcotest.test_case "all-sources vs peers-only" `Quick
+        test_all_sources_at_least_peers_only;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "peer ASNs" `Quick test_peer_asns;
+      Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    ] )

@@ -1,0 +1,88 @@
+(* Timer behaviour: MRAI coalescing on sessions and inbox batching in the
+   processing window. *)
+
+open Helpers
+open Eventsim
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let prefix = pfx "20.0.0.0/16"
+
+let test_mrai_coalesces () =
+  (* 5 rapid attribute changes inside one MRAI window reach the peer as
+     a single additional transmission carrying only the final state *)
+  let cfg = C.make ~mrai:(Time.sec 5) ~n_routers:2 ~igp:(flat_igp 2) ~scheme:C.Full_mesh () in
+  let net = N.create cfg in
+  inject net ~router:0 (route ~med:100 ~prefix 0);
+  quiesce net;
+  let tx_before = (N.counters net 0).Abrr_core.Counters.updates_transmitted in
+  for m = 1 to 5 do
+    N.at net (Time.sec 10 + Time.ms (m * 100)) (fun () ->
+        inject net ~router:0 (route ~med:m ~prefix 0))
+  done;
+  quiesce net;
+  let tx_after = (N.counters net 0).Abrr_core.Counters.updates_transmitted in
+  (* the first change goes straight out (the timer armed at start-up has
+     long expired); the four follow-ups coalesce into one flush *)
+  check_int "coalesced transmissions" 2 (tx_after - tx_before);
+  (match N.best net ~router:1 prefix with
+  | Some r -> check_bool "final state wins" true (r.Bgp.Route.med = Some 5)
+  | None -> Alcotest.fail "no route");
+  (* and the change was not delivered before the timer allowed it *)
+  check_bool "held by timer" true (N.last_change net >= Time.sec 15)
+
+let test_mrai_zero_sends_each () =
+  let cfg = C.make ~n_routers:2 ~igp:(flat_igp 2) ~scheme:C.Full_mesh () in
+  let net = N.create cfg in
+  inject net ~router:0 (route ~med:100 ~prefix 0);
+  quiesce net;
+  let tx_before = (N.counters net 0).Abrr_core.Counters.updates_transmitted in
+  for m = 1 to 3 do
+    N.at net (Time.sec (10 * m)) (fun () -> inject net ~router:0 (route ~med:m ~prefix 0))
+  done;
+  quiesce net;
+  check_int "each change sent" 3
+    ((N.counters net 0).Abrr_core.Counters.updates_transmitted - tx_before)
+
+let test_processing_window_batches () =
+  (* many prefixes injected within one processing window produce one
+     batched flush: message count stays far below prefix count *)
+  let cfg =
+    C.make ~proc_delay:(Time.ms 100) ~n_routers:2 ~igp:(flat_igp 2)
+      ~scheme:C.Full_mesh ()
+  in
+  let net = N.create cfg in
+  for i = 0 to 19 do
+    inject net ~router:0 (route ~prefix:(pfx (Printf.sprintf "20.%d.0.0/16" i)) 0)
+  done;
+  quiesce net;
+  let c = N.counters net 0 in
+  check_int "20 prefix-level updates" 20 c.Abrr_core.Counters.updates_transmitted;
+  (* all share one wire flush: identical attributes pack into 1 message *)
+  check_int "single message" 1 c.Abrr_core.Counters.messages_transmitted
+
+let test_withdraw_coalesces_with_announce () =
+  (* announce+withdraw of the same prefix within one MRAI window nets out
+     to a withdraw at the peer *)
+  let cfg = C.make ~mrai:(Time.sec 5) ~n_routers:2 ~igp:(flat_igp 2) ~scheme:C.Full_mesh () in
+  let net = N.create cfg in
+  inject net ~router:0 (route ~med:1 ~prefix 0);
+  quiesce net;
+  N.at net (Time.sec 7) (fun () -> inject net ~router:0 (route ~med:2 ~prefix 0));
+  N.at net (Time.sec 7 + Time.ms 200) (fun () ->
+      N.withdraw net ~router:0 ~neighbor:(neighbor 0) prefix ~path_id:0);
+  quiesce net;
+  check_bool "withdrawn at peer" true (N.best net ~router:1 prefix = None)
+
+let suite =
+  ( "timers",
+    [
+      Alcotest.test_case "MRAI coalesces" `Quick test_mrai_coalesces;
+      Alcotest.test_case "MRAI off sends each change" `Quick test_mrai_zero_sends_each;
+      Alcotest.test_case "processing window batches" `Quick
+        test_processing_window_batches;
+      Alcotest.test_case "withdraw coalesces" `Quick
+        test_withdraw_coalesces_with_announce;
+    ] )

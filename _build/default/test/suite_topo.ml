@@ -1,0 +1,105 @@
+module T = Topo.Isp_topo
+module C = Abrr_core.Config
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let topo = T.generate (T.spec ~pops:6 ~routers_per_pop:6 ~peer_ases:8 ~peering_points_per_as:4 ())
+
+let test_shape () =
+  check_int "routers" 36 topo.T.n_routers;
+  check_int "clusters" 6 (List.length topo.T.clusters);
+  check_int "peering routers" 6 (List.length topo.T.peering_routers);
+  check_int "sessions" 32 (List.length topo.T.sessions);
+  check_bool "igp connected" true (Igp.Spf.connected topo.T.igp)
+
+let test_clusters_partition_routers () =
+  let in_cluster =
+    List.concat_map
+      (fun (c : C.cluster) -> c.C.trrs @ c.C.clients)
+      topo.T.clusters
+  in
+  check_int "every router placed" topo.T.n_routers (List.length in_cluster);
+  check_int "no duplicates" topo.T.n_routers
+    (List.length (List.sort_uniq Int.compare in_cluster))
+
+let test_intra_pop_closer () =
+  (* clients are IGP-closer to their own TRRs than to other clusters' *)
+  let dist = Igp.Spf.all_pairs topo.T.igp in
+  List.iter
+    (fun (c : C.cluster) ->
+      List.iter
+        (fun client ->
+          let own = List.fold_left (fun acc t -> min acc dist.(client).(t)) max_int c.C.trrs in
+          List.iter
+            (fun (c' : C.cluster) ->
+              if c' != c then
+                List.iter
+                  (fun t' ->
+                    check_bool "own TRR closer" true (own < dist.(client).(t')))
+                  c'.C.trrs)
+            topo.T.clusters)
+        c.C.clients)
+    topo.T.clusters
+
+let test_peer_sessions_diverse () =
+  (* each peer AS's peering points are in distinct PoPs *)
+  List.iter
+    (fun k ->
+      let asn = T.peer_asn k in
+      let pops =
+        List.map (fun (s : T.session) -> topo.T.pop_of.(s.T.router))
+          (T.sessions_of_as topo asn)
+      in
+      check_int (Printf.sprintf "AS %d diverse" k) (List.length pops)
+        (List.length (List.sort_uniq Int.compare pops)))
+    [ 0; 1; 2; 3 ]
+
+let test_abrr_assignment () =
+  let arrs = T.abrr_arrs topo ~aps:8 ~arrs_per_ap:2 in
+  check_int "aps" 8 (Array.length arrs);
+  Array.iter (fun l -> check_int "redundancy" 2 (List.length l)) arrs;
+  (* ARRs are access routers, never peering routers *)
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun r ->
+          check_bool "not peering" false (List.mem r topo.T.peering_routers))
+        l)
+    arrs;
+  (* with a large enough pool, assignments are disjoint across APs *)
+  let all = Array.to_list arrs |> List.concat in
+  check_int "disjoint" (List.length all)
+    (List.length (List.sort_uniq Int.compare all))
+
+let test_schemes_validate () =
+  let check scheme =
+    let cfg = T.config ~scheme topo in
+    match C.validate cfg with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid config: %s" e
+  in
+  check (T.tbrr_scheme topo);
+  check (T.tbrr_scheme ~multipath:true topo);
+  check (T.abrr_scheme ~aps:4 ~arrs_per_ap:2 topo);
+  check (T.abrr_scheme ~aps:16 ~arrs_per_ap:2 topo)
+
+let test_spec_validation () =
+  check_bool "rejects tiny pops" true
+    (try ignore (T.spec ~pops:0 ()); false with Invalid_argument _ -> true);
+  check_bool "rejects no peers" true
+    (try ignore (T.spec ~peer_ases:0 ()); false with Invalid_argument _ -> true)
+
+let suite =
+  ( "isp-topo",
+    [
+      Alcotest.test_case "shape" `Quick test_shape;
+      Alcotest.test_case "clusters partition routers" `Quick
+        test_clusters_partition_routers;
+      Alcotest.test_case "clients closest to own TRRs" `Quick test_intra_pop_closer;
+      Alcotest.test_case "peering geographically diverse" `Quick
+        test_peer_sessions_diverse;
+      Alcotest.test_case "ABRR assignment" `Quick test_abrr_assignment;
+      Alcotest.test_case "generated configs validate" `Quick test_schemes_validate;
+      Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    ] )

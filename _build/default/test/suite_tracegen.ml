@@ -1,0 +1,120 @@
+open Eventsim
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+module TG = Topo.Trace_gen
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let topo = T.generate (T.spec ~pops:5 ~routers_per_pop:5 ~peer_ases:6 ~peering_points_per_as:3 ())
+let table = RG.generate topo (RG.spec ~n_prefixes:150 ~seed:5 ())
+let tspec = TG.spec ~events:200 ~duration:(Time.hours 1) ~seed:9 ()
+let events = TG.generate table tspec
+
+let test_sorted () =
+  let rec ok = function
+    | (a : TG.event) :: (b :: _ as rest) -> a.TG.time <= b.TG.time && ok rest
+    | _ -> true
+  in
+  check_bool "time-sorted" true (ok events)
+
+let test_within_horizon () =
+  (* flap restores can overshoot duration by <= ~92s *)
+  List.iter
+    (fun (e : TG.event) ->
+      check_bool "in range" true (e.TG.time >= 0 && e.TG.time <= Time.hours 1 + Time.sec 95))
+    events
+
+let test_flap_consistency () =
+  (* every withdrawal has a matching restore announce later for the same
+     session and path id *)
+  let withdraws =
+    List.filter_map
+      (fun (e : TG.event) ->
+        match e.TG.action with
+        | TG.Withdraw { router; neighbor; prefix; path_id } ->
+          Some (e.TG.time, router, neighbor, prefix, path_id)
+        | TG.Announce _ -> None)
+      events
+  in
+  check_bool "some flaps" true (withdraws <> []);
+  List.iter
+    (fun (t, router, neighbor, prefix, path_id) ->
+      let restored =
+        List.exists
+          (fun (e : TG.event) ->
+            e.TG.time > t
+            &&
+            match e.TG.action with
+            | TG.Announce { router = r; neighbor = n; route } ->
+              r = router && n = neighbor
+              && Netaddr.Prefix.equal route.Bgp.Route.prefix prefix
+              && route.Bgp.Route.path_id = path_id
+            | TG.Withdraw _ -> false)
+          events
+      in
+      check_bool "restored" true restored)
+    withdraws
+
+let test_actions_reference_known_sessions () =
+  let known =
+    List.map (fun (s : T.session) -> (s.T.router, Netaddr.Ipv4.to_int s.T.neighbor)) topo.T.sessions
+  in
+  List.iter
+    (fun (e : TG.event) ->
+      match e.TG.action with
+      | TG.Announce { router; neighbor; _ } | TG.Withdraw { router; neighbor; _ } ->
+        let key = (router, Netaddr.Ipv4.to_int neighbor) in
+        (* customer sessions aren't in topo.sessions; accept 172.32/11 space *)
+        let is_customer = Netaddr.Ipv4.to_int neighbor >= 0xAC20_0000 in
+        check_bool "session known" true (is_customer || List.mem key known))
+    events
+
+let test_determinism () =
+  let again = TG.generate table tspec in
+  check_int "same count" (List.length events) (List.length again);
+  check_bool "identical" true (events = again)
+
+let test_zipf_concentration () =
+  (* the most active prefix should carry well above the uniform share *)
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (e : TG.event) ->
+      let p =
+        match e.TG.action with
+        | TG.Announce { route; _ } -> route.Bgp.Route.prefix
+        | TG.Withdraw { prefix; _ } -> prefix
+      in
+      let k = Netaddr.Prefix.to_key p in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    events;
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) counts 0 in
+  let top = Hashtbl.fold (fun _ c acc -> max acc c) counts 0 in
+  check_bool "skewed" true (float_of_int top > 3. *. float_of_int total /. 150.)
+
+let test_empty_when_no_events () =
+  check_bool "empty" true (TG.generate table (TG.spec ~events:0 ()) = [])
+
+let test_schedule_and_run () =
+  let scheme = T.abrr_scheme ~aps:2 ~arrs_per_ap:1 topo in
+  let cfg = T.config ~med_mode:Bgp.Decision.Always_compare ~scheme topo in
+  let net = Abrr_core.Network.create cfg in
+  RG.inject_all table net;
+  Helpers.quiesce ~max_events:2_000_000 net;
+  TG.schedule net events;
+  Helpers.quiesce ~max_events:5_000_000 net;
+  let a, w = TG.action_count events in
+  check_int "actions" (List.length events) (a + w)
+
+let suite =
+  ( "trace-gen",
+    [
+      Alcotest.test_case "time-sorted" `Quick test_sorted;
+      Alcotest.test_case "horizon" `Quick test_within_horizon;
+      Alcotest.test_case "flaps restore" `Quick test_flap_consistency;
+      Alcotest.test_case "sessions known" `Quick test_actions_reference_known_sessions;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "zipf concentration" `Quick test_zipf_concentration;
+      Alcotest.test_case "empty trace" `Quick test_empty_when_no_events;
+      Alcotest.test_case "schedule and run" `Slow test_schedule_and_run;
+    ] )

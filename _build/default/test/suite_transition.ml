@@ -1,0 +1,120 @@
+(* §2.4: incremental TBRR -> ABRR cutover, one AP at a time, with no
+   routing interruption at any stage. *)
+
+open Helpers
+module N = Abrr_core.Network
+module C = Abrr_core.Config
+module Part = Abrr_core.Partition
+
+let check_bool = Alcotest.(check bool)
+
+let low = pfx "20.0.0.0/16" (* AP 0 under a 2-way uniform partition *)
+let high = pfx "200.0.0.0/16" (* AP 1 *)
+
+(* 8 routers: TBRR clusters {0,1}+{4,5} and {2,3}+{6,7}; ABRR ARRs on
+   routers 1 (AP0) and 3 (AP1). During transition both run. *)
+let dual_config () =
+  let tbrr =
+    {
+      C.clusters =
+        [
+          { C.trrs = [ 0; 1 ]; clients = [ 4; 5 ] };
+          { C.trrs = [ 2; 3 ]; clients = [ 6; 7 ] };
+        ];
+      multipath = false;
+      best_external = false;
+    }
+  in
+  let abrr =
+    {
+      C.partition = Part.uniform 2;
+      arrs = [| [ 1 ]; [ 3 ] |];
+      loop_prevention = C.Reflected_bit;
+    }
+  in
+  let accept = Array.make 2 C.Accept_tbrr in
+  C.make ~n_routers:8 ~igp:(flat_igp 8)
+    ~scheme:(C.Dual { tbrr; abrr; accept })
+    ()
+
+let all_resolve net =
+  List.for_all
+    (fun (p, exit) ->
+      List.for_all
+        (fun i -> N.best_exit net ~router:i p = Some exit || i = exit)
+        (List.init 8 Fun.id))
+    [ (low, 4); (high, 6) ]
+
+let test_staged_cutover () =
+  let net = N.create (dual_config ()) in
+  inject net ~router:4 (route ~prefix:low 4);
+  inject net ~router:6 (route ~prefix:high 6);
+  quiesce net;
+  (* stage 0: all TBRR *)
+  check_bool "tbrr stage" true (all_resolve net);
+  Alcotest.(check bool) "accept tbrr" true (N.acceptance net 0 = C.Accept_tbrr);
+  (* stage 1: cut AP 0 over to ABRR *)
+  N.set_acceptance net ~ap:0 C.Accept_abrr;
+  quiesce net;
+  check_bool "mixed stage" true (all_resolve net);
+  (* stage 2: cut AP 1 over *)
+  N.set_acceptance net ~ap:1 C.Accept_abrr;
+  quiesce net;
+  check_bool "abrr stage" true (all_resolve net)
+
+let test_rollback () =
+  let net = N.create (dual_config ()) in
+  inject net ~router:4 (route ~prefix:low 4);
+  quiesce net;
+  N.set_acceptance net ~ap:0 C.Accept_abrr;
+  quiesce net;
+  check_bool "after cutover" true (N.best_exit net ~router:7 low = Some 4);
+  N.set_acceptance net ~ap:0 C.Accept_tbrr;
+  quiesce net;
+  check_bool "after rollback" true (N.best_exit net ~router:7 low = Some 4)
+
+let test_updates_during_transition () =
+  let net = N.create (dual_config ()) in
+  inject net ~router:4 (route ~med:10 ~prefix:low 4);
+  quiesce net;
+  N.set_acceptance net ~ap:0 C.Accept_abrr;
+  quiesce net;
+  (* a better route arriving mid-transition is honoured *)
+  inject net ~router:5 (route ~med:1 ~prefix:low 5);
+  quiesce net;
+  check_bool "new best via abrr" true (N.best_exit net ~router:7 low = Some 5);
+  (* and withdrawal falls back *)
+  N.withdraw net ~router:5 ~neighbor:(neighbor 5) low ~path_id:0;
+  quiesce net;
+  check_bool "fallback" true (N.best_exit net ~router:7 low = Some 4)
+
+let test_acceptance_outside_dual_rejected () =
+  let net = N.create (full_mesh_config 3) in
+  check_bool "raises" true
+    (try
+       N.set_acceptance net ~ap:0 C.Accept_abrr;
+       false
+     with Invalid_argument _ -> true)
+
+let test_both_planes_active () =
+  (* while accepting TBRR, the ABRR plane is already fully populated so
+     the cutover is hitless *)
+  let net = N.create (dual_config ()) in
+  inject net ~router:4 (route ~prefix:low 4);
+  quiesce net;
+  let arr = N.router net 1 in
+  check_bool "ARR set populated pre-cutover" true
+    (Abrr_core.Router.reflector_set arr low <> [])
+
+let suite =
+  ( "transition",
+    [
+      Alcotest.test_case "staged cutover" `Quick test_staged_cutover;
+      Alcotest.test_case "rollback" `Quick test_rollback;
+      Alcotest.test_case "updates mid-transition" `Quick
+        test_updates_during_transition;
+      Alcotest.test_case "acceptance needs Dual" `Quick
+        test_acceptance_outside_dual_rejected;
+      Alcotest.test_case "ABRR plane live before cutover" `Quick
+        test_both_planes_active;
+    ] )

@@ -1,0 +1,165 @@
+open Netaddr
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Prefix.of_string
+
+let test_empty () =
+  check_bool "empty" true (Prefix_trie.is_empty Prefix_trie.empty);
+  check_int "cardinal" 0 (Prefix_trie.cardinal Prefix_trie.empty);
+  check_bool "find" true (Prefix_trie.find (p "1.0.0.0/8") Prefix_trie.empty = None)
+
+let sample =
+  [
+    (p "0.0.0.0/0", "default");
+    (p "10.0.0.0/8", "ten");
+    (p "10.0.0.0/16", "ten-zero");
+    (p "10.1.0.0/16", "ten-one");
+    (p "10.1.2.0/24", "deep");
+    (p "192.168.0.0/16", "rfc1918");
+    (p "255.255.255.255/32", "host");
+  ]
+
+let trie = Prefix_trie.of_list sample
+
+let test_find_exact () =
+  List.iter
+    (fun (q, v) ->
+      check_bool (Prefix.to_string q) true (Prefix_trie.find q trie = Some v))
+    sample;
+  check_bool "absent" true (Prefix_trie.find (p "10.2.0.0/16") trie = None);
+  check_bool "absent parent" true (Prefix_trie.find (p "10.1.0.0/12") trie = None)
+
+let test_longest_match () =
+  let lm a =
+    match Prefix_trie.longest_match (Ipv4.of_string a) trie with
+    | Some (_, v) -> v
+    | None -> "none"
+  in
+  check_bool "deep" true (lm "10.1.2.3" = "deep");
+  check_bool "mid" true (lm "10.1.3.1" = "ten-one");
+  check_bool "eight" true (lm "10.99.0.1" = "ten");
+  check_bool "default" true (lm "9.9.9.9" = "default");
+  check_bool "host" true (lm "255.255.255.255" = "host")
+
+let test_matches_order () =
+  let ms = Prefix_trie.matches (Ipv4.of_string "10.1.2.3") trie in
+  let names = List.map snd ms in
+  check_bool "most specific first" true
+    (names = [ "deep"; "ten-one"; "ten"; "default" ])
+
+let test_remove () =
+  let t = Prefix_trie.remove (p "10.1.0.0/16") trie in
+  check_int "cardinal" (List.length sample - 1) (Prefix_trie.cardinal t);
+  check_bool "gone" true (Prefix_trie.find (p "10.1.0.0/16") t = None);
+  check_bool "child kept" true (Prefix_trie.find (p "10.1.2.0/24") t <> None);
+  let lm =
+    match Prefix_trie.longest_match (Ipv4.of_string "10.1.3.1") t with
+    | Some (_, v) -> v
+    | None -> "none"
+  in
+  check_bool "falls back to /8" true (lm = "ten")
+
+let test_covered () =
+  let under = Prefix_trie.covered (p "10.0.0.0/8") trie in
+  check_int "count" 4 (List.length under);
+  let incr_order =
+    let rec ok = function
+      | (a, _) :: ((b, _) :: _ as rest) -> Prefix.compare a b < 0 && ok rest
+      | _ -> true
+    in
+    ok under
+  in
+  check_bool "sorted" true incr_order
+
+let test_replace_and_update () =
+  let t = Prefix_trie.add (p "10.0.0.0/8") "newval" trie in
+  check_int "no growth" (List.length sample) (Prefix_trie.cardinal t);
+  check_bool "replaced" true (Prefix_trie.find (p "10.0.0.0/8") t = Some "newval");
+  let t2 =
+    Prefix_trie.update (p "10.0.0.0/8")
+      (function Some _ -> None | None -> Some "x")
+      t
+  in
+  check_bool "update-removed" true (Prefix_trie.find (p "10.0.0.0/8") t2 = None)
+
+let test_to_list_sorted () =
+  let l = Prefix_trie.to_list trie in
+  check_int "length" (List.length sample) (List.length l);
+  let sorted = List.sort (fun (a, _) (b, _) -> Prefix.compare a b) sample in
+  check_bool "order" true (List.map fst l = List.map fst sorted)
+
+(* Random prefix generator for property tests. *)
+let arb_prefix =
+  QCheck.map
+    (fun (a, len) -> Prefix.make (Ipv4.of_int a) len)
+    QCheck.(pair (int_bound 0x3FFF_FFFF) (int_bound 32))
+
+let prop_model_find =
+  QCheck.Test.make ~name:"trie agrees with assoc-list model" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair arb_prefix small_int))
+    (fun bindings ->
+      let t = Prefix_trie.of_list bindings in
+      (* last binding wins in both models *)
+      let model =
+        List.fold_left (fun acc (k, v) -> (Prefix.to_key k, v) :: acc) [] bindings
+      in
+      List.for_all
+        (fun (k, _) ->
+          let expected = List.assoc_opt (Prefix.to_key k) model in
+          Prefix_trie.find k t = expected)
+        bindings)
+
+let prop_longest_match_is_most_specific =
+  QCheck.Test.make ~name:"longest_match maximises length among matches" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 30) (pair arb_prefix small_int))
+        (int_bound 0x3FFF_FFFF))
+    (fun (bindings, a) ->
+      let addr = Ipv4.of_int a in
+      let t = Prefix_trie.of_list bindings in
+      let matching =
+        List.filter (fun (k, _) -> Prefix.mem addr k) (Prefix_trie.to_list t)
+      in
+      match Prefix_trie.longest_match addr t with
+      | None -> matching = []
+      | Some (k, _) ->
+        List.for_all (fun (k', _) -> Prefix.len k' <= Prefix.len k) matching)
+
+let prop_remove_all_empties =
+  QCheck.Test.make ~name:"removing all keys empties the trie" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 30) (pair arb_prefix small_int))
+    (fun bindings ->
+      let t = Prefix_trie.of_list bindings in
+      let t' =
+        List.fold_left (fun t (k, _) -> Prefix_trie.remove k t) t bindings
+      in
+      Prefix_trie.is_empty t')
+
+let prop_cardinal_distinct_keys =
+  QCheck.Test.make ~name:"cardinal counts distinct keys" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair arb_prefix small_int))
+    (fun bindings ->
+      let t = Prefix_trie.of_list bindings in
+      let distinct =
+        List.sort_uniq Int.compare (List.map (fun (k, _) -> Prefix.to_key k) bindings)
+      in
+      Prefix_trie.cardinal t = List.length distinct)
+
+let suite =
+  ( "prefix-trie",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "find exact" `Quick test_find_exact;
+      Alcotest.test_case "longest match" `Quick test_longest_match;
+      Alcotest.test_case "matches most-specific-first" `Quick test_matches_order;
+      Alcotest.test_case "remove keeps children" `Quick test_remove;
+      Alcotest.test_case "covered subtree" `Quick test_covered;
+      Alcotest.test_case "replace and update" `Quick test_replace_and_update;
+      Alcotest.test_case "to_list sorted" `Quick test_to_list_sorted;
+      QCheck_alcotest.to_alcotest prop_model_find;
+      QCheck_alcotest.to_alcotest prop_longest_match_is_most_specific;
+      QCheck_alcotest.to_alcotest prop_remove_all_empties;
+      QCheck_alcotest.to_alcotest prop_cardinal_distinct_keys;
+    ] )

@@ -1,0 +1,266 @@
+open Netaddr
+open Bgp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let route ?(path_id = 0) ?(med = None) ?(comms = []) ?(ecs = []) ?(orig = None)
+    ?(clusters = []) prefix =
+  Route.make ~path_id
+    ~as_path:(As_path.of_asns [ Asn.of_int 3001; Asn.of_int 55_000 ])
+    ~med ~originator_id:orig ~cluster_list:clusters ~communities:comms
+    ~ext_communities:ecs ~prefix:(Prefix.of_string prefix)
+    ~next_hop:(Ipv4.of_string "10.0.0.1") ()
+
+let decode_one ~add_paths bs =
+  match Wire.decode_all ~add_paths bs with
+  | Ok msgs -> msgs
+  | Error e -> Alcotest.failf "decode error: %a" Wire.pp_error e
+
+let concat bss = Bytes.concat Bytes.empty bss
+
+let roundtrip ~add_paths msg =
+  decode_one ~add_paths (concat (Wire.encode ~add_paths msg))
+
+let test_keepalive () =
+  match roundtrip ~add_paths:false Msg.Keepalive with
+  | [ Msg.Keepalive ] -> ()
+  | _ -> Alcotest.fail "keepalive roundtrip"
+
+let test_open () =
+  let o =
+    {
+      Msg.asn = Asn.of_int 65_000;
+      hold_time = 180;
+      bgp_id = Ipv4.of_string "10.0.0.7";
+      add_paths = true;
+    }
+  in
+  match roundtrip ~add_paths:false (Msg.Open o) with
+  | [ Msg.Open o' ] ->
+    check_bool "asn" true (Asn.equal o'.Msg.asn o.Msg.asn);
+    check_int "hold" 180 o'.Msg.hold_time;
+    check_bool "id" true (Ipv4.equal o'.Msg.bgp_id o.Msg.bgp_id);
+    check_bool "add-paths" true o'.Msg.add_paths
+  | _ -> Alcotest.fail "open roundtrip"
+
+let test_open_4byte_asn () =
+  let o =
+    {
+      Msg.asn = Asn.of_int 4_200_000_000;
+      hold_time = 90;
+      bgp_id = Ipv4.of_string "10.0.0.1";
+      add_paths = false;
+    }
+  in
+  match roundtrip ~add_paths:false (Msg.Open o) with
+  | [ Msg.Open o' ] ->
+    check_bool "as4 via capability" true (Asn.to_int o'.Msg.asn = 4_200_000_000)
+  | _ -> Alcotest.fail "open as4 roundtrip"
+
+let test_notification () =
+  let n = { Msg.code = 6; subcode = 2; data = "bye" } in
+  match roundtrip ~add_paths:false (Msg.Notification n) with
+  | [ Msg.Notification n' ] ->
+    check_int "code" 6 n'.Msg.code;
+    check_int "subcode" 2 n'.Msg.subcode;
+    check_bool "data" true (n'.Msg.data = "bye")
+  | _ -> Alcotest.fail "notification roundtrip"
+
+let test_update_roundtrip () =
+  let r1 =
+    route ~path_id:3 ~med:(Some 42)
+      ~comms:[ Community.make 65000 100; Community.no_export ]
+      ~ecs:[ Ext_community.reflected ]
+      ~orig:(Some (Ipv4.of_string "10.0.0.9"))
+      ~clusters:[ Ipv4.of_string "192.168.0.1"; Ipv4.of_string "192.168.0.2" ]
+      "20.1.0.0/16"
+  in
+  let r2 = route ~path_id:4 "21.0.0.0/8" in
+  let u =
+    {
+      Msg.withdrawn = [ { Msg.prefix = Prefix.of_string "22.0.0.0/24"; path_id = 7 } ];
+      announced = [ r1; r2 ];
+    }
+  in
+  let msgs = roundtrip ~add_paths:true (Msg.Update u) in
+  let withdrawn = List.concat_map (function Msg.Update u -> u.Msg.withdrawn | _ -> []) msgs in
+  let announced = List.concat_map (function Msg.Update u -> u.Msg.announced | _ -> []) msgs in
+  check_int "withdrawn" 1 (List.length withdrawn);
+  check_int "announced" 2 (List.length announced);
+  let r1' = List.find (fun (r : Route.t) -> r.Route.path_id = 3) announced in
+  check_bool "full attrs survive" true (Route.equal r1 r1');
+  let r2' = List.find (fun (r : Route.t) -> r.Route.path_id = 4) announced in
+  check_bool "r2 survives" true (Route.equal r2 r2')
+
+let test_update_groups_by_attrs () =
+  (* routes with identical attributes share one UPDATE message *)
+  let mk p = route p in
+  let u = { Msg.withdrawn = []; announced = [ mk "20.0.0.0/16"; mk "21.0.0.0/16" ] } in
+  check_int "one message" 1 (List.length (Wire.encode ~add_paths:false (Msg.Update u)));
+  let u2 =
+    {
+      Msg.withdrawn = [];
+      announced = [ mk "20.0.0.0/16"; route ~med:(Some 9) "21.0.0.0/16" ];
+    }
+  in
+  check_int "two messages" 2 (List.length (Wire.encode ~add_paths:false (Msg.Update u2)))
+
+let test_update_size_split () =
+  (* enough NLRI to exceed 4096 bytes must split into several messages *)
+  let routes =
+    List.init 1500 (fun i ->
+        route ~path_id:(i + 1)
+          (Printf.sprintf "20.%d.%d.0/24" (i / 250) (i mod 250)))
+  in
+  let msgs = Wire.encode ~add_paths:true (Msg.Update { Msg.withdrawn = []; announced = routes }) in
+  check_bool "split" true (List.length msgs > 1);
+  List.iter
+    (fun m -> check_bool "size cap" true (Bytes.length m <= Wire.max_message_size))
+    msgs;
+  let decoded = decode_one ~add_paths:true (concat msgs) in
+  let announced = List.concat_map (function Msg.Update u -> u.Msg.announced | _ -> []) decoded in
+  check_int "all survive" 1500 (List.length announced)
+
+let test_confed_segments_roundtrip () =
+  let r =
+    Route.make
+      ~as_path:
+        (As_path.of_segments
+           [ As_path.Confed_seq [ Asn.of_int 64513; Asn.of_int 64512 ];
+             As_path.Seq [ Asn.of_int 3001 ];
+             As_path.Confed_set [ Asn.of_int 64514 ];
+             As_path.Set [ Asn.of_int 9 ] ])
+      ~prefix:(Prefix.of_string "20.0.0.0/16")
+      ~next_hop:(Ipv4.of_string "10.0.0.1") ()
+  in
+  let u = { Msg.withdrawn = []; announced = [ r ] } in
+  match roundtrip ~add_paths:false (Msg.Update u) with
+  | [ Msg.Update u' ] ->
+    check_bool "segments preserved" true
+      (Route.equal r (List.hd u'.Msg.announced))
+  | _ -> Alcotest.fail "confed roundtrip"
+
+let test_decode_errors () =
+  let good = concat (Wire.encode ~add_paths:false Msg.Keepalive) in
+  (* corrupt the marker *)
+  let bad = Bytes.copy good in
+  Bytes.set bad 0 '\x00';
+  check_bool "bad marker" true (Result.is_error (Wire.decode_all ~add_paths:false bad));
+  (* truncate *)
+  let short = Bytes.sub good 0 (Bytes.length good - 1) in
+  check_bool "truncated" true (Result.is_error (Wire.decode_all ~add_paths:false short));
+  (* bad type *)
+  let badt = Bytes.copy good in
+  Bytes.set badt 18 '\x09';
+  check_bool "bad type" true (Result.is_error (Wire.decode_all ~add_paths:false badt))
+
+let test_add_paths_flag_matters () =
+  (* a message encoded with add-paths decodes differently without it *)
+  let u = { Msg.withdrawn = []; announced = [ route ~path_id:5 "20.0.0.0/16" ] } in
+  let bs = concat (Wire.encode ~add_paths:true (Msg.Update u)) in
+  match Wire.decode_all ~add_paths:true bs with
+  | Ok [ Msg.Update u' ] ->
+    check_int "path id preserved" 5 (List.hd u'.Msg.announced).Route.path_id
+  | _ -> Alcotest.fail "add-paths decode"
+
+(* --- property: random updates roundtrip ----------------------------- *)
+
+let gen_route =
+  let open QCheck.Gen in
+  let* a = int_range 1 223 in
+  let* b = int_range 0 255 in
+  let* len = int_range 8 32 in
+  let* path_id = int_range 0 1000 in
+  let* n_as = int_range 0 4 in
+  let* asns = list_size (return n_as) (int_range 1 400_000) in
+  let* med = opt (int_range 0 10_000) in
+  let* lp = int_range 0 1000 in
+  let* orig = opt (int_range 0 0xFFFF) in
+  let* n_cl = int_range 0 3 in
+  let* cls = list_size (return n_cl) (int_range 0 0xFFFF) in
+  let* n_com = int_range 0 3 in
+  let* comms = list_size (return n_com) (pair (int_range 0 0xFFFF) (int_range 0 0xFFFF)) in
+  let* reflected = bool in
+  return
+    (Route.make ~path_id
+       ~as_path:(As_path.of_asns (List.map Asn.of_int asns))
+       ~med ~local_pref:lp
+       ~originator_id:(Option.map (fun x -> Ipv4.of_int (0x0A00_0000 + x)) orig)
+       ~cluster_list:(List.map (fun x -> Ipv4.of_int (0xC0A8_0000 + x)) cls)
+       ~communities:(List.map (fun (a, t) -> Community.make a t) comms)
+       ~ext_communities:(if reflected then [ Ext_community.reflected ] else [])
+       ~prefix:(Prefix.make (Ipv4.of_octets a b 0 0) len)
+       ~next_hop:(Ipv4.of_int (0x0A00_0000 + path_id))
+       ())
+
+let arb_route = QCheck.make gen_route
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"random update wire roundtrip" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 10) arb_route)
+    (fun routes ->
+      (* distinct (prefix, path_id) per update; dedupe *)
+      let seen = Hashtbl.create 16 in
+      let routes =
+        List.filter
+          (fun (r : Route.t) ->
+            let k = (Prefix.to_key r.Route.prefix, r.Route.path_id) in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          routes
+      in
+      let u = { Msg.withdrawn = []; announced = routes } in
+      let bs = concat (Wire.encode ~add_paths:true (Msg.Update u)) in
+      match Wire.decode_all ~add_paths:true bs with
+      | Error _ -> false
+      | Ok msgs ->
+        let announced =
+          List.concat_map (function Msg.Update u -> u.Msg.announced | _ -> []) msgs
+        in
+        let sort rs = List.sort Route.compare rs in
+        List.equal Route.equal (sort routes) (sort announced))
+
+let prop_fuzz_no_crash =
+  QCheck.Test.make ~name:"random bytes never crash the decoder" ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun s ->
+      match Wire.decode_all ~add_paths:true (Bytes.of_string s) with
+      | Ok _ | Error _ -> true)
+
+let prop_bitflip_no_crash =
+  QCheck.Test.make ~name:"bit-flipped valid messages never crash" ~count:300
+    QCheck.(pair (int_bound 1000) (int_bound 255))
+    (fun (pos, v) ->
+      let u =
+        { Msg.withdrawn = [];
+          announced = [ route ~path_id:1 ~med:(Some 9) "20.0.0.0/16" ] }
+      in
+      let bs = concat (Wire.encode ~add_paths:true (Msg.Update u)) in
+      if Bytes.length bs = 0 then true
+      else begin
+        let bs = Bytes.copy bs in
+        Bytes.set bs (pos mod Bytes.length bs) (Char.chr v);
+        match Wire.decode_all ~add_paths:true bs with Ok _ | Error _ -> true
+      end)
+
+let suite =
+  ( "wire",
+    [
+      Alcotest.test_case "keepalive" `Quick test_keepalive;
+      Alcotest.test_case "open" `Quick test_open;
+      Alcotest.test_case "open 4-byte ASN" `Quick test_open_4byte_asn;
+      Alcotest.test_case "notification" `Quick test_notification;
+      Alcotest.test_case "update full attrs" `Quick test_update_roundtrip;
+      Alcotest.test_case "attribute grouping" `Quick test_update_groups_by_attrs;
+      Alcotest.test_case "4096-byte split" `Quick test_update_size_split;
+      Alcotest.test_case "confed segments" `Quick test_confed_segments_roundtrip;
+      Alcotest.test_case "decode errors" `Quick test_decode_errors;
+      Alcotest.test_case "add-paths ids" `Quick test_add_paths_flag_matters;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_fuzz_no_crash;
+      QCheck_alcotest.to_alcotest prop_bitflip_no_crash;
+    ] )
