@@ -118,7 +118,7 @@ let med_mode_ablation () =
     let g = G.med_oscillation G.G_tbrr in
     let cfg = { g.G.config with C.med_mode } in
     let net = N.create cfg in
-    g.G.inject net;
+    G.inject g net;
     if A.oscillates (A.run ~max_events:50_000 net) then "OSCILLATES" else "converges"
   in
   Metrics.Table.print

@@ -16,6 +16,17 @@ let verdict make flavor =
   let v = A.run ~max_events:50_000 net in
   (net, g, v)
 
+(* What the static analyzer predicts, before any event is simulated. *)
+let static_verdict flavor =
+  let flagged =
+    List.length
+      (List.filter
+         (fun make ->
+           not (Verify.Report.clean (Verify.Static.analyze_gadget (make flavor))))
+         [ G.med_oscillation; G.topology_oscillation; G.path_inefficiency ])
+  in
+  if flagged = 0 then "clean" else Printf.sprintf "flags %d/3" flagged
+
 let run () =
   print_endline "== §2.3: routing-anomaly matrix ==";
   let rows =
@@ -37,11 +48,14 @@ let run () =
           (if A.oscillates topo then "OSCILLATES" else "converges");
           exit;
           (if loops then "LOOPS" else "loop-free");
+          static_verdict flavor;
         ])
       flavors
   in
   Metrics.Table.print
     ~align:[ Metrics.Table.Left ]
-    ~header:[ "scheme"; "MED gadget"; "topology gadget"; "observer path"; "forwarding" ]
+    ~header:
+      [ "scheme"; "MED gadget"; "topology gadget"; "observer path";
+        "forwarding"; "static check" ]
     rows;
   print_newline ()

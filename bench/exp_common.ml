@@ -44,10 +44,23 @@ let reflectors net n =
     (fun i -> R.is_trr (N.router net i) || R.is_arr (N.router net i))
     (List.init n Fun.id)
 
+(* Every experiment configuration passes the static analyzer before a
+   single event is simulated; an invalid setup aborts with the report. *)
+let precheck ~label cfg =
+  let report = Verify.Static.analyze cfg in
+  if not (Verify.Report.ok report) then begin
+    prerr_string (Verify.Report.render report);
+    failwith (label ^ ": static configuration check failed")
+  end
+
 (* Feed the snapshot, reset counters, then replay the trace: the paper's
-   §4 methodology (Figure 7 counts trace-phase updates only). *)
+   §4 methodology (Figure 7 counts trace-phase updates only). Runtime
+   invariants (Verify.Invariant) stay on for the whole run. *)
 let run_scheme ~label ~topo ~table ~trace scheme =
-  let net = N.create (config topo scheme) in
+  let cfg = config topo scheme in
+  precheck ~label cfg;
+  let net = N.create cfg in
+  Verify.Invariant.install net;
   RG.inject_all table net;
   (match N.run ~max_events:100_000_000 net with
   | Eventsim.Sim.Quiescent -> ()
@@ -63,6 +76,8 @@ let run_scheme ~label ~topo ~table ~trace scheme =
   | o ->
     Printf.eprintf "warning: %s trace ended with %s\n" label
       (Format.asprintf "%a" Eventsim.Sim.pp_outcome o));
+  Verify.Invariant.check_now net;
+  Verify.Invariant.uninstall net;
   let rr_ids = reflectors net topo.T.n_routers in
   let client_ids =
     List.filter (fun i -> not (List.mem i rr_ids)) (List.init topo.T.n_routers Fun.id)

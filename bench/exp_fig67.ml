@@ -87,7 +87,7 @@ let run ?(scale = default_scale) () =
     ~header:
       [ "config"; "RIB-In min/avg/max"; "analysis"; "RIB-Out min/avg/max"; "analysis" ]
     (List.map
-       (fun r ->
+       (fun (r : row) ->
          [
            r.label;
            fmt3 r.rib_in;
@@ -102,7 +102,7 @@ let run ?(scale = default_scale) () =
   Metrics.Table.print
     ~header:[ "config"; "received (avg)"; "generated (avg)"; "client rx (avg)" ]
     (List.map
-       (fun r ->
+       (fun (r : row) ->
          [
            r.label;
            Metrics.Table.fmt_int r.rx;

@@ -2,6 +2,7 @@
 
    Subcommands:
      simulate   run a synthetic Tier-1 workload under a chosen iBGP scheme
+     check      statically verify a configuration (no simulation)
      gadget     run one of the Sec 2.3 anomaly gadgets
      trace      generate an MRT update trace (and optionally replay it)
      partition  print an address-partition layout *)
@@ -128,7 +129,15 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run a synthetic Tier-1 workload.") term
 
-(* ---- gadget --------------------------------------------------------- *)
+(* ---- check ---------------------------------------------------------- *)
+
+let workload_of (table : RG.t) =
+  List.concat_map
+    (fun routes ->
+      List.map
+        (fun (r : RG.ebgp_route) -> (r.RG.router, r.RG.neighbor, r.RG.route))
+        routes)
+    (Array.to_list table.RG.routes)
 
 let gadget_enum =
   Arg.enum
@@ -143,6 +152,66 @@ let gflavor_enum =
       ("confed", Abrr_core.Gadgets.G_confed);
       ("rcp", Abrr_core.Gadgets.G_rcp);
       ("abrr", Abrr_core.Gadgets.G_abrr 1); ("abrr2", Abrr_core.Gadgets.G_abrr 2) ]
+
+let render_verdict report =
+  print_string (Verify.Report.render report);
+  if Verify.Report.ok report then `Ok ()
+  else `Error (false, "static configuration check failed")
+
+let check gadget gflavor scheme med pops rpp pas points prefixes aps arrs seed =
+  match gadget with
+  | Some kind ->
+    (* A seeded-bad instance: analyze a §2.3 gadget configuration. *)
+    let module G = Abrr_core.Gadgets in
+    let g =
+      match kind with
+      | `Med -> G.med_oscillation gflavor
+      | `Topology -> G.topology_oscillation gflavor
+      | `Path -> G.path_inefficiency gflavor
+    in
+    print_endline g.G.description;
+    render_verdict (Verify.Static.analyze_gadget g)
+  | None ->
+    (* Bad parameter combinations (0 APs, 0 ARRs, ...) raise while the
+       topology/config is being built, before the analyzer can report:
+       surface them as CLI errors rather than uncaught exceptions. *)
+    (match
+       let topo = build_topo pops rpp pas points seed in
+       let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
+       let cfg =
+         T.config ~med_mode:med
+           ~scheme:(resolve_scheme topo aps arrs scheme)
+           topo
+       in
+       Verify.Static.analyze ~workload:(workload_of table) cfg
+     with
+    | exception e ->
+      `Error (false, "cannot build the configuration: " ^ Printexc.to_string e)
+    | report -> render_verdict report)
+
+let check_cmd =
+  let doc =
+    "Statically verify a configuration: AP soundness, signaling-graph \
+     completeness and per-prefix anomaly potential — without running the \
+     simulator."
+  in
+  let gadget_t =
+    Arg.(value & opt (some gadget_enum) None
+         & info [ "gadget" ]
+             ~doc:"Analyze a Sec 2.3 gadget configuration (med, topology or \
+                   path) instead of the synthetic Tier-1 network.")
+  in
+  let gflavor_t =
+    Arg.(value & opt gflavor_enum Abrr_core.Gadgets.G_tbrr
+         & info [ "run-scheme" ] ~doc:"Scheme flavor for $(b,--gadget).")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const check $ gadget_t $ gflavor_t $ scheme_t $ med_t $ pops_t $ rpp_t
+        $ pas_t $ points_t $ prefixes_t $ aps_t $ arrs_t $ seed_t))
+
+(* ---- gadget --------------------------------------------------------- *)
 
 let gadget kind flavor =
   let module G = Abrr_core.Gadgets in
@@ -221,8 +290,7 @@ let boot sessions rtt_ms cost_us =
       (Abrr_core.Session_setup.spec ~sessions ~rtt:(Eventsim.Time.ms rtt_ms)
          ~per_message_cost:(Eventsim.Time.us cost_us) ())
   in
-  Printf.printf "%d sessions established in %.3f s (%d messages processed)
-"
+  Printf.printf "%d sessions established in %.3f s (%d messages processed)\n"
     r.Abrr_core.Session_setup.established
     (Eventsim.Time.to_sec r.Abrr_core.Session_setup.boot_time)
     r.Abrr_core.Session_setup.messages_processed;
@@ -251,4 +319,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; gadget_cmd; trace_cmd; boot_cmd; partition_cmd ]))
+          [ simulate_cmd; check_cmd; gadget_cmd; trace_cmd; boot_cmd; partition_cmd ]))

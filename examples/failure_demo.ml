@@ -8,7 +8,6 @@
 open Netaddr
 module C = Abrr_core.Config
 module N = Abrr_core.Network
-module R = Abrr_core.Router
 module Part = Abrr_core.Partition
 
 let neighbor k = Ipv4.of_int (0xAC10_0000 + k)

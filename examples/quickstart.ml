@@ -23,7 +23,15 @@ let () =
     C.abrr ~partition:(Part.uniform 2) [| [ 0; 5 ]; [ 2; 7 ] |]
   in
   let config = C.make ~n_routers:n ~igp ~scheme () in
+
+  (* Before simulating anything, the static analyzer proves the setup
+     sound: APs cover the space, every router reaches a live ARR. *)
+  let report = Verify.Static.analyze config in
+  Printf.printf "static check: %s\n\n" (Verify.Report.summary report);
+  Verify.Static.assert_ok report;
+
   let net = N.create config in
+  Verify.Invariant.install net;
 
   (* 3. eBGP feeds: two border routers learn the same prefix. *)
   let prefix = Prefix.of_string "93.184.216.0/24" in
@@ -42,6 +50,7 @@ let () =
   (match N.run net with
   | Eventsim.Sim.Quiescent -> ()
   | o -> Format.printf "unexpected outcome: %a@." Eventsim.Sim.pp_outcome o);
+  Verify.Invariant.check_now net;
   Printf.printf "converged after %d simulated events at t=%s\n\n"
     (Eventsim.Sim.events_processed (N.sim net))
     (Format.asprintf "%a" Eventsim.Time.pp (N.last_change net));

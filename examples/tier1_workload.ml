@@ -34,6 +34,9 @@ let () =
       T.config ~med_mode:Bgp.Decision.Always_compare
         ~proc_delay:(Eventsim.Time.ms 150) ~scheme topo
     in
+    (let report = Verify.Static.analyze cfg in
+     Printf.printf "%s static check: %s\n" name (Verify.Report.summary report);
+     Verify.Static.assert_ok report);
     let net = N.create cfg in
     RG.inject_all table net;
     ignore (N.run ~max_events:20_000_000 net);

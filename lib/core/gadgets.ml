@@ -5,7 +5,7 @@ type flavor = G_full_mesh | G_tbrr | G_tbrr_best_external | G_abrr of int | G_co
 
 type t = {
   config : Config.t;
-  inject : Network.t -> unit;
+  injections : (int * Ipv4.t * Bgp.Route.t) list;
   prefix : Prefix.t;
   description : string;
 }
@@ -19,9 +19,14 @@ let route ~asn ~med k =
     ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int asn ])
     ~med:(Some med) ~prefix ~next_hop:(neighbor k) ()
 
+let inject t net =
+  List.iter
+    (fun (router, neighbor, route) -> Network.inject net ~router ~neighbor route)
+    t.injections
+
 let build t =
   let net = Network.create t.config in
-  t.inject net;
+  inject t net;
   net
 
 (* Single-AP ABRR over dedicated reflector routers. *)
@@ -79,12 +84,14 @@ let med_oscillation flavor =
       ~scheme:(scheme_of flavor ~trr_clusters:clusters ~n:5)
       ()
   in
-  let inject net =
-    Network.inject net ~router:2 ~neighbor:(neighbor 1) (route ~asn:100 ~med:0 1);
-    Network.inject net ~router:3 ~neighbor:(neighbor 2) (route ~asn:100 ~med:1 2);
-    Network.inject net ~router:4 ~neighbor:(neighbor 3) (route ~asn:200 ~med:0 3)
+  let injections =
+    [
+      (2, neighbor 1, route ~asn:100 ~med:0 1);
+      (3, neighbor 2, route ~asn:100 ~med:1 2);
+      (4, neighbor 3, route ~asn:200 ~med:0 3);
+    ]
   in
-  { config; inject; prefix; description = "RFC 3345 MED oscillation gadget" }
+  { config; injections; prefix; description = "RFC 3345 MED oscillation gadget" }
 
 (* --- Topology-based oscillation (DISAGREE, §2.3.1) ------------------ *)
 
@@ -120,15 +127,17 @@ let topology_oscillation flavor =
       ~scheme:(scheme_of flavor ~trr_clusters:clusters ~n:6)
       ()
   in
-  let inject net =
-    (* distinct neighbour ASes so MED never discriminates *)
-    Network.inject net ~router:3 ~neighbor:(neighbor 1) (route ~asn:301 ~med:0 1);
-    Network.inject net ~router:4 ~neighbor:(neighbor 2) (route ~asn:302 ~med:0 2);
-    Network.inject net ~router:5 ~neighbor:(neighbor 3) (route ~asn:303 ~med:0 3)
+  (* distinct neighbour ASes so MED never discriminates *)
+  let injections =
+    [
+      (3, neighbor 1, route ~asn:301 ~med:0 1);
+      (4, neighbor 2, route ~asn:302 ~med:0 2);
+      (5, neighbor 3, route ~asn:303 ~med:0 3);
+    ]
   in
   {
     config;
-    inject;
+    injections;
     prefix;
     description = "cyclic-IGP-preference (DISAGREE) topology oscillation";
   }
@@ -157,8 +166,10 @@ let path_inefficiency flavor =
       ~scheme:(scheme_of flavor ~trr_clusters:clusters ~n:4)
       ()
   in
-  let inject net =
-    Network.inject net ~router:2 ~neighbor:(neighbor 1) (route ~asn:401 ~med:0 1);
-    Network.inject net ~router:3 ~neighbor:(neighbor 2) (route ~asn:402 ~med:0 2)
+  let injections =
+    [
+      (2, neighbor 1, route ~asn:401 ~med:0 1);
+      (3, neighbor 2, route ~asn:402 ~med:0 2);
+    ]
   in
-  { config; inject; prefix; description = "hot-potato path inefficiency gadget" }
+  { config; injections; prefix; description = "hot-potato path inefficiency gadget" }

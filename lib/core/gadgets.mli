@@ -20,13 +20,19 @@ type flavor =
 
 type t = {
   config : Config.t;
-  inject : Network.t -> unit;  (** queue the scenario's eBGP routes *)
+  injections : (int * Ipv4.t * Bgp.Route.t) list;
+      (** the scenario's eBGP routes as [(router, neighbor, route)] —
+          plain data so the static analyzer ({!Verify}) can inspect a
+          gadget without running it *)
   prefix : Prefix.t;
   description : string;
 }
 
+val inject : t -> Network.t -> unit
+(** Queue the scenario's eBGP routes. *)
+
 val build : t -> Network.t
-(** [Network.create config] followed by [inject]. *)
+(** [Network.create config] followed by {!inject}. *)
 
 val med_oscillation : flavor -> t
 (** RFC 3345-style gadget: routes a (AS100, MED 0), b (AS100, MED 1),

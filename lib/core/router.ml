@@ -1358,6 +1358,13 @@ let set_up_cold t =
 let best t p = match Rib.get t.loc_rib p with [] -> None | r :: _ -> Some r
 let lookup t addr = Prefix_trie.longest_match addr t.fib
 
+let idle t = Queue.is_empty t.inbox && not t.process_scheduled
+
+let recomputed_best t p =
+  let cands = List.map (fun (c, _, _) -> c) (collect_candidates t p) in
+  Option.map (fun (c : D.candidate) -> c.D.route)
+    (D.best ~med_mode:t.env.config.med_mode cands)
+
 let best_exit t p =
   match best t p with
   | None -> None

@@ -95,6 +95,18 @@ val known_prefixes : t -> Prefix.t list
 val rejected_loops : t -> int
 (** Updates discarded by loop prevention (§2.3.2). *)
 
+(** {1 Invariant-checker support ({!Verify.Invariant})} *)
+
+val idle : t -> bool
+(** No queued inputs and no processing batch scheduled: the router's
+    Loc-RIB is consistent with its Adj-RIB-Ins, so {!best} must agree
+    with {!recomputed_best}. *)
+
+val recomputed_best : t -> Prefix.t -> Bgp.Route.t option
+(** Re-run the decision process from the stored Adj-RIB-Ins without
+    touching any state — the independent re-derivation the runtime
+    RIB-consistency invariant compares {!best} against. *)
+
 (** {1 Failure injection (§2.3.3 robustness)} *)
 
 val is_up : t -> bool

@@ -6,6 +6,9 @@ type t = {
   mutable next_seq : int;
   mutable processed : int;
   rng : Random.State.t;
+  mutable probe : (unit -> unit) option;
+  mutable probe_every : int;
+  mutable until_probe : int;
 }
 
 type outcome = Quiescent | Deadline | Event_limit
@@ -20,6 +23,9 @@ let create ?(seed = 42) () =
     next_seq = 0;
     processed = 0;
     rng = Random.State.make [| seed |];
+    probe = None;
+    probe_every = 0;
+    until_probe = 0;
   }
 
 let now t = t.clock
@@ -38,6 +44,17 @@ let schedule t ~delay action =
 let pending t = Pqueue.Heap.length t.queue
 let events_processed t = t.processed
 
+let set_probe t ~every f =
+  if every < 1 then invalid_arg "Sim.set_probe: every must be positive";
+  t.probe <- Some f;
+  t.probe_every <- every;
+  t.until_probe <- every
+
+let clear_probe t =
+  t.probe <- None;
+  t.probe_every <- 0;
+  t.until_probe <- 0
+
 let run ?(until = max_int) ?(max_events = max_int) t =
   let budget = ref max_events in
   let rec loop () =
@@ -52,6 +69,14 @@ let run ?(until = max_int) ?(max_events = max_int) t =
         t.processed <- t.processed + 1;
         decr budget;
         ev.action ();
+        (match t.probe with
+        | None -> ()
+        | Some f ->
+          t.until_probe <- t.until_probe - 1;
+          if t.until_probe <= 0 then begin
+            t.until_probe <- t.probe_every;
+            f ()
+          end);
         loop ()
   in
   loop ()

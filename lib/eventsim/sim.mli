@@ -24,6 +24,15 @@ val schedule_at : t -> time:Time.t -> (unit -> unit) -> unit
 val pending : t -> int
 val events_processed : t -> int
 
+val set_probe : t -> every:int -> (unit -> unit) -> unit
+(** Install a callback invoked after every [every] processed events —
+    the hook the runtime invariant checker ({!Verify.Invariant}) hangs
+    off. At most one probe is active; costs one integer decrement per
+    event when set, one [None] test when not.
+    @raise Invalid_argument if [every < 1]. *)
+
+val clear_probe : t -> unit
+
 val run : ?until:Time.t -> ?max_events:int -> t -> outcome
 (** Process events until the queue drains, simulated time would exceed
     [until], or [max_events] have been processed (counted from this call).

@@ -1,0 +1,206 @@
+open Netaddr
+module Partition = Abrr_core.Partition
+
+type range = Ipv4.t * Ipv4.t
+
+let ranges_of_partition part =
+  List.init (Partition.count part) (Partition.range part)
+
+(* Number of trailing zero bits of a positive int, capped at 32. *)
+let trailing_zeros n =
+  let rec go n k = if k >= 32 || n land 1 = 1 then k else go (n lsr 1) (k + 1) in
+  go n 0
+
+(* Largest k with 2^k <= n, for n >= 1. *)
+let floor_log2 n =
+  let rec go n k = if n <= 1 then k else go (n lsr 1) (k + 1) in
+  go n 0
+
+let cidrs_of_range (lo, hi) =
+  let lo = Ipv4.to_int lo and hi = Ipv4.to_int hi in
+  if hi < lo then invalid_arg "Ap_check.cidrs_of_range: empty range";
+  let rec go lo acc =
+    if lo > hi then List.rev acc
+    else
+      let align = if lo = 0 then 32 else trailing_zeros lo in
+      let k = min align (floor_log2 (hi - lo + 1)) in
+      go (lo + (1 lsl k)) (Prefix.make (Ipv4.of_int lo) (32 - k) :: acc)
+  in
+  go lo []
+
+let to_trie ranges =
+  List.fold_left
+    (fun (trie, ap) range ->
+      ( List.fold_left
+          (fun trie cidr -> Prefix_trie.add cidr ap trie)
+          trie (cidrs_of_range range),
+        ap + 1 ))
+    (Prefix_trie.empty, 0) ranges
+  |> fst
+
+let owners trie p =
+  (* The trie's blocks are pairwise disjoint, so a block overlapping [p]
+     either contains its first address or is covered by [p]. *)
+  let covering = List.map snd (Prefix_trie.matches (Prefix.first p) trie) in
+  let inside = List.map snd (Prefix_trie.covered p trie) in
+  List.sort_uniq Int.compare (covering @ inside)
+
+let coverage ranges =
+  let check = "ap.coverage" in
+  match ranges with
+  | [] -> [ Report.fail check "no address partitions configured" ]
+  | _ ->
+    let indexed = List.mapi (fun i r -> (i, r)) ranges in
+    let malformed =
+      List.filter_map
+        (fun (i, (lo, hi)) ->
+          if Ipv4.compare hi lo < 0 then
+            Some
+              (Report.fail check "AP %d is empty: %s > %s" i (Ipv4.to_string lo)
+                 (Ipv4.to_string hi))
+          else None)
+        indexed
+    in
+    if malformed <> [] then malformed
+    else begin
+      let sorted =
+        List.sort
+          (fun (_, (a, _)) (_, (b, _)) -> Ipv4.compare a b)
+          indexed
+      in
+      let findings = ref [] in
+      let note f = findings := f :: !findings in
+      (match sorted with
+      | (i, (lo, _)) :: _ when Ipv4.to_int lo <> 0 ->
+        note
+          (Report.fail check "gap before AP %d: 0.0.0.0 - %s uncovered" i
+             (Ipv4.to_string (Ipv4.pred lo)))
+      | _ -> ());
+      let rec walk = function
+        | (i, (_, hi_i)) :: ((j, (lo_j, _)) :: _ as rest) ->
+          let hi = Ipv4.to_int hi_i and lo = Ipv4.to_int lo_j in
+          if lo <= hi then
+            note
+              (Report.fail check "AP %d and AP %d overlap: %s - %s claimed twice"
+                 i j (Ipv4.to_string lo_j)
+                 (Ipv4.to_string (if hi < lo then lo_j else hi_i)))
+          else if lo > hi + 1 then
+            note
+              (Report.fail check "gap between AP %d and AP %d: %s - %s uncovered"
+                 i j
+                 (Ipv4.to_string (Ipv4.succ hi_i))
+                 (Ipv4.to_string (Ipv4.pred lo_j)));
+          walk rest
+        | [ (i, (_, hi)) ] ->
+          if Ipv4.to_int hi <> Ipv4.to_int Ipv4.max_addr then
+            note
+              (Report.fail check "gap after AP %d: %s - 255.255.255.255 uncovered"
+                 i
+                 (Ipv4.to_string (Ipv4.succ hi)))
+        | [] -> ()
+      in
+      walk sorted;
+      if !findings = [] then
+        [
+          Report.pass check
+            "%d APs cover the full address space, pairwise disjoint"
+            (List.length ranges);
+        ]
+      else List.rev !findings
+    end
+
+let check_arrs ~live ~n_routers arrs =
+  let check = "ap.arrs" in
+  let findings = ref [] in
+  let note f = findings := f :: !findings in
+  Array.iteri
+    (fun ap ids ->
+      if ids = [] then note (Report.fail check "AP %d has no ARRs assigned" ap)
+      else begin
+        List.iter
+          (fun r ->
+            if r < 0 || r >= n_routers then
+              note (Report.fail check "AP %d: ARR %d out of range" ap r))
+          ids;
+        let alive = List.filter (fun r -> r >= 0 && r < n_routers && live r) ids in
+        if alive = [] then
+          note
+            (Report.fail check "AP %d: all %d ARRs are down" ap (List.length ids))
+        else if List.length alive = 1 && List.length ids > 1 then
+          note
+            (Report.warn check "AP %d: only 1 of %d ARRs alive (no redundancy)"
+               ap (List.length ids))
+      end)
+    arrs;
+  if !findings = [] then
+    [
+      Report.pass check "every AP has live ARRs (%d APs, %d assignments)"
+        (Array.length arrs)
+        (Array.fold_left (fun acc ids -> acc + List.length ids) 0 arrs);
+    ]
+  else List.rev !findings
+
+let check_prefixes ~live ~trie ~part ~arrs prefixes =
+  let check = "ap.prefix-map" in
+  let uncovered = ref [] and mismatched = ref [] and dead = ref [] in
+  let spanning = ref 0 in
+  List.iter
+    (fun p ->
+      let from_trie = owners trie p in
+      let from_part = Partition.aps_of_prefix part p in
+      if from_trie = [] then uncovered := p :: !uncovered
+      else begin
+        if from_trie <> from_part then mismatched := p :: !mismatched;
+        if List.length from_trie > 1 then incr spanning;
+        if
+          List.exists
+            (fun ap ->
+              ap >= Array.length arrs || not (List.exists live arrs.(ap)))
+            from_trie
+        then dead := p :: !dead
+      end)
+    prefixes;
+  let sample ps =
+    match List.rev ps with p :: _ -> Prefix.to_string p | [] -> "-"
+  in
+  let findings = ref [] in
+  if !uncovered <> [] then
+    findings :=
+      Report.fail check "%d prefixes map to no AP (e.g. %s)"
+        (List.length !uncovered) (sample !uncovered)
+      :: !findings;
+  if !mismatched <> [] then
+    findings :=
+      Report.fail check
+        "%d prefixes: trie mapping disagrees with Partition.aps_of_prefix (e.g. %s)"
+        (List.length !mismatched) (sample !mismatched)
+      :: !findings;
+  if !dead <> [] then
+    findings :=
+      Report.fail check "%d prefixes fall in an AP with no live ARR (e.g. %s)"
+        (List.length !dead) (sample !dead)
+      :: !findings;
+  if !findings = [] then
+    [
+      Report.pass check
+        "%d prefixes each map to live ARRs (%d span an AP boundary)"
+        (List.length prefixes) !spanning;
+    ]
+  else List.rev !findings
+
+let check ?(live = fun _ -> true) ?(prefixes = []) ~n_routers part arrs =
+  let ranges = ranges_of_partition part in
+  let report = coverage ranges in
+  let report =
+    if Array.length arrs <> Partition.count part then
+      report
+      @ [
+          Report.fail "ap.arrs" "ARR array length %d does not match %d APs"
+            (Array.length arrs) (Partition.count part);
+        ]
+    else report @ check_arrs ~live ~n_routers arrs
+  in
+  if prefixes = [] then report
+  else
+    report
+    @ check_prefixes ~live ~trie:(to_trie ranges) ~part ~arrs prefixes

@@ -1,0 +1,47 @@
+(** AP soundness (§2.1): the address partition must cover the full IPv4
+    space with pairwise-disjoint contiguous ranges, and every prefix of
+    the workload must map to at least one AP whose ARR set is non-empty
+    and alive.
+
+    The coverage checks run over raw [(lo, hi)] ranges so that malformed
+    configurations (gaps, overlaps) — which {!Abrr_core.Partition} refuses
+    to construct — can still be expressed and flagged, e.g. when auditing
+    a hand-written router configuration rather than a simulator object.
+    Prefix-to-AP mapping is done through a {!Netaddr.Prefix_trie} built
+    from the CIDR decomposition of each range, and cross-validated
+    against {!Abrr_core.Partition.aps_of_prefix}. *)
+
+open Netaddr
+
+type range = Ipv4.t * Ipv4.t
+(** Inclusive [lo, hi] address range of one AP. *)
+
+val ranges_of_partition : Abrr_core.Partition.t -> range list
+
+val cidrs_of_range : range -> Prefix.t list
+(** Minimal CIDR decomposition of an inclusive range (at most 62
+    prefixes for any IPv4 range). @raise Invalid_argument if [hi < lo]. *)
+
+val to_trie : range list -> int Prefix_trie.t
+(** Map every CIDR block of every range to its AP index (ranges are
+    indexed in list order). Later ranges overwrite on exact-block
+    collision — run {!coverage} first to reject overlaps. *)
+
+val owners : int Prefix_trie.t -> Prefix.t -> int list
+(** All AP indices whose range overlaps the prefix, ascending. *)
+
+val coverage : range list -> Report.t
+(** Full-space cover, no gaps, no overlaps, every range non-empty. *)
+
+val check :
+  ?live:(int -> bool) ->
+  ?prefixes:Prefix.t list ->
+  n_routers:int ->
+  Abrr_core.Partition.t ->
+  int list array ->
+  Report.t
+(** The full AP-soundness pass over a partition and its per-AP ARR
+    assignment: coverage, ARR non-emptiness / range / liveness /
+    redundancy, and — when a workload's [prefixes] are given — the
+    prefix-to-AP mapping through the trie, cross-checked against
+    [Partition.aps_of_prefix]. [live] defaults to everyone up. *)

@@ -1,0 +1,200 @@
+open Netaddr
+module Config = Abrr_core.Config
+module Partition = Abrr_core.Partition
+module D = Bgp.Decision
+module Route = Bgp.Route
+module O = Oscillation
+
+let borders ~prefix injections =
+  List.sort_uniq Int.compare
+    (List.filter_map
+       (fun (b, _, (r : Route.t)) ->
+         if Prefix.compare r.Route.prefix prefix = 0 then Some b else None)
+       injections)
+
+(* Best route at router [r] given its own eBGP candidates plus iBGP
+   adverts [(peer, route)], costed from [r]'s row of the IGP matrix. *)
+let best_at (config : Config.t) ~dist ~own ~ibgp r =
+  let cands =
+    own
+    @ List.filter_map
+        (fun (peer, route) ->
+          if peer = r then None
+          else
+            Some
+              (D.candidate ~learned:D.Ibgp ~peer_id:(Config.loopback peer)
+                 ~igp_cost:
+                   (match Config.router_of_loopback config route.Route.next_hop with
+                   | Some o -> dist.(r).(o)
+                   | None -> 0)
+                 route))
+        ibgp
+  in
+  D.best ~med_mode:config.med_mode cands
+
+let exit_of (config : Config.t) r (route : Route.t) =
+  match Config.router_of_loopback config route.Route.next_hop with
+  | Some o -> o
+  | None -> r
+
+let exits_from_ibgp (config : Config.t) ~dist ~prefix injections ibgp_of =
+  Array.init config.n_routers (fun r ->
+      let own = O.own_candidates ~prefix injections r in
+      Option.map
+        (fun (c : D.candidate) -> exit_of config r c.D.route)
+        (best_at config ~dist ~own ~ibgp:(ibgp_of r) r))
+
+let full_mesh_exits (config : Config.t) ~dist ~prefix injections =
+  let adverts =
+    List.filter_map
+      (fun b ->
+        Option.map
+          (fun route -> (b, route))
+          (O.border_advert ~med_mode:config.med_mode ~prefix injections b))
+      (borders ~prefix injections)
+  in
+  exits_from_ibgp config ~dist ~prefix injections (fun _ -> adverts)
+
+let abrr_exits (config : Config.t) ~dist ~prefix injections =
+  (* ARRs reflect the best AS-level routes of the AP to everyone. *)
+  let advert_cands =
+    List.filter_map
+      (fun b ->
+        Option.map
+          (fun route -> D.candidate ~learned:D.Ibgp route)
+          (O.border_advert ~med_mode:config.med_mode ~prefix injections b))
+      (borders ~prefix injections)
+  in
+  let reflected =
+    D.steps_1_to_4 ~med_mode:config.med_mode advert_cands
+    |> List.filter_map (fun (c : D.candidate) ->
+           Option.map
+             (fun o -> (o, c.D.route))
+             (Config.router_of_loopback config c.D.route.Route.next_hop))
+  in
+  exits_from_ibgp config ~dist ~prefix injections (fun _ -> reflected)
+
+let tbrr_exits (config : Config.t) (s : Config.tbrr_spec) ~dist ~prefix
+    injections =
+  match O.tbrr_views config s ~prefix injections with
+  | `Oscillates -> `Oscillates
+  | `Views views ->
+    let view_of r =
+      List.find_opt (fun (v : O.tbrr_view) -> v.trr_router = r) views
+    in
+    `Exits
+      (Array.init config.n_routers (fun r ->
+           match view_of r with
+           | Some v -> Option.map (exit_of config r) v.own_best
+           | None ->
+             let ibgp =
+               List.concat_map
+                 (fun (c : Config.cluster) ->
+                   if not (List.mem r c.clients) then []
+                   else
+                     List.concat_map
+                       (fun t ->
+                         match view_of t with
+                         | None -> []
+                         | Some v ->
+                           List.map (fun route -> (t, route)) v.to_clients)
+                       c.trrs)
+                 s.clusters
+             in
+             let own = O.own_candidates ~prefix injections r in
+             Option.map
+               (fun (c : D.candidate) -> exit_of config r c.D.route)
+               (best_at config ~dist ~own ~ibgp r)))
+
+let exits (config : Config.t) ~dist ~prefix injections =
+  match config.scheme with
+  | Config.Full_mesh | Config.Rcp _ ->
+    `Exits (full_mesh_exits config ~dist ~prefix injections)
+  | Config.Abrr _ -> `Exits (abrr_exits config ~dist ~prefix injections)
+  | Config.Tbrr s -> tbrr_exits config s ~dist ~prefix injections
+  | Config.Confed _ ->
+    `Not_analyzed "confederation forwarding is not modeled statically"
+  | Config.Dual { tbrr; abrr; accept } -> (
+    match Partition.aps_of_prefix abrr.partition prefix with
+    | [ ap ] -> (
+      match accept.(ap) with
+      | Config.Accept_abrr -> `Exits (abrr_exits config ~dist ~prefix injections)
+      | Config.Accept_tbrr -> tbrr_exits config tbrr ~dist ~prefix injections)
+    | _ ->
+      `Not_analyzed
+        "prefix spans APs with mixed acceptance; forwarding not modeled")
+
+let find_loop (config : Config.t) exits =
+  let n = config.n_routers in
+  let next_on_path src dst =
+    match Igp.Spf.path config.igp ~src ~dst with
+    | Some (_ :: nxt :: _) -> Some nxt
+    | _ -> None
+  in
+  let rec follow visited cur =
+    match exits.(cur) with
+    | None -> None
+    | Some e when e = cur -> None
+    | Some e -> (
+      match next_on_path cur e with
+      | None -> None
+      | Some nxt ->
+        if List.mem nxt visited then Some (List.rev (nxt :: visited))
+        else follow (nxt :: visited) nxt)
+  in
+  let rec try_all r =
+    if r >= n then None
+    else match follow [ r ] r with Some l -> Some l | None -> try_all (r + 1)
+  in
+  try_all 0
+
+let pp_walk l = String.concat " -> " (List.map (Printf.sprintf "r%d") l)
+
+let per_prefix (config : Config.t) ~dist injections p =
+  let pstr = Prefix.to_string p in
+  match exits config ~dist ~prefix:p injections with
+  | `Not_analyzed why -> [ Report.warn "anomaly.deflection" "%s: %s" pstr why ]
+  | `Oscillates ->
+    [
+      Report.warn "anomaly.deflection"
+        "%s: forwarding analysis skipped (mesh adverts oscillate)" pstr;
+    ]
+  | `Exits ex ->
+    let reference = full_mesh_exits config ~dist ~prefix:p injections in
+    let deflected = ref [] in
+    Array.iteri
+      (fun r e ->
+        match (e, reference.(r)) with
+        | Some got, Some want when got <> want ->
+          deflected := (r, got, want) :: !deflected
+        | _ -> ())
+      ex;
+    let deflection_finding =
+      match List.rev !deflected with
+      | [] ->
+        Report.pass "anomaly.deflection"
+          "%s: every router's exit matches the full-visibility reference" pstr
+      | (r, got, want) :: _ ->
+        Report.warn "anomaly.deflection"
+          "%s: %d routers deflected from their preferred exit (e.g. r%d uses \
+           r%d, would pick r%d)"
+          pstr (List.length !deflected) r got want
+    in
+    let loop_finding =
+      match find_loop config ex with
+      | None ->
+        Report.pass "anomaly.fwd-loop" "%s: hop-by-hop forwarding is loop-free"
+          pstr
+      | Some walk ->
+        Report.fail "anomaly.fwd-loop"
+          "%s: deflections form a forwarding loop: %s" pstr (pp_walk walk)
+    in
+    [ deflection_finding; loop_finding ]
+
+let check (config : Config.t) injections =
+  match O.prefixes injections with
+  | [] ->
+    [ Report.warn "anomaly.deflection" "no injected routes: nothing to analyze" ]
+  | ps ->
+    let dist = Igp.Spf.all_pairs config.igp in
+    List.concat_map (per_prefix config ~dist injections) ps

@@ -1,0 +1,37 @@
+(** Static forwarding analysis (§2.3.3): deflections and loop potential.
+
+    From the stable outcome of the {!Oscillation} mesh game, every
+    router's egress choice is computed per prefix and compared against
+    the full-mesh reference (what the router would pick with complete
+    visibility). A mismatch is a {e deflection} — the reflector steered
+    the client to the reflector's preferred exit, the paper's path
+    inefficiency. Packets are then walked hop-by-hop along IGP shortest
+    paths, re-deciding at every hop with that hop's egress choice; a
+    revisited router is a forwarding loop (possible with inconsistent
+    egress choices in cluster-based RR configurations) and fails the
+    check. ABRR and full mesh provably agree with the reference, so both
+    checks pass by construction there. *)
+
+val exits :
+  Abrr_core.Config.t ->
+  dist:int array array ->
+  prefix:Netaddr.Prefix.t ->
+  Oscillation.injection list ->
+  [ `Exits of int option array | `Oscillates | `Not_analyzed of string ]
+(** Per-router egress router for [prefix] under the configured scheme
+    ([None]: no route). [dist] is the {!Igp.Spf.all_pairs} matrix of the
+    configuration's IGP. *)
+
+val full_mesh_exits :
+  Abrr_core.Config.t ->
+  dist:int array array ->
+  prefix:Netaddr.Prefix.t ->
+  Oscillation.injection list ->
+  int option array
+(** The reference: egress choices under full visibility. *)
+
+val find_loop : Abrr_core.Config.t -> int option array -> int list option
+(** Walk every router's packet along IGP shortest paths toward the
+    current hop's egress; the first revisited-router walk, if any. *)
+
+val check : Abrr_core.Config.t -> Oscillation.injection list -> Report.t

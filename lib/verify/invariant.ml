@@ -1,0 +1,117 @@
+open Netaddr
+module Config = Abrr_core.Config
+module Network = Abrr_core.Network
+module Router = Abrr_core.Router
+module Partition = Abrr_core.Partition
+module R = Bgp.Route
+
+exception Violation of string
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let abrr_spec (config : Config.t) =
+  match config.scheme with
+  | Config.Abrr s | Config.Dual { abrr = s; _ } -> Some s
+  | Config.Full_mesh | Config.Tbrr _ | Config.Confed _ | Config.Rcp _ -> None
+
+let rotated_window ~max_prefixes ~offset l =
+  let len = List.length l in
+  if len <= max_prefixes then l
+  else
+    let start = offset mod len in
+    List.filteri
+      (fun i _ ->
+        let d = (i - start + len) mod len in
+        d < max_prefixes)
+      l
+
+let pp_route = function
+  | None -> "(none)"
+  | Some r -> Format.asprintf "%a" R.pp r
+
+let check_prefix ~spec router i p =
+  (* RIB consistency: stored best = independent re-decision. *)
+  let stored = Router.best router p in
+  let fresh = Router.recomputed_best router p in
+  if not (Option.equal R.same_path stored fresh) then
+    violation
+      "r%d %s: Loc-RIB best diverges from re-run decision: stored %s, \
+       recomputed %s"
+      i (Prefix.to_string p) (pp_route stored) (pp_route fresh);
+  (* Best-route loop hygiene: never our own reflected route. *)
+  (match stored with
+  | Some b when b.R.originator_id = Some (Router.loopback router) ->
+    violation "r%d %s: best route has ourselves as ORIGINATOR_ID" i
+      (Prefix.to_string p)
+  | _ -> ());
+  (* Reflection-rule conformance + partition respect. *)
+  let set = Router.reflector_set router p in
+  if set <> [] then begin
+    if not (Router.is_arr router) then
+      violation "r%d %s: non-ARR router advertises a reflector set" i
+        (Prefix.to_string p);
+    (match spec with
+    | None ->
+      violation "r%d %s: reflector set present without an ABRR scheme" i
+        (Prefix.to_string p)
+    | Some (s : Config.abrr_spec) ->
+      List.iter
+        (fun (route : R.t) ->
+          (match s.loop_prevention with
+          | Config.Reflected_bit ->
+            if not (R.is_reflected route) then
+              violation "r%d %s: reflected route lacks the reflected bit" i
+                (Prefix.to_string p)
+          | Config.Cluster_list ->
+            if route.R.cluster_list = [] then
+              violation "r%d %s: reflected route has an empty CLUSTER_LIST" i
+                (Prefix.to_string p));
+          if route.R.originator_id = None then
+            violation "r%d %s: reflected route lacks an ORIGINATOR_ID" i
+              (Prefix.to_string p))
+        set;
+      let aps = Router.arr_aps router in
+      if
+        not (List.exists (fun ap -> Partition.prefix_in_ap s.partition ap p) aps)
+      then
+        violation
+          "r%d %s: reflector set for a prefix outside the router's APs (%s)" i
+          (Prefix.to_string p)
+          (String.concat "," (List.map string_of_int aps)))
+  end
+
+let check_router ?max_prefixes ?(offset = 0) net i =
+  let router = Network.router net i in
+  if Router.is_up router && Router.idle router then begin
+    let spec = abrr_spec (Network.config net) in
+    let prefixes = Router.known_prefixes router in
+    let prefixes =
+      match max_prefixes with
+      | None -> prefixes
+      | Some max_prefixes -> rotated_window ~max_prefixes ~offset prefixes
+    in
+    List.iter (check_prefix ~spec router i) prefixes
+  end
+
+let check_now net =
+  for i = 0 to Network.router_count net - 1 do
+    check_router net i
+  done
+
+let default_every = 50_000
+let spot_prefixes = 64
+
+let install ?(every = default_every) net =
+  let cursor = ref 0 in
+  Eventsim.Sim.set_probe (Network.sim net) ~every (fun () ->
+      let n = Network.router_count net in
+      if n > 0 then begin
+        let i = !cursor mod n in
+        let round = !cursor / n in
+        incr cursor;
+        check_router ~max_prefixes:spot_prefixes
+          ~offset:(round * spot_prefixes)
+          net i
+      end)
+
+let uninstall net = Eventsim.Sim.clear_probe (Network.sim net)

@@ -1,0 +1,42 @@
+(** Runtime invariants over a live simulation.
+
+    Three families of assertions, checked only on routers that are up
+    and {e idle} (empty input queue, no processing batch pending — the
+    only moments the event model guarantees Loc-RIB/Adj-RIB-In
+    consistency):
+
+    - {b RIB consistency}: {!Abrr_core.Router.best} equals an
+      independent re-run of the decision process over the stored
+      Adj-RIB-Ins ({!Abrr_core.Router.recomputed_best});
+    - {b reflection conformance}: every route in an ARR's advertised
+      set carries the §2.3.2 loop-prevention attribute the scheme is
+      configured for (reflected bit or non-empty CLUSTER_LIST) plus an
+      ORIGINATOR_ID, only ARRs advertise reflector sets, and no
+      router's best route claims the router itself as originator;
+    - {b partition respect}: an ARR only reflects prefixes overlapping
+      its own APs ({!Abrr_core.Partition.prefix_in_ap}).
+
+    [install] wires a spot-check into the event loop via
+    {!Eventsim.Sim.set_probe}: every [every] events one router is
+    checked on a rotating window of its prefixes, cheap enough to leave
+    on for whole experiment suites. [check_now] is the exhaustive sweep
+    for after quiescence. *)
+
+exception Violation of string
+
+val check_router :
+  ?max_prefixes:int -> ?offset:int -> Abrr_core.Network.t -> int -> unit
+(** Check one router (skipped when down or not idle), over at most
+    [max_prefixes] known prefixes starting at [offset] (defaults: all,
+    0). @raise Violation on the first broken invariant. *)
+
+val check_now : Abrr_core.Network.t -> unit
+(** Exhaustive: every router, every prefix. @raise Violation *)
+
+val default_every : int
+
+val install : ?every:int -> Abrr_core.Network.t -> unit
+(** Probe the network's simulator every [every] (default
+    {!default_every}) events, spot-checking one router per probe. *)
+
+val uninstall : Abrr_core.Network.t -> unit

@@ -1,0 +1,243 @@
+open Netaddr
+module Config = Abrr_core.Config
+module D = Bgp.Decision
+module Route = Bgp.Route
+
+type injection = int * Ipv4.t * Bgp.Route.t
+
+type outcome =
+  | Stable of { iterations : int }
+  | Cycle of { period : int; start : int }
+  | Free of string
+  | Not_analyzed of string
+
+let prefixes injections =
+  List.sort_uniq Prefix.compare
+    (List.map (fun (_, _, (r : Route.t)) -> r.Route.prefix) injections)
+
+let normalize ~border (r : Route.t) =
+  {
+    r with
+    Route.next_hop = Config.loopback border;
+    path_id = 0;
+    originator_id = None;
+    cluster_list = [];
+  }
+
+let own_candidates ~prefix injections r =
+  List.filter_map
+    (fun (b, _, route) ->
+      if b = r && Prefix.compare route.Route.prefix prefix = 0 then
+        Some (D.candidate ~learned:D.Ebgp (normalize ~border:b route))
+      else None)
+    injections
+
+let border_advert ~med_mode ~prefix injections b =
+  Option.map
+    (fun (c : D.candidate) -> c.D.route)
+    (D.best ~med_mode (own_candidates ~prefix injections b))
+
+(* The synchronous mesh game for one prefix under one TBRR spec. *)
+type mesh = {
+  trrs : int array;
+  clientside : D.candidate list array;  (** per TRR: state-independent candidates *)
+  owner_cost : int -> Route.t -> int;  (** TRR index -> IGP cost to next hop *)
+  med_mode : D.med_mode;
+  multipath : bool;
+  best_external : bool;
+}
+
+let make_mesh ?med_mode (config : Config.t) (s : Config.tbrr_spec) ~prefix
+    injections =
+  let med_mode = Option.value med_mode ~default:config.med_mode in
+  let trrs =
+    Array.of_list
+      (List.sort_uniq Int.compare
+         (List.concat_map (fun (c : Config.cluster) -> c.trrs) s.clusters))
+  in
+  let dist = Array.map (fun r -> Igp.Spf.distances config.igp ~src:r) trrs in
+  let owner_cost i (route : Route.t) =
+    match Config.router_of_loopback config route.Route.next_hop with
+    | Some o -> dist.(i).(o)
+    | None -> 0
+  in
+  let clientside =
+    Array.mapi
+      (fun i r ->
+        let clients =
+          List.concat_map
+            (fun (c : Config.cluster) ->
+              if List.mem r c.Config.trrs then c.Config.clients else [])
+            s.clusters
+          |> List.sort_uniq Int.compare
+          |> List.filter (fun b -> b <> r)
+        in
+        let client_adverts =
+          List.filter_map
+            (fun b ->
+              Option.map
+                (fun route ->
+                  D.candidate ~learned:D.Ibgp ~peer_id:(Config.loopback b)
+                    ~igp_cost:(owner_cost i route) route)
+                (border_advert ~med_mode ~prefix injections b))
+            clients
+        in
+        own_candidates ~prefix injections r @ client_adverts)
+      trrs
+  in
+  { trrs; clientside; owner_cost; med_mode; multipath = s.multipath;
+    best_external = s.best_external }
+
+let mesh_candidates mesh state i =
+  Array.to_list
+    (Array.mapi
+       (fun j adverts ->
+         if j = i then []
+         else
+           List.map
+             (fun u ->
+               D.candidate ~learned:D.Ibgp
+                 ~peer_id:(Config.loopback mesh.trrs.(j))
+                 ~igp_cost:(mesh.owner_cost i u) u)
+             adverts)
+       state)
+  |> List.concat
+
+let advert_of mesh state i =
+  let clientside = mesh.clientside.(i) in
+  if mesh.multipath then
+    D.steps_1_to_4 ~med_mode:mesh.med_mode clientside
+    |> List.map (fun (c : D.candidate) -> c.D.route)
+    |> List.sort_uniq Route.compare
+  else if mesh.best_external then
+    match D.best ~med_mode:mesh.med_mode clientside with
+    | None -> []
+    | Some c -> [ c.D.route ]
+  else
+    match
+      D.best ~med_mode:mesh.med_mode (clientside @ mesh_candidates mesh state i)
+    with
+    | None -> []
+    | Some b -> if List.mem b clientside then [ b.D.route ] else []
+
+(* One round of sequential (round-robin) best response: each TRR in turn
+   recomputes its mesh advert seeing the updates already made this round.
+   Gauss-Seidel rather than Jacobi on purpose: simultaneous updates make
+   plain hot-potato pairs (each TRR preferring the other's advert)
+   flip-flop in lockstep even though a fixed point exists and the
+   asynchronous protocol finds it. Sequential activation settles into an
+   existing fixed point; only instances with NO fixed point — genuine
+   dispute cycles like the RFC 3345 and DISAGREE gadgets — keep cycling. *)
+let step mesh state =
+  let next = Array.copy state in
+  Array.iteri (fun i _ -> next.(i) <- advert_of mesh next i) next;
+  next
+
+let max_rounds = 512
+
+let run_mesh mesh =
+  let init = Array.make (Array.length mesh.trrs) [] in
+  let seen = Hashtbl.create 32 in
+  let rec go k state =
+    match Hashtbl.find_opt seen state with
+    | Some j -> Cycle { period = k - j; start = j }
+    | None ->
+      if k > max_rounds then
+        Not_analyzed
+          (Printf.sprintf "no repeat within %d synchronous rounds" max_rounds)
+      else begin
+        Hashtbl.add seen state k;
+        let next = step mesh state in
+        if next = state then Stable { iterations = k } else go (k + 1) next
+      end
+  in
+  go 0 init
+
+(* Run the game to its fixed point and return it, or None on a cycle. *)
+let fixed_point mesh =
+  let rec go k state =
+    if k > max_rounds then None
+    else
+      let next = step mesh state in
+      if next = state then Some state else go (k + 1) next
+  in
+  match run_mesh mesh with
+  | Stable _ -> go 0 (Array.make (Array.length mesh.trrs) [])
+  | _ -> None
+
+type tbrr_view = {
+  trr_router : int;
+  own_best : Route.t option;
+  to_clients : Route.t list;
+}
+
+let tbrr_views ?med_mode (config : Config.t) (s : Config.tbrr_spec) ~prefix
+    injections =
+  let mesh = make_mesh ?med_mode config s ~prefix injections in
+  match fixed_point mesh with
+  | None -> `Oscillates
+  | Some state ->
+    `Views
+      (Array.to_list
+         (Array.mapi
+            (fun i r ->
+              let all = mesh.clientside.(i) @ mesh_candidates mesh state i in
+              let own_best =
+                Option.map
+                  (fun (c : D.candidate) -> c.D.route)
+                  (D.best ~med_mode:mesh.med_mode all)
+              in
+              let to_clients =
+                if mesh.multipath then
+                  D.steps_1_to_4 ~med_mode:mesh.med_mode all
+                  |> List.map (fun (c : D.candidate) -> c.D.route)
+                  |> List.sort_uniq Route.compare
+                else Option.to_list own_best
+              in
+              { trr_router = r; own_best; to_clients })
+            mesh.trrs))
+
+let analyze ?med_mode (config : Config.t) ~prefix injections =
+  match config.scheme with
+  | Config.Full_mesh ->
+    Free "full mesh: every router sees every advert; decisions are independent"
+  | Config.Rcp _ ->
+    Free "RCP computes each client's best path centrally from full visibility"
+  | Config.Abrr _ ->
+    Free
+      "ARR adverts are the best AS-level routes of their APs, independent of \
+       other reflectors' state (§2.3.1)"
+  | Config.Confed _ ->
+    Not_analyzed "confederation dynamics are not modeled statically"
+  | Config.Tbrr s | Config.Dual { tbrr = s; _ } ->
+    run_mesh (make_mesh ?med_mode config s ~prefix injections)
+
+let check (config : Config.t) injections =
+  match prefixes injections with
+  | [] ->
+    [ Report.warn "anomaly.oscillation" "no injected routes: nothing to analyze" ]
+  | ps ->
+    List.map
+      (fun p ->
+        let pstr = Prefix.to_string p in
+        match analyze config ~prefix:p injections with
+        | Free why ->
+          Report.pass "anomaly.oscillation"
+            "%s: oscillation-free by construction (%s)" pstr why
+        | Not_analyzed why -> Report.warn "anomaly.oscillation" "%s: %s" pstr why
+        | Stable { iterations } ->
+          Report.pass "anomaly.oscillation"
+            "%s: mesh adverts reach a fixed point in %d round(s)" pstr iterations
+        | Cycle { period; start } -> (
+          match analyze ~med_mode:D.Always_compare config ~prefix:p injections with
+          | Stable _ ->
+            Report.fail "anomaly.oscillation"
+              "%s: MED-induced oscillation (RFC 3345): mesh adverts cycle with \
+               period %d from round %d; vanishes under always-compare-med"
+              pstr period start
+          | _ ->
+            Report.fail "anomaly.oscillation"
+              "%s: topology-based dispute cycle (DISAGREE): period %d \
+               regardless of MED mode"
+              pstr period))
+      ps

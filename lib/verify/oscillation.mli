@@ -1,0 +1,89 @@
+(** Static oscillation detection (§2.3.1, RFC 3345).
+
+    The mesh of top-level reflectors is modeled as a best-response game:
+    each TRR's state is the set of routes it currently advertises to the
+    TRR mesh, and one round recomputes every TRR's decision — in
+    sequential round-robin order (Gauss-Seidel), seeing the updates
+    already made this round — from its client-side candidates plus the
+    other TRRs' adverts, with IGP costs taken from {!Igp.Spf}. The
+    iteration either reaches a fixed point (a stable advert assignment
+    exists and this activation order finds it) or revisits a state after
+    a full round, which implies the game has no fixed point under this
+    order: a dispute cycle, an activation schedule under which the real
+    protocol oscillates forever. Re-running a cyclic instance under
+    {!Bgp.Decision.Always_compare} separates MED-induced oscillation
+    (RFC 3345 — vanishes) from topology-based dispute wheels (persists).
+
+    Full mesh, RCP and ABRR are oscillation-free by construction: their
+    reflector adverts (respectively: everything, centrally computed
+    paths, the best AS-level routes of an AP) do not depend on other
+    reflectors' choices, so the game is trivially stable. TBRR with
+    best-external or multipath also yields state-independent adverts in
+    this model. *)
+
+open Netaddr
+
+type injection = int * Ipv4.t * Bgp.Route.t
+(** An eBGP route fed to the network: (border router, neighbour address,
+    route) — the shape of {!Abrr_core.Gadgets.t.injections} and of
+    {!Topo.Route_gen} tables. *)
+
+type outcome =
+  | Stable of { iterations : int }
+      (** synchronous iteration reached a fixed point *)
+  | Cycle of { period : int; start : int }
+      (** mesh adverts revisit the state of round [start] every [period]
+          rounds: a dispute cycle *)
+  | Free of string  (** oscillation-free by construction; the reason *)
+  | Not_analyzed of string
+
+val prefixes : injection list -> Prefix.t list
+(** Distinct destination prefixes of a workload, sorted. *)
+
+val normalize : border:int -> Bgp.Route.t -> Bgp.Route.t
+(** Next-hop-self rewrite used throughout the static model: next hop
+    becomes the border router's loopback; path-id and reflection
+    attributes are cleared. *)
+
+val own_candidates :
+  prefix:Prefix.t -> injection list -> int -> Bgp.Decision.candidate list
+(** A router's own (normalized) eBGP candidates for [prefix]. *)
+
+val border_advert :
+  med_mode:Bgp.Decision.med_mode ->
+  prefix:Prefix.t ->
+  injection list ->
+  int ->
+  Bgp.Route.t option
+(** What a border router advertises over iBGP for [prefix]: its best own
+    eBGP route, next-hop-self. *)
+
+type tbrr_view = {
+  trr_router : int;
+  own_best : Bgp.Route.t option;  (** the TRR's own forwarding choice *)
+  to_clients : Bgp.Route.t list;
+      (** what it reflects down to its clients (all best AS-level routes
+          under multipath, the single overall best otherwise) *)
+}
+
+val tbrr_views :
+  ?med_mode:Bgp.Decision.med_mode ->
+  Abrr_core.Config.t ->
+  Abrr_core.Config.tbrr_spec ->
+  prefix:Prefix.t ->
+  injection list ->
+  [ `Views of tbrr_view list | `Oscillates ]
+(** Per-TRR stable outcome of the mesh game, for downstream forwarding
+    analysis ({!Deflection}); [`Oscillates] when there is no fixed
+    point. [med_mode] defaults to the configuration's. *)
+
+val analyze :
+  ?med_mode:Bgp.Decision.med_mode ->
+  Abrr_core.Config.t ->
+  prefix:Prefix.t ->
+  injection list ->
+  outcome
+
+val check : Abrr_core.Config.t -> injection list -> Report.t
+(** One finding per workload prefix, classifying cycles as MED-induced
+    (RFC 3345) or topology-based by re-analysis under always-compare-med. *)

@@ -1,0 +1,40 @@
+type severity = Pass | Warn | Fail
+
+type finding = { check : string; severity : severity; detail : string }
+
+type t = finding list
+
+let finding severity check fmt =
+  Printf.ksprintf (fun detail -> { check; severity; detail }) fmt
+
+let pass check fmt = finding Pass check fmt
+let warn check fmt = finding Warn check fmt
+let fail check fmt = finding Fail check fmt
+
+let ok t = not (List.exists (fun f -> f.severity = Fail) t)
+let clean t = List.for_all (fun f -> f.severity = Pass) t
+let failures t = List.filter (fun f -> f.severity = Fail) t
+let count s t = List.length (List.filter (fun f -> f.severity = s) t)
+
+let severity_string = function
+  | Pass -> "pass"
+  | Warn -> "WARN"
+  | Fail -> "FAIL"
+
+let pp_severity fmt s = Format.pp_print_string fmt (severity_string s)
+
+let summary t =
+  Printf.sprintf "%d checks: %d pass, %d warn, %d FAIL" (List.length t)
+    (count Pass t) (count Warn t) (count Fail t)
+
+let render t =
+  let rows =
+    List.map (fun f -> [ f.check; severity_string f.severity; f.detail ]) t
+  in
+  Metrics.Table.render
+    ~align:[ Metrics.Table.Left; Metrics.Table.Left; Metrics.Table.Left ]
+    ~header:[ "check"; "verdict"; "detail" ]
+    rows
+  ^ "\n" ^ summary t ^ "\n"
+
+let pp fmt t = Format.pp_print_string fmt (render t)

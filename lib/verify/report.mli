@@ -1,0 +1,34 @@
+(** Diagnostic report assembled by the static analyzer and the runtime
+    invariant checker: a flat list of findings, each attributed to a
+    named check, rendered as a {!Metrics.Table}. *)
+
+type severity = Pass | Warn | Fail
+
+type finding = { check : string; severity : severity; detail : string }
+(** [check] is a dotted identifier, e.g. ["ap.coverage"] or
+    ["signaling.tbrr-hierarchy"]. *)
+
+type t = finding list
+
+val pass : string -> ('a, unit, string, finding) format4 -> 'a
+val warn : string -> ('a, unit, string, finding) format4 -> 'a
+val fail : string -> ('a, unit, string, finding) format4 -> 'a
+(** [fail check fmt ...] builds one finding with a formatted detail. *)
+
+val ok : t -> bool
+(** No [Fail] finding. [Warn]s do not fail a report. *)
+
+val clean : t -> bool
+(** Neither [Fail] nor [Warn]. *)
+
+val failures : t -> finding list
+val count : severity -> t -> int
+
+val summary : t -> string
+(** e.g. ["11 checks: 9 pass, 1 warn, 1 FAIL"]. *)
+
+val render : t -> string
+(** Monospace table of every finding plus the summary line. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_severity : Format.formatter -> severity -> unit

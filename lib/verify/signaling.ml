@@ -1,0 +1,259 @@
+module Config = Abrr_core.Config
+
+exception Found of int list
+
+let find_cycle ~n ~succ =
+  let color = Array.make n 0 in
+  let rec dfs path v =
+    color.(v) <- 1;
+    List.iter
+      (fun u ->
+        if color.(u) = 1 then begin
+          let rec take acc = function
+            | [] -> acc
+            | x :: rest -> if x = u then x :: acc else take (x :: acc) rest
+          in
+          raise (Found (take [ u ] (v :: path)))
+        end
+        else if color.(u) = 0 then dfs (v :: path) u)
+      (succ v);
+    color.(v) <- 2
+  in
+  try
+    for v = 0 to n - 1 do
+      if color.(v) = 0 then dfs [] v
+    done;
+    None
+  with Found c -> Some c
+
+let pp_int_path l = String.concat " -> " (List.map string_of_int l)
+
+(* Routers a live [src] can reach over the IGP. *)
+let reach igp src = Igp.Spf.reachable_from igp ~src
+
+let check_igp (config : Config.t) =
+  if Igp.Spf.connected config.igp then
+    [ Report.pass "signaling.igp" "IGP graph is connected" ]
+  else
+    [
+      Report.warn "signaling.igp"
+        "IGP graph is partitioned: sessions across the cut cannot establish";
+    ]
+
+let check_tbrr ~live (config : Config.t) (s : Config.tbrr_spec) =
+  let n = config.n_routers in
+  let clusters = Array.of_list s.clusters in
+  let k = Array.length clusters in
+  let findings = ref [] in
+  let note f = findings := f :: !findings in
+  (* Membership: every router is a TRR or a client of some cluster. *)
+  let covered = Array.make n false in
+  Array.iter
+    (fun (c : Config.cluster) ->
+      List.iter (fun r -> if r >= 0 && r < n then covered.(r) <- true)
+        (c.trrs @ c.clients))
+    clusters;
+  let orphans =
+    List.filter (fun r -> not covered.(r)) (List.init n Fun.id)
+  in
+  if orphans <> [] then
+    note
+      (Report.fail "signaling.tbrr-membership"
+         "%d routers belong to no cluster and never learn iBGP routes (e.g. r%d)"
+         (List.length orphans) (List.hd orphans));
+  (* Hierarchy acyclicity: cluster i -> cluster j when a TRR of j is a
+     client of i. *)
+  let succ i =
+    let clients = clusters.(i).Config.clients in
+    List.filter
+      (fun j ->
+        j <> i
+        && List.exists (fun t -> List.mem t clients) clusters.(j).Config.trrs)
+      (List.init k Fun.id)
+  in
+  (match find_cycle ~n:k ~succ with
+  | Some cycle ->
+    note
+      (Report.fail "signaling.tbrr-hierarchy"
+         "cyclic cluster hierarchy: cluster %s (updates re-reflect forever)"
+         (pp_int_path cycle))
+  | None ->
+    note
+      (Report.pass "signaling.tbrr-hierarchy"
+         "cluster hierarchy over %d clusters is acyclic" k));
+  (* Every client can reach a live TRR of each of its clusters. *)
+  let reach_of = Hashtbl.create 8 in
+  let reachable_from trr =
+    match Hashtbl.find_opt reach_of trr with
+    | Some r -> r
+    | None ->
+      let r = reach config.igp trr in
+      Hashtbl.add reach_of trr r;
+      r
+  in
+  let stranded = ref [] in
+  Array.iteri
+    (fun i (c : Config.cluster) ->
+      let live_trrs = List.filter live c.trrs in
+      if live_trrs = [] then
+        note
+          (Report.fail "signaling.tbrr-liveness" "cluster %d: all TRRs down" i)
+      else
+        List.iter
+          (fun client ->
+            if
+              live client
+              && not
+                   (List.exists
+                      (fun t -> (reachable_from t).(client))
+                      live_trrs)
+            then stranded := (i, client) :: !stranded)
+          c.clients)
+    clusters;
+  (match !stranded with
+  | [] ->
+    note
+      (Report.pass "signaling.tbrr-reach"
+         "every client reaches a live TRR of its cluster")
+  | (i, client) :: _ ->
+    note
+      (Report.fail "signaling.tbrr-reach"
+         "%d clients cannot reach any live TRR (e.g. r%d in cluster %d)"
+         (List.length !stranded) client i));
+  List.rev !findings
+
+let check_abrr ~live (config : Config.t) (s : Config.abrr_spec) =
+  let n = config.n_routers in
+  let findings = ref [] in
+  let note f = findings := f :: !findings in
+  let reach_of = Hashtbl.create 8 in
+  let reachable_from arr =
+    match Hashtbl.find_opt reach_of arr with
+    | Some r -> r
+    | None ->
+      let r = reach config.igp arr in
+      Hashtbl.add reach_of arr r;
+      r
+  in
+  let stranded = ref 0 and example = ref None in
+  Array.iteri
+    (fun ap ids ->
+      let alive = List.filter (fun r -> r >= 0 && r < n && live r) ids in
+      List.iter
+        (fun r ->
+          if
+            live r
+            && not (List.exists (fun a -> a = r || (reachable_from a).(r)) alive)
+          then begin
+            incr stranded;
+            if !example = None then example := Some (ap, r)
+          end)
+        (List.init n Fun.id))
+    s.arrs;
+  (match !example with
+  | None ->
+    note
+      (Report.pass "signaling.abrr-reach"
+         "every router reaches a live ARR of each of the %d APs"
+         (Array.length s.arrs))
+  | Some (ap, r) ->
+    note
+      (Report.fail "signaling.abrr-reach"
+         "%d (router, AP) pairs unreachable (e.g. r%d has no live ARR for AP %d)"
+         !stranded r ap));
+  List.rev !findings
+
+let check_confed (s : Config.confed_spec) =
+  let subs =
+    1 + Array.fold_left max 0 s.sub_as_of
+  in
+  if subs <= 1 then
+    [ Report.pass "signaling.confed" "single member sub-AS (plain full mesh)" ]
+  else begin
+    let edges =
+      List.sort_uniq compare
+        (List.map
+           (fun (a, b) ->
+             let sa = s.sub_as_of.(a) and sb = s.sub_as_of.(b) in
+             (min sa sb, max sa sb))
+           s.confed_links)
+    in
+    let adj = Array.make subs [] in
+    List.iter
+      (fun (a, b) ->
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b))
+      edges;
+    let seen = Array.make subs false in
+    let rec bfs = function
+      | [] -> ()
+      | v :: rest ->
+        let fresh = List.filter (fun u -> not seen.(u)) adj.(v) in
+        List.iter (fun u -> seen.(u) <- true) fresh;
+        bfs (fresh @ rest)
+    in
+    seen.(0) <- true;
+    bfs [ 0 ];
+    let disconnected = Array.exists not seen in
+    let cyclic = List.length edges >= subs in
+    if disconnected then
+      [
+        Report.fail "signaling.confed"
+          "member sub-AS graph is disconnected (%d sub-ASes, %d inter-links)"
+          subs (List.length edges);
+      ]
+    else if cyclic then
+      [
+        Report.warn "signaling.confed"
+          "member sub-AS graph is cyclic: tie-breaking races can livelock";
+      ]
+    else
+      [
+        Report.pass "signaling.confed"
+          "member sub-AS graph is connected and acyclic (%d sub-ASes)" subs;
+      ]
+  end
+
+let check_rcp ~live (config : Config.t) rcps =
+  let alive = List.filter live rcps in
+  if alive = [] then
+    [ Report.fail "signaling.rcp" "all %d RCP nodes down" (List.length rcps) ]
+  else begin
+    let reachsets = List.map (fun r -> reach config.igp r) alive in
+    let stranded =
+      List.filter
+        (fun r ->
+          live r && not (List.mem r alive)
+          && not (List.exists (fun rs -> rs.(r)) reachsets))
+        (List.init config.n_routers Fun.id)
+    in
+    match stranded with
+    | [] ->
+      [
+        Report.pass "signaling.rcp" "every client reaches a live RCP node (%d live)"
+          (List.length alive);
+      ]
+    | r :: _ ->
+      [
+        Report.fail "signaling.rcp" "%d clients cannot reach any RCP node (e.g. r%d)"
+          (List.length stranded) r;
+      ]
+  end
+
+let check ?(live = fun _ -> true) (config : Config.t) =
+  let scheme_findings =
+    match config.scheme with
+    | Config.Full_mesh ->
+      [
+        Report.pass "signaling.mesh" "full mesh over %d routers (%d sessions)"
+          config.n_routers
+          (config.n_routers * (config.n_routers - 1) / 2);
+      ]
+    | Config.Tbrr s -> check_tbrr ~live config s
+    | Config.Abrr s -> check_abrr ~live config s
+    | Config.Confed s -> check_confed s
+    | Config.Rcp { rcps } -> check_rcp ~live config rcps
+    | Config.Dual { tbrr; abrr; accept = _ } ->
+      check_tbrr ~live config tbrr @ check_abrr ~live config abrr
+  in
+  check_igp config @ scheme_findings

@@ -1,0 +1,22 @@
+(** Signaling-graph completeness: every route source must be able to
+    reach every router through the configured iBGP session graph.
+
+    Scheme-specific structural conditions:
+    - full mesh: complete by construction (membership only);
+    - TBRR: every router belongs to a cluster, every client has a live
+      reflector it can reach over the IGP, and the cluster hierarchy
+      (cluster A above B when a TRR of B is a client of A) is acyclic —
+      a cyclic hierarchy re-reflects updates indefinitely;
+    - ABRR: every AP keeps at least one live, IGP-reachable ARR for
+      every router (§2.3.3: placement is free, reachability is not);
+    - confederations: the member sub-AS graph is connected, and warned
+      about when cyclic (cyclic sub-AS graphs can oscillate);
+    - RCP: at least one live control node reachable by every client.
+
+    The IGP itself must be connected for any of the schemes to signal. *)
+
+val find_cycle : n:int -> succ:(int -> int list) -> int list option
+(** First directed cycle found as [v0; ...; v0], or [None]. *)
+
+val check : ?live:(int -> bool) -> Abrr_core.Config.t -> Report.t
+(** [live] defaults to every router up. *)

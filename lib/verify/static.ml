@@ -1,0 +1,38 @@
+module Config = Abrr_core.Config
+module Gadgets = Abrr_core.Gadgets
+
+type workload = Oscillation.injection list
+
+let validate_finding (config : Config.t) =
+  match Config.validate config with
+  | Ok () -> Report.pass "config.validate" "structural validation passed"
+  | Error e -> Report.fail "config.validate" "%s" e
+
+let ap_findings ?live ?(workload = []) (config : Config.t) =
+  let run (s : Config.abrr_spec) =
+    Ap_check.check ?live
+      ~prefixes:(Oscillation.prefixes workload)
+      ~n_routers:config.n_routers s.partition s.arrs
+  in
+  match config.scheme with
+  | Config.Abrr s -> run s
+  | Config.Dual { abrr; _ } -> run abrr
+  | Config.Full_mesh | Config.Tbrr _ | Config.Confed _ | Config.Rcp _ -> []
+
+let analyze ?live ?workload (config : Config.t) =
+  let anomalies =
+    match workload with
+    | None -> []
+    | Some w -> Oscillation.check config w @ Deflection.check config w
+  in
+  (validate_finding config :: ap_findings ?live ?workload config)
+  @ Signaling.check ?live config
+  @ anomalies
+
+let analyze_gadget (g : Gadgets.t) =
+  analyze ~workload:g.Gadgets.injections g.Gadgets.config
+
+exception Static_failure of string
+
+let assert_ok report =
+  if not (Report.ok report) then raise (Static_failure (Report.render report))

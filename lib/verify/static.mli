@@ -1,0 +1,21 @@
+(** The static analysis entry point: run every configuration check that
+    does not require simulating — {!Ap_check} (partition soundness),
+    {!Signaling} (session-graph completeness) and, when a workload's
+    injections are supplied, {!Oscillation} and {!Deflection} (anomaly
+    potential). *)
+
+type workload = Oscillation.injection list
+
+val analyze :
+  ?live:(int -> bool) -> ?workload:workload -> Abrr_core.Config.t -> Report.t
+(** [live] marks failed routers (default: all up); [workload] enables the
+    per-prefix anomaly analyses and the prefix-to-AP mapping checks. *)
+
+val analyze_gadget : Abrr_core.Gadgets.t -> Report.t
+(** Analyze a canonical anomaly scenario: its configuration with its
+    injections as the workload. *)
+
+exception Static_failure of string
+
+val assert_ok : Report.t -> unit
+(** @raise Static_failure with the rendered report if any check failed. *)

@@ -34,10 +34,17 @@ let route ?(asn = 7000) ?med ?(lp = 100) ?(path_id = 0) ?(origin = Bgp.Origin.Ig
 
 let inject net ~router ?(k = router) r = N.inject net ~router ~neighbor:(neighbor k) r
 
-let quiesce ?(max_events = 500_000) net =
-  match N.run ~max_events net with
+(* Run to quiescence with the runtime invariant checker on: spot-checks
+   every [check_every] events plus an exhaustive sweep once converged. *)
+let quiesce ?(max_events = 500_000) ?(check = true) ?(check_every = 10_000) net =
+  if check then Verify.Invariant.install ~every:check_every net;
+  (match N.run ~max_events net with
   | Eventsim.Sim.Quiescent -> ()
-  | o -> Alcotest.failf "network did not converge: %a" Eventsim.Sim.pp_outcome o
+  | o -> Alcotest.failf "network did not converge: %a" Eventsim.Sim.pp_outcome o);
+  if check then begin
+    Verify.Invariant.check_now net;
+    Verify.Invariant.uninstall net
+  end
 
 let full_mesh_config ?med_mode ?mrai n =
   C.make ?med_mode ?mrai ~n_routers:n ~igp:(flat_igp n) ~scheme:C.Full_mesh ()

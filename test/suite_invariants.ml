@@ -117,7 +117,7 @@ let test_borders_keep_surviving_ebgp_routes () =
       let all_routes = List.map (fun (e : RG.ebgp_route) -> e.RG.route) entries in
       let survivors =
         Bgp.Decision.steps_1_to_4 ~med_mode:Bgp.Decision.Always_compare
-          (List.map Bgp.Decision.candidate all_routes)
+          (List.map (fun r -> Bgp.Decision.candidate r) all_routes)
       in
       List.iter
         (fun (e : RG.ebgp_route) ->

@@ -67,7 +67,7 @@ let prop_ids_unique =
       let t = Path_id.create () in
       List.for_all
         (fun hops ->
-          let routes = List.map mk hops in
+          let routes = List.map (fun h -> mk h) hops in
           let assigned, _ = Path_id.assign t prefix routes in
           let l = ids assigned in
           List.length l = List.length (List.sort_uniq Int.compare l))

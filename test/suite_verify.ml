@@ -1,0 +1,345 @@
+(* The static analyzer (lib/verify): known-bad fixtures must be flagged,
+   known-good ABRR configurations must come out clean. *)
+
+open Netaddr
+module C = Abrr_core.Config
+module G = Abrr_core.Gadgets
+module P = Abrr_core.Partition
+module V = Verify
+
+let check_bool = Alcotest.(check bool)
+let ip = Ipv4.of_string
+
+let has ?severity check report =
+  List.exists
+    (fun (f : V.Report.finding) ->
+      f.check = check
+      && match severity with None -> true | Some s -> f.severity = s)
+    report
+
+let detail_of check report =
+  match List.find_opt (fun (f : V.Report.finding) -> f.check = check) report with
+  | Some f -> f.detail
+  | None -> ""
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* --- AP soundness ---------------------------------------------------- *)
+
+let test_coverage_good () =
+  List.iter
+    (fun k ->
+      let r = V.Ap_check.coverage (V.Ap_check.ranges_of_partition (P.uniform k)) in
+      check_bool (Printf.sprintf "uniform %d clean" k) true (V.Report.clean r))
+    [ 1; 2; 7; 64 ]
+
+let test_coverage_gap () =
+  (* [0, 10.0.0.0) and [11.0.0.0, max]: hole of one /8. *)
+  let ranges =
+    [
+      (ip "0.0.0.0", ip "9.255.255.255");
+      (ip "11.0.0.0", ip "255.255.255.255");
+    ]
+  in
+  let r = V.Ap_check.coverage ranges in
+  check_bool "gap flagged" false (V.Report.ok r);
+  check_bool "mentions gap" true (contains (detail_of "ap.coverage" r) "gap")
+
+let test_coverage_overlap () =
+  let ranges =
+    [
+      (ip "0.0.0.0", ip "128.0.0.0");
+      (ip "127.0.0.0", ip "255.255.255.255");
+    ]
+  in
+  let r = V.Ap_check.coverage ranges in
+  check_bool "overlap flagged" false (V.Report.ok r);
+  check_bool "mentions overlap" true
+    (contains (detail_of "ap.coverage" r) "overlap")
+
+let test_coverage_empty_and_inverted () =
+  check_bool "no APs" false (V.Report.ok (V.Ap_check.coverage []));
+  let r = V.Ap_check.coverage [ (ip "10.0.0.0", ip "9.0.0.0") ] in
+  check_bool "inverted range" false (V.Report.ok r)
+
+let test_cidr_decomposition () =
+  (* Every range of a partition decomposes into blocks covering exactly
+     its address count. *)
+  let count_of p =
+    Int64.of_int (Prefix.size p)
+  in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (lo, hi) ->
+          let cidrs = V.Ap_check.cidrs_of_range (lo, hi) in
+          let total =
+            List.fold_left (fun acc p -> Int64.add acc (count_of p)) 0L cidrs
+          in
+          let want =
+            Int64.of_int (Ipv4.to_int hi - Ipv4.to_int lo + 1)
+          in
+          Alcotest.(check int64) "address count" want total;
+          List.iter
+            (fun p ->
+              check_bool "block inside range" true
+                (Ipv4.compare (Prefix.first p) lo >= 0
+                && Ipv4.compare (Prefix.last p) hi <= 0))
+            cidrs)
+        (V.Ap_check.ranges_of_partition (P.uniform k)))
+    [ 1; 3; 5; 31 ]
+
+let test_trie_owners_span () =
+  let part = P.uniform 2 in
+  let trie = V.Ap_check.to_trie (V.Ap_check.ranges_of_partition part) in
+  let whole = Prefix.v "0.0.0.0" 0 in
+  Alcotest.(check (list int)) "spanning prefix" [ 0; 1 ]
+    (V.Ap_check.owners trie whole);
+  Alcotest.(check (list int)) "trie = partition" (P.aps_of_prefix part whole)
+    (V.Ap_check.owners trie whole);
+  let low = Prefix.v "10.0.0.0" 8 in
+  Alcotest.(check (list int)) "low half" [ 0 ] (V.Ap_check.owners trie low)
+
+let test_arr_liveness () =
+  let part = P.uniform 2 in
+  let arrs = [| [ 0; 1 ]; [ 2 ] |] in
+  let up_report = V.Ap_check.check ~n_routers:4 part arrs in
+  check_bool "all up: ok" true (V.Report.ok up_report);
+  let down r = r <> 2 in
+  let down_report = V.Ap_check.check ~live:down ~n_routers:4 part arrs in
+  check_bool "AP 1 dead: fail" false (V.Report.ok down_report);
+  let degraded r = r <> 0 in
+  let degraded_report = V.Ap_check.check ~live:degraded ~n_routers:4 part arrs in
+  check_bool "1 of 2 alive: ok but warned" true (V.Report.ok degraded_report);
+  check_bool "redundancy warning" true
+    (has ~severity:V.Report.Warn "ap.arrs" degraded_report)
+
+(* --- Signaling graph ------------------------------------------------- *)
+
+let tbrr_config ?n clusters =
+  let n = match n with Some n -> n | None -> 4 in
+  C.make ~n_routers:n ~igp:(Helpers.flat_igp n) ~scheme:(C.tbrr clusters) ()
+
+let test_cyclic_cluster_hierarchy () =
+  let config =
+    tbrr_config
+      [
+        { C.trrs = [ 0 ]; clients = [ 1; 2 ] };
+        { C.trrs = [ 1 ]; clients = [ 0; 3 ] };
+      ]
+  in
+  let r = V.Signaling.check config in
+  check_bool "cycle flagged" false (V.Report.ok r);
+  check_bool "hierarchy check" true
+    (has ~severity:V.Report.Fail "signaling.tbrr-hierarchy" r)
+
+let test_acyclic_hierarchy_ok () =
+  let config =
+    tbrr_config
+      [
+        { C.trrs = [ 0 ]; clients = [ 1 ] };
+        { C.trrs = [ 1 ]; clients = [ 2; 3 ] };
+      ]
+  in
+  check_bool "two-level hierarchy ok" true (V.Report.ok (V.Signaling.check config))
+
+let test_orphan_router () =
+  let config = tbrr_config [ { C.trrs = [ 0 ]; clients = [ 1; 2 ] } ] in
+  let r = V.Signaling.check config in
+  check_bool "orphan flagged" false (V.Report.ok r);
+  check_bool "membership check" true
+    (has ~severity:V.Report.Fail "signaling.tbrr-membership" r)
+
+let test_all_trrs_down () =
+  let config = tbrr_config [ { C.trrs = [ 0 ]; clients = [ 1; 2; 3 ] } ] in
+  let r = V.Signaling.check ~live:(fun i -> i <> 0) config in
+  check_bool "dead cluster flagged" false (V.Report.ok r)
+
+let test_find_cycle () =
+  let succ = function 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 0 ] | _ -> [] in
+  (match V.Signaling.find_cycle ~n:4 ~succ with
+  | Some (v0 :: _ as c) -> check_bool "closed" true (List.rev c |> List.hd = v0)
+  | Some [] | None -> Alcotest.fail "cycle not found");
+  let dag = function 0 -> [ 1; 2 ] | 1 -> [ 3 ] | 2 -> [ 3 ] | _ -> [] in
+  check_bool "dag has no cycle" true (V.Signaling.find_cycle ~n:4 ~succ:dag = None)
+
+(* --- Anomaly potential: the gadgets ---------------------------------- *)
+
+let test_med_gadget_flagged () =
+  let r = V.Static.analyze_gadget (G.med_oscillation G.G_tbrr) in
+  check_bool "fails" false (V.Report.ok r);
+  check_bool "MED-classified" true
+    (contains (detail_of "anomaly.oscillation" r) "MED")
+
+let test_topology_gadget_flagged () =
+  let r = V.Static.analyze_gadget (G.topology_oscillation G.G_tbrr) in
+  check_bool "fails" false (V.Report.ok r);
+  check_bool "topology-classified" true
+    (contains (detail_of "anomaly.oscillation" r) "topology")
+
+let test_gadgets_clean_under_abrr_and_mesh () =
+  List.iter
+    (fun (name, g) ->
+      let r = V.Static.analyze_gadget g in
+      check_bool (name ^ " ok") true (V.Report.ok r))
+    [
+      ("med/full-mesh", G.med_oscillation G.G_full_mesh);
+      ("med/abrr-1", G.med_oscillation (G.G_abrr 1));
+      ("med/abrr-2", G.med_oscillation (G.G_abrr 2));
+      ("topology/full-mesh", G.topology_oscillation G.G_full_mesh);
+      ("topology/abrr-1", G.topology_oscillation (G.G_abrr 1));
+      ("inefficiency/abrr-1", G.path_inefficiency (G.G_abrr 1));
+    ]
+
+let test_best_external_stabilizes () =
+  let r = V.Static.analyze_gadget (G.med_oscillation G.G_tbrr_best_external) in
+  check_bool "no oscillation failure" true (V.Report.ok r)
+
+let test_deflection_detected () =
+  let g = G.path_inefficiency G.G_tbrr in
+  let r = V.Static.analyze_gadget g in
+  (* steering is a warning, not a failure — but it must be reported, and
+     must name the observer *)
+  check_bool "ok (warn only)" true (V.Report.ok r);
+  let d = detail_of "anomaly.deflection" r in
+  check_bool "deflection warned" true
+    (has ~severity:V.Report.Warn "anomaly.deflection" r);
+  check_bool "observer named" true
+    (contains d (Printf.sprintf "r%d" G.observer))
+
+let test_abrr_deflection_free () =
+  let r = V.Static.analyze_gadget (G.path_inefficiency (G.G_abrr 1)) in
+  check_bool "clean of warns too" true
+    (not (has ~severity:V.Report.Warn "anomaly.deflection" r));
+  check_bool "loop-free" true (has "anomaly.fwd-loop" r && V.Report.ok r)
+
+let test_stable_tbrr_passes () =
+  (* A benign TBRR workload: single cluster, one injection — converges. *)
+  let config = tbrr_config [ { C.trrs = [ 0 ]; clients = [ 1; 2; 3 ] } ] in
+  let workload =
+    [ (1, Helpers.neighbor 1, Helpers.route ~prefix:(Helpers.pfx "30.0.0.0/8") 1) ]
+  in
+  let r = V.Static.analyze ~workload config in
+  check_bool "ok" true (V.Report.ok r);
+  check_bool "fixed point reported" true
+    (contains (detail_of "anomaly.oscillation" r) "fixed point")
+
+(* --- Static orchestration -------------------------------------------- *)
+
+let test_validate_failure_reported () =
+  (* ARR index out of range: Config.validate must reject it and the
+     analyzer must surface that as a finding, not an exception. *)
+  let config =
+    C.make ~n_routers:3 ~igp:(Helpers.flat_igp 3)
+      ~scheme:(C.abrr ~partition:(P.uniform 1) [| [ 7 ] |])
+      ()
+  in
+  let r = V.Static.analyze config in
+  check_bool "not ok" false (V.Report.ok r);
+  check_bool "validate finding" true
+    (has ~severity:V.Report.Fail "config.validate" r)
+
+let test_assert_ok () =
+  let good = V.Static.analyze (Helpers.single_ap_abrr ()) in
+  V.Static.assert_ok good;
+  match V.Static.assert_ok (V.Static.analyze_gadget (G.med_oscillation G.G_tbrr)) with
+  | () -> Alcotest.fail "expected Static_failure"
+  | exception V.Static.Static_failure msg ->
+    check_bool "message carries the report" true (contains msg "FAIL")
+
+(* --- Runtime invariants ---------------------------------------------- *)
+
+let test_invariants_hold_abrr () =
+  let config = Helpers.single_ap_abrr ~arrs:[ 0; 1 ] () in
+  let net = Abrr_core.Network.create config in
+  let p = Helpers.pfx "40.0.0.0/8" in
+  Helpers.inject net ~router:2 (Helpers.route ~prefix:p 1);
+  Helpers.inject net ~router:3 (Helpers.route ~prefix:p ~asn:7001 2);
+  V.Invariant.install ~every:100 net;
+  Helpers.quiesce net;
+  V.Invariant.check_now net;
+  V.Invariant.uninstall net
+
+let test_invariants_hold_cluster_list_mode () =
+  let config =
+    C.make ~n_routers:5 ~igp:(Helpers.flat_igp 5)
+      ~scheme:
+        (C.abrr ~loop_prevention:C.Cluster_list
+           ~partition:(P.uniform 2)
+           [| [ 0 ]; [ 1 ] |])
+      ()
+  in
+  let net = Abrr_core.Network.create config in
+  Helpers.inject net ~router:2
+    (Helpers.route ~prefix:(Helpers.pfx "40.0.0.0/8") 1);
+  Helpers.inject net ~router:3
+    (Helpers.route ~prefix:(Helpers.pfx "200.0.0.0/8") 2);
+  V.Invariant.install ~every:50 net;
+  Helpers.quiesce net;
+  V.Invariant.check_now net
+
+let test_invariants_hold_under_tbrr_and_mesh () =
+  List.iter
+    (fun scheme ->
+      let config =
+        C.make ~n_routers:4 ~igp:(Helpers.flat_igp 4) ~scheme ()
+      in
+      let net = Abrr_core.Network.create config in
+      Helpers.inject net ~router:1
+        (Helpers.route ~prefix:(Helpers.pfx "50.0.0.0/8") 1);
+      V.Invariant.install ~every:50 net;
+      Helpers.quiesce net;
+      V.Invariant.check_now net)
+    [
+      C.Full_mesh;
+      C.tbrr [ { C.trrs = [ 0 ]; clients = [ 1; 2; 3 ] } ];
+    ]
+
+let suite =
+  ( "verify",
+    [
+      Alcotest.test_case "AP coverage: uniform partitions clean" `Quick
+        test_coverage_good;
+      Alcotest.test_case "AP coverage: gap flagged" `Quick test_coverage_gap;
+      Alcotest.test_case "AP coverage: overlap flagged" `Quick
+        test_coverage_overlap;
+      Alcotest.test_case "AP coverage: degenerate inputs" `Quick
+        test_coverage_empty_and_inverted;
+      Alcotest.test_case "CIDR decomposition is exact" `Quick
+        test_cidr_decomposition;
+      Alcotest.test_case "trie owners match partition" `Quick
+        test_trie_owners_span;
+      Alcotest.test_case "ARR liveness and redundancy" `Quick test_arr_liveness;
+      Alcotest.test_case "cyclic cluster hierarchy flagged" `Quick
+        test_cyclic_cluster_hierarchy;
+      Alcotest.test_case "acyclic hierarchy passes" `Quick
+        test_acyclic_hierarchy_ok;
+      Alcotest.test_case "orphan router flagged" `Quick test_orphan_router;
+      Alcotest.test_case "dead cluster flagged" `Quick test_all_trrs_down;
+      Alcotest.test_case "find_cycle" `Quick test_find_cycle;
+      Alcotest.test_case "MED gadget statically flagged" `Quick
+        test_med_gadget_flagged;
+      Alcotest.test_case "topology gadget statically flagged" `Quick
+        test_topology_gadget_flagged;
+      Alcotest.test_case "gadgets clean under ABRR / full mesh" `Quick
+        test_gadgets_clean_under_abrr_and_mesh;
+      Alcotest.test_case "best-external stabilizes the mesh game" `Quick
+        test_best_external_stabilizes;
+      Alcotest.test_case "TBRR deflection detected" `Quick
+        test_deflection_detected;
+      Alcotest.test_case "ABRR deflection-free" `Quick test_abrr_deflection_free;
+      Alcotest.test_case "benign TBRR workload passes" `Quick
+        test_stable_tbrr_passes;
+      Alcotest.test_case "validation failures become findings" `Quick
+        test_validate_failure_reported;
+      Alcotest.test_case "assert_ok" `Quick test_assert_ok;
+      Alcotest.test_case "runtime invariants: ABRR" `Quick
+        test_invariants_hold_abrr;
+      Alcotest.test_case "runtime invariants: cluster-list mode" `Quick
+        test_invariants_hold_cluster_list_mode;
+      Alcotest.test_case "runtime invariants: TBRR and mesh" `Quick
+        test_invariants_hold_under_tbrr_and_mesh;
+    ] )
