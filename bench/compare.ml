@@ -1,0 +1,105 @@
+(* Regression gate over BENCH_*.json records (see OBSERVABILITY.md).
+
+     compare BASELINE CANDIDATE [--threshold F]
+
+   BASELINE and CANDIDATE are either two record files or two
+   directories holding BENCH_*.json sets (matched by file name). Gated
+   quantities — counters, simulated time, event counts and metrics
+   recorded with gate=true — that deviate by more than the relative
+   threshold (default 0.0, i.e. any change) fail the gate; ungated
+   drifts are printed but do not affect the exit status.
+
+   Exit codes: 0 = no gated drift, 1 = gated drift found, 2 = usage or
+   unreadable/invalid input. *)
+
+module E = Metrics.Emit
+
+let usage () =
+  prerr_endline "usage: compare BASELINE CANDIDATE [--threshold FLOAT]";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let load path =
+  match E.read_file path with
+  | Ok r -> r
+  | Error msg -> fail "%s: %s" path msg
+
+(* The BENCH_*.json files of a directory, keyed by file name. *)
+let record_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 11
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.sort compare
+
+(* (baseline file, candidate file) pairs plus the names of records the
+   candidate no longer produces — a coverage regression, gated. *)
+let pairs baseline candidate =
+  match (Sys.is_directory baseline, Sys.is_directory candidate) with
+  | false, false -> ([ (baseline, candidate) ], [])
+  | true, true ->
+    let base_files = record_files baseline in
+    if base_files = [] then fail "%s: no BENCH_*.json files" baseline;
+    List.fold_left
+      (fun (ps, missing) f ->
+        let cand = Filename.concat candidate f in
+        if Sys.file_exists cand then
+          ((Filename.concat baseline f, cand) :: ps, missing)
+        else (ps, f :: missing))
+      ([], []) base_files
+    |> fun (ps, missing) -> (List.rev ps, List.rev missing)
+  | _ ->
+    fail "%s and %s must both be files or both directories" baseline candidate
+
+let () =
+  let threshold = ref 0.0 in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0. -> threshold := f
+      | Some _ | None -> fail "--threshold %s: expected a non-negative float" v);
+      parse rest
+    | [ "--threshold" ] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline, candidate =
+    match List.rev !positional with [ b; c ] -> (b, c) | _ -> usage ()
+  in
+  List.iter
+    (fun p -> if not (Sys.file_exists p) then fail "%s: no such file" p)
+    [ baseline; candidate ];
+  let file_pairs, missing = pairs baseline candidate in
+  List.iter
+    (fun f -> Printf.printf "MISSING  %s (present in baseline only)\n" f)
+    missing;
+  let gated_total = ref (List.length missing) in
+  List.iter
+    (fun (bpath, cpath) ->
+      let drifts =
+        E.diff ~threshold:!threshold ~baseline:(load bpath)
+          ~candidate:(load cpath)
+      in
+      if drifts <> [] then begin
+        Printf.printf "%s vs %s:\n%s\n" bpath cpath (E.render_drifts drifts);
+        gated_total :=
+          !gated_total + List.length (List.filter (fun d -> d.E.d_gated) drifts)
+      end)
+    file_pairs;
+  if !gated_total = 0 then begin
+    Printf.printf "compare: no gated drift across %d record(s) (threshold %g)\n"
+      (List.length file_pairs) !threshold;
+    exit 0
+  end
+  else begin
+    Printf.printf "compare: %d gated drift(s) (threshold %g)\n" !gated_total
+      !threshold;
+    exit 1
+  end

@@ -32,7 +32,13 @@ let loop_prevention_ablation topo table trace =
       [ "reflected bit (8-byte ext community)"; Printf.sprintf "%.0f" rb ];
       [ "CLUSTER_LIST (RFC 4456)"; Printf.sprintf "%.0f" cl ];
     ];
-  Printf.printf "overhead ratio: %.3f\n\n" (rb /. cl)
+  Printf.printf "overhead ratio: %.3f\n\n" (rb /. cl);
+  E.run ~label:"loop_prevention"
+    [
+      E.metric ~unit_:"bytes" "reflected_bit_bytes" rb;
+      E.metric ~unit_:"bytes" "cluster_list_bytes" cl;
+      E.metric "overhead_ratio" (rb /. cl);
+    ]
 
 let partition_ablation topo table =
   print_endline "== Ablation: uniform vs prefix-balanced partitions (§4.1) ==";
@@ -58,7 +64,15 @@ let partition_ablation topo table =
         Printf.sprintf "%.0f" b_avg; Printf.sprintf "%.0f" b_max;
         Printf.sprintf "%.2f" (b_max /. b_avg) ];
     ];
-  print_newline ()
+  print_newline ();
+  let e = E.metric ~unit_:"entries" in
+  E.run ~label:"partition"
+    [
+      e "uniform_min" u_min; e "uniform_avg" u_avg; e "uniform_max" u_max;
+      E.metric "uniform_imbalance" (u_max /. u_avg);
+      e "balanced_min" b_min; e "balanced_avg" b_avg; e "balanced_max" b_max;
+      E.metric "balanced_imbalance" (b_max /. b_avg);
+    ]
 
 let blast_radius_ablation topo table =
   print_endline "== Ablation: failure blast radius (two reflectors lost) ==";
@@ -95,45 +109,75 @@ let blast_radius_ablation topo table =
   let abrr_scheme =
     Abrr_core.Config.abrr ~partition:(Abrr_core.Partition.uniform 8) abrr_arrs
   in
-  let row label scheme victims observer =
-    let before, lost = lost_prefixes scheme victims observer in
-    [ label; string_of_int before; string_of_int lost ]
+  let cases =
+    [
+      ("tbrr_near", "TBRR, client of the failed cluster", T.tbrr_scheme topo,
+       tbrr_victims, near);
+      ("tbrr_far", "TBRR, client of another cluster", T.tbrr_scheme topo,
+       tbrr_victims, far);
+      ("abrr_near", "ABRR 8 APs, client near the failed pair", abrr_scheme,
+       abrr_arrs.(0), near);
+      ("abrr_far", "ABRR 8 APs, client far from the failed pair", abrr_scheme,
+       abrr_arrs.(0), far);
+    ]
+  in
+  let measured =
+    List.map
+      (fun (key, label, scheme, victims, observer) ->
+        let before, lost = lost_prefixes scheme victims observer in
+        (key, label, before, lost))
+      cases
   in
   Metrics.Table.print
     ~align:[ Metrics.Table.Left ]
     ~header:[ "scheme / observer"; "prefixes before"; "prefixes lost" ]
-    [
-      row "TBRR, client of the failed cluster" (T.tbrr_scheme topo) tbrr_victims
-        near;
-      row "TBRR, client of another cluster" (T.tbrr_scheme topo) tbrr_victims far;
-      row "ABRR 8 APs, client near the failed pair" abrr_scheme abrr_arrs.(0) near;
-      row "ABRR 8 APs, client far from the failed pair" abrr_scheme abrr_arrs.(0)
-        far;
-    ];
-  print_newline ()
+    (List.map
+       (fun (_, label, before, lost) ->
+         [ label; string_of_int before; string_of_int lost ])
+       measured);
+  print_newline ();
+  E.run ~label:"blast_radius"
+    (List.concat_map
+       (fun (key, _, before, lost) ->
+         [
+           E.metric ~unit_:"prefixes" (key ^ "_before") (fi before);
+           E.metric ~unit_:"prefixes" (key ^ "_lost") (fi lost);
+         ])
+       measured)
 
 let med_mode_ablation () =
   print_endline "== Ablation: MED comparison mode on the RFC 3345 gadget ==";
-  let verdict med_mode =
+  let oscillates med_mode =
     let g = G.med_oscillation G.G_tbrr in
     let cfg = { g.G.config with C.med_mode } in
     let net = N.create cfg in
     G.inject g net;
-    if A.oscillates (A.run ~max_events:50_000 net) then "OSCILLATES" else "converges"
+    A.oscillates (A.run ~max_events:50_000 net)
   in
+  let per_nas = oscillates Bgp.Decision.Per_neighbor_as in
+  let always = oscillates Bgp.Decision.Always_compare in
+  let verdict b = if b then "OSCILLATES" else "converges" in
   Metrics.Table.print
     ~header:[ "MED mode"; "TBRR behaviour" ]
     [
-      [ "per-neighbour-AS (RFC 4271)"; verdict Bgp.Decision.Per_neighbor_as ];
-      [ "always-compare (operator fix)"; verdict Bgp.Decision.Always_compare ];
+      [ "per-neighbour-AS (RFC 4271)"; verdict per_nas ];
+      [ "always-compare (operator fix)"; verdict always ];
     ];
-  print_newline ()
+  print_newline ();
+  let b n v = E.metric n (if v then 1. else 0.) in
+  E.run ~label:"med_mode"
+    [ b "per_neighbor_as_oscillates" per_nas; b "always_compare_oscillates" always ]
 
 let run () =
   let topo = tier1_topo () in
   let table = tier1_table topo small_scale in
   let trace = tier1_trace table small_scale in
-  loop_prevention_ablation topo table trace;
-  partition_ablation topo table;
-  blast_radius_ablation topo table;
-  med_mode_ablation ()
+  let runs =
+    [
+      loop_prevention_ablation topo table trace;
+      partition_ablation topo table;
+      blast_radius_ablation topo table;
+      med_mode_ablation ();
+    ]
+  in
+  emit { E.experiment = "ablation"; runs }

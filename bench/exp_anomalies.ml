@@ -17,38 +17,49 @@ let verdict make flavor =
   (net, g, v)
 
 (* What the static analyzer predicts, before any event is simulated. *)
-let static_verdict flavor =
-  let flagged =
-    List.length
-      (List.filter
-         (fun make ->
-           not (Verify.Report.clean (Verify.Static.analyze_gadget (make flavor))))
-         [ G.med_oscillation; G.topology_oscillation; G.path_inefficiency ])
-  in
-  if flagged = 0 then "clean" else Printf.sprintf "flags %d/3" flagged
+let static_flags flavor =
+  List.length
+    (List.filter
+       (fun make ->
+         not (Verify.Report.clean (Verify.Static.analyze_gadget (make flavor))))
+       [ G.med_oscillation; G.topology_oscillation; G.path_inefficiency ])
 
 let run () =
   print_endline "== §2.3: routing-anomaly matrix ==";
+  let jruns = ref [] in
   let rows =
     List.map
       (fun (name, flavor) ->
         let _, _, med = verdict G.med_oscillation flavor in
         let _, _, topo = verdict G.topology_oscillation flavor in
         let net, g, _ = verdict G.path_inefficiency flavor in
+        let exit_router = N.best_exit net ~router:G.observer g.G.prefix in
         let exit =
-          match N.best_exit net ~router:G.observer g.G.prefix with
+          match exit_router with
           | Some e when e = G.near_exit -> "optimal"
           | Some _ -> "DETOURS"
           | None -> "none"
         in
         let loops = A.forwarding_loops net g.G.prefix <> [] in
+        let flagged = static_flags flavor in
+        let b n v = Exp_common.E.metric n (if v then 1. else 0.) in
+        jruns :=
+          Exp_common.E.run ~label:name
+            [
+              b "med_oscillates" (A.oscillates med);
+              b "topo_oscillates" (A.oscillates topo);
+              b "observer_optimal" (exit_router = Some G.near_exit);
+              b "forwarding_loops" loops;
+              Exp_common.E.metric "static_flags" (float_of_int flagged);
+            ]
+          :: !jruns;
         [
           name;
           (if A.oscillates med then "OSCILLATES" else "converges");
           (if A.oscillates topo then "OSCILLATES" else "converges");
           exit;
           (if loops then "LOOPS" else "loop-free");
-          static_verdict flavor;
+          (if flagged = 0 then "clean" else Printf.sprintf "flags %d/3" flagged);
         ])
       flavors
   in
@@ -58,4 +69,6 @@ let run () =
       [ "scheme"; "MED gadget"; "topology gadget"; "observer path";
         "forwarding"; "static check" ]
     rows;
-  print_newline ()
+  print_newline ();
+  Exp_common.emit
+    { Exp_common.E.experiment = "anomalies"; runs = List.rev !jruns }

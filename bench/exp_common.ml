@@ -9,6 +9,8 @@ module R = Abrr_core.Router
 module T = Topo.Isp_topo
 module RG = Topo.Route_gen
 module TG = Topo.Trace_gen
+module E = Metrics.Emit
+module Sim = Eventsim.Sim
 
 type scale = { n_prefixes : int; trace_events : int }
 
@@ -32,11 +34,28 @@ let config topo scheme =
     ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
     ~scheme topo
 
+(* {2 JSON emission (OBSERVABILITY.md)}
+
+   Every experiment writes a BENCH_<exp>.json record alongside its
+   table. [--out DIR] redirects the files, [--json] additionally echoes
+   each record to stdout (both parsed by bench/main.ml). *)
+
+let out_dir = ref "."
+let echo_json = ref false
+
+let emit record =
+  let path = Filename.concat !out_dir (E.filename record.E.experiment) in
+  E.write_file path record;
+  if !echo_json then print_string (E.to_string (E.record_to_json record));
+  Printf.printf "[bench record -> %s]\n\n%!" path
+
 type run_result = {
   label : string;
   net : N.t;
   rr_ids : int list;
   client_ids : int list;
+  sink : Sim.Trace.sink;  (** sampled event trace of the whole run *)
+  wall_s : float;
 }
 
 let reflectors net n =
@@ -59,30 +78,38 @@ let precheck ~label cfg =
 let run_scheme ~label ~topo ~table ~trace scheme =
   let cfg = config topo scheme in
   precheck ~label cfg;
+  let wall0 = Unix.gettimeofday () in
   let net = N.create cfg in
+  let sim = N.sim net in
+  (* Sampled structured trace + phase timers; both end up in the JSON
+     record (queue-depth summary, per-phase CPU seconds). *)
+  let sink = Sim.Trace.make ~capacity:4096 ~sample_every:64 () in
+  Sim.set_sink sim sink;
   Verify.Invariant.install net;
-  RG.inject_all table net;
-  (match N.run ~max_events:100_000_000 net with
-  | Eventsim.Sim.Quiescent -> ()
-  | o ->
-    Printf.eprintf "warning: %s snapshot ended with %s\n" label
-      (Format.asprintf "%a" Eventsim.Sim.pp_outcome o));
+  Sim.phase sim "snapshot" (fun () ->
+      RG.inject_all table net;
+      match N.run ~max_events:100_000_000 net with
+      | Sim.Quiescent -> ()
+      | o ->
+        Printf.eprintf "warning: %s snapshot ended with %s\n" label
+          (Format.asprintf "%a" Sim.pp_outcome o));
   for i = 0 to N.router_count net - 1 do
     Abrr_core.Counters.reset (N.counters net i)
   done;
-  TG.schedule net trace;
-  (match N.run ~max_events:200_000_000 net with
-  | Eventsim.Sim.Quiescent -> ()
-  | o ->
-    Printf.eprintf "warning: %s trace ended with %s\n" label
-      (Format.asprintf "%a" Eventsim.Sim.pp_outcome o));
+  Sim.phase sim "trace" (fun () ->
+      TG.schedule net trace;
+      match N.run ~max_events:200_000_000 net with
+      | Sim.Quiescent -> ()
+      | o ->
+        Printf.eprintf "warning: %s trace ended with %s\n" label
+          (Format.asprintf "%a" Sim.pp_outcome o));
   Verify.Invariant.check_now net;
   Verify.Invariant.uninstall net;
   let rr_ids = reflectors net topo.T.n_routers in
   let client_ids =
     List.filter (fun i -> not (List.mem i rr_ids)) (List.init topo.T.n_routers Fun.id)
   in
-  { label; net; rr_ids; client_ids }
+  { label; net; rr_ids; client_ids; sink; wall_s = Unix.gettimeofday () -. wall0 }
 
 let stats ids f =
   Metrics.Summary.of_list (List.map (fun i -> float_of_int (f i)) ids)
@@ -95,3 +122,26 @@ let min_avg_max (s : Metrics.Summary.t) =
 let abrr_ap_counts = [ 1; 2; 4; 8; 16; 32 ]
 
 let fi = float_of_int
+
+let scale_knobs scale =
+  [ ("n_prefixes", fi scale.n_prefixes); ("trace_events", fi scale.trace_events) ]
+
+(* The JSON view of a completed [run_scheme] result: trace-phase counter
+   totals (counters were reset at the snapshot/trace boundary), phase
+   CPU breakdown, and a queue-depth summary from the sampled trace. *)
+let json_run ?scheme ?knobs r metrics =
+  let sim = N.sim r.net in
+  let summaries =
+    match Sim.Trace.entries r.sink with
+    | [] -> []
+    | es ->
+      [ ("queue_depth",
+         Metrics.Summary.of_ints (List.map (fun e -> e.Sim.Trace.depth) es)) ]
+  in
+  E.run ~label:r.label ?scheme ?knobs ~wall_s:r.wall_s
+    ~sim_s:(Eventsim.Time.to_sec (Sim.now sim))
+    ~events:(Sim.events_processed sim)
+    ~counters:(Abrr_core.Counters.to_fields (N.total_counters r.net))
+    ~summaries
+    ~phases:(List.map (fun (n, st) -> (n, st.Sim.cpu_s)) (Sim.phase_stats sim))
+    metrics

@@ -76,16 +76,33 @@ let mrai_values = [ 0; 1; 3; 5; 7; 10 ]
 
 let run () =
   print_endline "== §3.5: convergence time of a route improvement (seconds) ==";
-  let rows =
+  let samples =
     List.map
       (fun secs ->
         let mrai = Time.sec secs in
-        [
-          string_of_int secs;
-          Printf.sprintf "%.2f" (converge ~mrai tbrr_scheme);
-          Printf.sprintf "%.2f" (converge ~mrai abrr_scheme);
-        ])
+        (secs, converge ~mrai tbrr_scheme, converge ~mrai abrr_scheme))
       mrai_values
   in
-  Metrics.Table.print ~header:[ "MRAI (s)"; "TBRR (3 hops)"; "ABRR (2 hops)" ] rows;
-  print_newline ()
+  Metrics.Table.print ~header:[ "MRAI (s)"; "TBRR (3 hops)"; "ABRR (2 hops)" ]
+    (List.map
+       (fun (secs, t, a) ->
+         [ string_of_int secs; Printf.sprintf "%.2f" t; Printf.sprintf "%.2f" a ])
+       samples);
+  print_newline ();
+  let curve scheme pick =
+    Exp_common.E.run ~label:scheme ~scheme
+      (List.map
+         (fun ((secs, _, _) as s) ->
+           Exp_common.E.metric ~unit_:"s"
+             (Printf.sprintf "converge_s@mrai%d" secs)
+             (pick s))
+         samples)
+  in
+  Exp_common.emit
+    {
+      Exp_common.E.experiment = "convergence";
+      runs =
+        [
+          curve "tbrr" (fun (_, t, _) -> t); curve "abrr" (fun (_, _, a) -> a);
+        ];
+    }

@@ -55,4 +55,33 @@ let run () =
     fit;
   Format.printf "Paper anchor: F(25) = 10.2; measured here: %.2f@."
     (Analysis.Regression.predict fit 25.);
+  let m = Exp_common.E.metric ~unit_:"routes" in
+  Exp_common.emit
+    {
+      Exp_common.E.experiment = "fig3";
+      runs =
+        [
+          Exp_common.E.run ~label:"curves"
+            ~knobs:
+              [
+                ( "n_prefixes",
+                  float_of_int Exp_common.default_scale.Exp_common.n_prefixes );
+                ("peer_ases", float_of_int total);
+              ]
+            (List.concat_map
+               (fun (x, ys) ->
+                 let k = int_of_float x in
+                 [
+                   m (Printf.sprintf "peers_only@%d" k) (List.nth ys 0);
+                   m (Printf.sprintf "all_sources@%d" k) (List.nth ys 1);
+                 ])
+               points
+            @ [
+                Exp_common.E.metric "slope" fit.Analysis.Regression.slope;
+                Exp_common.E.metric "intercept" fit.Analysis.Regression.intercept;
+                Exp_common.E.metric "r2" fit.Analysis.Regression.r2;
+                m "F25" (Analysis.Regression.predict fit 25.);
+              ]);
+        ];
+    };
   fit

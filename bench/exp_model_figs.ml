@@ -16,7 +16,7 @@ let eval metric p =
 
 let labels = [ "ABRR"; "TBRR"; "TBRR-multi" ]
 
-let sub_figure ~title ~x_label ~metric ~truncate_tbrr points =
+let sub_figure ~title ~x_label ~metric ~truncate_tbrr ~tag points =
   let rows =
     List.map
       (fun (x, p) ->
@@ -32,7 +32,23 @@ let sub_figure ~title ~x_label ~metric ~truncate_tbrr points =
   in
   print_endline
     (Metrics.Table.series ~title ~x_label ~y_labels:labels rows);
-  print_newline ()
+  print_newline ();
+  (* One metric per curve point, e.g. "b.TBRR@50"; truncated (NaN)
+     points are omitted rather than emitted as null. *)
+  List.concat_map
+    (fun (x, vals) ->
+      List.concat
+        (List.map2
+           (fun curve v ->
+             if Float.is_nan v then []
+             else
+               [
+                 Exp_common.E.metric ~unit_:"entries"
+                   (Printf.sprintf "%s.%s@%g" tag curve x)
+                   v;
+               ])
+           labels vals))
+    rows
 
 let vary_routers () = List.map (fun n -> (float_of_int n, M.params ())) [ 500; 1000; 2000; 4000; 8000 ]
 let vary_groups () = List.map (fun k -> (float_of_int k, M.params ~groups:k ())) [ 5; 10; 25; 50; 100; 200; 400 ]
@@ -41,24 +57,40 @@ let vary_pas () = List.map (fun s -> (float_of_int s, M.params ~bal:(M.default_b
 
 let run_figure ~fig ~metric =
   let name = match metric with Rib_in -> "RIB-In" | Rib_out -> "RIB-Out" in
-  sub_figure
-    ~title:(Printf.sprintf "Figure %s(a): #%s entries vs #Routers" fig name)
-    ~x_label:"#Routers" ~metric ~truncate_tbrr:None (vary_routers ());
-  sub_figure
-    ~title:
-      (Printf.sprintf "Figure %s(b): #%s entries vs #APs/#Clusters%s" fig name
-         (match metric with
-         | Rib_out -> " (TBRR truncated at 100 clusters)"
-         | Rib_in -> ""))
-    ~x_label:"#APs/#Clusters" ~metric
-    ~truncate_tbrr:(match metric with Rib_out -> Some 100. | Rib_in -> None)
-    (vary_groups ());
-  sub_figure
-    ~title:(Printf.sprintf "Figure %s(c): #%s entries vs #RRs per AP/Cluster" fig name)
-    ~x_label:"#RRs/group" ~metric ~truncate_tbrr:None (vary_redundancy ());
-  sub_figure
-    ~title:(Printf.sprintf "Figure %s(d): #%s entries vs #Peer ASes" fig name)
-    ~x_label:"#PASs" ~metric ~truncate_tbrr:None (vary_pas ())
+  let a =
+    sub_figure
+      ~title:(Printf.sprintf "Figure %s(a): #%s entries vs #Routers" fig name)
+      ~x_label:"#Routers" ~metric ~truncate_tbrr:None ~tag:"a" (vary_routers ())
+  in
+  let b =
+    sub_figure
+      ~title:
+        (Printf.sprintf "Figure %s(b): #%s entries vs #APs/#Clusters%s" fig name
+           (match metric with
+           | Rib_out -> " (TBRR truncated at 100 clusters)"
+           | Rib_in -> ""))
+      ~x_label:"#APs/#Clusters" ~metric
+      ~truncate_tbrr:(match metric with Rib_out -> Some 100. | Rib_in -> None)
+      ~tag:"b" (vary_groups ())
+  in
+  let c =
+    sub_figure
+      ~title:
+        (Printf.sprintf "Figure %s(c): #%s entries vs #RRs per AP/Cluster" fig
+           name)
+      ~x_label:"#RRs/group" ~metric ~truncate_tbrr:None ~tag:"c"
+      (vary_redundancy ())
+  in
+  let d =
+    sub_figure
+      ~title:(Printf.sprintf "Figure %s(d): #%s entries vs #Peer ASes" fig name)
+      ~x_label:"#PASs" ~metric ~truncate_tbrr:None ~tag:"d" (vary_pas ())
+  in
+  Exp_common.emit
+    {
+      Exp_common.E.experiment = "fig" ^ fig;
+      runs = [ Exp_common.E.run ~label:"analytic" (a @ b @ c @ d) ];
+    }
 
 let run_fig4 () = run_figure ~fig:"4" ~metric:Rib_in
 let run_fig5 () = run_figure ~fig:"5" ~metric:Rib_out

@@ -17,6 +17,7 @@ let run () =
   in
   let table = tier1_table topo scale in
   let trace = tier1_trace table scale in
+  let jruns = ref [] in
   let row (label, scheme) =
     let result = run_scheme ~label ~topo ~table ~trace scheme in
     let rcp_ids =
@@ -29,14 +30,35 @@ let run () =
       | ids -> (ids, false)
     in
     let avg f = (stats nodes (fun i -> f i)).Metrics.Summary.mean in
+    let rib_in = avg (fun i -> R.rib_in_entries (N.router result.net i)) in
+    let rib_out =
+      avg (fun i ->
+          R.rib_out_entries (N.router result.net i)
+          + R.rib_out_client_entries (N.router result.net i))
+    in
+    let rx =
+      avg (fun i -> (N.counters result.net i).Abrr_core.Counters.updates_received)
+    in
+    let gen =
+      avg (fun i -> (N.counters result.net i).Abrr_core.Counters.updates_generated)
+    in
+    jruns :=
+      json_run ~knobs:(scale_knobs scale) result
+        [
+          E.metric ~unit_:"nodes" "control_nodes" (fi (List.length nodes));
+          E.metric ~unit_:"entries" "rib_in_avg" rib_in;
+          E.metric ~unit_:"entries" "rib_out_avg" rib_out;
+          E.metric ~unit_:"updates" "rx_avg" rx;
+          E.metric ~unit_:"updates" "gen_avg" gen;
+        ]
+      :: !jruns;
     [
       (label ^ if starred then " *" else "");
       string_of_int (List.length nodes);
-      Printf.sprintf "%.0f" (avg (fun i -> R.rib_in_entries (N.router result.net i)));
-      Printf.sprintf "%.0f" (avg (fun i -> R.rib_out_entries (N.router result.net i)
-                                           + R.rib_out_client_entries (N.router result.net i)));
-      Printf.sprintf "%.0f" (avg (fun i -> (N.counters result.net i).Abrr_core.Counters.updates_received));
-      Printf.sprintf "%.0f" (avg (fun i -> (N.counters result.net i).Abrr_core.Counters.updates_generated));
+      Printf.sprintf "%.0f" rib_in;
+      Printf.sprintf "%.0f" rib_out;
+      Printf.sprintf "%.0f" rx;
+      Printf.sprintf "%.0f" gen;
     ]
   in
   let rows =
@@ -57,4 +79,5 @@ let run () =
     ~header:[ "scheme"; "nodes"; "RIB-In"; "RIB-Out"; "rx (trace)"; "gen (trace)" ]
     rows;
   print_endline "(* = no dedicated control nodes; all-router averages)";
-  print_newline ()
+  print_newline ();
+  emit { E.experiment = "schemes"; runs = List.rev !jruns }

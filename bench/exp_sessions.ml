@@ -12,21 +12,37 @@ let counts = [ 100; 200; 500; 1000; 2000; 4000; 8000 ]
 let run () =
   print_endline
     "== §3.3: reflector boot time vs session count (20 ms RTT, 200 us/msg) ==";
-  let rows =
-    List.map
-      (fun sessions ->
-        let r = S.run (S.spec ~sessions ()) in
-        [
-          Metrics.Table.fmt_int sessions;
-          Printf.sprintf "%.2f" (Eventsim.Time.to_sec r.S.boot_time);
-          Metrics.Table.fmt_int r.S.messages_processed;
-          string_of_int r.S.established;
-        ])
-      counts
-  in
+  let results = List.map (fun sessions -> (sessions, S.run (S.spec ~sessions ()))) counts in
   Metrics.Table.print
     ~header:[ "sessions"; "boot time (s)"; "msgs processed"; "established" ]
-    rows;
+    (List.map
+       (fun (sessions, r) ->
+         [
+           Metrics.Table.fmt_int sessions;
+           Printf.sprintf "%.2f" (Eventsim.Time.to_sec r.S.boot_time);
+           Metrics.Table.fmt_int r.S.messages_processed;
+           string_of_int r.S.established;
+         ])
+       results);
   Printf.printf
     "\nEven at the ASR1000's tested 8000 sessions, boot completes in\n\
-     seconds — and redundant ARRs cover the window (§3.3).\n\n"
+     seconds — and redundant ARRs cover the window (§3.3).\n\n";
+  Exp_common.emit
+    {
+      Exp_common.E.experiment = "sessions";
+      runs =
+        List.map
+          (fun (sessions, r) ->
+            Exp_common.E.run
+              ~label:(Printf.sprintf "%d sessions" sessions)
+              ~knobs:[ ("sessions", float_of_int sessions) ]
+              [
+                Exp_common.E.metric ~unit_:"s" "boot_s"
+                  (Eventsim.Time.to_sec r.S.boot_time);
+                Exp_common.E.metric ~unit_:"msgs" "msgs_processed"
+                  (float_of_int r.S.messages_processed);
+                Exp_common.E.metric ~unit_:"sessions" "established"
+                  (float_of_int r.S.established);
+              ])
+          results;
+    }

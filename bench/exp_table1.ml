@@ -55,38 +55,57 @@ let run () =
   inject abrr_net 4 high;
   ignore (N.run abrr_net);
   print_endline "== Table 1: observed advertisement behaviour ==";
-  let rows =
+  let checks =
     [
-      [ "Client -> TRR: best eBGP route reaches both cluster TRRs";
-        yes_no
-          (R.best (N.router tbrr_net 0) low <> None
-          && R.best (N.router tbrr_net 1) low <> None) ];
-      [ "TRR -> TRR: cluster best crosses the mesh";
-        yes_no (R.best (N.router tbrr_net 2) low <> None) ];
-      [ "TRR -> Client: remote cluster's client learns it";
-        yes_no (R.received_set (N.router tbrr_net 6) ~from:2 low <> []
-                || R.received_set (N.router tbrr_net 6) ~from:3 low <> []) ];
-      [ "TRR -> Client: not returned to the sending client";
-        yes_no (R.received_set (N.router tbrr_net 4) ~from:0 low = []) ];
-      [ "Client -> ARR: AP0 route reaches AP0's ARRs only";
-        yes_no
-          (R.reflector_set (N.router abrr_net 0) low <> []
-          && R.reflector_set (N.router abrr_net 2) low = []) ];
-      [ "Client -> ARR: AP1 route reaches AP1's ARRs only";
-        yes_no
-          (R.reflector_set (N.router abrr_net 2) high <> []
-          && R.reflector_set (N.router abrr_net 0) high = []) ];
-      [ "ARR -> Client: best AS-level set delivered to clients";
-        yes_no (R.received_set (N.router abrr_net 6) ~from:0 low <> []) ];
-      [ "ARR -> ARR (same AP): nothing exchanged";
-        yes_no (R.received_set (N.router abrr_net 1) ~from:0 low = []) ];
-      [ "ARR -> Client: not returned to the sending client";
-        yes_no (R.received_set (N.router abrr_net 4) ~from:0 low = []) ];
-      [ "Clients never re-advertise iBGP-learned routes";
-        yes_no
-          (R.advertised_route (N.router abrr_net 6) low = None
-          && R.advertised_route (N.router tbrr_net 6) low = None) ];
+      ( "tbrr_client_to_both_trrs",
+        "Client -> TRR: best eBGP route reaches both cluster TRRs",
+        R.best (N.router tbrr_net 0) low <> None
+        && R.best (N.router tbrr_net 1) low <> None );
+      ( "tbrr_crosses_mesh",
+        "TRR -> TRR: cluster best crosses the mesh",
+        R.best (N.router tbrr_net 2) low <> None );
+      ( "tbrr_remote_client_learns",
+        "TRR -> Client: remote cluster's client learns it",
+        R.received_set (N.router tbrr_net 6) ~from:2 low <> []
+        || R.received_set (N.router tbrr_net 6) ~from:3 low <> [] );
+      ( "tbrr_not_returned_to_sender",
+        "TRR -> Client: not returned to the sending client",
+        R.received_set (N.router tbrr_net 4) ~from:0 low = [] );
+      ( "abrr_ap0_scoped",
+        "Client -> ARR: AP0 route reaches AP0's ARRs only",
+        R.reflector_set (N.router abrr_net 0) low <> []
+        && R.reflector_set (N.router abrr_net 2) low = [] );
+      ( "abrr_ap1_scoped",
+        "Client -> ARR: AP1 route reaches AP1's ARRs only",
+        R.reflector_set (N.router abrr_net 2) high <> []
+        && R.reflector_set (N.router abrr_net 0) high = [] );
+      ( "abrr_client_delivery",
+        "ARR -> Client: best AS-level set delivered to clients",
+        R.received_set (N.router abrr_net 6) ~from:0 low <> [] );
+      ( "abrr_no_arr_arr_same_ap",
+        "ARR -> ARR (same AP): nothing exchanged",
+        R.received_set (N.router abrr_net 1) ~from:0 low = [] );
+      ( "abrr_not_returned_to_sender",
+        "ARR -> Client: not returned to the sending client",
+        R.received_set (N.router abrr_net 4) ~from:0 low = [] );
+      ( "clients_no_readvertise",
+        "Clients never re-advertise iBGP-learned routes",
+        R.advertised_route (N.router abrr_net 6) low = None
+        && R.advertised_route (N.router tbrr_net 6) low = None );
     ]
   in
-  Metrics.Table.print ~align:[ Metrics.Table.Left ] ~header:[ "rule"; "observed" ] rows;
-  print_newline ()
+  Metrics.Table.print ~align:[ Metrics.Table.Left ] ~header:[ "rule"; "observed" ]
+    (List.map (fun (_, descr, pass) -> [ descr; yes_no pass ]) checks);
+  print_newline ();
+  Exp_common.emit
+    {
+      Exp_common.E.experiment = "table1";
+      runs =
+        [
+          Exp_common.E.run ~label:"observed"
+            (List.map
+               (fun (name, _, pass) ->
+                 Exp_common.E.metric name (if pass then 1. else 0.))
+               checks);
+        ];
+    }

@@ -21,12 +21,13 @@ let run ?(scale = { n_prefixes = 600; trace_events = 900 }) () =
       (stats ids (fun i -> f (Abrr_core.Network.counters result.net i)))
         .Metrics.Summary.mean
     in
-    ( avg result.rr_ids (fun c -> c.Abrr_core.Counters.updates_transmitted),
+    ( result,
+      avg result.rr_ids (fun c -> c.Abrr_core.Counters.updates_transmitted),
       avg result.rr_ids (fun c -> c.Abrr_core.Counters.bytes_transmitted),
       avg result.client_ids (fun c -> c.Abrr_core.Counters.updates_received) )
   in
-  let t_tx, t_bytes, t_client = measure "TBRR" (T.tbrr_scheme topo) in
-  let a_tx, a_bytes, a_client =
+  let t_res, t_tx, t_bytes, t_client = measure "TBRR" (T.tbrr_scheme topo) in
+  let a_res, a_tx, a_bytes, a_client =
     measure "ABRR" (T.abrr_scheme ~aps:27 ~arrs_per_ap:2 topo)
   in
   print_endline "== §4.2: transmitted updates and bytes per RR (trace phase) ==";
@@ -43,4 +44,27 @@ let run ?(scale = { n_prefixes = 600; trace_events = 900 }) () =
      ARR/TRR transmitted-byte ratio:   %.2fx   (paper: ~4x)\n\
      ABRR/TBRR client update ratio:    %.2fx   (paper: ~0.7x)\n\n"
     (t_tx /. a_tx) (a_bytes /. t_bytes) (a_client /. t_client);
+  let per_rr res tx bytes client scheme =
+    json_run ~scheme ~knobs:(scale_knobs scale) res
+      [
+        E.metric ~unit_:"updates" "rr_tx_avg" tx;
+        E.metric ~unit_:"bytes" "rr_bytes_avg" bytes;
+        E.metric ~unit_:"updates" "client_rx_avg" client;
+      ]
+  in
+  emit
+    {
+      E.experiment = "updates";
+      runs =
+        [
+          per_rr t_res t_tx t_bytes t_client "tbrr";
+          per_rr a_res a_tx a_bytes a_client "abrr";
+          E.run ~label:"ratios"
+            [
+              E.metric "trr_arr_update_ratio" (t_tx /. a_tx);
+              E.metric "arr_trr_byte_ratio" (a_bytes /. t_bytes);
+              E.metric "client_update_ratio" (a_client /. t_client);
+            ];
+        ];
+    };
   ((t_tx, t_bytes, t_client), (a_tx, a_bytes, a_client))

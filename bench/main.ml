@@ -1,6 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation. Run all experiments with `dune exec bench/main.exe`, or a
-   single one by name, e.g. `dune exec bench/main.exe -- fig6`. *)
+   single one by name, e.g. `dune exec bench/main.exe -- fig6`.
+
+   Each experiment also writes a machine-readable BENCH_<exp>.json
+   record (see OBSERVABILITY.md): `--out DIR` redirects the files,
+   `--json` echoes each record to stdout as it is written. *)
 
 let experiments =
   [
@@ -33,10 +37,26 @@ let run_one (name, descr, f) =
   f ();
   Printf.printf "[%s finished in %.1fs cpu]\n\n" name (Sys.time () -. t0)
 
+let rec parse_flags = function
+  | "--json" :: rest ->
+    Exp_common.echo_json := true;
+    parse_flags rest
+  | "--out" :: dir :: rest ->
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "--out %s: not a directory\n" dir;
+      exit 1
+    end;
+    Exp_common.out_dir := dir;
+    parse_flags rest
+  | [ "--out" ] ->
+    prerr_endline "--out requires a directory argument";
+    exit 1
+  | args -> args
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] -> List.iter run_one experiments
-  | _ :: args ->
+  match parse_flags (List.tl (Array.to_list Sys.argv)) with
+  | [] -> List.iter run_one experiments
+  | args ->
     List.iter
       (fun arg ->
         match List.find_opt (matches arg) experiments with
@@ -46,4 +66,3 @@ let () =
             (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
           exit 1)
       args
-  | [] -> assert false

@@ -127,4 +127,18 @@ let run () =
     ~align:[ Metrics.Table.Left ]
     ~header:[ "benchmark"; "ns/run" ]
     (List.map (fun (name, t) -> [ name; Printf.sprintf "%.1f" t ]) rows);
-  print_newline ()
+  print_newline ();
+  (* ns/op estimates are machine- and load-dependent: emit them ungated
+     so compare reports but never fails on them. *)
+  Exp_common.emit
+    {
+      Exp_common.E.experiment = "micro";
+      runs =
+        [
+          Exp_common.E.run ~label:"ns_per_op"
+            (List.map
+               (fun (name, t) ->
+                 Exp_common.E.metric ~unit_:"ns" ~gate:false name t)
+               rows);
+        ];
+    }

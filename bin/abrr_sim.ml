@@ -2,6 +2,7 @@
 
    Subcommands:
      simulate   run a synthetic Tier-1 workload under a chosen iBGP scheme
+     bench      same workload, instrumented: emits a BENCH_sim.json record
      check      statically verify a configuration (no simulation)
      gadget     run one of the Sec 2.3 anomaly gadgets
      trace      generate an MRT update trace (and optionally replay it)
@@ -128,6 +129,105 @@ let simulate_cmd =
         $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t))
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run a synthetic Tier-1 workload.") term
+
+(* ---- bench ---------------------------------------------------------- *)
+
+let scheme_name = function
+  | `Full_mesh -> "full-mesh"
+  | `Tbrr -> "tbrr"
+  | `Tbrr_multi -> "tbrr-multi"
+  | `Tbrr_be -> "tbrr-best-external"
+  | `Confed -> "confed"
+  | `Rcp -> "rcp"
+  | `Abrr -> "abrr"
+
+(* The simulate workload, instrumented with the observability layer
+   (trace sink + phase timers) and reported as a BENCH_sim.json record
+   instead of free-form text — see OBSERVABILITY.md. *)
+let bench scheme med pops rpp pas points prefixes aps arrs events seed mrai json
+    out_dir =
+  let module E = Metrics.Emit in
+  let module Sim = Eventsim.Sim in
+  let topo = build_topo pops rpp pas points seed in
+  let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
+  let trace =
+    TG.generate table
+      (TG.spec ~events ~duration:(Eventsim.Time.days 14)
+         ~jitter:(Eventsim.Time.ms 80) ~seed ())
+  in
+  let cfg =
+    T.config ~med_mode:med ~mrai:(Eventsim.Time.sec mrai)
+      ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
+      ~scheme:(resolve_scheme topo aps arrs scheme)
+      topo
+  in
+  let wall0 = Unix.gettimeofday () in
+  let net = N.create cfg in
+  let sim = N.sim net in
+  let sink = Sim.Trace.make ~capacity:4096 ~sample_every:64 () in
+  Sim.set_sink sim sink;
+  Sim.phase sim "snapshot" (fun () ->
+      RG.inject_all table net;
+      ignore (N.run ~max_events:200_000_000 net));
+  for i = 0 to N.router_count net - 1 do
+    Abrr_core.Counters.reset (N.counters net i)
+  done;
+  Sim.phase sim "trace" (fun () ->
+      TG.schedule net trace;
+      ignore (N.run ~max_events:500_000_000 net));
+  let name = scheme_name scheme in
+  let fi = float_of_int in
+  let run =
+    E.run ~label:name ~scheme:name
+      ~knobs:
+        [
+          ("pops", fi pops); ("routers_per_pop", fi rpp); ("peer_ases", fi pas);
+          ("peering_points", fi points); ("prefixes", fi prefixes);
+          ("trace_events", fi events); ("seed", fi seed); ("mrai_s", fi mrai);
+        ]
+      ~wall_s:(Unix.gettimeofday () -. wall0)
+      ~sim_s:(Eventsim.Time.to_sec (Sim.now sim))
+      ~events:(Sim.events_processed sim)
+      ~counters:(Abrr_core.Counters.to_fields (N.total_counters net))
+      ~summaries:
+        (match Sim.Trace.entries sink with
+        | [] -> []
+        | es ->
+          [
+            ( "queue_depth",
+              Metrics.Summary.of_ints
+                (List.map (fun e -> e.Sim.Trace.depth) es) );
+          ])
+      ~phases:
+        (List.map (fun (n, st) -> (n, st.Sim.cpu_s)) (Sim.phase_stats sim))
+      []
+  in
+  let record = { E.experiment = "sim"; runs = [ run ] } in
+  let path = Filename.concat out_dir (E.filename "sim") in
+  E.write_file path record;
+  if json then print_string (E.to_string (E.record_to_json record))
+  else Printf.printf "wrote %s\n" path;
+  `Ok ()
+
+let bench_cmd =
+  let json_t =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Echo the record to stdout as well.")
+  in
+  let out_t =
+    Arg.(value & opt string "."
+         & info [ "out" ] ~doc:"Directory to write BENCH_sim.json into.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the simulate workload instrumented with the observability \
+          layer and emit a BENCH_sim.json record (see OBSERVABILITY.md).")
+    Term.(
+      ret
+        (const bench $ scheme_t $ med_t $ pops_t $ rpp_t $ pas_t $ points_t
+        $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t $ json_t
+        $ out_t))
 
 (* ---- check ---------------------------------------------------------- *)
 
@@ -319,4 +419,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; check_cmd; gadget_cmd; trace_cmd; boot_cmd; partition_cmd ]))
+          [ simulate_cmd; bench_cmd; check_cmd; gadget_cmd; trace_cmd; boot_cmd;
+            partition_cmd ]))

@@ -2,12 +2,14 @@ type t = {
   mutable updates_received : int;
   mutable updates_generated : int;
   mutable updates_transmitted : int;
+  mutable updates_suppressed : int;
   mutable messages_transmitted : int;
   mutable bytes_transmitted : int;
   mutable bytes_received : int;
   mutable withdrawals_received : int;
   mutable withdrawals_transmitted : int;
   mutable decisions_run : int;
+  mutable rib_touches : int;
   mutable last_change : Eventsim.Time.t;
 }
 
@@ -16,12 +18,14 @@ let create () =
     updates_received = 0;
     updates_generated = 0;
     updates_transmitted = 0;
+    updates_suppressed = 0;
     messages_transmitted = 0;
     bytes_transmitted = 0;
     bytes_received = 0;
     withdrawals_received = 0;
     withdrawals_transmitted = 0;
     decisions_run = 0;
+    rib_touches = 0;
     last_change = Eventsim.Time.zero;
   }
 
@@ -29,18 +33,21 @@ let reset t =
   t.updates_received <- 0;
   t.updates_generated <- 0;
   t.updates_transmitted <- 0;
+  t.updates_suppressed <- 0;
   t.messages_transmitted <- 0;
   t.bytes_transmitted <- 0;
   t.bytes_received <- 0;
   t.withdrawals_received <- 0;
   t.withdrawals_transmitted <- 0;
   t.decisions_run <- 0;
+  t.rib_touches <- 0;
   t.last_change <- Eventsim.Time.zero
 
 let add acc x =
   acc.updates_received <- acc.updates_received + x.updates_received;
   acc.updates_generated <- acc.updates_generated + x.updates_generated;
   acc.updates_transmitted <- acc.updates_transmitted + x.updates_transmitted;
+  acc.updates_suppressed <- acc.updates_suppressed + x.updates_suppressed;
   acc.messages_transmitted <- acc.messages_transmitted + x.messages_transmitted;
   acc.bytes_transmitted <- acc.bytes_transmitted + x.bytes_transmitted;
   acc.bytes_received <- acc.bytes_received + x.bytes_received;
@@ -48,13 +55,52 @@ let add acc x =
   acc.withdrawals_transmitted <-
     acc.withdrawals_transmitted + x.withdrawals_transmitted;
   acc.decisions_run <- acc.decisions_run + x.decisions_run;
+  acc.rib_touches <- acc.rib_touches + x.rib_touches;
   acc.last_change <- max acc.last_change x.last_change
+
+let copy t = { t with updates_received = t.updates_received }
+
+let diff ~after ~before =
+  {
+    updates_received = after.updates_received - before.updates_received;
+    updates_generated = after.updates_generated - before.updates_generated;
+    updates_transmitted =
+      after.updates_transmitted - before.updates_transmitted;
+    updates_suppressed = after.updates_suppressed - before.updates_suppressed;
+    messages_transmitted =
+      after.messages_transmitted - before.messages_transmitted;
+    bytes_transmitted = after.bytes_transmitted - before.bytes_transmitted;
+    bytes_received = after.bytes_received - before.bytes_received;
+    withdrawals_received =
+      after.withdrawals_received - before.withdrawals_received;
+    withdrawals_transmitted =
+      after.withdrawals_transmitted - before.withdrawals_transmitted;
+    decisions_run = after.decisions_run - before.decisions_run;
+    rib_touches = after.rib_touches - before.rib_touches;
+    last_change = after.last_change;
+  }
+
+let to_fields t =
+  [
+    ("updates_received", t.updates_received);
+    ("updates_generated", t.updates_generated);
+    ("updates_transmitted", t.updates_transmitted);
+    ("updates_suppressed", t.updates_suppressed);
+    ("messages_transmitted", t.messages_transmitted);
+    ("bytes_transmitted", t.bytes_transmitted);
+    ("bytes_received", t.bytes_received);
+    ("withdrawals_received", t.withdrawals_received);
+    ("withdrawals_transmitted", t.withdrawals_transmitted);
+    ("decisions_run", t.decisions_run);
+    ("rib_touches", t.rib_touches);
+    ("last_change_us", t.last_change);
+  ]
 
 let pp fmt t =
   Format.fprintf fmt
-    "rx=%d gen=%d tx=%d msgs=%d bytes_tx=%d bytes_rx=%d wd_rx=%d wd_tx=%d \
-     decisions=%d last_change=%a"
+    "rx=%d gen=%d tx=%d sup=%d msgs=%d bytes_tx=%d bytes_rx=%d wd_rx=%d \
+     wd_tx=%d decisions=%d rib=%d last_change=%a"
     t.updates_received t.updates_generated t.updates_transmitted
-    t.messages_transmitted t.bytes_transmitted t.bytes_received
-    t.withdrawals_received t.withdrawals_transmitted t.decisions_run
-    Eventsim.Time.pp t.last_change
+    t.updates_suppressed t.messages_transmitted t.bytes_transmitted
+    t.bytes_received t.withdrawals_received t.withdrawals_transmitted
+    t.decisions_run t.rib_touches Eventsim.Time.pp t.last_change

@@ -1,7 +1,13 @@
 (** Per-router measurement counters, matching the paper's accounting
     (§4.2): an "update" is a per-prefix route change crossing a peering
     session or a peer-group RIB-Out; bytes are measured with the wire
-    codec. *)
+    codec.
+
+    Every router owns one [t] ({!Network.counters}); {!copy} and {!diff}
+    turn the running totals into per-phase breakdowns (snapshot the
+    counters at a phase boundary, diff at the next), and {!to_fields}
+    flattens a value for JSON emission ({!Metrics.Emit}) — see
+    OBSERVABILITY.md. *)
 
 type t = {
   mutable updates_received : int;
@@ -11,6 +17,10 @@ type t = {
           the expensive operation (§3.3) *)
   mutable updates_transmitted : int;
       (** prefix-level changes sent, counted once per receiving session *)
+  mutable updates_suppressed : int;
+      (** prefix-level changes deferred by an armed MRAI timer and merged
+          into the session's pending set instead of being sent
+          immediately (the flush may later transmit a collapsed form) *)
   mutable messages_transmitted : int;
       (** wire messages sent (batched updates count once per message) *)
   mutable bytes_transmitted : int;
@@ -18,13 +28,31 @@ type t = {
   mutable withdrawals_received : int;
   mutable withdrawals_transmitted : int;
   mutable decisions_run : int;
+  mutable rib_touches : int;
+      (** route-set replacements applied to any RIB table (Loc-RIB,
+          reflector and client Adj-RIB-Outs) — the memory-traffic proxy
+          for RIB maintenance cost *)
   mutable last_change : Eventsim.Time.t;
       (** simulated time of the most recent Loc-RIB change *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc] (last_change = max). *)
+
+val copy : t -> t
+(** An independent snapshot of the current values. *)
+
+val diff : after:t -> before:t -> t
+(** Field-wise [after - before]; [last_change] is taken from [after].
+    With [before] a {!copy} made at a phase boundary this yields the
+    per-phase counter breakdown. *)
+
+val to_fields : t -> (string * int) list
+(** Stable [(name, value)] view of every counter, in declaration order,
+    with [last_change] reported in microseconds under ["last_change_us"]
+    — the flat form {!Metrics.Emit} records expect. *)
 
 val pp : Format.formatter -> t -> unit

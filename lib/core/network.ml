@@ -10,6 +10,19 @@ type t = {
   mutable best_changes : int;
 }
 
+(* Event kinds recorded by the trace sink (Sim.Trace): which of the
+   three scheduling paths produced an event. *)
+let trace_kind_deliver = 1
+let trace_kind_timer = 2
+let trace_kind_external = 3
+
+let trace_kind_name = function
+  | 1 -> "deliver"
+  | 2 -> "timer"
+  | 3 -> "external"
+  | 0 -> "unknown"
+  | k -> Printf.sprintf "kind-%d" k
+
 let create ?(seed = 42) config =
   (match Config.validate config with
   | Ok () -> ()
@@ -31,13 +44,16 @@ let create ?(seed = 42) config =
         Router.id = i;
         config;
         now = (fun () -> Sim.now sim);
-        schedule = (fun delay action -> Sim.schedule sim ~delay action);
+        schedule =
+          (fun delay action ->
+            Sim.schedule sim ~kind:trace_kind_timer ~actor:i ~delay action);
         transmit =
           (fun ~dst ~bytes ~msgs items ->
             let delay =
               if dst = i then Time.zero else config.Config.link_delay i dst
             in
-            Sim.schedule sim ~delay (fun () ->
+            Sim.schedule sim ~kind:trace_kind_deliver ~actor:dst
+              ~detail:(List.length items) ~delay (fun () ->
                 Router.receive t.routers.(dst) ~src:i ~items ~bytes ~msgs));
         igp_cost =
           (fun next_hop ->
@@ -76,7 +92,8 @@ let withdraw t ~router:i ~neighbor prefix ~path_id =
 
 let originate t ~router:i route = Router.originate (router t i) route
 let run ?until ?max_events t = Sim.run ?until ?max_events t.sim
-let at t time action = Sim.schedule_at t.sim ~time action
+let at t time action =
+  Sim.schedule_at t.sim ~kind:trace_kind_external ~time action
 let best t ~router:i p = Router.best (router t i) p
 let lookup t ~router:i addr = Router.lookup (router t i) addr
 let best_exit t ~router:i p = Router.best_exit (router t i) p
@@ -127,8 +144,8 @@ let fail t ~router:i =
   Array.iteri
     (fun j r ->
       if j <> i then
-        Sim.schedule t.sim ~delay:hold_time (fun () ->
-            Router.purge_peer r ~peer:i))
+        Sim.schedule t.sim ~kind:trace_kind_timer ~actor:j ~delay:hold_time
+          (fun () -> Router.purge_peer r ~peer:i))
     t.routers
 
 let recover t ~router:i =
@@ -138,6 +155,6 @@ let recover t ~router:i =
   Array.iteri
     (fun j r ->
       if j <> i then
-        Sim.schedule t.sim ~delay:hold_time (fun () ->
-            if Router.is_up r then Router.refresh_to r ~peer:i))
+        Sim.schedule t.sim ~kind:trace_kind_timer ~actor:j ~delay:hold_time
+          (fun () -> if Router.is_up r then Router.refresh_to r ~peer:i))
     t.routers

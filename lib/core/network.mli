@@ -11,9 +11,32 @@ val create : ?seed:int -> Config.t -> t
 (** @raise Invalid_argument when {!Config.validate} fails. *)
 
 val config : t -> Config.t
+
 val sim : t -> Sim.t
+(** The underlying simulator — attach a {!Eventsim.Sim.Trace} sink or
+    bracket {!Eventsim.Sim.phase}s through it (see OBSERVABILITY.md). *)
+
 val router_count : t -> int
 val router : t -> int -> Router.t
+
+(** {1 Trace-sink event kinds}
+
+    Every event this module schedules carries a kind and an actor
+    (router id), recorded by an attached trace sink. *)
+
+val trace_kind_deliver : int
+(** iBGP message delivery; the entry's [actor] is the receiving router
+    and [detail] the number of protocol items in the batch. *)
+
+val trace_kind_timer : int
+(** Router-local work: processing batches, MRAI flushes, session
+    hold-timer expiry. [actor] is the router that scheduled it. *)
+
+val trace_kind_external : int
+(** Externally scheduled work ({!at}: trace replay, failure scripts). *)
+
+val trace_kind_name : int -> string
+(** Human-readable name of a kind code (["deliver"], ["timer"], ...). *)
 
 (** {1 Driving the simulation} *)
 

@@ -289,6 +289,12 @@ let is_rcp t = t.roles.is_rcp
 let arr_aps t = t.roles.arr_aps
 let rejected_loops t = t.rejected_loops
 
+(* Every route-set replacement in any RIB table goes through here so the
+   rib_touches counter tracks RIB maintenance cost (OBSERVABILITY.md). *)
+let rib_set t rib p routes =
+  t.counters.rib_touches <- t.counters.rib_touches + 1;
+  Rib.set rib p routes
+
 let note_seen t prefix =
   let key = Prefix.to_key prefix in
   if not (Hashtbl.mem t.seen key) then Hashtbl.add t.seen key prefix
@@ -492,6 +498,8 @@ let rec send t dst items =
     if t.env.config.mrai = Time.zero || now >= s.mrai_until then
       transmit_now t dst s items
     else begin
+      t.counters.updates_suppressed <-
+        t.counters.updates_suppressed + List.length items;
       List.iter (merge_pending s) items;
       if not s.flush_scheduled then begin
         s.flush_scheduled <- true;
@@ -614,7 +622,7 @@ let recompute_arr t p =
       in
       let assigned, withdrawn, changed = assign_set t.ids_arr p derived in
       if changed then begin
-        Rib.set t.out_arr p assigned;
+        rib_set t t.out_arr p assigned;
         t.counters.updates_generated <- t.counters.updates_generated + 1;
         let targets =
           dedup_ints (List.concat_map (fun ap -> t.roles.arr_targets.(ap)) my_aps)
@@ -650,10 +658,10 @@ let set_single_out t ~rib ~src_tbl ~channel ~targets p desired src =
     let key = Prefix.to_key p in
     (match desired with
     | Some r ->
-      Rib.set rib p [ r ];
+      rib_set t rib p [ r ];
       Hashtbl.replace src_tbl key src
     | None ->
-      Rib.set rib p [];
+      rib_set t rib p [];
       Hashtbl.remove src_tbl key);
     t.counters.updates_generated <- t.counters.updates_generated + 1;
     let announce =
@@ -758,7 +766,7 @@ let set_multi_out t ~rib ~ids ~channel ~targets p tagged_survivors =
   in
   let assigned, withdrawn, changed = assign_set ids p derived in
   if changed then begin
-    Rib.set rib p assigned;
+    rib_set t rib p assigned;
     t.counters.updates_generated <- t.counters.updates_generated + 1;
     List.iter
       (fun dst ->
@@ -817,8 +825,8 @@ let export_plane t ~adv ~channel ~targets p desired =
   let old = Rib.get adv p in
   if not (same_single old desired) then begin
     (match desired with
-    | Some r -> Rib.set adv p [ r ]
-    | None -> Rib.set adv p []);
+    | Some r -> rib_set t adv p [ r ]
+    | None -> rib_set t adv p []);
     t.counters.updates_generated <- t.counters.updates_generated + 1;
     let withdrawn_ids = match desired with None -> [ 0 ] | Some _ -> [] in
     let routes = match desired with None -> [] | Some r -> [ r ] in
@@ -845,7 +853,7 @@ let own_as_level_survivors t tagged =
 let export_plane_set t ~adv ~ids ~channel ~targets p derived =
   let assigned, withdrawn, changed = assign_set ids p derived in
   if changed then begin
-    Rib.set adv p assigned;
+    rib_set t adv p assigned;
     t.counters.updates_generated <- t.counters.updates_generated + 1;
     List.iter
       (fun dst ->
@@ -914,10 +922,10 @@ let run_decision t p =
   if changed then begin
     (match new_route with
     | Some r ->
-      Rib.set t.loc_rib p [ r ];
+      rib_set t t.loc_rib p [ r ];
       t.fib <- Prefix_trie.add p r t.fib
     | None ->
-      Rib.set t.loc_rib p [];
+      rib_set t t.loc_rib p [];
       t.fib <- Prefix_trie.remove p t.fib);
     (match winner with
     | Some (_, src, _) -> Hashtbl.replace t.best_src key src
@@ -1022,8 +1030,8 @@ let recompute_rcp t p =
       let old = Rib.get rib p in
       if not (same_single old desired) then begin
         (match desired with
-        | Some r -> Rib.set rib p [ r ]
-        | None -> Rib.set rib p []);
+        | Some r -> rib_set t rib p [ r ]
+        | None -> rib_set t rib p []);
         t.counters.updates_generated <- t.counters.updates_generated + 1;
         let delta =
           match desired with
@@ -1140,7 +1148,7 @@ let apply_item t src ((channel, delta) : Proto.item) dirty =
       if best_only && not t.env.config.store_full_sets then best_of_set t src keep
       else keep
     in
-    Rib.set rib p routes;
+    rib_set t rib p routes;
     Hashtbl.replace dirty (Prefix.to_key p) p
   in
   match channel with

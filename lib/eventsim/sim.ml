@@ -1,4 +1,77 @@
-type event = { time : Time.t; seq : int; action : unit -> unit }
+type event = {
+  time : Time.t;
+  seq : int;
+  kind : int;
+  actor : int;
+  detail : int;
+  action : unit -> unit;
+}
+
+module Trace = struct
+  type entry = {
+    time : Time.t;
+    kind : int;
+    actor : int;
+    depth : int;
+    detail : int;
+  }
+
+  type sink = {
+    buf : entry array;
+    cap : int;
+    mutable head : int;  (* next write slot *)
+    mutable filled : int;  (* valid entries, <= cap *)
+    every : int;
+    mutable until_sample : int;
+    mutable seen : int;
+    mutable recorded : int;
+  }
+
+  let nil = { time = Time.zero; kind = 0; actor = -1; depth = 0; detail = 0 }
+
+  let make ?(capacity = 4096) ?(sample_every = 1) () =
+    if capacity < 1 then invalid_arg "Trace.make: capacity < 1";
+    if sample_every < 1 then invalid_arg "Trace.make: sample_every < 1";
+    {
+      buf = Array.make capacity nil;
+      cap = capacity;
+      head = 0;
+      filled = 0;
+      every = sample_every;
+      until_sample = 1;
+      seen = 0;
+      recorded = 0;
+    }
+
+  let capacity s = s.cap
+  let sample_every s = s.every
+  let seen s = s.seen
+  let recorded s = s.recorded
+
+  let push s e =
+    s.buf.(s.head) <- e;
+    s.head <- (s.head + 1) mod s.cap;
+    if s.filled < s.cap then s.filled <- s.filled + 1;
+    s.recorded <- s.recorded + 1
+
+  let entries s =
+    let start = (s.head - s.filled + s.cap) mod s.cap in
+    List.init s.filled (fun i -> s.buf.((start + i) mod s.cap))
+
+  let clear s =
+    s.head <- 0;
+    s.filled <- 0;
+    s.until_sample <- 1;
+    s.seen <- 0;
+    s.recorded <- 0
+end
+
+type phase_stat = {
+  calls : int;
+  cpu_s : float;
+  events : int;
+  sim_advance : Time.t;
+}
 
 type t = {
   queue : event Pqueue.Heap.t;
@@ -9,6 +82,9 @@ type t = {
   mutable probe : (unit -> unit) option;
   mutable probe_every : int;
   mutable until_probe : int;
+  mutable trace : Trace.sink option;
+  phases : (string, phase_stat) Hashtbl.t;
+  mutable phase_order : string list;  (* reversed first-use order *)
 }
 
 type outcome = Quiescent | Deadline | Event_limit
@@ -26,20 +102,23 @@ let create ?(seed = 42) () =
     probe = None;
     probe_every = 0;
     until_probe = 0;
+    trace = None;
+    phases = Hashtbl.create 8;
+    phase_order = [];
   }
 
 let now t = t.clock
 let rng t = t.rng
 
-let schedule_at t ~time action =
+let schedule_at t ?(kind = 0) ?(actor = -1) ?(detail = 0) ~time action =
   if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Pqueue.Heap.push t.queue { time; seq; action }
+  Pqueue.Heap.push t.queue { time; seq; kind; actor; detail; action }
 
-let schedule t ~delay action =
+let schedule t ?kind ?actor ?detail ~delay action =
   if delay < 0 then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t ~time:(t.clock + delay) action
+  schedule_at t ?kind ?actor ?detail ~time:(t.clock + delay) action
 
 let pending t = Pqueue.Heap.length t.queue
 let events_processed t = t.processed
@@ -55,6 +134,10 @@ let clear_probe t =
   t.probe_every <- 0;
   t.until_probe <- 0
 
+let set_sink t s = t.trace <- Some s
+let clear_sink t = t.trace <- None
+let sink t = t.trace
+
 let run ?(until = max_int) ?(max_events = max_int) t =
   let budget = ref max_events in
   let rec loop () =
@@ -68,6 +151,22 @@ let run ?(until = max_int) ?(max_events = max_int) t =
         t.clock <- ev.time;
         t.processed <- t.processed + 1;
         decr budget;
+        (match t.trace with
+        | None -> ()
+        | Some s ->
+          s.Trace.seen <- s.Trace.seen + 1;
+          s.Trace.until_sample <- s.Trace.until_sample - 1;
+          if s.Trace.until_sample <= 0 then begin
+            s.Trace.until_sample <- s.Trace.every;
+            Trace.push s
+              {
+                Trace.time = ev.time;
+                kind = ev.kind;
+                actor = ev.actor;
+                depth = Pqueue.Heap.length t.queue;
+                detail = ev.detail;
+              }
+          end);
         ev.action ();
         (match t.probe with
         | None -> ()
@@ -80,6 +179,35 @@ let run ?(until = max_int) ?(max_events = max_int) t =
         loop ()
   in
   loop ()
+
+let phase t name f =
+  let cpu0 = Sys.time () in
+  let events0 = t.processed in
+  let clock0 = t.clock in
+  let account () =
+    let prev =
+      match Hashtbl.find_opt t.phases name with
+      | Some s -> s
+      | None ->
+        t.phase_order <- name :: t.phase_order;
+        { calls = 0; cpu_s = 0.; events = 0; sim_advance = Time.zero }
+    in
+    Hashtbl.replace t.phases name
+      {
+        calls = prev.calls + 1;
+        cpu_s = prev.cpu_s +. (Sys.time () -. cpu0);
+        events = prev.events + (t.processed - events0);
+        sim_advance = prev.sim_advance + (t.clock - clock0);
+      }
+  in
+  Fun.protect ~finally:account f
+
+let phase_stats t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.phases name)) t.phase_order
+
+let reset_phases t =
+  Hashtbl.reset t.phases;
+  t.phase_order <- []
 
 let pp_outcome fmt = function
   | Quiescent -> Format.pp_print_string fmt "quiescent"

@@ -2,7 +2,17 @@
 
     Events scheduled for the same instant fire in scheduling order, and
     the random stream is owned by the simulator, so a run is a pure
-    function of (program, seed). *)
+    function of (program, seed).
+
+    The simulator carries two observability hooks, both off by default
+    and both O(1) per event when enabled (see OBSERVABILITY.md):
+
+    - a structured {{!Trace}trace sink} — a bounded ring buffer fed a
+      sampled stream of per-event entries (kind, actor, simulated time,
+      queue depth);
+    - {{!phase}phase timers} — named wall-clock/event/sim-time
+      accumulators bracketing the caller's phases (snapshot feed, trace
+      replay, ...). *)
 
 type t
 
@@ -12,17 +22,36 @@ type outcome =
   | Event_limit  (** [max_events] processed — used by oscillation detectors *)
 
 val create : ?seed:int -> unit -> t
+(** A fresh simulator at time {!Time.zero} with an empty queue. [seed]
+    initialises the simulation-owned random stream (default 42). *)
+
 val now : t -> Time.t
+(** Current simulated time: the timestamp of the event being (or last)
+    processed. *)
+
 val rng : t -> Random.State.t
+(** The simulation-owned random stream. Draw from this (never from the
+    global [Random]) to keep runs reproducible. *)
 
-val schedule : t -> delay:Time.t -> (unit -> unit) -> unit
-(** @raise Invalid_argument on negative delay. *)
+val schedule : t -> ?kind:int -> ?actor:int -> ?detail:int -> delay:Time.t ->
+  (unit -> unit) -> unit
+(** Schedule [action] to run [delay] after {!now}. [kind], [actor] and
+    [detail] are free-form integers recorded by the trace sink when one
+    is attached (defaults [0], [-1], [0]); {!Abrr_core.Network} assigns
+    kinds for message delivery, router-local timers and external
+    injections — see [Network.trace_kind_name].
+    @raise Invalid_argument on negative delay. *)
 
-val schedule_at : t -> time:Time.t -> (unit -> unit) -> unit
-(** @raise Invalid_argument if [time] is in the past. *)
+val schedule_at : t -> ?kind:int -> ?actor:int -> ?detail:int -> time:Time.t ->
+  (unit -> unit) -> unit
+(** Absolute-time variant of {!schedule}.
+    @raise Invalid_argument if [time] is in the past. *)
 
 val pending : t -> int
+(** Number of events waiting in the queue. *)
+
 val events_processed : t -> int
+(** Total events processed since {!create}. *)
 
 val set_probe : t -> every:int -> (unit -> unit) -> unit
 (** Install a callback invoked after every [every] processed events —
@@ -39,3 +68,76 @@ val run : ?until:Time.t -> ?max_events:int -> t -> outcome
     Can be called repeatedly to continue a paused simulation. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Structured trace sink}
+
+    A sink observes the event dispatch loop: every processed event
+    counts as {e seen}; every [sample_every]-th seen event is {e
+    recorded} into a fixed-capacity ring buffer (oldest entries are
+    overwritten). Memory is bounded by [capacity] for the lifetime of
+    the sink and recording is a handful of integer stores — attaching a
+    sink does not perturb simulation results, only observes them. *)
+
+module Trace : sig
+  type entry = {
+    time : Time.t;  (** simulated time of the event *)
+    kind : int;  (** scheduler-supplied event kind ([0] = unknown) *)
+    actor : int;  (** scheduler-supplied actor, e.g. a router id ([-1] = none) *)
+    depth : int;  (** queue depth right after the event was popped *)
+    detail : int;  (** scheduler-supplied payload, e.g. a batch size *)
+  }
+
+  type sink
+
+  val make : ?capacity:int -> ?sample_every:int -> unit -> sink
+  (** A detached sink. [capacity] bounds the ring buffer (default 4096
+      entries); [sample_every] records every n-th seen event (default 1
+      = record all).
+      @raise Invalid_argument if either is [< 1]. *)
+
+  val capacity : sink -> int
+  val sample_every : sink -> int
+
+  val seen : sink -> int
+  (** Events dispatched while this sink was attached. *)
+
+  val recorded : sink -> int
+  (** Entries ever recorded (may exceed {!capacity}; the ring keeps the
+      newest {!capacity} of them). *)
+
+  val entries : sink -> entry list
+  (** Retained entries, oldest first. Non-destructive. *)
+
+  val clear : sink -> unit
+  (** Drop retained entries and reset the counters. *)
+end
+
+val set_sink : t -> Trace.sink -> unit
+(** Attach a sink (at most one; replaces any previous one). Costs one
+    [option] test per event when absent. *)
+
+val clear_sink : t -> unit
+val sink : t -> Trace.sink option
+
+(** {1 Phase timers}
+
+    Named accumulators for the caller's coarse phases. Repeated calls
+    under the same name accumulate; nested phases both accumulate (the
+    outer includes the inner). *)
+
+type phase_stat = {
+  calls : int;  (** number of [phase] invocations under this name *)
+  cpu_s : float;  (** accumulated processor seconds ([Sys.time]) *)
+  events : int;  (** simulator events processed inside the phase *)
+  sim_advance : Time.t;  (** simulated time elapsed inside the phase *)
+}
+
+val phase : t -> string -> (unit -> 'a) -> 'a
+(** [phase t name f] runs [f ()] and charges its processor time, event
+    count and simulated-time advance to [name]. Exceptions propagate
+    (the partial phase is still accounted). *)
+
+val phase_stats : t -> (string * phase_stat) list
+(** All phases in first-use order. *)
+
+val reset_phases : t -> unit

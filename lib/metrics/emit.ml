@@ -1,0 +1,570 @@
+(* Dependency-free JSON + the BENCH_*.json record schema + diffing.
+   See OBSERVABILITY.md for the contract this module implements. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string ?(compact = false) j =
+  let buf = Buffer.create 1024 in
+  let nl indent =
+    if not compact then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make indent ' ')
+    end
+  in
+  let rec go indent = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+        Buffer.add_string buf "null"
+      else
+        (* shortest representation that still round-trips exactly *)
+        let short = Printf.sprintf "%.12g" f in
+        Buffer.add_string buf
+          (if float_of_string short = f then short
+           else Printf.sprintf "%.17g" f)
+    | Str s -> escape_to buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (indent + 2);
+          go (indent + 2) item)
+        items;
+      nl indent;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (indent + 2);
+          escape_to buf k;
+          Buffer.add_string buf (if compact then ":" else ": ");
+          go (indent + 2) v)
+        fields;
+      nl indent;
+      Buffer.add_char buf '}'
+  in
+  go 0 j;
+  if not compact then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: plain recursive descent over a string                      *)
+
+exception Bad of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some _ | None -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          let hi = hex4 () in
+          if hi >= 0xD800 && hi <= 0xDBFF then begin
+            (* surrogate pair *)
+            if
+              !pos + 2 <= n
+              && s.[!pos] = '\\'
+              && s.[!pos + 1] = 'u'
+            then begin
+              pos := !pos + 2;
+              let lo = hex4 () in
+              if lo < 0xDC00 || lo > 0xDFFF then fail "invalid low surrogate";
+              add_utf8 buf
+                (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+            end
+            else fail "lone high surrogate"
+          end
+          else add_utf8 buf hi
+        | c -> fail (Printf.sprintf "invalid escape \\%C" c));
+        go ())
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "malformed number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (f :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (f :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+    Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let number = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null -> Some Float.nan
+  | _ -> None
+
+let string_opt = function Str s -> Some s | _ -> None
+let int_opt = function Int i -> Some i | _ -> None
+let bool_opt = function Bool b -> Some b | _ -> None
+let list_opt = function Arr l -> Some l | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Bench records                                                       *)
+
+let schema_version = 1
+
+type metric = { name : string; value : float; unit_ : string; gate : bool }
+
+type run = {
+  label : string;
+  scheme : string;
+  knobs : (string * float) list;
+  wall_s : float;
+  sim_s : float;
+  events : int;
+  counters : (string * int) list;
+  summaries : (string * Summary.t) list;
+  phases : (string * float) list;
+  metrics : metric list;
+}
+
+type record = { experiment : string; runs : run list }
+
+let metric ?(unit_ = "") ?(gate = true) name value = { name; value; unit_; gate }
+
+let run ?(scheme = "") ?(knobs = []) ?(wall_s = 0.) ?(sim_s = 0.) ?(events = 0)
+    ?(counters = []) ?(summaries = []) ?(phases = []) ~label metrics =
+  { label; scheme; knobs; wall_s; sim_s; events; counters; summaries; phases;
+    metrics }
+
+let summary_to_json (s : Summary.t) =
+  Obj
+    [
+      ("count", Int s.Summary.count);
+      ("min", Float s.Summary.min);
+      ("max", Float s.Summary.max);
+      ("mean", Float s.Summary.mean);
+      ("stddev", Float s.Summary.stddev);
+      ("sum", Float s.Summary.sum);
+    ]
+
+let metric_to_json m =
+  Obj
+    [
+      ("name", Str m.name);
+      ("value", Float m.value);
+      ("unit", Str m.unit_);
+      ("gate", Bool m.gate);
+    ]
+
+let run_to_json r =
+  Obj
+    [
+      ("label", Str r.label);
+      ("scheme", Str r.scheme);
+      ("knobs", Obj (List.map (fun (k, v) -> (k, Float v)) r.knobs));
+      ("wall_s", Float r.wall_s);
+      ("sim_s", Float r.sim_s);
+      ("events", Int r.events);
+      ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) r.counters));
+      ("summaries",
+       Obj (List.map (fun (k, v) -> (k, summary_to_json v)) r.summaries));
+      ("phases", Obj (List.map (fun (k, v) -> (k, Float v)) r.phases));
+      ("metrics", Arr (List.map metric_to_json r.metrics));
+    ]
+
+let record_to_json r =
+  Obj
+    [
+      ("schema", Int schema_version);
+      ("experiment", Str r.experiment);
+      ("runs", Arr (List.map run_to_json r.runs));
+    ]
+
+(* Decoding: missing optional components default to empty, so the schema
+   can grow without invalidating older files. *)
+
+let ( let* ) r f = Result.bind r f
+
+let need what = function Some v -> Ok v | None -> Error ("missing " ^ what)
+
+let num_field name j =
+  match Option.bind (member name j) number with Some f -> f | None -> 0.
+
+let assoc_fields conv name j =
+  match member name j with
+  | Some (Obj fields) ->
+    List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) (conv v)) fields
+  | _ -> []
+
+let summary_of_json j : Summary.t option =
+  let f name = Option.bind (member name j) number in
+  match (Option.bind (member "count" j) int_opt, f "min", f "max", f "mean",
+         f "stddev", f "sum")
+  with
+  | Some count, Some min, Some max, Some mean, Some stddev, Some sum ->
+    Some { Summary.count; min; max; mean; stddev; sum }
+  | _ -> None
+
+let metric_of_json j =
+  match Option.bind (member "name" j) string_opt with
+  | None -> Error "metric without a name"
+  | Some name ->
+    let value =
+      match Option.bind (member "value" j) number with
+      | Some v -> v
+      | None -> Float.nan
+    in
+    let unit_ =
+      Option.value ~default:"" (Option.bind (member "unit" j) string_opt)
+    in
+    let gate =
+      Option.value ~default:true (Option.bind (member "gate" j) bool_opt)
+    in
+    Ok { name; value; unit_; gate }
+
+let run_of_json j =
+  let* label = need "run label" (Option.bind (member "label" j) string_opt) in
+  let scheme =
+    Option.value ~default:"" (Option.bind (member "scheme" j) string_opt)
+  in
+  let* metrics =
+    match member "metrics" j with
+    | None -> Ok []
+    | Some (Arr items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* m = metric_of_json item in
+          Ok (m :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+    | Some _ -> Error "metrics is not an array"
+  in
+  Ok
+    {
+      label;
+      scheme;
+      knobs = assoc_fields number "knobs" j;
+      wall_s = num_field "wall_s" j;
+      sim_s = num_field "sim_s" j;
+      events = Option.value ~default:0 (Option.bind (member "events" j) int_opt);
+      counters = assoc_fields int_opt "counters" j;
+      summaries = assoc_fields summary_of_json "summaries" j;
+      phases = assoc_fields number "phases" j;
+      metrics;
+    }
+
+let record_of_json j =
+  let* schema = need "schema" (Option.bind (member "schema" j) int_opt) in
+  if schema <> schema_version then
+    Error (Printf.sprintf "unsupported schema version %d" schema)
+  else
+    let* experiment =
+      need "experiment" (Option.bind (member "experiment" j) string_opt)
+    in
+    let* runs =
+      match member "runs" j with
+      | Some (Arr items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* r = run_of_json item in
+            Ok (r :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+      | Some _ -> Error "runs is not an array"
+      | None -> Error "missing runs"
+    in
+    Ok { experiment; runs }
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+
+let filename experiment = "BENCH_" ^ experiment ^ ".json"
+
+let write_file path record =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string (record_to_json record)))
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    let* j = of_string text in
+    record_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Diffing                                                             *)
+
+type drift = {
+  d_run : string;
+  d_name : string;
+  d_base : float;
+  d_cand : float;
+  d_rel : float;
+  d_gated : bool;
+}
+
+let rel_dev base cand =
+  if base = cand then 0.
+  else if base = 0. then Float.infinity
+  else Float.abs (cand -. base) /. Float.abs base
+
+(* Flatten a run into (dotted name, value, gated) triples. Counters,
+   sim_s, events and gated metrics gate; wall-clock, phases, summaries
+   and ungated metrics are informational. *)
+let flatten r =
+  List.concat
+    [
+      [ ("sim_s", r.sim_s, true); ("events", float_of_int r.events, true);
+        ("wall_s", r.wall_s, false) ];
+      List.map
+        (fun (k, v) -> ("counters." ^ k, float_of_int v, true))
+        r.counters;
+      List.map (fun (k, v) -> ("phases." ^ k, v, false)) r.phases;
+      List.map
+        (fun (k, (s : Summary.t)) -> ("summaries." ^ k ^ ".mean", s.Summary.mean, false))
+        r.summaries;
+      List.map
+        (fun m -> ("metrics." ^ m.name, m.value, m.gate))
+        r.metrics;
+    ]
+
+let diff ~threshold ~baseline ~candidate =
+  List.concat_map
+    (fun base_run ->
+      match
+        List.find_opt (fun r -> r.label = base_run.label) candidate.runs
+      with
+      | None ->
+        [ { d_run = base_run.label; d_name = "(entire run missing)";
+            d_base = Float.nan; d_cand = Float.nan; d_rel = Float.infinity;
+            d_gated = true } ]
+      | Some cand_run ->
+        let cand_vals = flatten cand_run in
+        List.filter_map
+          (fun (name, base, gated) ->
+            match
+              List.find_opt (fun (n, _, _) -> n = name) cand_vals
+            with
+            | None ->
+              if gated then
+                Some { d_run = base_run.label; d_name = name; d_base = base;
+                       d_cand = Float.nan; d_rel = Float.infinity;
+                       d_gated = true }
+              else None
+            | Some (_, cand, _) ->
+              let rel = rel_dev base cand in
+              if rel > threshold then
+                Some { d_run = base_run.label; d_name = name; d_base = base;
+                       d_cand = cand; d_rel = rel; d_gated = gated }
+              else None)
+          (flatten base_run))
+    baseline.runs
+
+let render_drifts = function
+  | [] -> "no drift\n"
+  | drifts ->
+    let fmt f = if Float.is_nan f then "-" else Printf.sprintf "%.6g" f in
+    Table.render
+      ~align:[ Table.Left; Table.Left ]
+      ~header:[ "run"; "quantity"; "baseline"; "candidate"; "rel. dev"; "gated" ]
+      (List.map
+         (fun d ->
+           [ d.d_run; d.d_name; fmt d.d_base; fmt d.d_cand;
+             (if d.d_rel = Float.infinity then "inf"
+              else Printf.sprintf "%.1f%%" (100. *. d.d_rel));
+             (if d.d_gated then "YES" else "no") ])
+         drifts)

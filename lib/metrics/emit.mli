@@ -1,0 +1,145 @@
+(** Machine-readable benchmark emission: a dependency-free JSON codec,
+    the [BENCH_<experiment>.json] record schema every experiment writes,
+    and the record-diffing logic behind [bench/compare.exe].
+
+    The schema and the workflow around it (recording runs, comparing two
+    run sets, the CI soft gate) are documented end-to-end in
+    [OBSERVABILITY.md] at the repository root. The JSON layer is
+    deliberately minimal — just enough to round-trip {!type:record} —
+    so that [lib/metrics] stays free of external dependencies. *)
+
+(** {1 JSON values} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats encode as [null] *)
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list  (** insertion order is preserved *)
+
+val to_string : ?compact:bool -> json -> string
+(** Serialize. The default is pretty-printed with two-space indentation
+    and a trailing newline; [~compact:true] emits a single line (no
+    trailing newline). Strings are escaped per RFC 8259; NaN and
+    infinities become [null]. *)
+
+val of_string : string -> (json, string) result
+(** Parse a JSON document. Numbers without a fraction or exponent that
+    fit in an OCaml [int] parse as {!Int}, everything else as {!Float}.
+    [\uXXXX] escapes are decoded to UTF-8 (surrogate pairs supported).
+    The error string carries a character offset. *)
+
+(** {2 Accessors} *)
+
+val member : string -> json -> json option
+(** [member key j] is the value bound to [key] when [j] is an {!Obj}. *)
+
+val number : json -> float option
+(** {!Int} or {!Float} (NaN for {!Null}, mirroring the encoder). *)
+
+val string_opt : json -> string option
+val int_opt : json -> int option
+val bool_opt : json -> bool option
+val list_opt : json -> json list option
+
+(** {1 The benchmark record schema}
+
+    One [BENCH_<experiment>.json] file holds one {!type:record}: the
+    experiment id plus a list of {!type:run}s (one per configuration the
+    experiment measured — e.g. one per iBGP scheme). Every numeric
+    result a run reports is either a named {!type:metric} or a counter /
+    summary / phase entry; {!diff} knows which of them participate in
+    regression gating (see [OBSERVABILITY.md]). *)
+
+val schema_version : int
+(** Version stamp written to (and checked when reading) every file. *)
+
+type metric = {
+  name : string;
+  value : float;
+  unit_ : string;  (** e.g. ["entries"], ["ns"], ["s"]; [""] = unitless *)
+  gate : bool;
+      (** [true] when the value is deterministic for a fixed seed and
+          should participate in regression gating; [false] for noisy
+          quantities (wall-clock timings, ns/op estimates) that are
+          reported but never gated *)
+}
+
+type run = {
+  label : string;  (** unique within the record, e.g. ["ABRR  8 APs"] *)
+  scheme : string;  (** iBGP scheme id, [""] when not applicable *)
+  knobs : (string * float) list;
+      (** scale parameters: prefix counts, trace events, router counts *)
+  wall_s : float;  (** wall-clock seconds spent producing the run *)
+  sim_s : float;  (** final simulated time, [0.] when no simulation ran *)
+  events : int;  (** simulator events processed, [0] when none *)
+  counters : (string * int) list;
+      (** network-total counter values, from {!Abrr_core.Counters} *)
+  summaries : (string * Summary.t) list;
+      (** distribution summaries (per-router RIB sizes, sampled trace
+          queue depths, ...) *)
+  phases : (string * float) list;
+      (** per-phase CPU seconds from {!Eventsim.Sim.phase_stats} *)
+  metrics : metric list;  (** the experiment's headline numbers *)
+}
+
+type record = { experiment : string; runs : run list }
+
+val metric : ?unit_:string -> ?gate:bool -> string -> float -> metric
+(** [metric name value] with [unit_ = ""] and [gate = true]. *)
+
+val run :
+  ?scheme:string ->
+  ?knobs:(string * float) list ->
+  ?wall_s:float ->
+  ?sim_s:float ->
+  ?events:int ->
+  ?counters:(string * int) list ->
+  ?summaries:(string * Summary.t) list ->
+  ?phases:(string * float) list ->
+  label:string ->
+  metric list ->
+  run
+(** All optional components default to empty / zero. *)
+
+val record_to_json : record -> json
+
+val record_of_json : json -> (record, string) result
+(** Rejects missing mandatory fields and unknown schema versions;
+    optional run components default as in {!run}. *)
+
+(** {1 File round-trip} *)
+
+val filename : string -> string
+(** [filename exp] is ["BENCH_" ^ exp ^ ".json"]. *)
+
+val write_file : string -> record -> unit
+(** Atomically-enough for our purposes: truncate + write + close. *)
+
+val read_file : string -> (record, string) result
+
+(** {1 Diffing two records (the [compare] tool)} *)
+
+type drift = {
+  d_run : string;  (** run label *)
+  d_name : string;  (** dotted path, e.g. ["counters.updates_received"] *)
+  d_base : float;  (** NaN when missing from the baseline *)
+  d_cand : float;  (** NaN when missing from the candidate *)
+  d_rel : float;  (** relative deviation, [infinity] when base = 0 <> cand *)
+  d_gated : bool;
+}
+
+val diff : threshold:float -> baseline:record -> candidate:record -> drift list
+(** Every gated quantity of [baseline] ([counters], [sim_s], [events]
+    and gated [metrics]) is matched by run label and name against
+    [candidate]; a relative deviation above [threshold], or a gated
+    quantity missing from the candidate, produces a gated drift.
+    Ungated quantities are compared too but their drifts carry
+    [d_gated = false] (informational only). Quantities that exist only
+    in the candidate are ignored — the schema may grow. Runs present
+    only in the baseline drift as a whole (gated). *)
+
+val render_drifts : drift list -> string
+(** Human-readable table of drifts (via {!Table.render}). *)

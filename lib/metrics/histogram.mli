@@ -7,9 +7,18 @@ val create : lo:float -> hi:float -> bins:int -> t
     [lo, hi) land in the first/last bin. *)
 
 val add : t -> float -> unit
+
 val add_int : t -> int -> unit
+(** {!add} of [float_of_int]. *)
+
 val count : t -> int
+(** Total samples added. *)
+
 val bin_counts : t -> int array
+(** Per-bin sample counts, lowest bin first. *)
+
 val bin_bounds : t -> int -> float * float
+(** [(lo, hi)] bounds of bin [i]. *)
+
 val pp : ?width:int -> Format.formatter -> t -> unit
 (** ASCII bar rendering. *)

@@ -1,11 +1,12 @@
-(** Summary statistics over float samples. *)
+(** Summary statistics over float samples — the distribution component
+    of the [BENCH_*.json] schema ({!Emit.run}'s [summaries] field). *)
 
 type t = {
   count : int;
   min : float;
   max : float;
   mean : float;
-  stddev : float;
+  stddev : float;  (** population standard deviation *)
   sum : float;
 }
 
@@ -13,10 +14,15 @@ val of_list : float list -> t
 (** @raise Invalid_argument on an empty list. *)
 
 val of_ints : int list -> t
+(** {!of_list} over [float_of_int]-converted samples.
+    @raise Invalid_argument on an empty list. *)
 
 val percentile : float list -> float -> float
 (** [percentile samples q] with [q] in 0..100, linear interpolation.
     @raise Invalid_argument on empty input or out-of-range [q]. *)
 
 val median : float list -> float
+(** [percentile samples 50.] *)
+
 val pp : Format.formatter -> t -> unit
+(** One-line rendering, e.g. ["n=4 min=1 mean=4 max=10"]. *)
