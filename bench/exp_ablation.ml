@@ -25,7 +25,11 @@ let loop_prevention_ablation topo table trace =
          (N.counters result.net i).Abrr_core.Counters.bytes_transmitted))
       .Metrics.Summary.mean
   in
-  let rb = bytes C.Reflected_bit and cl = bytes C.Cluster_list in
+  let rb, cl =
+    match map_points bytes [ C.Reflected_bit; C.Cluster_list ] with
+    | [ rb; cl ] -> (rb, cl)
+    | _ -> assert false
+  in
   Metrics.Table.print
     ~header:[ "encoding"; "bytes tx per ARR (trace)" ]
     [
@@ -52,8 +56,15 @@ let partition_ablation topo table =
     (s.Metrics.Summary.min, s.Metrics.Summary.mean, s.Metrics.Summary.max)
   in
   let prefixes = Array.to_list table.RG.prefixes in
-  let u_min, u_avg, u_max = spread (Abrr_core.Partition.uniform 8) in
-  let b_min, b_avg, b_max = spread (Abrr_core.Partition.balanced ~prefixes 8) in
+  let (u_min, u_avg, u_max), (b_min, b_avg, b_max) =
+    match
+      map_points spread
+        [ Abrr_core.Partition.uniform 8;
+          Abrr_core.Partition.balanced ~prefixes 8 ]
+    with
+    | [ u; b ] -> (u, b)
+    | _ -> assert false
+  in
   Metrics.Table.print
     ~header:[ "partitioning"; "RIB-Out min"; "avg"; "max"; "max/avg" ]
     [
@@ -122,7 +133,7 @@ let blast_radius_ablation topo table =
     ]
   in
   let measured =
-    List.map
+    map_points
       (fun (key, label, scheme, victims, observer) ->
         let before, lost = lost_prefixes scheme victims observer in
         (key, label, before, lost))
@@ -154,8 +165,14 @@ let med_mode_ablation () =
     G.inject g net;
     A.oscillates (A.run ~max_events:50_000 net)
   in
-  let per_nas = oscillates Bgp.Decision.Per_neighbor_as in
-  let always = oscillates Bgp.Decision.Always_compare in
+  let per_nas, always =
+    match
+      map_points oscillates
+        [ Bgp.Decision.Per_neighbor_as; Bgp.Decision.Always_compare ]
+    with
+    | [ p; a ] -> (p, a)
+    | _ -> assert false
+  in
   let verdict b = if b then "OSCILLATES" else "converges" in
   Metrics.Table.print
     ~header:[ "MED mode"; "TBRR behaviour" ]

@@ -26,9 +26,10 @@ let static_flags flavor =
 
 let run () =
   print_endline "== §2.3: routing-anomaly matrix ==";
-  let jruns = ref [] in
-  let rows =
-    List.map
+  (* One point per scheme flavor (each builds its own gadget networks);
+     fanned across the --jobs pool, merged in flavor order. *)
+  let measured =
+    Exp_common.map_points
       (fun (name, flavor) ->
         let _, _, med = verdict G.med_oscillation flavor in
         let _, _, topo = verdict G.topology_oscillation flavor in
@@ -43,7 +44,7 @@ let run () =
         let loops = A.forwarding_loops net g.G.prefix <> [] in
         let flagged = static_flags flavor in
         let b n v = Exp_common.E.metric n (if v then 1. else 0.) in
-        jruns :=
+        let jrun =
           Exp_common.E.run ~label:name
             [
               b "med_oscillates" (A.oscillates med);
@@ -52,17 +53,20 @@ let run () =
               b "forwarding_loops" loops;
               Exp_common.E.metric "static_flags" (float_of_int flagged);
             ]
-          :: !jruns;
-        [
-          name;
-          (if A.oscillates med then "OSCILLATES" else "converges");
-          (if A.oscillates topo then "OSCILLATES" else "converges");
-          exit;
-          (if loops then "LOOPS" else "loop-free");
-          (if flagged = 0 then "clean" else Printf.sprintf "flags %d/3" flagged);
-        ])
+        in
+        ( jrun,
+          [
+            name;
+            (if A.oscillates med then "OSCILLATES" else "converges");
+            (if A.oscillates topo then "OSCILLATES" else "converges");
+            exit;
+            (if loops then "LOOPS" else "loop-free");
+            (if flagged = 0 then "clean" else Printf.sprintf "flags %d/3" flagged);
+          ] ))
       flavors
   in
+  let jruns = List.map fst measured in
+  let rows = List.map snd measured in
   Metrics.Table.print
     ~align:[ Metrics.Table.Left ]
     ~header:
@@ -70,5 +74,4 @@ let run () =
         "forwarding"; "static check" ]
     rows;
   print_newline ();
-  Exp_common.emit
-    { Exp_common.E.experiment = "anomalies"; runs = List.rev !jruns }
+  Exp_common.emit { Exp_common.E.experiment = "anomalies"; runs = jruns }

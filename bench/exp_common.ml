@@ -43,6 +43,20 @@ let config topo scheme =
 let out_dir = ref "."
 let echo_json = ref false
 
+(* {2 Run-level parallelism ([--jobs N])}
+
+   Every experiment expresses its sweep as [map_points] over a list of
+   independent points (schemes, knob values, trials). With [jobs] > 1
+   the points fan out across a domain pool; each point still runs its
+   whole simulation inside one domain (determinism untouched) and the
+   results come back in input order, so tables and BENCH_*.json records
+   are identical to a serial run except for the ungated wall-clock
+   fields. Point functions must not touch shared mutable state — they
+   return values and the caller assembles rows/records after the merge. *)
+
+let jobs = ref 1
+let map_points f points = Parallel.Pool.map ~jobs:!jobs f points
+
 let emit record =
   let path = Filename.concat !out_dir (E.filename record.E.experiment) in
   E.write_file path record;

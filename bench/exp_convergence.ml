@@ -76,11 +76,27 @@ let mrai_values = [ 0; 1; 3; 5; 7; 10 ]
 
 let run () =
   print_endline "== §3.5: convergence time of a route improvement (seconds) ==";
+  (* MRAI x scheme points are independent (each converge call builds its
+     own networks); fan them across the --jobs pool and re-pair the
+     results in MRAI order afterwards. *)
+  let points =
+    List.concat_map
+      (fun secs -> [ (secs, `Tbrr); (secs, `Abrr) ])
+      mrai_values
+  in
+  let times =
+    Exp_common.map_points
+      (fun (secs, which) ->
+        let mrai = Time.sec secs in
+        converge ~mrai
+          (match which with `Tbrr -> tbrr_scheme | `Abrr -> abrr_scheme))
+      points
+  in
+  let measured = List.combine points times in
   let samples =
     List.map
       (fun secs ->
-        let mrai = Time.sec secs in
-        (secs, converge ~mrai tbrr_scheme, converge ~mrai abrr_scheme))
+        (secs, List.assoc (secs, `Tbrr) measured, List.assoc (secs, `Abrr) measured))
       mrai_values
   in
   Metrics.Table.print ~header:[ "MRAI (s)"; "TBRR (3 hops)"; "ABRR (2 hops)" ]

@@ -33,8 +33,10 @@ let run () =
   let topo = Exp_common.tier1_topo () in
   let table = Exp_common.tier1_table topo Exp_common.default_scale in
   let total = topo.T.spec.T.peer_ases in
+  (* One point per sample size (pure computations over the shared
+     immutable table): fanned across the --jobs pool. *)
   let points =
-    List.map
+    Exp_common.map_points
       (fun k ->
         ( float_of_int k,
           [

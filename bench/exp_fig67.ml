@@ -52,50 +52,61 @@ let run ?(scale = default_scale) () =
     "Workload: %d routers / %d clusters, %d prefixes, measured #BAL = %.2f,\n\
      trace: %d announcements + %d withdrawals over 14 simulated days.\n\n"
     topo.T.n_routers (List.length topo.T.clusters) scale.n_prefixes bal a w;
-  let rows = ref [] in
-  let jruns = ref [] in
-  let add ~scheme result row =
-    rows := row :: !rows;
-    let i1, i2, i3 = row.rib_in and o1, o2, o3 = row.rib_out in
-    let m = E.metric ~unit_:"entries" in
-    let u = E.metric ~unit_:"updates" in
-    jruns :=
-      json_run ~scheme ~knobs:(scale_knobs scale) result
-        [
-          m "rib_in_min" (fi i1); m "rib_in_avg" (fi i2); m "rib_in_max" (fi i3);
-          m "rib_in_expect" (fi row.rib_in_expect);
-          m "rib_out_min" (fi o1); m "rib_out_avg" (fi o2);
-          m "rib_out_max" (fi o3); m "rib_out_expect" (fi row.rib_out_expect);
-          u "rr_rx_avg" (fi row.rx); u "rr_gen_avg" (fi row.gen);
-          u "client_rx_avg" (fi row.client_rx);
-        ]
-      :: !jruns
+  (* One independent sweep point per configuration; fanned across the
+     [--jobs] domain pool and merged back in canonical order. *)
+  let points =
+    List.map (fun aps -> `Abrr aps) abrr_ap_counts @ [ `Tbrr ]
   in
-  List.iter
-    (fun aps ->
-      let label = Printf.sprintf "ABRR %2d APs" aps in
-      let result =
-        run_scheme ~label ~topo ~table ~trace
-          (T.abrr_scheme ~aps ~arrs_per_ap:2 topo)
-      in
-      add ~scheme:"abrr" result
-        (collect ~label
-           ~analytic:
-             (analytic ~prefixes:scale.n_prefixes ~bal ~groups:aps
-                ~rrs_per_group:2 ~tbrr:false)
-           result))
-    abrr_ap_counts;
-  let tbrr_result =
-    run_scheme ~label:"TBRR" ~topo ~table ~trace (T.tbrr_scheme topo)
+  let measured =
+    map_points
+      (fun point ->
+        match point with
+        | `Abrr aps ->
+          let label = Printf.sprintf "ABRR %2d APs" aps in
+          let result =
+            run_scheme ~label ~topo ~table ~trace
+              (T.abrr_scheme ~aps ~arrs_per_ap:2 topo)
+          in
+          ( "abrr",
+            result,
+            collect ~label
+              ~analytic:
+                (analytic ~prefixes:scale.n_prefixes ~bal ~groups:aps
+                   ~rrs_per_group:2 ~tbrr:false)
+              result )
+        | `Tbrr ->
+          let result =
+            run_scheme ~label:"TBRR" ~topo ~table ~trace (T.tbrr_scheme topo)
+          in
+          ( "tbrr",
+            result,
+            collect ~label:"TBRR 13 clu"
+              ~analytic:
+                (analytic ~prefixes:scale.n_prefixes ~bal
+                   ~groups:(List.length topo.T.clusters) ~rrs_per_group:2
+                   ~tbrr:true)
+              result ))
+      points
   in
-  add ~scheme:"tbrr" tbrr_result
-    (collect ~label:"TBRR 13 clu"
-       ~analytic:
-         (analytic ~prefixes:scale.n_prefixes ~bal
-            ~groups:(List.length topo.T.clusters) ~rrs_per_group:2 ~tbrr:true)
-       tbrr_result);
-  let rows = List.rev !rows in
-  emit { E.experiment = "fig67"; runs = List.rev !jruns };
+  let rows = List.map (fun (_, _, row) -> row) measured in
+  let jruns =
+    List.map
+      (fun (scheme, result, row) ->
+        let i1, i2, i3 = row.rib_in and o1, o2, o3 = row.rib_out in
+        let m = E.metric ~unit_:"entries" in
+        let u = E.metric ~unit_:"updates" in
+        json_run ~scheme ~knobs:(scale_knobs scale) result
+          [
+            m "rib_in_min" (fi i1); m "rib_in_avg" (fi i2);
+            m "rib_in_max" (fi i3); m "rib_in_expect" (fi row.rib_in_expect);
+            m "rib_out_min" (fi o1); m "rib_out_avg" (fi o2);
+            m "rib_out_max" (fi o3); m "rib_out_expect" (fi row.rib_out_expect);
+            u "rr_rx_avg" (fi row.rx); u "rr_gen_avg" (fi row.gen);
+            u "client_rx_avg" (fi row.client_rx);
+          ])
+      measured
+  in
+  emit { E.experiment = "fig67"; runs = jruns };
   let fmt3 (a, b, c) =
     Printf.sprintf "%s/%s/%s" (Metrics.Table.fmt_int a) (Metrics.Table.fmt_int b)
       (Metrics.Table.fmt_int c)

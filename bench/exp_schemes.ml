@@ -17,8 +17,9 @@ let run () =
   in
   let table = tier1_table topo scale in
   let trace = tier1_trace table scale in
-  let jruns = ref [] in
-  let row (label, scheme) =
+  (* Each scheme is an independent sweep point (domain-pool safe: the
+     point returns its record and table row, no shared refs). *)
+  let point (label, scheme) =
     let result = run_scheme ~label ~topo ~table ~trace scheme in
     let rcp_ids =
       List.filter (fun i -> R.is_rcp (N.router result.net i))
@@ -42,7 +43,7 @@ let run () =
     let gen =
       avg (fun i -> (N.counters result.net i).Abrr_core.Counters.updates_generated)
     in
-    jruns :=
+    let jrun =
       json_run ~knobs:(scale_knobs scale) result
         [
           E.metric ~unit_:"nodes" "control_nodes" (fi (List.length nodes));
@@ -51,18 +52,19 @@ let run () =
           E.metric ~unit_:"updates" "rx_avg" rx;
           E.metric ~unit_:"updates" "gen_avg" gen;
         ]
-      :: !jruns;
-    [
-      (label ^ if starred then " *" else "");
-      string_of_int (List.length nodes);
-      Printf.sprintf "%.0f" rib_in;
-      Printf.sprintf "%.0f" rib_out;
-      Printf.sprintf "%.0f" rx;
-      Printf.sprintf "%.0f" gen;
-    ]
+    in
+    ( jrun,
+      [
+        (label ^ if starred then " *" else "");
+        string_of_int (List.length nodes);
+        Printf.sprintf "%.0f" rib_in;
+        Printf.sprintf "%.0f" rib_out;
+        Printf.sprintf "%.0f" rx;
+        Printf.sprintf "%.0f" gen;
+      ] )
   in
-  let rows =
-    List.map row
+  let measured =
+    map_points point
       [
         ("full mesh", Abrr_core.Config.Full_mesh);
         ("TBRR", T.tbrr_scheme topo);
@@ -72,6 +74,8 @@ let run () =
         ("ABRR 8 APs x2", T.abrr_scheme ~aps:8 ~arrs_per_ap:2 topo);
       ]
   in
+  let jruns = List.map fst measured in
+  let rows = List.map snd measured in
   print_endline
     "== All implemented iBGP organisations on one workload (48 routers, 500 prefixes) ==";
   Metrics.Table.print
@@ -80,4 +84,4 @@ let run () =
     rows;
   print_endline "(* = no dedicated control nodes; all-router averages)";
   print_newline ();
-  emit { E.experiment = "schemes"; runs = List.rev !jruns }
+  emit { E.experiment = "schemes"; runs = jruns }

@@ -12,7 +12,13 @@ let counts = [ 100; 200; 500; 1000; 2000; 4000; 8000 ]
 let run () =
   print_endline
     "== §3.3: reflector boot time vs session count (20 ms RTT, 200 us/msg) ==";
-  let results = List.map (fun sessions -> (sessions, S.run (S.spec ~sessions ()))) counts in
+  (* Each session count boots its own simulated reflector: independent
+     points for the --jobs pool. *)
+  let results =
+    Exp_common.map_points
+      (fun sessions -> (sessions, S.run (S.spec ~sessions ())))
+      counts
+  in
   Metrics.Table.print
     ~header:[ "sessions"; "boot time (s)"; "msgs processed"; "established" ]
     (List.map

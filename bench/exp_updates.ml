@@ -15,7 +15,7 @@ let run ?(scale = { n_prefixes = 600; trace_events = 900 }) () =
   in
   let table = tier1_table topo scale in
   let trace = tier1_trace table scale in
-  let measure label scheme =
+  let measure (label, scheme) =
     let result = run_scheme ~label ~topo ~table ~trace scheme in
     let avg ids f =
       (stats ids (fun i -> f (Abrr_core.Network.counters result.net i)))
@@ -26,9 +26,17 @@ let run ?(scale = { n_prefixes = 600; trace_events = 900 }) () =
       avg result.rr_ids (fun c -> c.Abrr_core.Counters.bytes_transmitted),
       avg result.client_ids (fun c -> c.Abrr_core.Counters.updates_received) )
   in
-  let t_res, t_tx, t_bytes, t_client = measure "TBRR" (T.tbrr_scheme topo) in
-  let a_res, a_tx, a_bytes, a_client =
-    measure "ABRR" (T.abrr_scheme ~aps:27 ~arrs_per_ap:2 topo)
+  (* The two schemes are independent sweep points for the --jobs pool. *)
+  let (t_res, t_tx, t_bytes, t_client), (a_res, a_tx, a_bytes, a_client) =
+    match
+      map_points measure
+        [
+          ("TBRR", T.tbrr_scheme topo);
+          ("ABRR", T.abrr_scheme ~aps:27 ~arrs_per_ap:2 topo);
+        ]
+    with
+    | [ t; a ] -> (t, a)
+    | _ -> assert false
   in
   print_endline "== §4.2: transmitted updates and bytes per RR (trace phase) ==";
   Metrics.Table.print

@@ -4,7 +4,10 @@
 
    Each experiment also writes a machine-readable BENCH_<exp>.json
    record (see OBSERVABILITY.md): `--out DIR` redirects the files,
-   `--json` echoes each record to stdout as it is written. *)
+   `--json` echoes each record to stdout as it is written, and
+   `--jobs N` fans each experiment's independent sweep points across N
+   domains (gated record contents are byte-identical to `--jobs 1`;
+   only the ungated wall-clock fields differ). *)
 
 let experiments =
   [
@@ -41,6 +44,16 @@ let rec parse_flags = function
   | "--json" :: rest ->
     Exp_common.echo_json := true;
     parse_flags rest
+  | "--jobs" :: n :: rest ->
+    (match int_of_string_opt n with
+    | Some j when j >= 1 -> Exp_common.jobs := j
+    | Some _ | None ->
+      Printf.eprintf "--jobs %s: expected a positive integer\n" n;
+      exit 1);
+    parse_flags rest
+  | [ "--jobs" ] ->
+    prerr_endline "--jobs requires a count argument";
+    exit 1
   | "--out" :: dir :: rest ->
     if not (Sys.file_exists dir && Sys.is_directory dir) then begin
       Printf.eprintf "--out %s: not a directory\n" dir;

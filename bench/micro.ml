@@ -36,6 +36,61 @@ let bench_bal =
          ignore
            (Bgp.Decision.steps_1_to_4 ~med_mode:Bgp.Decision.Per_neighbor_as cands16)))
 
+(* The retained list-based oracle, benchmarked side by side with the
+   scratch-buffer kernel so the speedup stays visible in the table. *)
+let bench_decision_naive =
+  Test.make ~name:"decision.naive_best (16 candidates)"
+    (Staged.stage (fun () ->
+         ignore
+           (Bgp.Decision.Naive.best ~med_mode:Bgp.Decision.Per_neighbor_as
+              cands16)))
+
+let bench_bal_naive =
+  Test.make ~name:"decision.naive_steps_1_to_4 (16 candidates)"
+    (Staged.stage (fun () ->
+         ignore
+           (Bgp.Decision.Naive.steps_1_to_4
+              ~med_mode:Bgp.Decision.Per_neighbor_as cands16)))
+
+let rib_routes =
+  List.init 64 (fun i ->
+      Bgp.Route.make ~path_id:(i mod 8)
+        ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int (3000 + i) ])
+        ~prefix:(prefix_of (i / 8))
+        ~next_hop:(Ipv4.of_int (0x0A00_0000 + i))
+        ())
+
+let rib =
+  let t = Bgp.Rib.create () in
+  List.iter (fun r -> ignore (Bgp.Rib.upsert t r)) rib_routes;
+  t
+
+let bench_rib_cycle =
+  (* Replace and drop+reinsert against an 8-prefix x 8-path table: the
+     per-update pattern every Adj-RIB sees on the simulator hot path. *)
+  let r = List.nth rib_routes 28 in
+  Test.make ~name:"rib.upsert+drop cycle (8x8 table)"
+    (Staged.stage (fun () ->
+         ignore (Bgp.Rib.upsert rib r);
+         ignore (Bgp.Rib.drop rib r.Bgp.Route.prefix ~path_id:r.Bgp.Route.path_id);
+         ignore (Bgp.Rib.upsert rib r)))
+
+let intern_asns = List.init 6 (fun i -> Bgp.Asn.of_int (3000 + i))
+
+let bench_aspath_intern =
+  Test.make ~name:"aspath.of_asns intern (6 hops)"
+    (Staged.stage (fun () -> ignore (Bgp.As_path.of_asns intern_asns)))
+
+let eq_a = (List.nth cands16 5).Bgp.Decision.route
+let eq_b = { eq_a with Bgp.Route.local_pref = eq_a.Bgp.Route.local_pref }
+
+let bench_route_equal =
+  (* Structurally equal but physically distinct records: the worst case
+     for the interning fast path (attribute comparison still runs, but
+     the AS-path leg is a pointer check). *)
+  Test.make ~name:"route.equal (structural, interned paths)"
+    (Staged.stage (fun () -> ignore (Bgp.Route.equal eq_a eq_b)))
+
 let trie_1k =
   List.fold_left
     (fun t i -> Prefix_trie.add (prefix_of i) i t)
@@ -97,6 +152,11 @@ let tests =
   [
     bench_decision;
     bench_bal;
+    bench_decision_naive;
+    bench_bal_naive;
+    bench_rib_cycle;
+    bench_aspath_intern;
+    bench_route_equal;
     bench_trie_insert;
     bench_trie_lpm;
     bench_wire_encode;

@@ -143,73 +143,100 @@ let scheme_name = function
 
 (* The simulate workload, instrumented with the observability layer
    (trace sink + phase timers) and reported as a BENCH_sim.json record
-   instead of free-form text — see OBSERVABILITY.md. *)
-let bench scheme med pops rpp pas points prefixes aps arrs events seed mrai json
-    out_dir =
+   instead of free-form text — see OBSERVABILITY.md.
+
+   --scheme may be repeated; each scheme is an independent simulation
+   point fanned across a Parallel.Pool of --jobs domains (every
+   simulation itself stays single-domain). Runs are emitted in CLI
+   order, so the record is identical whatever the job count — only the
+   ungated wall_s fields vary. *)
+let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
+    jobs json out_dir =
   let module E = Metrics.Emit in
   let module Sim = Eventsim.Sim in
-  let topo = build_topo pops rpp pas points seed in
-  let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
-  let trace =
-    TG.generate table
-      (TG.spec ~events ~duration:(Eventsim.Time.days 14)
-         ~jitter:(Eventsim.Time.ms 80) ~seed ())
-  in
-  let cfg =
-    T.config ~med_mode:med ~mrai:(Eventsim.Time.sec mrai)
-      ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
-      ~scheme:(resolve_scheme topo aps arrs scheme)
-      topo
-  in
-  let wall0 = Unix.gettimeofday () in
-  let net = N.create cfg in
-  let sim = N.sim net in
-  let sink = Sim.Trace.make ~capacity:4096 ~sample_every:64 () in
-  Sim.set_sink sim sink;
-  Sim.phase sim "snapshot" (fun () ->
-      RG.inject_all table net;
-      ignore (N.run ~max_events:200_000_000 net));
-  for i = 0 to N.router_count net - 1 do
-    Abrr_core.Counters.reset (N.counters net i)
-  done;
-  Sim.phase sim "trace" (fun () ->
-      TG.schedule net trace;
-      ignore (N.run ~max_events:500_000_000 net));
-  let name = scheme_name scheme in
-  let fi = float_of_int in
-  let run =
-    E.run ~label:name ~scheme:name
-      ~knobs:
-        [
-          ("pops", fi pops); ("routers_per_pop", fi rpp); ("peer_ases", fi pas);
-          ("peering_points", fi points); ("prefixes", fi prefixes);
-          ("trace_events", fi events); ("seed", fi seed); ("mrai_s", fi mrai);
-        ]
-      ~wall_s:(Unix.gettimeofday () -. wall0)
-      ~sim_s:(Eventsim.Time.to_sec (Sim.now sim))
-      ~events:(Sim.events_processed sim)
-      ~counters:(Abrr_core.Counters.to_fields (N.total_counters net))
-      ~summaries:
-        (match Sim.Trace.entries sink with
-        | [] -> []
-        | es ->
+  if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else begin
+    let schemes = if schemes = [] then [ `Abrr ] else schemes in
+    let topo = build_topo pops rpp pas points seed in
+    let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
+    let trace =
+      TG.generate table
+        (TG.spec ~events ~duration:(Eventsim.Time.days 14)
+           ~jitter:(Eventsim.Time.ms 80) ~seed ())
+    in
+    let fi = float_of_int in
+    let point scheme =
+      let cfg =
+        T.config ~med_mode:med ~mrai:(Eventsim.Time.sec mrai)
+          ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
+          ~scheme:(resolve_scheme topo aps arrs scheme)
+          topo
+      in
+      let wall0 = Unix.gettimeofday () in
+      let net = N.create cfg in
+      let sim = N.sim net in
+      let sink = Sim.Trace.make ~capacity:4096 ~sample_every:64 () in
+      Sim.set_sink sim sink;
+      Sim.phase sim "snapshot" (fun () ->
+          RG.inject_all table net;
+          ignore (N.run ~max_events:200_000_000 net));
+      for i = 0 to N.router_count net - 1 do
+        Abrr_core.Counters.reset (N.counters net i)
+      done;
+      Sim.phase sim "trace" (fun () ->
+          TG.schedule net trace;
+          ignore (N.run ~max_events:500_000_000 net));
+      let name = scheme_name scheme in
+      E.run ~label:name ~scheme:name
+        ~knobs:
           [
-            ( "queue_depth",
-              Metrics.Summary.of_ints
-                (List.map (fun e -> e.Sim.Trace.depth) es) );
-          ])
-      ~phases:
-        (List.map (fun (n, st) -> (n, st.Sim.cpu_s)) (Sim.phase_stats sim))
-      []
-  in
-  let record = { E.experiment = "sim"; runs = [ run ] } in
-  let path = Filename.concat out_dir (E.filename "sim") in
-  E.write_file path record;
-  if json then print_string (E.to_string (E.record_to_json record))
-  else Printf.printf "wrote %s\n" path;
-  `Ok ()
+            ("pops", fi pops); ("routers_per_pop", fi rpp);
+            ("peer_ases", fi pas); ("peering_points", fi points);
+            ("prefixes", fi prefixes); ("trace_events", fi events);
+            ("seed", fi seed); ("mrai_s", fi mrai);
+          ]
+        ~wall_s:(Unix.gettimeofday () -. wall0)
+        ~sim_s:(Eventsim.Time.to_sec (Sim.now sim))
+        ~events:(Sim.events_processed sim)
+        ~counters:(Abrr_core.Counters.to_fields (N.total_counters net))
+        ~summaries:
+          (match Sim.Trace.entries sink with
+          | [] -> []
+          | es ->
+            [
+              ( "queue_depth",
+                Metrics.Summary.of_ints
+                  (List.map (fun e -> e.Sim.Trace.depth) es) );
+            ])
+        ~phases:
+          (List.map (fun (n, st) -> (n, st.Sim.cpu_s)) (Sim.phase_stats sim))
+        []
+    in
+    let runs = Parallel.Pool.map ~jobs point schemes in
+    let record = { E.experiment = "sim"; runs } in
+    let path = Filename.concat out_dir (E.filename "sim") in
+    E.write_file path record;
+    if json then print_string (E.to_string (E.record_to_json record))
+    else Printf.printf "wrote %s\n" path;
+    `Ok ()
+  end
 
 let bench_cmd =
+  let schemes_t =
+    Arg.(value & opt_all scheme_enum []
+         & info [ "scheme" ]
+             ~doc:
+               "iBGP scheme: $(docv). Repeatable; each scheme becomes one \
+                run in the emitted record (default: abrr)."
+             ~docv:"full-mesh|tbrr|tbrr-multi|abrr")
+  in
+  let jobs_t =
+    Arg.(value & opt int 1
+         & info [ "jobs" ]
+             ~doc:
+               "Fan independent scheme points across $(docv) domains. The \
+                emitted record is identical to --jobs 1 (wall times aside).")
+  in
   let json_t =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Echo the record to stdout as well.")
@@ -225,9 +252,9 @@ let bench_cmd =
           layer and emit a BENCH_sim.json record (see OBSERVABILITY.md).")
     Term.(
       ret
-        (const bench $ scheme_t $ med_t $ pops_t $ rpp_t $ pas_t $ points_t
-        $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t $ json_t
-        $ out_t))
+        (const bench $ schemes_t $ med_t $ pops_t $ rpp_t $ pas_t $ points_t
+        $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t $ jobs_t
+        $ json_t $ out_t))
 
 (* ---- check ---------------------------------------------------------- *)
 

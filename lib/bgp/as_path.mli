@@ -10,6 +10,11 @@ type segment =
   | Confed_set of Asn.t list  (** AS_CONFED_SET *)
 
 type t
+(** Hash-consed: structurally equal paths built within one domain share
+    a single node, so {!equal} is usually a pointer comparison and
+    {!length} is precomputed. Construction functions intern their
+    result in a per-domain weak table (entries are reclaimed once no
+    route references them). *)
 
 val empty : t
 (** The empty path (locally originated route). *)
@@ -53,6 +58,14 @@ val origin_as : t -> Asn.t option
 (** Rightmost AS: the route's originating AS. *)
 
 val compare : t -> t -> int
+(** Total structural order (physical equality fast path). *)
+
 val equal : t -> t -> bool
+(** Physical equality fast path; falls back to hash + structure, so
+    paths interned by different domains still compare correctly. *)
+
+val hash : t -> int
+(** Precomputed structural hash, O(1). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -18,71 +18,205 @@ type med_mode = Always_compare | Per_neighbor_as
 
 let med (r : Route.t) = match r.Route.med with None -> 0 | Some m -> m
 
-(* Keep the candidates minimising [f]; preserves input order. *)
-let keep_min f cands =
-  match cands with
-  | [] | [ _ ] -> cands
-  | _ ->
-    let m = List.fold_left (fun acc c -> min acc (f c)) max_int cands in
-    List.filter (fun c -> f c = m) cands
-
-let step1 cands = keep_min (fun c -> -c.route.Route.local_pref) cands
-let step2 cands = keep_min (fun c -> As_path.length c.route.Route.as_path) cands
-let step3 cands = keep_min (fun c -> Origin.rank c.route.Route.origin) cands
-
-let step4 ~med_mode cands =
-  match med_mode with
-  | Always_compare -> keep_min (fun c -> med c.route) cands
-  | Per_neighbor_as ->
-    (* MED only discriminates among routes from the same neighbour AS. *)
-    let key c =
-      match Route.neighbor_as c.route with
-      | None -> -1
-      | Some asn -> Asn.to_int asn
-    in
-    let min_by_key = Hashtbl.create 8 in
-    let note c =
-      let k = key c and m = med c.route in
-      match Hashtbl.find_opt min_by_key k with
-      | Some m' when m' <= m -> ()
-      | _ -> Hashtbl.replace min_by_key k m
-    in
-    List.iter note cands;
-    List.filter (fun c -> med c.route = Hashtbl.find min_by_key (key c)) cands
-
-let step5 cands =
+let learned_rank c =
   (* eBGP over confed-external over iBGP; locally-originated routes rank
      with eBGP *)
-  let rank c =
-    match c.learned with Ebgp | Local -> 0 | Confed_ebgp -> 1 | Ibgp -> 2
-  in
-  keep_min rank cands
-
-let step6 cands = keep_min (fun c -> c.igp_cost) cands
+  match c.learned with Ebgp | Local -> 0 | Confed_ebgp -> 1 | Ibgp -> 2
 
 let router_id c =
   match c.route.Route.originator_id with
   | Some id -> Ipv4.to_int id
   | None -> Ipv4.to_int c.peer_id
 
-let step7 cands = keep_min router_id cands
-let step8 cands = keep_min (fun c -> Ipv4.to_int c.peer_addr) cands
+let neighbor_as_key c =
+  match Route.neighbor_as c.route with
+  | None -> -1
+  | Some asn -> Asn.to_int asn
+
+(* {2 Reference implementation}
+
+   The original chained-[List.filter] decision process, retained verbatim
+   as the differential-testing oracle for the scratch-array kernel below
+   (and for the step-by-step [tie_break_step] diagnostic). *)
+
+module Naive = struct
+  (* Keep the candidates minimising [f]; preserves input order. *)
+  let keep_min f cands =
+    match cands with
+    | [] | [ _ ] -> cands
+    | _ ->
+      let m = List.fold_left (fun acc c -> min acc (f c)) max_int cands in
+      List.filter (fun c -> f c = m) cands
+
+  let step1 cands = keep_min (fun c -> -c.route.Route.local_pref) cands
+  let step2 cands = keep_min (fun c -> As_path.length c.route.Route.as_path) cands
+  let step3 cands = keep_min (fun c -> Origin.rank c.route.Route.origin) cands
+
+  let step4 ~med_mode cands =
+    match med_mode with
+    | Always_compare -> keep_min (fun c -> med c.route) cands
+    | Per_neighbor_as ->
+      (* MED only discriminates among routes from the same neighbour AS. *)
+      let min_by_key = Hashtbl.create 8 in
+      let note c =
+        let k = neighbor_as_key c and m = med c.route in
+        match Hashtbl.find_opt min_by_key k with
+        | Some m' when m' <= m -> ()
+        | _ -> Hashtbl.replace min_by_key k m
+      in
+      List.iter note cands;
+      List.filter
+        (fun c -> med c.route = Hashtbl.find min_by_key (neighbor_as_key c))
+        cands
+
+  let step5 cands = keep_min learned_rank cands
+  let step6 cands = keep_min (fun c -> c.igp_cost) cands
+  let step7 cands = keep_min router_id cands
+  let step8 cands = keep_min (fun c -> Ipv4.to_int c.peer_addr) cands
+
+  let steps_1_to_4 ~med_mode cands =
+    cands |> step1 |> step2 |> step3 |> step4 ~med_mode
+
+  let all_steps ~med_mode =
+    [ step1; step2; step3; step4 ~med_mode; step5; step6; step7; step8 ]
+
+  let final_tie_break cands =
+    match cands with
+    | [] -> None
+    | first :: rest ->
+      let better a b = if Route.compare a.route b.route <= 0 then a else b in
+      Some (List.fold_left better first rest)
+
+  let best ~med_mode cands =
+    final_tie_break
+      (List.fold_left (fun cs f -> f cs) cands (all_steps ~med_mode))
+end
+
+(* {2 Scratch-array kernel}
+
+   One pass computes each candidate's key and the running minimum, a
+   second compacts the survivors in place — no per-step list allocation.
+   The buffers live in domain-local storage: each simulation runs inside
+   one domain, so reuse is safe, and parallel bench domains each get
+   their own scratch. *)
+
+type scratch = {
+  mutable cand : candidate array;  (* slots >= n hold stale entries *)
+  mutable keys : int array;
+  mutable meds : int array;  (* second key column for per-AS MED *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { cand = [||]; keys = [||]; meds = [||] })
+
+(* Load the candidates into the scratch buffers, growing them if needed;
+   returns the live count. *)
+let load s cands =
+  match cands with
+  | [] -> 0
+  | c0 :: _ ->
+    let n = List.length cands in
+    if Array.length s.cand < n then begin
+      let cap = max 16 n in
+      s.cand <- Array.make cap c0;
+      s.keys <- Array.make cap 0;
+      s.meds <- Array.make cap 0
+    end;
+    List.iteri (fun i c -> s.cand.(i) <- c) cands;
+    n
+
+(* Keep the candidates minimising [key] among the first [n]; preserves
+   order, returns the new live count. *)
+let filter_min s n key =
+  if n <= 1 then n
+  else begin
+    let cand = s.cand and keys = s.keys in
+    let m = ref max_int in
+    for i = 0 to n - 1 do
+      let k = key cand.(i) in
+      keys.(i) <- k;
+      if k < !m then m := k
+    done;
+    let m = !m in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if keys.(i) = m then begin
+        cand.(!j) <- cand.(i);
+        incr j
+      end
+    done;
+    !j
+  end
+
+(* Per-neighbour-AS MED: keep candidate [i] unless some candidate of the
+   same neighbour AS has a strictly lower MED. Key columns are filled
+   once; the quadratic scan runs over ints only and candidate sets are
+   small (bounded by peering points per prefix). *)
+let filter_med_per_as s n =
+  if n <= 1 then n
+  else begin
+    let cand = s.cand and keys = s.keys and meds = s.meds in
+    for i = 0 to n - 1 do
+      keys.(i) <- neighbor_as_key cand.(i);
+      meds.(i) <- med cand.(i).route
+    done;
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let keep = ref true in
+      for k = 0 to n - 1 do
+        if keys.(k) = keys.(i) && meds.(k) < meds.(i) then keep := false
+      done;
+      if !keep then begin
+        cand.(!j) <- cand.(i);
+        incr j
+      end
+    done;
+    !j
+  end
+
+let key_lp c = -c.route.Route.local_pref
+let key_path c = As_path.length c.route.Route.as_path
+let key_origin c = Origin.rank c.route.Route.origin
+let key_med c = med c.route
+let key_igp c = c.igp_cost
+let key_peer c = Ipv4.to_int c.peer_addr
+
+let run_1_to_4 ~med_mode s n =
+  let n = filter_min s n key_lp in
+  let n = filter_min s n key_path in
+  let n = filter_min s n key_origin in
+  match med_mode with
+  | Always_compare -> filter_min s n key_med
+  | Per_neighbor_as -> filter_med_per_as s n
 
 let steps_1_to_4 ~med_mode cands =
-  cands |> step1 |> step2 |> step3 |> step4 ~med_mode
-
-let all_steps ~med_mode =
-  [ step1; step2; step3; step4 ~med_mode; step5; step6; step7; step8 ]
-
-let final_tie_break cands =
   match cands with
-  | [] -> None
-  | first :: rest ->
-    let better a b = if Route.compare a.route b.route <= 0 then a else b in
-    Some (List.fold_left better first rest)
+  | [] | [ _ ] -> cands
+  | _ ->
+    let s = Domain.DLS.get scratch_key in
+    let n = run_1_to_4 ~med_mode s (load s cands) in
+    let rec build i acc =
+      if i < 0 then acc else build (i - 1) (s.cand.(i) :: acc)
+    in
+    build (n - 1) []
 
 let best ~med_mode cands =
-  final_tie_break (List.fold_left (fun cs f -> f cs) cands (all_steps ~med_mode))
+  match cands with
+  | [] -> None
+  | [ c ] -> Some c
+  | _ ->
+    let s = Domain.DLS.get scratch_key in
+    let n = run_1_to_4 ~med_mode s (load s cands) in
+    let n = filter_min s n learned_rank in
+    let n = filter_min s n key_igp in
+    let n = filter_min s n router_id in
+    let n = filter_min s n key_peer in
+    (* ties after step 8 break deterministically on route attributes *)
+    let w = ref s.cand.(0) in
+    for i = 1 to n - 1 do
+      if Route.compare s.cand.(i).route !w.route < 0 then w := s.cand.(i)
+    done;
+    Some !w
 
 let rank ~med_mode cands =
   (* MED per-neighbour-AS comparison is not transitive, so we cannot sort
@@ -107,7 +241,7 @@ let tie_break_step ~med_mode cands =
       | [] -> 8
       | f :: fs' -> ( match f cs with [ _ ] -> i | cs' -> go (i + 1) fs' cs')
     in
-    go 1 (all_steps ~med_mode) cands
+    go 1 (Naive.all_steps ~med_mode) cands
 
 let describe_step = function
   | 0 -> "single candidate"

@@ -37,11 +37,26 @@ type med_mode =
 
 val steps_1_to_4 : med_mode:med_mode -> candidate list -> candidate list
 (** Survivors of Local-Pref / AS-path length / Origin / MED — the paper's
-    {e best AS-level routes}. Order of the input is preserved. *)
+    {e best AS-level routes}. Order of the input is preserved.
+
+    Implemented as an allocation-lean kernel: a reusable per-domain
+    scratch array is min-filtered in place instead of chaining
+    [List.filter]s. Survivors are the input's candidate values
+    (physical identity preserved). *)
 
 val best : med_mode:med_mode -> candidate list -> candidate option
 (** Full 8-step decision. Deterministic: ties after step 8 are broken by
-    [Route.compare]. [None] on an empty input. *)
+    [Route.compare]. [None] on an empty input. Same scratch-array kernel
+    as {!steps_1_to_4}; agrees with {!Naive.best} on every input. *)
+
+(** The original chained-[List.filter] implementation, retained as the
+    differential-testing oracle for the kernel. Semantics (including
+    non-transitive per-neighbour-AS MED and tie-breaks) are identical;
+    only the evaluation strategy differs. *)
+module Naive : sig
+  val steps_1_to_4 : med_mode:med_mode -> candidate list -> candidate list
+  val best : med_mode:med_mode -> candidate list -> candidate option
+end
 
 val rank : med_mode:med_mode -> candidate list -> candidate list
 (** All candidates sorted from best to worst under the full process

@@ -11,46 +11,65 @@ let get t prefix =
 
 let set t prefix routes =
   let key = Prefix.to_key prefix in
-  let old = match Hashtbl.find_opt t.table key with None -> 0 | Some rs -> List.length rs in
+  let old =
+    match Hashtbl.find_opt t.table key with
+    | None -> 0
+    | Some rs -> List.length rs
+  in
   (match routes with
   | [] -> Hashtbl.remove t.table key
   | _ -> Hashtbl.replace t.table key routes);
   t.entries <- t.entries - old + List.length routes
 
+(* Single pass: replace the entry with [route]'s path id in place
+   (preserving position), or append when absent. [`Unchanged] when the
+   stored route is already equal. Lists are short (add-paths fan-in per
+   prefix), so the non-tail recursion is fine. *)
+let rec upsert_list (route : Route.t) = function
+  | [] -> `Added [ route ]
+  | (r : Route.t) :: tl ->
+    if r.Route.path_id = route.Route.path_id then
+      if Route.equal r route then `Unchanged else `Replaced (route :: tl)
+    else (
+      match upsert_list route tl with
+      | `Unchanged -> `Unchanged
+      | `Added tl' -> `Added (r :: tl')
+      | `Replaced tl' -> `Replaced (r :: tl'))
+
 let upsert t (route : Route.t) =
   let key = Prefix.to_key route.Route.prefix in
   let old = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
-  let replaced = ref None in
-  let rest =
-    List.filter
-      (fun (r : Route.t) ->
-        if r.Route.path_id = route.Route.path_id then (
-          replaced := Some r;
-          false)
-        else true)
-      old
-  in
-  match !replaced with
-  | Some r when Route.equal r route -> false
-  | Some _ ->
-    Hashtbl.replace t.table key (rest @ [ route ]);
+  match upsert_list route old with
+  | `Unchanged -> false
+  | `Replaced routes ->
+    Hashtbl.replace t.table key routes;
     true
-  | None ->
-    Hashtbl.replace t.table key (old @ [ route ]);
+  | `Added routes ->
+    Hashtbl.replace t.table key routes;
     t.entries <- t.entries + 1;
     true
+
+(* Single pass: [None] when no route carries [path_id], otherwise the
+   list without the (unique per prefix) matching route. *)
+let rec remove_path path_id = function
+  | [] -> None
+  | (r : Route.t) :: tl ->
+    if r.Route.path_id = path_id then Some tl
+    else Option.map (fun tl' -> r :: tl') (remove_path path_id tl)
 
 let drop t prefix ~path_id =
   let key = Prefix.to_key prefix in
   match Hashtbl.find_opt t.table key with
   | None -> false
-  | Some old ->
-    let rest = List.filter (fun (r : Route.t) -> r.Route.path_id <> path_id) old in
-    if List.length rest = List.length old then false
-    else (
-      (match rest with
-      | [] -> Hashtbl.remove t.table key
-      | _ -> Hashtbl.replace t.table key rest);
+  | Some old -> (
+    match remove_path path_id old with
+    | None -> false
+    | Some [] ->
+      Hashtbl.remove t.table key;
+      t.entries <- t.entries - 1;
+      true
+    | Some rest ->
+      Hashtbl.replace t.table key rest;
       t.entries <- t.entries - 1;
       true)
 

@@ -20,10 +20,11 @@ val set : t -> Prefix.t -> Route.t list -> unit
 
 val upsert : t -> Route.t -> bool
 (** Insert or replace by (prefix, path_id). Returns [true] when the table
-    changed (new entry, or replaced entry differs). *)
+    changed (new entry, or replaced entry differs). Single pass: a
+    replacement keeps the route's position in the prefix's list. *)
 
 val drop : t -> Prefix.t -> path_id:int -> bool
-(** Remove one route; [true] if it was present. *)
+(** Remove one route; [true] if it was present. Single pass. *)
 
 val clear_prefix : t -> Prefix.t -> int
 (** Remove all routes for the prefix; returns how many were removed. *)

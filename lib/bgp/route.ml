@@ -54,6 +54,8 @@ let compare_opt cmp a b =
   | Some x, Some y -> cmp x y
 
 let compare_attrs a b =
+  if a == b then 0
+  else
   let c = Prefix.compare a.prefix b.prefix in
   if c <> 0 then c
   else
@@ -87,10 +89,12 @@ let compare_attrs a b =
 let same_path a b = compare_attrs a b = 0
 
 let compare a b =
-  let c = Int.compare a.path_id b.path_id in
-  if c <> 0 then c else compare_attrs a b
+  if a == b then 0
+  else
+    let c = Int.compare a.path_id b.path_id in
+    if c <> 0 then c else compare_attrs a b
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let pp fmt t =
   Format.fprintf fmt "%a[id=%d] lp=%d path=[%a] origin=%a nh=%a med=%s"

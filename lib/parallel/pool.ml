@@ -1,0 +1,36 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    (* Work-list scheduling: each domain repeatedly claims the next
+       unclaimed index. Results land at their item's index, so the merge
+       order is the input order no matter which domain ran what. *)
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get error = None then begin
+        (match f arr.(i) with
+        | r -> results.(i) <- Some r
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set error None (Some (e, bt))));
+        worker ()
+      end
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false (* all claimed *))
+           results)
+  end

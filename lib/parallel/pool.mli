@@ -1,0 +1,26 @@
+(** A flat domain pool for run-level parallelism.
+
+    The benchmark harness fans the independent points of a sweep
+    (schemes x knobs x trials) across OCaml 5 domains; every point runs
+    its whole simulation inside a single domain, so per-simulation
+    determinism is untouched, and results are merged back in input
+    order, so any output derived from them is identical to a serial
+    run (wall-clock timings aside). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item, running up to [jobs]
+    applications concurrently (on [jobs - 1] spawned domains plus the
+    calling one), and returns the results in input order.
+
+    [jobs] defaults to 1 — a plain [List.map], no domain is spawned.
+    Items are claimed work-list style, so long points do not hold up the
+    queue behind them. If an application raises, the first exception (in
+    claim order) is re-raised after all domains have drained; remaining
+    unclaimed items are skipped.
+
+    [f] must not assume it runs on the calling domain: anything it
+    touches must be domain-safe (the simulator's per-network state and
+    per-domain intern tables are; global mutable state is not). *)

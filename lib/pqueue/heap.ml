@@ -1,16 +1,23 @@
-type 'a t = { mutable data : 'a array; mutable size : int; cmp : 'a -> 'a -> int }
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  hint : int;  (* requested initial capacity; first push allocates it *)
+  cmp : 'a -> 'a -> int;
+}
 
 let create ?(capacity = 16) ~cmp () =
-  (* The backing array is allocated lazily on first push; [capacity] is
-     accepted for interface stability but the growth policy dominates. *)
-  ignore capacity;
-  { data = [||]; size = 0; cmp }
+  (* The backing array is allocated on first push (we have no element to
+     fill it with before that), sized to the capacity hint. *)
+  { data = [||]; size = 0; hint = max 1 capacity; cmp }
 
 let length h = h.size
 let is_empty h = h.size = 0
+let capacity h = if h.data = [||] then h.hint else Array.length h.data
 
 let grow h x =
-  let cap = max 16 (2 * Array.length h.data) in
+  let cap =
+    if Array.length h.data = 0 then h.hint else 2 * Array.length h.data
+  in
   let data = Array.make cap x in
   Array.blit h.data 0 data 0 h.size;
   h.data <- data

@@ -3,8 +3,16 @@
 type 'a t
 
 val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [capacity] (default 16, clamped to >= 1) sizes the backing array's
+    first allocation, which happens on the first {!push}; afterwards the
+    array doubles as needed. *)
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Current backing-array capacity (the hint before the first push). *)
+
 val push : 'a t -> 'a -> unit
 
 val peek : 'a t -> 'a option

@@ -69,6 +69,38 @@ let test_compare () =
   check_bool "equal" true (As_path.equal a b);
   check_bool "not equal" false (As_path.equal a (As_path.of_asns [ asn 2; asn 1 ]))
 
+let test_interning () =
+  (* structurally equal paths built through any constructor are the same
+     heap value, so equality degenerates to a pointer check *)
+  let a = As_path.of_asns [ asn 1; asn 2; asn 3 ] in
+  let b = As_path.of_asns [ asn 1; asn 2; asn 3 ] in
+  check_bool "of_asns interned" true (a == b);
+  let c = As_path.of_segments [ As_path.Seq [ asn 1; asn 2; asn 3 ] ] in
+  check_bool "of_segments same table" true (a == c);
+  check_bool "prepend interned" true
+    (As_path.prepend (asn 1) (As_path.of_asns [ asn 2; asn 3 ]) == a);
+  let with_confed =
+    As_path.of_segments
+      [ As_path.Confed_seq [ asn 64512 ]; As_path.Seq [ asn 1; asn 2; asn 3 ] ]
+  in
+  check_bool "strip_confed interned" true (As_path.strip_confed with_confed == a);
+  check_bool "empty is unique" true
+    (As_path.of_asns [] == As_path.empty
+    && As_path.of_segments [] == As_path.empty);
+  check_bool "hash agrees" true (As_path.hash a = As_path.hash b);
+  check_bool "distinct paths distinct" false
+    (As_path.of_asns [ asn 1; asn 2 ] == a)
+
+let prop_intern_canonical =
+  QCheck.Test.make ~name:"equal segment lists intern to one value" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 6) (int_range 1 5))
+    (fun asns ->
+      let path () = As_path.of_asns (List.map asn asns) in
+      let a = path () and b = path () in
+      a == b
+      && As_path.length a = List.length asns
+      && As_path.compare a b = 0)
+
 let suite =
   ( "as-path",
     [
@@ -79,4 +111,6 @@ let suite =
       Alcotest.test_case "render" `Quick test_to_string;
       Alcotest.test_case "confederation segments" `Quick test_confed_segments;
       Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "hash-consing" `Quick test_interning;
+      QCheck_alcotest.to_alcotest prop_intern_canonical;
     ] )

@@ -203,6 +203,72 @@ let prop_losers_do_not_matter =
             | None -> false)
           cands)
 
+(* ---- differential: scratch-buffer kernel vs the retained naive
+   list implementation (Decision.Naive). The generator deliberately
+   provokes the MED corner cases: small neighbour-AS pool so several
+   candidates share an AS, missing MEDs, non-transitive orderings, and
+   confed/set segments so path-length accounting is exercised. *)
+
+let gen_rich_candidate =
+  let open QCheck.Gen in
+  let* neighbor_as = int_range 0 3 in
+  let* med = opt (int_range 0 5) in
+  let* lp = int_range 99 101 in
+  let* origin = oneofl [ Origin.Igp; Origin.Egp; Origin.Incomplete ] in
+  let* pathlen = int_range 0 2 in
+  let* confed = bool in
+  let* aset = bool in
+  let* igp = int_range 1 20 in
+  let* peer = int_range 1 30 in
+  let* ebgp = bool in
+  let* orig_id = opt (int_range 1 9) in
+  let segs =
+    (if confed then [ As_path.Confed_seq [ asn 64512; asn 64513 ] ] else [])
+    @ [ As_path.Seq (List.init (pathlen + 1) (fun j -> asn (100 + (neighbor_as * 10) + j))) ]
+    @ (if aset then [ As_path.Set [ asn 900; asn 901 ] ] else [])
+  in
+  let route =
+    Route.make ~local_pref:lp ~origin ~med
+      ~as_path:(As_path.of_segments segs)
+      ~prefix ~next_hop:(nh peer) ()
+  in
+  let route =
+    { route with Route.originator_id = Option.map nh orig_id }
+  in
+  return
+    (cand
+       ~learned:(if ebgp then Decision.Ebgp else Decision.Ibgp)
+       ~peer ~igp route)
+
+let arb_rich_candidates =
+  QCheck.make QCheck.Gen.(list_size (int_range 0 16) gen_rich_candidate)
+
+let both_modes = [ Decision.Always_compare; Decision.Per_neighbor_as ]
+
+let prop_kernel_matches_naive_best =
+  QCheck.Test.make ~name:"kernel best = naive best (both MED modes)" ~count:500
+    arb_rich_candidates
+    (fun cands ->
+      List.for_all
+        (fun med_mode ->
+          match (Decision.best ~med_mode cands, Decision.Naive.best ~med_mode cands) with
+          | Some a, Some b -> a == b
+          | None, None -> true
+          | _ -> false)
+        both_modes)
+
+let prop_kernel_matches_naive_steps =
+  QCheck.Test.make
+    ~name:"kernel steps 1-4 = naive steps 1-4, same order (both MED modes)"
+    ~count:500 arb_rich_candidates
+    (fun cands ->
+      List.for_all
+        (fun med_mode ->
+          let k = Decision.steps_1_to_4 ~med_mode cands in
+          let n = Decision.Naive.steps_1_to_4 ~med_mode cands in
+          List.length k = List.length n && List.for_all2 ( == ) k n)
+        both_modes)
+
 let suite =
   ( "decision",
     [
@@ -226,4 +292,6 @@ let suite =
       QCheck_alcotest.to_alcotest prop_survivors_subset;
       QCheck_alcotest.to_alcotest prop_order_independent_always_compare;
       QCheck_alcotest.to_alcotest prop_losers_do_not_matter;
+      QCheck_alcotest.to_alcotest prop_kernel_matches_naive_best;
+      QCheck_alcotest.to_alcotest prop_kernel_matches_naive_steps;
     ] )

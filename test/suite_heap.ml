@@ -27,6 +27,33 @@ let test_clear () =
   Pqueue.Heap.push h 9;
   check_bool "usable after clear" true (Pqueue.Heap.pop h = Some 9)
 
+let test_capacity_hint () =
+  (* the hint must size the first allocation, before and after pushes *)
+  let h = Pqueue.Heap.create ~capacity:100 ~cmp:Int.compare () in
+  check_int "hint honored before any push" 100 (Pqueue.Heap.capacity h);
+  Pqueue.Heap.push h 1;
+  check_int "first allocation uses the hint" 100 (Pqueue.Heap.capacity h);
+  for i = 2 to 100 do
+    Pqueue.Heap.push h i
+  done;
+  check_int "no growth within the hint" 100 (Pqueue.Heap.capacity h);
+  Pqueue.Heap.push h 101;
+  check_bool "doubles past the hint" true (Pqueue.Heap.capacity h > 100);
+  check_int "all stored" 101 (Pqueue.Heap.length h);
+  (* degenerate hints are clamped, not fatal *)
+  let z = Pqueue.Heap.create ~capacity:0 ~cmp:Int.compare () in
+  Pqueue.Heap.push z 5;
+  check_bool "zero hint still usable" true (Pqueue.Heap.pop z = Some 5)
+
+let prop_grow_from_sized_start =
+  QCheck.Test.make ~name:"heap grown from a sized start stays sorted" ~count:200
+    QCheck.(pair (int_range 1 8) (list_of_size (QCheck.Gen.int_range 0 64) int))
+    (fun (capacity, l) ->
+      let h = Pqueue.Heap.create ~capacity ~cmp:Int.compare () in
+      List.iter (Pqueue.Heap.push h) l;
+      Pqueue.Heap.capacity h >= List.length l
+      && Pqueue.Heap.to_sorted_list h = List.sort Int.compare l)
+
 let prop_heap_sort =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:300
     QCheck.(list int)
@@ -43,9 +70,9 @@ let remove_one x l =
 
 let prop_interleaved =
   QCheck.Test.make ~name:"interleaved push/pop maintains min" ~count:200
-    QCheck.(list (pair bool small_int))
-    (fun ops ->
-      let h = Pqueue.Heap.create ~cmp:Int.compare () in
+    QCheck.(pair (int_range 1 16) (list (pair bool small_int)))
+    (fun (capacity, ops) ->
+      let h = Pqueue.Heap.create ~capacity ~cmp:Int.compare () in
       let model = ref [] in
       List.for_all
         (fun (is_pop, v) ->
@@ -70,6 +97,8 @@ let suite =
       Alcotest.test_case "basic" `Quick test_basic;
       Alcotest.test_case "empty pops" `Quick test_pop_empty;
       Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "capacity hint" `Quick test_capacity_hint;
+      QCheck_alcotest.to_alcotest prop_grow_from_sized_start;
       QCheck_alcotest.to_alcotest prop_heap_sort;
       QCheck_alcotest.to_alcotest prop_interleaved;
     ] )

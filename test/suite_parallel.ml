@@ -1,0 +1,102 @@
+(* The domain pool behind the --jobs flags: order preservation, the
+   serial fast path, exception propagation, and the property the bench
+   harness leans on — records assembled from pool results are identical
+   whatever the job count. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let slist = Alcotest.(list int)
+
+let test_serial_map () =
+  check_bool "jobs=1 is List.map" true
+    (Parallel.Pool.map (fun x -> x * x) [ 1; 2; 3 ] = [ 1; 4; 9 ]);
+  check_bool "default jobs is serial" true
+    (Parallel.Pool.map (fun x -> x + 1) [] = []);
+  check_bool "recommended >= 1" true (Parallel.Pool.default_jobs () >= 1)
+
+let test_order_preserved () =
+  let items = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "jobs=%d keeps input order" jobs)
+        true
+        (Parallel.Pool.map ~jobs (fun x -> 2 * x) items
+        = List.map (fun x -> 2 * x) items))
+    [ 1; 2; 4; 7 ]
+
+let test_more_jobs_than_items () =
+  check_bool "jobs > n" true
+    (Parallel.Pool.map ~jobs:16 String.uppercase_ascii [ "a"; "b" ]
+    = [ "A"; "B" ]);
+  check_bool "jobs > n, single item" true
+    (Parallel.Pool.map ~jobs:8 succ [ 41 ] = [ 42 ]);
+  check_int "empty list, many jobs" 0
+    (List.length (Parallel.Pool.map ~jobs:8 succ []))
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "failure surfaces at jobs=%d" jobs)
+        true
+        (try
+           ignore
+             (Parallel.Pool.map ~jobs
+                (fun x -> if x = 5 then failwith "boom" else x)
+                (List.init 10 Fun.id));
+           false
+         with Failure m -> m = "boom"))
+    [ 1; 2; 4 ]
+
+(* The determinism contract of the bench harness: fan deterministic sim
+   points across the pool, assemble an Emit record in input order, and
+   the serialized JSON is byte-identical to the serial run. The points
+   here boot real simulated reflectors (lib/abrr_core/session_setup),
+   so each worker runs an actual event-driven simulation. *)
+let bench_record jobs =
+  let module S = Abrr_core.Session_setup in
+  let module E = Metrics.Emit in
+  let runs =
+    Parallel.Pool.map ~jobs
+      (fun sessions ->
+        let r = S.run (S.spec ~sessions ()) in
+        E.run
+          ~label:(Printf.sprintf "%d sessions" sessions)
+          ~knobs:[ ("sessions", float_of_int sessions) ]
+          ~sim_s:(Eventsim.Time.to_sec r.S.boot_time)
+          [
+            E.metric ~unit_:"msgs" "msgs_processed"
+              (float_of_int r.S.messages_processed);
+            E.metric ~unit_:"sessions" "established"
+              (float_of_int r.S.established);
+          ])
+      [ 10; 20; 40; 80; 160 ]
+  in
+  E.to_string (E.record_to_json { E.experiment = "pool_test"; runs })
+
+let test_emit_determinism () =
+  let serial = bench_record 1 in
+  check_string "jobs=4 record is byte-identical to jobs=1" serial
+    (bench_record 4);
+  check_string "jobs=2 record is byte-identical to jobs=1" serial
+    (bench_record 2)
+
+let prop_map_is_list_map =
+  QCheck.Test.make ~name:"pool map = List.map for any jobs" ~count:100
+    QCheck.(pair (int_range 1 8) (list small_int))
+    (fun (jobs, l) ->
+      Parallel.Pool.map ~jobs (fun x -> (x * 31) lxor 5) l
+      = List.map (fun x -> (x * 31) lxor 5) l)
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "serial fast path" `Quick test_serial_map;
+      Alcotest.test_case "order preserved" `Quick test_order_preserved;
+      Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
+      Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+      Alcotest.test_case "emit-record determinism" `Quick test_emit_determinism;
+      QCheck_alcotest.to_alcotest prop_map_is_list_map;
+    ] )

@@ -33,6 +33,19 @@ let test_drop () =
   check_bool "remaining" true
     (match Rib.get rib p1 with [ r ] -> r.Route.path_id = 2 | _ -> false)
 
+let test_upsert_keeps_position () =
+  (* the single-pass replace swaps the entry where it sits instead of
+     removing + re-appending, so sibling order is stable *)
+  let rib = Rib.create () in
+  List.iter (fun id -> ignore (Rib.upsert rib (mk p1 id))) [ 1; 2; 3 ];
+  ignore (Rib.upsert rib { (mk p1 2) with Route.local_pref = 300 });
+  check_bool "order preserved" true
+    (List.map (fun r -> r.Route.path_id) (Rib.get rib p1) = [ 1; 2; 3 ]);
+  check_bool "replaced in place" true
+    (match Rib.get rib p1 with
+    | [ _; r; _ ] -> r.Route.local_pref = 300
+    | _ -> false)
+
 let test_set () =
   let rib = Rib.create () in
   Rib.set rib p1 [ mk p1 1; mk p1 2; mk p1 3 ];
@@ -79,6 +92,7 @@ let suite =
     [
       Alcotest.test_case "upsert counting" `Quick test_upsert_counts;
       Alcotest.test_case "drop" `Quick test_drop;
+      Alcotest.test_case "upsert keeps position" `Quick test_upsert_keeps_position;
       Alcotest.test_case "set replaces" `Quick test_set;
       Alcotest.test_case "clear" `Quick test_clear_prefix;
       Alcotest.test_case "fold/prefixes" `Quick test_fold;
