@@ -3,6 +3,9 @@
    Subcommands:
      simulate   run a synthetic Tier-1 workload under a chosen iBGP scheme
      bench      same workload, instrumented: emits a BENCH_sim.json record
+     snapshot   run the workload up to an event boundary and checkpoint it
+     resume     restore a checkpoint and run it to completion
+     bisect     binary-search where two deterministic runs first diverge
      check      statically verify a configuration (no simulation)
      gadget     run one of the Sec 2.3 anomaly gadgets
      trace      generate an MRT update trace (and optionally replay it)
@@ -58,9 +61,10 @@ let resolve_scheme topo aps arrs_per_ap = function
   | `Rcp -> T.rcp_scheme topo
   | `Abrr -> T.abrr_scheme ~aps ~arrs_per_ap topo
 
-(* ---- simulate ------------------------------------------------------ *)
-
-let simulate scheme med pops rpp pas points prefixes aps arrs events seed mrai =
+(* The simulate/bench workload from one set of CLI knobs. snapshot,
+   resume and bisect must rebuild bit-identical runs from the same
+   flags, so all of them share this. *)
+let build_workload med pops rpp pas points prefixes aps arrs events seed mrai =
   let topo = build_topo pops rpp pas points seed in
   let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
   let trace =
@@ -68,7 +72,7 @@ let simulate scheme med pops rpp pas points prefixes aps arrs events seed mrai =
       (TG.spec ~events ~duration:(Eventsim.Time.days 14) ~jitter:(Eventsim.Time.ms 80)
          ~seed ())
   in
-  let cfg =
+  let cfg scheme =
     (* per-router processing phases: synchronized rounds can livelock
        confederations (and TBRR) on ties; real routers are never in
        lockstep *)
@@ -77,7 +81,26 @@ let simulate scheme med pops rpp pas points prefixes aps arrs events seed mrai =
       ~scheme:(resolve_scheme topo aps arrs scheme)
       topo
   in
-  let net = N.create cfg in
+  (topo, table, trace, cfg)
+
+(* Feed the eBGP snapshot, wait for convergence, reset the counters and
+   pre-schedule the whole (reified) update trace — the run is then
+   checkpointable at any trace-phase event boundary. Returns the event
+   count at the trace-phase start. *)
+let feed_and_schedule net table trace =
+  RG.inject_all table net;
+  ignore (N.run ~max_events:200_000_000 net);
+  for i = 0 to N.router_count net - 1 do
+    Abrr_core.Counters.reset (N.counters net i)
+  done;
+  TG.schedule net trace;
+  Eventsim.Sim.events_processed (N.sim net)
+
+(* ---- simulate ------------------------------------------------------ *)
+
+let simulate scheme med pops rpp pas points prefixes aps arrs events seed mrai =
+  let topo, table, trace, cfg = build_workload med pops rpp pas points prefixes aps arrs events seed mrai in
+  let net = N.create (cfg scheme) in
   RG.inject_all table net;
   let snapshot_outcome = N.run ~max_events:200_000_000 net in
   for i = 0 to N.router_count net - 1 do
@@ -149,44 +172,89 @@ let scheme_name = function
    point fanned across a Parallel.Pool of --jobs domains (every
    simulation itself stays single-domain). Runs are emitted in CLI
    order, so the record is identical whatever the job count — only the
-   ungated wall_s fields vary. *)
+   ungated wall_s fields vary.
+
+   --checkpoint-every pauses the trace phase every N events and writes
+   a numbered segment snapshot per scheme (lib/snapshot);
+   --resume-dir restores each scheme from its latest (or --resume-seg)
+   segment and finishes the run from there. --deterministic zeroes the
+   wall-clock field and omits phase timings, so an uninterrupted, a
+   checkpointed and a resumed run of the same workload emit
+   byte-identical records — the property CI asserts. *)
 let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
-    jobs json out_dir =
+    jobs json out_dir deterministic ckpt_every ckpt_dir resume_dir resume_seg =
   let module E = Metrics.Emit in
   let module Sim = Eventsim.Sim in
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else if (match ckpt_every with Some n -> n < 1 | None -> false) then
+    `Error (false, "--checkpoint-every must be >= 1")
   else begin
     let schemes = if schemes = [] then [ `Abrr ] else schemes in
-    let topo = build_topo pops rpp pas points seed in
-    let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
-    let trace =
-      TG.generate table
-        (TG.spec ~events ~duration:(Eventsim.Time.days 14)
-           ~jitter:(Eventsim.Time.ms 80) ~seed ())
+    let _topo, table, trace, cfg =
+      build_workload med pops rpp pas points prefixes aps arrs events seed mrai
     in
     let fi = float_of_int in
     let point scheme =
-      let cfg =
-        T.config ~med_mode:med ~mrai:(Eventsim.Time.sec mrai)
-          ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
-          ~scheme:(resolve_scheme topo aps arrs scheme)
-          topo
-      in
-      let wall0 = Unix.gettimeofday () in
-      let net = N.create cfg in
-      let sim = N.sim net in
-      let sink = Sim.Trace.make ~capacity:4096 ~sample_every:64 () in
-      Sim.set_sink sim sink;
-      Sim.phase sim "snapshot" (fun () ->
-          RG.inject_all table net;
-          ignore (N.run ~max_events:200_000_000 net));
-      for i = 0 to N.router_count net - 1 do
-        Abrr_core.Counters.reset (N.counters net i)
-      done;
-      Sim.phase sim "trace" (fun () ->
-          TG.schedule net trace;
-          ignore (N.run ~max_events:500_000_000 net));
       let name = scheme_name scheme in
+      let wall0 = Unix.gettimeofday () in
+      let net = N.create (cfg scheme) in
+      let sim = N.sim net in
+      let resumed =
+        match resume_dir with
+        | None -> false
+        | Some dir -> (
+          let path =
+            match resume_seg with
+            | Some k -> Some (Snapshot.segment_path ~dir ~label:name k)
+            | None -> Option.map snd (Snapshot.latest_segment ~dir ~label:name)
+          in
+          match path with
+          | None ->
+            Printf.eprintf
+              "bench: no %s segment under %s, running from scratch\n" name dir;
+            false
+          | Some path -> (
+            match Snapshot.load net ~path with
+            | Ok () -> true
+            | Error e -> failwith (Printf.sprintf "%s: %s" path e)))
+      in
+      if not resumed then begin
+        (* The sink travels inside the snapshots, so a resumed run keeps
+           the ring it had at the pause instead of getting a fresh one. *)
+        let sink = Sim.Trace.make ~capacity:4096 ~sample_every:64 () in
+        Sim.set_sink sim sink;
+        Sim.phase sim "snapshot" (fun () ->
+            RG.inject_all table net;
+            ignore (N.run ~max_events:200_000_000 net));
+        for i = 0 to N.router_count net - 1 do
+          Abrr_core.Counters.reset (N.counters net i)
+        done
+      end;
+      Sim.phase sim "trace" (fun () ->
+          if not resumed then TG.schedule net trace;
+          match ckpt_every with
+          | None -> ignore (N.run ~max_events:500_000_000 net)
+          | Some every ->
+            let seg0 =
+              match Snapshot.latest_segment ~dir:ckpt_dir ~label:name with
+              | Some (k, _) -> k + 1
+              | None -> 0
+            in
+            let rec loop remaining seg =
+              if remaining > 0 then
+                match N.run ~max_events:(min every remaining) net with
+                | Sim.Event_limit ->
+                  let path = Snapshot.segment_path ~dir:ckpt_dir ~label:name seg in
+                  (match Snapshot.save net ~path with
+                  | Ok () -> ()
+                  | Error e -> failwith (Printf.sprintf "%s: %s" path e));
+                  loop (remaining - every) (seg + 1)
+                | Sim.Quiescent | Sim.Deadline -> ()
+            in
+            loop 500_000_000 seg0);
+      let entries =
+        match Sim.sink sim with Some s -> Sim.Trace.entries s | None -> []
+      in
       E.run ~label:name ~scheme:name
         ~knobs:
           [
@@ -195,12 +263,12 @@ let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
             ("prefixes", fi prefixes); ("trace_events", fi events);
             ("seed", fi seed); ("mrai_s", fi mrai);
           ]
-        ~wall_s:(Unix.gettimeofday () -. wall0)
+        ~wall_s:(if deterministic then 0. else Unix.gettimeofday () -. wall0)
         ~sim_s:(Eventsim.Time.to_sec (Sim.now sim))
         ~events:(Sim.events_processed sim)
         ~counters:(Abrr_core.Counters.to_fields (N.total_counters net))
         ~summaries:
-          (match Sim.Trace.entries sink with
+          (match entries with
           | [] -> []
           | es ->
             [
@@ -209,7 +277,9 @@ let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
                   (List.map (fun e -> e.Sim.Trace.depth) es) );
             ])
         ~phases:
-          (List.map (fun (n, st) -> (n, st.Sim.cpu_s)) (Sim.phase_stats sim))
+          (if deterministic then []
+           else
+             List.map (fun (n, st) -> (n, st.Sim.cpu_s)) (Sim.phase_stats sim))
         []
     in
     let runs = Parallel.Pool.map ~jobs point schemes in
@@ -245,16 +315,267 @@ let bench_cmd =
     Arg.(value & opt string "."
          & info [ "out" ] ~doc:"Directory to write BENCH_sim.json into.")
   in
+  let det_t =
+    Arg.(value & flag
+         & info [ "deterministic" ]
+             ~doc:
+               "Zero the wall-clock field and omit phase timings, making the \
+                record a pure function of the workload: an uninterrupted, a \
+                checkpointed and a resumed run emit byte-identical files.")
+  in
+  let ckpt_every_t =
+    Arg.(value & opt (some int) None
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:
+               "Pause the trace phase every $(docv) events and write a \
+                segment snapshot per scheme into $(b,--checkpoint-dir).")
+  in
+  let ckpt_dir_t =
+    Arg.(value & opt string "."
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:
+               "Directory for segment snapshots ($(i,scheme).seg$(i,K).snap). \
+                Must exist.")
+  in
+  let resume_dir_t =
+    Arg.(value & opt (some string) None
+         & info [ "resume-dir" ] ~docv:"DIR"
+             ~doc:
+               "Restore each scheme from its segment snapshot in $(docv) \
+                (written by a previous $(b,--checkpoint-every) run under the \
+                same workload flags) and finish the run from there. Schemes \
+                with no segment present run from scratch.")
+  in
+  let resume_seg_t =
+    Arg.(value & opt (some int) None
+         & info [ "resume-seg" ] ~docv:"K"
+             ~doc:
+               "Segment number to resume from (default: the highest present \
+                per scheme).")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Run the simulate workload instrumented with the observability \
-          layer and emit a BENCH_sim.json record (see OBSERVABILITY.md).")
+          layer and emit a BENCH_sim.json record (see OBSERVABILITY.md). \
+          Supports segmented checkpoint/restore of the trace phase \
+          (see DESIGN.md, \"Checkpoint/restore\").")
     Term.(
       ret
         (const bench $ schemes_t $ med_t $ pops_t $ rpp_t $ pas_t $ points_t
         $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t $ jobs_t
-        $ json_t $ out_t))
+        $ json_t $ out_t $ det_t $ ckpt_every_t $ ckpt_dir_t $ resume_dir_t
+        $ resume_seg_t))
+
+(* ---- snapshot / resume ---------------------------------------------- *)
+
+let outcome_str o = Format.asprintf "%a" Eventsim.Sim.pp_outcome o
+
+let snapshot_run scheme med pops rpp pas points prefixes aps arrs events seed
+    mrai at_event out =
+  if at_event < 0 then `Error (false, "--at-event must be >= 0")
+  else begin
+    let _topo, table, trace, cfg =
+      build_workload med pops rpp pas points prefixes aps arrs events seed mrai
+    in
+    let net = N.create (cfg scheme) in
+    let base = feed_and_schedule net table trace in
+    let o =
+      if at_event = 0 then Eventsim.Sim.Event_limit
+      else N.run ~max_events:at_event net
+    in
+    match Snapshot.save net ~path:out with
+    | Error e -> `Error (false, "snapshot: " ^ e)
+    | Ok () ->
+      let sim = N.sim net in
+      Printf.printf
+        "wrote %s: paused (%s) %d events into the trace phase, t=%.3f s, %d \
+         pending\n"
+        out (outcome_str o)
+        (Eventsim.Sim.events_processed sim - base)
+        (Eventsim.Time.to_sec (Eventsim.Sim.now sim))
+        (Eventsim.Sim.pending sim);
+      `Ok ()
+  end
+
+let snapshot_cmd =
+  let at_event_t =
+    Arg.(value & opt int 10_000
+         & info [ "at-event" ] ~docv:"K"
+             ~doc:
+               "Checkpoint after $(docv) trace-phase events (0 = right at \
+                the trace-phase start).")
+  in
+  let out_t =
+    Arg.(value & opt string "net.snap"
+         & info [ "out" ] ~doc:"Snapshot file to write (atomically).")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Run the simulate workload up to a trace-phase event boundary and \
+          checkpoint the complete simulation state (RIBs, sessions, \
+          counters, clock, random stream, pending events) to a file. Resume \
+          with $(b,abrr-sim resume) under the same workload flags; the \
+          finished run is byte-identical to an uninterrupted one.")
+    Term.(
+      ret
+        (const snapshot_run $ scheme_t $ med_t $ pops_t $ rpp_t $ pas_t
+        $ points_t $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t
+        $ at_event_t $ out_t))
+
+let resume_run scheme med pops rpp pas points prefixes aps arrs events seed
+    mrai from =
+  let _topo, _table, _trace, cfg =
+    build_workload med pops rpp pas points prefixes aps arrs events seed mrai
+  in
+  let net = N.create (cfg scheme) in
+  match Snapshot.load net ~path:from with
+  | Error e -> `Error (false, Printf.sprintf "%s: %s" from e)
+  | Ok () ->
+    let sim = N.sim net in
+    Printf.printf "restored %s: %d events processed, t=%.3f s, %d pending\n"
+      from
+      (Eventsim.Sim.events_processed sim)
+      (Eventsim.Time.to_sec (Eventsim.Sim.now sim))
+      (Eventsim.Sim.pending sim);
+    let o = N.run ~max_events:500_000_000 net in
+    let total = N.total_counters net in
+    Printf.printf "finished: %s at %d events, t=%.3f s\n" (outcome_str o)
+      (Eventsim.Sim.events_processed sim)
+      (Eventsim.Time.to_sec (Eventsim.Sim.now sim));
+    Printf.printf "network totals: rx %d  gen %d  tx %d  bytes-tx %d\n"
+      total.Abrr_core.Counters.updates_received
+      total.Abrr_core.Counters.updates_generated
+      total.Abrr_core.Counters.updates_transmitted
+      total.Abrr_core.Counters.bytes_transmitted;
+    `Ok ()
+
+let resume_cmd =
+  let from_t =
+    Arg.(value & opt string "net.snap"
+         & info [ "from" ] ~doc:"Snapshot file to restore.")
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Restore a checkpoint written by $(b,abrr-sim snapshot) and run it \
+          to completion. The workload flags must match the ones the \
+          snapshot was taken under (the file carries a config fingerprint \
+          and refuses to restore into a different configuration).")
+    Term.(
+      ret
+        (const resume_run $ scheme_t $ med_t $ pops_t $ rpp_t $ pas_t
+        $ points_t $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t
+        $ from_t))
+
+(* ---- bisect ---------------------------------------------------------- *)
+
+(* Two runs of the same workload compared via canonical state digests at
+   increasing trace-phase event indices; binary search localizes the
+   first index where the states differ. Without a fault the runs are
+   identical (the simulation is a pure function of the workload);
+   --fault-rng-at K perturbs run B's random stream right after trace
+   event K, modelling the kind of stray-randomness bug the tool exists
+   to localize. Each digest probe replays the run from scratch, so use
+   small workloads. *)
+let bisect_run scheme med pops rpp pas points prefixes aps arrs events seed
+    mrai fault_at =
+  let _topo, table, trace, cfg =
+    build_workload med pops rpp pas points prefixes aps arrs events seed mrai
+  in
+  let build () =
+    let net = N.create (cfg scheme) in
+    let base = feed_and_schedule net table trace in
+    (net, base)
+  in
+  let advance net base k =
+    let sim = N.sim net in
+    let target = base + k in
+    let cur = Eventsim.Sim.events_processed sim in
+    if target > cur then ignore (N.run ~max_events:(target - cur) net)
+  in
+  let prepare ?sink fault k =
+    let net, base = build () in
+    (match sink with
+    | Some s -> Eventsim.Sim.set_sink (N.sim net) s
+    | None -> ());
+    (match fault with
+    | Some kf when k >= kf ->
+      advance net base kf;
+      ignore (Eventsim.Prng.int (Eventsim.Sim.rng (N.sim net)) 1_000_000)
+    | _ -> ());
+    advance net base k;
+    net
+  in
+  let mk_digest fault =
+    let memo = Hashtbl.create 16 in
+    fun k ->
+      match Hashtbl.find_opt memo k with
+      | Some d -> d
+      | None ->
+        let d =
+          match Snapshot.digest (prepare fault k) with
+          | Ok d -> d
+          | Error e -> failwith ("bisect digest: " ^ e)
+        in
+        Hashtbl.add memo k d;
+        d
+  in
+  let net_a, base = build () in
+  ignore (N.run ~max_events:500_000_000 net_a);
+  let hi = Eventsim.Sim.events_processed (N.sim net_a) - base in
+  let hi = match fault_at with Some kf -> max hi (kf + 1) | None -> hi in
+  Printf.printf "trace phase spans %d events; bisecting [0, %d]\n%!" hi hi;
+  match
+    Snapshot.Bisect.search ~lo:0 ~hi ~digest_a:(mk_digest None)
+      ~digest_b:(mk_digest fault_at)
+  with
+  | None ->
+    Printf.printf "runs are state-identical through event %d\n" hi;
+    `Ok ()
+  | Some d ->
+    Printf.printf "first divergence at trace-phase event %d\n" d;
+    let show tag fault =
+      let sink = Eventsim.Sim.Trace.make ~capacity:4 ~sample_every:1 () in
+      ignore (prepare ~sink fault d);
+      Printf.printf "  run %s, last events into the divergence:\n" tag;
+      List.iter
+        (fun (e : Eventsim.Sim.Trace.entry) ->
+          Printf.printf "    t=%.6f s  %-8s  actor=r%d  detail=%d  depth=%d\n"
+            (Eventsim.Time.to_sec e.Eventsim.Sim.Trace.time)
+            (N.trace_kind_name e.Eventsim.Sim.Trace.kind)
+            e.Eventsim.Sim.Trace.actor e.Eventsim.Sim.Trace.detail
+            e.Eventsim.Sim.Trace.depth)
+        (Eventsim.Sim.Trace.entries sink)
+    in
+    show "A" None;
+    show "B" fault_at;
+    `Ok ()
+
+let bisect_cmd =
+  let fault_t =
+    Arg.(value & opt (some int) None
+         & info [ "fault-rng-at" ] ~docv:"K"
+             ~doc:
+               "Perturb run B's random stream right after trace-phase event \
+                $(docv) — a seeded divergence the search must localize to \
+                exactly $(docv). Without it the two runs are identical and \
+                the search reports none.")
+  in
+  Cmd.v
+    (Cmd.info "bisect"
+       ~doc:
+         "Binary-search the first trace-phase event index where two runs of \
+          the same workload diverge, comparing canonical state digests \
+          (lib/snapshot), and print the trace entries leading into the \
+          divergence. Each probe replays the run from scratch: use small \
+          workloads.")
+    Term.(
+      ret
+        (const bisect_run $ scheme_t $ med_t $ pops_t $ rpp_t $ pas_t
+        $ points_t $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t
+        $ fault_t))
 
 (* ---- check ---------------------------------------------------------- *)
 
@@ -446,5 +767,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; bench_cmd; check_cmd; gadget_cmd; trace_cmd; boot_cmd;
-            partition_cmd ]))
+          [ simulate_cmd; bench_cmd; snapshot_cmd; resume_cmd; bisect_cmd;
+            check_cmd; gadget_cmd; trace_cmd; boot_cmd; partition_cmd ]))

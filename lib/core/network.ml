@@ -1,9 +1,37 @@
 open Netaddr
 open Eventsim
 
+type op =
+  | Inject of { router : int; neighbor : Ipv4.t; route : Bgp.Route.t }
+  | Withdraw of {
+      router : int;
+      neighbor : Ipv4.t;
+      prefix : Prefix.t;
+      path_id : int;
+    }
+  | Originate of { router : int; route : Bgp.Route.t }
+  | Withdraw_local of { router : int; prefix : Prefix.t; path_id : int }
+  | Fail of int
+  | Recover of int
+
+type payload =
+  | Deliver of {
+      src : int;
+      dst : int;
+      bytes : int;
+      msgs : int;
+      items : Proto.item list;
+    }
+  | Process of int
+  | Mrai_flush of { router : int; peer : int }
+  | Purge of { router : int; peer : int }
+  | Establish of { router : int; peer : int }
+  | Op of op
+  | Thunk of (unit -> unit)
+
 type t = {
   config : Config.t;
-  sim : Sim.t;
+  sim : payload Sim.t;
   mutable routers : Router.t array;
   mutable dist : int array array;
   mutable hooks : (int -> Prefix.t -> Bgp.Route.t option -> unit) list;
@@ -23,11 +51,69 @@ let trace_kind_name = function
   | 0 -> "unknown"
   | k -> Printf.sprintf "kind-%d" k
 
+let router t i =
+  if i < 0 || i >= Array.length t.routers then
+    invalid_arg (Printf.sprintf "Network.router: %d out of range" i);
+  t.routers.(i)
+
+let inject t ~router:i ~neighbor route = Router.inject_ebgp (router t i) ~neighbor route
+
+let withdraw t ~router:i ~neighbor prefix ~path_id =
+  Router.withdraw_ebgp (router t i) ~neighbor prefix ~path_id
+
+let originate t ~router:i route = Router.originate (router t i) route
+
+let hold_time = Time.sec 3
+
+let fail t ~router:i =
+  let failed = router t i in
+  Router.set_down failed;
+  (* Peers notice when the hold timer expires and purge the session. *)
+  Array.iteri
+    (fun j _ ->
+      if j <> i then
+        Sim.schedule t.sim ~kind:trace_kind_timer ~actor:j ~delay:hold_time
+          (Purge { router = j; peer = i }))
+    t.routers
+
+let recover t ~router:i =
+  let recovered = router t i in
+  Router.set_up_cold recovered;
+  (* Sessions re-establish; each peer replays its Adj-RIB-Out. *)
+  Array.iteri
+    (fun j _ ->
+      if j <> i then
+        Sim.schedule t.sim ~kind:trace_kind_timer ~actor:j ~delay:hold_time
+          (Establish { router = j; peer = i }))
+    t.routers
+
+let run_op t = function
+  | Inject { router; neighbor; route } -> inject t ~router ~neighbor route
+  | Withdraw { router; neighbor; prefix; path_id } ->
+    withdraw t ~router ~neighbor prefix ~path_id
+  | Originate { router; route } -> originate t ~router route
+  | Withdraw_local { router = i; prefix; path_id } ->
+    Router.withdraw_local (router t i) prefix ~path_id
+  | Fail i -> fail t ~router:i
+  | Recover i -> recover t ~router:i
+
+let exec_payload t = function
+  | Deliver { src; dst; bytes; msgs; items } ->
+    Router.receive t.routers.(dst) ~src ~items ~bytes ~msgs
+  | Process i -> Router.process_now t.routers.(i)
+  | Mrai_flush { router = i; peer } -> Router.flush_peer t.routers.(i) ~peer
+  | Purge { router = i; peer } -> Router.purge_peer t.routers.(i) ~peer
+  | Establish { router = i; peer } ->
+    let r = t.routers.(i) in
+    if Router.is_up r then Router.refresh_to r ~peer
+  | Op op -> run_op t op
+  | Thunk f -> f ()
+
 let create ?(seed = 42) config =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Network.create: " ^ msg));
-  let sim = Sim.create ~seed () in
+  let sim = Sim.create_reified ~seed () in
   let t =
     {
       config;
@@ -44,17 +130,21 @@ let create ?(seed = 42) config =
         Router.id = i;
         config;
         now = (fun () -> Sim.now sim);
-        schedule =
-          (fun delay action ->
-            Sim.schedule sim ~kind:trace_kind_timer ~actor:i ~delay action);
+        schedule_process =
+          (fun delay ->
+            Sim.schedule sim ~kind:trace_kind_timer ~actor:i ~delay (Process i));
+        schedule_flush =
+          (fun ~peer delay ->
+            Sim.schedule sim ~kind:trace_kind_timer ~actor:i ~delay
+              (Mrai_flush { router = i; peer }));
         transmit =
           (fun ~dst ~bytes ~msgs items ->
             let delay =
               if dst = i then Time.zero else config.Config.link_delay i dst
             in
             Sim.schedule sim ~kind:trace_kind_deliver ~actor:dst
-              ~detail:(List.length items) ~delay (fun () ->
-                Router.receive t.routers.(dst) ~src:i ~items ~bytes ~msgs));
+              ~detail:(List.length items) ~delay
+              (Deliver { src = i; dst; bytes; msgs; items }));
         igp_cost =
           (fun next_hop ->
             match Config.router_of_loopback config next_hop with
@@ -74,26 +164,18 @@ let create ?(seed = 42) config =
     Router.create env
   in
   t.routers <- Array.init config.Config.n_routers make_router;
+  Sim.set_exec sim (exec_payload t);
   t
 
 let config t = t.config
 let sim t = t.sim
 let router_count t = Array.length t.routers
-
-let router t i =
-  if i < 0 || i >= Array.length t.routers then
-    invalid_arg (Printf.sprintf "Network.router: %d out of range" i);
-  t.routers.(i)
-
-let inject t ~router:i ~neighbor route = Router.inject_ebgp (router t i) ~neighbor route
-
-let withdraw t ~router:i ~neighbor prefix ~path_id =
-  Router.withdraw_ebgp (router t i) ~neighbor prefix ~path_id
-
-let originate t ~router:i route = Router.originate (router t i) route
 let run ?until ?max_events t = Sim.run ?until ?max_events t.sim
+
 let at t time action =
-  Sim.schedule_at t.sim ~kind:trace_kind_external ~time action
+  Sim.schedule_at t.sim ~kind:trace_kind_external ~time (Thunk action)
+
+let at_op t time op = Sim.schedule_at t.sim ~kind:trace_kind_external ~time (Op op)
 let best t ~router:i p = Router.best (router t i) p
 let lookup t ~router:i addr = Router.lookup (router t i) addr
 let best_exit t ~router:i p = Router.best_exit (router t i) p
@@ -135,26 +217,43 @@ let set_acceptance t ~ap mode =
     Array.iter Router.redecide_all t.routers
   end
 
-let hold_time = Time.sec 3
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support                                                  *)
 
-let fail t ~router:i =
-  let failed = router t i in
-  Router.set_down failed;
-  (* Peers notice when the hold timer expires and purge the session. *)
-  Array.iteri
-    (fun j r ->
-      if j <> i then
-        Sim.schedule t.sim ~kind:trace_kind_timer ~actor:j ~delay:hold_time
-          (fun () -> Router.purge_peer r ~peer:i))
-    t.routers
+type dump = {
+  d_clock : Time.t;
+  d_next_seq : int;
+  d_processed : int;
+  d_rng : int64;
+  d_events : payload Sim.event list;
+  d_best_changes : int;
+  d_routers : Router.state array;
+  d_sink : Sim.Trace.dump option;
+}
 
-let recover t ~router:i =
-  let recovered = router t i in
-  Router.set_up_cold recovered;
-  (* Sessions re-establish; each peer replays its Adj-RIB-Out. *)
-  Array.iteri
-    (fun j r ->
-      if j <> i then
-        Sim.schedule t.sim ~kind:trace_kind_timer ~actor:j ~delay:hold_time
-          (fun () -> if Router.is_up r then Router.refresh_to r ~peer:i))
-    t.routers
+let dump t =
+  {
+    d_clock = Sim.now t.sim;
+    d_next_seq = Sim.next_seq t.sim;
+    d_processed = Sim.events_processed t.sim;
+    d_rng = Prng.state (Sim.rng t.sim);
+    d_events = Sim.pending_events t.sim;
+    d_best_changes = t.best_changes;
+    d_routers = Array.map Router.dump_state t.routers;
+    d_sink = Option.map Sim.Trace.dump (Sim.sink t.sim);
+  }
+
+let load t d =
+  if Array.length d.d_routers <> Array.length t.routers then
+    invalid_arg "Network.load: router count mismatch";
+  Array.iteri (fun i st -> Router.load_state t.routers.(i) st) d.d_routers;
+  t.best_changes <- d.d_best_changes;
+  (* SPF distances are recomputed from the caller-rebuilt config rather
+     than checkpointed; a run that edits the IGP graph mid-flight must
+     re-apply those edits before resuming. *)
+  t.dist <- Igp.Spf.all_pairs t.config.Config.igp;
+  Sim.restore t.sim ~clock:d.d_clock ~next_seq:d.d_next_seq
+    ~processed:d.d_processed ~rng_state:d.d_rng d.d_events;
+  match d.d_sink with
+  | Some s -> Sim.set_sink t.sim (Sim.Trace.of_dump s)
+  | None -> Sim.clear_sink t.sim

@@ -1,18 +1,62 @@
 (** A simulated AS: routers wired per the configured iBGP scheme over a
     discrete-event simulation, with eBGP injection, measurement hooks and
-    the §2.4 transition switch. *)
+    the §2.4 transition switch.
+
+    Every event the network schedules is {e reified}: the simulator's
+    payload type ({!payload}) is plain data interpreted by an executor
+    this module installs, so the pending event queue can round-trip
+    through the checkpoint codec (lib/snapshot). The one escape hatch is
+    {!at}, which wraps an arbitrary closure in a [Thunk] payload —
+    convenient for tests and scripts, but a snapshot taken while a
+    [Thunk] is pending fails to encode; schedule {!at_op} operations
+    instead when checkpointing matters. *)
 
 open Netaddr
 open Eventsim
 
 type t
 
+(** An external operation scheduled against the network — the reified
+    counterpart of the {!inject}/{!withdraw}/{!originate}/{!fail}/
+    {!recover} calls (trace replay, failure scripts). *)
+type op =
+  | Inject of { router : int; neighbor : Ipv4.t; route : Bgp.Route.t }
+  | Withdraw of {
+      router : int;
+      neighbor : Ipv4.t;
+      prefix : Prefix.t;
+      path_id : int;
+    }
+  | Originate of { router : int; route : Bgp.Route.t }
+  | Withdraw_local of { router : int; prefix : Prefix.t; path_id : int }
+  | Fail of int
+  | Recover of int
+
+(** What a scheduled event does when it fires. *)
+type payload =
+  | Deliver of {
+      src : int;
+      dst : int;
+      bytes : int;
+      msgs : int;
+      items : Proto.item list;
+    }  (** iBGP message delivery to [dst] *)
+  | Process of int  (** router processing-batch timer *)
+  | Mrai_flush of { router : int; peer : int }  (** MRAI flush timer *)
+  | Purge of { router : int; peer : int }
+      (** hold-timer expiry: [router] tears down its session to [peer] *)
+  | Establish of { router : int; peer : int }
+      (** session re-establishment: [router] replays its Adj-RIB-Out to
+          [peer] *)
+  | Op of op  (** external operation ({!at_op}) *)
+  | Thunk of (unit -> unit)  (** opaque closure ({!at}) — not snapshotable *)
+
 val create : ?seed:int -> Config.t -> t
 (** @raise Invalid_argument when {!Config.validate} fails. *)
 
 val config : t -> Config.t
 
-val sim : t -> Sim.t
+val sim : t -> payload Sim.t
 (** The underlying simulator — attach a {!Eventsim.Sim.Trace} sink or
     bracket {!Eventsim.Sim.phase}s through it (see OBSERVABILITY.md). *)
 
@@ -33,7 +77,8 @@ val trace_kind_timer : int
     hold-timer expiry. [actor] is the router that scheduled it. *)
 
 val trace_kind_external : int
-(** Externally scheduled work ({!at}: trace replay, failure scripts). *)
+(** Externally scheduled work ({!at}, {!at_op}: trace replay, failure
+    scripts). *)
 
 val trace_kind_name : int -> string
 (** Human-readable name of a kind code (["deliver"], ["timer"], ...). *)
@@ -49,10 +94,16 @@ val originate : t -> router:int -> Bgp.Route.t -> unit
 
 val run : ?until:Time.t -> ?max_events:int -> t -> Sim.outcome
 (** Run until quiescent (converged), the deadline, or the event budget —
-    the latter is how oscillations are detected. *)
+    the latter is how oscillations are detected (and how segmented
+    checkpoint runs pause at an event boundary). *)
 
 val at : t -> Time.t -> (unit -> unit) -> unit
-(** Schedule an action at an absolute simulated time (trace replay). *)
+(** Schedule a closure at an absolute simulated time, as a [Thunk]
+    payload. Not snapshotable while pending — prefer {!at_op}. *)
+
+val at_op : t -> Time.t -> op -> unit
+(** Schedule a reified operation at an absolute simulated time (trace
+    replay, failure scripts). Snapshot-safe. *)
 
 (** {1 Observation} *)
 
@@ -101,3 +152,30 @@ val recover : t -> router:int -> unit
 
 val hold_time : Eventsim.Time.t
 (** Simulated session teardown / re-establishment latency (3 s). *)
+
+(** {1 Checkpoint support (lib/snapshot)} *)
+
+(** Complete network-level simulation state as plain data: the
+    simulator's dispatch scalars and pending (reified) event queue, the
+    per-router BGP state, the Loc-RIB change counter, and the trace-sink
+    ring when one is attached. Not in here: the config (the restoring
+    caller rebuilds it and the codec checks a fingerprint), SPF
+    distances (recomputed from that config on {!load}), and
+    {!on_best_change} hooks (closures — re-register after restoring). *)
+type dump = {
+  d_clock : Time.t;
+  d_next_seq : int;
+  d_processed : int;
+  d_rng : int64;  (** splitmix64 state word *)
+  d_events : payload Sim.event list;  (** sorted by (time, seq) *)
+  d_best_changes : int;
+  d_routers : Router.state array;
+  d_sink : Sim.Trace.dump option;
+}
+
+val dump : t -> dump
+
+val load : t -> dump -> unit
+(** Restore into a network freshly {!create}d from the same config the
+    dump was taken under. @raise Invalid_argument on a router-count
+    mismatch. *)

@@ -63,3 +63,13 @@ let drop_prefix t prefix =
 let prefix_count t = Hashtbl.length t
 
 let clear t = Hashtbl.reset t
+
+type dump = (int * Bgp.Route.t list * int) list
+
+let dump t =
+  Hashtbl.fold (fun key e acc -> (key, e.routes, e.next) :: acc) t []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+
+let load t d =
+  Hashtbl.reset t;
+  List.iter (fun (key, routes, next) -> Hashtbl.add t key { routes; next }) d

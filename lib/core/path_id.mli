@@ -27,3 +27,12 @@ val prefix_count : t -> int
 
 val clear : t -> unit
 (** Forget all assignments (cold restart). *)
+
+(** {1 Checkpoint support} *)
+
+type dump = (int * Bgp.Route.t list * int) list
+(** [(prefix key, assigned set, next fresh id)] per tracked prefix,
+    sorted by key (canonical — equal allocator states dump equal). *)
+
+val dump : t -> dump
+val load : t -> dump -> unit

@@ -51,3 +51,14 @@ let pp_delta fmt d =
   Format.fprintf fmt "%a: %d routes, %d withdrawn" Prefix.pp d.prefix
     (List.length d.routes)
     (List.length d.withdrawn_ids)
+
+let channel_of_tag = function
+  | 0 -> Mesh
+  | 1 -> To_trr
+  | 2 -> To_arr
+  | 3 -> From_trr
+  | 4 -> From_arr
+  | 5 -> Confed
+  | 6 -> To_rcp
+  | 7 -> From_rcp
+  | n -> invalid_arg (Printf.sprintf "Proto.channel_of_tag: %d" n)

@@ -41,5 +41,9 @@ val wire_size : add_paths:bool -> delta list -> int * int
 val channel_tag : channel -> int
 (** Small integer for use in hash keys. *)
 
+val channel_of_tag : int -> channel
+(** Inverse of {!channel_tag} — the checkpoint codec stores channels by
+    tag. @raise Invalid_argument on an unknown tag. *)
+
 val pp_channel : Format.formatter -> channel -> unit
 val pp_delta : Format.formatter -> delta -> unit

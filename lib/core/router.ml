@@ -9,7 +9,8 @@ type env = {
   id : int;
   config : Config.t;
   now : unit -> Time.t;
-  schedule : Time.t -> (unit -> unit) -> unit;
+  schedule_process : Time.t -> unit;
+  schedule_flush : peer:int -> Time.t -> unit;
   transmit : dst:int -> bytes:int -> msgs:int -> Proto.item list -> unit;
   igp_cost : Ipv4.t -> int;
   igp_cost_from : src:int -> Ipv4.t -> int;
@@ -322,15 +323,23 @@ let ibgp_candidate t src (route : R.t) =
 
 let eligible (c : D.candidate) = c.igp_cost <> Igp.Spf.unreachable
 
+(* Per-source tables in ascending source order. Candidate collection and
+   route dumps must not depend on hashtable iteration order: a restored
+   run rebuilds these tables in a different internal order than the
+   original, and decision tie-breaks would otherwise diverge. *)
+let sorted_tbl tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let table_candidates t tbl tag p acc =
-  Hashtbl.fold
-    (fun src rib acc ->
+  List.fold_left
+    (fun acc (src, rib) ->
       List.fold_left
         (fun acc route ->
           let c = ibgp_candidate t src route in
           if eligible c then (c, src, tag) :: acc else acc)
         acc (Rib.get rib p))
-    tbl acc
+    acc (sorted_tbl tbl)
 
 let ebgp_candidates t p acc =
   List.fold_left
@@ -398,14 +407,14 @@ let tbrr_candidates t p acc =
   else acc
 
 let confed_candidates t p acc =
-  Hashtbl.fold
-    (fun src rib acc ->
+  List.fold_left
+    (fun acc (src, rib) ->
       List.fold_left
         (fun acc route ->
           let c = { (ibgp_candidate t src route) with D.learned = D.Confed_ebgp } in
           if eligible c then (c, src, S_confed) :: acc else acc)
         acc (Rib.get rib p))
-    t.confed_in acc
+    acc (sorted_tbl t.confed_in)
 
 let collect_candidates t p =
   let acc = local_candidates t p (ebgp_candidates t p []) in
@@ -490,7 +499,7 @@ let merge_pending (s : session) ((channel, delta) : Proto.item) =
   in
   Hashtbl.replace s.pending key (channel, merged)
 
-let rec send t dst items =
+let send t dst items =
   if dst = t.env.id then t.env.transmit ~dst ~bytes:0 ~msgs:0 items
   else
     let s = session t dst in
@@ -503,16 +512,16 @@ let rec send t dst items =
       List.iter (merge_pending s) items;
       if not s.flush_scheduled then begin
         s.flush_scheduled <- true;
-        t.env.schedule (s.mrai_until - now) (fun () -> flush_session t dst)
+        t.env.schedule_flush ~peer:dst (s.mrai_until - now)
       end
     end
 
-and flush_session t dst =
-  let s = session t dst in
+let flush_peer t ~peer =
+  let s = session t peer in
   s.flush_scheduled <- false;
   let items = Hashtbl.fold (fun _ item acc -> item :: acc) s.pending [] in
   Hashtbl.reset s.pending;
-  if items <> [] then transmit_now t dst s items
+  if items <> [] then transmit_now t peer s items
 
 let flush_outgoing t =
   let dsts = Hashtbl.fold (fun dst _ acc -> dst :: acc) t.outgoing [] in
@@ -597,15 +606,15 @@ let recompute_arr t p =
       (* Loop prevention and AS-level selection do not consult the IGP, so
          include candidates regardless of next-hop reachability. *)
       let tagged =
-        Hashtbl.fold
-          (fun src rib acc ->
+        List.fold_left
+          (fun acc (src, rib) ->
             List.fold_left
               (fun acc route ->
                 let c = ibgp_candidate t src route in
                 if eligible c then acc (* already included above *)
                 else (c, src, S_from_arr) :: acc)
               acc (Rib.get rib p))
-          t.managed_arr tagged
+          tagged (sorted_tbl t.managed_arr)
       in
       let cands = List.map (fun (c, _, _) -> c) tagged in
       let survivors = D.steps_1_to_4 ~med_mode:t.env.config.med_mode cands in
@@ -987,10 +996,10 @@ let rcp_active t =
    maintain a per-client Adj-RIB-Out. *)
 let recompute_rcp t p =
   let all =
-    Hashtbl.fold
-      (fun src rib acc ->
+    List.fold_left
+      (fun acc (src, rib) ->
         List.fold_left (fun acc route -> (src, route) :: acc) acc (Rib.get rib p))
-      t.managed_rcp []
+      [] (sorted_tbl t.managed_rcp)
   in
   List.iter
     (fun client ->
@@ -1195,7 +1204,7 @@ let apply_input t input dirty =
   | In_redecide_all ->
     Hashtbl.iter (fun key p -> Hashtbl.replace dirty key p) t.seen
 
-let process t () =
+let process_now t =
   t.process_scheduled <- false;
   if not t.up then Queue.clear t.inbox
   else begin
@@ -1217,7 +1226,7 @@ let process t () =
 let ensure_process t =
   if not t.process_scheduled then begin
     t.process_scheduled <- true;
-    t.env.schedule (Config.proc_delay_of t.env.config t.env.id) (process t)
+    t.env.schedule_process (Config.proc_delay_of t.env.config t.env.id)
   end
 
 let push t input =
@@ -1413,3 +1422,183 @@ let advertised_route t p =
   | r :: _ -> Some r
 
 let known_prefixes t = Hashtbl.fold (fun _ p acc -> p :: acc) t.seen []
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support                                                  *)
+
+type rib_dump = (Prefix.t * R.t list) list
+
+type session_state = {
+  ss_peer : int;
+  ss_mrai_until : Time.t;
+  ss_pending : Proto.item list;
+  ss_flush_scheduled : bool;
+}
+
+type state = {
+  st_ribs : rib_dump array;
+  st_peer_tables : (int * rib_dump) list array;
+  st_src_tbls : (int * int) list array;
+  st_path_ids : Path_id.dump array;
+  st_ebgp_neighbors : ((int * int) * Ipv4.t) list;
+  st_seen : Prefix.t list;
+  st_inbox : input list;
+  st_process_scheduled : bool;
+  st_outgoing : (int * Proto.item list) list;
+  st_sessions : session_state list;
+  st_counters : Counters.t;
+  st_rejected_loops : int;
+  st_up : bool;
+}
+
+(* Fixed slot orders — the codec stores these arrays positionally, so
+   the orders are part of the snapshot format (bump the format version
+   when changing them). *)
+let rib_slots t =
+  [| t.ebgp_rib; t.local_rib; t.loc_rib; t.adv_mesh; t.adv_confed; t.adv_rcp;
+     t.adv_trr; t.adv_arr; t.out_mesh; t.out_clients; t.out_arr |]
+
+let peer_table_slots t =
+  [| t.managed_trr; t.managed_arr; t.mesh_in; t.confed_in; t.managed_rcp;
+     t.from_rcp; t.rcp_out; t.from_trr; t.from_arr |]
+
+let src_tbl_slots t =
+  [| t.best_src; t.adv_confed_src; t.out_clients_src; t.out_mesh_src |]
+
+let path_id_slots t =
+  [| t.ids_mesh; t.ids_clients; t.ids_arr; t.ids_adv_trr; t.ids_adv_arr |]
+
+let dump_rib rib =
+  Rib.prefixes rib
+  |> List.sort Prefix.compare
+  |> List.map (fun p -> (p, Rib.get rib p))
+
+let sort_items items =
+  List.sort
+    (fun ((c1, d1) : Proto.item) (c2, d2) ->
+      match Int.compare (Proto.channel_tag c1) (Proto.channel_tag c2) with
+      | 0 -> Prefix.compare d1.Proto.prefix d2.Proto.prefix
+      | c -> c)
+    items
+
+let dump_state t =
+  {
+    st_ribs = Array.map dump_rib (rib_slots t);
+    st_peer_tables =
+      Array.map
+        (fun tbl ->
+          List.map (fun (src, rib) -> (src, dump_rib rib)) (sorted_tbl tbl))
+        (peer_table_slots t);
+    st_src_tbls = Array.map sorted_tbl (src_tbl_slots t);
+    st_path_ids = Array.map Path_id.dump (path_id_slots t);
+    st_ebgp_neighbors =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ebgp_neighbors []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    st_seen =
+      Hashtbl.fold (fun _ p acc -> p :: acc) t.seen []
+      |> List.sort Prefix.compare;
+    st_inbox = List.of_seq (Queue.to_seq t.inbox);
+    st_process_scheduled = t.process_scheduled;
+    st_outgoing =
+      Hashtbl.fold (fun dst r acc -> (dst, List.rev !r) :: acc) t.outgoing []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    st_sessions =
+      Hashtbl.fold
+        (fun peer (s : session) acc ->
+          {
+            ss_peer = peer;
+            ss_mrai_until = s.mrai_until;
+            ss_pending =
+              sort_items (Hashtbl.fold (fun _ it acc -> it :: acc) s.pending []);
+            ss_flush_scheduled = s.flush_scheduled;
+          }
+          :: acc)
+        t.sessions []
+      |> List.sort (fun a b -> Int.compare a.ss_peer b.ss_peer);
+    st_counters = Counters.copy t.counters;
+    st_rejected_loops = t.rejected_loops;
+    st_up = t.up;
+  }
+
+let load_state t st =
+  let ribs = rib_slots t in
+  let tables = peer_table_slots t in
+  let srcs = src_tbl_slots t in
+  let ids = path_id_slots t in
+  if
+    Array.length st.st_ribs <> Array.length ribs
+    || Array.length st.st_peer_tables <> Array.length tables
+    || Array.length st.st_src_tbls <> Array.length srcs
+    || Array.length st.st_path_ids <> Array.length ids
+  then invalid_arg "Router.load_state: slot count mismatch";
+  (* Wipe everything, as a cold start would, then refill from the dump. *)
+  Array.iter Rib.clear ribs;
+  Array.iter Hashtbl.reset tables;
+  Array.iter Hashtbl.reset srcs;
+  Array.iter Path_id.clear ids;
+  Hashtbl.reset t.ebgp_neighbors;
+  Hashtbl.reset t.seen;
+  Queue.clear t.inbox;
+  Hashtbl.reset t.outgoing;
+  Hashtbl.reset t.sessions;
+  Array.iteri
+    (fun i d -> List.iter (fun (p, rs) -> Rib.set ribs.(i) p rs) d)
+    st.st_ribs;
+  Array.iteri
+    (fun i d ->
+      List.iter
+        (fun (src, rd) ->
+          let rib = table_rib tables.(i) src in
+          List.iter (fun (p, rs) -> Rib.set rib p rs) rd)
+        d)
+    st.st_peer_tables;
+  Array.iteri
+    (fun i d -> List.iter (fun (k, v) -> Hashtbl.replace srcs.(i) k v) d)
+    st.st_src_tbls;
+  Array.iteri (fun i d -> Path_id.load ids.(i) d) st.st_path_ids;
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.ebgp_neighbors k v)
+    st.st_ebgp_neighbors;
+  List.iter (note_seen t) st.st_seen;
+  List.iter (fun input -> Queue.add input t.inbox) st.st_inbox;
+  t.process_scheduled <- st.st_process_scheduled;
+  List.iter
+    (fun (dst, items) -> Hashtbl.replace t.outgoing dst (ref (List.rev items)))
+    st.st_outgoing;
+  List.iter
+    (fun ss ->
+      let s =
+        {
+          mrai_until = ss.ss_mrai_until;
+          pending = Hashtbl.create 8;
+          flush_scheduled = ss.ss_flush_scheduled;
+        }
+      in
+      List.iter
+        (fun (((c, d) : Proto.item) as item) ->
+          Hashtbl.replace s.pending
+            (Proto.channel_tag c, Prefix.to_key d.Proto.prefix)
+            item)
+        ss.ss_pending;
+      Hashtbl.add t.sessions ss.ss_peer s)
+    st.st_sessions;
+  (let c = t.counters and s = st.st_counters in
+   c.Counters.updates_received <- s.Counters.updates_received;
+   c.Counters.updates_generated <- s.Counters.updates_generated;
+   c.Counters.updates_transmitted <- s.Counters.updates_transmitted;
+   c.Counters.updates_suppressed <- s.Counters.updates_suppressed;
+   c.Counters.messages_transmitted <- s.Counters.messages_transmitted;
+   c.Counters.bytes_transmitted <- s.Counters.bytes_transmitted;
+   c.Counters.bytes_received <- s.Counters.bytes_received;
+   c.Counters.withdrawals_received <- s.Counters.withdrawals_received;
+   c.Counters.withdrawals_transmitted <- s.Counters.withdrawals_transmitted;
+   c.Counters.decisions_run <- s.Counters.decisions_run;
+   c.Counters.rib_touches <- s.Counters.rib_touches;
+   c.Counters.last_change <- s.Counters.last_change);
+  t.rejected_loops <- st.st_rejected_loops;
+  t.up <- st.st_up;
+  t.fib <- Prefix_trie.empty;
+  Rib.iter
+    (fun p rs ->
+      match rs with r :: _ -> t.fib <- Prefix_trie.add p r t.fib | [] -> ())
+    t.loc_rib

@@ -18,7 +18,13 @@ type env = {
   id : int;
   config : Config.t;
   now : unit -> Time.t;
-  schedule : Time.t -> (unit -> unit) -> unit;  (** relative delay *)
+  schedule_process : Time.t -> unit;
+      (** arm a processing-batch timer: after the relative delay the
+          scheduler must call {!process_now} on this router. First-order
+          (no closure) so the pending event queue can be checkpointed *)
+  schedule_flush : peer:int -> Time.t -> unit;
+      (** arm an MRAI flush timer: after the relative delay the
+          scheduler must call {!flush_peer} for [peer] *)
   transmit : dst:int -> bytes:int -> msgs:int -> Proto.item list -> unit;
       (** hand a batch to the network for delivery, with its precomputed
           wire size (self-sends allowed: they model the internal
@@ -34,6 +40,17 @@ type env = {
 
 val create : env -> t
 val id : t -> int
+
+val process_now : t -> unit
+(** Run the processing batch the [schedule_process] timer armed: drain
+    the inbox, re-run the decision process on dirty prefixes, flush
+    outputs. The network's event executor calls this when a [Process]
+    event fires. *)
+
+val flush_peer : t -> peer:int -> unit
+(** Fire the MRAI flush toward [peer] that [schedule_flush] armed,
+    transmitting the session's pending merged deltas. *)
+
 val loopback : t -> Ipv4.t
 val counters : t -> Counters.t
 val is_trr : t -> bool
@@ -129,3 +146,62 @@ val refresh_to : t -> peer:int -> unit
 val lookup : t -> Netaddr.Ipv4.t -> (Netaddr.Prefix.t * Bgp.Route.t) option
 (** Longest-prefix-match forwarding lookup against the Loc-RIB (what the
     FIB would do for a data packet). *)
+
+(** {1 Checkpoint support (lib/snapshot)}
+
+    A router's complete BGP state as plain data. [dump_state] is
+    canonical: every table is emitted sorted by key, so two routers in
+    the same logical state dump structurally equal values (and hence
+    identical snapshot bytes — the divergence bisector relies on this).
+    [load_state] wipes the router (cold start) and refills it; the FIB
+    trie is rebuilt from the restored Loc-RIB. Scheduled work is {e not}
+    in here — the pending [Process]/[Mrai_flush] events live in the
+    simulator queue, which the network dump captures alongside. *)
+
+(** Queued inputs awaiting the next processing batch — first-order so a
+    mid-batch inbox round-trips through the codec. *)
+type input =
+  | In_items of { src : int; items : Proto.item list }
+  | In_ebgp of { neighbor : Netaddr.Ipv4.t; route : Bgp.Route.t }
+  | In_ebgp_withdraw of {
+      neighbor : Netaddr.Ipv4.t;
+      prefix : Netaddr.Prefix.t;
+      path_id : int;
+    }
+  | In_local of Bgp.Route.t
+  | In_local_withdraw of { prefix : Netaddr.Prefix.t; path_id : int }
+  | In_redecide_all
+
+type rib_dump = (Netaddr.Prefix.t * Bgp.Route.t list) list
+(** Per-prefix route sets, sorted by prefix; route-list order is the
+    RIB's stored (path-id insertion) order and is preserved exactly. *)
+
+type session_state = {
+  ss_peer : int;
+  ss_mrai_until : Time.t;
+  ss_pending : Proto.item list;  (** MRAI-suppressed merged deltas *)
+  ss_flush_scheduled : bool;
+}
+
+type state = {
+  st_ribs : rib_dump array;  (** fixed slot order — see router.ml *)
+  st_peer_tables : (int * rib_dump) list array;  (** per-source Adj-RIB-Ins *)
+  st_src_tbls : (int * int) list array;  (** best-route sender maps *)
+  st_path_ids : Path_id.dump array;  (** add-paths id allocators *)
+  st_ebgp_neighbors : ((int * int) * Netaddr.Ipv4.t) list;
+  st_seen : Netaddr.Prefix.t list;
+  st_inbox : input list;  (** FIFO order *)
+  st_process_scheduled : bool;
+  st_outgoing : (int * Proto.item list) list;
+  st_sessions : session_state list;
+  st_counters : Counters.t;
+  st_rejected_loops : int;
+  st_up : bool;
+}
+
+val dump_state : t -> state
+
+val load_state : t -> state -> unit
+(** @raise Invalid_argument when the dump's slot-array lengths do not
+    match this build (format drift — the codec's version field should
+    have caught it). *)

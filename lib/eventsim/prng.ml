@@ -1,0 +1,51 @@
+type t = { mutable s : int64 }
+
+(* Seed scrambling: one splitmix64 step over the raw seed so that small
+   consecutive seeds (42, 43, ...) land on unrelated stream positions. *)
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { s = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.s <- Int64.add t.s golden;
+  mix t.s
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let full_int t bound =
+  if bound <= 0 then invalid_arg "Prng.full_int: bound <= 0";
+  (* Masked rejection: draw within the smallest covering power of two. *)
+  let mask =
+    let m = ref 1 in
+    while !m < bound do
+      m := (!m lsl 1) lor 1
+    done;
+    !m
+  in
+  let rec go () =
+    let v = bits62 t land mask in
+    if v < bound then v else go ()
+  in
+  go ()
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  full_int t bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let two53 = 9007199254740992. (* 2^53 *)
+
+let float t x =
+  let u53 = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int u53 /. two53 *. x
+
+let state t = t.s
+let set_state t s = t.s <- s
+let copy t = { s = t.s }

@@ -1,10 +1,10 @@
-type event = {
+type 'p event = {
   time : Time.t;
   seq : int;
   kind : int;
   actor : int;
   detail : int;
-  action : unit -> unit;
+  payload : 'p;
 }
 
 module Trace = struct
@@ -64,6 +64,37 @@ module Trace = struct
     s.until_sample <- 1;
     s.seen <- 0;
     s.recorded <- 0
+
+  type dump = {
+    d_capacity : int;
+    d_sample_every : int;
+    d_entries : entry list;  (* oldest first *)
+    d_until_sample : int;
+    d_seen : int;
+    d_recorded : int;
+  }
+
+  let dump s =
+    {
+      d_capacity = s.cap;
+      d_sample_every = s.every;
+      d_entries = entries s;
+      d_until_sample = s.until_sample;
+      d_seen = s.seen;
+      d_recorded = s.recorded;
+    }
+
+  let of_dump d =
+    let s = make ~capacity:d.d_capacity ~sample_every:d.d_sample_every () in
+    let n = List.length d.d_entries in
+    if n > s.cap then invalid_arg "Trace.of_dump: more entries than capacity";
+    List.iteri (fun i e -> s.buf.(i) <- e) d.d_entries;
+    s.filled <- n;
+    s.head <- n mod s.cap;
+    s.until_sample <- d.d_until_sample;
+    s.seen <- d.d_seen;
+    s.recorded <- d.d_recorded;
+    s
 end
 
 type phase_stat = {
@@ -73,12 +104,13 @@ type phase_stat = {
   sim_advance : Time.t;
 }
 
-type t = {
-  queue : event Pqueue.Heap.t;
+type 'p t = {
+  queue : 'p event Pqueue.Heap.t;
   mutable clock : Time.t;
   mutable next_seq : int;
   mutable processed : int;
-  rng : Random.State.t;
+  rng : Prng.t;
+  mutable exec : ('p -> unit) option;
   mutable probe : (unit -> unit) option;
   mutable probe_every : int;
   mutable until_probe : int;
@@ -92,13 +124,14 @@ type outcome = Quiescent | Deadline | Event_limit
 let cmp_event a b =
   match Int.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
 
-let create ?(seed = 42) () =
+let create_reified ?(seed = 42) () =
   {
     queue = Pqueue.Heap.create ~cmp:cmp_event ();
     clock = Time.zero;
     next_seq = 0;
     processed = 0;
-    rng = Random.State.make [| seed |];
+    rng = Prng.create seed;
+    exec = None;
     probe = None;
     probe_every = 0;
     until_probe = 0;
@@ -107,21 +140,44 @@ let create ?(seed = 42) () =
     phase_order = [];
   }
 
+let create ?seed () =
+  let t = create_reified ?seed () in
+  t.exec <- Some (fun f -> f ());
+  t
+
+let set_exec t f = t.exec <- Some f
+
 let now t = t.clock
 let rng t = t.rng
 
-let schedule_at t ?(kind = 0) ?(actor = -1) ?(detail = 0) ~time action =
+let schedule_at t ?(kind = 0) ?(actor = -1) ?(detail = 0) ~time payload =
   if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Pqueue.Heap.push t.queue { time; seq; kind; actor; detail; action }
+  Pqueue.Heap.push t.queue { time; seq; kind; actor; detail; payload }
 
-let schedule t ?kind ?actor ?detail ~delay action =
+let schedule t ?kind ?actor ?detail ~delay payload =
   if delay < 0 then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t ?kind ?actor ?detail ~time:(t.clock + delay) action
+  schedule_at t ?kind ?actor ?detail ~time:(t.clock + delay) payload
 
 let pending t = Pqueue.Heap.length t.queue
 let events_processed t = t.processed
+let next_seq t = t.next_seq
+
+let pending_events t =
+  List.sort cmp_event (Pqueue.Heap.elements t.queue)
+
+let restore t ~clock ~next_seq ~processed ~rng_state events =
+  Pqueue.Heap.clear t.queue;
+  t.clock <- clock;
+  t.next_seq <- next_seq;
+  t.processed <- processed;
+  Prng.set_state t.rng rng_state;
+  (* Push raw events, preserving their original [seq] — tie-break order
+     at equal timestamps must survive the round-trip, so the usual
+     [schedule_at] (which allocates fresh seqs and rejects past times)
+     is bypassed. *)
+  List.iter (Pqueue.Heap.push t.queue) events
 
 let set_probe t ~every f =
   if every < 1 then invalid_arg "Sim.set_probe: every must be positive";
@@ -139,6 +195,11 @@ let clear_sink t = t.trace <- None
 let sink t = t.trace
 
 let run ?(until = max_int) ?(max_events = max_int) t =
+  let exec =
+    match t.exec with
+    | Some f -> f
+    | None -> invalid_arg "Sim.run: no executor installed (set_exec)"
+  in
   let budget = ref max_events in
   let rec loop () =
     if !budget <= 0 then Event_limit
@@ -167,7 +228,7 @@ let run ?(until = max_int) ?(max_events = max_int) t =
                 detail = ev.detail;
               }
           end);
-        ev.action ();
+        exec ev.payload;
         (match t.probe with
         | None -> ()
         | Some f ->

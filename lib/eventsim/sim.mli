@@ -1,8 +1,21 @@
 (** Deterministic discrete-event simulation core.
 
     Events scheduled for the same instant fire in scheduling order, and
-    the random stream is owned by the simulator, so a run is a pure
-    function of (program, seed).
+    the random stream is owned by the simulator (a serializable
+    splitmix64 generator, {!Prng}), so a run is a pure function of
+    (program, seed).
+
+    The simulator is polymorphic in its event payload ['p]. Payloads are
+    plain data; a single {e executor} function installed on the
+    simulator interprets them when events fire. Two entry points cover
+    the two uses:
+
+    - {!create} gives a [(unit -> unit) t] whose executor just calls the
+      payload — closure-based scheduling, exactly the historical API;
+    - {!create_reified} gives a ['p t] with no executor yet (install one
+      with {!set_exec}); schedulers that need their pending queue to
+      round-trip through the checkpoint codec ({!Snapshot}) use this
+      with a first-order payload type.
 
     The simulator carries two observability hooks, both off by default
     and both O(1) per event when enabled (see OBSERVABILITY.md):
@@ -14,60 +27,104 @@
       accumulators bracketing the caller's phases (snapshot feed, trace
       replay, ...). *)
 
-type t
+type 'p t
 
 type outcome =
   | Quiescent  (** event queue drained *)
   | Deadline  (** [until] reached with events still pending *)
   | Event_limit  (** [max_events] processed — used by oscillation detectors *)
 
-val create : ?seed:int -> unit -> t
-(** A fresh simulator at time {!Time.zero} with an empty queue. [seed]
-    initialises the simulation-owned random stream (default 42). *)
+val create : ?seed:int -> unit -> (unit -> unit) t
+(** A fresh simulator at time {!Time.zero} with an empty queue, whose
+    executor runs each payload as a thunk. [seed] initialises the
+    simulation-owned random stream (default 42). *)
 
-val now : t -> Time.t
+val create_reified : ?seed:int -> unit -> 'p t
+(** Like {!create} but with a caller-chosen payload type and {e no}
+    executor; {!run} raises until {!set_exec} installs one. Lets a
+    scheduler whose payloads reference the scheduler itself tie the
+    knot: build the simulator, build the scheduler around it, then
+    install the executor. *)
+
+val set_exec : 'p t -> ('p -> unit) -> unit
+(** Install (or replace) the executor that {!run} applies to each
+    event's payload. *)
+
+val now : 'p t -> Time.t
 (** Current simulated time: the timestamp of the event being (or last)
     processed. *)
 
-val rng : t -> Random.State.t
+val rng : 'p t -> Prng.t
 (** The simulation-owned random stream. Draw from this (never from the
     global [Random]) to keep runs reproducible. *)
 
-val schedule : t -> ?kind:int -> ?actor:int -> ?detail:int -> delay:Time.t ->
-  (unit -> unit) -> unit
-(** Schedule [action] to run [delay] after {!now}. [kind], [actor] and
+val schedule : 'p t -> ?kind:int -> ?actor:int -> ?detail:int -> delay:Time.t ->
+  'p -> unit
+(** Schedule a payload to fire [delay] after {!now}. [kind], [actor] and
     [detail] are free-form integers recorded by the trace sink when one
     is attached (defaults [0], [-1], [0]); {!Abrr_core.Network} assigns
     kinds for message delivery, router-local timers and external
     injections — see [Network.trace_kind_name].
     @raise Invalid_argument on negative delay. *)
 
-val schedule_at : t -> ?kind:int -> ?actor:int -> ?detail:int -> time:Time.t ->
-  (unit -> unit) -> unit
+val schedule_at : 'p t -> ?kind:int -> ?actor:int -> ?detail:int -> time:Time.t ->
+  'p -> unit
 (** Absolute-time variant of {!schedule}.
     @raise Invalid_argument if [time] is in the past. *)
 
-val pending : t -> int
+val pending : 'p t -> int
 (** Number of events waiting in the queue. *)
 
-val events_processed : t -> int
+val events_processed : 'p t -> int
 (** Total events processed since {!create}. *)
 
-val set_probe : t -> every:int -> (unit -> unit) -> unit
+val set_probe : 'p t -> every:int -> (unit -> unit) -> unit
 (** Install a callback invoked after every [every] processed events —
     the hook the runtime invariant checker ({!Verify.Invariant}) hangs
     off. At most one probe is active; costs one integer decrement per
     event when set, one [None] test when not.
     @raise Invalid_argument if [every < 1]. *)
 
-val clear_probe : t -> unit
+val clear_probe : 'p t -> unit
 
-val run : ?until:Time.t -> ?max_events:int -> t -> outcome
+val run : ?until:Time.t -> ?max_events:int -> 'p t -> outcome
 (** Process events until the queue drains, simulated time would exceed
     [until], or [max_events] have been processed (counted from this call).
-    Can be called repeatedly to continue a paused simulation. *)
+    Can be called repeatedly to continue a paused simulation.
+    @raise Invalid_argument if no executor is installed. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Checkpoint support}
+
+    Everything the checkpoint codec needs to capture a simulator
+    mid-run and rebuild it bit-for-bit: the scalar dispatch state
+    (clock, sequence counter, processed count, random-stream word) plus
+    the pending queue as data. Only meaningful on reified simulators —
+    a closure payload cannot round-trip. *)
+
+type 'p event = {
+  time : Time.t;  (** absolute firing time *)
+  seq : int;  (** global scheduling sequence — tie-break at equal times *)
+  kind : int;
+  actor : int;
+  detail : int;
+  payload : 'p;
+}
+
+val next_seq : 'p t -> int
+(** The sequence number the next scheduled event will receive. *)
+
+val pending_events : 'p t -> 'p event list
+(** The pending queue, sorted by (time, seq). Non-destructive. *)
+
+val restore : 'p t -> clock:Time.t -> next_seq:int -> processed:int ->
+  rng_state:int64 -> 'p event list -> unit
+(** Overwrite the simulator's dispatch state: drop any pending events,
+    set the clock / sequence counter / processed count / random stream,
+    and enqueue the given events with their recorded [seq]s intact (so
+    same-instant ordering is exactly as captured). Probe, sink and phase
+    accumulators are untouched — reattach those separately. *)
 
 (** {1 Structured trace sink}
 
@@ -110,14 +167,33 @@ module Trace : sig
 
   val clear : sink -> unit
   (** Drop retained entries and reset the counters. *)
+
+  (** Sink state as plain data, for the checkpoint codec: the BENCH
+      queue-depth summary derives from sink contents, so byte-identical
+      resumed records need the ring to survive a restore. *)
+  type dump = {
+    d_capacity : int;
+    d_sample_every : int;
+    d_entries : entry list;  (** oldest first *)
+    d_until_sample : int;
+    d_seen : int;
+    d_recorded : int;
+  }
+
+  val dump : sink -> dump
+
+  val of_dump : dump -> sink
+  (** Rebuild a sink observationally identical to the dumped one.
+      @raise Invalid_argument if the dump holds more entries than its
+      capacity. *)
 end
 
-val set_sink : t -> Trace.sink -> unit
+val set_sink : 'p t -> Trace.sink -> unit
 (** Attach a sink (at most one; replaces any previous one). Costs one
     [option] test per event when absent. *)
 
-val clear_sink : t -> unit
-val sink : t -> Trace.sink option
+val clear_sink : 'p t -> unit
+val sink : 'p t -> Trace.sink option
 
 (** {1 Phase timers}
 
@@ -132,12 +208,12 @@ type phase_stat = {
   sim_advance : Time.t;  (** simulated time elapsed inside the phase *)
 }
 
-val phase : t -> string -> (unit -> 'a) -> 'a
+val phase : 'p t -> string -> (unit -> 'a) -> 'a
 (** [phase t name f] runs [f ()] and charges its processor time, event
     count and simulated-time advance to [name]. Exceptions propagate
     (the partial phase is still accounted). *)
 
-val phase_stats : t -> (string * phase_stat) list
+val phase_stats : 'p t -> (string * phase_stat) list
 (** All phases in first-use order. *)
 
-val reset_phases : t -> unit
+val reset_phases : 'p t -> unit

@@ -78,3 +78,5 @@ let of_list ~cmp l =
 let to_sorted_list h =
   let rec go acc = match pop h with None -> List.rev acc | Some x -> go (x :: acc) in
   go []
+
+let elements h = List.init h.size (fun i -> h.data.(i))

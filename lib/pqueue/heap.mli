@@ -28,3 +28,7 @@ val clear : 'a t -> unit
 val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
 val to_sorted_list : 'a t -> 'a list
 (** Drains the heap. *)
+
+val elements : 'a t -> 'a list
+(** All elements in unspecified (heap-internal) order, without draining
+    — the checkpoint codec sorts them itself. O(n). *)

@@ -1,0 +1,130 @@
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writers                                                             *)
+
+let w8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w16 b v =
+  w8 b (v lsr 8);
+  w8 b v
+
+let w32 b v =
+  w16 b (v lsr 16);
+  w16 b v
+
+let w64 b v =
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let wint b v = w64 b (Int64.of_int v)
+let wbool b v = w8 b (if v then 1 else 0)
+
+let wstr b s =
+  w32 b (String.length s);
+  Buffer.add_string b s
+
+let wlist b f l =
+  w32 b (List.length l);
+  List.iter (f b) l
+
+let warray b f a =
+  w32 b (Array.length a);
+  Array.iter (f b) a
+
+let wopt b f = function
+  | None -> w8 b 0
+  | Some x ->
+    w8 b 1;
+    f b x
+
+(* ------------------------------------------------------------------ *)
+(* Readers                                                             *)
+
+type reader = { data : string; mutable pos : int }
+
+let reader ?(pos = 0) data = { data; pos }
+let pos r = r.pos
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.data then
+    bad "truncated at byte %d (need %d more of %d)" r.pos n (String.length r.data)
+
+let r8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r16 r =
+  let hi = r8 r in
+  (hi lsl 8) lor r8 r
+
+let r32 r =
+  let hi = r16 r in
+  (hi lsl 16) lor r16 r
+
+let r64 r =
+  let v = ref 0L in
+  for _ = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (r8 r))
+  done;
+  !v
+
+let rint r = Int64.to_int (r64 r)
+
+let rbool r =
+  match r8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> bad "bad boolean byte %d at %d" v (r.pos - 1)
+
+let rstr r =
+  let n = r32 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let rlist r f =
+  let n = r32 r in
+  (* Sanity-bound the count before allocating: each element consumes at
+     least one byte, so a count beyond the remaining input is garbage. *)
+  need r n;
+  List.init n (fun _ -> f r)
+
+let rarray r f =
+  let n = r32 r in
+  need r n;
+  Array.init n (fun _ -> f r)
+
+let ropt r f =
+  match r8 r with
+  | 0 -> None
+  | 1 -> Some (f r)
+  | v -> bad "bad option byte %d at %d" v (r.pos - 1)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF

@@ -1,0 +1,53 @@
+(** Low-level binary writers and readers for the snapshot format —
+    big-endian, length-prefixed, the same house style as [Topo.Mrt].
+    Dependency-free: stdlib [Buffer] and [String] only. *)
+
+exception Bad of string
+(** Raised by readers on malformed input; the top-level decoder catches
+    it and returns [Error _]. Never escapes {!Snapshot.decode}. *)
+
+val bad : ('a, unit, string, 'b) format4 -> 'a
+(** [bad fmt ...] raises {!Bad} with a formatted message. *)
+
+(** {1 Writers} — append big-endian values to a [Buffer.t]. *)
+
+val w8 : Buffer.t -> int -> unit
+val w16 : Buffer.t -> int -> unit
+val w32 : Buffer.t -> int -> unit
+val w64 : Buffer.t -> int64 -> unit
+
+val wint : Buffer.t -> int -> unit
+(** A full OCaml [int], sign-extended through 64 bits. *)
+
+val wbool : Buffer.t -> bool -> unit
+
+val wstr : Buffer.t -> string -> unit
+(** 32-bit length prefix + raw bytes. *)
+
+val wlist : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+val warray : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a array -> unit
+val wopt : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+
+(** {1 Readers} — consume from a cursor over an immutable string; every
+    read bounds-checks and raises {!Bad} on truncation. *)
+
+type reader
+
+val reader : ?pos:int -> string -> reader
+val pos : reader -> int
+val r8 : reader -> int
+val r16 : reader -> int
+val r32 : reader -> int
+val r64 : reader -> int64
+val rint : reader -> int
+val rbool : reader -> bool
+val rstr : reader -> string
+val rlist : reader -> (reader -> 'a) -> 'a list
+val rarray : reader -> (reader -> 'a) -> 'a array
+val ropt : reader -> (reader -> 'a) -> 'a option
+
+(** {1 Integrity} *)
+
+val crc32 : ?off:int -> ?len:int -> string -> int
+(** Standard reflected CRC-32 (polynomial 0xEDB88320), as used by zip /
+    png — the snapshot trailer guards against torn or bit-rotted files. *)

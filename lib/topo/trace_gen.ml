@@ -155,14 +155,18 @@ let generate (table : Route_gen.t) spec =
   end
 
 let schedule net events =
+  (* Reified ops, not closures: a long-trace run with the whole trace
+     pre-scheduled stays checkpointable at any event boundary. *)
   List.iter
     (fun ev ->
-      Abrr_core.Network.at net ev.time (fun () ->
-          match ev.action with
-          | Announce { router; neighbor; route } ->
-            Abrr_core.Network.inject net ~router ~neighbor route
-          | Withdraw { router; neighbor; prefix; path_id } ->
-            Abrr_core.Network.withdraw net ~router ~neighbor prefix ~path_id))
+      let op =
+        match ev.action with
+        | Announce { router; neighbor; route } ->
+          Abrr_core.Network.Inject { router; neighbor; route }
+        | Withdraw { router; neighbor; prefix; path_id } ->
+          Abrr_core.Network.Withdraw { router; neighbor; prefix; path_id }
+      in
+      Abrr_core.Network.at_op net ev.time op)
     events
 
 let action_count events =

@@ -251,7 +251,7 @@ let test_sink_no_perturbation () =
     let draws = ref [] in
     let rec go k =
       if k < 50 then begin
-        draws := Random.State.int (Sim.rng sim) 1000 :: !draws;
+        draws := Eventsim.Prng.int (Sim.rng sim) 1000 :: !draws;
         Sim.schedule sim ~delay:(Time.us (1 + (k mod 7))) (fun () -> go (k + 1))
       end
     in

@@ -58,7 +58,38 @@ let test_corrupt_rejected () =
   let garbled = Bytes.copy encoded in
   Bytes.set garbled 5 '\xEE' (* record type *);
   check_bool "bad type rejected" true
-    (Result.is_error (Topo.Mrt.decode_events garbled))
+    (Result.is_error (Topo.Mrt.decode_events garbled));
+  (* a length field lying about the record size (u32 at offset 8) *)
+  let lying = Bytes.copy encoded in
+  Bytes.set lying 8 '\xFF';
+  check_bool "bad length rejected" true
+    (Result.is_error (Topo.Mrt.decode_events lying));
+  let short = Bytes.copy encoded in
+  Bytes.set short 10 '\x00';
+  Bytes.set short 11 '\x01' (* record claims a 1-byte body *);
+  check_bool "short length rejected" true
+    (Result.is_error (Topo.Mrt.decode_events short));
+  (* garbage inside the first record's BGP attribute bytes: the MRT
+     body's fixed part is 20 bytes past the 12-byte header, so offset
+     40 lands inside the UPDATE's path attributes *)
+  let garbage = Bytes.copy encoded in
+  Bytes.set garbage 40 '\xC3';
+  Bytes.set garbage 41 '\x99';
+  check_bool "garbage attributes rejected" true
+    (Result.is_error (Topo.Mrt.decode_events garbage))
+
+let test_corrupt_never_raises () =
+  (* whatever byte is corrupted, [decode_events] must return a result *)
+  let encoded = Topo.Mrt.encode_events ~local_as events in
+  let limit = min 200 (Bytes.length encoded) in
+  for i = 0 to limit - 1 do
+    let b = Bytes.copy encoded in
+    Bytes.set b i '\xFF';
+    match Topo.Mrt.decode_events b with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "byte %d: decode raised %s" i (Printexc.to_string e)
+  done
 
 let test_timestamps_microseconds () =
   let ev =
@@ -84,5 +115,6 @@ let suite =
       Alcotest.test_case "empty" `Quick test_empty;
       Alcotest.test_case "file io" `Quick test_file_io;
       Alcotest.test_case "corruption rejected" `Quick test_corrupt_rejected;
+      Alcotest.test_case "corruption never raises" `Quick test_corrupt_never_raises;
       Alcotest.test_case "microsecond timestamps" `Quick test_timestamps_microseconds;
     ] )

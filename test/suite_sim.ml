@@ -77,7 +77,7 @@ let test_determinism () =
     let sim = Sim.create ~seed:5 () in
     let log = Buffer.create 64 in
     for i = 1 to 20 do
-      let d = Random.State.int (Sim.rng sim) 1000 in
+      let d = Eventsim.Prng.int (Sim.rng sim) 1000 in
       Sim.schedule sim ~delay:d (fun () ->
           Buffer.add_string log (Printf.sprintf "%d@%d;" i (Sim.now sim)))
     done;
