@@ -692,6 +692,227 @@ let gadget_cmd =
   Cmd.v (Cmd.info "gadget" ~doc:"Run a Sec 2.3 anomaly gadget.")
     Term.(ret (const gadget $ kind $ flavor))
 
+(* ---- explore / replay ----------------------------------------------- *)
+
+let gadget_of_kind kind flavor =
+  let module G = Abrr_core.Gadgets in
+  match kind with
+  | `Med -> G.med_oscillation flavor
+  | `Topology -> G.topology_oscillation flavor
+  | `Path -> G.path_inefficiency flavor
+
+let kind_name = function `Med -> "med" | `Topology -> "topology" | `Path -> "path"
+
+let kind_of_name = function
+  | "med" -> Some `Med
+  | "topology" -> Some `Topology
+  | "path" -> Some `Path
+  | _ -> None
+
+let flavor_names =
+  [ ("full-mesh", Abrr_core.Gadgets.G_full_mesh);
+    ("tbrr", Abrr_core.Gadgets.G_tbrr);
+    ("tbrr-best-external", Abrr_core.Gadgets.G_tbrr_best_external);
+    ("confed", Abrr_core.Gadgets.G_confed);
+    ("rcp", Abrr_core.Gadgets.G_rcp);
+    ("abrr", Abrr_core.Gadgets.G_abrr 1);
+    ("abrr2", Abrr_core.Gadgets.G_abrr 2) ]
+
+let flavor_name f =
+  match List.find_opt (fun (_, g) -> g = f) flavor_names with
+  | Some (n, _) -> n
+  | None -> "unknown"
+
+let mode_enum = Arg.enum [ ("async", Explore.Async); ("timed", Explore.Timed) ]
+
+let explore_run kind flavor mode por invariants check_exits depth max_states
+    faults ce_out expect =
+  let module E = Explore in
+  let g = gadget_of_kind kind flavor in
+  let sc = E.scenario_of_gadget ~check_exits g in
+  let limits = { E.max_depth = depth; max_states; max_faults = faults } in
+  let r = E.explore ~mode ~por ~invariants ~limits sc in
+  Format.printf "%s/%s: %a@." (kind_name kind) (flavor_name flavor) E.pp_stats
+    r.E.stats;
+  let code =
+    match r.E.verdict with
+    | E.Safe { complete = true; terminal } ->
+      Format.printf
+        "SAFE (complete): state space exhausted, every schedule converges%s@."
+        (match terminal with
+        | Some d -> Printf.sprintf " to single terminal %s" d
+        | None -> "");
+      0
+    | E.Safe { complete = false; terminal } ->
+      Format.printf
+        "SAFE (bounded): no violation within the budget (state space NOT \
+         exhausted)%s@."
+        (match terminal with
+        | Some d -> Printf.sprintf "; single terminal so far %s" d
+        | None -> "");
+      2
+    | E.Unsafe ce ->
+      Format.printf "UNSAFE: %a (schedule: %d choices)@." E.pp_violation
+        ce.E.violation
+        (List.length ce.E.schedule);
+      (match E.verify_counterexample sc ~mode ce with
+      | Ok () -> Format.printf "counterexample replay verified@."
+      | Error e ->
+        Format.printf "counterexample replay FAILED: %s@." e;
+        Stdlib.exit 3);
+      (match ce_out with
+      | None -> ()
+      | Some path ->
+        let meta =
+          [ ("gadget", kind_name kind); ("flavor", flavor_name flavor);
+            ("mode", (match mode with E.Async -> "async" | E.Timed -> "timed"));
+            ("por", string_of_bool por) ]
+        in
+        (match E.Ce.save { E.Ce.meta; ce } ~path with
+        | Ok () -> Format.printf "counterexample written to %s@." path
+        | Error e ->
+          Format.printf "cannot write %s: %s@." path e;
+          Stdlib.exit 3));
+      1
+  in
+  match expect with
+  | None -> Stdlib.exit code
+  | Some exp ->
+    let matches =
+      match (exp, r.E.verdict) with
+      | `Safe, E.Safe { complete = true; _ } -> true
+      | `Bounded, E.Safe { complete = false; _ } -> true
+      | `Unsafe, E.Unsafe _ -> true
+      | `Cycle, E.Unsafe { E.violation = E.Dispute_cycle _; _ } -> true
+      | _ -> false
+    in
+    if matches then begin
+      Format.printf "verdict matches --expect@.";
+      Stdlib.exit 0
+    end
+    else begin
+      Format.printf "verdict does NOT match --expect@.";
+      Stdlib.exit 1
+    end
+
+let explore_cmd =
+  let kind = Arg.(value & opt gadget_enum `Med & info [ "gadget" ] ~doc:"Gadget: med, topology or path.") in
+  let flavor = Arg.(value & opt gflavor_enum Abrr_core.Gadgets.G_tbrr & info [ "run-scheme" ] ~doc:"Scheme flavor.") in
+  let mode_t =
+    Arg.(value & opt mode_enum Explore.Async
+         & info [ "mode" ]
+             ~doc:"Schedule model: $(b,async) (any pending event may fire \
+                   next) or $(b,timed) (earliest-timestamp ties only).")
+  in
+  let por_t =
+    Arg.(value & flag & info [ "no-por" ] ~doc:"Disable sleep-set partial-order reduction.")
+  in
+  let inv_t =
+    Arg.(value & flag & info [ "no-invariants" ] ~doc:"Skip per-state runtime invariant checks.")
+  in
+  let exits_t =
+    Arg.(value & flag
+         & info [ "no-exits" ]
+             ~doc:"Skip the full-mesh reference exit comparison at quiescent \
+                   states (use when hunting dispute cycles on configs that \
+                   are expected to deflect).")
+  in
+  let depth_t =
+    Arg.(value & opt int 20_000 & info [ "depth" ] ~docv:"N" ~doc:"Truncate any schedule past $(docv) choices.")
+  in
+  let states_t =
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~docv:"N" ~doc:"Abort the search past $(docv) distinct states.")
+  in
+  let faults_t =
+    Arg.(value & opt int 0 & info [ "faults" ] ~docv:"N" ~doc:"Allow up to $(docv) fault-injection choice points per schedule.")
+  in
+  let ce_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "ce-out" ] ~docv:"FILE" ~doc:"Write the counterexample (if any) to $(docv), replayable with $(b,abrr-sim replay).")
+  in
+  let expect_t =
+    Arg.(value
+         & opt (some (enum [ ("safe", `Safe); ("bounded", `Bounded); ("unsafe", `Unsafe); ("cycle", `Cycle) ])) None
+         & info [ "expect" ]
+             ~doc:"Assert the verdict: $(b,safe) (exhausted, no violation), \
+                   $(b,bounded) (budget hit, no violation), $(b,unsafe) (any \
+                   violation), $(b,cycle) (a dispute cycle). Exit 0 on \
+                   match, 1 otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Bounded model checking: search every event schedule of a Sec 2.3 \
+          gadget (depth-first with digest pruning and sleep-set POR), \
+          checking invariants, loop freedom and exit correctness at every \
+          quiescent state. Exit 0 = safe and exhausted, 1 = violation \
+          (counterexample printed, optionally saved), 2 = budget exhausted \
+          without a violation.")
+    Term.(
+      const explore_run $ kind $ flavor $ mode_t
+      $ Term.app (const not) por_t
+      $ Term.app (const not) inv_t
+      $ Term.app (const not) exits_t
+      $ depth_t $ states_t $ faults_t $ ce_out_t $ expect_t)
+
+let replay_run from snap_out =
+  let module E = Explore in
+  match E.Ce.load ~path:from with
+  | Error e -> `Error (false, from ^ ": " ^ e)
+  | Ok { E.Ce.meta; ce } -> (
+    let lookup k = List.assoc_opt k meta in
+    match (lookup "gadget", lookup "flavor") with
+    | Some gk, Some fl -> (
+      match (kind_of_name gk, List.assoc_opt fl flavor_names) with
+      | Some kind, Some flavor -> (
+        let mode =
+          match lookup "mode" with Some "timed" -> E.Timed | _ -> E.Async
+        in
+        let g = gadget_of_kind kind flavor in
+        let sc = E.scenario_of_gadget g in
+        Format.printf "%s: %s/%s counterexample, %d choices@." from gk fl
+          (List.length ce.E.schedule);
+        Format.printf "violation: %a@." E.pp_violation ce.E.violation;
+        match E.verify_counterexample sc ~mode ce with
+        | Error e -> `Error (false, "replay diverged: " ^ e)
+        | Ok () -> (
+          Format.printf "replay verified: violating state %s reached@."
+            ce.E.state_digest;
+          match snap_out with
+          | None -> `Ok ()
+          | Some path -> (
+            let net = sc.E.fresh () in
+            E.replay net ce.E.schedule;
+            match Snapshot.save net ~path with
+            | Ok () ->
+              Format.printf "violating state checkpointed to %s@." path;
+              `Ok ()
+            | Error e -> `Error (false, "snapshot: " ^ e))))
+      | _ ->
+        `Error (false, Printf.sprintf "unknown gadget/flavor %S/%S in metadata" gk fl))
+    | _ ->
+      `Error
+        (false, "counterexample lacks gadget metadata (write one with abrr-sim explore --ce-out)"))
+
+let replay_cmd =
+  let from_t =
+    Arg.(required & opt (some string) None
+         & info [ "from" ] ~docv:"FILE" ~doc:"Counterexample file written by $(b,abrr-sim explore --ce-out).")
+  in
+  let snap_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "snap-out" ] ~docv:"FILE"
+             ~doc:"Also checkpoint the violating state to $(docv) (a regular \
+                   snapshot, usable with $(b,abrr-sim bisect)).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a schedule counterexample: rebuild the gadget scenario from \
+          the file's metadata, apply the recorded choices and verify the \
+          violating state is reproduced digest-exact.")
+    Term.(ret (const replay_run $ from_t $ snap_out_t))
+
 (* ---- trace ----------------------------------------------------------- *)
 
 let trace out replay pops rpp pas points prefixes events seed =
@@ -768,4 +989,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ simulate_cmd; bench_cmd; snapshot_cmd; resume_cmd; bisect_cmd;
-            check_cmd; gadget_cmd; trace_cmd; boot_cmd; partition_cmd ]))
+            check_cmd; gadget_cmd; explore_cmd; replay_cmd; trace_cmd; boot_cmd; partition_cmd ]))

@@ -517,11 +517,19 @@ let send t dst items =
     end
 
 let flush_peer t ~peer =
-  let s = session t peer in
-  s.flush_scheduled <- false;
-  let items = Hashtbl.fold (fun _ item acc -> item :: acc) s.pending [] in
-  Hashtbl.reset s.pending;
-  if items <> [] then transmit_now t peer s items
+  (* The Mrai_flush timer cannot be cancelled once scheduled, so it can
+     fire after this router went down, or after the session it was armed
+     for was purged by a peer failure.  Both are stale: a down router
+     must not transmit, and [session t peer] would silently re-create a
+     ghost entry for a purged peer. *)
+  if t.up then
+    match Hashtbl.find_opt t.sessions peer with
+    | None -> ()
+    | Some s ->
+      s.flush_scheduled <- false;
+      let items = Hashtbl.fold (fun _ item acc -> item :: acc) s.pending [] in
+      Hashtbl.reset s.pending;
+      if items <> [] then transmit_now t peer s items
 
 let flush_outgoing t =
   let dsts = Hashtbl.fold (fun dst _ acc -> dst :: acc) t.outgoing [] in

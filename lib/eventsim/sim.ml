@@ -194,6 +194,39 @@ let set_sink t s = t.trace <- Some s
 let clear_sink t = t.trace <- None
 let sink t = t.trace
 
+(* Everything that happens to a popped event, shared by the default
+   in-order [run] loop and the explorer's out-of-order [fire]: event
+   accounting, trace-sink sampling, execution, probe countdown.  The
+   caller has already removed [ev] from the queue and advanced the
+   clock. *)
+let dispatch t exec ev =
+  t.processed <- t.processed + 1;
+  (match t.trace with
+  | None -> ()
+  | Some s ->
+    s.Trace.seen <- s.Trace.seen + 1;
+    s.Trace.until_sample <- s.Trace.until_sample - 1;
+    if s.Trace.until_sample <= 0 then begin
+      s.Trace.until_sample <- s.Trace.every;
+      Trace.push s
+        {
+          Trace.time = ev.time;
+          kind = ev.kind;
+          actor = ev.actor;
+          depth = Pqueue.Heap.length t.queue;
+          detail = ev.detail;
+        }
+    end);
+  exec ev.payload;
+  match t.probe with
+  | None -> ()
+  | Some f ->
+    t.until_probe <- t.until_probe - 1;
+    if t.until_probe <= 0 then begin
+      t.until_probe <- t.probe_every;
+      f ()
+    end
+
 let run ?(until = max_int) ?(max_events = max_int) t =
   let exec =
     match t.exec with
@@ -210,36 +243,27 @@ let run ?(until = max_int) ?(max_events = max_int) t =
       | Some _ ->
         let ev = Pqueue.Heap.pop_exn t.queue in
         t.clock <- ev.time;
-        t.processed <- t.processed + 1;
         decr budget;
-        (match t.trace with
-        | None -> ()
-        | Some s ->
-          s.Trace.seen <- s.Trace.seen + 1;
-          s.Trace.until_sample <- s.Trace.until_sample - 1;
-          if s.Trace.until_sample <= 0 then begin
-            s.Trace.until_sample <- s.Trace.every;
-            Trace.push s
-              {
-                Trace.time = ev.time;
-                kind = ev.kind;
-                actor = ev.actor;
-                depth = Pqueue.Heap.length t.queue;
-                detail = ev.detail;
-              }
-          end);
-        exec ev.payload;
-        (match t.probe with
-        | None -> ()
-        | Some f ->
-          t.until_probe <- t.until_probe - 1;
-          if t.until_probe <= 0 then begin
-            t.until_probe <- t.probe_every;
-            f ()
-          end);
+        dispatch t exec ev;
         loop ()
   in
   loop ()
+
+let fire t ~seq =
+  let exec =
+    match t.exec with
+    | Some f -> f
+    | None -> invalid_arg "Sim.fire: no executor installed (set_exec)"
+  in
+  match Pqueue.Heap.remove t.queue (fun ev -> ev.seq = seq) with
+  | None -> invalid_arg "Sim.fire: no pending event with that seq"
+  | Some ev ->
+    (* Out-of-order delivery models an asynchronous schedule: firing an
+       event "late" never moves the clock backwards, firing one whose
+       timestamp is still in the future jumps the clock forward to it. *)
+    if ev.time > t.clock then t.clock <- ev.time;
+    dispatch t exec ev;
+    ev
 
 let phase t name f =
   let cpu0 = Sys.time () in

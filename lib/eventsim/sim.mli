@@ -118,6 +118,17 @@ val next_seq : 'p t -> int
 val pending_events : 'p t -> 'p event list
 (** The pending queue, sorted by (time, seq). Non-destructive. *)
 
+val fire : 'p t -> seq:int -> 'p event
+(** Scheduler hook for the schedule explorer ({!Explore}): remove the
+    pending event with sequence number [seq] — {e whatever its
+    timestamp} — and dispatch it exactly as {!run} would (trace-sink
+    sampling, executor, probe countdown all included). The clock
+    advances to [max (now t) ev.time], never backwards: firing an event
+    out of timestamp order models an asynchronous schedule where that
+    message or timer was delayed arbitrarily. Returns the fired event.
+    @raise Invalid_argument if no pending event carries [seq] or no
+    executor is installed. *)
+
 val restore : 'p t -> clock:Time.t -> next_seq:int -> processed:int ->
   rng_state:int64 -> 'p event list -> unit
 (** Overwrite the simulator's dispatch state: drop any pending events,

@@ -1,4 +1,9 @@
-(** Mutable array-backed binary min-heap. *)
+(** Mutable array-backed binary min-heap, {e stable} on ties: elements
+    that compare equal under [cmp] pop in insertion (FIFO) order.
+    Stability is implemented with an internal monotone insertion stamp,
+    so it survives growth, interleaved pushes/pops and {!remove}; it
+    resets at {!clear}.  The schedule explorer relies on this for a
+    canonical ready-set enumeration. *)
 
 type 'a t
 
@@ -23,6 +28,12 @@ val pop : 'a t -> 'a option
 
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
+
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first element (in unspecified internal order)
+    satisfying the predicate, restoring the heap property; [None] if no
+    element matches. O(n) scan + O(log n) repair. Remaining equal-[cmp]
+    elements keep their relative FIFO order. *)
 
 val clear : 'a t -> unit
 val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t

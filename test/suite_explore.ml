@@ -1,0 +1,237 @@
+(* Bounded model checking over simulator schedules (lib/explore): the
+   §2.3 convergence claims checked over every schedule within budget,
+   violations delivered as replayable counterexamples. *)
+
+module E = Explore
+module G = Abrr_core.Gadgets
+module N = Abrr_core.Network
+
+let check_bool = Alcotest.(check bool)
+
+let limits n = { E.default_limits with E.max_states = n }
+
+(* --- TBRR MED gadget: a concrete dispute cycle ---------------------- *)
+
+let test_med_tbrr_dispute_cycle () =
+  let sc =
+    E.scenario_of_gadget ~check_exits:false (G.med_oscillation G.G_tbrr)
+  in
+  let r = E.explore ~limits:(limits 5_000) sc in
+  (match r.E.verdict with
+  | E.Unsafe ({ E.violation = E.Dispute_cycle { stem; period }; _ } as ce) ->
+    check_bool "period positive" true (period > 0);
+    check_bool "stem non-negative" true (stem >= 0);
+    check_bool "schedule reaches the revisit" true
+      (List.length ce.E.schedule = stem + period);
+    (* determinism guarantee: replaying the schedule from a fresh
+       scenario reproduces the violating state digest-exact *)
+    check_bool "replay verifies" true
+      (E.verify_counterexample sc ~mode:E.Async ce = Ok ())
+  | _ -> Alcotest.fail "expected a dispute cycle on med/tbrr");
+  (* a cycle's closing edge can in principle be slept by POR, so the
+     hunt must also succeed with POR off *)
+  match (E.explore ~por:false ~limits:(limits 5_000) sc).E.verdict with
+  | E.Unsafe { E.violation = E.Dispute_cycle _; _ } -> ()
+  | _ -> Alcotest.fail "no dispute cycle with POR disabled"
+
+let test_topology_tbrr_dispute_cycle () =
+  let sc =
+    E.scenario_of_gadget ~check_exits:false (G.topology_oscillation G.G_tbrr)
+  in
+  match (E.explore ~limits:(limits 5_000) sc).E.verdict with
+  | E.Unsafe { E.violation = E.Dispute_cycle _; _ } -> ()
+  | _ -> Alcotest.fail "expected a dispute cycle on topology/tbrr"
+
+(* --- TBRR path gadget: deflection against the full-mesh reference --- *)
+
+let test_path_tbrr_deflection () =
+  let sc = E.scenario_of_gadget (G.path_inefficiency G.G_tbrr) in
+  match (E.explore ~limits:(limits 5_000) sc).E.verdict with
+  | E.Unsafe { E.violation = E.Exit_mismatch { router; got; reference; _ }; _ }
+    ->
+    (* §2.3.3: the observer behind the TRR is steered to the far exit *)
+    check_bool "observer" true (router = G.observer);
+    check_bool "deflected" true (got <> reference);
+    check_bool "reference is the near exit" true
+      (reference = Some G.near_exit)
+  | _ -> Alcotest.fail "expected an exit mismatch on path/tbrr"
+
+(* --- ABRR / full mesh: exhaustive convergence proofs ---------------- *)
+
+let exhausts name g =
+  let sc = E.scenario_of_gadget g in
+  let r = E.explore ~limits:(limits 50_000) sc in
+  (match r.E.verdict with
+  | E.Safe { complete; terminal } ->
+    check_bool (name ^ " exhausted") true complete;
+    check_bool (name ^ " single terminal") true (terminal <> None)
+  | E.Unsafe _ -> Alcotest.fail (name ^ ": unexpected violation"));
+  r
+
+let test_path_abrr_exhausts () =
+  let r = exhausts "path/abrr" (G.path_inefficiency (G.G_abrr 1)) in
+  (* the pruning machinery must actually bite, not just be present *)
+  check_bool "visited pruning effective" true (r.E.stats.E.pruned_visited > 0);
+  check_bool "sleep sets effective" true (r.E.stats.E.pruned_sleep > 0)
+
+let test_path_fm_exhausts () =
+  ignore (exhausts "path/full-mesh" (G.path_inefficiency G.G_full_mesh))
+
+let test_terminal_matches_default_run () =
+  (* the explorer's single terminal is the one the production scheduler
+     reaches — the default run is one of the explored schedules *)
+  let sc = E.scenario_of_gadget (G.path_inefficiency (G.G_abrr 1)) in
+  let r = E.explore ~limits:(limits 50_000) sc in
+  let terminal =
+    match r.E.verdict with
+    | E.Safe { terminal = Some t; _ } -> t
+    | _ -> Alcotest.fail "expected a complete safe verdict"
+  in
+  let net = sc.E.fresh () in
+  ignore (N.run net);
+  check_bool "default schedule lands on the proven terminal" true
+    (E.terminal_digest net = terminal)
+
+let test_timed_mode_explores_subset () =
+  (* Timed ready sets are a subset of Async ready sets, so the timed
+     reachable state space cannot be larger *)
+  let sc = E.scenario_of_gadget (G.path_inefficiency (G.G_abrr 1)) in
+  let a = E.explore ~mode:E.Async ~limits:(limits 50_000) sc in
+  let t = E.explore ~mode:E.Timed ~limits:(limits 50_000) sc in
+  (match t.E.verdict with
+  | E.Safe { complete = true; _ } -> ()
+  | _ -> Alcotest.fail "timed exploration should exhaust");
+  check_bool "timed visits no more states" true
+    (t.E.stats.E.states <= a.E.stats.E.states)
+
+let test_fault_injection_stays_safe () =
+  (* one fail/recover choice point anywhere in any schedule: ABRR must
+     still violate no invariant (terminal uniqueness is legitimately
+     waived — a fault-closed schedule may end elsewhere) *)
+  let sc = E.scenario_of_gadget (G.path_inefficiency (G.G_abrr 1)) in
+  let r =
+    E.explore
+      ~limits:{ (limits 50_000) with E.max_faults = 1 }
+      sc
+  in
+  match r.E.verdict with
+  | E.Safe { terminal; _ } ->
+    check_bool "no single-terminal claim under faults" true (terminal = None)
+  | E.Unsafe ce ->
+    Alcotest.failf "violation under fault injection: %a" E.pp_violation
+      ce.E.violation
+
+(* --- counterexample files ------------------------------------------ *)
+
+let test_ce_roundtrip () =
+  let sc =
+    E.scenario_of_gadget ~check_exits:false (G.med_oscillation G.G_tbrr)
+  in
+  match (E.explore ~limits:(limits 5_000) sc).E.verdict with
+  | E.Unsafe ce ->
+    let t = { E.Ce.meta = [ ("gadget", "med"); ("flavor", "tbrr") ]; ce } in
+    (match E.Ce.of_string (E.Ce.to_string t) with
+    | Error e -> Alcotest.fail ("roundtrip: " ^ e)
+    | Ok t' ->
+      check_bool "meta" true (t'.E.Ce.meta = t.E.Ce.meta);
+      check_bool "schedule" true (t'.E.Ce.ce.E.schedule = ce.E.schedule);
+      check_bool "digest" true
+        (t'.E.Ce.ce.E.state_digest = ce.E.state_digest);
+      check_bool "violation" true (t'.E.Ce.ce.E.violation = ce.E.violation));
+    (match E.Ce.of_string "not a counterexample" with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "garbage accepted")
+  | _ -> Alcotest.fail "expected a counterexample to round-trip"
+
+(* --- random fair schedules (qcheck) --------------------------------- *)
+
+let gadget_of (med, fm) =
+  let flavor = if fm then G.G_full_mesh else G.G_abrr 1 in
+  if med then G.med_oscillation flavor else G.path_inefficiency flavor
+
+let default_terminal sc =
+  let net = sc.E.fresh () in
+  ignore (N.run net);
+  E.terminal_digest net
+
+let prop_random_schedule_same_terminal =
+  QCheck.Test.make
+    ~name:"random fair schedules reach the default scheduler's terminal"
+    ~count:25
+    QCheck.(triple (int_range 0 99_999) bool bool)
+    (fun (seed, med, fm) ->
+      let sc = E.scenario_of_gadget (gadget_of (med, fm)) in
+      let expected = default_terminal sc in
+      let net = sc.E.fresh () in
+      match E.random_run ~seed net with
+      | Error e -> QCheck.Test.fail_reportf "did not quiesce: %s" e
+      | Ok _ -> E.terminal_digest net = expected)
+
+let prop_random_schedule_survives_pause =
+  QCheck.Test.make
+    ~name:"pausing through the snapshot codec mid-schedule changes nothing"
+    ~count:15
+    QCheck.(triple (int_range 0 99_999) (int_range 0 12) bool)
+    (fun (seed, pause_at, med) ->
+      let sc = E.scenario_of_gadget (gadget_of (med, false)) in
+      let expected = default_terminal sc in
+      let net = sc.E.fresh () in
+      (match E.random_run ~seed ~max_steps:pause_at net with
+      | Ok _ | Error _ -> ());
+      match Snapshot.encode net with
+      | Error e -> QCheck.Test.fail_reportf "encode: %s" e
+      | Ok blob -> (
+        let net' = sc.E.fresh () in
+        match Snapshot.decode net' blob with
+        | Error e -> QCheck.Test.fail_reportf "decode: %s" e
+        | Ok () -> (
+          match E.random_run ~seed:(seed + 1) net' with
+          | Error e -> QCheck.Test.fail_reportf "did not quiesce: %s" e
+          | Ok _ -> E.terminal_digest net' = expected)))
+
+let prop_random_schedule_with_fault_recovers =
+  QCheck.Test.make
+    ~name:"fail/recover mid-schedule still converges to the default terminal"
+    ~count:15
+    QCheck.(triple (int_range 0 99_999) (int_range 0 8) bool)
+    (fun (seed, pause_at, med) ->
+      let sc = E.scenario_of_gadget (gadget_of (med, false)) in
+      let expected = default_terminal sc in
+      let net = sc.E.fresh () in
+      (match E.random_run ~seed ~max_steps:pause_at net with
+      | Ok _ | Error _ -> ());
+      (* fault a non-injector, non-reflector router mid-run: after
+         recovery and resync every fair schedule must still land on the
+         unique terminal *)
+      let victim = G.observer in
+      E.apply net (E.Inject (E.Fail victim));
+      E.apply net (E.Inject (E.Recover victim));
+      match E.random_run ~seed:(seed + 7) net with
+      | Error e -> QCheck.Test.fail_reportf "did not quiesce: %s" e
+      | Ok _ -> E.terminal_digest net = expected)
+
+let suite =
+  ( "explore",
+    [
+      Alcotest.test_case "med/tbrr: dispute cycle found and replayable" `Quick
+        test_med_tbrr_dispute_cycle;
+      Alcotest.test_case "topology/tbrr: dispute cycle found" `Quick
+        test_topology_tbrr_dispute_cycle;
+      Alcotest.test_case "path/tbrr: deflection found" `Quick
+        test_path_tbrr_deflection;
+      Alcotest.test_case "path/abrr: state space exhausted" `Quick
+        test_path_abrr_exhausts;
+      Alcotest.test_case "path/full-mesh: state space exhausted" `Quick
+        test_path_fm_exhausts;
+      Alcotest.test_case "terminal matches default scheduler" `Quick
+        test_terminal_matches_default_run;
+      Alcotest.test_case "timed mode explores a subset" `Quick
+        test_timed_mode_explores_subset;
+      Alcotest.test_case "fault injection stays safe" `Quick
+        test_fault_injection_stays_safe;
+      Alcotest.test_case "counterexample file round-trip" `Quick
+        test_ce_roundtrip;
+      QCheck_alcotest.to_alcotest prop_random_schedule_same_terminal;
+      QCheck_alcotest.to_alcotest prop_random_schedule_survives_pause;
+      QCheck_alcotest.to_alcotest prop_random_schedule_with_fault_recovers;
+    ] )

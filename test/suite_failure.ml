@@ -115,6 +115,71 @@ let test_client_failure_withdraws_its_routes () =
   (* the ARR purges router 2's advert; everyone falls back to router 3 *)
   check_bool "fallback" true (N.best_exit net ~router:5 prefix = Some 3)
 
+(* MRAI flush timers cannot be cancelled once scheduled, so they can
+   outlive the session (peer purged) or the router (went down) they were
+   armed for. Both stale firings must be inert: no ghost session entry,
+   no transmission from a down router, and a state that still
+   round-trips through the snapshot codec digest-exact. *)
+
+let mrai_abrr_config () =
+  C.make ~mrai:(Eventsim.Time.sec 30) ~n_routers:6 ~igp:(flat_igp 6)
+    ~scheme:(C.abrr ~partition:(Part.uniform 1) [| [ 0 ] |])
+    ()
+
+let roundtrips net cfg =
+  match Snapshot.encode net with
+  | Error e -> Alcotest.fail ("encode: " ^ e)
+  | Ok blob -> (
+    let net' = N.create cfg in
+    match Snapshot.decode net' blob with
+    | Error e -> Alcotest.fail ("decode: " ^ e)
+    | Ok () -> (
+      match (Snapshot.digest net, Snapshot.digest net') with
+      | Ok a, Ok b -> check_bool "digest roundtrip" true (a = b)
+      | Error e, _ | _, Error e -> Alcotest.fail ("digest: " ^ e)))
+
+let test_peer_failure_with_flush_armed () =
+  let cfg = mrai_abrr_config () in
+  let net = N.create cfg in
+  (* wave 1 transmits immediately and starts every session's MRAI
+     window; the better route at 1 s is suppressed on the ARR's client
+     sessions, arming flush timers for ~31 s *)
+  inject net ~router:2 (route ~med:5 ~prefix 2);
+  N.at_op net (Eventsim.Time.sec 1)
+    (N.Inject { router = 3; neighbor = neighbor 3; route = route ~med:0 ~prefix 3 });
+  (* the client fails at 2 s: hold timers expire at ~5 s and purge its
+     sessions everywhere, long before the armed flushes fire *)
+  N.at_op net (Eventsim.Time.sec 2) (N.Fail 4);
+  quiesce net;
+  (* the stale flush on the ARR must not have re-created a ghost entry
+     for the purged session *)
+  let arr = R.dump_state (N.router net 0) in
+  check_bool "no ghost session for failed peer" false
+    (List.exists (fun ss -> ss.R.ss_peer = 4) arr.R.st_sessions);
+  (* the surviving clients still got the flushed better route *)
+  check_bool "flush delivered to survivors" true
+    (N.best_exit net ~router:5 prefix = Some 3);
+  check_bool "router 4 is down" false (R.is_up (N.router net 4));
+  roundtrips net cfg
+
+let test_own_flush_after_failure_is_inert () =
+  let cfg = mrai_abrr_config () in
+  let net = N.create cfg in
+  let p2 = pfx "21.0.0.0/16" in
+  (* router 2's first advert opens its MRAI window; the second prefix at
+     1 s is suppressed on its session to the ARR, arming its own flush *)
+  inject net ~router:2 (route ~prefix 2);
+  N.at_op net (Eventsim.Time.sec 1)
+    (N.Inject { router = 2; neighbor = neighbor 2; route = route ~prefix:p2 2 });
+  N.at_op net (Eventsim.Time.sec 2) (N.Fail 2);
+  quiesce net;
+  (* the flush fires at ~31 s on a down router: it must not transmit —
+     the suppressed prefix never reaches anyone *)
+  check_bool "suppressed prefix never escaped" true (N.best net ~router:5 p2 = None);
+  (* and the pre-failure route was withdrawn by the failure itself *)
+  check_bool "failed client's routes purged" true (N.best net ~router:5 prefix = None);
+  roundtrips net cfg
+
 let test_messages_to_down_router_dropped () =
   let net = N.create (full_mesh_config 4) in
   N.fail net ~router:3;
@@ -138,6 +203,10 @@ let suite =
       Alcotest.test_case "recovery resyncs" `Quick test_recovery_resyncs;
       Alcotest.test_case "client failure withdraws routes" `Quick
         test_client_failure_withdraws_its_routes;
+      Alcotest.test_case "peer failure with MRAI flush armed" `Quick
+        test_peer_failure_with_flush_armed;
+      Alcotest.test_case "down router's own flush is inert" `Quick
+        test_own_flush_after_failure_is_inert;
       Alcotest.test_case "traffic to down router dropped" `Quick
         test_messages_to_down_router_dropped;
     ] )

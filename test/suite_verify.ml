@@ -198,6 +198,58 @@ let test_best_external_stabilizes () =
   let r = V.Static.analyze_gadget (G.med_oscillation G.G_tbrr_best_external) in
   check_bool "no oscillation failure" true (V.Report.ok r)
 
+(* Cross-check: the static mesh game ({!V.Oscillation}) and the dynamic
+   schedule explorer ({!Explore}) are two independent oracles for the
+   same §2.3 claims. On every gadget they must agree: a statically
+   predicted dispute cycle is realized by a concrete schedule, and a
+   statically stable config yields no cycle on any explored schedule
+   (exhaustively for the configs the explorer can exhaust, bounded
+   otherwise). *)
+let test_explorer_agrees_with_mesh_game () =
+  let module E = Explore in
+  let explored g =
+    let sc = E.scenario_of_gadget ~check_exits:false g in
+    (E.explore ~limits:{ E.default_limits with E.max_states = 2_000 } sc)
+      .E.verdict
+  in
+  let static (g : G.t) =
+    V.Oscillation.analyze g.G.config ~prefix:g.G.prefix g.G.injections
+  in
+  let agree name g =
+    match (static g, explored g) with
+    | V.Oscillation.Cycle _, E.Unsafe { E.violation = E.Dispute_cycle _; _ } ->
+      ()
+    | (V.Oscillation.Stable _ | V.Oscillation.Free _), E.Safe _ -> ()
+    | s, _ ->
+      Alcotest.failf "%s: explorer disagrees with mesh game (%s)" name
+        (match s with
+        | V.Oscillation.Cycle _ -> "static: cycle"
+        | V.Oscillation.Stable _ -> "static: stable"
+        | V.Oscillation.Free _ -> "static: free"
+        | V.Oscillation.Not_analyzed r -> "static: not analyzed: " ^ r)
+  in
+  List.iter
+    (fun (name, g) -> agree name g)
+    [
+      ("med/tbrr", G.med_oscillation G.G_tbrr);
+      ("med/abrr-1", G.med_oscillation (G.G_abrr 1));
+      ("med/abrr-2", G.med_oscillation (G.G_abrr 2));
+      ("med/full-mesh", G.med_oscillation G.G_full_mesh);
+      ("topology/tbrr", G.topology_oscillation G.G_tbrr);
+      ("topology/abrr-1", G.topology_oscillation (G.G_abrr 1));
+      ("topology/full-mesh", G.topology_oscillation G.G_full_mesh);
+      ("path/tbrr", G.path_inefficiency G.G_tbrr);
+      ("path/abrr-1", G.path_inefficiency (G.G_abrr 1));
+      ("path/full-mesh", G.path_inefficiency G.G_full_mesh);
+    ];
+  (* RFC 3345's own fix: always-compare MED removes the cycle from the
+     MED gadget — both oracles must see the same config flip verdicts *)
+  let g = G.med_oscillation G.G_tbrr in
+  let g =
+    { g with G.config = { g.G.config with C.med_mode = Bgp.Decision.Always_compare } }
+  in
+  agree "med/tbrr always-compare" g
+
 let test_deflection_detected () =
   let g = G.path_inefficiency G.G_tbrr in
   let r = V.Static.analyze_gadget g in
@@ -328,6 +380,8 @@ let suite =
         test_gadgets_clean_under_abrr_and_mesh;
       Alcotest.test_case "best-external stabilizes the mesh game" `Quick
         test_best_external_stabilizes;
+      Alcotest.test_case "explorer agrees with mesh game" `Quick
+        test_explorer_agrees_with_mesh_game;
       Alcotest.test_case "TBRR deflection detected" `Quick
         test_deflection_detected;
       Alcotest.test_case "ABRR deflection-free" `Quick test_abrr_deflection_free;
