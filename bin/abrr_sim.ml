@@ -601,12 +601,69 @@ let gflavor_enum =
       ("rcp", Abrr_core.Gadgets.G_rcp);
       ("abrr", Abrr_core.Gadgets.G_abrr 1); ("abrr2", Abrr_core.Gadgets.G_abrr 2) ]
 
-let render_verdict report =
-  print_string (Verify.Report.render report);
-  if Verify.Report.ok report then `Ok ()
-  else `Error (false, "static configuration check failed")
+(* Exit-code contract shared by check and lint (mirrors explore):
+   0 = no failed finding, or the verdict matches --expect;
+   1 = failed findings, or the verdict does not match --expect;
+   2 = the configuration / workload cannot be built (usage);
+   3 = internal analyzer error. *)
+let finish_report ~json ~expect report =
+  if json then
+    print_string (Metrics.Emit.to_string (Verify.Report.to_json report))
+  else print_string (Verify.Report.render report);
+  let ok = Verify.Report.ok report in
+  match expect with
+  | None -> Stdlib.exit (if ok then 0 else 1)
+  | Some exp ->
+    let matches = match exp with `Pass -> ok | `Findings -> not ok in
+    prerr_endline
+      (if matches then "verdict matches --expect"
+       else "verdict does NOT match --expect");
+    Stdlib.exit (if matches then 0 else 1)
 
-let check gadget gflavor scheme med pops rpp pas points prefixes aps arrs seed =
+let json_t =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit the findings as JSON (the $(b,Verify.Report) schema: a \
+                 summary object plus one {check; code; severity; detail} \
+                 object per finding) instead of the monospace table.")
+
+let expect_t =
+  Arg.(value
+       & opt (some (enum [ ("pass", `Pass); ("findings", `Findings) ])) None
+       & info [ "expect" ]
+           ~doc:"Assert the verdict: $(b,pass) (no failed finding) or \
+                 $(b,findings) (at least one failure). Exit 0 on match, 1 \
+                 otherwise.")
+
+let exits_doc =
+  [ Cmd.Exit.info 0 ~doc:"no failed finding, or the $(b,--expect) assertion \
+                          matched.";
+    Cmd.Exit.info 1 ~doc:"failed findings were reported, or the \
+                          $(b,--expect) assertion did not match.";
+    Cmd.Exit.info 2 ~doc:"the configuration or workload cannot be built \
+                          from the given parameters.";
+    Cmd.Exit.info 3 ~doc:"internal analyzer error." ]
+
+let built_config scheme med pops rpp pas points prefixes aps arrs seed =
+  (* Bad parameter combinations (0 APs, 0 ARRs, ...) raise while the
+     topology/config is being built, before the analyzer can report:
+     surface them as the usage exit code rather than uncaught
+     exceptions. *)
+  match
+    let topo = build_topo pops rpp pas points seed in
+    let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
+    let cfg =
+      T.config ~med_mode:med ~scheme:(resolve_scheme topo aps arrs scheme) topo
+    in
+    (cfg, workload_of table)
+  with
+  | exception e ->
+    prerr_endline ("cannot build the configuration: " ^ Printexc.to_string e);
+    Stdlib.exit 2
+  | v -> v
+
+let check gadget gflavor scheme med pops rpp pas points prefixes aps arrs seed
+    json expect =
   match gadget with
   | Some kind ->
     (* A seeded-bad instance: analyze a §2.3 gadget configuration. *)
@@ -617,31 +674,28 @@ let check gadget gflavor scheme med pops rpp pas points prefixes aps arrs seed =
       | `Topology -> G.topology_oscillation gflavor
       | `Path -> G.path_inefficiency gflavor
     in
-    print_endline g.G.description;
-    render_verdict (Verify.Static.analyze_gadget g)
-  | None ->
-    (* Bad parameter combinations (0 APs, 0 ARRs, ...) raise while the
-       topology/config is being built, before the analyzer can report:
-       surface them as CLI errors rather than uncaught exceptions. *)
-    (match
-       let topo = build_topo pops rpp pas points seed in
-       let table = RG.generate topo (RG.spec ~n_prefixes:prefixes ~seed ()) in
-       let cfg =
-         T.config ~med_mode:med
-           ~scheme:(resolve_scheme topo aps arrs scheme)
-           topo
-       in
-       Verify.Static.analyze ~workload:(workload_of table) cfg
-     with
+    if not json then print_endline g.G.description;
+    (match Verify.Static.analyze_gadget g with
     | exception e ->
-      `Error (false, "cannot build the configuration: " ^ Printexc.to_string e)
-    | report -> render_verdict report)
+      prerr_endline ("internal analyzer error: " ^ Printexc.to_string e);
+      Stdlib.exit 3
+    | report -> finish_report ~json ~expect report)
+  | None ->
+    let cfg, workload =
+      built_config scheme med pops rpp pas points prefixes aps arrs seed
+    in
+    (match Verify.Static.analyze ~workload cfg with
+    | exception e ->
+      prerr_endline ("internal analyzer error: " ^ Printexc.to_string e);
+      Stdlib.exit 3
+    | report -> finish_report ~json ~expect report)
 
 let check_cmd =
   let doc =
     "Statically verify a configuration: AP soundness, signaling-graph \
      completeness and per-prefix anomaly potential — without running the \
-     simulator."
+     simulator. Exit 0 = pass, 1 = findings, 2 = usage, 3 = internal error \
+     (see EXIT STATUS)."
   in
   let gadget_t =
     Arg.(value & opt (some gadget_enum) None
@@ -653,11 +707,93 @@ let check_cmd =
     Arg.(value & opt gflavor_enum Abrr_core.Gadgets.G_tbrr
          & info [ "run-scheme" ] ~doc:"Scheme flavor for $(b,--gadget).")
   in
-  Cmd.v (Cmd.info "check" ~doc)
+  Cmd.v (Cmd.info "check" ~doc ~exits:exits_doc)
     Term.(
-      ret
-        (const check $ gadget_t $ gflavor_t $ scheme_t $ med_t $ pops_t $ rpp_t
-        $ pas_t $ points_t $ prefixes_t $ aps_t $ arrs_t $ seed_t))
+      const check $ gadget_t $ gflavor_t $ scheme_t $ med_t $ pops_t $ rpp_t
+      $ pas_t $ points_t $ prefixes_t $ aps_t $ arrs_t $ seed_t $ json_t
+      $ expect_t)
+
+(* ---- lint ----------------------------------------------------------- *)
+
+let lint scheme med pops rpp pas points prefixes aps arrs seed json expect
+    bench_out =
+  let cfg, workload =
+    built_config scheme med pops rpp pas points prefixes aps arrs seed
+  in
+  match
+    let wall0 = Unix.gettimeofday () in
+    let t, report = Verify.Static.lint_solved ~workload cfg in
+    (t, report, Unix.gettimeofday () -. wall0)
+  with
+  | exception e ->
+    prerr_endline ("internal analyzer error: " ^ Printexc.to_string e);
+    Stdlib.exit 3
+  | t, report, wall ->
+    (match bench_out with
+    | None -> ()
+    | Some dir ->
+      let module P = Verify.Propagation in
+      let module E = Metrics.Emit in
+      (* One deterministic what-if on top of the full solve: fail the
+         lowest link of the topology and measure the incremental
+         re-solve (must stay far below the from-scratch node_evals). *)
+      let delta_evals =
+        match Igp.Graph.neighbors cfg.C.igp 0 with
+        | (v, _) :: _ -> (
+          match P.apply_delta t (P.Fail_link (0, v)) with
+          | Ok t' -> (P.stats t').P.node_evals
+          | Error _ -> 0)
+        | [] -> 0
+      in
+      let s = P.stats t in
+      let m = E.metric in
+      let count sev = float_of_int (Verify.Report.count sev report) in
+      let fi = float_of_int in
+      let run =
+        E.run ~scheme:(scheme_name scheme)
+          ~knobs:
+            [ ("pops", fi pops); ("routers_per_pop", fi rpp);
+              ("routers", fi cfg.C.n_routers); ("prefixes", fi prefixes);
+              ("aps", fi aps); ("arrs_per_ap", fi arrs); ("seed", fi seed) ]
+          ~wall_s:wall ~label:"lint"
+          [ m "findings_pass" (count Verify.Report.Pass);
+            m "findings_warn" (count Verify.Report.Warn);
+            m "findings_fail" (count Verify.Report.Fail);
+            m "prefixes_solved" (fi s.P.prefixes_solved);
+            m "learnable_classes" (fi (P.class_count t));
+            m "node_evals" (fi s.P.node_evals);
+            m "spf_rows" (fi s.P.spf_rows);
+            m "delta_node_evals" (fi delta_evals);
+            E.metric ~unit_:"s" ~gate:false "lint_wall_s" wall ]
+      in
+      let path = Filename.concat dir (E.filename "verify") in
+      E.write_file path { E.experiment = "verify"; runs = [ run ] };
+      prerr_endline ("benchmark record written to " ^ path));
+    finish_report ~json ~expect report
+
+let lint_cmd =
+  let doc =
+    "The unified static lint pipeline at paper scale: structural checks \
+     (validation, AP soundness, signaling graph) plus the symbolic \
+     propagation analysis — per-prefix convergence verdicts, visibility, \
+     suboptimal exits and forwarding loops from an abstract-interpretation \
+     fixpoint over the iBGP signaling graph, with no simulation. Handles \
+     1000+-router topologies (e.g. $(b,--pops 42 --routers-per-pop 24)). \
+     Exit 0 = pass, 1 = findings, 2 = usage, 3 = internal error (see EXIT \
+     STATUS)."
+  in
+  let bench_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "bench-out" ] ~docv:"DIR"
+             ~doc:"Write a BENCH_verify.json record (solver statistics, \
+                   finding counts, one incremental what-if measurement) \
+                   into $(docv), comparable with $(b,bench/compare.exe).")
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~exits:exits_doc)
+    Term.(
+      const lint $ scheme_t $ med_t $ pops_t $ rpp_t $ pas_t $ points_t
+      $ prefixes_t $ aps_t $ arrs_t $ seed_t $ json_t $ expect_t
+      $ bench_out_t)
 
 (* ---- gadget --------------------------------------------------------- *)
 
@@ -989,4 +1125,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ simulate_cmd; bench_cmd; snapshot_cmd; resume_cmd; bisect_cmd;
-            check_cmd; gadget_cmd; explore_cmd; replay_cmd; trace_cmd; boot_cmd; partition_cmd ]))
+            check_cmd; lint_cmd; gadget_cmd; explore_cmd; replay_cmd; trace_cmd; boot_cmd; partition_cmd ]))

@@ -84,7 +84,7 @@ module Naive = struct
     match cands with
     | [] -> None
     | first :: rest ->
-      let better a b = if Route.compare a.route b.route <= 0 then a else b in
+      let better a b = if Route.compare_attrs a.route b.route <= 0 then a else b in
       Some (List.fold_left better first rest)
 
   let best ~med_mode cands =
@@ -214,7 +214,7 @@ let best ~med_mode cands =
     (* ties after step 8 break deterministically on route attributes *)
     let w = ref s.cand.(0) in
     for i = 1 to n - 1 do
-      if Route.compare s.cand.(i).route !w.route < 0 then w := s.cand.(i)
+      if Route.compare_attrs s.cand.(i).route !w.route < 0 then w := s.cand.(i)
     done;
     Some !w
 

@@ -58,6 +58,11 @@ val same_path : t -> t -> bool
 (** Attribute equality ignoring [path_id]: do two advertisements describe
     the same path? *)
 
+val compare_attrs : t -> t -> int
+(** Total order on attributes ignoring [path_id] — the decision
+    kernel's final tie-break, so a post-step-8 tie cannot depend on the
+    receiver's path-id allocation order. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -41,6 +41,40 @@ type env = {
 val create : env -> t
 val id : t -> int
 
+(** {1 Roles}
+
+    The per-router role record derived purely from the configuration:
+    which reflector functions the router runs, whom it serves, whom it
+    peers with. Exposed so static analyses ({!Verify.Propagation}) can
+    mirror the simulator's signaling graph exactly without instantiating
+    routers. *)
+
+type roles = {
+  is_trr : bool;
+  is_client : bool;
+  my_cluster_ids : Ipv4.t list;
+  my_trrs : int list;  (** reflectors this router is a client of *)
+  my_trr_clients : int list;  (** clients of the clusters it serves *)
+  trr_mesh : int list;  (** the other TRRs (empty unless a TRR) *)
+  tbrr_multipath : bool;
+  tbrr_best_external : bool;
+  arr_aps : int list;  (** APs this router serves as an ARR *)
+  arr_targets : int list array;  (** reflect targets per AP (global) *)
+  abrr_arrs : int list array;  (** ARRs per AP (global) *)
+  partition : Partition.t option;
+  abrr_loop : Config.loop_prevention;
+  mesh_peers : int list;  (** full-mesh / confed sub-AS iBGP peers *)
+  confed_links : int list;  (** confed-eBGP neighbours (RFC 5065) *)
+  my_member_asn : Bgp.Asn.t option;
+  is_rcp : bool;
+  rcps : int list;  (** the control-plane nodes every client reports to *)
+  rcp_clients : int list;
+}
+
+val derive_roles : Config.t -> int -> roles
+(** The roles of router [i] under a configuration — the same derivation
+    {!create} performs internally. *)
+
 val process_now : t -> unit
 (** Run the processing batch the [schedule_process] timer armed: drain
     the inbox, re-run the decision process on dirty prefixes, flush

@@ -48,7 +48,7 @@ let owners trie p =
 let coverage ranges =
   let check = "ap.coverage" in
   match ranges with
-  | [] -> [ Report.fail check "no address partitions configured" ]
+  | [] -> [ Report.fail ~code:"AP-NONE" check "no address partitions configured" ]
   | _ ->
     let indexed = List.mapi (fun i r -> (i, r)) ranges in
     let malformed =
@@ -56,7 +56,7 @@ let coverage ranges =
         (fun (i, (lo, hi)) ->
           if Ipv4.compare hi lo < 0 then
             Some
-              (Report.fail check "AP %d is empty: %s > %s" i (Ipv4.to_string lo)
+              (Report.fail ~code:"AP-EMPTY" check "AP %d is empty: %s > %s" i (Ipv4.to_string lo)
                  (Ipv4.to_string hi))
           else None)
         indexed
@@ -73,7 +73,7 @@ let coverage ranges =
       (match sorted with
       | (i, (lo, _)) :: _ when Ipv4.to_int lo <> 0 ->
         note
-          (Report.fail check "gap before AP %d: 0.0.0.0 - %s uncovered" i
+          (Report.fail ~code:"AP-GAP" check "gap before AP %d: 0.0.0.0 - %s uncovered" i
              (Ipv4.to_string (Ipv4.pred lo)))
       | _ -> ());
       let rec walk = function
@@ -81,12 +81,12 @@ let coverage ranges =
           let hi = Ipv4.to_int hi_i and lo = Ipv4.to_int lo_j in
           if lo <= hi then
             note
-              (Report.fail check "AP %d and AP %d overlap: %s - %s claimed twice"
+              (Report.fail ~code:"AP-OVERLAP" check "AP %d and AP %d overlap: %s - %s claimed twice"
                  i j (Ipv4.to_string lo_j)
                  (Ipv4.to_string (if hi < lo then lo_j else hi_i)))
           else if lo > hi + 1 then
             note
-              (Report.fail check "gap between AP %d and AP %d: %s - %s uncovered"
+              (Report.fail ~code:"AP-GAP" check "gap between AP %d and AP %d: %s - %s uncovered"
                  i j
                  (Ipv4.to_string (Ipv4.succ hi_i))
                  (Ipv4.to_string (Ipv4.pred lo_j)));
@@ -94,7 +94,7 @@ let coverage ranges =
         | [ (i, (_, hi)) ] ->
           if Ipv4.to_int hi <> Ipv4.to_int Ipv4.max_addr then
             note
-              (Report.fail check "gap after AP %d: %s - 255.255.255.255 uncovered"
+              (Report.fail ~code:"AP-GAP" check "gap after AP %d: %s - 255.255.255.255 uncovered"
                  i
                  (Ipv4.to_string (Ipv4.succ hi)))
         | [] -> ()
@@ -115,20 +115,20 @@ let check_arrs ~live ~n_routers arrs =
   let note f = findings := f :: !findings in
   Array.iteri
     (fun ap ids ->
-      if ids = [] then note (Report.fail check "AP %d has no ARRs assigned" ap)
+      if ids = [] then note (Report.fail ~code:"AP-NO-ARR" check "AP %d has no ARRs assigned" ap)
       else begin
         List.iter
           (fun r ->
             if r < 0 || r >= n_routers then
-              note (Report.fail check "AP %d: ARR %d out of range" ap r))
+              note (Report.fail ~code:"AP-ARR-RANGE" check "AP %d: ARR %d out of range" ap r))
           ids;
         let alive = List.filter (fun r -> r >= 0 && r < n_routers && live r) ids in
         if alive = [] then
           note
-            (Report.fail check "AP %d: all %d ARRs are down" ap (List.length ids))
+            (Report.fail ~code:"AP-ARR-DOWN" check "AP %d: all %d ARRs are down" ap (List.length ids))
         else if List.length alive = 1 && List.length ids > 1 then
           note
-            (Report.warn check "AP %d: only 1 of %d ARRs alive (no redundancy)"
+            (Report.warn ~code:"AP-ARR-REDUNDANCY" check "AP %d: only 1 of %d ARRs alive (no redundancy)"
                ap (List.length ids))
       end)
     arrs;
@@ -166,18 +166,18 @@ let check_prefixes ~live ~trie ~part ~arrs prefixes =
   let findings = ref [] in
   if !uncovered <> [] then
     findings :=
-      Report.fail check "%d prefixes map to no AP (e.g. %s)"
+      Report.fail ~code:"AP-PREFIX-UNMAPPED" check "%d prefixes map to no AP (e.g. %s)"
         (List.length !uncovered) (sample !uncovered)
       :: !findings;
   if !mismatched <> [] then
     findings :=
-      Report.fail check
+      Report.fail ~code:"AP-PREFIX-MISMATCH" check
         "%d prefixes: trie mapping disagrees with Partition.aps_of_prefix (e.g. %s)"
         (List.length !mismatched) (sample !mismatched)
       :: !findings;
   if !dead <> [] then
     findings :=
-      Report.fail check "%d prefixes fall in an AP with no live ARR (e.g. %s)"
+      Report.fail ~code:"AP-PREFIX-DEAD" check "%d prefixes fall in an AP with no live ARR (e.g. %s)"
         (List.length !dead) (sample !dead)
       :: !findings;
   if !findings = [] then
@@ -195,7 +195,7 @@ let check ?(live = fun _ -> true) ?(prefixes = []) ~n_routers part arrs =
     if Array.length arrs <> Partition.count part then
       report
       @ [
-          Report.fail "ap.arrs" "ARR array length %d does not match %d APs"
+          Report.fail ~code:"AP-ARR-MISMATCH" "ap.arrs" "ARR array length %d does not match %d APs"
             (Array.length arrs) (Partition.count part);
         ]
     else report @ check_arrs ~live ~n_routers arrs

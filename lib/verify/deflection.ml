@@ -153,10 +153,10 @@ let pp_walk l = String.concat " -> " (List.map (Printf.sprintf "r%d") l)
 let per_prefix (config : Config.t) ~dist injections p =
   let pstr = Prefix.to_string p in
   match exits config ~dist ~prefix:p injections with
-  | `Not_analyzed why -> [ Report.warn "anomaly.deflection" "%s: %s" pstr why ]
+  | `Not_analyzed why -> [ Report.warn ~code:"FWD-UNRESOLVED" "anomaly.deflection" "%s: %s" pstr why ]
   | `Oscillates ->
     [
-      Report.warn "anomaly.deflection"
+      Report.warn ~code:"FWD-UNRESOLVED" "anomaly.deflection"
         "%s: forwarding analysis skipped (mesh adverts oscillate)" pstr;
     ]
   | `Exits ex ->
@@ -175,7 +175,7 @@ let per_prefix (config : Config.t) ~dist injections p =
         Report.pass "anomaly.deflection"
           "%s: every router's exit matches the full-visibility reference" pstr
       | (r, got, want) :: _ ->
-        Report.warn "anomaly.deflection"
+        Report.warn ~code:"FWD-DEFLECT" "anomaly.deflection"
           "%s: %d routers deflected from their preferred exit (e.g. r%d uses \
            r%d, would pick r%d)"
           pstr (List.length !deflected) r got want
@@ -186,7 +186,7 @@ let per_prefix (config : Config.t) ~dist injections p =
         Report.pass "anomaly.fwd-loop" "%s: hop-by-hop forwarding is loop-free"
           pstr
       | Some walk ->
-        Report.fail "anomaly.fwd-loop"
+        Report.fail ~code:"FWD-LOOP" "anomaly.fwd-loop"
           "%s: deflections form a forwarding loop: %s" pstr (pp_walk walk)
     in
     [ deflection_finding; loop_finding ]
@@ -194,7 +194,7 @@ let per_prefix (config : Config.t) ~dist injections p =
 let check (config : Config.t) injections =
   match O.prefixes injections with
   | [] ->
-    [ Report.warn "anomaly.deflection" "no injected routes: nothing to analyze" ]
+    [ Report.warn ~code:"FWD-NO-WORKLOAD" "anomaly.deflection" "no injected routes: nothing to analyze" ]
   | ps ->
     let dist = Igp.Spf.all_pairs config.igp in
     List.concat_map (per_prefix config ~dist injections) ps

@@ -215,7 +215,7 @@ let analyze ?med_mode (config : Config.t) ~prefix injections =
 let check (config : Config.t) injections =
   match prefixes injections with
   | [] ->
-    [ Report.warn "anomaly.oscillation" "no injected routes: nothing to analyze" ]
+    [ Report.warn ~code:"OSC-NO-WORKLOAD" "anomaly.oscillation" "no injected routes: nothing to analyze" ]
   | ps ->
     List.map
       (fun p ->
@@ -224,19 +224,19 @@ let check (config : Config.t) injections =
         | Free why ->
           Report.pass "anomaly.oscillation"
             "%s: oscillation-free by construction (%s)" pstr why
-        | Not_analyzed why -> Report.warn "anomaly.oscillation" "%s: %s" pstr why
+        | Not_analyzed why -> Report.warn ~code:"OSC-UNRESOLVED" "anomaly.oscillation" "%s: %s" pstr why
         | Stable { iterations } ->
           Report.pass "anomaly.oscillation"
             "%s: mesh adverts reach a fixed point in %d round(s)" pstr iterations
         | Cycle { period; start } -> (
           match analyze ~med_mode:D.Always_compare config ~prefix:p injections with
           | Stable _ ->
-            Report.fail "anomaly.oscillation"
+            Report.fail ~code:"OSC-MED" "anomaly.oscillation"
               "%s: MED-induced oscillation (RFC 3345): mesh adverts cycle with \
                period %d from round %d; vanishes under always-compare-med"
               pstr period start
           | _ ->
-            Report.fail "anomaly.oscillation"
+            Report.fail ~code:"OSC-TOPO" "anomaly.oscillation"
               "%s: topology-based dispute cycle (DISAGREE): period %d \
                regardless of MED mode"
               pstr period))

@@ -36,7 +36,7 @@ let check_igp (config : Config.t) =
     [ Report.pass "signaling.igp" "IGP graph is connected" ]
   else
     [
-      Report.warn "signaling.igp"
+      Report.warn ~code:"IGP-PARTITIONED" "signaling.igp"
         "IGP graph is partitioned: sessions across the cut cannot establish";
     ]
 
@@ -58,7 +58,7 @@ let check_tbrr ~live (config : Config.t) (s : Config.tbrr_spec) =
   in
   if orphans <> [] then
     note
-      (Report.fail "signaling.tbrr-membership"
+      (Report.fail ~code:"SIG-ORPHAN" "signaling.tbrr-membership"
          "%d routers belong to no cluster and never learn iBGP routes (e.g. r%d)"
          (List.length orphans) (List.hd orphans));
   (* Hierarchy acyclicity: cluster i -> cluster j when a TRR of j is a
@@ -74,7 +74,7 @@ let check_tbrr ~live (config : Config.t) (s : Config.tbrr_spec) =
   (match find_cycle ~n:k ~succ with
   | Some cycle ->
     note
-      (Report.fail "signaling.tbrr-hierarchy"
+      (Report.fail ~code:"SIG-CYCLE" "signaling.tbrr-hierarchy"
          "cyclic cluster hierarchy: cluster %s (updates re-reflect forever)"
          (pp_int_path cycle))
   | None ->
@@ -97,7 +97,7 @@ let check_tbrr ~live (config : Config.t) (s : Config.tbrr_spec) =
       let live_trrs = List.filter live c.trrs in
       if live_trrs = [] then
         note
-          (Report.fail "signaling.tbrr-liveness" "cluster %d: all TRRs down" i)
+          (Report.fail ~code:"SIG-DEAD-CLUSTER" "signaling.tbrr-liveness" "cluster %d: all TRRs down" i)
       else
         List.iter
           (fun client ->
@@ -117,7 +117,7 @@ let check_tbrr ~live (config : Config.t) (s : Config.tbrr_spec) =
          "every client reaches a live TRR of its cluster")
   | (i, client) :: _ ->
     note
-      (Report.fail "signaling.tbrr-reach"
+      (Report.fail ~code:"SIG-UNREACH" "signaling.tbrr-reach"
          "%d clients cannot reach any live TRR (e.g. r%d in cluster %d)"
          (List.length !stranded) client i));
   List.rev !findings
@@ -158,7 +158,7 @@ let check_abrr ~live (config : Config.t) (s : Config.abrr_spec) =
          (Array.length s.arrs))
   | Some (ap, r) ->
     note
-      (Report.fail "signaling.abrr-reach"
+      (Report.fail ~code:"SIG-UNREACH" "signaling.abrr-reach"
          "%d (router, AP) pairs unreachable (e.g. r%d has no live ARR for AP %d)"
          !stranded r ap));
   List.rev !findings
@@ -198,13 +198,13 @@ let check_confed (s : Config.confed_spec) =
     let cyclic = List.length edges >= subs in
     if disconnected then
       [
-        Report.fail "signaling.confed"
+        Report.fail ~code:"SIG-CONFED-PART" "signaling.confed"
           "member sub-AS graph is disconnected (%d sub-ASes, %d inter-links)"
           subs (List.length edges);
       ]
     else if cyclic then
       [
-        Report.warn "signaling.confed"
+        Report.warn ~code:"SIG-CONFED-CYCLE" "signaling.confed"
           "member sub-AS graph is cyclic: tie-breaking races can livelock";
       ]
     else
@@ -217,7 +217,7 @@ let check_confed (s : Config.confed_spec) =
 let check_rcp ~live (config : Config.t) rcps =
   let alive = List.filter live rcps in
   if alive = [] then
-    [ Report.fail "signaling.rcp" "all %d RCP nodes down" (List.length rcps) ]
+    [ Report.fail ~code:"SIG-DEAD-RCP" "signaling.rcp" "all %d RCP nodes down" (List.length rcps) ]
   else begin
     let reachsets = List.map (fun r -> reach config.igp r) alive in
     let stranded =
@@ -235,7 +235,7 @@ let check_rcp ~live (config : Config.t) rcps =
       ]
     | r :: _ ->
       [
-        Report.fail "signaling.rcp" "%d clients cannot reach any RCP node (e.g. r%d)"
+        Report.fail ~code:"SIG-UNREACH" "signaling.rcp" "%d clients cannot reach any RCP node (e.g. r%d)"
           (List.length stranded) r;
       ]
   end

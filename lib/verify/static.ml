@@ -6,7 +6,7 @@ type workload = Oscillation.injection list
 let validate_finding (config : Config.t) =
   match Config.validate config with
   | Ok () -> Report.pass "config.validate" "structural validation passed"
-  | Error e -> Report.fail "config.validate" "%s" e
+  | Error e -> Report.fail ~code:"CFG-INVALID" "config.validate" "%s" e
 
 let ap_findings ?live ?(workload = []) (config : Config.t) =
   let run (s : Config.abrr_spec) =
@@ -31,6 +31,17 @@ let analyze ?live ?workload (config : Config.t) =
 
 let analyze_gadget (g : Gadgets.t) =
   analyze ~workload:g.Gadgets.injections g.Gadgets.config
+
+let lint_solved ?live ?(workload = []) (config : Config.t) =
+  let structural =
+    (validate_finding config :: ap_findings ?live ~workload config)
+    @ Signaling.check ?live config
+  in
+  let t = Propagation.solve ?live config workload in
+  (t, structural @ Propagation.findings t)
+
+let lint ?live ?workload (config : Config.t) =
+  snd (lint_solved ?live ?workload config)
 
 exception Static_failure of string
 

@@ -15,6 +15,23 @@ val analyze_gadget : Abrr_core.Gadgets.t -> Report.t
 (** Analyze a canonical anomaly scenario: its configuration with its
     injections as the workload. *)
 
+val lint : ?live:(int -> bool) -> ?workload:workload -> Abrr_core.Config.t -> Report.t
+(** The unified lint pipeline behind [abrr_sim lint]: the structural
+    checks of {!analyze} plus the symbolic {!Propagation} analysis —
+    convergence, visibility, suboptimal exits and forwarding loops are
+    derived from the propagation fixpoint instead of the per-scheme
+    {!Oscillation}/{!Deflection} games, which lets the pipeline run at
+    paper scale (1000+ routers). *)
+
+val lint_solved :
+  ?live:(int -> bool) ->
+  ?workload:workload ->
+  Abrr_core.Config.t ->
+  Propagation.t * Report.t
+(** {!lint}, also returning the underlying propagation result so callers
+    can read solver statistics or apply what-if {!Propagation.delta}s
+    without re-solving. *)
+
 exception Static_failure of string
 
 val assert_ok : Report.t -> unit

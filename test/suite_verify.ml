@@ -279,6 +279,84 @@ let test_stable_tbrr_passes () =
   check_bool "fixed point reported" true
     (contains (detail_of "anomaly.oscillation" r) "fixed point")
 
+(* --- Symbolic propagation vs simulator: the nine §2.3 rows ----------- *)
+
+(* Every gadget × scheme row of §2.3's anomaly matrix, checked against
+   two independent oracles: diverging rows must agree with the mesh game
+   (and carry the right oscillation code); converging rows must yield
+   exactly the simulator's quiescent per-router egress assignment. *)
+let test_propagation_matrix () =
+  let module Pr = V.Propagation in
+  let module N = Abrr_core.Network in
+  let rows =
+    [
+      ("med", G.med_oscillation, Some "OSC-MED");
+      ("topology", G.topology_oscillation, Some "OSC-TOPO");
+      ("path", G.path_inefficiency, None);
+    ]
+  and flavors =
+    [ ("tbrr", G.G_tbrr); ("abrr-1", G.G_abrr 1); ("mesh", G.G_full_mesh) ]
+  in
+  List.iter
+    (fun (gname, make, osc_code) ->
+      List.iter
+        (fun (fname, flavor) ->
+          let name = gname ^ "/" ^ fname in
+          let g = make flavor in
+          let t = Pr.solve g.G.config g.G.injections in
+          let fs = Pr.findings t in
+          match (osc_code, flavor) with
+          | Some code, G.G_tbrr ->
+            (match Pr.verdict t g.G.prefix with
+            | Pr.Diverged _ -> ()
+            | _ -> Alcotest.failf "%s: expected static divergence" name);
+            (match
+               V.Oscillation.analyze g.G.config ~prefix:g.G.prefix
+                 g.G.injections
+             with
+            | V.Oscillation.Cycle _ -> ()
+            | _ -> Alcotest.failf "%s: mesh game disagrees" name);
+            check_bool (name ^ ": classified " ^ code) true
+              (V.Report.by_code code fs <> [])
+          | _ ->
+            (match Pr.verdict t g.G.prefix with
+            | Pr.Converged _ -> ()
+            | _ -> Alcotest.failf "%s: expected static convergence" name);
+            let net = G.build g in
+            Helpers.quiesce net;
+            (* the simulator reports [None] for a border using its own
+               raw eBGP route (external NEXT_HOP); the model says the
+               border exits at itself — align before comparing *)
+            let sim_exit i =
+              match N.best_exit net ~router:i g.G.prefix with
+              | Some e -> Some e
+              | None ->
+                if N.best net ~router:i g.G.prefix <> None then Some i
+                else None
+            in
+            let model = Pr.exits t g.G.prefix in
+            for i = 0 to N.router_count net - 1 do
+              if sim_exit i <> model.(i) then
+                Alcotest.failf "%s: r%d exit mismatch (sim %s, model %s)" name
+                  i
+                  (match sim_exit i with
+                  | Some e -> string_of_int e
+                  | None -> "-")
+                  (match model.(i) with
+                  | Some e -> string_of_int e
+                  | None -> "-")
+            done;
+            let subopt = V.Report.by_code "EXIT-SUBOPT" fs <> [] in
+            if gname = "path" && fname = "tbrr" then begin
+              check_bool (name ^ ": suboptimal exit warned") true subopt;
+              check_bool (name ^ ": observer named") true
+                (contains (detail_of "prop.exit" fs)
+                   (Printf.sprintf "r%d" G.observer))
+            end
+            else check_bool (name ^ ": no suboptimal exit") false subopt)
+        flavors)
+    rows
+
 (* --- Static orchestration -------------------------------------------- *)
 
 let test_validate_failure_reported () =
@@ -387,6 +465,8 @@ let suite =
       Alcotest.test_case "ABRR deflection-free" `Quick test_abrr_deflection_free;
       Alcotest.test_case "benign TBRR workload passes" `Quick
         test_stable_tbrr_passes;
+      Alcotest.test_case "propagation matrix: nine gadget x scheme rows" `Quick
+        test_propagation_matrix;
       Alcotest.test_case "validation failures become findings" `Quick
         test_validate_failure_reported;
       Alcotest.test_case "assert_ok" `Quick test_assert_ok;
