@@ -54,8 +54,8 @@ let converge_once ~mrai ~offset scheme =
       let router = if k mod 2 = 0 then 4 else 6 in
       N.at net t (fun () ->
           N.inject net ~router ~neighbor:(neighbor router)
-            { (route (30 + (k mod 3))) with
-              Bgp.Route.next_hop = neighbor router });
+            (Bgp.Route.update ~next_hop:(neighbor router)
+               (route (30 + (k mod 3)))));
       chatter (t + Time.ms 1_300) (k + 1)
     end
   in

@@ -36,6 +36,8 @@ let experiments =
     ("schemes", "All iBGP organisations on one workload", Exp_schemes.run);
     ("ablation", "Design-choice ablations", Exp_ablation.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
+    ("scale", "Memory-compact RIB at scale: RSS, throughput, latency",
+     Exp_scale.run);
   ]
 
 let matches arg (name, _, _) =
@@ -46,6 +48,19 @@ let run_one (name, descr, f) =
   let t0 = Sys.time () in
   f ();
   Printf.printf "[%s finished in %.1fs cpu]\n\n" name (Sys.time () -. t0)
+
+(* --scale-* knobs parameterize the `scale` experiment only; every
+   other experiment is fixed-size (SCALING.md has the full paper-scale
+   recipe). *)
+let scale_knob_specs =
+  [
+    ("--scale-pops", Exp_scale.pops);
+    ("--scale-routers-per-pop", Exp_scale.rpp);
+    ("--scale-peer-ases", Exp_scale.peer_ases);
+    ("--scale-prefixes", Exp_scale.n_prefixes);
+    ("--scale-events", Exp_scale.trace_events);
+    ("--scale-aps", Exp_scale.aps);
+  ]
 
 let rec parse_flags = function
   | "--json" :: rest ->
@@ -100,6 +115,22 @@ let rec parse_flags = function
     parse_flags rest
   | [ "--out" ] ->
     prerr_endline "--out requires a directory argument";
+    exit 1
+  | "--scale-trace" :: path :: rest ->
+    Exp_scale.trace_path := path;
+    parse_flags rest
+  | [ "--scale-trace" ] ->
+    prerr_endline "--scale-trace requires a file argument";
+    exit 1
+  | flag :: n :: rest when List.mem_assoc flag scale_knob_specs ->
+    (match int_of_string_opt n with
+    | Some v when v >= 1 -> List.assoc flag scale_knob_specs := v
+    | Some _ | None ->
+      Printf.eprintf "%s %s: expected a positive integer\n" flag n;
+      exit 1);
+    parse_flags rest
+  | [ flag ] when List.mem_assoc flag scale_knob_specs ->
+    Printf.eprintf "%s requires an integer argument\n" flag;
     exit 1
   | args -> args
 

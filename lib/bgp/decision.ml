@@ -16,7 +16,7 @@ let candidate ?(learned = Local) ?(peer_id = Ipv4.zero) ?(peer_addr = Ipv4.zero)
 
 type med_mode = Always_compare | Per_neighbor_as
 
-let med (r : Route.t) = match r.Route.med with None -> 0 | Some m -> m
+let med (r : Route.t) = match (Route.med r) with None -> 0 | Some m -> m
 
 let learned_rank c =
   (* eBGP over confed-external over iBGP; locally-originated routes rank
@@ -24,7 +24,7 @@ let learned_rank c =
   match c.learned with Ebgp | Local -> 0 | Confed_ebgp -> 1 | Ibgp -> 2
 
 let router_id c =
-  match c.route.Route.originator_id with
+  match (Route.originator_id c.route) with
   | Some id -> Ipv4.to_int id
   | None -> Ipv4.to_int c.peer_id
 
@@ -48,9 +48,9 @@ module Naive = struct
       let m = List.fold_left (fun acc c -> min acc (f c)) max_int cands in
       List.filter (fun c -> f c = m) cands
 
-  let step1 cands = keep_min (fun c -> -c.route.Route.local_pref) cands
-  let step2 cands = keep_min (fun c -> As_path.length c.route.Route.as_path) cands
-  let step3 cands = keep_min (fun c -> Origin.rank c.route.Route.origin) cands
+  let step1 cands = keep_min (fun c -> -(Route.local_pref c.route)) cands
+  let step2 cands = keep_min (fun c -> As_path.length (Route.as_path c.route)) cands
+  let step3 cands = keep_min (fun c -> Origin.rank (Route.origin c.route)) cands
 
   let step4 ~med_mode cands =
     match med_mode with
@@ -174,9 +174,9 @@ let filter_med_per_as s n =
     !j
   end
 
-let key_lp c = -c.route.Route.local_pref
-let key_path c = As_path.length c.route.Route.as_path
-let key_origin c = Origin.rank c.route.Route.origin
+let key_lp c = -(Route.local_pref c.route)
+let key_path c = As_path.length (Route.as_path c.route)
+let key_origin c = Origin.rank (Route.origin c.route)
 let key_med c = med c.route
 let key_igp c = c.igp_cost
 let key_peer c = Ipv4.to_int c.peer_addr

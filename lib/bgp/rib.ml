@@ -1,25 +1,108 @@
 open Netaddr
 
-type t = { table : (int, Route.t list) Hashtbl.t; mutable entries : int }
+(* Mutable path-compressed binary trie, specialised to route lists.
+   Invariants (as in [Netaddr.Prefix_trie]):
+   - each node's children are strictly more specific than its prefix and
+     fall in its address range (left: next bit 0, right: next bit 1);
+   - a node with [routes = []] is a pure junction and has two non-[nil]
+     children (otherwise it is compressed away).
+   [nil] is a physically-unique sentinel — never mutated, compared with
+   [==].  A populated node costs 5 words regardless of table size, and
+   the structure supports longest-prefix match directly, which is what
+   lets the router drop its separate FIB. *)
 
-let create ?(size_hint = 256) () = { table = Hashtbl.create size_hint; entries = 0 }
+type node = {
+  pfx : Prefix.t;
+  mutable routes : Route.t list;  (* insertion order of path ids *)
+  mutable l : node;
+  mutable r : node;
+}
 
-let get t prefix =
-  match Hashtbl.find_opt t.table (Prefix.to_key prefix) with
-  | None -> []
-  | Some routes -> routes
+let rec nil = { pfx = Prefix.default; routes = []; l = nil; r = nil }
 
-let set t prefix routes =
-  let key = Prefix.to_key prefix in
-  let old =
-    match Hashtbl.find_opt t.table key with
-    | None -> 0
-    | Some rs -> List.length rs
+type t = {
+  mutable root : node;
+  mutable entries : int;
+  mutable prefs : int;
+  mutable changed : bool;  (* scratch: result cell for upsert/drop *)
+}
+
+let create ?size_hint:_ () = { root = nil; entries = 0; prefs = 0; changed = false }
+let newnode pfx routes = { pfx; routes; l = nil; r = nil }
+
+(* Direction of [q] below [pfx]: false = left (bit 0), true = right. *)
+let dir pfx q = Prefix.bit q (Prefix.len pfx)
+
+(* Longest common prefix of two prefixes. *)
+let common_prefix p q =
+  let x = Ipv4.to_int (Prefix.addr p) lxor Ipv4.to_int (Prefix.addr q) in
+  let rec first_diff i =
+    if i >= 32 then 32
+    else if (x lsr (31 - i)) land 1 = 1 then i
+    else first_diff (i + 1)
   in
-  (match routes with
-  | [] -> Hashtbl.remove t.table key
-  | _ -> Hashtbl.replace t.table key routes);
-  t.entries <- t.entries - old + List.length routes
+  let l = min (min (Prefix.len p) (Prefix.len q)) (first_diff 0) in
+  Prefix.make (Prefix.addr p) l
+
+(* Join two nodes with disjoint prefixes under a fresh junction. *)
+let join p np q nq =
+  let j = newnode (common_prefix p q) [] in
+  if dir j.pfx p then (
+    j.l <- nq;
+    j.r <- np)
+  else (
+    j.l <- np;
+    j.r <- nq);
+  j
+
+(* A junction that lost a child is spliced out. Only called on nodes
+   with [routes = []]. *)
+let compress n = if n.l == nil then n.r else if n.r == nil then n.l else n
+
+let rec find_node n pfx =
+  if n == nil then nil
+  else if Prefix.equal pfx n.pfx then n
+  else if Prefix.subsumes n.pfx pfx && Prefix.len n.pfx < 32 then
+    find_node (if dir n.pfx pfx then n.r else n.l) pfx
+  else nil
+
+let get t prefix = (find_node t.root prefix).routes
+let mem t prefix = (find_node t.root prefix).routes <> []
+
+(* Splice a fresh node for [pfx] into a tree rooted at [n] when [pfx]
+   is not on [n]'s spine: either above [n] or joined beside it. *)
+let splice nn n =
+  if Prefix.subsumes nn.pfx n.pfx then (
+    if dir nn.pfx n.pfx then nn.r <- n else nn.l <- n;
+    nn)
+  else join nn.pfx nn n.pfx n
+
+let rec set_node t n pfx routes =
+  if n == nil then
+    match routes with
+    | [] -> nil
+    | _ ->
+      t.entries <- t.entries + List.length routes;
+      t.prefs <- t.prefs + 1;
+      newnode pfx routes
+  else if Prefix.equal pfx n.pfx then (
+    let oldn = List.length n.routes and newn = List.length routes in
+    t.entries <- t.entries - oldn + newn;
+    if oldn = 0 && newn > 0 then t.prefs <- t.prefs + 1
+    else if oldn > 0 && newn = 0 then t.prefs <- t.prefs - 1;
+    n.routes <- routes;
+    if routes = [] then compress n else n)
+  else if Prefix.subsumes n.pfx pfx && Prefix.len n.pfx < 32 then (
+    if dir n.pfx pfx then n.r <- set_node t n.r pfx routes
+    else n.l <- set_node t n.l pfx routes;
+    if n.routes = [] then compress n else n)
+  else if routes = [] then n
+  else (
+    t.entries <- t.entries + List.length routes;
+    t.prefs <- t.prefs + 1;
+    splice (newnode pfx routes) n)
+
+let set t prefix routes = t.root <- set_node t t.root prefix routes
 
 (* Single pass: replace the entry with [route]'s path id in place
    (preserving position), or append when absent. [`Unchanged] when the
@@ -36,18 +119,38 @@ let rec upsert_list (route : Route.t) = function
       | `Added tl' -> `Added (r :: tl')
       | `Replaced tl' -> `Replaced (r :: tl'))
 
-let upsert t (route : Route.t) =
-  let key = Prefix.to_key route.Route.prefix in
-  let old = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
-  match upsert_list route old with
-  | `Unchanged -> false
-  | `Replaced routes ->
-    Hashtbl.replace t.table key routes;
-    true
-  | `Added routes ->
-    Hashtbl.replace t.table key routes;
+let rec upsert_node t n (route : Route.t) =
+  let pfx = route.Route.prefix in
+  if n == nil then (
+    t.changed <- true;
     t.entries <- t.entries + 1;
-    true
+    t.prefs <- t.prefs + 1;
+    newnode pfx [ route ])
+  else if Prefix.equal pfx n.pfx then (
+    (match upsert_list route n.routes with
+    | `Unchanged -> t.changed <- false
+    | `Replaced rs ->
+      t.changed <- true;
+      n.routes <- rs
+    | `Added rs ->
+      t.changed <- true;
+      if n.routes = [] then t.prefs <- t.prefs + 1;
+      t.entries <- t.entries + 1;
+      n.routes <- rs);
+    n)
+  else if Prefix.subsumes n.pfx pfx && Prefix.len n.pfx < 32 then (
+    if dir n.pfx pfx then n.r <- upsert_node t n.r route
+    else n.l <- upsert_node t n.l route;
+    n)
+  else (
+    t.changed <- true;
+    t.entries <- t.entries + 1;
+    t.prefs <- t.prefs + 1;
+    splice (newnode pfx [ route ]) n)
+
+let upsert t route =
+  t.root <- upsert_node t t.root route;
+  t.changed
 
 (* Single pass: [None] when no route carries [path_id], otherwise the
    list without the (unique per prefix) matching route. *)
@@ -57,42 +160,61 @@ let rec remove_path path_id = function
     if r.Route.path_id = path_id then Some tl
     else Option.map (fun tl' -> r :: tl') (remove_path path_id tl)
 
-let drop t prefix ~path_id =
-  let key = Prefix.to_key prefix in
-  match Hashtbl.find_opt t.table key with
-  | None -> false
-  | Some old -> (
-    match remove_path path_id old with
-    | None -> false
-    | Some [] ->
-      Hashtbl.remove t.table key;
-      t.entries <- t.entries - 1;
-      true
+let rec drop_node t n pfx path_id =
+  if n == nil then nil
+  else if Prefix.equal pfx n.pfx then (
+    match remove_path path_id n.routes with
+    | None -> n
     | Some rest ->
-      Hashtbl.replace t.table key rest;
+      t.changed <- true;
       t.entries <- t.entries - 1;
-      true)
+      n.routes <- rest;
+      if rest = [] then (
+        t.prefs <- t.prefs - 1;
+        compress n)
+      else n)
+  else if Prefix.subsumes n.pfx pfx && Prefix.len n.pfx < 32 then (
+    if dir n.pfx pfx then n.r <- drop_node t n.r pfx path_id
+    else n.l <- drop_node t n.l pfx path_id;
+    if n.routes = [] then compress n else n)
+  else n
+
+let drop t prefix ~path_id =
+  t.changed <- false;
+  t.root <- drop_node t t.root prefix path_id;
+  t.changed
 
 let clear_prefix t prefix =
-  let key = Prefix.to_key prefix in
-  match Hashtbl.find_opt t.table key with
-  | None -> 0
-  | Some old ->
-    let n = List.length old in
-    Hashtbl.remove t.table key;
-    t.entries <- t.entries - n;
+  match List.length (get t prefix) with
+  | 0 -> 0
+  | n ->
+    set t prefix [];
     n
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.entries <- 0
+  t.root <- nil;
+  t.entries <- 0;
+  t.prefs <- 0
 
 let entry_count t = t.entries
-let prefix_count t = Hashtbl.length t.table
-let mem t prefix = Hashtbl.mem t.table (Prefix.to_key prefix)
+let prefix_count t = t.prefs
 
-let fold f t acc =
-  Hashtbl.fold (fun key routes acc -> f (Prefix.of_key key) routes acc) t.table acc
+let rec fold_node f n acc =
+  if n == nil then acc
+  else
+    let acc = if n.routes = [] then acc else f n.pfx n.routes acc in
+    fold_node f n.r (fold_node f n.l acc)
 
-let iter f t = Hashtbl.iter (fun key routes -> f (Prefix.of_key key) routes) t.table
-let prefixes t = fold (fun p _ acc -> p :: acc) t []
+let fold f t acc = fold_node f t.root acc
+let iter f t = fold (fun p rs () -> f p rs) t ()
+let prefixes t = List.rev (fold (fun p _ acc -> p :: acc) t [])
+
+let rec lm_node n a best =
+  if n == nil then best
+  else if not (Prefix.mem a n.pfx) then best
+  else
+    let best = if n.routes = [] then best else Some (n.pfx, n.routes) in
+    if Prefix.len n.pfx >= 32 then best
+    else lm_node (if Ipv4.bit a (Prefix.len n.pfx) then n.r else n.l) a best
+
+let longest_match t addr = lm_node t.root addr None

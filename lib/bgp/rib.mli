@@ -2,6 +2,16 @@
     distinguished by their add-paths Path Identifier. Used for
     Adj-RIB-In (one per peer), Loc-RIB and Adj-RIB-Out.
 
+    The table is a path-compressed binary trie keyed by the prefix
+    bits (the mutable sibling of {!Netaddr.Prefix_trie}): one 5-word
+    node per stored prefix plus one list cell per route, independent
+    of how sparse the address space is, and longest-prefix match comes
+    directly off the structure — {!longest_match} is what lets the
+    router serve data-plane lookups straight from its Loc-RIB with no
+    separate FIB copy. Iteration ({!fold}, {!iter}, {!prefixes}) is in
+    ascending {!Netaddr.Prefix.compare} order, so downstream consumers
+    are deterministic by construction.
+
     Entry counts follow the paper's accounting: the size of a RIB is the
     total number of routes stored, not the number of prefixes. *)
 
@@ -10,6 +20,8 @@ open Netaddr
 type t
 
 val create : ?size_hint:int -> unit -> t
+(** [size_hint] is accepted for compatibility and ignored: tries grow
+    one node at a time. *)
 
 val get : t -> Prefix.t -> Route.t list
 (** All routes stored for a prefix (possibly []), in insertion order of
@@ -35,9 +47,19 @@ val entry_count : t -> int
 (** Total stored routes (paper's RIB size). O(1). *)
 
 val prefix_count : t -> int
+(** Number of distinct prefixes with at least one route. O(1). *)
 
 val mem : t -> Prefix.t -> bool
 
 val fold : (Prefix.t -> Route.t list -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending prefix order (address, then shorter-first). *)
+
 val iter : (Prefix.t -> Route.t list -> unit) -> t -> unit
+(** Ascending prefix order. *)
+
 val prefixes : t -> Prefix.t list
+(** Ascending prefix order. *)
+
+val longest_match : t -> Ipv4.t -> (Prefix.t * Route.t list) option
+(** Most specific stored prefix containing the address, with its
+    routes — the data-plane lookup. O(matching prefix length). *)

@@ -1,8 +1,16 @@
 open Netaddr
 
-type t = {
-  prefix : Prefix.t;
-  path_id : int;
+(* Path attributes are hash-consed into immutable {e attribute blocks}:
+   within a domain, structurally equal attribute sets share one physical
+   record, so the same block sits in every Adj-RIB-In / Loc-RIB /
+   Adj-RIB-Out that stores a route carrying it (across all routers of a
+   simulation — they share the domain's heap).  A route value is then a
+   small three-field {e head} (prefix, add-paths id, block pointer):
+   storing a route in another table costs the head and the table slot,
+   never a second copy of the attributes.  See SCALING.md for the
+   bytes/route accounting this enables. *)
+
+type attrs = {
   origin : Origin.t;
   as_path : As_path.t;
   next_hop : Ipv4.t;
@@ -12,39 +20,152 @@ type t = {
   cluster_list : Ipv4.t list;
   communities : Community.t list;
   ext_communities : Ext_community.t list;
+  ahash : int;  (* structural hash over every field above *)
 }
+
+type t = { prefix : Prefix.t; path_id : int; attrs : attrs }
 
 let default_local_pref = 100
 
-let make ?(path_id = 0) ?(origin = Origin.Igp) ?(as_path = As_path.empty)
-    ?(med = None) ?(local_pref = default_local_pref) ?(originator_id = None)
-    ?(cluster_list = []) ?(communities = []) ?(ext_communities = []) ~prefix
-    ~next_hop () =
+(* ------------------------------------------------------------------ *)
+(* Attribute-block interning                                           *)
+
+let hash_opt h = function None -> h * 31 | Some v -> (h * 31) + 1 + v
+
+let hash_ipv4_list h l =
+  List.fold_left (fun h ip -> (h * 31) + Ipv4.hash ip) h l
+
+let compute_ahash a =
+  let h = Origin.rank a.origin in
+  let h = (h * 31) + As_path.hash a.as_path in
+  let h = (h * 31) + Ipv4.hash a.next_hop in
+  let h = hash_opt h a.med in
+  let h = (h * 31) + a.local_pref in
+  let h = hash_opt h (Option.map Ipv4.to_int a.originator_id) in
+  let h = hash_ipv4_list h a.cluster_list in
+  let h =
+    List.fold_left (fun h c -> (h * 31) + Community.to_int c) h a.communities
+  in
+  let h =
+    List.fold_left
+      (fun h (e : Ext_community.t) ->
+        (h * 31) + (e.Ext_community.typ lsl 16) + (e.Ext_community.subtyp lsl 8)
+        + e.Ext_community.value)
+      h a.ext_communities
+  in
+  h land max_int
+
+let attrs_structural_equal a b =
+  Origin.equal a.origin b.origin
+  && As_path.equal a.as_path b.as_path
+  && Ipv4.equal a.next_hop b.next_hop
+  && Option.equal Int.equal a.med b.med
+  && Int.equal a.local_pref b.local_pref
+  && Option.equal Ipv4.equal a.originator_id b.originator_id
+  && List.equal Ipv4.equal a.cluster_list b.cluster_list
+  && List.equal Community.equal a.communities b.communities
+  && List.equal Ext_community.equal a.ext_communities b.ext_communities
+
+module Atbl = Weak.Make (struct
+  type t = attrs
+
+  let equal a b = a.ahash = b.ahash && attrs_structural_equal a b
+  let hash a = a.ahash
+end)
+
+(* One intern table per domain (the {!As_path} arrangement): simulations
+   are single-domain so no locking is needed, and the weak table lets
+   the GC reclaim blocks no RIB references anymore.  Cross-domain
+   comparisons fall back to the structural path in {!attrs_equal}. *)
+let table = Domain.DLS.new_key (fun () -> Atbl.create 4096)
+
+let intern a = Atbl.merge (Domain.DLS.get table) { a with ahash = compute_ahash a }
+
+let make_attrs ?(origin = Origin.Igp) ?(as_path = As_path.empty) ?(med = None)
+    ?(local_pref = default_local_pref) ?(originator_id = None)
+    ?(cluster_list = []) ?(communities = []) ?(ext_communities = []) ~next_hop
+    () =
+  intern
+    {
+      origin;
+      as_path;
+      next_hop;
+      med;
+      local_pref;
+      originator_id;
+      cluster_list;
+      communities;
+      ext_communities;
+      ahash = 0;
+    }
+
+let attrs_equal a b = a == b || (a.ahash = b.ahash && attrs_structural_equal a b)
+let attrs_hash a = a.ahash
+let interned_attrs () = Atbl.count (Domain.DLS.get table)
+
+(* ------------------------------------------------------------------ *)
+(* Heads                                                               *)
+
+let make ?(path_id = 0) ?origin ?as_path ?med ?local_pref ?originator_id
+    ?cluster_list ?communities ?ext_communities ~prefix ~next_hop () =
   {
     prefix;
     path_id;
-    origin;
-    as_path;
-    next_hop;
-    med;
-    local_pref;
-    originator_id;
-    cluster_list;
-    communities;
-    ext_communities;
+    attrs =
+      make_attrs ?origin ?as_path ?med ?local_pref ?originator_id
+        ?cluster_list ?communities ?ext_communities ~next_hop ();
   }
 
-let with_path_id path_id t = { t with path_id }
+let of_attrs ?(path_id = 0) ~prefix attrs = { prefix; path_id; attrs }
+let attrs t = t.attrs
+
+let origin t = t.attrs.origin
+let as_path t = t.attrs.as_path
+let next_hop t = t.attrs.next_hop
+let med t = t.attrs.med
+let local_pref t = t.attrs.local_pref
+let originator_id t = t.attrs.originator_id
+let cluster_list t = t.attrs.cluster_list
+let communities t = t.attrs.communities
+let ext_communities t = t.attrs.ext_communities
+
+let with_path_id path_id t = if t.path_id = path_id then t else { t with path_id }
 let with_prefix prefix t = { t with prefix }
-let is_reflected t = List.exists Ext_community.is_reflected t.ext_communities
+
+(* One functional update = one re-intern, however many fields change. *)
+let update ?path_id ?origin ?as_path ?next_hop ?med ?local_pref ?originator_id
+    ?cluster_list ?ext_communities t =
+  let a = t.attrs in
+  let field v = function None -> v | Some v' -> v' in
+  let attrs =
+    intern
+      {
+        a with
+        origin = field a.origin origin;
+        as_path = field a.as_path as_path;
+        next_hop = field a.next_hop next_hop;
+        med = field a.med med;
+        local_pref = field a.local_pref local_pref;
+        originator_id = field a.originator_id originator_id;
+        cluster_list = field a.cluster_list cluster_list;
+        ext_communities = field a.ext_communities ext_communities;
+      }
+  in
+  { t with path_id = field t.path_id path_id; attrs }
+
+let is_reflected t =
+  List.exists Ext_community.is_reflected t.attrs.ext_communities
 
 let mark_reflected t =
   if is_reflected t then t
-  else { t with ext_communities = Ext_community.reflected :: t.ext_communities }
+  else
+    update
+      ~ext_communities:(Ext_community.reflected :: t.attrs.ext_communities)
+      t
 
-let add_cluster id t = { t with cluster_list = id :: t.cluster_list }
-let in_cluster_list id t = List.exists (Ipv4.equal id) t.cluster_list
-let neighbor_as t = As_path.first_as t.as_path
+let add_cluster id t = update ~cluster_list:(id :: t.attrs.cluster_list) t
+let in_cluster_list id t = List.exists (Ipv4.equal id) t.attrs.cluster_list
+let neighbor_as t = As_path.first_as t.attrs.as_path
 
 let compare_opt cmp a b =
   match (a, b) with
@@ -53,11 +174,11 @@ let compare_opt cmp a b =
   | Some _, None -> 1
   | Some x, Some y -> cmp x y
 
-let compare_attrs a b =
+(* Field order matches the pre-interning implementation: the decision
+   kernel's final tie-break depends on it, so changing it would change
+   simulation outcomes. *)
+let compare_attr_blocks a b =
   if a == b then 0
-  else
-  let c = Prefix.compare a.prefix b.prefix in
-  if c <> 0 then c
   else
     let c = Origin.compare a.origin b.origin in
     if c <> 0 then c
@@ -80,11 +201,21 @@ let compare_attrs a b =
                 let c = List.compare Ipv4.compare a.cluster_list b.cluster_list in
                 if c <> 0 then c
                 else
-                  let c = List.compare Community.compare a.communities b.communities in
+                  let c =
+                    List.compare Community.compare a.communities b.communities
+                  in
                   if c <> 0 then c
                   else
                     List.compare Ext_community.compare a.ext_communities
                       b.ext_communities
+
+let attrs_compare = compare_attr_blocks
+
+let compare_attrs a b =
+  if a == b then 0
+  else
+    let c = Prefix.compare a.prefix b.prefix in
+    if c <> 0 then c else compare_attr_blocks a.attrs b.attrs
 
 let same_path a b = compare_attrs a b = 0
 
@@ -94,10 +225,14 @@ let compare a b =
     let c = Int.compare a.path_id b.path_id in
     if c <> 0 then c else compare_attrs a b
 
-let equal a b = a == b || compare a b = 0
+let equal a b =
+  a == b
+  || (a.path_id = b.path_id
+     && Prefix.equal a.prefix b.prefix
+     && attrs_equal a.attrs b.attrs)
 
 let pp fmt t =
   Format.fprintf fmt "%a[id=%d] lp=%d path=[%a] origin=%a nh=%a med=%s"
-    Prefix.pp t.prefix t.path_id t.local_pref As_path.pp t.as_path Origin.pp
-    t.origin Ipv4.pp t.next_hop
-    (match t.med with None -> "-" | Some m -> string_of_int m)
+    Prefix.pp t.prefix t.path_id t.attrs.local_pref As_path.pp t.attrs.as_path
+    Origin.pp t.attrs.origin Ipv4.pp t.attrs.next_hop
+    (match t.attrs.med with None -> "-" | Some m -> string_of_int m)

@@ -68,8 +68,10 @@ let flag_transitive = 0x40
 let flag_optional = 0x80
 let flag_opt_transitive = 0xC0
 
-(* Encode the path attributes of a route (excluding prefix/path id). *)
-let encode_attrs (r : Route.t) =
+(* Encode a path-attribute block (excluding prefix/path id). One call
+   per distinct interned block: every route sharing the block shares
+   the encoding (see [encode_update]'s grouping). *)
+let encode_attrs (r : Route.attrs) =
   let buf = Buffer.create 64 in
   let payload = Buffer.create 16 in
   let attr ~flags ~typ fill =
@@ -204,7 +206,7 @@ let encode_update ~add_paths (u : Msg.update) =
   let order = ref [] in
   List.iter
     (fun r ->
-      let key = encode_attrs r in
+      let key = encode_attrs (Route.attrs r) in
       match Hashtbl.find_opt groups key with
       | Some l -> l := r :: !l
       | None ->
@@ -391,20 +393,28 @@ let decode_update rd ~add_paths =
   let attrs = decode_attrs ard in
   rd.pos <- attr_end;
   let announced = ref [] in
+  (* Intern the attribute block once per UPDATE: every announced NLRI
+     shares it, so decoding N prefixes allocates N heads, one block. *)
+  let block =
+    if rd.pos >= rd.limit then None
+    else
+      match (attrs.origin, attrs.next_hop) with
+      | Some origin, Some next_hop ->
+        Some
+          (Route.make_attrs ~origin ~as_path:attrs.as_path ~med:attrs.med
+             ~local_pref:
+               (Option.value ~default:Route.default_local_pref attrs.local_pref)
+             ~originator_id:attrs.originator_id ~cluster_list:attrs.cluster_list
+             ~communities:attrs.communities
+             ~ext_communities:attrs.ext_communities ~next_hop ())
+      | None, _ -> fail (Bad_attribute "missing ORIGIN on announcement")
+      | _, None -> fail (Bad_attribute "missing NEXT_HOP on announcement")
+  in
   while rd.pos < rd.limit do
     let p, path_id = r_nlri rd ~add_paths in
-    match (attrs.origin, attrs.next_hop) with
-    | Some origin, Some next_hop ->
-      let route =
-        Route.make ~path_id ~origin ~as_path:attrs.as_path ~med:attrs.med
-          ~local_pref:(Option.value ~default:Route.default_local_pref attrs.local_pref)
-          ~originator_id:attrs.originator_id ~cluster_list:attrs.cluster_list
-          ~communities:attrs.communities ~ext_communities:attrs.ext_communities
-          ~prefix:p ~next_hop ()
-      in
-      announced := route :: !announced
-    | None, _ -> fail (Bad_attribute "missing ORIGIN on announcement")
-    | _, None -> fail (Bad_attribute "missing NEXT_HOP on announcement")
+    match block with
+    | Some attrs -> announced := Route.of_attrs ~path_id ~prefix:p attrs :: !announced
+    | None -> assert false
   done;
   Msg.Update { withdrawn = List.rev !withdrawn; announced = List.rev !announced }
 

@@ -28,7 +28,7 @@ let forwarding_path net ~src prefix ~max_hops =
       | None -> Error (Blackhole (List.rev path))
       | Some route -> (
         match
-          Config.router_of_loopback (Network.config net) route.Bgp.Route.next_hop
+          Config.router_of_loopback (Network.config net) (Bgp.Route.next_hop route)
         with
         | None ->
           (* Next hop is external: [current] is the exit border router. *)

@@ -11,6 +11,7 @@ type t = {
   mutable decisions_run : int;
   mutable rib_touches : int;
   mutable last_change : Eventsim.Time.t;
+  mutable mem_peak_kb : int;
 }
 
 let create () =
@@ -27,6 +28,7 @@ let create () =
     decisions_run = 0;
     rib_touches = 0;
     last_change = Eventsim.Time.zero;
+    mem_peak_kb = 0;
   }
 
 let reset t =
@@ -41,7 +43,8 @@ let reset t =
   t.withdrawals_transmitted <- 0;
   t.decisions_run <- 0;
   t.rib_touches <- 0;
-  t.last_change <- Eventsim.Time.zero
+  t.last_change <- Eventsim.Time.zero;
+  t.mem_peak_kb <- 0
 
 let add acc x =
   acc.updates_received <- acc.updates_received + x.updates_received;
@@ -56,7 +59,8 @@ let add acc x =
     acc.withdrawals_transmitted + x.withdrawals_transmitted;
   acc.decisions_run <- acc.decisions_run + x.decisions_run;
   acc.rib_touches <- acc.rib_touches + x.rib_touches;
-  acc.last_change <- max acc.last_change x.last_change
+  acc.last_change <- max acc.last_change x.last_change;
+  acc.mem_peak_kb <- max acc.mem_peak_kb x.mem_peak_kb
 
 let copy t = { t with updates_received = t.updates_received }
 
@@ -78,6 +82,7 @@ let diff ~after ~before =
     decisions_run = after.decisions_run - before.decisions_run;
     rib_touches = after.rib_touches - before.rib_touches;
     last_change = after.last_change;
+    mem_peak_kb = after.mem_peak_kb;
   }
 
 let to_fields t =
@@ -94,13 +99,37 @@ let to_fields t =
     ("decisions_run", t.decisions_run);
     ("rib_touches", t.rib_touches);
     ("last_change_us", t.last_change);
+    ("mem_peak_kb", t.mem_peak_kb);
   ]
+
+(* VmHWM from /proc/self/status: the process peak resident set, in
+   kB. Linux-specific; other platforms simply keep the sample at 0. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> 0
+          | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6))
+                " %d kB" Fun.id
+            else scan ()
+        in
+        match scan () with v -> v | exception Scanf.Scan_failure _ -> 0)
+
+let sample_mem t = t.mem_peak_kb <- max t.mem_peak_kb (peak_rss_kb ())
 
 let pp fmt t =
   Format.fprintf fmt
     "rx=%d gen=%d tx=%d sup=%d msgs=%d bytes_tx=%d bytes_rx=%d wd_rx=%d \
-     wd_tx=%d decisions=%d rib=%d last_change=%a"
+     wd_tx=%d decisions=%d rib=%d last_change=%a mem_peak_kb=%d"
     t.updates_received t.updates_generated t.updates_transmitted
     t.updates_suppressed t.messages_transmitted t.bytes_transmitted
     t.bytes_received t.withdrawals_received t.withdrawals_transmitted
     t.decisions_run t.rib_touches Eventsim.Time.pp t.last_change
+    t.mem_peak_kb

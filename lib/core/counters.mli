@@ -34,13 +34,20 @@ type t = {
           for RIB maintenance cost *)
   mutable last_change : Eventsim.Time.t;
       (** simulated time of the most recent Loc-RIB change *)
+  mutable mem_peak_kb : int;
+      (** highest process peak-RSS sample ({!sample_mem}) attributed to
+          this counter set, in kB; [0] until sampled. Process-wide, not
+          per-router: experiments sample it on one designated counter
+          set (exp_scale) at phase boundaries. {!add} takes the max,
+          {!diff} reports [after]'s value. *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 
 val add : t -> t -> unit
-(** [add acc x] accumulates [x] into [acc] (last_change = max). *)
+(** [add acc x] accumulates [x] into [acc] (last_change and mem_peak_kb
+    = max). *)
 
 val copy : t -> t
 (** An independent snapshot of the current values. *)
@@ -49,6 +56,11 @@ val diff : after:t -> before:t -> t
 (** Field-wise [after - before]; [last_change] is taken from [after].
     With [before] a {!copy} made at a phase boundary this yields the
     per-phase counter breakdown. *)
+
+val sample_mem : t -> unit
+(** Record the process's current peak resident set (Linux [VmHWM],
+    /proc/self/status) into [mem_peak_kb] if it exceeds the stored
+    sample. A no-op (sample stays 0) where /proc is unavailable. *)
 
 val to_fields : t -> (string * int) list
 (** Stable [(name, value)] view of every counter, in declaration order,

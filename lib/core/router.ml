@@ -82,7 +82,6 @@ type t = {
   from_trr : (int, Rib.t) Hashtbl.t;
   from_arr : (int, Rib.t) Hashtbl.t;
   loc_rib : Rib.t;
-  best_src : (int, int) Hashtbl.t;  (* prefix key -> sender router id, -1 = own *)
   adv_mesh : Rib.t;
   adv_confed : Rib.t;
   adv_confed_src : (int, int) Hashtbl.t;
@@ -99,7 +98,6 @@ type t = {
   ids_arr : Path_id.t;
   ids_adv_trr : Path_id.t;
   ids_adv_arr : Path_id.t;
-  seen : (int, Prefix.t) Hashtbl.t;
   inbox : input Queue.t;
   mutable process_scheduled : bool;
   outgoing : (int, Proto.item list ref) Hashtbl.t;
@@ -107,7 +105,6 @@ type t = {
   counters : Counters.t;
   mutable rejected_loops : int;
   mutable up : bool;
-  mutable fib : R.t Prefix_trie.t;  (* loc-rib as an LPM-queryable trie *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -253,7 +250,6 @@ let create env =
     from_trr = Hashtbl.create 8;
     from_arr = Hashtbl.create 8;
     loc_rib = Rib.create ();
-    best_src = Hashtbl.create 64;
     adv_mesh = Rib.create ();
     adv_confed = Rib.create ();
     adv_confed_src = Hashtbl.create 64;
@@ -270,7 +266,6 @@ let create env =
     ids_arr = Path_id.create ();
     ids_adv_trr = Path_id.create ();
     ids_adv_arr = Path_id.create ();
-    seen = Hashtbl.create 256;
     inbox = Queue.create ();
     process_scheduled = false;
     outgoing = Hashtbl.create 16;
@@ -278,7 +273,6 @@ let create env =
     counters = Counters.create ();
     rejected_loops = 0;
     up = true;
-    fib = Prefix_trie.empty;
   }
 
 let id t = t.env.id
@@ -295,10 +289,6 @@ let rejected_loops t = t.rejected_loops
 let rib_set t rib p routes =
   t.counters.rib_touches <- t.counters.rib_touches + 1;
   Rib.set rib p routes
-
-let note_seen t prefix =
-  let key = Prefix.to_key prefix in
-  if not (Hashtbl.mem t.seen key) then Hashtbl.add t.seen key prefix
 
 let table_rib tbl src =
   match Hashtbl.find_opt tbl src with
@@ -318,7 +308,7 @@ let ibgp_candidate t src (route : R.t) =
     learned = D.Ibgp;
     peer_id = peer;
     peer_addr = peer;
-    igp_cost = t.env.igp_cost route.R.next_hop;
+    igp_cost = t.env.igp_cost (R.next_hop route);
   }
 
 let eligible (c : D.candidate) = c.igp_cost <> Igp.Spf.unreachable
@@ -349,7 +339,7 @@ let ebgp_candidates t p acc =
           Hashtbl.find_opt t.ebgp_neighbors (Prefix.to_key p, route.R.path_id)
         with
         | Some n -> n
-        | None -> route.R.next_hop
+        | None -> (R.next_hop route)
       in
       let c =
         { D.route; learned = D.Ebgp; peer_id = neighbor; peer_addr = neighbor;
@@ -374,7 +364,7 @@ let own_arr_candidates t p acc =
   List.fold_left
     (fun acc (route : R.t) ->
       let own =
-        match route.R.originator_id with
+        match (R.originator_id route) with
         | Some o -> Ipv4.equal o t.self
         | None -> false
       in
@@ -545,37 +535,34 @@ let flush_outgoing t =
 (* Route derivation                                                    *)
 
 let strip_reflection (r : R.t) =
-  {
-    r with
-    R.originator_id = None;
-    cluster_list = [];
-    ext_communities =
-      List.filter
-        (fun e -> not (Bgp.Ext_community.is_reflected e))
-        r.R.ext_communities;
-  }
+  R.update ~originator_id:None ~cluster_list:[]
+    ~ext_communities:
+      (List.filter
+         (fun e -> not (Bgp.Ext_community.is_reflected e))
+         (R.ext_communities r))
+    r
 
 (* The client function's iBGP advertisement of an other-learned route. *)
 let derive_own t (r : R.t) =
   let r = strip_reflection r in
-  { r with R.next_hop = t.self; path_id = 0 }
+  R.update ~next_hop:t.self ~path_id:0 r
 
 (* A TRR reflecting an iBGP-learned route (RFC 4456 attributes). *)
 let derive_trr_reflect t src (r : R.t) =
   let originator =
-    match r.R.originator_id with Some o -> o | None -> Config.loopback src
+    match (R.originator_id r) with Some o -> o | None -> Config.loopback src
   in
   let cluster =
     match t.roles.my_cluster_ids with c :: _ -> c | [] -> t.self
   in
-  R.add_cluster cluster { r with R.originator_id = Some originator; path_id = 0 }
+  R.add_cluster cluster (R.update ~originator_id:(Some originator) ~path_id:0 r)
 
 (* An ARR reflecting a client route (§2.3.2 loop marker). *)
 let derive_arr_reflect t src (r : R.t) =
   let originator =
-    match r.R.originator_id with Some o -> o | None -> Config.loopback src
+    match (R.originator_id r) with Some o -> o | None -> Config.loopback src
   in
-  let r = { r with R.originator_id = Some originator } in
+  let r = R.update ~originator_id:(Some originator) r in
   match t.roles.abrr_loop with
   | Config.Reflected_bit -> R.mark_reflected r
   | Config.Cluster_list -> R.add_cluster t.self r
@@ -650,7 +637,7 @@ let recompute_arr t p =
             let routes =
               List.filter
                 (fun (r : R.t) ->
-                  match r.R.originator_id with
+                  match (R.originator_id r) with
                   | Some o -> not (Ipv4.equal o dst_loopback)
                   | None -> true)
                 assigned
@@ -791,7 +778,7 @@ let set_multi_out t ~rib ~ids ~channel ~targets p tagged_survivors =
         let routes =
           List.filter
             (fun (r : R.t) ->
-              match r.R.originator_id with
+              match (R.originator_id r) with
               | Some o -> not (Ipv4.equal o dst_loopback)
               | None -> true)
             assigned
@@ -932,21 +919,13 @@ let run_decision t p =
         | None -> (c, -1, S_local))
       best
   in
-  let key = Prefix.to_key p in
   let old = Rib.get t.loc_rib p in
   let new_route = Option.map (fun (c, _, _) -> (c : D.candidate).D.route) winner in
   let changed = not (same_single old new_route) in
   if changed then begin
     (match new_route with
-    | Some r ->
-      rib_set t t.loc_rib p [ r ];
-      t.fib <- Prefix_trie.add p r t.fib
-    | None ->
-      rib_set t t.loc_rib p [];
-      t.fib <- Prefix_trie.remove p t.fib);
-    (match winner with
-    | Some (_, src, _) -> Hashtbl.replace t.best_src key src
-    | None -> Hashtbl.remove t.best_src key);
+    | Some r -> rib_set t t.loc_rib p [ r ]
+    | None -> rib_set t t.loc_rib p []);
     t.counters.last_change <- t.env.now ();
     t.env.on_best_change p new_route
   end;
@@ -978,7 +957,7 @@ let confed_export t p (winner : (D.candidate * int * src_tag) option) =
     Option.map
       (fun ((c : D.candidate), _, _) ->
         let r = derive_base c in
-        { r with R.as_path = As_path.prepend_confed my_asn r.R.as_path })
+        R.update ~as_path:(As_path.prepend_confed my_asn (R.as_path r)) r)
       winner
   in
   let src = match winner with Some (_, s, _) -> s | None -> -1 in
@@ -1015,7 +994,7 @@ let recompute_rcp t p =
       let cands =
         List.filter_map
           (fun (src, (route : R.t)) ->
-            let cost = t.env.igp_cost_from ~src:client route.R.next_hop in
+            let cost = t.env.igp_cost_from ~src:client (R.next_hop route) in
             if cost = Igp.Spf.unreachable then None
             else
               Some
@@ -1036,9 +1015,9 @@ let recompute_rcp t p =
           match List.find_map (fun (c', src) -> if c' == c then Some src else None) cands with
           | Some src when src <> client ->
             Some
-              { (c.D.route) with
-                R.path_id = 0;
-                originator_id = Some (Config.loopback src) }
+              (R.update ~path_id:0
+                 ~originator_id:(Some (Config.loopback src))
+                 c.D.route)
           | Some _ | None -> None (* the client's own route: nothing to teach *))
         | None -> None
       in
@@ -1088,24 +1067,24 @@ let filter_incoming t channel (r : R.t) =
   match channel with
   | Proto.Mesh ->
     if has_my_cluster_id t r then None
-    else if r.R.originator_id = Some t.self then None
+    else if R.originator_id r = Some t.self then None
     else Some r
   | Proto.To_trr ->
     if has_my_cluster_id t r then None
-    else if r.R.originator_id = Some t.self then None
+    else if R.originator_id r = Some t.self then None
     else Some r
   | Proto.To_arr -> (
     match t.roles.abrr_loop with
     | Config.Reflected_bit -> if R.is_reflected r then None else Some r
-    | Config.Cluster_list -> if r.R.cluster_list <> [] then None else Some r)
+    | Config.Cluster_list -> if (R.cluster_list r) <> [] then None else Some r)
   | Proto.Confed -> (
     (* RFC 5065 loop detection: our member ASN in a confed segment *)
     match t.roles.my_member_asn with
-    | Some asn when As_path.confed_contains asn r.R.as_path -> None
+    | Some asn when As_path.confed_contains asn (R.as_path r) -> None
     | Some _ | None -> Some r)
   | Proto.To_rcp -> Some r
   | Proto.From_trr | Proto.From_arr | Proto.From_rcp ->
-    if r.R.originator_id = Some t.self then None else Some r
+    if R.originator_id r = Some t.self then None else Some r
 
 (* What a client stores from a reflector's advertised set (§3.4). Under
    always-compare MED one best route suffices for full-mesh-equivalent
@@ -1147,9 +1126,33 @@ let best_of_set t src routes =
         (fun key -> pick (List.rev !(Hashtbl.find groups key)))
         (List.rev !order))
 
+(* Every prefix with state anywhere in this router: all Adj-RIB-Ins
+   (plain and per-peer) plus the Loc-RIB and derived advert tables,
+   each distinct prefix visited once. This replaces the retired [seen]
+   table — a prefix absent from every RIB has no candidates, so
+   recomputing it is a no-op and forgetting it is outcome-identical;
+   meanwhile a per-router forever-grown prefix set is exactly what a
+   paper-scale run cannot afford. *)
+let iter_known t f =
+  let visited = Hashtbl.create 256 in
+  let visit p =
+    let k = Prefix.to_key p in
+    if not (Hashtbl.mem visited k) then begin
+      Hashtbl.add visited k ();
+      f p
+    end
+  in
+  let rib r = Rib.iter (fun p _ -> visit p) r in
+  List.iter rib
+    [ t.ebgp_rib; t.local_rib; t.loc_rib; t.adv_mesh; t.adv_confed; t.adv_rcp;
+      t.adv_trr; t.adv_arr; t.out_mesh; t.out_clients; t.out_arr ];
+  List.iter
+    (fun tbl -> Hashtbl.iter (fun _ r -> rib r) tbl)
+    [ t.managed_trr; t.managed_arr; t.mesh_in; t.confed_in; t.managed_rcp;
+      t.from_rcp; t.rcp_out; t.from_trr; t.from_arr ]
+
 let apply_item t src ((channel, delta) : Proto.item) dirty =
   let p = delta.Proto.prefix in
-  note_seen t p;
   let keep, rejected =
     List.partition_map
       (fun r ->
@@ -1189,28 +1192,24 @@ let apply_input t input dirty =
   match input with
   | In_items { src; items } -> List.iter (fun item -> apply_item t src item dirty) items
   | In_ebgp { neighbor; route } ->
-    note_seen t route.R.prefix;
     let key = Prefix.to_key route.R.prefix in
     ignore (Rib.upsert t.ebgp_rib route);
     Hashtbl.replace t.ebgp_neighbors (key, route.R.path_id) neighbor;
     Hashtbl.replace dirty key route.R.prefix
   | In_ebgp_withdraw { neighbor = _; prefix; path_id } ->
-    note_seen t prefix;
     let key = Prefix.to_key prefix in
     if Rib.drop t.ebgp_rib prefix ~path_id then begin
       Hashtbl.remove t.ebgp_neighbors (key, path_id);
       Hashtbl.replace dirty key prefix
     end
   | In_local route ->
-    note_seen t route.R.prefix;
     ignore (Rib.upsert t.local_rib route);
     Hashtbl.replace dirty (Prefix.to_key route.R.prefix) route.R.prefix
   | In_local_withdraw { prefix; path_id } ->
-    note_seen t prefix;
     if Rib.drop t.local_rib prefix ~path_id then
       Hashtbl.replace dirty (Prefix.to_key prefix) prefix
   | In_redecide_all ->
-    Hashtbl.iter (fun key p -> Hashtbl.replace dirty key p) t.seen
+    iter_known t (fun p -> Hashtbl.replace dirty (Prefix.to_key p) p)
 
 let process_now t =
   t.process_scheduled <- false;
@@ -1367,21 +1366,23 @@ let set_up_cold t =
     [ t.loc_rib; t.adv_mesh; t.adv_confed; t.adv_trr; t.adv_arr; t.adv_rcp;
       t.out_mesh; t.out_clients; t.out_arr ];
   Hashtbl.reset t.adv_confed_src;
-  Hashtbl.reset t.best_src;
   Hashtbl.reset t.out_clients_src;
   Hashtbl.reset t.out_mesh_src;
-  t.fib <- Prefix_trie.empty;
   List.iter Path_id.clear
     [ t.ids_mesh; t.ids_clients; t.ids_arr; t.ids_adv_trr; t.ids_adv_arr ];
   Hashtbl.reset t.sessions;
-  Hashtbl.reset t.seen;
   Queue.clear t.inbox
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 
 let best t p = match Rib.get t.loc_rib p with [] -> None | r :: _ -> Some r
-let lookup t addr = Prefix_trie.longest_match addr t.fib
+
+(* LPM straight off the Loc-RIB trie — no separate FIB copy. *)
+let lookup t addr =
+  match Rib.longest_match t.loc_rib addr with
+  | Some (p, r :: _) -> Some (p, r)
+  | Some (_, []) | None -> None
 
 let idle t = Queue.is_empty t.inbox && not t.process_scheduled
 
@@ -1393,7 +1394,7 @@ let recomputed_best t p =
 let best_exit t p =
   match best t p with
   | None -> None
-  | Some r -> Config.router_of_loopback t.env.config r.R.next_hop
+  | Some r -> Config.router_of_loopback t.env.config (R.next_hop r)
 
 let sum_tbl tbl = Hashtbl.fold (fun _ rib acc -> acc + Rib.entry_count rib) tbl 0
 
@@ -1429,7 +1430,10 @@ let advertised_route t p =
   | [] -> None
   | r :: _ -> Some r
 
-let known_prefixes t = Hashtbl.fold (fun _ p acc -> p :: acc) t.seen []
+let known_prefixes t =
+  let acc = ref [] in
+  iter_known t (fun p -> acc := p :: !acc);
+  List.sort Prefix.compare !acc
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint support                                                  *)
@@ -1449,7 +1453,6 @@ type state = {
   st_src_tbls : (int * int) list array;
   st_path_ids : Path_id.dump array;
   st_ebgp_neighbors : ((int * int) * Ipv4.t) list;
-  st_seen : Prefix.t list;
   st_inbox : input list;
   st_process_scheduled : bool;
   st_outgoing : (int * Proto.item list) list;
@@ -1471,7 +1474,7 @@ let peer_table_slots t =
      t.from_rcp; t.rcp_out; t.from_trr; t.from_arr |]
 
 let src_tbl_slots t =
-  [| t.best_src; t.adv_confed_src; t.out_clients_src; t.out_mesh_src |]
+  [| t.adv_confed_src; t.out_clients_src; t.out_mesh_src |]
 
 let path_id_slots t =
   [| t.ids_mesh; t.ids_clients; t.ids_arr; t.ids_adv_trr; t.ids_adv_arr |]
@@ -1502,9 +1505,6 @@ let dump_state t =
     st_ebgp_neighbors =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ebgp_neighbors []
       |> List.sort (fun (a, _) (b, _) -> compare a b);
-    st_seen =
-      Hashtbl.fold (fun _ p acc -> p :: acc) t.seen []
-      |> List.sort Prefix.compare;
     st_inbox = List.of_seq (Queue.to_seq t.inbox);
     st_process_scheduled = t.process_scheduled;
     st_outgoing =
@@ -1545,7 +1545,6 @@ let load_state t st =
   Array.iter Hashtbl.reset srcs;
   Array.iter Path_id.clear ids;
   Hashtbl.reset t.ebgp_neighbors;
-  Hashtbl.reset t.seen;
   Queue.clear t.inbox;
   Hashtbl.reset t.outgoing;
   Hashtbl.reset t.sessions;
@@ -1567,7 +1566,6 @@ let load_state t st =
   List.iter
     (fun (k, v) -> Hashtbl.replace t.ebgp_neighbors k v)
     st.st_ebgp_neighbors;
-  List.iter (note_seen t) st.st_seen;
   List.iter (fun input -> Queue.add input t.inbox) st.st_inbox;
   t.process_scheduled <- st.st_process_scheduled;
   List.iter
@@ -1604,9 +1602,4 @@ let load_state t st =
    c.Counters.rib_touches <- s.Counters.rib_touches;
    c.Counters.last_change <- s.Counters.last_change);
   t.rejected_loops <- st.st_rejected_loops;
-  t.up <- st.st_up;
-  t.fib <- Prefix_trie.empty;
-  Rib.iter
-    (fun p rs ->
-      match rs with r :: _ -> t.fib <- Prefix_trie.add p r t.fib | [] -> ())
-    t.loc_rib
+  t.up <- st.st_up

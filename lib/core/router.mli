@@ -143,6 +143,10 @@ val advertised_route : t -> Prefix.t -> Bgp.Route.t option
 (** What the client function currently advertises into iBGP. *)
 
 val known_prefixes : t -> Prefix.t list
+(** Every prefix with state in any of this router's RIBs, in ascending
+    prefix order, each once. Derived on demand from the tables — there
+    is no standing per-router prefix registry (SCALING.md). *)
+
 val rejected_loops : t -> int
 (** Updates discarded by loop prevention (§2.3.2). *)
 
@@ -178,8 +182,9 @@ val refresh_to : t -> peer:int -> unit
     initial full-table exchange). *)
 
 val lookup : t -> Netaddr.Ipv4.t -> (Netaddr.Prefix.t * Bgp.Route.t) option
-(** Longest-prefix-match forwarding lookup against the Loc-RIB (what the
-    FIB would do for a data packet). *)
+(** Longest-prefix-match forwarding lookup, answered directly by the
+    Loc-RIB's trie (what the FIB would do for a data packet — there is
+    no separate FIB copy). *)
 
 (** {1 Checkpoint support (lib/snapshot)}
 
@@ -223,7 +228,6 @@ type state = {
   st_src_tbls : (int * int) list array;  (** best-route sender maps *)
   st_path_ids : Path_id.dump array;  (** add-paths id allocators *)
   st_ebgp_neighbors : ((int * int) * Netaddr.Ipv4.t) list;
-  st_seen : Netaddr.Prefix.t list;
   st_inbox : input list;  (** FIFO order *)
   st_process_scheduled : bool;
   st_outgoing : (int * Proto.item list) list;

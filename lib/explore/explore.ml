@@ -378,7 +378,7 @@ let explore ?(mode = Async) ?(por = true) ?(invariants = true)
         | Some r -> (
           match
             Abrr_core.Config.router_of_loopback (N.config net)
-              r.Bgp.Route.next_hop
+              (Bgp.Route.next_hop r)
           with
           | Some x -> Some x
           | None -> Some router)

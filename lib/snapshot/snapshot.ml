@@ -4,7 +4,13 @@ module R = Bgp.Route
 module C = Codec
 
 let magic = "ABRRSNAP"
-let format_version = 1
+
+(* v2: attribute blocks are interned below the route table (each
+   distinct block's path attributes are encoded exactly once; routes
+   become (block id, prefix, path id) triples), the per-router seen-set
+   is gone (derived on demand — Router.known_prefixes), and routers
+   carry 3 best-sender tables instead of 4. *)
+let format_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Config fingerprint                                                  *)
@@ -51,15 +57,25 @@ let fingerprint (c : Config.t) =
 
 (* Routes repeat heavily across RIB tables (the same route sits in a
    sender's Adj-RIB-Out, the receiver's Adj-RIB-In and often a Loc-RIB),
-   so the format stores each distinct route once — as a single-NLRI
-   RFC 4271 UPDATE through the existing wire codec — and references it
-   by id everywhere else. Ids are assigned in body first-use order,
-   which is deterministic because the body itself is canonical. *)
+   so the format stores each distinct route once and references it by id
+   everywhere else. Ids are assigned in body first-use order, which is
+   deterministic because the body itself is canonical.
+
+   Mirroring the in-memory representation (Bgp.Route), a route entry is
+   only a (block id, prefix, path id) head; the heavy path-attribute
+   blocks live in their own table, each distinct block encoded exactly
+   once — as the attribute section of a single-NLRI RFC 4271 UPDATE
+   through the existing wire codec. Decoding rebuilds the sharing:
+   every route referencing block [i] points at the same interned
+   record. *)
 type enc = {
   buf : Buffer.t;
   route_ids : (R.t, int) Hashtbl.t;
   mutable routes_rev : R.t list;
   mutable n_routes : int;
+  attr_ids : (R.attrs, int) Hashtbl.t;
+  mutable attrs_rev : R.attrs list;
+  mutable n_attrs : int;
 }
 
 let route_id e r =
@@ -72,18 +88,33 @@ let route_id e r =
     e.routes_rev <- r :: e.routes_rev;
     i
 
-let route_bytes r =
+let attr_id e a =
+  match Hashtbl.find_opt e.attr_ids a with
+  | Some i -> i
+  | None ->
+    let i = e.n_attrs in
+    e.n_attrs <- i + 1;
+    Hashtbl.add e.attr_ids a i;
+    e.attrs_rev <- a :: e.attrs_rev;
+    i
+
+(* An attribute block rides the wire codec as a single-NLRI UPDATE for
+   a throwaway default-prefix head: only the attribute section varies
+   between entries. *)
+let attrs_bytes a =
   Bgp.Wire.encode ~add_paths:true
-    (Bgp.Msg.Update { withdrawn = []; announced = [ r ] })
+    (Bgp.Msg.Update
+       { withdrawn = []; announced = [ R.of_attrs ~prefix:Netaddr.Prefix.default a ] })
   |> List.map Bytes.to_string
   |> String.concat ""
 
-let route_of_bytes s =
+let attrs_of_bytes s =
   match Bgp.Wire.decode_all ~add_paths:true (Bytes.of_string s) with
-  | Ok [ Bgp.Msg.Update { withdrawn = []; announced = [ r ] } ] -> r
-  | Ok _ -> C.bad "route table entry is not a single-route UPDATE"
+  | Ok [ Bgp.Msg.Update { withdrawn = []; announced = [ r ] } ] -> R.attrs r
+  | Ok _ -> C.bad "attribute table entry is not a single-route UPDATE"
   | Error err ->
-    C.bad "route table entry: %s" (Format.asprintf "%a" Bgp.Wire.pp_error err)
+    C.bad "attribute table entry: %s"
+      (Format.asprintf "%a" Bgp.Wire.pp_error err)
 
 let wroute e b r = C.w32 b (route_id e r)
 
@@ -330,7 +361,8 @@ let wcounters b (c : Counters.t) =
   C.wint b c.Counters.withdrawals_transmitted;
   C.wint b c.Counters.decisions_run;
   C.wint b c.Counters.rib_touches;
-  C.wint b c.Counters.last_change
+  C.wint b c.Counters.last_change;
+  C.wint b c.Counters.mem_peak_kb
 
 let rcounters d =
   let c = Counters.create () in
@@ -346,6 +378,7 @@ let rcounters d =
   c.Counters.decisions_run <- C.rint d.rd;
   c.Counters.rib_touches <- C.rint d.rd;
   c.Counters.last_change <- C.rint d.rd;
+  c.Counters.mem_peak_kb <- C.rint d.rd;
   c
 
 let wstate e b (st : Router.state) =
@@ -381,7 +414,6 @@ let wstate e b (st : Router.state) =
       C.wint b k2;
       wipv4 b addr)
     st.Router.st_ebgp_neighbors;
-  C.wlist b wprefix st.Router.st_seen;
   C.wlist b (winput e) st.Router.st_inbox;
   C.wbool b st.Router.st_process_scheduled;
   C.wlist b
@@ -431,7 +463,6 @@ let rstate d : Router.state =
         let addr = ripv4 d in
         ((k1, k2), addr))
   in
-  let st_seen = C.rlist d.rd (fun _ -> rprefix d) in
   let st_inbox = C.rlist d.rd (fun _ -> rinput d) in
   let st_process_scheduled = C.rbool d.rd in
   let st_outgoing =
@@ -457,7 +488,6 @@ let rstate d : Router.state =
     st_src_tbls;
     st_path_ids;
     st_ebgp_neighbors;
-    st_seen;
     st_inbox;
     st_process_scheduled;
     st_outgoing;
@@ -550,6 +580,9 @@ let encode net =
         route_ids = Hashtbl.create 1024;
         routes_rev = [];
         n_routes = 0;
+        attr_ids = Hashtbl.create 1024;
+        attrs_rev = [];
+        n_attrs = 0;
       }
     in
     let b = e.buf in
@@ -567,8 +600,19 @@ let encode net =
     Buffer.add_string out magic;
     C.w16 out format_version;
     C.wstr out (fingerprint (Network.config net));
+    (* Block ids are assigned in route-id order, so the attribute table
+       is as canonical as the route table it backs. *)
+    let routes = List.rev e.routes_rev in
+    List.iter (fun r -> ignore (attr_id e (R.attrs r))) routes;
+    C.w32 out e.n_attrs;
+    List.iter (fun a -> C.wstr out (attrs_bytes a)) (List.rev e.attrs_rev);
     C.w32 out e.n_routes;
-    List.iter (fun r -> C.wstr out (route_bytes r)) (List.rev e.routes_rev);
+    List.iter
+      (fun r ->
+        C.w32 out (attr_id e (R.attrs r));
+        C.wint out (Netaddr.Prefix.to_key r.R.prefix);
+        C.wint out r.R.path_id)
+      routes;
     Buffer.add_string out body;
     let prefix = Buffer.contents out in
     let crc = Buffer.create 4 in
@@ -597,13 +641,23 @@ let decode net s =
     let expected = fingerprint (Network.config net) in
     if fp <> expected then
       C.bad "config fingerprint mismatch: snapshot %S, network %S" fp expected;
+    let n_attrs = C.r32 rd in
+    (* Each attribute entry costs at least its 4-byte length prefix, so
+       a count beyond the remaining input is a lying length field. *)
+    if n_attrs * 4 > n - C.pos rd then
+      C.bad "attribute table count %d exceeds remaining input" n_attrs;
+    let attrs_tbl = Array.init n_attrs (fun _ -> attrs_of_bytes (C.rstr rd)) in
     let n_routes = C.r32 rd in
-    (* Each route entry costs at least its 4-byte length prefix, so a
-       count beyond the remaining input is a lying length field. *)
     if n_routes * 4 > n - C.pos rd then
       C.bad "route table count %d exceeds remaining input" n_routes;
     let route_tbl =
-      Array.init n_routes (fun _ -> route_of_bytes (C.rstr rd))
+      Array.init n_routes (fun _ ->
+          let ai = C.r32 rd in
+          if ai >= n_attrs then
+            C.bad "attribute id %d out of table range %d" ai n_attrs;
+          let prefix = Netaddr.Prefix.of_key (C.rint rd) in
+          let path_id = C.rint rd in
+          R.of_attrs ~path_id ~prefix attrs_tbl.(ai))
     in
     let d = { rd; route_tbl } in
     let d_clock = C.rint rd in

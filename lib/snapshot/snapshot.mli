@@ -10,13 +10,20 @@
     File format (big-endian, see [Codec]):
     {v
     "ABRRSNAP" | u16 version | config fingerprint (length-prefixed)
-    | route table: u32 count, then each route as one RFC 4271 UPDATE
-      (via Bgp.Wire, add-paths) — routes elsewhere are u32 ids into
-      this table, deduplicating the heavy attribute payloads
+    | attribute table: u32 count, then each distinct interned block
+      encoded once, as the attribute section of a single-NLRI RFC 4271
+      UPDATE (via Bgp.Wire, add-paths)
+    | route table: u32 count, then each route as a small head —
+      u32 attribute id | prefix key | path id — mirroring the
+      in-memory head/block split; routes elsewhere are u32 ids into
+      this table
     | body: sim scalars, rng word, event queue, per-router state,
       optional trace-sink ring
     | u32 CRC-32 of everything above
     v}
+
+    Decoding rebuilds the physical sharing: every route head holding
+    attribute id [i] points at the same interned block.
 
     The encoding is {e canonical}: hash tables are dumped sorted by key
     and the route table is in first-use order of the (sorted) body, so

@@ -2,6 +2,7 @@ open Netaddr
 
 let mrt_type_bgp4mp_et = 17
 let subtype_message_as4 = 4
+let header_len = 12
 
 let w8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
 
@@ -36,45 +37,66 @@ let event_update (action : Trace_gen.action) =
   | Trace_gen.Withdraw { prefix; path_id; _ } ->
     { Bgp.Msg.withdrawn = [ { Bgp.Msg.prefix; path_id } ]; announced = [] }
 
+let encode_event buf ~local_as (ev : Trace_gen.event) =
+  let router, neighbor =
+    match ev.Trace_gen.action with
+    | Trace_gen.Announce { router; neighbor; _ }
+    | Trace_gen.Withdraw { router; neighbor; _ } -> (router, neighbor)
+  in
+  let peer_as =
+    match ev.Trace_gen.action with
+    | Trace_gen.Announce { route; _ } -> (
+      match Bgp.Route.neighbor_as route with
+      | Some a -> a
+      | None -> Bgp.Asn.of_int 0)
+    | Trace_gen.Withdraw _ -> Bgp.Asn.of_int 0
+  in
+  let msgs =
+    Bgp.Wire.encode ~add_paths:true
+      (Bgp.Msg.Update (event_update ev.Trace_gen.action))
+  in
+  List.iter
+    (fun payload ->
+      encode_record buf ~time:ev.Trace_gen.time ~local_as ~peer_as
+        ~peer_ip:neighbor
+        ~local_ip:(Abrr_core.Config.loopback router)
+        payload)
+    msgs
+
 let encode_events ~local_as events =
   let buf = Buffer.create 4096 in
-  List.iter
-    (fun (ev : Trace_gen.event) ->
-      let router, neighbor =
-        match ev.Trace_gen.action with
-        | Trace_gen.Announce { router; neighbor; _ }
-        | Trace_gen.Withdraw { router; neighbor; _ } -> (router, neighbor)
-      in
-      let peer_as =
-        match ev.Trace_gen.action with
-        | Trace_gen.Announce { route; _ } -> (
-          match Bgp.Route.neighbor_as route with
-          | Some a -> a
-          | None -> Bgp.Asn.of_int 0)
-        | Trace_gen.Withdraw _ -> Bgp.Asn.of_int 0
-      in
-      let msgs =
-        Bgp.Wire.encode ~add_paths:true
-          (Bgp.Msg.Update (event_update ev.Trace_gen.action))
-      in
-      List.iter
-        (fun payload ->
-          encode_record buf ~time:ev.Trace_gen.time ~local_as ~peer_as
-            ~peer_ip:neighbor
-            ~local_ip:(Abrr_core.Config.loopback router)
-            payload)
-        msgs)
-    events;
+  List.iter (encode_event buf ~local_as) events;
   Buffer.to_bytes buf
 
 exception Bad of string
 
-let decode_events data =
-  let total = Bytes.length data in
+(* --- Record-level decoding (shared by the in-memory and streaming
+   paths) --------------------------------------------------------------
+
+   One BGP4MP_ET record decodes to the events of its UPDATE, in wire
+   order (withdrawals before announcements — matching what
+   [encode_event] emits, one record per wire message). *)
+
+let decode_header data off =
+  let r8 i = Char.code (Bytes.get data (off + i)) in
+  let r16 i = (r8 i lsl 8) lor r8 (i + 1) in
+  let r32 i = (r16 i lsl 16) lor r16 (i + 2) in
+  let sec = r32 0 in
+  let typ = r16 4 in
+  let subtype = r16 6 in
+  let len = r32 8 in
+  if typ <> mrt_type_bgp4mp_et || subtype <> subtype_message_as4 then
+    raise (Bad (Printf.sprintf "unsupported record %d/%d" typ subtype));
+  (sec, len)
+
+(* [body] is the record payload (everything after the 12-byte MRT
+   header): the BGP4MP_ET preamble followed by exactly one BGP message. *)
+let decode_body ~sec body =
+  let total = Bytes.length body in
   let pos = ref 0 in
   let r8 () =
-    if !pos >= total then raise (Bad "truncated");
-    let v = Char.code (Bytes.get data !pos) in
+    if !pos >= total then raise (Bad "truncated record");
+    let v = Char.code (Bytes.get body !pos) in
     incr pos;
     v
   in
@@ -86,74 +108,145 @@ let decode_events data =
     let a = r16 () in
     (a lsl 16) lor r16 ()
   in
+  let usec = r32 () in
+  let _peer_as = r32 () in
+  let _local_as = r32 () in
+  let _ifindex = r16 () in
+  let afi = r16 () in
+  if afi <> 1 then raise (Bad "non-IPv4 AFI");
+  let peer_ip = Ipv4.of_int (r32 ()) in
+  let local_ip = Ipv4.of_int (r32 ()) in
+  let router = Ipv4.to_int local_ip - 0x0A00_0000 in
+  if router < 0 then raise (Bad "local IP is not a loopback");
+  let time = (sec * 1_000_000) + usec in
+  match Bgp.Wire.decode ~add_paths:true body ~pos:!pos with
+  | Error e -> raise (Bad (Format.asprintf "%a" Bgp.Wire.pp_error e))
+  | Ok (Bgp.Msg.Update u, next) ->
+    if next <> total then raise (Bad "record length mismatch");
+    List.map
+      (fun (w : Bgp.Msg.withdrawal) ->
+        {
+          Trace_gen.time;
+          action =
+            Trace_gen.Withdraw
+              {
+                router;
+                neighbor = peer_ip;
+                prefix = w.Bgp.Msg.prefix;
+                path_id = w.Bgp.Msg.path_id;
+              };
+        })
+      u.Bgp.Msg.withdrawn
+    @ List.map
+        (fun route ->
+          {
+            Trace_gen.time;
+            action = Trace_gen.Announce { router; neighbor = peer_ip; route };
+          })
+        u.Bgp.Msg.announced
+  | Ok (_, _) -> raise (Bad "expected UPDATE")
+
+let decode_events data =
+  let total = Bytes.length data in
   try
     let out = ref [] in
+    let pos = ref 0 in
     while !pos < total do
-      let sec = r32 () in
-      let typ = r16 () in
-      let subtype = r16 () in
-      let len = r32 () in
-      if typ <> mrt_type_bgp4mp_et || subtype <> subtype_message_as4 then
-        raise (Bad (Printf.sprintf "unsupported record %d/%d" typ subtype));
-      if !pos + len > total then raise (Bad "truncated record");
-      let record_end = !pos + len in
-      let usec = r32 () in
-      let _peer_as = r32 () in
-      let _local_as = r32 () in
-      let _ifindex = r16 () in
-      let afi = r16 () in
-      if afi <> 1 then raise (Bad "non-IPv4 AFI");
-      let peer_ip = Ipv4.of_int (r32 ()) in
-      let local_ip = Ipv4.of_int (r32 ()) in
-      let router = Ipv4.to_int local_ip - 0x0A00_0000 in
-      if router < 0 then raise (Bad "local IP is not a loopback");
-      let time = (sec * 1_000_000) + usec in
-      (match Bgp.Wire.decode ~add_paths:true data ~pos:!pos with
-      | Error e -> raise (Bad (Format.asprintf "%a" Bgp.Wire.pp_error e))
-      | Ok (Bgp.Msg.Update u, next) ->
-        if next <> record_end then raise (Bad "record length mismatch");
-        List.iter
-          (fun (w : Bgp.Msg.withdrawal) ->
-            out :=
-              {
-                Trace_gen.time;
-                action =
-                  Trace_gen.Withdraw
-                    {
-                      router;
-                      neighbor = peer_ip;
-                      prefix = w.Bgp.Msg.prefix;
-                      path_id = w.Bgp.Msg.path_id;
-                    };
-              }
-              :: !out)
-          u.Bgp.Msg.withdrawn;
-        List.iter
-          (fun route ->
-            out :=
-              {
-                Trace_gen.time;
-                action = Trace_gen.Announce { router; neighbor = peer_ip; route };
-              }
-              :: !out)
-          u.Bgp.Msg.announced
-      | Ok (_, _) -> raise (Bad "expected UPDATE"));
-      pos := record_end
+      if !pos + header_len > total then raise (Bad "truncated");
+      let sec, len = decode_header data !pos in
+      if !pos + header_len + len > total then raise (Bad "truncated record");
+      let body = Bytes.sub data (!pos + header_len) len in
+      List.iter (fun ev -> out := ev :: !out) (decode_body ~sec body);
+      pos := !pos + header_len + len
     done;
     Ok (List.rev !out)
   with Bad msg -> Error msg
+
+(* --- Streaming ------------------------------------------------------- *)
+
+type stream = {
+  ic : in_channel;
+  mutable pending : Trace_gen.event list;
+      (** decoded events of the current record not yet handed out *)
+  mutable failed : bool;
+}
+
+let open_stream path =
+  match open_in_bin path with
+  | ic -> Ok { ic; pending = []; failed = false }
+  | exception Sys_error msg -> Error msg
+
+let close_stream s = close_in_noerr s.ic
+
+(* Read the next record off the channel, or None at a clean EOF (the
+   channel exactly at a record boundary). Raises [Bad] on truncation
+   and malformed records. *)
+let read_record s =
+  match input_char s.ic with
+  | exception End_of_file -> None
+  | first ->
+    let header = Bytes.create header_len in
+    Bytes.set header 0 first;
+    (match really_input s.ic header 1 (header_len - 1) with
+    | exception End_of_file -> raise (Bad "truncated")
+    | () ->
+      let sec, len = decode_header header 0 in
+      let body = Bytes.create len in
+      (match really_input s.ic body 0 len with
+      | exception End_of_file -> raise (Bad "truncated record")
+      | () -> Some (decode_body ~sec body)))
+
+let rec next s =
+  match s.pending with
+  | ev :: rest ->
+    s.pending <- rest;
+    Ok (Some ev)
+  | [] ->
+    if s.failed then Error "stream already failed"
+    else begin
+      match read_record s with
+      | None -> Ok None
+      | Some [] -> next s (* empty UPDATE: no events, keep reading *)
+      | Some (ev :: rest) ->
+        s.pending <- rest;
+        Ok (Some ev)
+      | exception Bad msg ->
+        s.failed <- true;
+        Error msg
+    end
+
+let fold_file path ~init ~f =
+  match open_stream path with
+  | Error e -> Error e
+  | Ok s ->
+    Fun.protect
+      ~finally:(fun () -> close_stream s)
+      (fun () ->
+        let rec go acc =
+          match next s with
+          | Error e -> Error e
+          | Ok None -> Ok acc
+          | Ok (Some ev) -> go (f acc ev)
+        in
+        go init)
 
 let save path ~local_as events =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_bytes oc (encode_events ~local_as events))
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      List.iter
+        (fun ev ->
+          encode_event buf ~local_as ev;
+          (* bounded memory: flush per event, not per trace *)
+          if Buffer.length buf > 1 lsl 20 then begin
+            Buffer.output_buffer oc buf;
+            Buffer.clear buf
+          end)
+        events;
+      Buffer.output_buffer oc buf)
 
 let load path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      let data = really_input_string ic n in
-      decode_events (Bytes.of_string data))
+  Result.map List.rev
+    (fold_file path ~init:[] ~f:(fun acc ev -> ev :: acc))

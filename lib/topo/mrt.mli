@@ -3,7 +3,13 @@
     the format the paper's route regenerator consumes.
 
     Router identity round-trips through the record's local IP using the
-    loopback convention of {!Abrr_core.Config.loopback}. *)
+    loopback convention of {!Abrr_core.Config.loopback}.
+
+    Two reading modes share one record decoder: the in-memory
+    [decode_events]/[load] pair materialises the whole event list, and
+    the {!stream} interface hands out one event at a time reading one
+    record's bytes off the file per refill — a two-week paper-scale
+    trace replays in constant memory (SCALING.md). *)
 
 val encode_events : local_as:Bgp.Asn.t -> Trace_gen.event list -> bytes
 
@@ -12,4 +18,30 @@ val decode_events : bytes -> (Trace_gen.event list, string) result
     recovered with their timestamps, sessions and full attribute sets. *)
 
 val save : string -> local_as:Bgp.Asn.t -> Trace_gen.event list -> unit
+(** Write events to [path], flushing incrementally (the encoder never
+    buffers more than ~1 MiB). *)
+
 val load : string -> (Trace_gen.event list, string) result
+(** [fold_file] materialised into a list. *)
+
+(** {1 Streaming} *)
+
+type stream
+(** An open MRT file being read record-at-a-time. Not thread-safe. *)
+
+val open_stream : string -> (stream, string) result
+
+val next : stream -> (Trace_gen.event option, string) result
+(** The next event, [Ok None] at a clean end-of-file. Truncated or
+    malformed input yields [Error _], after which the stream stays
+    failed. A multi-event record (an UPDATE carrying several
+    withdrawals/NLRI) is handed out in wire order across successive
+    calls. *)
+
+val close_stream : stream -> unit
+
+val fold_file :
+  string -> init:'a -> f:('a -> Trace_gen.event -> 'a) -> ('a, string) result
+(** Fold [f] over every event of the file in record order without
+    materialising the event list. The file is closed on return and on
+    exceptions. *)

@@ -140,7 +140,7 @@ let generate (table : Route_gen.t) spec =
                   (gs.Route_gen.med_quantum
                   * Random.State.int rng gs.Route_gen.med_levels)
               in
-              let r = { r with Bgp.Route.med = med } in
+              let r = Bgp.Route.update ~med r in
               emit (base + jitter ())
                 (Announce
                    {
@@ -168,6 +168,74 @@ let schedule net events =
       in
       Abrr_core.Network.at_op net ev.time op)
     events
+
+let of_list events =
+  let rest = ref events in
+  fun () ->
+    match !rest with
+    | [] -> Ok None
+    | ev :: tl ->
+      rest := tl;
+      Ok (Some ev)
+
+let replay ?(chunk = 4096) net next =
+  if chunk <= 0 then invalid_arg "Trace_gen.replay: chunk must be positive";
+  let module N = Abrr_core.Network in
+  let sim = N.sim net in
+  let schedule_ev ev =
+    if ev.time < Eventsim.Sim.now sim then
+      Error
+        (Printf.sprintf "trace event at %d is before the clock (%d)" ev.time
+           (Eventsim.Sim.now sim))
+    else begin
+      let op =
+        match ev.action with
+        | Announce { router; neighbor; route } ->
+          N.Inject { router; neighbor; route }
+        | Withdraw { router; neighbor; prefix; path_id } ->
+          N.Withdraw { router; neighbor; prefix; path_id }
+      in
+      N.at_op net ev.time op;
+      Ok ()
+    end
+  in
+  (* One event of lookahead: after reifying a chunk, the clock only
+     advances to strictly before the first event *not* yet scheduled,
+     so every trace event enters the queue before simulated time
+     reaches it — the same (time, insertion) ordering a fully
+     pre-scheduled run gives it. *)
+  let look = ref None in
+  let pull () =
+    match !look with
+    | Some _ as l ->
+      look := None;
+      Ok l
+    | None -> next ()
+  in
+  let rec go () =
+    let rec fill n =
+      if n = 0 then Ok `More
+      else
+        match pull () with
+        | Error e -> Error e
+        | Ok None -> Ok `Eof
+        | Ok (Some ev) -> (
+          match schedule_ev ev with Error e -> Error e | Ok () -> fill (n - 1))
+    in
+    match fill chunk with
+    | Error e -> Error e
+    | Ok `Eof -> Ok (N.run net)
+    | Ok `More -> (
+      match next () with
+      | Error e -> Error e
+      | Ok None -> Ok (N.run net)
+      | Ok (Some ev) -> (
+        look := Some ev;
+        match N.run ~until:(ev.time - 1) net with
+        | Eventsim.Sim.Quiescent | Eventsim.Sim.Deadline -> go ()
+        | o -> Ok o))
+  in
+  go ()
 
 let action_count events =
   List.fold_left

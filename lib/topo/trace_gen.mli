@@ -45,7 +45,36 @@ val generate : Route_gen.t -> spec -> event list
     (a flap withdraws exactly what was announced, then restores it). *)
 
 val schedule : Abrr_core.Network.t -> event list -> unit
-(** Register every event with the network's simulator. *)
+(** Register every event with the network's simulator upfront. The
+    queue then holds the whole trace — fine for test-scale runs; the
+    paper-scale path is {!replay}. *)
+
+val of_list : event list -> unit -> (event option, string) result
+(** A pull producer over a materialised list, for feeding {!replay}
+    (tests, small traces). *)
+
+val replay :
+  ?chunk:int ->
+  Abrr_core.Network.t ->
+  (unit -> (event option, string) result) ->
+  (Eventsim.Sim.outcome, string) result
+(** Stream a time-sorted trace through the simulator: pull [chunk]
+    events at a time from the producer (e.g. {!Mrt.next} on an open
+    stream), reify them, and advance the clock to just before the first
+    event not yet pulled — so the pending queue holds O([chunk]) trace
+    events instead of the whole trace, and every trace event still
+    enters the queue before simulated time reaches it. Runs to
+    quiescence after the producer is exhausted. Default [chunk] 4096.
+
+    [Error _] when the producer fails or yields an event earlier than
+    the simulated clock (not time-sorted).
+
+    Outcome-identical to {!schedule} + [Network.run] unless a trace
+    event shares its exact microsecond timestamp with an unrelated
+    already-scheduled simulator event (the tie then breaks by insertion
+    order, which streaming alters) — measure-zero under jittered
+    traces, and the equivalence test checks digests are in fact equal.
+    @raise Invalid_argument if [chunk <= 0]. *)
 
 val action_count : event list -> int * int
 (** (announcements, withdrawals). *)

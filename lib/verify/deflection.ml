@@ -24,7 +24,7 @@ let best_at (config : Config.t) ~dist ~own ~ibgp r =
             Some
               (D.candidate ~learned:D.Ibgp ~peer_id:(Config.loopback peer)
                  ~igp_cost:
-                   (match Config.router_of_loopback config route.Route.next_hop with
+                   (match Config.router_of_loopback config (Route.next_hop route) with
                    | Some o -> dist.(r).(o)
                    | None -> 0)
                  route))
@@ -33,7 +33,7 @@ let best_at (config : Config.t) ~dist ~own ~ibgp r =
   D.best ~med_mode:config.med_mode cands
 
 let exit_of (config : Config.t) r (route : Route.t) =
-  match Config.router_of_loopback config route.Route.next_hop with
+  match Config.router_of_loopback config (Route.next_hop route) with
   | Some o -> o
   | None -> r
 
@@ -70,7 +70,7 @@ let abrr_exits (config : Config.t) ~dist ~prefix injections =
     |> List.filter_map (fun (c : D.candidate) ->
            Option.map
              (fun o -> (o, c.D.route))
-             (Config.router_of_loopback config c.D.route.Route.next_hop))
+             (Config.router_of_loopback config (Route.next_hop c.D.route)))
   in
   exits_from_ibgp config ~dist ~prefix injections (fun _ -> reflected)
 

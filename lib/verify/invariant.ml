@@ -40,7 +40,7 @@ let check_prefix ~spec router i p =
       i (Prefix.to_string p) (pp_route stored) (pp_route fresh);
   (* Best-route loop hygiene: never our own reflected route. *)
   (match stored with
-  | Some b when b.R.originator_id = Some (Router.loopback router) ->
+  | Some b when R.originator_id b = Some (Router.loopback router) ->
     violation "r%d %s: best route has ourselves as ORIGINATOR_ID" i
       (Prefix.to_string p)
   | _ -> ());
@@ -63,10 +63,10 @@ let check_prefix ~spec router i p =
               violation "r%d %s: reflected route lacks the reflected bit" i
                 (Prefix.to_string p)
           | Config.Cluster_list ->
-            if route.R.cluster_list = [] then
+            if R.cluster_list route = [] then
               violation "r%d %s: reflected route has an empty CLUSTER_LIST" i
                 (Prefix.to_string p));
-          if route.R.originator_id = None then
+          if R.originator_id route = None then
             violation "r%d %s: reflected route lacks an ORIGINATOR_ID" i
               (Prefix.to_string p))
         set;

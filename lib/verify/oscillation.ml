@@ -16,13 +16,8 @@ let prefixes injections =
     (List.map (fun (_, _, (r : Route.t)) -> r.Route.prefix) injections)
 
 let normalize ~border (r : Route.t) =
-  {
-    r with
-    Route.next_hop = Config.loopback border;
-    path_id = 0;
-    originator_id = None;
-    cluster_list = [];
-  }
+  Route.update ~next_hop:(Config.loopback border) ~path_id:0
+    ~originator_id:None ~cluster_list:[] r
 
 let own_candidates ~prefix injections r =
   List.filter_map
@@ -57,7 +52,7 @@ let make_mesh ?med_mode (config : Config.t) (s : Config.tbrr_spec) ~prefix
   in
   let dist = Array.map (fun r -> Igp.Spf.distances config.igp ~src:r) trrs in
   let owner_cost i (route : Route.t) =
-    match Config.router_of_loopback config route.Route.next_hop with
+    match Config.router_of_loopback config (Route.next_hop route) with
     | Some o -> dist.(i).(o)
     | None -> 0
   in

@@ -44,7 +44,7 @@ type ctx = {
 }
 
 let owner_of ctx (route : R.t) =
-  Config.router_of_loopback ctx.cfg route.R.next_hop
+  Config.router_of_loopback ctx.cfg (R.next_hop route)
 
 (* Step-6 cost exactly as the simulator resolves it: IGP metric from [src]
    to the owner of the NEXT_HOP, 0 for unresolvable (external) hops. *)
@@ -59,33 +59,30 @@ let icand ctx r ~src route =
 (* Route derivation — mirrors lib/core/router.ml verbatim.              *)
 
 let strip_reflection (r : R.t) =
-  {
-    r with
-    R.originator_id = None;
-    cluster_list = [];
-    ext_communities =
-      List.filter
-        (fun e -> not (Bgp.Ext_community.is_reflected e))
-        r.R.ext_communities;
-  }
+  R.update ~originator_id:None ~cluster_list:[]
+    ~ext_communities:
+      (List.filter
+         (fun e -> not (Bgp.Ext_community.is_reflected e))
+         (R.ext_communities r))
+    r
 
-let class_of (route : R.t) = { (strip_reflection route) with R.path_id = 0 }
-let derive_own i (r : R.t) = { (strip_reflection r) with R.next_hop = lb i; path_id = 0 }
+let class_of (route : R.t) = R.with_path_id 0 (strip_reflection route)
+let derive_own i (r : R.t) = R.update ~next_hop:(lb i) ~path_id:0 (strip_reflection r)
 
 let derive_trr_reflect ctx i src (r : R.t) =
   let originator =
-    match r.R.originator_id with Some o -> o | None -> lb src
+    match (R.originator_id r) with Some o -> o | None -> lb src
   in
   let cluster =
     match ctx.roles.(i).Router.my_cluster_ids with c :: _ -> c | [] -> lb i
   in
-  R.add_cluster cluster { r with R.originator_id = Some originator; path_id = 0 }
+  R.add_cluster cluster (R.update ~originator_id:(Some originator) ~path_id:0 r)
 
 let derive_arr_reflect ctx i src (r : R.t) =
   let originator =
-    match r.R.originator_id with Some o -> o | None -> lb src
+    match (R.originator_id r) with Some o -> o | None -> lb src
   in
-  let r = { r with R.originator_id = Some originator } in
+  let r = R.update ~originator_id:(Some originator) r in
   match ctx.roles.(i).Router.abrr_loop with
   | Config.Reflected_bit -> R.mark_reflected r
   | Config.Cluster_list -> R.add_cluster (lb i) r
@@ -97,18 +94,18 @@ let mesh_ok ctx i (r : R.t) =
      (List.exists
         (fun c -> R.in_cluster_list c r)
         ctx.roles.(i).Router.my_cluster_ids))
-  && r.R.originator_id <> Some (lb i)
+  && (R.originator_id r) <> Some (lb i)
 
-let reflected_ok i (r : R.t) = r.R.originator_id <> Some (lb i)
+let reflected_ok i (r : R.t) = (R.originator_id r) <> Some (lb i)
 
 let to_arr_ok ctx i (r : R.t) =
   match ctx.roles.(i).Router.abrr_loop with
   | Config.Reflected_bit -> not (R.is_reflected r)
-  | Config.Cluster_list -> r.R.cluster_list = []
+  | Config.Cluster_list -> R.cluster_list r = []
 
 let confed_ok ctx i (r : R.t) =
   match ctx.roles.(i).Router.my_member_asn with
-  | Some asn -> not (As_path.confed_contains asn r.R.as_path)
+  | Some asn -> not (As_path.confed_contains asn (R.as_path r))
   | None -> true
 
 (* ------------------------------------------------------------------ *)
@@ -462,11 +459,8 @@ let eval ctx pctx nodes r =
               | Some src when src <> client ->
                 nd.rcp_out.(client) <-
                   Some
-                    {
-                      c.D.route with
-                      R.path_id = 0;
-                      originator_id = Some (lb src);
-                    }
+                    (R.update ~path_id:0 ~originator_id:(Some (lb src))
+                       c.D.route)
               | _ -> ())
             | None -> ()
           end)
@@ -519,10 +513,9 @@ let eval ctx pctx nodes r =
         let base = derive_base c in
         nd.adv_confed <-
           Some
-            ( {
-                base with
-                R.as_path = As_path.prepend_confed my_asn base.R.as_path;
-              },
+            ( R.update
+                ~as_path:(As_path.prepend_confed my_asn (R.as_path base))
+                base,
               src )
       | None -> ())
     | Config.Dual _ -> ());

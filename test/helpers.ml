@@ -56,7 +56,7 @@ let single_ap_abrr ?(arrs = [ 0 ]) ?med_mode ?(n = 6) () =
 
 (* With next-hop-self, the injecting border router of an iBGP route. *)
 let owner_of_route (r : Bgp.Route.t) =
-  Ipv4.to_int r.Bgp.Route.next_hop - 0x0A00_0000
+  Ipv4.to_int (Bgp.Route.next_hop r) - 0x0A00_0000
 
 let exits net prefix =
   List.init (N.router_count net) (fun i -> N.best_exit net ~router:i prefix)
@@ -68,7 +68,7 @@ let same_choices neta netb prefix =
     if i >= n then true
     else
       let nh x =
-        Option.map (fun (r : Bgp.Route.t) -> r.Bgp.Route.next_hop) (N.best x ~router:i prefix)
+        Option.map (fun (r : Bgp.Route.t) -> (Bgp.Route.next_hop r)) (N.best x ~router:i prefix)
       in
       nh neta = nh netb && go (i + 1)
   in

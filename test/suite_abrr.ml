@@ -162,7 +162,7 @@ let test_client_advert_strips_marker () =
   match R.advertised_route (N.router net 2) prefix with
   | Some r ->
     check_bool "not marked" false (Bgp.Route.is_reflected r);
-    check_bool "no cluster list" true (r.Bgp.Route.cluster_list = [])
+    check_bool "no cluster list" true (Bgp.Route.cluster_list r = [])
   | None -> Alcotest.fail "injector should advertise"
 
 let test_ebgp_route_replacement () =
@@ -172,7 +172,7 @@ let test_ebgp_route_replacement () =
   inject net ~router:2 (route ~med:3 ~prefix 2);
   quiesce net;
   (match N.best net ~router:4 prefix with
-  | Some r -> check_bool "new med" true (r.Bgp.Route.med = Some 3)
+  | Some r -> check_bool "new med" true (Bgp.Route.med r = Some 3)
   | None -> Alcotest.fail "no route");
   check_bool "still one set entry" true
     (List.length (R.reflector_set (N.router net 0) prefix) = 1)

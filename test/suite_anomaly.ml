@@ -36,7 +36,7 @@ let test_med_abrr_matches_full_mesh () =
   (* clients (2,3,4 are border routers) agree with full mesh *)
   List.iter
     (fun i ->
-      let nh net = Option.map (fun (r : Bgp.Route.t) -> r.Bgp.Route.next_hop)
+      let nh net = Option.map (fun (r : Bgp.Route.t) -> (Bgp.Route.next_hop r))
           (N.best net ~router:i g_fm.G.prefix) in
       check_bool (Printf.sprintf "router %d" i) true (nh fm = nh ab))
     [ 2; 3; 4 ]

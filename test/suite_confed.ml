@@ -39,15 +39,15 @@ let test_confed_segments_accumulate () =
   (match N.best net ~router:7 prefix with
   | Some r ->
     check_bool "crossed sub-AS 1" true
-      (Bgp.As_path.confed_contains (C.member_asn 1) r.Bgp.Route.as_path);
+      (Bgp.As_path.confed_contains (C.member_asn 1) (Bgp.Route.as_path r));
     (* confed segments are invisible to path length *)
-    check_int "length unchanged" 2 (Bgp.As_path.length r.Bgp.Route.as_path)
+    check_int "length unchanged" 2 (Bgp.As_path.length (Bgp.Route.as_path r))
   | None -> Alcotest.fail "no route at r7");
   (* inside the originating sub-AS the path carries no confed segments *)
   match N.best net ~router:3 prefix with
   | Some r ->
     check_bool "clean inside" false
-      (Bgp.As_path.confed_contains (C.member_asn 1) r.Bgp.Route.as_path)
+      (Bgp.As_path.confed_contains (C.member_asn 1) (Bgp.Route.as_path r))
   | None -> Alcotest.fail "no route at r3"
 
 let test_withdraw_propagates () =
@@ -69,7 +69,7 @@ let test_confed_length_does_not_penalize () =
      doesn't discriminate; r4 sees both via confed links; both have equal
      AS-level length despite confed hops *)
   match N.best net ~router:4 prefix with
-  | Some r -> check_int "tie on length" 2 (Bgp.As_path.length r.Bgp.Route.as_path)
+  | Some r -> check_int "tie on length" 2 (Bgp.As_path.length (Bgp.Route.as_path r))
   | None -> Alcotest.fail "no route"
 
 let test_loop_detection () =

@@ -79,8 +79,8 @@ let test_router_id () =
   check_bool "low router id wins" true (winner [ b; a ] == a)
 
 let test_originator_overrides_router_id () =
-  let ra = { (mk ~nhop:1 ()) with Route.originator_id = Some (nh 9) } in
-  let rb = { (mk ~nhop:2 ()) with Route.originator_id = Some (nh 3) } in
+  let ra = Route.update ~originator_id:(Some (nh 9)) (mk ~nhop:1 ()) in
+  let rb = Route.update ~originator_id:(Some (nh 3)) (mk ~nhop:2 ()) in
   let a = cand ~peer:1 ~igp:5 ra in
   let b = cand ~peer:2 ~igp:5 rb in
   (* b's originator (3) beats a's (9) even though peer 1 < peer 2 *)
@@ -116,7 +116,7 @@ let test_rank_total () =
   let ranked = Decision.rank ~med_mode:Decision.Per_neighbor_as cands in
   check_int "all ranked" 3 (List.length ranked);
   check_bool "shortest path first" true
-    (As_path.length (List.hd ranked).Decision.route.Route.as_path = 1)
+    (As_path.length (Route.as_path (List.hd ranked).Decision.route) = 1)
 
 let prop_best_is_rank_head =
   QCheck.Test.make ~name:"best = head of rank" ~count:100
@@ -232,9 +232,7 @@ let gen_rich_candidate =
       ~as_path:(As_path.of_segments segs)
       ~prefix ~next_hop:(nh peer) ()
   in
-  let route =
-    { route with Route.originator_id = Option.map nh orig_id }
-  in
+  let route = Route.update ~originator_id:(Option.map nh orig_id) route in
   return
     (cand
        ~learned:(if ebgp then Decision.Ebgp else Decision.Ibgp)

@@ -108,7 +108,7 @@ let rcp_equivalent seed =
           i = node
           ||
           let nh net =
-            Option.map (fun (r : Bgp.Route.t) -> r.Bgp.Route.next_hop) (N.best net ~router:i p)
+            Option.map (fun (r : Bgp.Route.t) -> (Bgp.Route.next_hop r)) (N.best net ~router:i p)
           in
           (* the RCP node injects nothing, so full-mesh routes whose only
              exit is the RCP node itself disappear under RCP *)

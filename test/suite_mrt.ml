@@ -108,6 +108,110 @@ let test_timestamps_microseconds () =
   | Ok [ ev' ] -> check_int "usec preserved" 1_234_567 ev'.TG.time
   | _ -> Alcotest.fail "roundtrip"
 
+(* --- Streaming reader -------------------------------------------------
+   The record-at-a-time stream must hand out exactly the event sequence
+   the in-memory decoder produces, and corruption must surface as a
+   sticky [Error] rather than an exception or silent truncation. *)
+
+let with_file bytes f =
+  let path = Filename.temp_file "abrr_stream" ".mrt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_bytes oc bytes;
+      close_out oc;
+      f path)
+
+let drain path =
+  (* pull the stream dry by hand, returning events up to EOF or error *)
+  match Topo.Mrt.open_stream path with
+  | Error e -> Error e
+  | Ok stream ->
+    Fun.protect
+      ~finally:(fun () -> Topo.Mrt.close_stream stream)
+      (fun () ->
+        let rec go acc =
+          match Topo.Mrt.next stream with
+          | Ok (Some ev) -> go (ev :: acc)
+          | Ok None -> Ok (List.rev acc)
+          | Error e ->
+            (* failure must be sticky *)
+            check_bool "stream stays failed" true
+              (Result.is_error (Topo.Mrt.next stream));
+            Error e
+        in
+        go [])
+
+let test_stream_matches_decode () =
+  let encoded = Topo.Mrt.encode_events ~local_as events in
+  with_file encoded (fun path ->
+      let streamed =
+        match drain path with
+        | Ok evs -> evs
+        | Error e -> Alcotest.failf "stream failed: %s" e
+      in
+      let materialised =
+        match Topo.Mrt.decode_events encoded with
+        | Ok evs -> evs
+        | Error e -> Alcotest.failf "decode failed: %s" e
+      in
+      check_int "same count" (List.length materialised) (List.length streamed);
+      List.iter2
+        (fun a b -> check_bool "same event" true (same_event a b))
+        materialised streamed;
+      (* fold_file sees the identical sequence *)
+      match Topo.Mrt.fold_file path ~init:0 ~f:(fun n _ -> n + 1) with
+      | Ok n -> check_int "fold_file count" (List.length materialised) n
+      | Error e -> Alcotest.failf "fold_file failed: %s" e)
+
+let test_stream_empty_file () =
+  with_file Bytes.empty (fun path ->
+      check_bool "empty stream" true (drain path = Ok []);
+      check_bool "empty fold" true
+        (Topo.Mrt.fold_file path ~init:0 ~f:(fun n _ -> n + 1) = Ok 0))
+
+let test_stream_corruption () =
+  let encoded = Topo.Mrt.encode_events ~local_as events in
+  let streamed_err bytes = Result.is_error (with_file bytes drain) in
+  (* truncation mid-header: cut inside the trailing record's 12-byte header *)
+  check_bool "truncated mid-header" true
+    (streamed_err (Bytes.sub encoded 0 (Bytes.length encoded - 3)));
+  (* truncation mid-body: the last record loses its final bytes only if
+     the cut is deeper than the header; chop 20 bytes *)
+  check_bool "truncated mid-body" true
+    (streamed_err (Bytes.sub encoded 0 (Bytes.length encoded - 20)));
+  (* garbled record type *)
+  let garbled = Bytes.copy encoded in
+  Bytes.set garbled 5 '\xEE';
+  check_bool "bad type" true (streamed_err garbled);
+  (* length field lying large: reader hits EOF inside the claimed body *)
+  let lying = Bytes.copy encoded in
+  Bytes.set lying 8 '\xFF';
+  check_bool "lying length" true (streamed_err lying);
+  (* garbage in the first record's attribute bytes *)
+  let garbage = Bytes.copy encoded in
+  Bytes.set garbage 40 '\xC3';
+  Bytes.set garbage 41 '\x99';
+  check_bool "garbage attributes" true (streamed_err garbage);
+  (* a valid prefix of whole records still streams cleanly: events before
+     a deep truncation are delivered before the error *)
+  match with_file (Bytes.sub encoded 0 (Bytes.length encoded - 3)) (fun path ->
+      match Topo.Mrt.open_stream path with
+      | Error e -> Alcotest.failf "open failed: %s" e
+      | Ok stream ->
+        Fun.protect
+          ~finally:(fun () -> Topo.Mrt.close_stream stream)
+          (fun () ->
+            let rec count n =
+              match Topo.Mrt.next stream with
+              | Ok (Some _) -> count (n + 1)
+              | Ok None | Error _ -> n
+            in
+            count 0))
+  with
+  | n -> check_bool "prefix events delivered" true (n > 0)
+
 let suite =
   ( "mrt",
     [
@@ -117,4 +221,7 @@ let suite =
       Alcotest.test_case "corruption rejected" `Quick test_corrupt_rejected;
       Alcotest.test_case "corruption never raises" `Quick test_corrupt_never_raises;
       Alcotest.test_case "microsecond timestamps" `Quick test_timestamps_microseconds;
+      Alcotest.test_case "stream matches decode" `Quick test_stream_matches_decode;
+      Alcotest.test_case "stream empty file" `Quick test_stream_empty_file;
+      Alcotest.test_case "stream corruption" `Quick test_stream_corruption;
     ] )

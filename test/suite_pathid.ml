@@ -18,7 +18,7 @@ let test_stability () =
   let t = Path_id.create () in
   let first, _ = Path_id.assign t prefix [ mk 1; mk 2 ] in
   let id_of k rs =
-    (List.find (fun (r : Bgp.Route.t) -> Ipv4.equal r.Bgp.Route.next_hop (nh k)) rs)
+    (List.find (fun (r : Bgp.Route.t) -> Ipv4.equal (Bgp.Route.next_hop r) (nh k)) rs)
       .Bgp.Route.path_id
   in
   (* re-assign with one route replaced: the surviving route keeps its id *)

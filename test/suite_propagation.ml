@@ -72,16 +72,12 @@ let schemes scenario seed =
    reflection attributes stripped (NEXT_HOP stays — the egress
    identity). *)
 let classify (r : R.t) =
-  {
-    r with
-    R.path_id = 0;
-    originator_id = None;
-    cluster_list = [];
-    ext_communities =
-      List.filter
-        (fun e -> not (Bgp.Ext_community.is_reflected e))
-        r.R.ext_communities;
-  }
+  R.update ~path_id:0 ~originator_id:None ~cluster_list:[]
+    ~ext_communities:
+      (List.filter
+         (fun e -> not (Bgp.Ext_community.is_reflected e))
+         (R.ext_communities r))
+    r
 
 let sort_classes rs = List.sort_uniq R.compare (List.map classify rs)
 
@@ -150,7 +146,7 @@ let agrees_under scenario scheme =
                   List.filter_map
                     (fun (router, _, (rt : R.t)) ->
                       if router = r && Netaddr.Prefix.compare rt.R.prefix p = 0
-                      then Some { rt with R.next_hop = C.loopback r }
+                      then Some (R.update ~next_hop:(C.loopback r) rt)
                       else None)
                     scenario.injections
                 in

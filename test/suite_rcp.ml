@@ -62,7 +62,7 @@ let test_matches_full_mesh () =
   (* data-plane routers choose identically (the RCP node itself holds
      no route, so compare clients only) *)
   for i = 1 to 5 do
-    let nh net = Option.map (fun (r : Bgp.Route.t) -> r.Bgp.Route.next_hop) (N.best net ~router:i prefix) in
+    let nh net = Option.map (fun (r : Bgp.Route.t) -> (Bgp.Route.next_hop r)) (N.best net ~router:i prefix) in
     check_bool (Printf.sprintf "r%d" i) true (nh fm = nh rc)
   done
 

@@ -49,8 +49,8 @@ let test_reflection_attributes () =
   List.iter
     (fun (r : Bgp.Route.t) ->
       check_bool "originator set" true
-        (r.Bgp.Route.originator_id = Some (C.loopback 4));
-      check_bool "cluster list nonempty" true (r.Bgp.Route.cluster_list <> []))
+        (Bgp.Route.originator_id r = Some (C.loopback 4));
+      check_bool "cluster list nonempty" true ((Bgp.Route.cluster_list r) <> []))
     stored
 
 let test_not_returned_to_sender () =

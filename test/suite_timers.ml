@@ -28,7 +28,7 @@ let test_mrai_coalesces () =
      long expired); the four follow-ups coalesce into one flush *)
   check_int "coalesced transmissions" 2 (tx_after - tx_before);
   (match N.best net ~router:1 prefix with
-  | Some r -> check_bool "final state wins" true (r.Bgp.Route.med = Some 5)
+  | Some r -> check_bool "final state wins" true (Bgp.Route.med r = Some 5)
   | None -> Alcotest.fail "no route");
   (* and the change was not delivered before the timer allowed it *)
   check_bool "held by timer" true (N.last_change net >= Time.sec 15)

@@ -106,6 +106,81 @@ let test_schedule_and_run () =
   let a, w = TG.action_count events in
   check_int "actions" (List.length events) (a + w)
 
+(* --- Streaming replay equivalence -------------------------------------
+   replay (constant-memory, chunked) must leave the network in exactly
+   the state schedule + run leaves it in — checked with Snapshot.digest,
+   which covers every RIB, session, timer and counter. *)
+
+let fresh_net () =
+  let scheme = T.abrr_scheme ~aps:2 ~arrs_per_ap:1 topo in
+  let cfg = T.config ~med_mode:Bgp.Decision.Always_compare ~scheme topo in
+  let net = Abrr_core.Network.create cfg in
+  RG.inject_all table net;
+  Helpers.quiesce ~max_events:2_000_000 net;
+  net
+
+let digest net =
+  match Snapshot.digest net with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "digest failed: %s" e
+
+let test_replay_equals_schedule () =
+  let reference = fresh_net () in
+  TG.schedule reference events;
+  Helpers.quiesce ~max_events:5_000_000 reference;
+  let ref_digest = digest reference in
+  (* replay from a materialised list, with a chunk small enough to force
+     many refills *)
+  let streamed = fresh_net () in
+  (match TG.replay ~chunk:7 streamed (TG.of_list events) with
+  | Ok Eventsim.Sim.Quiescent -> ()
+  | Ok o -> Alcotest.failf "replay outcome %a" Eventsim.Sim.pp_outcome o
+  | Error e -> Alcotest.failf "replay failed: %s" e);
+  check_bool "of_list replay = schedule" true (digest streamed = ref_digest);
+  (* replay off an MRT file stream: disk round-trip included *)
+  let path = Filename.temp_file "abrr_replay" ".mrt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Topo.Mrt.save path ~local_as:(Bgp.Asn.of_int 65000) events;
+      let from_file = fresh_net () in
+      match Topo.Mrt.open_stream path with
+      | Error e -> Alcotest.failf "open failed: %s" e
+      | Ok stream ->
+        Fun.protect
+          ~finally:(fun () -> Topo.Mrt.close_stream stream)
+          (fun () ->
+            match TG.replay ~chunk:32 from_file (fun () -> Topo.Mrt.next stream) with
+            | Ok Eventsim.Sim.Quiescent ->
+              check_bool "MRT-stream replay = schedule" true
+                (digest from_file = ref_digest)
+            | Ok o -> Alcotest.failf "replay outcome %a" Eventsim.Sim.pp_outcome o
+            | Error e -> Alcotest.failf "replay failed: %s" e))
+
+let test_replay_rejects_unsorted () =
+  let net = fresh_net () in
+  match events with
+  | first :: second :: _ ->
+    (* deliver them out of order: later event first *)
+    let unsorted = TG.of_list [ second; { first with TG.time = second.TG.time + 5 };
+                                first ] in
+    check_bool "unsorted rejected" true
+      (Result.is_error (TG.replay ~chunk:1 net unsorted))
+  | _ -> Alcotest.fail "trace too short"
+
+let test_replay_bad_chunk () =
+  let net = fresh_net () in
+  Alcotest.check_raises "chunk 0"
+    (Invalid_argument "Trace_gen.replay: chunk must be positive") (fun () ->
+      ignore (TG.replay ~chunk:0 net (TG.of_list [])))
+
+let test_replay_empty () =
+  let net = fresh_net () in
+  match TG.replay net (TG.of_list []) with
+  | Ok Eventsim.Sim.Quiescent -> ()
+  | Ok o -> Alcotest.failf "outcome %a" Eventsim.Sim.pp_outcome o
+  | Error e -> Alcotest.failf "failed: %s" e
+
 let suite =
   ( "trace-gen",
     [
@@ -117,4 +192,10 @@ let suite =
       Alcotest.test_case "zipf concentration" `Quick test_zipf_concentration;
       Alcotest.test_case "empty trace" `Quick test_empty_when_no_events;
       Alcotest.test_case "schedule and run" `Slow test_schedule_and_run;
+      Alcotest.test_case "replay = schedule (digest)" `Slow
+        test_replay_equals_schedule;
+      Alcotest.test_case "replay rejects unsorted" `Quick
+        test_replay_rejects_unsorted;
+      Alcotest.test_case "replay bad chunk" `Quick test_replay_bad_chunk;
+      Alcotest.test_case "replay empty" `Quick test_replay_empty;
     ] )
