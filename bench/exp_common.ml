@@ -27,12 +27,22 @@ let tier1_trace table scale =
     (TG.spec ~events:scale.trace_events ~duration:(Eventsim.Time.days 14)
        ~jitter:(Eventsim.Time.ms 80) ~single_point_share:0.35 ~flap_share:0.45 ())
 
+(* --decision naive disables the incremental engine in every experiment
+   this binary runs (bench/main.ml); the gated record contents must be
+   byte-identical either way — that identity is CI-checked on the
+   deterministic profile. *)
+let decision_mode = ref Abrr_core.Config.Incremental
+
 (* The paper's testbed avoids MED oscillation by configuration
    (footnote 1); we model that with always-compare MED. *)
 let config topo scheme =
-  T.config ~med_mode:Bgp.Decision.Always_compare
-    ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
-    ~scheme topo
+  {
+    (T.config ~med_mode:Bgp.Decision.Always_compare
+       ~proc_delay:(Eventsim.Time.ms 150) ~proc_jitter:(Eventsim.Time.ms 400)
+       ~scheme topo)
+    with
+    Abrr_core.Config.decision = !decision_mode;
+  }
 
 (* {2 JSON emission (OBSERVABILITY.md)}
 

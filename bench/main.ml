@@ -9,6 +9,11 @@
    domains (gated record contents are byte-identical to `--jobs 1`;
    only the ungated wall-clock fields differ).
 
+   `--decision naive` disables the incremental decision engine in every
+   experiment (full recomputation per dirty prefix — the differential
+   oracle); gated record contents are byte-identical to the default
+   incremental engine, which CI proves on the deterministic profile.
+
    Long runs can be segmented (see DESIGN.md, "Checkpoint/restore"):
    `--checkpoint-every N` pauses every simulation-backed run each N
    trace events and writes a per-label segment snapshot into
@@ -115,6 +120,17 @@ let rec parse_flags = function
     parse_flags rest
   | [ "--out" ] ->
     prerr_endline "--out requires a directory argument";
+    exit 1
+  | "--decision" :: mode :: rest ->
+    (match mode with
+    | "incremental" -> Exp_common.decision_mode := Abrr_core.Config.Incremental
+    | "naive" -> Exp_common.decision_mode := Abrr_core.Config.Naive
+    | _ ->
+      Printf.eprintf "--decision %s: expected incremental or naive\n" mode;
+      exit 1);
+    parse_flags rest
+  | [ "--decision" ] ->
+    prerr_endline "--decision requires a mode argument (incremental|naive)";
     exit 1
   | "--scale-trace" :: path :: rest ->
     Exp_scale.trace_path := path;

@@ -52,6 +52,64 @@ let bench_bal_naive =
            (Bgp.Decision.Naive.steps_1_to_4
               ~med_mode:Bgp.Decision.Per_neighbor_as cands16)))
 
+(* The three incremental-decision fast paths (DESIGN.md, "Incremental
+   decision"), benchmarked against the full kernel rows above: what a
+   batched router pays instead of decision.best when churn is provably
+   irrelevant. *)
+
+let inc_incumbent =
+  (* lp 200 beats every generated candidate (lp 100) at step 1 *)
+  Bgp.Route.make ~local_pref:200
+    ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int 3001 ])
+    ~prefix:(prefix_of 1)
+    ~next_hop:(Ipv4.of_int 0x0A00_0001)
+    ()
+
+let inc_challenger = (List.nth cands16 7).Bgp.Decision.route
+
+let bench_delta_reject =
+  Test.make ~name:"decision.intrinsic_loses arrival reject (step 1)"
+    (Staged.stage (fun () ->
+         ignore
+           (Bgp.Decision.intrinsic_loses
+              ~med_mode:Bgp.Decision.Per_neighbor_as ~incumbent:inc_incumbent
+              inc_challenger)))
+
+let wd_incumbent =
+  (* ties the withdrawn route on lp, wins on AS-path length: the strict
+     loss lands one comparison deeper than the arrival-reject row *)
+  Bgp.Route.make
+    ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int 3001 ])
+    ~prefix:(prefix_of 1)
+    ~next_hop:(Ipv4.of_int 0x0A00_0001)
+    ()
+
+let bench_withdraw_skip =
+  Test.make ~name:"decision.intrinsic_loses withdraw skip (step 2)"
+    (Staged.stage (fun () ->
+         ignore
+           (Bgp.Decision.intrinsic_loses
+              ~med_mode:Bgp.Decision.Per_neighbor_as ~incumbent:wd_incumbent
+              inc_challenger)))
+
+let burst_items =
+  (* 64 updates of one prefix inside a single delivery: the coalescer
+     must reduce them to the final delta *)
+  List.init 64 (fun i ->
+      ( Abrr_core.Proto.Mesh,
+        Abrr_core.Proto.delta (prefix_of 1)
+          [
+            Bgp.Route.make
+              ~as_path:(Bgp.As_path.of_asns [ Bgp.Asn.of_int (3000 + i) ])
+              ~prefix:(prefix_of 1)
+              ~next_hop:(Ipv4.of_int (0x0A00_0000 + i))
+              ();
+          ] ))
+
+let bench_coalesce_burst =
+  Test.make ~name:"proto.coalesce (64-item same-prefix burst)"
+    (Staged.stage (fun () -> ignore (Abrr_core.Proto.coalesce burst_items)))
+
 let rib_routes =
   List.init 64 (fun i ->
       Bgp.Route.make ~path_id:(i mod 8)
@@ -153,6 +211,9 @@ let tests =
     bench_bal;
     bench_decision_naive;
     bench_bal_naive;
+    bench_delta_reject;
+    bench_withdraw_skip;
+    bench_coalesce_burst;
     bench_rib_cycle;
     bench_aspath_intern;
     bench_route_equal;

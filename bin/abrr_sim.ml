@@ -182,7 +182,8 @@ let scheme_name = function
    checkpointed and a resumed run of the same workload emit
    byte-identical records — the property CI asserts. *)
 let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
-    jobs json out_dir deterministic ckpt_every ckpt_dir resume_dir resume_seg =
+    decision jobs json out_dir deterministic ckpt_every ckpt_dir resume_dir
+    resume_seg =
   let module E = Metrics.Emit in
   let module Sim = Eventsim.Sim in
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
@@ -193,6 +194,7 @@ let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
     let _topo, table, trace, cfg =
       build_workload med pops rpp pas points prefixes aps arrs events seed mrai
     in
+    let cfg scheme = { (cfg scheme) with Abrr_core.Config.decision } in
     let fi = float_of_int in
     let point scheme =
       let name = scheme_name scheme in
@@ -315,6 +317,22 @@ let bench_cmd =
     Arg.(value & opt string "."
          & info [ "out" ] ~doc:"Directory to write BENCH_sim.json into.")
   in
+  let decision_t =
+    Arg.(value
+         & opt
+             (enum
+                [
+                  ("incremental", Abrr_core.Config.Incremental);
+                  ("naive", Abrr_core.Config.Naive);
+                ])
+             Abrr_core.Config.Incremental
+         & info [ "decision" ] ~docv:"incremental|naive"
+             ~doc:
+               "Decision engine: $(docv). $(b,naive) recomputes every dirty \
+                prefix in full (the differential oracle); the emitted record \
+                is byte-identical to $(b,incremental) under \
+                $(b,--deterministic), which CI asserts.")
+  in
   let det_t =
     Arg.(value & flag
          & info [ "deterministic" ]
@@ -363,9 +381,9 @@ let bench_cmd =
     Term.(
       ret
         (const bench $ schemes_t $ med_t $ pops_t $ rpp_t $ pas_t $ points_t
-        $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t $ jobs_t
-        $ json_t $ out_t $ det_t $ ckpt_every_t $ ckpt_dir_t $ resume_dir_t
-        $ resume_seg_t))
+        $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t
+        $ decision_t $ jobs_t $ json_t $ out_t $ det_t $ ckpt_every_t
+        $ ckpt_dir_t $ resume_dir_t $ resume_seg_t))
 
 (* ---- snapshot / resume ---------------------------------------------- *)
 

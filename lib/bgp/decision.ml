@@ -218,6 +218,38 @@ let best ~med_mode cands =
     done;
     Some !w
 
+(* Strict loss on the route-intrinsic key prefix of the process: local
+   preference, AS-path length, origin rank, and — where sound — MED.
+   Under [Always_compare] MED is a global fourth key; under
+   [Per_neighbor_as] it only discriminates inside one neighbour-AS group,
+   so it is consulted only when both routes share the incumbent's group
+   (the incumbent survived step 4, hence holds its group's MED minimum,
+   and a same-group route with a strictly larger MED is eliminated there
+   without affecting any other group's minimum). A [true] result means
+   the challenger is eliminated in steps 1-4 of any candidate set that
+   contains the incumbent, and its presence or absence leaves the
+   step-1-4 survivor set unchanged — the soundness fact the incremental
+   router path relies on (DESIGN.md, "Incremental decision"). *)
+let intrinsic_loses ~med_mode ~(incumbent : Route.t) (r : Route.t) =
+  let lp_i = Route.local_pref incumbent and lp_r = Route.local_pref r in
+  if lp_r <> lp_i then lp_r < lp_i
+  else
+    let pl_i = As_path.length (Route.as_path incumbent)
+    and pl_r = As_path.length (Route.as_path r) in
+    if pl_r <> pl_i then pl_r > pl_i
+    else
+      let o_i = Origin.rank (Route.origin incumbent)
+      and o_r = Origin.rank (Route.origin r) in
+      if o_r <> o_i then o_r > o_i
+      else begin
+        match med_mode with
+        | Always_compare -> med r > med incumbent
+        | Per_neighbor_as -> (
+          match (Route.neighbor_as incumbent, Route.neighbor_as r) with
+          | Some a, Some b when Asn.equal a b -> med r > med incumbent
+          | _ -> false)
+      end
+
 let rank ~med_mode cands =
   (* MED per-neighbour-AS comparison is not transitive, so we cannot sort
      with a comparator: extract the winner repeatedly instead. *)

@@ -58,6 +58,25 @@ module Naive : sig
   val best : med_mode:med_mode -> candidate list -> candidate option
 end
 
+val intrinsic_loses :
+  med_mode:med_mode -> incumbent:Route.t -> Route.t -> bool
+(** [intrinsic_loses ~med_mode ~incumbent r]: does [r] strictly lose to
+    [incumbent] on the route-intrinsic prefix of the decision process —
+    local preference, AS-path length, origin rank, and MED where MED is
+    sound to consult ([Always_compare] always; [Per_neighbor_as] only
+    when both routes come from the incumbent's neighbour AS)?
+
+    When [incumbent] is the head of a RIB computed by
+    {!steps_1_to_4}/{!best} over some candidate set, a [true] result
+    certifies that adding [r] to — or removing [r] from — that set
+    changes neither the winner nor the step-1-4 survivor set: [r] is
+    eliminated before any candidate-dependent step (5-8) can see it,
+    and its elimination does not alter any per-group MED minimum. This
+    is the fast-reject primitive of the incremental decision path
+    (DESIGN.md, "Incremental decision"); candidate-dependent steps are
+    deliberately never consulted here. [false] means nothing — the
+    caller must fall back to a full pass. *)
+
 val rank : med_mode:med_mode -> candidate list -> candidate list
 (** All candidates sorted from best to worst under the full process
     (used for multi-path RIBs and diagnostics). *)

@@ -218,3 +218,30 @@ let rec lm_node n a best =
     else lm_node (if Ipv4.bit a (Prefix.len n.pfx) then n.r else n.l) a best
 
 let longest_match t addr = lm_node t.root addr None
+
+(* ------------------------------------------------------------------ *)
+(* Per-prefix dirty tracking for batched incremental processing.       *)
+
+module Dirty = struct
+  type 'a t = (int, Prefix.t * 'a) Hashtbl.t
+
+  let create ?(size = 32) () : 'a t = Hashtbl.create size
+
+  let mark t p fresh =
+    let k = Prefix.to_key p in
+    match Hashtbl.find_opt t k with
+    | Some (_, v) -> v
+    | None ->
+      let v = fresh () in
+      Hashtbl.add t k (p, v);
+      v
+
+  let find t p = Option.map snd (Hashtbl.find_opt t (Prefix.to_key p))
+  let is_empty t = Hashtbl.length t = 0
+  let count t = Hashtbl.length t
+
+  let drain t =
+    let xs = Hashtbl.fold (fun _ pv acc -> pv :: acc) t [] in
+    Hashtbl.reset t;
+    List.sort (fun (a, _) (b, _) -> Prefix.compare a b) xs
+end

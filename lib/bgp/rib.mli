@@ -63,3 +63,29 @@ val prefixes : t -> Prefix.t list
 val longest_match : t -> Ipv4.t -> (Prefix.t * Route.t list) option
 (** Most specific stored prefix containing the address, with its
     routes — the data-plane lookup. O(matching prefix length). *)
+
+(** Per-prefix dirty tracking for batched incremental processing: a
+    processing batch accumulates one ['a] churn payload per distinct
+    dirty prefix, then {!Dirty.drain}s the set in deterministic prefix
+    order and decides each prefix exactly once. The set is keyed on
+    {!Netaddr.Prefix.to_key}, so re-marking a prefix within a batch
+    returns the payload already accumulated for it. *)
+module Dirty : sig
+  type 'a t
+
+  val create : ?size:int -> unit -> 'a t
+
+  val mark : 'a t -> Prefix.t -> (unit -> 'a) -> 'a
+  (** [mark t p fresh]: the payload already tracked for [p], or [fresh ()]
+      newly tracked for it. *)
+
+  val find : 'a t -> Prefix.t -> 'a option
+  val is_empty : 'a t -> bool
+
+  val count : 'a t -> int
+  (** Distinct dirty prefixes currently tracked. *)
+
+  val drain : 'a t -> (Prefix.t * 'a) list
+  (** All tracked (prefix, payload) pairs in ascending prefix order,
+      leaving the set empty. *)
+end

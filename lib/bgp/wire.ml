@@ -232,6 +232,113 @@ let encode_update ~add_paths (u : Msg.update) =
     (List.rev !order);
   List.rev !msgs
 
+(* --- analytical sizing --------------------------------------------- *)
+
+(* [measure_update] mirrors [encode_update] arithmetically: same
+   attribute sizes, same grouping, same greedy chunking — without
+   allocating a single buffer. The simulator calls this on every
+   transmission to account bytes/messages (Proto.wire_size), so it is
+   hot; [encode] stays the reference and a differential test pins the
+   two together. *)
+
+let attr_size payload = (if payload > 0xFF then 4 else 3) + payload
+
+let attrs_wire_size (a : Route.attrs) =
+  let as_path_payload =
+    List.fold_left
+      (fun n (s : As_path.segment) ->
+        let len =
+          match s with
+          | As_path.Set l | As_path.Seq l | As_path.Confed_seq l
+          | As_path.Confed_set l ->
+            List.length l
+        in
+        n + 2 + (4 * len))
+      0
+      (As_path.segments a.as_path)
+  in
+  attr_size 1 (* origin *)
+  + attr_size as_path_payload
+  + attr_size 4 (* next hop *)
+  + (match a.med with None -> 0 | Some _ -> attr_size 4)
+  + attr_size 4 (* local pref *)
+  + (match a.communities with [] -> 0 | cs -> attr_size (4 * List.length cs))
+  + (match a.originator_id with None -> 0 | Some _ -> attr_size 4)
+  + (match a.cluster_list with [] -> 0 | ids -> attr_size (4 * List.length ids))
+  + (match a.ext_communities with
+    | [] -> 0
+    | ecs -> attr_size (8 * List.length ecs))
+
+(* How many messages [chunk ~room] would produce over these item sizes. *)
+let chunk_count ~room sizes =
+  match sizes with
+  | [] -> 0
+  | _ ->
+    let n = ref 1 and cur = ref 0 in
+    List.iter
+      (fun s ->
+        if !cur > 0 && !cur + s > room then begin
+          incr n;
+          cur := s
+        end
+        else cur := !cur + s)
+      sizes;
+    !n
+
+let measure_update ~add_paths (u : Msg.update) =
+  let bytes = ref 0 and msgs = ref 0 in
+  (match u.withdrawn with
+  | [] -> ()
+  | wds ->
+    let sizes =
+      List.map (fun (w : Msg.withdrawal) -> nlri_size ~add_paths w.prefix) wds
+    in
+    let n = chunk_count ~room:(max_message_size - header_size - 4) sizes in
+    msgs := !msgs + n;
+    bytes := !bytes + (n * (header_size + 4)) + List.fold_left ( + ) 0 sizes);
+  (* Group by attribute block, preserving arrival order within a group
+     as [encode_update] does. Blocks are interned, so physical identity
+     is the common case and the structural check only breaks ahash
+     collisions (or cross-domain blocks). *)
+  let groups : (int, (Route.attrs * int list ref) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let order = ref [] in
+  List.iter
+    (fun (r : Route.t) ->
+      let a = Route.attrs r in
+      let nlri = nlri_size ~add_paths r.prefix in
+      let bucket =
+        match Hashtbl.find_opt groups a.Route.ahash with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add groups a.Route.ahash b;
+          b
+      in
+      match
+        List.find_opt
+          (fun ((a', _) : Route.attrs * _) -> Route.attrs_equal a' a)
+          !bucket
+      with
+      | Some (_, sizes) -> sizes := nlri :: !sizes
+      | None ->
+        let cell = (a, ref [ nlri ]) in
+        bucket := cell :: !bucket;
+        order := cell :: !order)
+    u.announced;
+  List.iter
+    (fun ((a, sizes_rev) : Route.attrs * int list ref) ->
+      let sizes = List.rev !sizes_rev in
+      let keylen = attrs_wire_size a in
+      let room = max_message_size - header_size - 4 - keylen in
+      let n = chunk_count ~room sizes in
+      msgs := !msgs + n;
+      bytes :=
+        !bytes + (n * (header_size + 4 + keylen)) + List.fold_left ( + ) 0 sizes)
+    !order;
+  (!bytes, !msgs)
+
 let encode_notification (n : Msg.notification) =
   let buf = Buffer.create 16 in
   w8 buf n.code;

@@ -31,6 +31,14 @@ val encode : add_paths:bool -> Msg.t -> bytes list
 val encoded_size : add_paths:bool -> Msg.t -> int
 (** Total bytes over all wire messages produced by [encode]. *)
 
+val measure_update : add_paths:bool -> Msg.update -> int * int
+(** [(bytes, messages)] that [encode] would produce for this update,
+    computed arithmetically — same attribute sizing, grouping and greedy
+    chunking, but no buffer is ever allocated. This backs the
+    simulator's per-transmission byte/message accounting
+    (Proto.wire_size), so its agreement with [encode] is pinned by a
+    differential test. *)
+
 val decode : add_paths:bool -> bytes -> pos:int -> (Msg.t * int, error) result
 (** Decode one message starting at [pos]; returns the message and the
     position just past it. Updates that were split by [encode] decode as

@@ -30,6 +30,8 @@ type scheme =
   | Rcp of { rcps : int list }
   | Dual of { tbrr : tbrr_spec; abrr : abrr_spec; accept : acceptance array }
 
+type decision = Incremental | Naive
+
 type t = {
   n_routers : int;
   asn : Bgp.Asn.t;
@@ -42,6 +44,7 @@ type t = {
   proc_jitter : Time.t;
   store_full_sets : bool;
   control_plane_rrs : bool;
+  decision : decision;
 }
 
 let proc_delay_of t i =
@@ -55,7 +58,8 @@ let make ?(asn = Bgp.Asn.of_int 65000) ?(med_mode = Bgp.Decision.Per_neighbor_as
     ?(mrai = Time.zero) ?(link_delay = default_link_delay)
     ?(proc_delay = Time.ms 1) ?(proc_jitter = Time.zero)
     ?(store_full_sets = false)
-    ?(control_plane_rrs = false) ~n_routers ~igp ~scheme () =
+    ?(control_plane_rrs = false) ?(decision = Incremental) ~n_routers ~igp
+    ~scheme () =
   {
     n_routers;
     asn;
@@ -68,6 +72,7 @@ let make ?(asn = Bgp.Asn.of_int 65000) ?(med_mode = Bgp.Decision.Per_neighbor_as
     proc_jitter;
     store_full_sets;
     control_plane_rrs;
+    decision;
   }
 
 let tbrr ?(multipath = false) ?(best_external = false) clusters =

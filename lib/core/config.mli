@@ -64,6 +64,16 @@ type scheme =
       (** §2.4 transition: both schemes run; [accept.(ap)] selects which
           scheme's routes each AP's prefixes are taken from. *)
 
+(** Decision-engine strategy (DESIGN.md, "Incremental decision"). Both
+    produce identical routing outcomes, counters and snapshots — the
+    oracle property the qcheck churn suite and the CI [--decision naive]
+    identity run enforce; only the work done per dirty prefix differs. *)
+type decision =
+  | Incremental
+      (** classify each dirty prefix against the cached per-plane
+          incumbents and run the full kernel only when required *)
+  | Naive  (** recompute every dirty prefix unconditionally *)
+
 type t = {
   n_routers : int;
   asn : Bgp.Asn.t;
@@ -83,6 +93,7 @@ type t = {
           instead of one best route per reflector (§3.4 default) *)
   control_plane_rrs : bool;
       (** RRs are pure control-plane devices: not clients, no data plane *)
+  decision : decision;
 }
 
 val make :
@@ -94,6 +105,7 @@ val make :
   ?proc_jitter:Time.t ->
   ?store_full_sets:bool ->
   ?control_plane_rrs:bool ->
+  ?decision:decision ->
   n_routers:int ->
   igp:Igp.Graph.t ->
   scheme:scheme ->
@@ -101,7 +113,7 @@ val make :
   t
 (** Defaults: AS 65000, per-neighbour-AS MED, MRAI off, the deterministic
     {!default_link_delay}, 1 ms processing delay with no jitter, best-only
-    client storage, data-plane RRs. *)
+    client storage, data-plane RRs, incremental decision. *)
 
 val proc_delay_of : t -> int -> Time.t
 (** Effective per-batch processing delay of a router (base + phase). *)

@@ -9,6 +9,9 @@ type t = {
   mutable withdrawals_received : int;
   mutable withdrawals_transmitted : int;
   mutable decisions_run : int;
+  mutable decisions_full : int;
+  mutable decisions_delta : int;
+  mutable decisions_skipped : int;
   mutable rib_touches : int;
   mutable last_change : Eventsim.Time.t;
   mutable mem_peak_kb : int;
@@ -26,6 +29,9 @@ let create () =
     withdrawals_received = 0;
     withdrawals_transmitted = 0;
     decisions_run = 0;
+    decisions_full = 0;
+    decisions_delta = 0;
+    decisions_skipped = 0;
     rib_touches = 0;
     last_change = Eventsim.Time.zero;
     mem_peak_kb = 0;
@@ -42,6 +48,9 @@ let reset t =
   t.withdrawals_received <- 0;
   t.withdrawals_transmitted <- 0;
   t.decisions_run <- 0;
+  t.decisions_full <- 0;
+  t.decisions_delta <- 0;
+  t.decisions_skipped <- 0;
   t.rib_touches <- 0;
   t.last_change <- Eventsim.Time.zero;
   t.mem_peak_kb <- 0
@@ -58,6 +67,9 @@ let add acc x =
   acc.withdrawals_transmitted <-
     acc.withdrawals_transmitted + x.withdrawals_transmitted;
   acc.decisions_run <- acc.decisions_run + x.decisions_run;
+  acc.decisions_full <- acc.decisions_full + x.decisions_full;
+  acc.decisions_delta <- acc.decisions_delta + x.decisions_delta;
+  acc.decisions_skipped <- acc.decisions_skipped + x.decisions_skipped;
   acc.rib_touches <- acc.rib_touches + x.rib_touches;
   acc.last_change <- max acc.last_change x.last_change;
   acc.mem_peak_kb <- max acc.mem_peak_kb x.mem_peak_kb
@@ -80,6 +92,9 @@ let diff ~after ~before =
     withdrawals_transmitted =
       after.withdrawals_transmitted - before.withdrawals_transmitted;
     decisions_run = after.decisions_run - before.decisions_run;
+    decisions_full = after.decisions_full - before.decisions_full;
+    decisions_delta = after.decisions_delta - before.decisions_delta;
+    decisions_skipped = after.decisions_skipped - before.decisions_skipped;
     rib_touches = after.rib_touches - before.rib_touches;
     last_change = after.last_change;
     mem_peak_kb = after.mem_peak_kb;
@@ -97,6 +112,9 @@ let to_fields t =
     ("withdrawals_received", t.withdrawals_received);
     ("withdrawals_transmitted", t.withdrawals_transmitted);
     ("decisions_run", t.decisions_run);
+    ("decisions_full", t.decisions_full);
+    ("decisions_delta", t.decisions_delta);
+    ("decisions_skipped", t.decisions_skipped);
     ("rib_touches", t.rib_touches);
     ("last_change_us", t.last_change);
     ("mem_peak_kb", t.mem_peak_kb);
@@ -127,9 +145,10 @@ let sample_mem t = t.mem_peak_kb <- max t.mem_peak_kb (peak_rss_kb ())
 let pp fmt t =
   Format.fprintf fmt
     "rx=%d gen=%d tx=%d sup=%d msgs=%d bytes_tx=%d bytes_rx=%d wd_rx=%d \
-     wd_tx=%d decisions=%d rib=%d last_change=%a mem_peak_kb=%d"
+     wd_tx=%d decisions=%d full=%d delta=%d skipped=%d rib=%d last_change=%a \
+     mem_peak_kb=%d"
     t.updates_received t.updates_generated t.updates_transmitted
     t.updates_suppressed t.messages_transmitted t.bytes_transmitted
     t.bytes_received t.withdrawals_received t.withdrawals_transmitted
-    t.decisions_run t.rib_touches Eventsim.Time.pp t.last_change
-    t.mem_peak_kb
+    t.decisions_run t.decisions_full t.decisions_delta t.decisions_skipped
+    t.rib_touches Eventsim.Time.pp t.last_change t.mem_peak_kb

@@ -28,6 +28,18 @@ type t = {
   mutable withdrawals_received : int;
   mutable withdrawals_transmitted : int;
   mutable decisions_run : int;
+      (** per-prefix decision evaluations: every dirty prefix examined by
+          a processing batch, whatever the outcome below *)
+  mutable decisions_full : int;
+      (** evaluations that ran the full 8-step kernel (incumbent lost,
+          challenger not provably worse, or a structural event) *)
+  mutable decisions_delta : int;
+      (** evaluations resolved against the cached incumbents alone: every
+          churned route strictly lost on the intrinsic key prefix, so the
+          full pass was skipped (run anyway under [Config.Naive]) *)
+  mutable decisions_skipped : int;
+      (** evaluations whose churn was a stored-state no-op (identical
+          route set re-delivered), needing no selection work at all *)
   mutable rib_touches : int;
       (** route-set replacements applied to any RIB table (Loc-RIB,
           reflector and client Adj-RIB-Outs) — the memory-traffic proxy

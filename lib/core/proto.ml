@@ -23,9 +23,10 @@ let to_update deltas =
   let announced = List.concat_map (fun d -> d.routes) deltas in
   { Bgp.Msg.withdrawn; announced }
 
+(* Analytical: sizes what [Bgp.Wire.encode] would emit without encoding
+   anything — this runs on every transmission (Router.transmit_now). *)
 let wire_size ~add_paths deltas =
-  let msgs = Bgp.Wire.encode ~add_paths (Bgp.Msg.Update (to_update deltas)) in
-  (List.fold_left (fun n b -> n + Bytes.length b) 0 msgs, List.length msgs)
+  Bgp.Wire.measure_update ~add_paths (to_update deltas)
 
 let channel_tag = function
   | Mesh -> 0
@@ -62,3 +63,26 @@ let channel_of_tag = function
   | 6 -> To_rcp
   | 7 -> From_rcp
   | n -> invalid_arg (Printf.sprintf "Proto.channel_of_tag: %d" n)
+
+(* Same-prefix churn within one delivery collapses to its final delta:
+   the receiver replaces the stored route set per (channel, prefix), so
+   only the last item per key can influence state. Keys first seen later
+   keep their later position; relative order of surviving items is
+   preserved. *)
+let coalesce items =
+  match items with
+  | [] | [ _ ] -> items
+  | _ ->
+    let seen = Hashtbl.create 16 in
+    let keep =
+      List.filter
+        (fun (((ch, d) : item)) ->
+          let key = (channel_tag ch, Prefix.to_key d.prefix) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        (List.rev items)
+    in
+    List.rev keep

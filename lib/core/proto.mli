@@ -47,3 +47,12 @@ val channel_of_tag : int -> channel
 
 val pp_channel : Format.formatter -> channel -> unit
 val pp_delta : Format.formatter -> delta -> unit
+
+val coalesce : item list -> item list
+(** Collapse same-prefix churn within one delivery: of several items
+    sharing a (channel, prefix) key, only the last survives. Sound
+    because the receiver applies each item as a full route-set
+    replacement for its key ([delta.routes]; [withdrawn_ids] ride along
+    for MRAI merging but are not consulted on apply), so the last item
+    alone determines the stored state. Relative order of surviving items
+    is preserved. *)

@@ -65,6 +65,16 @@ type src_tag =
   | S_from_arr
   | S_own_arr
 
+(* Per-source route tables carry a memoized ascending-source view:
+   candidate collection folds over every plane's table once per decision,
+   and rebuilding the sorted association list on each call dominated
+   profile runs. The set of sources only changes on [table_rib]
+   insertion, peer purge, and table reset — each drops the cache. *)
+type srctbl = {
+  ribs : (int, Rib.t) Hashtbl.t;
+  mutable view : (int * Rib.t) list option;
+}
+
 type t = {
   env : env;
   self : Ipv4.t;
@@ -72,15 +82,15 @@ type t = {
   ebgp_rib : Rib.t;
   ebgp_neighbors : (int * int, Ipv4.t) Hashtbl.t;
   local_rib : Rib.t;
-  managed_trr : (int, Rib.t) Hashtbl.t;
-  managed_arr : (int, Rib.t) Hashtbl.t;
-  mesh_in : (int, Rib.t) Hashtbl.t;
-  confed_in : (int, Rib.t) Hashtbl.t;
-  managed_rcp : (int, Rib.t) Hashtbl.t;  (* RCP node: routes per client *)
-  from_rcp : (int, Rib.t) Hashtbl.t;
-  rcp_out : (int, Rib.t) Hashtbl.t;  (* RCP node: per-client Adj-RIB-Out *)
-  from_trr : (int, Rib.t) Hashtbl.t;
-  from_arr : (int, Rib.t) Hashtbl.t;
+  managed_trr : srctbl;
+  managed_arr : srctbl;
+  mesh_in : srctbl;
+  confed_in : srctbl;
+  managed_rcp : srctbl;  (* RCP node: routes per client *)
+  from_rcp : srctbl;
+  rcp_out : srctbl;  (* RCP node: per-client Adj-RIB-Out *)
+  from_trr : srctbl;
+  from_arr : srctbl;
   loc_rib : Rib.t;
   adv_mesh : Rib.t;
   adv_confed : Rib.t;
@@ -232,6 +242,8 @@ let derive_roles (config : Config.t) id =
 
 (* ------------------------------------------------------------------ *)
 
+let srctbl_create () = { ribs = Hashtbl.create 8; view = None }
+
 let create env =
   {
     env;
@@ -240,15 +252,15 @@ let create env =
     ebgp_rib = Rib.create ();
     ebgp_neighbors = Hashtbl.create 16;
     local_rib = Rib.create ();
-    managed_trr = Hashtbl.create 8;
-    managed_arr = Hashtbl.create 8;
-    mesh_in = Hashtbl.create 8;
-    confed_in = Hashtbl.create 8;
-    managed_rcp = Hashtbl.create 8;
-    from_rcp = Hashtbl.create 8;
-    rcp_out = Hashtbl.create 8;
-    from_trr = Hashtbl.create 8;
-    from_arr = Hashtbl.create 8;
+    managed_trr = srctbl_create ();
+    managed_arr = srctbl_create ();
+    mesh_in = srctbl_create ();
+    confed_in = srctbl_create ();
+    managed_rcp = srctbl_create ();
+    from_rcp = srctbl_create ();
+    rcp_out = srctbl_create ();
+    from_trr = srctbl_create ();
+    from_arr = srctbl_create ();
     loc_rib = Rib.create ();
     adv_mesh = Rib.create ();
     adv_confed = Rib.create ();
@@ -290,13 +302,28 @@ let rib_set t rib p routes =
   t.counters.rib_touches <- t.counters.rib_touches + 1;
   Rib.set rib p routes
 
-let table_rib tbl src =
-  match Hashtbl.find_opt tbl src with
+let table_rib st src =
+  match Hashtbl.find_opt st.ribs src with
   | Some rib -> rib
   | None ->
     let rib = Bgp.Rib.create () in
-    Hashtbl.add tbl src rib;
+    Hashtbl.add st.ribs src rib;
+    st.view <- None;
     rib
+
+let srctbl_find_opt st src = Hashtbl.find_opt st.ribs src
+let srctbl_iter f st = Hashtbl.iter f st.ribs
+let srctbl_fold f st acc = Hashtbl.fold f st.ribs acc
+
+let srctbl_remove st src =
+  if Hashtbl.mem st.ribs src then begin
+    Hashtbl.remove st.ribs src;
+    st.view <- None
+  end
+
+let srctbl_reset st =
+  Hashtbl.reset st.ribs;
+  st.view <- None
 
 (* ------------------------------------------------------------------ *)
 (* Candidate construction                                              *)
@@ -316,10 +343,20 @@ let eligible (c : D.candidate) = c.igp_cost <> Igp.Spf.unreachable
 (* Per-source tables in ascending source order. Candidate collection and
    route dumps must not depend on hashtable iteration order: a restored
    run rebuilds these tables in a different internal order than the
-   original, and decision tie-breaks would otherwise diverge. *)
-let sorted_tbl tbl =
+   original, and decision tie-breaks would otherwise diverge. The sorted
+   view is memoized on the table (invalidated whenever the source set
+   changes) — this sits on the per-decision hot path. *)
+let sorted_hashtbl tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let sorted_tbl st =
+  match st.view with
+  | Some v -> v
+  | None ->
+    let v = sorted_hashtbl st.ribs in
+    st.view <- Some v;
+    v
 
 let table_candidates t tbl tag p acc =
   List.fold_left
@@ -903,7 +940,6 @@ let client_export t p tagged (winner : (D.candidate * int * src_tag) option) =
   end
 
 let run_decision t p =
-  t.counters.decisions_run <- t.counters.decisions_run + 1;
   let tagged = collect_candidates t p in
   let cands = List.map (fun (c, _, _) -> c) tagged in
   let best = D.best ~med_mode:t.env.config.med_mode cands in
@@ -1147,9 +1183,119 @@ let iter_known t f =
     [ t.ebgp_rib; t.local_rib; t.loc_rib; t.adv_mesh; t.adv_confed; t.adv_rcp;
       t.adv_trr; t.adv_arr; t.out_mesh; t.out_clients; t.out_arr ];
   List.iter
-    (fun tbl -> Hashtbl.iter (fun _ r -> rib r) tbl)
+    (fun tbl -> srctbl_iter (fun _ r -> rib r) tbl)
     [ t.managed_trr; t.managed_arr; t.mesh_in; t.confed_in; t.managed_rcp;
       t.from_rcp; t.rcp_out; t.from_trr; t.from_arr ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decision (DESIGN.md, "Incremental decision").
+   Input application accumulates one churn record per dirty prefix:
+   which decision planes the batch's events can influence, and the
+   routes that entered or left a stored table. At batch end each dirty
+   prefix is classified once against the cached per-plane incumbents —
+   the heads of the RIBs the previous computation wrote — and the full
+   recomputation runs only when a churned route is not provably
+   irrelevant ([Decision.intrinsic_loses]). Under [Config.Naive] the
+   classification still runs (the counters must match exactly) but
+   every dirty prefix recomputes, which is the differential oracle. *)
+
+(* Which cached incumbents an event stored via a given channel can
+   challenge. The Loc-RIB plane covers every output derived from the
+   full candidate set (client/confed/RCP-client exports are functions of
+   the winner and the step-1-4 survivors); the TRR planes cover the
+   reflector outputs computed over the clientside/mesh candidate subset;
+   the ARR plane covers the reflected best-AS-level set over the managed
+   RIB. *)
+let plane_loc = 1
+let plane_trr = 2   (* out_clients: reflected best over the TRR subset *)
+let plane_mesh = 4  (* out_mesh: clientside best/survivors toward the mesh *)
+let plane_arr = 8   (* out_arr: best-AS-level set over managed_arr *)
+
+type churn = {
+  mutable ch_full : bool;  (* structural event: always recompute *)
+  mutable ch_planes : int;
+  mutable ch_routes : R.t list;  (* routes added to / removed from tables *)
+}
+
+let planes_of_channel = function
+  | Proto.Mesh -> plane_loc lor plane_trr
+  | Proto.Confed -> plane_loc
+  | Proto.To_rcp -> 0 (* RCP nodes always recompute in full *)
+  | Proto.From_rcp -> plane_loc
+  | Proto.To_trr -> plane_loc lor plane_trr lor plane_mesh
+  | Proto.To_arr -> plane_arr
+  | Proto.From_trr -> plane_loc
+  | Proto.From_arr -> plane_loc
+
+let planes_clientside = plane_loc lor plane_trr lor plane_mesh
+
+let new_churn () = { ch_full = false; ch_planes = 0; ch_routes = [] }
+let churn_of dirty p = Rib.Dirty.mark dirty p new_churn
+let mark_full dirty p = (churn_of dirty p).ch_full <- true
+let mark_noop dirty p = ignore (churn_of dirty p)
+
+let mark_delta dirty p planes routes =
+  let c = churn_of dirty p in
+  c.ch_planes <- c.ch_planes lor planes;
+  c.ch_routes <- List.rev_append routes c.ch_routes
+
+(* Classify one dirty prefix: [`Noop] when the batch left every stored
+   table unchanged, [`Delta] when every churned route strictly loses to
+   the head of each plane it could challenge (arrivals are eliminated in
+   steps 1-4 and withdrawals were never survivors, so no output can
+   change), [`Full] otherwise. An empty flagged incumbent means the
+   challenger would win by default — Full. Plane flags outside the
+   router's roles are ignored: the planes they would guard are never
+   computed here. *)
+let classify t p (c : churn) =
+  if c.ch_full || t.roles.is_rcp then `Full
+  else if c.ch_routes = [] then `Noop
+  else begin
+    let med_mode = t.env.config.med_mode in
+    let loses_to rib =
+      match Rib.get rib p with
+      | [] -> false
+      | (incumbent : R.t) :: _ ->
+        List.for_all
+          (fun r -> D.intrinsic_loses ~med_mode ~incumbent r)
+          c.ch_routes
+    in
+    let need plane = c.ch_planes land plane <> 0 in
+    let trr = t.roles.is_trr && tbrr_active t in
+    if
+      (not (need plane_loc) || loses_to t.loc_rib)
+      && ((not trr) || not (need plane_trr) || loses_to t.out_clients)
+      && ((not trr)
+         || not (t.roles.tbrr_multipath || t.roles.tbrr_best_external)
+         || not (need plane_mesh)
+         || loses_to t.out_mesh)
+      && (not (abrr_active t && need plane_arr && serves_prefix t p)
+         || loses_to t.out_arr)
+    then `Delta
+    else `Full
+  end
+
+(* Decide every dirty prefix exactly once, in prefix order. The counters
+   are incremented identically under both engines; only whether the sound
+   skips actually skip differs — and a naive recomputation of a skipped
+   prefix changes no RIB, generates no update and stamps no change, so
+   the two engines stay counter- and snapshot-identical. *)
+let run_batch t dirty =
+  let incremental = t.env.config.decision = Config.Incremental in
+  List.iter
+    (fun (p, c) ->
+      t.counters.decisions_run <- t.counters.decisions_run + 1;
+      match classify t p c with
+      | `Full ->
+        t.counters.decisions_full <- t.counters.decisions_full + 1;
+        recompute t p
+      | `Delta ->
+        t.counters.decisions_delta <- t.counters.decisions_delta + 1;
+        if not incremental then recompute t p
+      | `Noop ->
+        t.counters.decisions_skipped <- t.counters.decisions_skipped + 1;
+        if not incremental then recompute t p)
+    (Rib.Dirty.drain dirty)
 
 let apply_item t src ((channel, delta) : Proto.item) dirty =
   let p = delta.Proto.prefix in
@@ -1168,8 +1314,26 @@ let apply_item t src ((channel, delta) : Proto.item) dirty =
       if best_only && not t.env.config.store_full_sets then best_of_set t src keep
       else keep
     in
+    let old = Rib.get rib p in
     rib_set t rib p routes;
-    Hashtbl.replace dirty (Prefix.to_key p) p
+    if List.equal R.equal old routes then mark_noop dirty p
+    else begin
+      let adds =
+        List.filter (fun r -> not (List.exists (R.equal r) old)) routes
+      in
+      let rems =
+        List.filter (fun r -> not (List.exists (R.equal r) routes)) old
+      in
+      (* Routes common to both sets must keep their relative order: the
+         stored order feeds candidate collection and hence derived-set
+         path-id assignment, so a reorder is not a pure add/remove. *)
+      let common_old = List.filter (fun r -> List.exists (R.equal r) routes) old in
+      let common_new = List.filter (fun r -> List.exists (R.equal r) old) routes in
+      if adds = [] && rems = [] then mark_full dirty p
+      else if List.equal R.equal common_old common_new then
+        mark_delta dirty p (planes_of_channel channel) (adds @ rems)
+      else mark_full dirty p
+    end
   in
   match channel with
   | Proto.Mesh -> store t.mesh_in ~best_only:false
@@ -1192,30 +1356,62 @@ let apply_input t input dirty =
   match input with
   | In_items { src; items } -> List.iter (fun item -> apply_item t src item dirty) items
   | In_ebgp { neighbor; route } ->
-    let key = Prefix.to_key route.R.prefix in
-    ignore (Rib.upsert t.ebgp_rib route);
+    let p = route.R.prefix in
+    let key = Prefix.to_key p in
+    let prev =
+      List.find_opt
+        (fun (r : R.t) -> r.R.path_id = route.R.path_id)
+        (Rib.get t.ebgp_rib p)
+    in
+    let changed = Rib.upsert t.ebgp_rib route in
+    let neighbor_changed =
+      match Hashtbl.find_opt t.ebgp_neighbors (key, route.R.path_id) with
+      | Some n -> not (Ipv4.equal n neighbor)
+      | None -> false
+    in
     Hashtbl.replace t.ebgp_neighbors (key, route.R.path_id) neighbor;
-    Hashtbl.replace dirty key route.R.prefix
+    (* Re-announcing the stored route verbatim is a decision no-op; a
+       neighbour change with identical attributes still shifts the
+       candidate's peer identity (steps 7-8), so it recomputes in full. *)
+    if neighbor_changed then mark_full dirty p
+    else if not changed then mark_noop dirty p
+    else mark_delta dirty p planes_clientside (route :: Option.to_list prev)
   | In_ebgp_withdraw { neighbor = _; prefix; path_id } ->
     let key = Prefix.to_key prefix in
+    let prev =
+      List.find_opt
+        (fun (r : R.t) -> r.R.path_id = path_id)
+        (Rib.get t.ebgp_rib prefix)
+    in
     if Rib.drop t.ebgp_rib prefix ~path_id then begin
       Hashtbl.remove t.ebgp_neighbors (key, path_id);
-      Hashtbl.replace dirty key prefix
+      mark_delta dirty prefix planes_clientside (Option.to_list prev)
     end
   | In_local route ->
-    ignore (Rib.upsert t.local_rib route);
-    Hashtbl.replace dirty (Prefix.to_key route.R.prefix) route.R.prefix
+    let p = route.R.prefix in
+    let prev =
+      List.find_opt
+        (fun (r : R.t) -> r.R.path_id = route.R.path_id)
+        (Rib.get t.local_rib p)
+    in
+    if Rib.upsert t.local_rib route then
+      mark_delta dirty p planes_clientside (route :: Option.to_list prev)
+    else mark_noop dirty p
   | In_local_withdraw { prefix; path_id } ->
+    let prev =
+      List.find_opt
+        (fun (r : R.t) -> r.R.path_id = path_id)
+        (Rib.get t.local_rib prefix)
+    in
     if Rib.drop t.local_rib prefix ~path_id then
-      Hashtbl.replace dirty (Prefix.to_key prefix) prefix
-  | In_redecide_all ->
-    iter_known t (fun p -> Hashtbl.replace dirty (Prefix.to_key p) p)
+      mark_delta dirty prefix planes_clientside (Option.to_list prev)
+  | In_redecide_all -> iter_known t (fun p -> mark_full dirty p)
 
 let process_now t =
   t.process_scheduled <- false;
   if not t.up then Queue.clear t.inbox
   else begin
-  let dirty = Hashtbl.create 32 in
+  let dirty = Rib.Dirty.create () in
   let rec drain () =
     match Queue.take_opt t.inbox with
     | None -> ()
@@ -1224,9 +1420,7 @@ let process_now t =
       drain ()
   in
   drain ();
-  let prefixes = Hashtbl.fold (fun _ p acc -> p :: acc) dirty [] in
-  let prefixes = List.sort Prefix.compare prefixes in
-  List.iter (recompute t) prefixes;
+  run_batch t dirty;
   flush_outgoing t
   end
 
@@ -1254,7 +1448,9 @@ let receive t ~src ~items ~bytes ~msgs =
       + List.length (List.filter (fun ((_, d) : Proto.item) -> Proto.is_withdraw d) items);
     t.counters.bytes_received <- t.counters.bytes_received + bytes
   end;
-  push t (In_items { src; items })
+  (* Coalesce after counting: received-update accounting sees the wire
+     items, state application only needs the last delta per key. *)
+  push t (In_items { src; items = Proto.coalesce items })
   end
 
 let inject_ebgp t ~neighbor route = push t (In_ebgp { neighbor; route })
@@ -1272,11 +1468,11 @@ let is_up t = t.up
 let purge_peer t ~peer =
   if t.up then begin
     let drop tbl =
-      match Hashtbl.find_opt tbl peer with
+      match srctbl_find_opt tbl peer with
       | None -> []
       | Some rib ->
         let prefixes = Rib.prefixes rib in
-        Hashtbl.remove tbl peer;
+        srctbl_remove tbl peer;
         prefixes
     in
     let dirty =
@@ -1286,10 +1482,11 @@ let purge_peer t ~peer =
     in
     Hashtbl.remove t.sessions peer;
     if dirty <> [] then begin
-      let dirty_tbl = Hashtbl.create 16 in
-      List.iter (fun p -> Hashtbl.replace dirty_tbl (Prefix.to_key p) p) dirty;
-      let prefixes = Hashtbl.fold (fun _ p acc -> p :: acc) dirty_tbl [] in
-      List.iter (recompute t) (List.sort Prefix.compare prefixes);
+      (* Wholesale table drops invalidate plane incumbents structurally:
+         every affected prefix recomputes in full. *)
+      let d = Rib.Dirty.create () in
+      List.iter (fun p -> mark_full d p) dirty;
+      run_batch t d;
       flush_outgoing t
     end
   end
@@ -1313,7 +1510,7 @@ let refresh_to t ~peer =
       replay t.adv_confed Proto.Confed always;
     if List.mem peer t.roles.rcps then replay t.adv_rcp Proto.To_rcp always;
     if t.roles.is_rcp then (
-      match Hashtbl.find_opt t.rcp_out peer with
+      match srctbl_find_opt t.rcp_out peer with
       | Some rib -> replay rib Proto.From_rcp always
       | None -> ());
     if List.mem peer t.roles.my_trrs then begin
@@ -1359,7 +1556,7 @@ let set_up_cold t =
   Rib.clear t.ebgp_rib;
   Hashtbl.reset t.ebgp_neighbors;
   Rib.clear t.local_rib;
-  List.iter Hashtbl.reset
+  List.iter srctbl_reset
     [ t.managed_trr; t.managed_arr; t.managed_rcp; t.mesh_in; t.confed_in;
       t.from_trr; t.from_arr; t.from_rcp; t.rcp_out ];
   List.iter Rib.clear
@@ -1396,7 +1593,7 @@ let best_exit t p =
   | None -> None
   | Some r -> Config.router_of_loopback t.env.config (R.next_hop r)
 
-let sum_tbl tbl = Hashtbl.fold (fun _ rib acc -> acc + Rib.entry_count rib) tbl 0
+let sum_tbl tbl = srctbl_fold (fun _ rib acc -> acc + Rib.entry_count rib) tbl 0
 
 let rib_in_managed t =
   sum_tbl t.managed_trr + sum_tbl t.managed_arr + sum_tbl t.managed_rcp
@@ -1420,7 +1617,7 @@ let loc_rib_entries t = Rib.entry_count t.loc_rib
 let ebgp_entries t = Rib.entry_count t.ebgp_rib
 
 let received_set t ~from p =
-  let get tbl = match Hashtbl.find_opt tbl from with None -> [] | Some rib -> Rib.get rib p in
+  let get tbl = match srctbl_find_opt tbl from with None -> [] | Some rib -> Rib.get rib p in
   get t.from_arr @ get t.from_trr @ get t.mesh_in @ get t.confed_in
   @ get t.from_rcp
 
@@ -1500,7 +1697,7 @@ let dump_state t =
         (fun tbl ->
           List.map (fun (src, rib) -> (src, dump_rib rib)) (sorted_tbl tbl))
         (peer_table_slots t);
-    st_src_tbls = Array.map sorted_tbl (src_tbl_slots t);
+    st_src_tbls = Array.map sorted_hashtbl (src_tbl_slots t);
     st_path_ids = Array.map Path_id.dump (path_id_slots t);
     st_ebgp_neighbors =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ebgp_neighbors []
@@ -1541,7 +1738,7 @@ let load_state t st =
   then invalid_arg "Router.load_state: slot count mismatch";
   (* Wipe everything, as a cold start would, then refill from the dump. *)
   Array.iter Rib.clear ribs;
-  Array.iter Hashtbl.reset tables;
+  Array.iter srctbl_reset tables;
   Array.iter Hashtbl.reset srcs;
   Array.iter Path_id.clear ids;
   Hashtbl.reset t.ebgp_neighbors;
@@ -1599,6 +1796,9 @@ let load_state t st =
    c.Counters.withdrawals_received <- s.Counters.withdrawals_received;
    c.Counters.withdrawals_transmitted <- s.Counters.withdrawals_transmitted;
    c.Counters.decisions_run <- s.Counters.decisions_run;
+   c.Counters.decisions_full <- s.Counters.decisions_full;
+   c.Counters.decisions_delta <- s.Counters.decisions_delta;
+   c.Counters.decisions_skipped <- s.Counters.decisions_skipped;
    c.Counters.rib_touches <- s.Counters.rib_touches;
    c.Counters.last_change <- s.Counters.last_change);
   t.rejected_loops <- st.st_rejected_loops;

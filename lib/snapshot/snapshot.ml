@@ -9,8 +9,13 @@ let magic = "ABRRSNAP"
    distinct block's path attributes are encoded exactly once; routes
    become (block id, prefix, path id) triples), the per-router seen-set
    is gone (derived on demand — Router.known_prefixes), and routers
-   carry 3 best-sender tables instead of 4. *)
-let format_version = 2
+   carry 3 best-sender tables instead of 4.
+   v3: counters gain the incremental-decision outcome fields
+   (decisions_full/delta/skipped). The decision engine itself is
+   deliberately NOT in the config fingerprint: both engines are proven
+   state-identical, so a snapshot taken under either restores under
+   either. *)
+let format_version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Config fingerprint                                                  *)
@@ -360,6 +365,9 @@ let wcounters b (c : Counters.t) =
   C.wint b c.Counters.withdrawals_received;
   C.wint b c.Counters.withdrawals_transmitted;
   C.wint b c.Counters.decisions_run;
+  C.wint b c.Counters.decisions_full;
+  C.wint b c.Counters.decisions_delta;
+  C.wint b c.Counters.decisions_skipped;
   C.wint b c.Counters.rib_touches;
   C.wint b c.Counters.last_change;
   C.wint b c.Counters.mem_peak_kb
@@ -376,6 +384,9 @@ let rcounters d =
   c.Counters.withdrawals_received <- C.rint d.rd;
   c.Counters.withdrawals_transmitted <- C.rint d.rd;
   c.Counters.decisions_run <- C.rint d.rd;
+  c.Counters.decisions_full <- C.rint d.rd;
+  c.Counters.decisions_delta <- C.rint d.rd;
+  c.Counters.decisions_skipped <- C.rint d.rd;
   c.Counters.rib_touches <- C.rint d.rd;
   c.Counters.last_change <- C.rint d.rd;
   c.Counters.mem_peak_kb <- C.rint d.rd;

@@ -1,6 +1,7 @@
 module Ct = Abrr_core.Counters
 
 let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
 
 let filled () =
   let c = Ct.create () in
@@ -13,6 +14,9 @@ let filled () =
   c.Ct.withdrawals_received <- 1;
   c.Ct.withdrawals_transmitted <- 2;
   c.Ct.decisions_run <- 11;
+  c.Ct.decisions_full <- 6;
+  c.Ct.decisions_delta <- 4;
+  c.Ct.decisions_skipped <- 1;
   c.Ct.last_change <- Eventsim.Time.sec 9;
   c
 
@@ -25,6 +29,9 @@ let test_add () =
   check_int "tx" 14 acc.Ct.updates_transmitted;
   check_int "bytes" 200 acc.Ct.bytes_transmitted;
   check_int "decisions" 22 acc.Ct.decisions_run;
+  check_int "full" 12 acc.Ct.decisions_full;
+  check_int "delta" 8 acc.Ct.decisions_delta;
+  check_int "skipped" 2 acc.Ct.decisions_skipped;
   (* last_change takes the max *)
   check_int "last change" (Eventsim.Time.sec 9) acc.Ct.last_change
 
@@ -34,11 +41,50 @@ let test_reset () =
   check_int "rx" 0 c.Ct.updates_received;
   check_int "gen" 0 c.Ct.updates_generated;
   check_int "bytes" 0 c.Ct.bytes_transmitted;
+  check_int "full" 0 c.Ct.decisions_full;
+  check_int "delta" 0 c.Ct.decisions_delta;
+  check_int "skipped" 0 c.Ct.decisions_skipped;
   check_int "last change" Eventsim.Time.zero c.Ct.last_change
+
+let test_copy_diff () =
+  let before = filled () in
+  let after = Ct.copy before in
+  check_int "copy full" 6 after.Ct.decisions_full;
+  after.Ct.decisions_run <- 20;
+  after.Ct.decisions_full <- 9;
+  after.Ct.decisions_delta <- 8;
+  after.Ct.decisions_skipped <- 3;
+  (* copies are independent *)
+  check_int "original untouched" 6 before.Ct.decisions_full;
+  let d = Ct.diff ~after ~before in
+  check_int "diff run" 9 d.Ct.decisions_run;
+  check_int "diff full" 3 d.Ct.decisions_full;
+  check_int "diff delta" 4 d.Ct.decisions_delta;
+  check_int "diff skipped" 2 d.Ct.decisions_skipped
+
+let test_to_fields () =
+  let fields = Ct.to_fields (filled ()) in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> Alcotest.failf "missing field %s" k
+  in
+  check_int "decisions_run field" 11 (get "decisions_run");
+  check_int "decisions_full field" 6 (get "decisions_full");
+  check_int "decisions_delta field" 4 (get "decisions_delta");
+  check_int "decisions_skipped field" 1 (get "decisions_skipped");
+  (* the split accounts for every evaluation *)
+  check_int "full+delta+skipped = run" (get "decisions_run")
+    (get "decisions_full" + get "decisions_delta" + get "decisions_skipped");
+  check_bool "fields unique" true
+    (List.length fields
+    = List.length (List.sort_uniq compare (List.map fst fields)))
 
 let suite =
   ( "counters",
     [
       Alcotest.test_case "add accumulates" `Quick test_add;
       Alcotest.test_case "reset" `Quick test_reset;
+      Alcotest.test_case "copy/diff" `Quick test_copy_diff;
+      Alcotest.test_case "to_fields" `Quick test_to_fields;
     ] )

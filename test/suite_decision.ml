@@ -267,6 +267,254 @@ let prop_kernel_matches_naive_steps =
           List.length k = List.length n && List.for_all2 ( == ) k n)
         both_modes)
 
+(* ---- incremental decision: the intrinsic_loses fast-path predicate.
+   Soundness contract (decision.mli): a strict loss against a
+   steps-1-4-surviving incumbent on the route-intrinsic key prefix means
+   the challenger is eliminated in steps 1-4 of any candidate set
+   containing that incumbent, so its arrival or departure cannot move
+   the survivor list. *)
+
+let test_intrinsic_loses () =
+  let il ?(mode = Decision.Per_neighbor_as) inc r =
+    Decision.intrinsic_loses ~med_mode:mode ~incumbent:inc r
+  in
+  let base = mk () in
+  check_bool "lower lp loses" true (il base (mk ~lp:99 ()));
+  check_bool "higher lp does not" false (il base (mk ~lp:101 ()));
+  check_bool "longer path loses" true (il base (mk ~path:[ 100; 200; 300 ] ()));
+  check_bool "shorter path does not" false (il base (mk ~path:[ 100 ] ()));
+  check_bool "worse origin loses" true (il base (mk ~origin:Origin.Egp ()));
+  check_bool "equal key is not a strict loss" false (il base (mk ~nhop:9 ()));
+  (* step 4: MED only discriminates inside the incumbent's neighbour AS
+     under per-neighbor-AS mode, everywhere under always-compare *)
+  let inc_med = mk ~med:2 () in
+  check_bool "same-AS higher MED loses" true (il inc_med (mk ~med:7 ()));
+  check_bool "same-AS lower MED does not" false (il inc_med (mk ~med:1 ()));
+  check_bool "cross-AS MED ignored (per-neighbor-AS)" false
+    (il inc_med (mk ~path:[ 300; 200 ] ~med:7 ()));
+  check_bool "cross-AS MED compared (always-compare)" true
+    (il ~mode:Decision.Always_compare inc_med (mk ~path:[ 300; 200 ] ~med:7 ()));
+  check_bool "missing MED ranks best" false (il inc_med (mk ()))
+
+let arb_rich_with_challenger =
+  QCheck.make
+    QCheck.Gen.(pair (list_size (int_range 0 16) gen_rich_candidate) gen_rich_candidate)
+
+let prop_intrinsic_reject_sound =
+  QCheck.Test.make
+    ~name:"intrinsic_loses arrival: adding the loser moves nothing (both modes)"
+    ~count:500 arb_rich_with_challenger
+    (fun (cands, challenger) ->
+      List.for_all
+        (fun med_mode ->
+          match Decision.steps_1_to_4 ~med_mode cands with
+          | [] -> true
+          | inc :: _ as s ->
+            (not
+               (Decision.intrinsic_loses ~med_mode ~incumbent:inc.Decision.route
+                  challenger.Decision.route))
+            ||
+            let with_c = cands @ [ challenger ] in
+            let s' = Decision.steps_1_to_4 ~med_mode with_c in
+            List.length s = List.length s'
+            && List.for_all2 ( == ) s s'
+            &&
+            (match (Decision.best ~med_mode cands, Decision.best ~med_mode with_c) with
+            | Some a, Some b -> a == b
+            | _ -> false))
+        both_modes)
+
+let prop_intrinsic_withdraw_sound =
+  QCheck.Test.make
+    ~name:"intrinsic_loses withdraw: dropping a loser moves nothing (both modes)"
+    ~count:500 arb_rich_candidates
+    (fun cands ->
+      List.for_all
+        (fun med_mode ->
+          match Decision.steps_1_to_4 ~med_mode cands with
+          | [] -> true
+          | inc :: _ as s ->
+            List.for_all
+              (fun c ->
+                c == inc
+                || (not
+                      (Decision.intrinsic_loses ~med_mode
+                         ~incumbent:inc.Decision.route c.Decision.route))
+                ||
+                let rest = List.filter (fun x -> x != c) cands in
+                let s' = Decision.steps_1_to_4 ~med_mode rest in
+                (* an intrinsic loser is not a survivor, so the survivor
+                   list of the shrunken set is the unchanged original *)
+                List.length s = List.length s'
+                && List.for_all2 ( == ) s s'
+                &&
+                (match
+                   (Decision.best ~med_mode cands, Decision.best ~med_mode rest)
+                 with
+                | Some a, Some b -> a == b
+                | _ -> false))
+              cands)
+        both_modes)
+
+(* ---- network-level churn oracle: the same random sequence of
+   announce / replace / withdraw / session-flush events drives two
+   identical networks, one per Config.decision engine. After every
+   event both must agree on every router's winner for every prefix, and
+   at the end the full snapshot digests (RIBs, counters, clock, random
+   stream) must be equal — the property the CI deterministic profile
+   re-checks on the bench workload. *)
+
+module AC = Abrr_core.Config
+module AN = Abrr_core.Network
+
+let churn_prefixes =
+  [| prefix; Prefix.of_string "21.0.0.0/16"; Prefix.of_string "22.0.0.0/16" |]
+
+type churn_op =
+  | Announce of int * int * int * int * int * int option * bool
+      (* router, neighbor k, prefix ix, path_id, lp, med, confed seg *)
+  | Withdraw of int * int * int * int (* router, neighbor k, prefix ix, path_id *)
+  | Flush of int (* session flush: fail the router, then recover it *)
+
+let gen_churn_op n =
+  let open QCheck.Gen in
+  let* router = int_range 0 (n - 1) in
+  frequency
+    [
+      ( 6,
+        let* k = int_range 1 3 in
+        let* p = int_range 0 2 in
+        let* pid = int_range 0 1 in
+        let* lp = int_range 99 101 in
+        let* med = opt (int_range 0 3) in
+        let* confed = bool in
+        return (Announce (router, k, p, pid, lp, med, confed)) );
+      ( 3,
+        let* k = int_range 1 3 in
+        let* p = int_range 0 2 in
+        let* pid = int_range 0 1 in
+        return (Withdraw (router, k, p, pid)) );
+      (1, return (Flush router));
+    ]
+
+let print_churn_op = function
+  | Announce (r, k, p, pid, lp, med, confed) ->
+    Printf.sprintf "announce r%d n%d p%d id%d lp%d med%s%s" r k p pid lp
+      (match med with Some m -> string_of_int m | None -> "-")
+      (if confed then " confed" else "")
+  | Withdraw (r, k, p, pid) -> Printf.sprintf "withdraw r%d n%d p%d id%d" r k p pid
+  | Flush r -> Printf.sprintf "flush r%d" r
+
+let churn_route ~k ~p ~pid ~lp ~med ~confed =
+  (* two neighbour ASes (by low bit of k) so MEDs collide inside an AS
+     group; optional confed segment so path-length accounting and
+     first_as stripping stay honest *)
+  let segs =
+    (if confed then [ As_path.Confed_seq [ asn 64512 ] ] else [])
+    @ [ As_path.Seq [ asn (7000 + (k mod 2)); asn 65500 ] ]
+  in
+  Route.make ~path_id:pid ~local_pref:lp ~med
+    ~as_path:(As_path.of_segments segs)
+    ~prefix:churn_prefixes.(p)
+    ~next_hop:(Helpers.neighbor k) ()
+
+let run_churn ~med_mode ~abrr ops =
+  let n = if abrr then 6 else 5 in
+  let cfg decision =
+    let base =
+      if abrr then Helpers.single_ap_abrr ~med_mode ~n ()
+      else Helpers.full_mesh_config ~med_mode n
+    in
+    { base with AC.decision }
+  in
+  let inc = AN.create (cfg AC.Incremental) in
+  let nai = AN.create (cfg AC.Naive) in
+  let agree () =
+    List.for_all
+      (fun i ->
+        Array.for_all
+          (fun p ->
+            match (AN.best inc ~router:i p, AN.best nai ~router:i p) with
+            | Some a, Some b -> Route.equal a b
+            | None, None -> true
+            | _ -> false)
+          churn_prefixes)
+      (List.init n Fun.id)
+  in
+  let settle () =
+    Helpers.quiesce ~check:false inc;
+    Helpers.quiesce ~check:false nai;
+    agree ()
+  in
+  let both f = f inc; f nai in
+  let step = function
+    | Announce (r, k, p, pid, lp, med, confed) ->
+      both (fun net ->
+          AN.inject net ~router:r ~neighbor:(Helpers.neighbor k)
+            (churn_route ~k ~p ~pid ~lp ~med ~confed));
+      settle ()
+    | Withdraw (r, k, p, pid) ->
+      both (fun net ->
+          AN.withdraw net ~router:r ~neighbor:(Helpers.neighbor k)
+            churn_prefixes.(p) ~path_id:pid);
+      settle ()
+    | Flush r ->
+      both (fun net -> AN.fail net ~router:r);
+      let ok = settle () in
+      both (fun net -> AN.recover net ~router:r);
+      ok && settle ()
+  in
+  List.for_all step ops
+  &&
+  match (Snapshot.digest inc, Snapshot.digest nai) with
+  | Ok a, Ok b -> a = b
+  | _ -> false
+
+(* The fast paths must actually fire: a losing arrival and a
+   non-incumbent withdrawal on a converged full mesh must classify as
+   Delta (and a no-op re-announce as Skipped), not fall back to Full —
+   otherwise the engine silently degrades to the naive cost model. *)
+let test_delta_path_taken () =
+  let net = AN.create { (Helpers.full_mesh_config 5) with AC.decision = AC.Incremental } in
+  let strong = churn_route ~k:1 ~p:0 ~pid:0 ~lp:101 ~med:None ~confed:false in
+  AN.inject net ~router:0 ~neighbor:(Helpers.neighbor 1) strong;
+  Helpers.quiesce ~check:false net;
+  let base = Abrr_core.Counters.copy (AN.total_counters net) in
+  (* losing arrival: lp 99 < incumbent's 101 everywhere *)
+  let weak = churn_route ~k:2 ~p:0 ~pid:0 ~lp:99 ~med:None ~confed:false in
+  AN.inject net ~router:1 ~neighbor:(Helpers.neighbor 2) weak;
+  Helpers.quiesce ~check:false net;
+  (* non-incumbent withdrawal of that same loser *)
+  AN.withdraw net ~router:1 ~neighbor:(Helpers.neighbor 2) churn_prefixes.(0)
+    ~path_id:0;
+  Helpers.quiesce ~check:false net;
+  (* no-op re-announce: identical route, in-place replace *)
+  AN.inject net ~router:0 ~neighbor:(Helpers.neighbor 1) strong;
+  Helpers.quiesce ~check:false net;
+  let d = Abrr_core.Counters.diff ~after:(AN.total_counters net) ~before:base in
+  check_bool "delta path fired" true (d.Abrr_core.Counters.decisions_delta > 0);
+  check_bool "skip path fired" true (d.Abrr_core.Counters.decisions_skipped > 0);
+  check_bool "winner intact" true
+    (match AN.best net ~router:3 churn_prefixes.(0) with
+    | Some r -> Route.local_pref r = 101
+    | None -> false)
+
+let arb_churn n =
+  QCheck.make
+    ~print:(fun (abrr, ops) ->
+      Printf.sprintf "%s: %s"
+        (if abrr then "abrr" else "full-mesh")
+        (String.concat "; " (List.map print_churn_op ops)))
+    QCheck.Gen.(pair bool (list_size (int_range 1 12) (gen_churn_op n)))
+
+let prop_incremental_matches_naive_churn mode_name med_mode =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf
+         "incremental = naive under random churn (%s), digests equal" mode_name)
+    ~count:12 (arb_churn 5)
+    (fun (abrr, ops) -> run_churn ~med_mode ~abrr ops)
+
 let suite =
   ( "decision",
     [
@@ -292,4 +540,14 @@ let suite =
       QCheck_alcotest.to_alcotest prop_losers_do_not_matter;
       QCheck_alcotest.to_alcotest prop_kernel_matches_naive_best;
       QCheck_alcotest.to_alcotest prop_kernel_matches_naive_steps;
+      Alcotest.test_case "intrinsic_loses (per step)" `Quick test_intrinsic_loses;
+      QCheck_alcotest.to_alcotest prop_intrinsic_reject_sound;
+      QCheck_alcotest.to_alcotest prop_intrinsic_withdraw_sound;
+      Alcotest.test_case "delta/skip fast paths fire" `Quick test_delta_path_taken;
+      QCheck_alcotest.to_alcotest
+        (prop_incremental_matches_naive_churn "per-neighbor-as"
+           Decision.Per_neighbor_as);
+      QCheck_alcotest.to_alcotest
+        (prop_incremental_matches_naive_churn "always-compare"
+           Decision.Always_compare);
     ] )

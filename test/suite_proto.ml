@@ -42,6 +42,49 @@ let test_channel_tags_distinct () =
   in
   check_int "distinct" 5 (List.length (List.sort_uniq Int.compare tags))
 
+let prefix2 = Prefix.of_string "21.0.0.0/16"
+
+let test_coalesce_last_wins () =
+  (* three updates of one (channel, prefix) key in a single delivery:
+     only the last survives, since apply_item replaces the stored set *)
+  let items =
+    [
+      (Proto.Mesh, Proto.delta prefix [ mk 1 ]);
+      (Proto.Mesh, Proto.delta prefix [ mk 2 ]);
+      (Proto.Mesh, Proto.delta ~withdrawn_ids:[ 2 ] prefix []);
+    ]
+  in
+  match Proto.coalesce items with
+  | [ (Proto.Mesh, d) ] -> check_bool "last wins" true (Proto.is_withdraw d)
+  | l -> Alcotest.failf "expected 1 item, got %d" (List.length l)
+
+let test_coalesce_keys_independent () =
+  (* distinct prefixes and distinct channels never coalesce with each
+     other, and the surviving items keep their relative order *)
+  let items =
+    [
+      (Proto.Mesh, Proto.delta prefix [ mk 1 ]);
+      (Proto.Mesh, Proto.delta prefix2 [ mk 1 ]);
+      (Proto.To_trr, Proto.delta prefix [ mk 3 ]);
+      (Proto.Mesh, Proto.delta prefix [ mk 2 ]);
+    ]
+  in
+  match Proto.coalesce items with
+  | [ (Proto.Mesh, a); (Proto.To_trr, b); (Proto.Mesh, c) ] ->
+    check_bool "prefix2 untouched" true (Prefix.equal a.Proto.prefix prefix2);
+    check_bool "other channel untouched" true (Prefix.equal b.Proto.prefix prefix);
+    check_bool "mesh keeps final" true
+      (match c.Proto.routes with
+      | [ r ] -> r.Bgp.Route.path_id = 2
+      | _ -> false)
+  | l -> Alcotest.failf "expected 3 items, got %d" (List.length l)
+
+let test_coalesce_identity () =
+  (* zero- and one-item deliveries come back physically unchanged *)
+  check_bool "empty" true (Proto.coalesce [] = []);
+  let one = [ (Proto.Mesh, Proto.delta prefix [ mk 1 ]) ] in
+  check_bool "singleton" true (Proto.coalesce one == one)
+
 let suite =
   ( "proto",
     [
@@ -49,4 +92,10 @@ let suite =
       Alcotest.test_case "to_update" `Quick test_to_update;
       Alcotest.test_case "wire size" `Quick test_wire_size;
       Alcotest.test_case "channel tags" `Quick test_channel_tags_distinct;
+      Alcotest.test_case "coalesce: last wins per key" `Quick
+        test_coalesce_last_wins;
+      Alcotest.test_case "coalesce: keys independent, order kept" `Quick
+        test_coalesce_keys_independent;
+      Alcotest.test_case "coalesce: identity on small lists" `Quick
+        test_coalesce_identity;
     ] )

@@ -257,6 +257,43 @@ let prop_trie_matches_list_model =
       same_contents && counts_ok && gets_ok && lpm_ok
       || QCheck.Test.fail_report "trie diverged from list model")
 
+(* ---- Dirty: the per-prefix dirty set behind the router's batched
+   decision pass (Router.run_batch). *)
+
+let test_dirty_mark_and_find () =
+  let d = Rib.Dirty.create () in
+  check_bool "fresh set is empty" true (Rib.Dirty.is_empty d);
+  let v1 = Rib.Dirty.mark d p1 (fun () -> ref 1) in
+  (* re-marking the same prefix must return the tracked payload, not a
+     fresh one: same-prefix churn within a batch coalesces *)
+  let v2 = Rib.Dirty.mark d p1 (fun () -> ref 99) in
+  check_bool "payload shared" true (v1 == v2);
+  check_int "one dirty prefix" 1 (Rib.Dirty.count d);
+  ignore (Rib.Dirty.mark d p2 (fun () -> ref 2));
+  check_int "two dirty prefixes" 2 (Rib.Dirty.count d);
+  check_bool "find tracked" true
+    (match Rib.Dirty.find d p1 with Some r -> !r = 1 | None -> false);
+  check_bool "find untracked" true
+    (Rib.Dirty.find d (Prefix.of_string "99.0.0.0/8") = None)
+
+let test_dirty_drain_clears () =
+  let d = Rib.Dirty.create () in
+  ignore (Rib.Dirty.mark d p2 (fun () -> 2));
+  ignore (Rib.Dirty.mark d p1 (fun () -> 1));
+  let drained = Rib.Dirty.drain d in
+  (* ascending prefix order regardless of mark order *)
+  check_bool "sorted by prefix" true
+    (match drained with
+    | [ (a, 1); (b, 2) ] -> Prefix.equal a p1 && Prefix.equal b p2
+    | _ -> false);
+  (* the dirty set is cleared after the batch: drain leaves it empty
+     and a second drain yields nothing *)
+  check_bool "cleared after drain" true (Rib.Dirty.is_empty d);
+  check_int "second drain empty" 0 (List.length (Rib.Dirty.drain d));
+  ignore (Rib.Dirty.mark d p1 (fun () -> 7));
+  check_bool "reusable after drain" true
+    (match Rib.Dirty.drain d with [ (_, 7) ] -> true | _ -> false)
+
 let suite =
   ( "rib",
     [
@@ -269,4 +306,7 @@ let suite =
       QCheck_alcotest.to_alcotest prop_entry_count_invariant;
       Alcotest.test_case "longest match" `Quick test_longest_match;
       QCheck_alcotest.to_alcotest prop_trie_matches_list_model;
+      Alcotest.test_case "dirty: mark/find coalesce" `Quick test_dirty_mark_and_find;
+      Alcotest.test_case "dirty: drain sorts and clears" `Quick
+        test_dirty_drain_clears;
     ] )

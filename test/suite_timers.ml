@@ -76,6 +76,35 @@ let test_withdraw_coalesces_with_announce () =
   quiesce net;
   check_bool "withdrawn at peer" true (N.best net ~router:1 prefix = None)
 
+let test_batch_drains_dirty_once () =
+  (* five same-prefix changes land in one processing window: the batch
+     marks the prefix dirty once and evaluates it exactly once, and the
+     MRAI flush that carries the result transmits exactly once — after
+     quiescence the pending queue is empty, so nothing re-flushes *)
+  let cfg =
+    C.make ~mrai:(Time.sec 5) ~proc_delay:(Time.ms 100) ~n_routers:2
+      ~igp:(flat_igp 2) ~scheme:C.Full_mesh ()
+  in
+  let net = N.create cfg in
+  inject net ~router:0 (route ~med:100 ~prefix 0);
+  quiesce net;
+  let snap i = Abrr_core.Counters.copy (N.counters net i) in
+  let b0 = snap 0 and b1 = snap 1 in
+  for m = 1 to 5 do
+    N.at net (Time.sec 10 + Time.ms (m * 10)) (fun () ->
+        inject net ~router:0 (route ~med:m ~prefix 0))
+  done;
+  quiesce net;
+  let d0 = Abrr_core.Counters.diff ~after:(N.counters net 0) ~before:b0 in
+  let d1 = Abrr_core.Counters.diff ~after:(N.counters net 1) ~before:b1 in
+  check_int "one evaluation for five inputs" 1 d0.Abrr_core.Counters.decisions_run;
+  check_int "one transmission" 1 d0.Abrr_core.Counters.updates_transmitted;
+  check_int "one delivery, one evaluation at peer" 1
+    d1.Abrr_core.Counters.decisions_run;
+  match N.best net ~router:1 prefix with
+  | Some r -> check_bool "final state wins" true (Bgp.Route.med r = Some 5)
+  | None -> Alcotest.fail "no route"
+
 let suite =
   ( "timers",
     [
@@ -85,4 +114,6 @@ let suite =
         test_processing_window_batches;
       Alcotest.test_case "withdraw coalesces" `Quick
         test_withdraw_coalesces_with_announce;
+      Alcotest.test_case "batch drains dirty set once" `Quick
+        test_batch_drains_dirty_once;
     ] )

@@ -224,6 +224,50 @@ let prop_roundtrip =
         let sort rs = List.sort Route.compare rs in
         List.equal Route.equal (sort routes) (sort announced))
 
+(* The analytical sizer must agree with the real encoder on every
+   update: bytes and message count, across attribute grouping,
+   withdrawal batching, 4096-byte fragmentation and both add-paths
+   settings. The generator's long AS paths also cross the 255-byte
+   extended-length attribute threshold. *)
+let prop_measure_matches_encode =
+  QCheck.Test.make ~name:"measure_update = encode (bytes and messages)"
+    ~count:300
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 40) arb_route)
+        (list_of_size (Gen.int_range 0 30)
+           (pair (int_bound 255) (int_bound 1000)))
+        bool)
+    (fun (routes, wds, add_paths) ->
+      let long_tail =
+        (* a >63-ASN path forces the extended-length attribute header *)
+        match routes with
+        | r :: _ ->
+          [
+            Route.update
+              ~as_path:
+                (As_path.of_asns (List.init 70 (fun i -> Asn.of_int (i + 1))))
+              r;
+          ]
+        | [] -> []
+      in
+      let u =
+        {
+          Msg.withdrawn =
+            List.map
+              (fun (b, pid) ->
+                {
+                  Msg.prefix = Prefix.make (Ipv4.of_octets 30 b 0 0) 16;
+                  path_id = pid;
+                })
+              wds;
+          announced = routes @ long_tail;
+        }
+      in
+      let encoded = Wire.encode ~add_paths (Msg.Update u) in
+      let bytes = List.fold_left (fun n b -> n + Bytes.length b) 0 encoded in
+      Wire.measure_update ~add_paths u = (bytes, List.length encoded))
+
 let prop_fuzz_no_crash =
   QCheck.Test.make ~name:"random bytes never crash the decoder" ~count:300
     QCheck.(string_of_size (Gen.int_range 0 200))
@@ -261,6 +305,7 @@ let suite =
       Alcotest.test_case "decode errors" `Quick test_decode_errors;
       Alcotest.test_case "add-paths ids" `Quick test_add_paths_flag_matters;
       QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_measure_matches_encode;
       QCheck_alcotest.to_alcotest prop_fuzz_no_crash;
       QCheck_alcotest.to_alcotest prop_bitflip_no_crash;
     ] )
