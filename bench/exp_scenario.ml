@@ -1,0 +1,64 @@
+(* The adversarial & operational scenario catalog (lib/scenario) as a
+   benchmark record: the full seven-scenario catalog over the
+   paper-scale 1008-router topology (42 PoPs x 24 routers), exactly the
+   workload the CI gate runs through `abrr_sim scenario --bench-out`.
+   Everything but the wall-clock metric is deterministic for the fixed
+   seed, so the record is hard-gated against bench/baseline/. *)
+
+module E = Metrics.Emit
+module SE = Scenario.Engine
+
+let pops = 42
+let routers_per_pop = 24
+let peer_ases = 15
+let peering_points_per_as = 6
+let prefixes = 60
+let aps = 8
+let arrs_per_ap = 2
+let seed = 7
+
+let run () =
+  let env =
+    Scenario.Catalog.env
+      (Scenario.Catalog.spec ~pops ~routers_per_pop ~peer_ases
+         ~peering_points_per_as ~prefixes ~aps ~arrs_per_ap ~seed ())
+  in
+  let fi = float_of_int in
+  let m = E.metric in
+  let point name =
+    let wall0 = Unix.gettimeofday () in
+    let r = Scenario.Catalog.run env ~scheme:"abrr" name in
+    (r, Unix.gettimeofday () -. wall0)
+  in
+  let timed = Exp_common.map_points point Scenario.Catalog.names in
+  let runs =
+    List.map
+      (fun ((r : SE.result), wall) ->
+        let failed =
+          List.length (List.filter (fun c -> not c.SE.ok) r.SE.checks)
+        in
+        E.run
+          ~label:("scenario." ^ r.SE.name)
+          ~scheme:r.SE.scheme
+          ~knobs:
+            [ ("pops", fi pops); ("routers_per_pop", fi routers_per_pop);
+              ("peer_ases", fi peer_ases);
+              ("peering_points", fi peering_points_per_as);
+              ("prefixes", fi prefixes); ("aps", fi aps);
+              ("arrs_per_ap", fi arrs_per_ap); ("seed", fi seed);
+              ("mrai_s", 0.) ]
+          ~wall_s:wall
+          ~sim_s:(Eventsim.Time.to_sec r.SE.sim_end)
+          ~events:r.SE.events
+          ~counters:(Abrr_core.Counters.to_fields r.SE.counters)
+          [ m "checks" (fi (List.length r.SE.checks));
+            m "checks_failed" (fi failed);
+            m "invariant_violations" (fi r.SE.invariant_violations);
+            m "detections" (fi r.SE.detections);
+            E.metric ~unit_:"s" ~gate:false "scenario_wall_s" wall ])
+      timed
+  in
+  List.iter
+    (fun ((r : SE.result), _) -> print_endline (SE.summary_line r))
+    timed;
+  Exp_common.emit { E.experiment = "scenario"; runs }

@@ -43,6 +43,8 @@ let experiments =
     ("micro", "Bechamel micro-benchmarks", Micro.run);
     ("scale", "Memory-compact RIB at scale: RSS, throughput, latency",
      Exp_scale.run);
+    ("scenario", "Adversarial & operational scenario catalog, paper scale",
+     Exp_scenario.run);
   ]
 
 let matches arg (name, _, _) =

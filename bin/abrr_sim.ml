@@ -7,6 +7,7 @@
      resume     restore a checkpoint and run it to completion
      bisect     binary-search where two deterministic runs first diverge
      check      statically verify a configuration (no simulation)
+     scenario   run the adversarial/operational scenario catalog
      gadget     run one of the Sec 2.3 anomaly gadgets
      trace      generate an MRT update trace (and optionally replay it)
      partition  print an address-partition layout *)
@@ -813,6 +814,135 @@ let lint_cmd =
       $ prefixes_t $ aps_t $ arrs_t $ seed_t $ json_t $ expect_t
       $ bench_out_t)
 
+(* ---- scenario -------------------------------------------------------- *)
+
+(* The adversarial / operational scenario catalog (lib/scenario): each
+   scenario builds a fresh network from the shared workload, injects its
+   fault or attack, and scores named checks under runtime-invariant
+   supervision. The findings flow through the same Verify.Report
+   renderer and --expect/exit-code contract as check/lint. *)
+let scenario scheme_label only pops rpp pas points prefixes aps arrs seed mrai
+    json expect bench_out =
+  let env =
+    match
+      Scenario.Catalog.env
+        (Scenario.Catalog.spec ~pops ~routers_per_pop:rpp ~peer_ases:pas
+           ~peering_points_per_as:points ~prefixes ~aps ~arrs_per_ap:arrs
+           ~mrai:(Eventsim.Time.sec mrai) ~seed ())
+    with
+    | exception e ->
+      prerr_endline ("cannot build the workload: " ^ Printexc.to_string e);
+      Stdlib.exit 2
+    | env -> env
+  in
+  let selected =
+    match only with
+    | [] -> Scenario.Catalog.names
+    | l ->
+      List.iter
+        (fun n ->
+          if not (List.mem n Scenario.Catalog.names) then begin
+            prerr_endline
+              ("unknown scenario " ^ n ^ " (have: "
+              ^ String.concat ", " Scenario.Catalog.names
+              ^ ")");
+            Stdlib.exit 2
+          end)
+        l;
+      List.filter (fun n -> List.mem n l) Scenario.Catalog.names
+  in
+  let timed =
+    List.map
+      (fun name ->
+        let wall0 = Unix.gettimeofday () in
+        match Scenario.Catalog.run env ~scheme:scheme_label name with
+        | exception e ->
+          prerr_endline ("internal scenario error: " ^ Printexc.to_string e);
+          Stdlib.exit 3
+        | r -> (r, Unix.gettimeofday () -. wall0))
+      selected
+  in
+  let results = List.map fst timed in
+  if not json then
+    List.iter (fun r -> print_endline (Scenario.Engine.summary_line r)) results;
+  (match bench_out with
+  | None -> ()
+  | Some dir ->
+    let module E = Metrics.Emit in
+    let module SE = Scenario.Engine in
+    let fi = float_of_int in
+    let m = E.metric in
+    let runs =
+      List.map
+        (fun ((r : SE.result), wall) ->
+          let failed =
+            List.length (List.filter (fun c -> not c.SE.ok) r.SE.checks)
+          in
+          E.run
+            ~label:("scenario." ^ r.SE.name)
+            ~scheme:r.SE.scheme
+            ~knobs:
+              [ ("pops", fi pops); ("routers_per_pop", fi rpp);
+                ("peer_ases", fi pas); ("peering_points", fi points);
+                ("prefixes", fi prefixes); ("aps", fi aps);
+                ("arrs_per_ap", fi arrs); ("seed", fi seed);
+                ("mrai_s", fi mrai) ]
+            ~wall_s:wall ~sim_s:(Eventsim.Time.to_sec r.SE.sim_end)
+            ~events:r.SE.events
+            ~counters:(Abrr_core.Counters.to_fields r.SE.counters)
+            [ m "checks" (fi (List.length r.SE.checks));
+              m "checks_failed" (fi failed);
+              m "invariant_violations" (fi r.SE.invariant_violations);
+              m "detections" (fi r.SE.detections);
+              E.metric ~unit_:"s" ~gate:false "scenario_wall_s" wall ])
+        timed
+    in
+    let record = { E.experiment = "scenario"; runs } in
+    let path = Filename.concat dir (E.filename "scenario") in
+    E.write_file path record;
+    prerr_endline ("benchmark record written to " ^ path));
+  finish_report ~json ~expect (Scenario.Engine.report results)
+
+let scenario_cmd =
+  let doc =
+    "Run the adversarial & operational scenario catalog: prefix hijack, \
+     route leak, persistent flapping vs. RFC 2439 damping, a session reset \
+     under churn, and the ABRR drills (ARR failure with AP takeover, live \
+     repartitioning within the consistent-hashing movement bound, the \
+     Sec 2.4 TBRR-to-ABRR migration). Every scenario runs under runtime \
+     invariant supervision and scores named checks; findings use the \
+     check/lint report schema. Exit 0 = pass, 1 = findings, 2 = usage, 3 = \
+     internal error (see EXIT STATUS)."
+  in
+  let scheme_label_t =
+    Arg.(value
+         & opt (enum [ ("abrr", "abrr"); ("tbrr", "tbrr"); ("mesh", "mesh");
+                       ("confed", "confed"); ("rcp", "rcp") ]) "abrr"
+         & info [ "scheme" ] ~docv:"abrr|tbrr|mesh|confed|rcp"
+             ~doc:"iBGP scheme the scheme-agnostic scenarios run under (the \
+                   ABRR drills ignore it: arr-failover and repartition are \
+                   ABRR by construction, migration runs Dual).")
+  in
+  let only_t =
+    Arg.(value & opt_all string []
+         & info [ "only" ] ~docv:"NAME"
+             ~doc:"Run only scenario $(docv) (repeatable; default: the whole \
+                   catalog in order).")
+  in
+  let bench_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "bench-out" ] ~docv:"DIR"
+             ~doc:"Write a BENCH_scenario.json record (per-scenario check / \
+                   violation / detection counts plus the network-total \
+                   counters) into $(docv), comparable with \
+                   $(b,bench/compare.exe).")
+  in
+  Cmd.v (Cmd.info "scenario" ~doc ~exits:exits_doc)
+    Term.(
+      const scenario $ scheme_label_t $ only_t $ pops_t $ rpp_t $ pas_t
+      $ points_t $ prefixes_t $ aps_t $ arrs_t $ seed_t $ mrai_t $ json_t
+      $ expect_t $ bench_out_t)
+
 (* ---- gadget --------------------------------------------------------- *)
 
 let gadget kind flavor =
@@ -1143,4 +1273,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ simulate_cmd; bench_cmd; snapshot_cmd; resume_cmd; bisect_cmd;
-            check_cmd; lint_cmd; gadget_cmd; explore_cmd; replay_cmd; trace_cmd; boot_cmd; partition_cmd ]))
+            check_cmd; lint_cmd; scenario_cmd; gadget_cmd; explore_cmd;
+            replay_cmd; trace_cmd; boot_cmd; partition_cmd ]))

@@ -1,0 +1,65 @@
+module Time = Eventsim.Time
+
+type event = Withdrawal | Attr_change
+
+type params = {
+  penalty_withdraw : float;
+  penalty_attr : float;
+  suppress_threshold : float;
+  reuse_threshold : float;
+  half_life : Time.t;
+  max_suppress : Time.t;
+}
+
+let make ?(penalty_withdraw = 1000.) ?(penalty_attr = 500.)
+    ?(suppress_threshold = 2000.) ?(reuse_threshold = 750.)
+    ?(half_life = Time.minutes 15) ?(max_suppress = Time.minutes 60) () =
+  let pos name v =
+    if v <= 0. then invalid_arg ("Damping.make: " ^ name ^ " must be positive")
+  in
+  pos "penalty_withdraw" penalty_withdraw;
+  pos "penalty_attr" penalty_attr;
+  pos "suppress_threshold" suppress_threshold;
+  pos "reuse_threshold" reuse_threshold;
+  if reuse_threshold >= suppress_threshold then
+    invalid_arg "Damping.make: reuse_threshold must be below suppress_threshold";
+  if half_life <= Time.zero || max_suppress <= Time.zero then
+    invalid_arg "Damping.make: half_life and max_suppress must be positive";
+  {
+    penalty_withdraw;
+    penalty_attr;
+    suppress_threshold;
+    reuse_threshold;
+    half_life;
+    max_suppress;
+  }
+
+let default = make ()
+
+let half_lives p dt = float_of_int dt /. float_of_int p.half_life
+
+let ceiling p = p.reuse_threshold *. (2. ** half_lives p p.max_suppress)
+
+let decay p ~penalty ~dt =
+  if dt <= Time.zero then penalty else penalty *. (2. ** -.half_lives p dt)
+
+let penalize p ~penalty ~dt ev =
+  let inc =
+    match ev with
+    | Withdrawal -> p.penalty_withdraw
+    | Attr_change -> p.penalty_attr
+  in
+  Float.min (decay p ~penalty ~dt +. inc) (ceiling p)
+
+let suppresses p penalty = penalty > p.suppress_threshold
+let reusable p penalty = penalty < p.reuse_threshold
+
+let reuse_delay p ~penalty =
+  if reusable p penalty then Time.zero
+  else begin
+    let ratio = penalty /. p.reuse_threshold in
+    let dt =
+      int_of_float (Float.ceil (float_of_int p.half_life *. Float.log2 ratio))
+    in
+    Int.max Time.zero (Int.min dt p.max_suppress)
+  end

@@ -1,0 +1,75 @@
+(** Route-flap damping arithmetic (RFC 2439 style).
+
+    Pure penalty bookkeeping: a figure of merit per (prefix, eBGP
+    session) that grows on instability and decays exponentially with
+    configured half-life. Crossing [suppress_threshold] suppresses the
+    route; it becomes usable again once decay brings the penalty back
+    under [reuse_threshold]. This module owns only the arithmetic —
+    the per-route state machine (held routes, reinstatement passes)
+    lives in the router ({!section-"core"} [Router]), and damping is
+    {e off by default} ([Config.make ~damping]).
+
+    Penalties are plain floats; elapsed time is simulated
+    {!Eventsim.Time.t}. All functions are total on valid {!params}
+    (see {!make}). *)
+
+type event =
+  | Withdrawal  (** the peer withdrew the route *)
+  | Attr_change  (** the peer re-announced with different attributes *)
+
+type params = {
+  penalty_withdraw : float;  (** penalty added per {!Withdrawal} *)
+  penalty_attr : float;  (** penalty added per {!Attr_change} *)
+  suppress_threshold : float;
+      (** penalty above which the route is suppressed *)
+  reuse_threshold : float;
+      (** decayed penalty below which a suppressed route is reusable *)
+  half_life : Eventsim.Time.t;  (** exponential-decay half-life *)
+  max_suppress : Eventsim.Time.t;
+      (** longest a route may stay suppressed; also caps the penalty at
+          {!ceiling} so decay can always honour it *)
+}
+
+val make :
+  ?penalty_withdraw:float ->
+  ?penalty_attr:float ->
+  ?suppress_threshold:float ->
+  ?reuse_threshold:float ->
+  ?half_life:Eventsim.Time.t ->
+  ?max_suppress:Eventsim.Time.t ->
+  unit ->
+  params
+(** Defaults are the RFC 2439 examples: withdrawal penalty 1000,
+    attribute-change penalty 500, suppress at 2000, reuse at 750,
+    half-life 15 min, max suppress 60 min.
+    @raise Invalid_argument if any penalty or threshold is non-positive,
+    [reuse_threshold >= suppress_threshold], or a time is non-positive. *)
+
+val default : params
+(** [make ()]. *)
+
+val ceiling : params -> float
+(** The penalty cap [reuse_threshold * 2^(max_suppress / half_life)]:
+    any penalty at or below it decays below [reuse_threshold] within
+    [max_suppress]. *)
+
+val decay : params -> penalty:float -> dt:Eventsim.Time.t -> float
+(** The penalty after [dt] of quiet: [penalty * 2^(-dt / half_life)].
+    Negative [dt] is treated as zero (no retroactive growth). *)
+
+val penalize :
+  params -> penalty:float -> dt:Eventsim.Time.t -> event -> float
+(** Decay the stored penalty by [dt], add the event's increment, clamp
+    to {!ceiling}. *)
+
+val suppresses : params -> float -> bool
+(** Whether a (fresh) penalty is above the suppress threshold. *)
+
+val reusable : params -> float -> bool
+(** Whether a (decayed) penalty has fallen below the reuse threshold. *)
+
+val reuse_delay : params -> penalty:float -> Eventsim.Time.t
+(** Time until [decay] brings [penalty] under [reuse_threshold]:
+    [half_life * log2 (penalty / reuse_threshold)], rounded up to the
+    next microsecond and clamped to [\[0, max_suppress\]]. Zero when the
+    penalty is already reusable. *)

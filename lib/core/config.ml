@@ -10,8 +10,8 @@ type tbrr_spec = {
 type loop_prevention = Reflected_bit | Cluster_list
 
 type abrr_spec = {
-  partition : Partition.t;
-  arrs : int list array;
+  mutable partition : Partition.t;
+  mutable arrs : int list array;
   loop_prevention : loop_prevention;
 }
 
@@ -45,6 +45,7 @@ type t = {
   store_full_sets : bool;
   control_plane_rrs : bool;
   decision : decision;
+  damping : Bgp.Damping.params option;
 }
 
 let proc_delay_of t i =
@@ -58,8 +59,8 @@ let make ?(asn = Bgp.Asn.of_int 65000) ?(med_mode = Bgp.Decision.Per_neighbor_as
     ?(mrai = Time.zero) ?(link_delay = default_link_delay)
     ?(proc_delay = Time.ms 1) ?(proc_jitter = Time.zero)
     ?(store_full_sets = false)
-    ?(control_plane_rrs = false) ?(decision = Incremental) ~n_routers ~igp
-    ~scheme () =
+    ?(control_plane_rrs = false) ?(decision = Incremental) ?damping ~n_routers
+    ~igp ~scheme () =
   {
     n_routers;
     asn;
@@ -73,6 +74,7 @@ let make ?(asn = Bgp.Asn.of_int 65000) ?(med_mode = Bgp.Decision.Per_neighbor_as
     store_full_sets;
     control_plane_rrs;
     decision;
+    damping;
   }
 
 let tbrr ?(multipath = false) ?(best_external = false) clusters =

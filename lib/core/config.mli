@@ -32,10 +32,14 @@ type loop_prevention = Reflected_bit | Cluster_list
     ablation. *)
 
 type abrr_spec = {
-  partition : Partition.t;
-  arrs : int list array;  (** [arrs.(ap)] = routers serving that AP *)
+  mutable partition : Partition.t;
+  mutable arrs : int list array;  (** [arrs.(ap)] = routers serving that AP *)
   loop_prevention : loop_prevention;
 }
+(** [partition] and [arrs] are mutable for the live-repartition drill
+    ({!Network.repartition}): the running network rewrites them in place
+    and re-derives every router's role. Do not mutate them directly —
+    routers cache roles derived from these fields. *)
 
 type confed_spec = {
   sub_as_of : int array;  (** router index -> member sub-AS index *)
@@ -94,6 +98,10 @@ type t = {
   control_plane_rrs : bool;
       (** RRs are pure control-plane devices: not clients, no data plane *)
   decision : decision;
+  damping : Bgp.Damping.params option;
+      (** route-flap damping on eBGP-learned routes (RFC 2439 style,
+          {!Bgp.Damping}); [None] (the default) disables damping
+          entirely — no penalty state is kept *)
 }
 
 val make :
@@ -106,6 +114,7 @@ val make :
   ?store_full_sets:bool ->
   ?control_plane_rrs:bool ->
   ?decision:decision ->
+  ?damping:Bgp.Damping.params ->
   n_routers:int ->
   igp:Igp.Graph.t ->
   scheme:scheme ->
@@ -113,7 +122,7 @@ val make :
   t
 (** Defaults: AS 65000, per-neighbour-AS MED, MRAI off, the deterministic
     {!default_link_delay}, 1 ms processing delay with no jitter, best-only
-    client storage, data-plane RRs, incremental decision. *)
+    client storage, data-plane RRs, incremental decision, no damping. *)
 
 val proc_delay_of : t -> int -> Time.t
 (** Effective per-batch processing delay of a router (base + phase). *)

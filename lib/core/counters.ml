@@ -13,6 +13,10 @@ type t = {
   mutable decisions_delta : int;
   mutable decisions_skipped : int;
   mutable rib_touches : int;
+  mutable routes_damped : int;
+  mutable hijacks_injected : int;
+  mutable takeovers : int;
+  mutable prefixes_moved_on_repartition : int;
   mutable last_change : Eventsim.Time.t;
   mutable mem_peak_kb : int;
 }
@@ -33,6 +37,10 @@ let create () =
     decisions_delta = 0;
     decisions_skipped = 0;
     rib_touches = 0;
+    routes_damped = 0;
+    hijacks_injected = 0;
+    takeovers = 0;
+    prefixes_moved_on_repartition = 0;
     last_change = Eventsim.Time.zero;
     mem_peak_kb = 0;
   }
@@ -52,6 +60,10 @@ let reset t =
   t.decisions_delta <- 0;
   t.decisions_skipped <- 0;
   t.rib_touches <- 0;
+  t.routes_damped <- 0;
+  t.hijacks_injected <- 0;
+  t.takeovers <- 0;
+  t.prefixes_moved_on_repartition <- 0;
   t.last_change <- Eventsim.Time.zero;
   t.mem_peak_kb <- 0
 
@@ -71,6 +83,11 @@ let add acc x =
   acc.decisions_delta <- acc.decisions_delta + x.decisions_delta;
   acc.decisions_skipped <- acc.decisions_skipped + x.decisions_skipped;
   acc.rib_touches <- acc.rib_touches + x.rib_touches;
+  acc.routes_damped <- acc.routes_damped + x.routes_damped;
+  acc.hijacks_injected <- acc.hijacks_injected + x.hijacks_injected;
+  acc.takeovers <- acc.takeovers + x.takeovers;
+  acc.prefixes_moved_on_repartition <-
+    acc.prefixes_moved_on_repartition + x.prefixes_moved_on_repartition;
   acc.last_change <- max acc.last_change x.last_change;
   acc.mem_peak_kb <- max acc.mem_peak_kb x.mem_peak_kb
 
@@ -96,6 +113,11 @@ let diff ~after ~before =
     decisions_delta = after.decisions_delta - before.decisions_delta;
     decisions_skipped = after.decisions_skipped - before.decisions_skipped;
     rib_touches = after.rib_touches - before.rib_touches;
+    routes_damped = after.routes_damped - before.routes_damped;
+    hijacks_injected = after.hijacks_injected - before.hijacks_injected;
+    takeovers = after.takeovers - before.takeovers;
+    prefixes_moved_on_repartition =
+      after.prefixes_moved_on_repartition - before.prefixes_moved_on_repartition;
     last_change = after.last_change;
     mem_peak_kb = after.mem_peak_kb;
   }
@@ -116,6 +138,10 @@ let to_fields t =
     ("decisions_delta", t.decisions_delta);
     ("decisions_skipped", t.decisions_skipped);
     ("rib_touches", t.rib_touches);
+    ("routes_damped", t.routes_damped);
+    ("hijacks_injected", t.hijacks_injected);
+    ("takeovers", t.takeovers);
+    ("prefixes_moved_on_repartition", t.prefixes_moved_on_repartition);
     ("last_change_us", t.last_change);
     ("mem_peak_kb", t.mem_peak_kb);
   ]
@@ -145,10 +171,12 @@ let sample_mem t = t.mem_peak_kb <- max t.mem_peak_kb (peak_rss_kb ())
 let pp fmt t =
   Format.fprintf fmt
     "rx=%d gen=%d tx=%d sup=%d msgs=%d bytes_tx=%d bytes_rx=%d wd_rx=%d \
-     wd_tx=%d decisions=%d full=%d delta=%d skipped=%d rib=%d last_change=%a \
-     mem_peak_kb=%d"
+     wd_tx=%d decisions=%d full=%d delta=%d skipped=%d rib=%d damped=%d \
+     hijacks=%d takeovers=%d moved=%d last_change=%a mem_peak_kb=%d"
     t.updates_received t.updates_generated t.updates_transmitted
     t.updates_suppressed t.messages_transmitted t.bytes_transmitted
     t.bytes_received t.withdrawals_received t.withdrawals_transmitted
     t.decisions_run t.decisions_full t.decisions_delta t.decisions_skipped
-    t.rib_touches Eventsim.Time.pp t.last_change t.mem_peak_kb
+    t.rib_touches t.routes_damped t.hijacks_injected t.takeovers
+    t.prefixes_moved_on_repartition Eventsim.Time.pp t.last_change
+    t.mem_peak_kb

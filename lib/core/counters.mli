@@ -44,6 +44,21 @@ type t = {
       (** route-set replacements applied to any RIB table (Loc-RIB,
           reflector and client Adj-RIB-Outs) — the memory-traffic proxy
           for RIB maintenance cost *)
+  mutable routes_damped : int;
+      (** eBGP routes suppressed by route-flap damping (RFC 2439 penalty
+          crossing the suppress threshold); counted once per suppression
+          episode, on the border router applying the damping *)
+  mutable hijacks_injected : int;
+      (** adversarial routes (forged origin / leaked path) injected at
+          this router's peering sessions by a scenario run *)
+  mutable takeovers : int;
+      (** address partitions whose service this ARR picked up after a
+          sibling ARR failure (scenario accounting, attributed to the
+          surviving reflector) *)
+  mutable prefixes_moved_on_repartition : int;
+      (** prefixes whose serving-AP assignment changed across a live
+          repartition (scenario accounting, attributed to the router
+          driving the drill) *)
   mutable last_change : Eventsim.Time.t;
       (** simulated time of the most recent Loc-RIB change *)
   mutable mem_peak_kb : int;

@@ -217,6 +217,28 @@ let set_acceptance t ~ap mode =
     Array.iter Router.redecide_all t.routers
   end
 
+let repartition t ~partition ~arrs =
+  match t.config.Config.scheme with
+  | Config.Abrr spec ->
+    if Array.length arrs <> Partition.count partition then
+      invalid_arg
+        "Network.repartition: arrs array length does not match partition size";
+    Array.iter
+      (fun l ->
+        if l = [] then invalid_arg "Network.repartition: AP without ARRs";
+        List.iter
+          (fun i ->
+            if i < 0 || i >= Array.length t.routers then
+              invalid_arg "Network.repartition: ARR index out of range")
+          l)
+      arrs;
+    spec.Config.partition <- partition;
+    spec.Config.arrs <- arrs;
+    Array.iter Router.apply_repartition t.routers
+  | Config.Full_mesh | Config.Tbrr _ | Config.Confed _ | Config.Rcp _
+  | Config.Dual _ ->
+    invalid_arg "Network.repartition: scheme is not ABRR"
+
 (* ------------------------------------------------------------------ *)
 (* Checkpoint support                                                  *)
 

@@ -138,6 +138,19 @@ val set_acceptance : t -> ap:int -> Config.acceptance -> unit
 (** Flip one AP's acceptance (Dual scheme only) and trigger re-decision
     everywhere. @raise Invalid_argument outside Dual. *)
 
+(** {1 Live repartitioning} *)
+
+val repartition : t -> partition:Partition.t -> arrs:int list array -> unit
+(** Replace the ABRR partition and per-AP ARR assignment in place, then
+    have every router re-derive its roles and emit the minimal update
+    traffic the ownership change requires ({!Router.apply_repartition}).
+    Prefixes outside {!Partition.delta_range} between the old and new
+    partitions generate no messages when the ARR sets are otherwise
+    unchanged — the consistent-hashing minimal-movement property the
+    repartition drill asserts. The caller should then {!run} the network
+    to quiescence. @raise Invalid_argument outside ABRR, on an [arrs]
+    length mismatch, an empty AP, or an out-of-range ARR index. *)
+
 (** {1 Failure injection (§2.3.3)} *)
 
 val fail : t -> router:int -> unit

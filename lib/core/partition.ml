@@ -76,6 +76,38 @@ let prefix_in_ap t i p =
   let last = ap_of_addr t (Prefix.last p) in
   i >= first && i <= last
 
+let move_boundary t ~index ~addr =
+  let k = Array.length t.bounds in
+  if index <= 0 || index >= k then
+    invalid_arg "Partition.move_boundary: bad boundary index";
+  let x = Ipv4.to_int addr in
+  if x <= t.bounds.(index - 1) || x >= upper t index then
+    invalid_arg
+      "Partition.move_boundary: new bound must stay strictly between the \
+       neighbouring bounds";
+  let bounds = Array.copy t.bounds in
+  bounds.(index) <- x;
+  { bounds }
+
+let delta_range ~old ~now =
+  if Array.length old.bounds <> Array.length now.bounds then
+    Some (Ipv4.of_int 0, Ipv4.of_int (space - 1))
+  else begin
+    let lo = ref max_int and hi = ref min_int in
+    Array.iteri
+      (fun i b ->
+        let b' = now.bounds.(i) in
+        if b <> b' then begin
+          lo := Int.min !lo (Int.min b b');
+          hi := Int.max !hi (Int.max b b')
+        end)
+      old.bounds;
+    (* Ownership changes exactly on [min differing, max differing):
+       below every moved bound both partitions agree, and from the
+       highest moved bound upward they agree again. *)
+    if !hi < !lo then None else Some (Ipv4.of_int !lo, Ipv4.of_int (!hi - 1))
+  end
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>";
   for i = 0 to count t - 1 do

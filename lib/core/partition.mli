@@ -36,5 +36,22 @@ val aps_of_prefix : t -> Prefix.t -> int list
 (** All APs (ascending) the prefix overlaps; at least one element. *)
 
 val prefix_in_ap : t -> int -> Prefix.t -> bool
+
+val move_boundary : t -> index:int -> addr:Ipv4.t -> t
+(** A new partition with boundary [index] (1-based among the movable
+    bounds: boundary 0 is pinned at 0.0.0.0) moved to [addr] — the
+    consistent-hashing-style rebalance step: only addresses between the
+    old and new position of that one bound change AP.
+    @raise Invalid_argument unless
+    [bounds.(index-1) < addr < bounds.(index+1)]. *)
+
+val delta_range : old:t -> now:t -> (Ipv4.t * Ipv4.t) option
+(** The inclusive address interval on which the two partitions can
+    disagree about AP ownership — [None] when they are equal. For a
+    single {!move_boundary} step this is exactly the range between the
+    bound's old and new positions, the minimal-movement bound the
+    repartition drill asserts. Partitions of different AP counts
+    conservatively report the whole address space. *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

@@ -4,6 +4,7 @@ module D = Bgp.Decision
 module R = Bgp.Route
 module Rib = Bgp.Rib
 module As_path = Bgp.As_path
+module Damping = Bgp.Damping
 
 type env = {
   id : int;
@@ -75,10 +76,23 @@ type srctbl = {
   mutable view : (int * Rib.t) list option;
 }
 
+(* Route-flap damping state per (prefix key, path id) — i.e. per eBGP
+   session route, matching the [ebgp_neighbors] keying. Only populated
+   when [config.damping] is [Some _]. A suppressed route is pulled out
+   of [ebgp_rib] and parked in [dp_held] until decay brings the penalty
+   under the reuse threshold. *)
+type damp_entry = {
+  mutable dp_penalty : float;
+  mutable dp_stamp : Time.t;  (* time the penalty was last brought current *)
+  mutable dp_held : R.t option;  (* the suppressed route awaiting reuse *)
+  mutable dp_neighbor : Ipv4.t;
+  mutable dp_wake : Time.t;  (* latest reuse wake-up already scheduled *)
+}
+
 type t = {
   env : env;
   self : Ipv4.t;
-  roles : roles;
+  mutable roles : roles;
   ebgp_rib : Rib.t;
   ebgp_neighbors : (int * int, Ipv4.t) Hashtbl.t;
   local_rib : Rib.t;
@@ -112,6 +126,7 @@ type t = {
   mutable process_scheduled : bool;
   outgoing : (int, Proto.item list ref) Hashtbl.t;
   sessions : (int, session) Hashtbl.t;
+  damping : (int * int, damp_entry) Hashtbl.t;
   counters : Counters.t;
   mutable rejected_loops : int;
   mutable up : bool;
@@ -282,6 +297,7 @@ let create env =
     process_scheduled = false;
     outgoing = Hashtbl.create 16;
     sessions = Hashtbl.create 16;
+    damping = Hashtbl.create 16;
     counters = Counters.create ();
     rejected_loops = 0;
     up = true;
@@ -411,11 +427,13 @@ let own_arr_candidates t p acc =
         if eligible c then (c, t.env.id, S_own_arr) :: acc else acc)
     acc (Rib.get t.out_arr p)
 
-let serves_prefix t p =
-  match t.roles.partition with
+let serves_with roles p =
+  match roles.partition with
   | None -> false
   | Some partition ->
-    List.exists (fun ap -> Partition.prefix_in_ap partition ap p) t.roles.arr_aps
+    List.exists (fun ap -> Partition.prefix_in_ap partition ap p) roles.arr_aps
+
+let serves_prefix t p = serves_with t.roles p
 
 (* ABRR-plane candidates: from ARRs for other APs, plus own reflected set. *)
 let abrr_candidates t p acc =
@@ -1352,31 +1370,175 @@ let apply_item t src ((channel, delta) : Proto.item) dirty =
   | Proto.From_trr -> store t.from_trr ~best_only:true
   | Proto.From_arr -> store t.from_arr ~best_only:true
 
-let apply_input t input dirty =
-  match input with
-  | In_items { src; items } -> List.iter (fun item -> apply_item t src item dirty) items
-  | In_ebgp { neighbor; route } ->
-    let p = route.R.prefix in
-    let key = Prefix.to_key p in
+(* ------------------------------------------------------------------ *)
+(* Route-flap damping (RFC 2439 style, Bgp.Damping arithmetic). Hooks
+   sit on the eBGP announce/withdraw paths only — iBGP-learned state is
+   never damped. A suppressed route leaves [ebgp_rib] entirely, so the
+   decision process, invariant checks and snapshots all agree the route
+   is (temporarily) not a candidate. *)
+
+let damp_entry_fresh now neighbor =
+  { dp_penalty = 0.; dp_stamp = now; dp_held = None; dp_neighbor = neighbor;
+    dp_wake = Time.zero }
+
+let damp_bring_current params e now =
+  e.dp_penalty <- Damping.decay params ~penalty:e.dp_penalty ~dt:(now - e.dp_stamp);
+  e.dp_stamp <- now
+
+(* Arm a Process wake-up for when the penalty will have decayed under
+   the reuse threshold (+1 ms of slack against float rounding). The
+   [dp_wake] stamp keeps repeated suppressions from flooding the event
+   queue with redundant timers. *)
+let damp_schedule_reuse t params e now =
+  let delay = Damping.reuse_delay params ~penalty:e.dp_penalty + Time.ms 1 in
+  if now + delay > e.dp_wake then begin
+    e.dp_wake <- now + delay;
+    t.env.schedule_process delay
+  end
+
+(* Returns [true] when the announcement was absorbed (the route is, or
+   just became, suppressed) — the caller then skips the normal install. *)
+let damp_announce t params ~neighbor (route : R.t) dirty =
+  let p = route.R.prefix in
+  let key = (Prefix.to_key p, route.R.path_id) in
+  let now = t.env.now () in
+  match Hashtbl.find_opt t.damping key with
+  | Some e when e.dp_held <> None ->
+    (* Still suppressed: remember the freshest offer, nothing else. *)
+    damp_bring_current params e now;
+    e.dp_held <- Some route;
+    e.dp_neighbor <- neighbor;
+    mark_noop dirty p;
+    true
+  | entry_opt ->
     let prev =
       List.find_opt
         (fun (r : R.t) -> r.R.path_id = route.R.path_id)
         (Rib.get t.ebgp_rib p)
     in
-    let changed = Rib.upsert t.ebgp_rib route in
-    let neighbor_changed =
-      match Hashtbl.find_opt t.ebgp_neighbors (key, route.R.path_id) with
-      | Some n -> not (Ipv4.equal n neighbor)
+    let attr_changed =
+      match prev with Some old -> not (R.same_path old route) | None -> false
+    in
+    (match entry_opt with
+    | Some e -> damp_bring_current params e now
+    | None -> ());
+    let entry_opt =
+      if attr_changed then begin
+        let e =
+          match entry_opt with
+          | Some e -> e
+          | None ->
+            let e = damp_entry_fresh now neighbor in
+            Hashtbl.add t.damping key e;
+            e
+        in
+        e.dp_penalty <-
+          Damping.penalize params ~penalty:e.dp_penalty ~dt:Time.zero
+            Damping.Attr_change;
+        Some e
+      end
+      else entry_opt
+    in
+    (match entry_opt with
+    | Some e when Damping.suppresses params e.dp_penalty ->
+      (match prev with
+      | Some pr ->
+        ignore (Rib.drop t.ebgp_rib p ~path_id:pr.R.path_id);
+        Hashtbl.remove t.ebgp_neighbors key;
+        mark_delta dirty p planes_clientside [ pr ]
+      | None -> mark_noop dirty p);
+      e.dp_held <- Some route;
+      e.dp_neighbor <- neighbor;
+      t.counters.routes_damped <- t.counters.routes_damped + 1;
+      damp_schedule_reuse t params e now;
+      true
+    | Some _ | None -> false)
+
+let damp_withdraw t params ~neighbor ~prefix ~path_id =
+  let key = (Prefix.to_key prefix, path_id) in
+  let now = t.env.now () in
+  let e =
+    match Hashtbl.find_opt t.damping key with
+    | Some e -> e
+    | None ->
+      let e = damp_entry_fresh now neighbor in
+      Hashtbl.add t.damping key e;
+      e
+  in
+  e.dp_penalty <-
+    Damping.penalize params ~penalty:e.dp_penalty ~dt:(now - e.dp_stamp)
+      Damping.Withdrawal;
+  e.dp_stamp <- now;
+  (* Withdrawing a suppressed route: nothing is on offer any more, so
+     there is nothing left to reinstate. The penalty stays. *)
+  if e.dp_held <> None then e.dp_held <- None
+
+(* The per-batch maturation pass: reinstate held routes whose penalty
+   decayed under the reuse threshold, re-arm wake-ups for those still
+   suppressed, and drop fully-decayed idle entries. Deterministic order
+   (sorted keys) — reinstatements feed the same decision batch. *)
+let damping_pass t dirty =
+  match t.env.config.Config.damping with
+  | None -> ()
+  | Some params ->
+    if Hashtbl.length t.damping > 0 then begin
+      let now = t.env.now () in
+      let entries =
+        Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.damping []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      List.iter
+        (fun ((key, e) : (int * int) * damp_entry) ->
+          damp_bring_current params e now;
+          match e.dp_held with
+          | Some r when Damping.reusable params e.dp_penalty ->
+            e.dp_held <- None;
+            ignore (Rib.upsert t.ebgp_rib r);
+            Hashtbl.replace t.ebgp_neighbors key e.dp_neighbor;
+            mark_delta dirty r.R.prefix planes_clientside [ r ]
+          | Some _ -> damp_schedule_reuse t params e now
+          | None ->
+            (* A decayed-out entry with no held route carries no
+               information any more. *)
+            if e.dp_penalty < 1. then Hashtbl.remove t.damping key)
+        entries
+    end
+
+let apply_input t input dirty =
+  match input with
+  | In_items { src; items } -> List.iter (fun item -> apply_item t src item dirty) items
+  | In_ebgp { neighbor; route } ->
+    let absorbed =
+      match t.env.config.Config.damping with
+      | Some params -> damp_announce t params ~neighbor route dirty
       | None -> false
     in
-    Hashtbl.replace t.ebgp_neighbors (key, route.R.path_id) neighbor;
-    (* Re-announcing the stored route verbatim is a decision no-op; a
-       neighbour change with identical attributes still shifts the
-       candidate's peer identity (steps 7-8), so it recomputes in full. *)
-    if neighbor_changed then mark_full dirty p
-    else if not changed then mark_noop dirty p
-    else mark_delta dirty p planes_clientside (route :: Option.to_list prev)
-  | In_ebgp_withdraw { neighbor = _; prefix; path_id } ->
+    if not absorbed then begin
+      let p = route.R.prefix in
+      let key = Prefix.to_key p in
+      let prev =
+        List.find_opt
+          (fun (r : R.t) -> r.R.path_id = route.R.path_id)
+          (Rib.get t.ebgp_rib p)
+      in
+      let changed = Rib.upsert t.ebgp_rib route in
+      let neighbor_changed =
+        match Hashtbl.find_opt t.ebgp_neighbors (key, route.R.path_id) with
+        | Some n -> not (Ipv4.equal n neighbor)
+        | None -> false
+      in
+      Hashtbl.replace t.ebgp_neighbors (key, route.R.path_id) neighbor;
+      (* Re-announcing the stored route verbatim is a decision no-op; a
+         neighbour change with identical attributes still shifts the
+         candidate's peer identity (steps 7-8), so it recomputes in full. *)
+      if neighbor_changed then mark_full dirty p
+      else if not changed then mark_noop dirty p
+      else mark_delta dirty p planes_clientside (route :: Option.to_list prev)
+    end
+  | In_ebgp_withdraw { neighbor; prefix; path_id } ->
+    (match t.env.config.Config.damping with
+    | Some params -> damp_withdraw t params ~neighbor ~prefix ~path_id
+    | None -> ());
     let key = Prefix.to_key prefix in
     let prev =
       List.find_opt
@@ -1420,6 +1582,7 @@ let process_now t =
       drain ()
   in
   drain ();
+  damping_pass t dirty;
   run_batch t dirty;
   flush_outgoing t
   end
@@ -1544,6 +1707,99 @@ let refresh_to t ~peer =
     flush_outgoing t
   end
 
+(* Live repartition (scenario drill): the caller has already mutated the
+   shared [Config.abrr_spec] in place; re-derive this router's roles and
+   reconcile the ABRR state machine with them.
+
+   ARR side — prefixes that moved out of our APs: withdraw the reflected
+   set from the targets the OLD roles advertised it to, drop the
+   out_arr/managed_arr state, and recompute the prefix (our own decision
+   may have read the reflected set).
+
+   Client side — prefixes whose responsible-ARR set gained members:
+   advertise the current exported set ([adv_arr]) to the new ARRs only.
+   The ARRs that lost the prefix purge their copy locally in their own
+   [apply_repartition]; sending them explicit To_arr withdrawals would
+   only be rejected ([apply_item] refuses To_arr for unserved prefixes).
+   This is what keeps the movement minimal: only prefixes inside the
+   partition delta range generate any traffic at all. *)
+let apply_repartition t =
+  let old_roles = t.roles in
+  t.roles <- derive_roles t.env.config t.env.id;
+  let new_roles = t.roles in
+  if t.up then begin
+    let dirty = Rib.Dirty.create () in
+    (* ARR side: retire prefixes no longer in our APs. *)
+    let retired = Hashtbl.create 16 in
+    let note p =
+      if serves_with old_roles p && not (serves_with new_roles p) then
+        Hashtbl.replace retired (Prefix.to_key p) p
+    in
+    List.iter note (Rib.prefixes t.out_arr);
+    srctbl_iter (fun _ rib -> List.iter note (Rib.prefixes rib)) t.managed_arr;
+    let retired =
+      Hashtbl.fold (fun _ p acc -> p :: acc) retired []
+      |> List.sort Prefix.compare
+    in
+    List.iter
+      (fun p ->
+        let withdrawn = Path_id.drop_prefix t.ids_arr p in
+        if withdrawn <> [] then begin
+          let old_aps =
+            match old_roles.partition with
+            | Some part ->
+              List.filter
+                (fun ap -> Partition.prefix_in_ap part ap p)
+                old_roles.arr_aps
+            | None -> []
+          in
+          let targets =
+            dedup_ints
+              (List.concat_map (fun ap -> old_roles.arr_targets.(ap)) old_aps)
+          in
+          List.iter
+            (fun dst ->
+              enqueue t dst Proto.From_arr
+                { Proto.prefix = p; routes = []; withdrawn_ids = withdrawn })
+            targets
+        end;
+        if Rib.get t.out_arr p <> [] then rib_set t t.out_arr p [];
+        srctbl_iter
+          (fun _ rib -> if Rib.get rib p <> [] then rib_set t rib p [])
+          t.managed_arr;
+        mark_full dirty p)
+      retired;
+    t.counters.Counters.prefixes_moved_on_repartition <-
+      t.counters.Counters.prefixes_moved_on_repartition + List.length retired;
+    (* Client side: feed newly-responsible ARRs our exported set. *)
+    (match (old_roles.partition, new_roles.partition) with
+    | Some oldp, Some newp ->
+      let arrs_of part (arrs : int list array) p =
+        dedup_ints
+          (List.concat_map
+             (fun ap -> arrs.(ap))
+             (Partition.aps_of_prefix part p))
+      in
+      Rib.iter
+        (fun p routes ->
+          if routes <> [] then begin
+            let old_arrs = arrs_of oldp old_roles.abrr_arrs p in
+            let new_arrs = arrs_of newp new_roles.abrr_arrs p in
+            let added =
+              List.filter (fun a -> not (List.mem a old_arrs)) new_arrs
+            in
+            List.iter
+              (fun dst ->
+                enqueue t dst Proto.To_arr
+                  { Proto.prefix = p; routes; withdrawn_ids = [] })
+              added
+          end)
+        t.adv_arr
+    | _ -> ());
+    run_batch t dirty;
+    flush_outgoing t
+  end
+
 let set_down t =
   t.up <- false;
   Queue.clear t.inbox;
@@ -1568,6 +1824,7 @@ let set_up_cold t =
   List.iter Path_id.clear
     [ t.ids_mesh; t.ids_clients; t.ids_arr; t.ids_adv_trr; t.ids_adv_arr ];
   Hashtbl.reset t.sessions;
+  Hashtbl.reset t.damping;
   Queue.clear t.inbox
 
 (* ------------------------------------------------------------------ *)
@@ -1644,6 +1901,15 @@ type session_state = {
   ss_flush_scheduled : bool;
 }
 
+type damp_state = {
+  ds_key : int * int;  (* (prefix key, path id) *)
+  ds_penalty : float;
+  ds_stamp : Time.t;
+  ds_held : R.t option;
+  ds_neighbor : Ipv4.t;
+  ds_wake : Time.t;
+}
+
 type state = {
   st_ribs : rib_dump array;
   st_peer_tables : (int * rib_dump) list array;
@@ -1654,6 +1920,7 @@ type state = {
   st_process_scheduled : bool;
   st_outgoing : (int * Proto.item list) list;
   st_sessions : session_state list;
+  st_damping : damp_state list;
   st_counters : Counters.t;
   st_rejected_loops : int;
   st_up : bool;
@@ -1720,6 +1987,20 @@ let dump_state t =
           :: acc)
         t.sessions []
       |> List.sort (fun a b -> Int.compare a.ss_peer b.ss_peer);
+    st_damping =
+      Hashtbl.fold
+        (fun key (e : damp_entry) acc ->
+          {
+            ds_key = key;
+            ds_penalty = e.dp_penalty;
+            ds_stamp = e.dp_stamp;
+            ds_held = e.dp_held;
+            ds_neighbor = e.dp_neighbor;
+            ds_wake = e.dp_wake;
+          }
+          :: acc)
+        t.damping []
+      |> List.sort (fun a b -> compare a.ds_key b.ds_key);
     st_counters = Counters.copy t.counters;
     st_rejected_loops = t.rejected_loops;
     st_up = t.up;
@@ -1745,6 +2026,7 @@ let load_state t st =
   Queue.clear t.inbox;
   Hashtbl.reset t.outgoing;
   Hashtbl.reset t.sessions;
+  Hashtbl.reset t.damping;
   Array.iteri
     (fun i d -> List.iter (fun (p, rs) -> Rib.set ribs.(i) p rs) d)
     st.st_ribs;
@@ -1785,6 +2067,17 @@ let load_state t st =
         ss.ss_pending;
       Hashtbl.add t.sessions ss.ss_peer s)
     st.st_sessions;
+  List.iter
+    (fun ds ->
+      Hashtbl.replace t.damping ds.ds_key
+        {
+          dp_penalty = ds.ds_penalty;
+          dp_stamp = ds.ds_stamp;
+          dp_held = ds.ds_held;
+          dp_neighbor = ds.ds_neighbor;
+          dp_wake = ds.ds_wake;
+        })
+    st.st_damping;
   (let c = t.counters and s = st.st_counters in
    c.Counters.updates_received <- s.Counters.updates_received;
    c.Counters.updates_generated <- s.Counters.updates_generated;
@@ -1800,6 +2093,11 @@ let load_state t st =
    c.Counters.decisions_delta <- s.Counters.decisions_delta;
    c.Counters.decisions_skipped <- s.Counters.decisions_skipped;
    c.Counters.rib_touches <- s.Counters.rib_touches;
+   c.Counters.routes_damped <- s.Counters.routes_damped;
+   c.Counters.hijacks_injected <- s.Counters.hijacks_injected;
+   c.Counters.takeovers <- s.Counters.takeovers;
+   c.Counters.prefixes_moved_on_repartition <-
+     s.Counters.prefixes_moved_on_repartition;
    c.Counters.last_change <- s.Counters.last_change);
   t.rejected_loops <- st.st_rejected_loops;
   t.up <- st.st_up

@@ -181,6 +181,14 @@ val refresh_to : t -> peer:int -> unit
 (** Replay the current Adj-RIB-Out towards a re-established peer (BGP's
     initial full-table exchange). *)
 
+val apply_repartition : t -> unit
+(** Re-derive this router's roles from the (mutated) configuration after a
+    live repartition ({!Network.repartition}) and emit the minimal traffic
+    the ownership change requires: an ARR withdraws prefixes it no longer
+    serves towards its old reflect targets, a border router re-advertises
+    its eBGP-learned prefixes to newly responsible ARRs. Only prefixes
+    inside the partitions' {!Partition.delta_range} generate messages. *)
+
 val lookup : t -> Netaddr.Ipv4.t -> (Netaddr.Prefix.t * Bgp.Route.t) option
 (** Longest-prefix-match forwarding lookup, answered directly by the
     Loc-RIB's trie (what the FIB would do for a data packet — there is
@@ -222,6 +230,17 @@ type session_state = {
   ss_flush_scheduled : bool;
 }
 
+type damp_state = {
+  ds_key : int * int;  (** (prefix key, path_id) — the eBGP session slot *)
+  ds_penalty : float;
+  ds_stamp : Time.t;  (** time the penalty was last brought current *)
+  ds_held : Bgp.Route.t option;  (** suppressed announcement, if any *)
+  ds_neighbor : Netaddr.Ipv4.t;
+  ds_wake : Time.t;  (** latest scheduled reuse-evaluation time *)
+}
+(** Route-flap-damping state of one eBGP session slot ({!Bgp.Damping});
+    present only when [config.damping] is set. *)
+
 type state = {
   st_ribs : rib_dump array;  (** fixed slot order — see router.ml *)
   st_peer_tables : (int * rib_dump) list array;  (** per-source Adj-RIB-Ins *)
@@ -232,6 +251,7 @@ type state = {
   st_process_scheduled : bool;
   st_outgoing : (int * Proto.item list) list;
   st_sessions : session_state list;
+  st_damping : damp_state list;  (** sorted by [ds_key] *)
   st_counters : Counters.t;
   st_rejected_loops : int;
   st_up : bool;

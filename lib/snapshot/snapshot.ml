@@ -14,8 +14,14 @@ let magic = "ABRRSNAP"
    (decisions_full/delta/skipped). The decision engine itself is
    deliberately NOT in the config fingerprint: both engines are proven
    state-identical, so a snapshot taken under either restores under
-   either. *)
-let format_version = 3
+   either.
+   v4: per-router route-flap-damping state (Router.damp_state list —
+   empty when damping is off) and four scenario counters
+   (routes_damped/hijacks_injected/takeovers/prefixes_moved_on_repartition);
+   the fingerprint gains a damping on/off marker, since restoring
+   damping state into a network that keeps none (or vice versa) would
+   silently change behaviour. *)
+let format_version = 4
 
 (* ------------------------------------------------------------------ *)
 (* Config fingerprint                                                  *)
@@ -47,7 +53,8 @@ let scheme_fp = function
       (Array.length accept)
 
 let fingerprint (c : Config.t) =
-  Printf.sprintf "n=%d;asn=%d;scheme=%s;med=%s;mrai=%d;proc=%d;jitter=%d;full=%b;cprr=%b"
+  Printf.sprintf
+    "n=%d;asn=%d;scheme=%s;med=%s;mrai=%d;proc=%d;jitter=%d;full=%b;cprr=%b;damp=%b"
     c.Config.n_routers
     (Bgp.Asn.to_int c.Config.asn)
     (scheme_fp c.Config.scheme)
@@ -56,6 +63,7 @@ let fingerprint (c : Config.t) =
     | Bgp.Decision.Per_neighbor_as -> "per-as")
     c.Config.mrai c.Config.proc_delay c.Config.proc_jitter
     c.Config.store_full_sets c.Config.control_plane_rrs
+    (c.Config.damping <> None)
 
 (* ------------------------------------------------------------------ *)
 (* Route interning                                                     *)
@@ -369,6 +377,10 @@ let wcounters b (c : Counters.t) =
   C.wint b c.Counters.decisions_delta;
   C.wint b c.Counters.decisions_skipped;
   C.wint b c.Counters.rib_touches;
+  C.wint b c.Counters.routes_damped;
+  C.wint b c.Counters.hijacks_injected;
+  C.wint b c.Counters.takeovers;
+  C.wint b c.Counters.prefixes_moved_on_repartition;
   C.wint b c.Counters.last_change;
   C.wint b c.Counters.mem_peak_kb
 
@@ -388,6 +400,10 @@ let rcounters d =
   c.Counters.decisions_delta <- C.rint d.rd;
   c.Counters.decisions_skipped <- C.rint d.rd;
   c.Counters.rib_touches <- C.rint d.rd;
+  c.Counters.routes_damped <- C.rint d.rd;
+  c.Counters.hijacks_injected <- C.rint d.rd;
+  c.Counters.takeovers <- C.rint d.rd;
+  c.Counters.prefixes_moved_on_repartition <- C.rint d.rd;
   c.Counters.last_change <- C.rint d.rd;
   c.Counters.mem_peak_kb <- C.rint d.rd;
   c
@@ -439,6 +455,17 @@ let wstate e b (st : Router.state) =
       C.wlist b (witem e) ss.Router.ss_pending;
       C.wbool b ss.Router.ss_flush_scheduled)
     st.Router.st_sessions;
+  C.wlist b
+    (fun b (ds : Router.damp_state) ->
+      let k1, k2 = ds.Router.ds_key in
+      C.wint b k1;
+      C.wint b k2;
+      C.w64 b (Int64.bits_of_float ds.Router.ds_penalty);
+      C.wint b ds.Router.ds_stamp;
+      C.wopt b (wroute e) ds.Router.ds_held;
+      wipv4 b ds.Router.ds_neighbor;
+      C.wint b ds.Router.ds_wake)
+    st.Router.st_damping;
   wcounters b st.Router.st_counters;
   C.wint b st.Router.st_rejected_loops;
   C.wbool b st.Router.st_up
@@ -490,6 +517,18 @@ let rstate d : Router.state =
         let ss_flush_scheduled = C.rbool d.rd in
         { Router.ss_peer; ss_mrai_until; ss_pending; ss_flush_scheduled })
   in
+  let st_damping =
+    C.rlist d.rd (fun _ ->
+        let k1 = C.rint d.rd in
+        let k2 = C.rint d.rd in
+        let ds_penalty = Int64.float_of_bits (C.r64 d.rd) in
+        let ds_stamp = C.rint d.rd in
+        let ds_held = C.ropt d.rd (fun _ -> rroute d) in
+        let ds_neighbor = ripv4 d in
+        let ds_wake = C.rint d.rd in
+        { Router.ds_key = (k1, k2); ds_penalty; ds_stamp; ds_held;
+          ds_neighbor; ds_wake })
+  in
   let st_counters = rcounters d in
   let st_rejected_loops = C.rint d.rd in
   let st_up = C.rbool d.rd in
@@ -503,6 +542,7 @@ let rstate d : Router.state =
     st_process_scheduled;
     st_outgoing;
     st_sessions;
+    st_damping;
     st_counters;
     st_rejected_loops;
     st_up;

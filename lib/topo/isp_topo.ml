@@ -165,6 +165,7 @@ let abrr_scheme ?loop_prevention ~aps ~arrs_per_ap t =
   Abrr_core.Config.abrr ?loop_prevention ~partition
     (abrr_arrs t ~aps ~arrs_per_ap)
 
-let config ?med_mode ?mrai ?proc_delay ?proc_jitter ?store_full_sets ~scheme t =
+let config ?med_mode ?mrai ?proc_delay ?proc_jitter ?store_full_sets ?damping
+    ~scheme t =
   Abrr_core.Config.make ?med_mode ?mrai ?proc_delay ?proc_jitter
-    ?store_full_sets ~n_routers:t.n_routers ~igp:t.igp ~scheme ()
+    ?store_full_sets ?damping ~n_routers:t.n_routers ~igp:t.igp ~scheme ()

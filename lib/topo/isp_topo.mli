@@ -81,6 +81,7 @@ val config :
   ?proc_delay:Eventsim.Time.t ->
   ?proc_jitter:Eventsim.Time.t ->
   ?store_full_sets:bool ->
+  ?damping:Bgp.Damping.params ->
   scheme:Abrr_core.Config.scheme ->
   t ->
   Abrr_core.Config.t

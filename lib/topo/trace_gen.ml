@@ -8,11 +8,14 @@ type spec = {
   flap_share : float;
   single_point_share : float;
   jitter : Time.t;
+  flap_restore_min : Time.t;
+  flap_restore_max : Time.t;
   seed : int;
 }
 
 let spec ?(duration = Time.days 14) ?(events = 5000) ?(zipf_s = 1.1)
     ?(flap_share = 0.3) ?(single_point_share = 0.6) ?(jitter = Time.sec 2)
+    ?(flap_restore_min = Time.sec 30) ?(flap_restore_max = Time.sec 90)
     ?(seed = 23) () =
   if events < 0 then invalid_arg "Trace_gen.spec: negative event count";
   let check01 name v =
@@ -20,7 +23,10 @@ let spec ?(duration = Time.days 14) ?(events = 5000) ?(zipf_s = 1.1)
   in
   check01 "flap_share" flap_share;
   check01 "single_point_share" single_point_share;
-  { duration; events; zipf_s; flap_share; single_point_share; jitter; seed }
+  if flap_restore_min < Time.zero || flap_restore_max < flap_restore_min then
+    invalid_arg "Trace_gen.spec: flap restore window must satisfy 0 <= min <= max";
+  { duration; events; zipf_s; flap_share; single_point_share; jitter;
+    flap_restore_min; flap_restore_max; seed }
 
 type action =
   | Announce of { router : int; neighbor : Ipv4.t; route : Bgp.Route.t }
@@ -106,8 +112,18 @@ let generate (table : Route_gen.t) spec =
         in
         let base = Random.State.full_int rng (max 1 spec.duration) in
         if Random.State.float rng 1. < spec.flap_share then begin
-          (* Flap: all points withdraw, then restore 30-90 s later. *)
-          let restore = base + Time.sec (30 + Random.State.int rng 60) in
+          (* Flap: all points withdraw, then restore min..max later. The
+             draw is over whole seconds so the default 30-90 s window
+             replays the exact RNG consumption (and values) of the
+             pre-spec hardcoded form, keeping trace digests stable. *)
+          let span_s =
+            (spec.flap_restore_max - spec.flap_restore_min) / Time.sec 1
+          in
+          let extra =
+            if span_s > 0 then Time.sec (Random.State.int rng span_s)
+            else Time.zero
+          in
+          let restore = base + spec.flap_restore_min + extra in
           List.iter
             (fun (e : Route_gen.ebgp_route) ->
               let r = e.Route_gen.route in

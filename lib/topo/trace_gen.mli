@@ -18,6 +18,11 @@ type spec = {
       (** events affecting a single peering session rather than every
           peering point of the AS *)
   jitter : Time.t;  (** spread of per-point update arrivals *)
+  flap_restore_min : Time.t;
+      (** earliest restore after a flap's withdrawal *)
+  flap_restore_max : Time.t;
+      (** latest restore; the delay is drawn uniformly (whole seconds)
+          from [\[min, max)] — or exactly [min] when the window is empty *)
   seed : int;
 }
 
@@ -28,11 +33,16 @@ val spec :
   ?flap_share:float ->
   ?single_point_share:float ->
   ?jitter:Time.t ->
+  ?flap_restore_min:Time.t ->
+  ?flap_restore_max:Time.t ->
   ?seed:int ->
   unit ->
   spec
 (** Defaults: 14 days, 5000 events, skew 1.1, 30% flaps, 60% single-point
-    events, 2 s jitter, seed 23. *)
+    events, 2 s jitter, 30-90 s flap restore window, seed 23. Traces
+    generated at the default restore window are bit-identical to those of
+    builds that predate the knob (same RNG draw sequence).
+    @raise Invalid_argument unless [0 <= flap_restore_min <= flap_restore_max]. *)
 
 type action =
   | Announce of { router : int; neighbor : Ipv4.t; route : Bgp.Route.t }

@@ -1,0 +1,79 @@
+open Abrr_core
+module R = Bgp.Route
+module Prefix = Netaddr.Prefix
+
+(* Fold [f] over every up router's (prefix, best route) pairs. *)
+let fold_bests net f acc =
+  let acc = ref acc in
+  for i = 0 to Network.router_count net - 1 do
+    let r = Network.router net i in
+    if Router.is_up r then
+      List.iter
+        (fun p ->
+          match Router.best r p with
+          | Some route -> acc := f !acc i p route
+          | None -> ())
+        (Router.known_prefixes r)
+  done;
+  !acc
+
+(* (prefix, asn) -> number of routers whose best route offends. *)
+let bump tbl p asn =
+  let key = (Prefix.to_key p, Bgp.Asn.to_int asn) in
+  Hashtbl.replace tbl key
+    (match Hashtbl.find_opt tbl key with
+    | Some (_, n) -> (p, n + 1)
+    | None -> (p, 1))
+
+let render check code what tbl total =
+  if Hashtbl.length tbl = 0 then
+    [ Report.pass check "%d best routes scanned, none %s" total what ]
+  else
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort compare
+    |> List.map (fun ((_, asn), (p, n)) ->
+           Report.fail ~code check "%s %s AS %d on %d router%s"
+             (Format.asprintf "%a" Prefix.pp p)
+             what asn n
+             (if n = 1 then "" else "s"))
+
+let hijacks ~legit net =
+  let tbl = Hashtbl.create 16 in
+  let total =
+    fold_bests net
+      (fun total _ p route ->
+        (match Bgp.As_path.origin_as (R.as_path route) with
+        | Some o ->
+          let ok = match legit p with [] -> true | l -> List.mem o l in
+          if not ok then bump tbl p o
+        | None -> ());
+        total + 1)
+      0
+  in
+  render "anomaly.hijack" "HIJACK-MOAS" "originated by rogue" tbl total
+
+let leaks ~peers net =
+  let tbl = Hashtbl.create 16 in
+  let total =
+    fold_bests net
+      (fun total _ p route ->
+        let path = R.as_path route in
+        let traversed =
+          List.filter (fun asn -> Bgp.As_path.contains asn path) peers
+        in
+        (match traversed with
+        | _ :: leaker :: _ ->
+          (* >= 2 peer ASes on one path: the leftmost re-exported a
+             route it learned from another peer. Attribute the finding
+             to the AS nearer the origin — the leaked-through one. *)
+          ignore leaker;
+          (match Bgp.As_path.first_as path with
+          | Some first when List.mem first traversed -> bump tbl p first
+          | _ -> bump tbl p (List.hd traversed))
+        | _ -> ());
+        total + 1)
+      0
+  in
+  render "anomaly.leak" "LEAK-TRANSIT" "leaked through peer" tbl total
+
+let detections report = List.length (Report.failures report)

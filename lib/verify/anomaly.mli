@@ -1,0 +1,32 @@
+(** Routing-anomaly detectors over a live simulation: the observation
+    side of the adversarial scenarios (lib/scenario).
+
+    Both detectors scan every up router's Loc-RIB best routes and
+    aggregate per (prefix, offending AS), so a hijack that captured 900
+    routers is one finding with a blast-radius count, not 900 findings.
+
+    These are control-plane heuristics of exactly the kind an operator's
+    monitoring would run — they look at what the routers {e believe},
+    which is the point: a reflection scheme must not mask a hijack from
+    parts of the network (making it invisible to monitoring) nor
+    amplify it. *)
+
+val hijacks :
+  legit:(Netaddr.Prefix.t -> Bgp.Asn.t list) ->
+  Abrr_core.Network.t ->
+  Report.t
+(** MOAS (multiple-origin AS) check: a best route whose rightmost
+    (origin) AS is not in [legit prefix] is a prefix hijack in effect —
+    traffic for the prefix is being delivered to a rogue origin.
+    Findings carry code ["HIJACK-MOAS"]; a clean network yields a single
+    pass finding. Empty [legit prefix] means "unknown prefix — accept
+    any origin". *)
+
+val leaks : peers:Bgp.Asn.t list -> Abrr_core.Network.t -> Report.t
+(** Route-leak check (valley-free violation): a best route whose AS path
+    traverses {e two or more} distinct peer ASes means some peer
+    re-exported a route it learned from another peer, with our AS about
+    to carry the transit. Findings carry code ["LEAK-TRANSIT"]. *)
+
+val detections : Report.t -> int
+(** Number of failing findings — the scenario engine's detection count. *)

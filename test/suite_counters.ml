@@ -17,6 +17,10 @@ let filled () =
   c.Ct.decisions_full <- 6;
   c.Ct.decisions_delta <- 4;
   c.Ct.decisions_skipped <- 1;
+  c.Ct.routes_damped <- 2;
+  c.Ct.hijacks_injected <- 3;
+  c.Ct.takeovers <- 1;
+  c.Ct.prefixes_moved_on_repartition <- 4;
   c.Ct.last_change <- Eventsim.Time.sec 9;
   c
 
@@ -32,6 +36,10 @@ let test_add () =
   check_int "full" 12 acc.Ct.decisions_full;
   check_int "delta" 8 acc.Ct.decisions_delta;
   check_int "skipped" 2 acc.Ct.decisions_skipped;
+  check_int "damped" 4 acc.Ct.routes_damped;
+  check_int "hijacks" 6 acc.Ct.hijacks_injected;
+  check_int "takeovers" 2 acc.Ct.takeovers;
+  check_int "moved" 8 acc.Ct.prefixes_moved_on_repartition;
   (* last_change takes the max *)
   check_int "last change" (Eventsim.Time.sec 9) acc.Ct.last_change
 
@@ -44,6 +52,10 @@ let test_reset () =
   check_int "full" 0 c.Ct.decisions_full;
   check_int "delta" 0 c.Ct.decisions_delta;
   check_int "skipped" 0 c.Ct.decisions_skipped;
+  check_int "damped" 0 c.Ct.routes_damped;
+  check_int "hijacks" 0 c.Ct.hijacks_injected;
+  check_int "takeovers" 0 c.Ct.takeovers;
+  check_int "moved" 0 c.Ct.prefixes_moved_on_repartition;
   check_int "last change" Eventsim.Time.zero c.Ct.last_change
 
 let test_copy_diff () =
@@ -54,13 +66,17 @@ let test_copy_diff () =
   after.Ct.decisions_full <- 9;
   after.Ct.decisions_delta <- 8;
   after.Ct.decisions_skipped <- 3;
+  after.Ct.routes_damped <- 5;
+  after.Ct.takeovers <- 2;
   (* copies are independent *)
   check_int "original untouched" 6 before.Ct.decisions_full;
   let d = Ct.diff ~after ~before in
   check_int "diff run" 9 d.Ct.decisions_run;
   check_int "diff full" 3 d.Ct.decisions_full;
   check_int "diff delta" 4 d.Ct.decisions_delta;
-  check_int "diff skipped" 2 d.Ct.decisions_skipped
+  check_int "diff skipped" 2 d.Ct.decisions_skipped;
+  check_int "diff damped" 3 d.Ct.routes_damped;
+  check_int "diff takeovers" 1 d.Ct.takeovers
 
 let test_to_fields () =
   let fields = Ct.to_fields (filled ()) in
@@ -73,6 +89,10 @@ let test_to_fields () =
   check_int "decisions_full field" 6 (get "decisions_full");
   check_int "decisions_delta field" 4 (get "decisions_delta");
   check_int "decisions_skipped field" 1 (get "decisions_skipped");
+  check_int "routes_damped field" 2 (get "routes_damped");
+  check_int "hijacks_injected field" 3 (get "hijacks_injected");
+  check_int "takeovers field" 1 (get "takeovers");
+  check_int "prefixes_moved field" 4 (get "prefixes_moved_on_repartition");
   (* the split accounts for every evaluation *)
   check_int "full+delta+skipped = run" (get "decisions_run")
     (get "decisions_full" + get "decisions_delta" + get "decisions_skipped");

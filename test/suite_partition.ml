@@ -100,6 +100,59 @@ let prop_prefix_aps_contiguous =
       | first :: _ as aps ->
         List.mapi (fun i ap -> ap = first + i) aps |> List.for_all Fun.id)
 
+let test_move_boundary () =
+  let part = Part.uniform 4 in
+  let addr = Ipv4.of_int 0x5000_0000 in
+  let moved = Part.move_boundary part ~index:1 ~addr in
+  check_int "count unchanged" 4 (Part.count moved);
+  check_bool "bound moved" true (Ipv4.equal (Part.bounds moved).(1) addr);
+  (* the other bounds are untouched *)
+  check_bool "bound 2 kept" true
+    (Ipv4.equal (Part.bounds moved).(2) (Part.bounds part).(2));
+  (* ownership changes only inside [old bound, new bound) *)
+  check_int "below old bound" 0 (Part.ap_of_addr moved (Ipv4.of_int 0x3000_0000));
+  check_int "inside delta" 0 (Part.ap_of_addr moved (Ipv4.of_int 0x4800_0000));
+  check_int "inside delta, old AP" 1
+    (Part.ap_of_addr part (Ipv4.of_int 0x4800_0000));
+  check_int "above new bound" 1 (Part.ap_of_addr moved (Ipv4.of_int 0x6000_0000));
+  (* out-of-range targets are rejected *)
+  let rejects a =
+    match Part.move_boundary part ~index:1 ~addr:(Ipv4.of_int a) with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "at lower neighbour" true (rejects 0);
+  check_bool "at upper neighbour" true (rejects 0x8000_0000);
+  check_bool "bad index" true
+    (match Part.move_boundary part ~index:0 ~addr with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_delta_range () =
+  let part = Part.uniform 4 in
+  check_bool "equal partitions" true
+    (Part.delta_range ~old:part ~now:(Part.uniform 4) = None);
+  let addr = Ipv4.of_int 0x5000_0000 in
+  let moved = Part.move_boundary part ~index:1 ~addr in
+  (match Part.delta_range ~old:part ~now:moved with
+  | None -> Alcotest.fail "expected a delta"
+  | Some (lo, hi) ->
+    check_int "delta lo = old bound" 0x4000_0000 (Ipv4.to_int lo);
+    check_int "delta hi = new bound - 1" 0x4FFF_FFFF (Ipv4.to_int hi);
+    (* the two partitions agree everywhere outside the delta *)
+    List.iter
+      (fun a ->
+        let a = Ipv4.of_int a in
+        check_int "agree outside" (Part.ap_of_addr part a)
+          (Part.ap_of_addr moved a))
+      [ 0x0; 0x3FFF_FFFF; 0x5000_0000; 0x9000_0000; 0xF000_0000 ]);
+  (* different AP counts: conservatively the whole space *)
+  match Part.delta_range ~old:part ~now:(Part.uniform 2) with
+  | Some (lo, hi) ->
+    check_int "whole space lo" 0 (Ipv4.to_int lo);
+    check_int "whole space hi" 0xFFFF_FFFF (Ipv4.to_int hi)
+  | None -> Alcotest.fail "expected whole-space delta"
+
 let suite =
   ( "partition",
     [
@@ -110,6 +163,8 @@ let suite =
       Alcotest.test_case "prefix to APs" `Quick test_aps_of_prefix;
       Alcotest.test_case "explicit bounds" `Quick test_of_bounds;
       Alcotest.test_case "balanced partition" `Quick test_balanced;
+      Alcotest.test_case "move boundary" `Quick test_move_boundary;
+      Alcotest.test_case "delta range" `Quick test_delta_range;
       QCheck_alcotest.to_alcotest prop_cover;
       QCheck_alcotest.to_alcotest prop_prefix_aps_contiguous;
     ] )

@@ -85,6 +85,71 @@ let test_coalesce_identity () =
   let one = [ (Proto.Mesh, Proto.delta prefix [ mk 1 ]) ] in
   check_bool "singleton" true (Proto.coalesce one == one)
 
+(* Random injector streams: encoded item lists over a few channels and
+   prefixes, mixing announces, set replacements and withdrawals — the
+   kind of churn a flapping session (or a damping reinstatement)
+   delivers in one batch. *)
+let gen_items =
+  let channels = [| Proto.Mesh; Proto.To_arr; Proto.From_arr; Proto.To_trr |] in
+  let prefixes =
+    [| prefix; prefix2; Prefix.of_string "30.0.0.0/14";
+       Prefix.of_string "40.4.0.0/18" |]
+  in
+  QCheck.Gen.(
+    list_size (int_bound 40)
+      (map
+         (fun (c, p, ids) ->
+           let routes = List.map mk ids in
+           ( channels.(c mod Array.length channels),
+             Proto.delta
+               ~withdrawn_ids:(if routes = [] then [ 0 ] else [])
+               prefixes.(p mod Array.length prefixes)
+               routes ))
+         (triple (int_bound 3) (int_bound 3) (list_size (int_bound 3) (int_range 1 5)))))
+
+let arb_items = QCheck.make ~print:(fun l -> Printf.sprintf "<%d items>" (List.length l)) gen_items
+
+let key (c, (d : Proto.delta)) = (Proto.channel_tag c, Prefix.to_key d.Proto.prefix)
+
+(* The receiver treats each item as a full route-set replacement for its
+   (channel, prefix) key, so folding a delivery into a map is its
+   semantics. Coalescing must leave that fold's result unchanged. *)
+let fold_state items =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun it -> Hashtbl.replace tbl (key it) (snd it)) items;
+  List.sort compare
+    (Hashtbl.fold (fun k (d : Proto.delta) acc ->
+         (k, List.map (fun (r : Bgp.Route.t) -> r.Bgp.Route.path_id) d.Proto.routes)
+         :: acc)
+       tbl [])
+
+let prop_coalesce_preserves_apply =
+  QCheck.Test.make ~name:"coalesce preserves replace-map semantics" ~count:300
+    arb_items (fun items -> fold_state (Proto.coalesce items) = fold_state items)
+
+let prop_coalesce_idempotent =
+  QCheck.Test.make ~name:"coalesce is idempotent" ~count:300 arb_items
+    (fun items ->
+      let once = Proto.coalesce items in
+      Proto.coalesce once = once)
+
+let prop_coalesce_one_item_per_key =
+  QCheck.Test.make ~name:"coalesce leaves one item per key, order kept"
+    ~count:300 arb_items (fun items ->
+      let out = Proto.coalesce items in
+      let keys = List.map key out in
+      List.length (List.sort_uniq compare keys) = List.length keys
+      &&
+      (* survivors appear in the order of their key's last occurrence *)
+      let last_index k =
+        snd
+          (List.fold_left
+             (fun (i, best) it -> (i + 1, if key it = k then i else best))
+             (0, -1) items)
+      in
+      let idx = List.map last_index keys in
+      List.sort compare idx = idx)
+
 let suite =
   ( "proto",
     [
@@ -98,4 +163,7 @@ let suite =
         test_coalesce_keys_independent;
       Alcotest.test_case "coalesce: identity on small lists" `Quick
         test_coalesce_identity;
+      QCheck_alcotest.to_alcotest prop_coalesce_preserves_apply;
+      QCheck_alcotest.to_alcotest prop_coalesce_idempotent;
+      QCheck_alcotest.to_alcotest prop_coalesce_one_item_per_key;
     ] )

@@ -1,0 +1,243 @@
+(* lib/scenario: the adversarial & operational workload engine, plus the
+   router-level route-flap damping it exercises. *)
+
+open Helpers
+module C = Abrr_core.Config
+module N = Abrr_core.Network
+module Part = Abrr_core.Partition
+module Ct = Abrr_core.Counters
+module SE = Scenario.Engine
+module SC = Scenario.Catalog
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* One small catalog run shared by the assertions below: building the
+   workload once keeps the suite fast. *)
+let results =
+  lazy
+    (SC.run_all
+       (SC.env
+          (SC.spec ~pops:4 ~routers_per_pop:5 ~peer_ases:6
+             ~peering_points_per_as:3 ~prefixes:40 ~aps:4 ~arrs_per_ap:2 ()))
+       ~scheme:"abrr")
+
+let find name =
+  match List.find_opt (fun (r : SE.result) -> r.SE.name = name) (Lazy.force results) with
+  | Some r -> r
+  | None -> Alcotest.failf "scenario %s missing from catalog results" name
+
+let test_catalog_passes () =
+  let rs = Lazy.force results in
+  check_int "whole catalog ran" (List.length SC.names) (List.length rs);
+  List.iter
+    (fun (r : SE.result) ->
+      check_bool (SE.summary_line r) true (SE.passed r);
+      check_int ("no violations in " ^ r.SE.name) 0 r.SE.invariant_violations)
+    rs
+
+let test_adversarial_detections () =
+  (* the attack scenarios must actually trip the detectors *)
+  check_bool "hijack detected" true ((find "hijack").SE.detections > 0);
+  check_bool "leak detected" true ((find "leak").SE.detections > 0);
+  check_bool "hijacks counted" true
+    ((find "hijack").SE.counters.Ct.hijacks_injected > 0)
+
+let test_repartition_bound () =
+  let r = find "repartition" in
+  let bound_check =
+    match
+      List.find_opt
+        (fun (c : SE.check) -> c.SE.label = "movement within consistent-hashing bound")
+        r.SE.checks
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "repartition scenario lost its bound check"
+  in
+  check_bool bound_check.SE.detail true bound_check.SE.ok;
+  check_bool "retirements counted" true
+    (r.SE.counters.Ct.prefixes_moved_on_repartition > 0)
+
+let test_failover_takeover () =
+  let r = find "arr-failover" in
+  check_bool "takeover counted" true (r.SE.counters.Ct.takeovers > 0)
+
+let test_flap_damping_scenario () =
+  let r = find "flap-damping" in
+  check_bool "routes damped" true (r.SE.counters.Ct.routes_damped > 0);
+  (* the reuse timer fires minutes later: the scenario must have
+     actually waited through the suppression *)
+  check_bool "sim advanced past the reuse delay" true
+    (r.SE.sim_end >= Eventsim.Time.minutes 10)
+
+let test_report_exit_contract () =
+  let report = SE.report (Lazy.force results) in
+  check_bool "clean catalog renders ok" true (Verify.Report.ok report);
+  (* a failed check must flip the report, which drives exit code 1 *)
+  let broken =
+    {
+      (find "hijack") with
+      SE.checks = [ { SE.label = "forced"; ok = false; detail = "boom" } ];
+    }
+  in
+  check_bool "failed check fails the report" false
+    (Verify.Report.ok (SE.report [ broken ]))
+
+(* ---- router-level RFC 2439 damping ------------------------------- *)
+
+let damped_config ?damping n =
+  C.make ?damping ~n_routers:n ~igp:(flat_igp n) ~scheme:C.Full_mesh ()
+
+let victim = pfx "77.0.0.0/16"
+
+let flap3 net =
+  (* three withdraw/announce cycles of the same session route *)
+  for _ = 1 to 3 do
+    N.withdraw net ~router:0 ~neighbor:(neighbor 0) victim ~path_id:1;
+    quiesce net;
+    inject net ~router:0 (route ~path_id:1 ~prefix:victim 0)
+  done
+
+let test_damping_suppresses_and_reinstates () =
+  let net = N.create (damped_config ~damping:Bgp.Damping.default 4) in
+  inject net ~router:0 (route ~path_id:1 ~prefix:victim 0);
+  quiesce net;
+  flap3 net;
+  (* let the final announce be absorbed without firing the reuse timer *)
+  ignore
+    (N.run
+       ~until:(Eventsim.Sim.now (N.sim net) + Eventsim.Time.sec 2)
+       net);
+  check_bool "suppressed at the border" true (N.best net ~router:1 victim = None);
+  check_bool "damping counted" true
+    ((N.total_counters net).Ct.routes_damped >= 1);
+  (* the reuse timer reinstates the held route *)
+  quiesce net;
+  check_bool "reinstated after decay" true (N.best net ~router:1 victim <> None)
+
+let test_damping_off_by_default () =
+  let cfg = damped_config 4 in
+  check_bool "no damping unless configured" true (cfg.C.damping = None);
+  let net = N.create cfg in
+  inject net ~router:0 (route ~path_id:1 ~prefix:victim 0);
+  quiesce net;
+  flap3 net;
+  quiesce net;
+  check_bool "flaps propagate undamped" true (N.best net ~router:1 victim <> None);
+  check_int "nothing damped" 0 (N.total_counters net).Ct.routes_damped
+
+let test_damping_state_snapshots () =
+  (* a suppressed route (penalty, stamp, held route, parked reuse timer)
+     must survive the checkpoint codec *)
+  let cfg = damped_config ~damping:Bgp.Damping.default 4 in
+  let net = N.create cfg in
+  inject net ~router:0 (route ~path_id:1 ~prefix:victim 0);
+  quiesce net;
+  flap3 net;
+  ignore
+    (N.run
+       ~until:(Eventsim.Sim.now (N.sim net) + Eventsim.Time.sec 2)
+       net);
+  let digest n =
+    match Snapshot.digest n with Ok d -> d | Error e -> Alcotest.fail e
+  in
+  let bytes =
+    match Snapshot.encode net with Ok b -> b | Error e -> Alcotest.fail e
+  in
+  let net2 = N.create cfg in
+  (match Snapshot.decode net2 bytes with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  Alcotest.(check string) "digest equal" (digest net) (digest net2);
+  (* the restored run still reinstates the held route *)
+  quiesce net2;
+  check_bool "reinstated after restore" true (N.best net2 ~router:1 victim <> None)
+
+(* ---- engine equivalence under injector streams -------------------- *)
+
+(* Random toggle streams over two border sessions x two prefixes, run
+   under the incremental and the naive decision engine: identical Loc-RIB
+   outcomes and network-total counters, with damping on and off. *)
+
+let eq_prefixes = [| pfx "60.0.0.0/16"; pfx "190.0.0.0/16" |]
+
+let eq_config ?damping decision =
+  {
+    (C.make ?damping ~n_routers:5 ~igp:(flat_igp 5)
+       ~scheme:(C.abrr ~partition:(Part.uniform 2) [| [ 2 ]; [ 3 ] |])
+       ())
+    with
+    C.decision;
+  }
+
+let apply_toggle net on (b, p) =
+  let router = b and prefix = eq_prefixes.(p) in
+  let path_id = (10 * b) + p + 1 in
+  if on then inject net ~router (route ~path_id ~prefix router)
+  else N.withdraw net ~router ~neighbor:(neighbor router) prefix ~path_id
+
+let drive cfg stream =
+  let net = N.create cfg in
+  let state = Hashtbl.create 4 in
+  List.iter
+    (fun key ->
+      let on = not (Option.value (Hashtbl.find_opt state key) ~default:false) in
+      Hashtbl.replace state key on;
+      apply_toggle net on key;
+      quiesce ~check:false net)
+    stream;
+  quiesce net;
+  net
+
+let same_outcome cfg_a cfg_b stream =
+  let a = drive cfg_a stream and b = drive cfg_b stream in
+  Array.for_all (fun p -> same_choices a b p) eq_prefixes
+  && Ct.to_fields (N.total_counters a) = Ct.to_fields (N.total_counters b)
+
+let gen_stream =
+  QCheck.Gen.(
+    list_size (int_bound 10) (pair (int_range 0 1) (int_range 0 1)))
+
+let arb_stream =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun (b, p) -> Printf.sprintf "(%d,%d)" b p) l))
+    gen_stream
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"incremental = naive over injector streams" ~count:15
+    arb_stream
+    (fun stream ->
+      same_outcome (eq_config C.Incremental) (eq_config C.Naive) stream)
+
+let prop_engines_agree_damped =
+  QCheck.Test.make
+    ~name:"incremental = naive under damping" ~count:15 arb_stream
+    (fun stream ->
+      same_outcome
+        (eq_config ~damping:Bgp.Damping.default C.Incremental)
+        (eq_config ~damping:Bgp.Damping.default C.Naive)
+        stream)
+
+let suite =
+  ( "scenario",
+    [
+      Alcotest.test_case "catalog passes end to end" `Slow test_catalog_passes;
+      Alcotest.test_case "attack detections" `Slow test_adversarial_detections;
+      Alcotest.test_case "repartition within CH bound" `Slow
+        test_repartition_bound;
+      Alcotest.test_case "failover counts takeovers" `Slow
+        test_failover_takeover;
+      Alcotest.test_case "flap-damping waits out suppression" `Slow
+        test_flap_damping_scenario;
+      Alcotest.test_case "report drives exit contract" `Slow
+        test_report_exit_contract;
+      Alcotest.test_case "damping suppresses and reinstates" `Quick
+        test_damping_suppresses_and_reinstates;
+      Alcotest.test_case "damping off by default" `Quick
+        test_damping_off_by_default;
+      Alcotest.test_case "damping state snapshots" `Quick
+        test_damping_state_snapshots;
+      QCheck_alcotest.to_alcotest prop_engines_agree;
+      QCheck_alcotest.to_alcotest prop_engines_agree_damped;
+    ] )

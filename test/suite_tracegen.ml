@@ -56,6 +56,58 @@ let test_flap_consistency () =
       check_bool "restored" true restored)
     withdraws
 
+let test_flap_window () =
+  (* a narrow restore window bounds every withdraw->re-announce gap:
+     restore = withdraw + uniform [min, max) + the same per-point jitter
+     both arrivals already carry *)
+  let wmin = Time.sec 2 and wmax = Time.sec 5 in
+  let fast =
+    TG.generate table
+      (TG.spec ~events:200 ~duration:(Time.hours 1) ~flap_share:0.9
+         ~flap_restore_min:wmin ~flap_restore_max:wmax ~seed:9 ())
+  in
+  let restore_of (t, router, neighbor, prefix, path_id) =
+    List.find_map
+      (fun (e : TG.event) ->
+        match e.TG.action with
+        | TG.Announce { router = r; neighbor = n; route }
+          when e.TG.time > t && r = router && n = neighbor
+               && Netaddr.Prefix.equal route.Bgp.Route.prefix prefix
+               && route.Bgp.Route.path_id = path_id -> Some e.TG.time
+        | _ -> None)
+      fast
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (e : TG.event) ->
+      match e.TG.action with
+      | TG.Withdraw { router; neighbor; prefix; path_id } -> (
+        match restore_of (e.TG.time, router, neighbor, prefix, path_id) with
+        | None -> Alcotest.fail "flap without restore"
+        | Some rt ->
+          incr checked;
+          let gap = rt - e.TG.time in
+          (* jitter spreads the two arrivals by < 2 * default jitter *)
+          check_bool "gap within window" true
+            (gap >= wmin - (Time.sec 2 * 2) && gap <= wmax + (Time.sec 2 * 2)))
+      | TG.Announce _ -> ())
+    fast;
+  check_bool "windowed flaps exercised" true (!checked > 10)
+
+let test_flap_window_default_stability () =
+  (* spelling out the default window redraws nothing: traces are
+     bit-identical to the pre-knob generator *)
+  let explicit =
+    TG.generate table
+      (TG.spec ~events:200 ~duration:(Time.hours 1)
+         ~flap_restore_min:(Time.sec 30) ~flap_restore_max:(Time.sec 90)
+         ~seed:9 ())
+  in
+  let default_ =
+    TG.generate table (TG.spec ~events:200 ~duration:(Time.hours 1) ~seed:9 ())
+  in
+  check_bool "bit-identical" true (explicit = default_)
+
 let test_actions_reference_known_sessions () =
   let known =
     List.map (fun (s : T.session) -> (s.T.router, Netaddr.Ipv4.to_int s.T.neighbor)) topo.T.sessions
@@ -187,6 +239,9 @@ let suite =
       Alcotest.test_case "time-sorted" `Quick test_sorted;
       Alcotest.test_case "horizon" `Quick test_within_horizon;
       Alcotest.test_case "flaps restore" `Quick test_flap_consistency;
+      Alcotest.test_case "flap restore window" `Quick test_flap_window;
+      Alcotest.test_case "default window bit-identical" `Quick
+        test_flap_window_default_stability;
       Alcotest.test_case "sessions known" `Quick test_actions_reference_known_sessions;
       Alcotest.test_case "determinism" `Quick test_determinism;
       Alcotest.test_case "zipf concentration" `Quick test_zipf_concentration;
