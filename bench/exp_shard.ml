@@ -1,0 +1,175 @@
+(* Sharded simulation core: digest-proven determinism and scaling.
+
+   Each point runs one deterministic workload twice — sharded across
+   --jobs domains (or the point's own job count), then serially — and
+   proves they are the same computation:
+
+   - at logarithmically sampled synchronization barriers the sharded
+     run records (events_processed, state digest); the serial pass then
+     pauses at exactly those event counts and the digests must match
+     (digest_mismatches, gated at 0);
+   - at quiescence the final digests, event counts, simulated clocks
+     and Loc-RIB change counters must agree (final_match, gated at 1).
+
+   Alongside the proof, the record carries the engine's window
+   telemetry — windows, horizon stalls, cross-shard events, the
+   largest window — all deterministic and gated. Wall-clock speedup is
+   reported ungated: CI containers are single-core, so the number is
+   informational there and only meaningful on real multicore hosts
+   (SCALING.md). *)
+
+module N = Abrr_core.Network
+module T = Topo.Isp_topo
+module RG = Topo.Route_gen
+module TG = Topo.Trace_gen
+module E = Metrics.Emit
+module Sim = Eventsim.Sim
+module Time = Eventsim.Time
+
+let fi = float_of_int
+
+type point = {
+  label : string;
+  jobs : int;
+  pops : int;
+  rpp : int;
+  peer_ases : int;
+  points : int;
+  n_prefixes : int;
+  trace_events : int;
+}
+
+(* A mid-size Tier-1 and the paper-scale 1008-router topology; the CI
+   drill the sharded core is gated on. *)
+let catalog =
+  [
+    { label = "tier1-104r-j2"; jobs = 2; pops = 13; rpp = 8; peer_ases = 25;
+      points = 8; n_prefixes = 120; trace_events = 300 };
+    { label = "paper-1008r-j4"; jobs = 4; pops = 42; rpp = 24; peer_ases = 15;
+      points = 6; n_prefixes = 25; trace_events = 120 };
+  ]
+
+let digest net =
+  match Snapshot.digest net with
+  | Ok d -> d
+  | Error e -> failwith ("shard digest: " ^ e)
+
+let build p =
+  let topo =
+    T.generate
+      (T.spec ~pops:p.pops ~routers_per_pop:p.rpp ~peer_ases:p.peer_ases
+         ~peering_points_per_as:p.points ())
+  in
+  let table = RG.generate topo (RG.spec ~n_prefixes:p.n_prefixes ()) in
+  let trace =
+    TG.generate table
+      (TG.spec ~events:p.trace_events ~duration:(Time.days 14)
+         ~jitter:(Time.ms 80) ~single_point_share:0.35 ~flap_share:0.45 ())
+  in
+  let scheme =
+    Abrr_core.Config.abrr
+      ~partition:(Abrr_core.Partition.uniform 8)
+      (T.abrr_arrs topo ~aps:8 ~arrs_per_ap:2)
+  in
+  let cfg =
+    { (Exp_common.config topo scheme) with
+      Abrr_core.Config.decision = !Exp_common.decision_mode }
+  in
+  let net = N.create cfg in
+  RG.inject_all table net;
+  TG.schedule net trace;
+  net
+
+let run_point p =
+  (* Sharded run, sampling (events, digest) at barrier boundaries on a
+     geometric event grid — a handful of samples however long the run. *)
+  let sharded = build p in
+  let samples = ref [] in
+  let next = ref 2_000 in
+  let wall0 = Unix.gettimeofday () in
+  let outcome, stats =
+    N.Sharded.run ~max_events:500_000_000 sharded ~jobs:p.jobs
+      ~on_barrier:(fun () ->
+        let e = Sim.events_processed (N.sim sharded) in
+        if e >= !next then begin
+          next := max (e + 1) (!next * 4);
+          samples := (e, digest sharded) :: !samples
+        end)
+  in
+  let sharded_wall = Unix.gettimeofday () -. wall0 in
+  (match outcome with
+  | Sim.Quiescent -> ()
+  | o ->
+    failwith
+      (Format.asprintf "%s: sharded run ended with %a" p.label Sim.pp_outcome o));
+  let samples = List.rev !samples in
+  (* One serial pass over the same workload, pausing at each sampled
+     event count to compare digests, then finishing. *)
+  let serial = build p in
+  let wall0 = Unix.gettimeofday () in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (e, d) ->
+      let remaining = e - Sim.events_processed (N.sim serial) in
+      if remaining > 0 then ignore (N.run ~max_events:remaining serial);
+      if digest serial <> d then incr mismatches)
+    samples;
+  ignore (N.run ~max_events:500_000_000 serial);
+  let serial_wall = Unix.gettimeofday () -. wall0 in
+  let final_match =
+    digest serial = digest sharded
+    && Sim.events_processed (N.sim serial)
+       = Sim.events_processed (N.sim sharded)
+    && Sim.now (N.sim serial) = Sim.now (N.sim sharded)
+    && N.best_changes serial = N.best_changes sharded
+  in
+  Printf.printf
+    "%-16s jobs=%d  events=%d  windows=%d  stalls=%d  cross=%d  \
+     barriers-checked=%d  mismatches=%d  final=%s  speedup=%.2fx\n%!"
+    p.label p.jobs
+    (Sim.events_processed (N.sim sharded))
+    stats.N.Sharded.windows stats.N.Sharded.stalls
+    stats.N.Sharded.cross_events (List.length samples) !mismatches
+    (if final_match then "identical" else "DIVERGED")
+    (serial_wall /. Float.max 1e-9 sharded_wall);
+  E.run ~label:p.label ~scheme:"abrr"
+    ~knobs:
+      [
+        ("jobs", fi p.jobs); ("pops", fi p.pops);
+        ("routers_per_pop", fi p.rpp); ("peer_ases", fi p.peer_ases);
+        ("peering_points", fi p.points); ("prefixes", fi p.n_prefixes);
+        ("trace_events", fi p.trace_events);
+      ]
+    ~wall_s:sharded_wall
+    ~sim_s:(Time.to_sec (Sim.now (N.sim sharded)))
+    ~events:(Sim.events_processed (N.sim sharded))
+    ~counters:(Abrr_core.Counters.to_fields (N.total_counters sharded))
+    [
+      E.metric ~unit_:"windows" "windows" (fi stats.N.Sharded.windows);
+      E.metric ~unit_:"windows" "horizon_stalls" (fi stats.N.Sharded.stalls);
+      E.metric ~unit_:"events" "cross_shard_events"
+        (fi stats.N.Sharded.cross_events);
+      E.metric ~unit_:"events" "max_window_events"
+        (fi stats.N.Sharded.max_window_events);
+      E.metric ~unit_:"barriers" "barriers_checked"
+        (fi (List.length samples));
+      E.metric ~unit_:"mismatches" "digest_mismatches" (fi !mismatches);
+      E.metric "final_match" (if final_match then 1. else 0.);
+      E.metric ~gate:false ~unit_:"x" "speedup"
+        (serial_wall /. Float.max 1e-9 sharded_wall);
+    ]
+
+let run () =
+  let runs = List.map run_point catalog in
+  Exp_common.emit { E.experiment = "shard"; runs };
+  let bad =
+    List.exists
+      (fun (r : E.run) ->
+        List.exists
+          (fun (m : E.metric) ->
+            (m.E.name = "digest_mismatches" && m.E.value <> 0.)
+            || (m.E.name = "final_match" && m.E.value <> 1.))
+          r.E.metrics)
+      runs
+  in
+  if bad then failwith "shard: sharded execution diverged from serial"

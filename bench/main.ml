@@ -45,6 +45,8 @@ let experiments =
      Exp_scale.run);
     ("scenario", "Adversarial & operational scenario catalog, paper scale",
      Exp_scenario.run);
+    ("shard", "Sharded simulation core: digest-proven determinism and scaling",
+     Exp_shard.run);
   ]
 
 let matches arg (name, _, _) =

@@ -170,10 +170,12 @@ let scheme_name = function
    instead of free-form text — see OBSERVABILITY.md.
 
    --scheme may be repeated; each scheme is an independent simulation
-   point fanned across a Parallel.Pool of --jobs domains (every
-   simulation itself stays single-domain). Runs are emitted in CLI
-   order, so the record is identical whatever the job count — only the
-   ungated wall_s fields vary.
+   point, run in CLI order. --jobs N shards each simulation itself
+   across N domains (Network.Sharded): the conservative-window engine
+   makes the sharded run digest-identical to the serial one, so the
+   emitted record is byte-identical whatever the job count — only the
+   ungated wall_s fields vary. That byte-equality is the CI gate for
+   the sharded core.
 
    --checkpoint-every pauses the trace phase every N events and writes
    a numbered segment snapshot per scheme (lib/snapshot);
@@ -197,6 +199,14 @@ let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
     in
     let cfg scheme = { (cfg scheme) with Abrr_core.Config.decision } in
     let fi = float_of_int in
+    (* One run step, serial or sharded per --jobs. Sharded max_events
+       has barrier granularity (may overshoot by part of a window) —
+       harmless here: every call either runs to quiescence or feeds the
+       checkpoint loop, which pauses at *some* event boundary. *)
+    let run_net net ~max_events =
+      if jobs <= 1 then N.run ~max_events net
+      else fst (N.Sharded.run ~max_events net ~jobs)
+    in
     let point scheme =
       let name = scheme_name scheme in
       let wall0 = Unix.gettimeofday () in
@@ -228,7 +238,7 @@ let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
         Sim.set_sink sim sink;
         Sim.phase sim "snapshot" (fun () ->
             RG.inject_all table net;
-            ignore (N.run ~max_events:200_000_000 net));
+            ignore (run_net net ~max_events:200_000_000));
         for i = 0 to N.router_count net - 1 do
           Abrr_core.Counters.reset (N.counters net i)
         done
@@ -236,7 +246,7 @@ let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
       Sim.phase sim "trace" (fun () ->
           if not resumed then TG.schedule net trace;
           match ckpt_every with
-          | None -> ignore (N.run ~max_events:500_000_000 net)
+          | None -> ignore (run_net net ~max_events:500_000_000)
           | Some every ->
             let seg0 =
               match Snapshot.latest_segment ~dir:ckpt_dir ~label:name with
@@ -245,7 +255,7 @@ let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
             in
             let rec loop remaining seg =
               if remaining > 0 then
-                match N.run ~max_events:(min every remaining) net with
+                match run_net net ~max_events:(min every remaining) with
                 | Sim.Event_limit ->
                   let path = Snapshot.segment_path ~dir:ckpt_dir ~label:name seg in
                   (match Snapshot.save net ~path with
@@ -285,7 +295,7 @@ let bench schemes med pops rpp pas points prefixes aps arrs events seed mrai
              List.map (fun (n, st) -> (n, st.Sim.cpu_s)) (Sim.phase_stats sim))
         []
     in
-    let runs = Parallel.Pool.map ~jobs point schemes in
+    let runs = List.map point schemes in
     let record = { E.experiment = "sim"; runs } in
     let path = Filename.concat out_dir (E.filename "sim") in
     E.write_file path record;
@@ -307,8 +317,10 @@ let bench_cmd =
     Arg.(value & opt int 1
          & info [ "jobs" ]
              ~doc:
-               "Fan independent scheme points across $(docv) domains. The \
-                emitted record is identical to --jobs 1 (wall times aside).")
+               "Shard each simulation across $(docv) domains \
+                (Network.Sharded, conservative synchronization windows). \
+                Deterministic: the emitted record is byte-identical to \
+                --jobs 1 (wall times aside).")
   in
   let json_t =
     Arg.(value & flag
@@ -497,9 +509,24 @@ let resume_cmd =
    --fault-rng-at K perturbs run B's random stream right after trace
    event K, modelling the kind of stray-randomness bug the tool exists
    to localize. Each digest probe replays the run from scratch, so use
-   small workloads. *)
+   small workloads.
+
+   --jobs N replays run B sharded across N domains instead: the search
+   then localizes any sharded-vs-serial divergence to the first
+   barrier where the digests differ (expected: none — the sharded
+   engine is digest-identical by construction, and this is the tool
+   that finds the window if that ever breaks). Because a sharded pause
+   has barrier granularity, probe k pauses run B at its first barrier
+   with >= k events and compares run A at the same processed count. *)
 let bisect_run scheme med pops rpp pas points prefixes aps arrs events seed
-    mrai fault_at =
+    mrai fault_at jobs =
+  if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else if jobs > 1 && fault_at <> None then
+    `Error
+      ( false,
+        "--jobs compares sharded-vs-serial; it cannot be combined with \
+         --fault-rng-at (run B can only carry one fault model)" )
+  else begin
   let _topo, table, trace, cfg =
     build_workload med pops rpp pas points prefixes aps arrs events seed mrai
   in
@@ -541,15 +568,44 @@ let bisect_run scheme med pops rpp pas points prefixes aps arrs events seed
         Hashtbl.add memo k d;
         d
   in
+  let digest_a, digest_b =
+    if jobs <= 1 then (mk_digest None, mk_digest fault_at)
+    else begin
+      (* Sharded run B: a pause has barrier granularity, so probe k
+         stops B at its first barrier with >= k events, records the
+         exact count reached, and run A is digested at that same
+         count — both stay pure functions of k, which is all the
+         bisection needs. *)
+      let m_memo = Hashtbl.create 16 and d_memo = Hashtbl.create 16 in
+      let probe k =
+        match Hashtbl.find_opt d_memo k with
+        | Some d -> d
+        | None ->
+          let net, base = build () in
+          let target = base + k in
+          let cur = Eventsim.Sim.events_processed (N.sim net) in
+          if target > cur then
+            ignore (N.Sharded.run ~max_events:(target - cur) net ~jobs);
+          Hashtbl.replace m_memo k
+            (Eventsim.Sim.events_processed (N.sim net) - base);
+          let d =
+            match Snapshot.digest net with
+            | Ok d -> d
+            | Error e -> failwith ("bisect digest: " ^ e)
+          in
+          Hashtbl.add d_memo k d;
+          d
+      in
+      let serial = mk_digest None in
+      ((fun k -> ignore (probe k); serial (Hashtbl.find m_memo k)), probe)
+    end
+  in
   let net_a, base = build () in
   ignore (N.run ~max_events:500_000_000 net_a);
   let hi = Eventsim.Sim.events_processed (N.sim net_a) - base in
   let hi = match fault_at with Some kf -> max hi (kf + 1) | None -> hi in
   Printf.printf "trace phase spans %d events; bisecting [0, %d]\n%!" hi hi;
-  match
-    Snapshot.Bisect.search ~lo:0 ~hi ~digest_a:(mk_digest None)
-      ~digest_b:(mk_digest fault_at)
-  with
+  match Snapshot.Bisect.search ~lo:0 ~hi ~digest_a ~digest_b with
   | None ->
     Printf.printf "runs are state-identical through event %d\n" hi;
     `Ok ()
@@ -568,9 +624,17 @@ let bisect_run scheme med pops rpp pas points prefixes aps arrs events seed
             e.Eventsim.Sim.Trace.depth)
         (Eventsim.Sim.Trace.entries sink)
     in
-    show "A" None;
-    show "B" fault_at;
+    if jobs > 1 then
+      Printf.printf
+        "  run B was the sharded replay (--jobs %d); divergence is at \
+         barrier granularity\n"
+        jobs
+    else begin
+      show "A" None;
+      show "B" fault_at
+    end;
     `Ok ()
+  end
 
 let bisect_cmd =
   let fault_t =
@@ -581,6 +645,14 @@ let bisect_cmd =
                 $(docv) — a seeded divergence the search must localize to \
                 exactly $(docv). Without it the two runs are identical and \
                 the search reports none.")
+  in
+  let jobs_t =
+    Arg.(value & opt int 1
+         & info [ "jobs" ]
+             ~doc:
+               "Replay run B sharded across $(docv) domains \
+                (Network.Sharded) and bisect sharded-vs-serial over \
+                barrier digests. Incompatible with --fault-rng-at.")
   in
   Cmd.v
     (Cmd.info "bisect"
@@ -594,7 +666,7 @@ let bisect_cmd =
       ret
         (const bisect_run $ scheme_t $ med_t $ pops_t $ rpp_t $ pas_t
         $ points_t $ prefixes_t $ aps_t $ arrs_t $ events_t $ seed_t $ mrai_t
-        $ fault_t))
+        $ fault_t $ jobs_t))
 
 (* ---- check ---------------------------------------------------------- *)
 

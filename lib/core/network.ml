@@ -29,6 +29,19 @@ type payload =
   | Op of op
   | Thunk of (unit -> unit)
 
+(* Scheduling indirection: every event a router (or fail/recover)
+   schedules goes through the network's current [sched], carrying the
+   *originating* router [src]. Serial execution points this at the one
+   simulator; {!Sharded.run} swaps in a scheduler that routes by shard
+   for the duration of the run. *)
+type sched = {
+  sc_now : int -> Time.t;
+  sc_schedule :
+    src:int -> kind:int -> actor:int -> detail:int -> delay:Time.t ->
+    payload -> unit;
+  sc_best_change : int -> Prefix.t -> Bgp.Route.t option -> unit;
+}
+
 type t = {
   config : Config.t;
   sim : payload Sim.t;
@@ -36,6 +49,7 @@ type t = {
   mutable dist : int array array;
   mutable hooks : (int -> Prefix.t -> Bgp.Route.t option -> unit) list;
   mutable best_changes : int;
+  mutable sched : sched;
 }
 
 (* Event kinds recorded by the trace sink (Sim.Trace): which of the
@@ -68,11 +82,16 @@ let hold_time = Time.sec 3
 let fail t ~router:i =
   let failed = router t i in
   Router.set_down failed;
-  (* Peers notice when the hold timer expires and purge the session. *)
+  (* Peers notice when the hold timer expires and purge the session.
+     Scheduled through [sched] with [src = i]: under sharded execution
+     these are cross-shard events originating at the failed router, and
+     [hold_time] bounds the engine lookahead so they land past the safe
+     horizon. *)
   Array.iteri
     (fun j _ ->
       if j <> i then
-        Sim.schedule t.sim ~kind:trace_kind_timer ~actor:j ~delay:hold_time
+        t.sched.sc_schedule ~src:i ~kind:trace_kind_timer ~actor:j ~detail:0
+          ~delay:hold_time
           (Purge { router = j; peer = i }))
     t.routers
 
@@ -83,7 +102,8 @@ let recover t ~router:i =
   Array.iteri
     (fun j _ ->
       if j <> i then
-        Sim.schedule t.sim ~kind:trace_kind_timer ~actor:j ~delay:hold_time
+        t.sched.sc_schedule ~src:i ~kind:trace_kind_timer ~actor:j ~detail:0
+          ~delay:hold_time
           (Establish { router = j; peer = i }))
     t.routers
 
@@ -114,7 +134,9 @@ let create ?(seed = 42) config =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Network.create: " ^ msg));
   let sim = Sim.create_reified ~seed () in
-  let t =
+  (* [rec]: the serial scheduler closures reference the network they
+     schedule into. *)
+  let rec t =
     {
       config;
       sim;
@@ -122,6 +144,17 @@ let create ?(seed = 42) config =
       dist = Igp.Spf.all_pairs config.Config.igp;
       hooks = [];
       best_changes = 0;
+      sched =
+        {
+          sc_now = (fun _ -> Sim.now sim);
+          sc_schedule =
+            (fun ~src:_ ~kind ~actor ~detail ~delay p ->
+              Sim.schedule sim ~kind ~actor ~detail ~delay p);
+          sc_best_change =
+            (fun i prefix route ->
+              t.best_changes <- t.best_changes + 1;
+              List.iter (fun hook -> hook i prefix route) t.hooks);
+        };
     }
   in
   let make_router i =
@@ -129,20 +162,22 @@ let create ?(seed = 42) config =
       {
         Router.id = i;
         config;
-        now = (fun () -> Sim.now sim);
+        now = (fun () -> t.sched.sc_now i);
         schedule_process =
           (fun delay ->
-            Sim.schedule sim ~kind:trace_kind_timer ~actor:i ~delay (Process i));
+            t.sched.sc_schedule ~src:i ~kind:trace_kind_timer ~actor:i
+              ~detail:0 ~delay (Process i));
         schedule_flush =
           (fun ~peer delay ->
-            Sim.schedule sim ~kind:trace_kind_timer ~actor:i ~delay
+            t.sched.sc_schedule ~src:i ~kind:trace_kind_timer ~actor:i
+              ~detail:0 ~delay
               (Mrai_flush { router = i; peer }));
         transmit =
           (fun ~dst ~bytes ~msgs items ->
             let delay =
               if dst = i then Time.zero else config.Config.link_delay i dst
             in
-            Sim.schedule sim ~kind:trace_kind_deliver ~actor:dst
+            t.sched.sc_schedule ~src:i ~kind:trace_kind_deliver ~actor:dst
               ~detail:(List.length items) ~delay
               (Deliver { src = i; dst; bytes; msgs; items }));
         igp_cost =
@@ -155,10 +190,7 @@ let create ?(seed = 42) config =
             match Config.router_of_loopback config next_hop with
             | Some j -> t.dist.(src).(j)
             | None -> 0);
-        on_best_change =
-          (fun prefix route ->
-            t.best_changes <- t.best_changes + 1;
-            List.iter (fun hook -> hook i prefix route) t.hooks);
+        on_best_change = (fun prefix route -> t.sched.sc_best_change i prefix route);
       }
     in
     Router.create env
@@ -279,3 +311,143 @@ let load t d =
   match d.d_sink with
   | Some s -> Sim.set_sink t.sim (Sim.Trace.of_dump s)
   | None -> Sim.clear_sink t.sim
+
+(* ------------------------------------------------------------------ *)
+(* Sharded execution                                                   *)
+
+(* The router whose state an event mutates — the sharding key. Total on
+   reified payloads; a [Thunk] is an opaque closure with no owner. *)
+let payload_owner = function
+  | Deliver { dst; _ } -> dst
+  | Process i -> i
+  | Mrai_flush { router; _ } | Purge { router; _ } | Establish { router; _ } ->
+    router
+  | Op
+      ( Inject { router; _ }
+      | Withdraw { router; _ }
+      | Originate { router; _ }
+      | Withdraw_local { router; _ } ) ->
+    router
+  | Op (Fail i | Recover i) -> i
+  | Thunk _ -> invalid_arg "Network: Thunk events cannot be sharded (use at_op)"
+
+module Sharded = struct
+  type plan = {
+    shards : int;
+    shard_of : int array;
+    lookahead : Time.t;
+  }
+
+  type stats = Eventsim.Sharded.stats = {
+    shards : int;
+    windows : int;
+    stalls : int;
+    cross_events : int;
+    max_window_events : int;
+  }
+
+  let plan config ~jobs =
+    let n = config.Config.n_routers in
+    let jobs = max 1 (min jobs n) in
+    (* Contiguous ranges by default; under ABRR (and the Dual
+       transition) each AP's ARR set is then colocated onto the AP's
+       shard, so reflection for one address partition never crosses a
+       shard boundary — the locality the scheme was designed around.
+       A router serving several APs stays with the first. *)
+    let shard_of = Array.init n (fun i -> i * jobs / n) in
+    (match config.Config.scheme with
+    | Config.Abrr spec | Config.Dual { abrr = spec; _ } ->
+      let n_aps = Array.length spec.Config.arrs in
+      let moved = Array.make n false in
+      Array.iteri
+        (fun ap routers ->
+          let s = ap * jobs / n_aps in
+          List.iter
+            (fun r ->
+              if not moved.(r) then begin
+                moved.(r) <- true;
+                shard_of.(r) <- s
+              end)
+            routers)
+        spec.Config.arrs
+    | Config.Full_mesh | Config.Tbrr _ | Config.Confed _ | Config.Rcp _ -> ());
+    (* Lookahead: the fastest cross-shard interaction. Messages take at
+       least the minimum cross-shard link delay; fail/recover schedule
+       Purge/Establish on peers at [hold_time], so that caps it too. *)
+    let lookahead = ref hold_time in
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && shard_of.(i) <> shard_of.(j) then begin
+          let d = config.Config.link_delay i j in
+          if d <= 0 && !bad = None then bad := Some (i, j);
+          if d < !lookahead then lookahead := d
+        end
+      done
+    done;
+    match !bad with
+    | Some (i, j) ->
+      Error
+        (Printf.sprintf
+           "link delay %d -> %d is not positive: zero-lookahead topologies \
+            cannot be sharded"
+           i j)
+    | None ->
+      (* One shard has no cross-shard pairs: a single window runs the
+         whole schedule. *)
+      if jobs = 1 then Ok { shards = 1; shard_of; lookahead = max_int }
+      else Ok { shards = jobs; shard_of; lookahead = !lookahead }
+
+  let run ?until ?max_events ?on_barrier t ~jobs =
+    if t.hooks <> [] then
+      invalid_arg
+        "Network.Sharded.run: on_best_change hooks are incompatible with \
+         sharded execution";
+    match plan t.config ~jobs with
+    | Error msg -> invalid_arg ("Network.Sharded.run: " ^ msg)
+    | Ok { shards; shard_of; lookahead } ->
+      (* Loc-RIB change counts accumulate per shard (disjoint indices,
+         no contention) and merge at barriers — order-independent, so
+         the merged total matches the serial count. *)
+      let bc = Array.make shards 0 in
+      let bc0 = t.best_changes in
+      let sync_bc () =
+        t.best_changes <- bc0 + Array.fold_left ( + ) 0 bc
+      in
+      let eng =
+        Eventsim.Sharded.create ~master:t.sim ~shards ~lookahead
+          ~owner:(fun p -> shard_of.(payload_owner p))
+          ~exec:(fun ~shard:_ p -> exec_payload t p)
+          ()
+      in
+      let sharded_sched =
+        {
+          sc_now = (fun i -> Eventsim.Sharded.now eng ~shard:shard_of.(i));
+          sc_schedule =
+            (fun ~src ~kind ~actor ~detail ~delay p ->
+              Eventsim.Sharded.schedule eng ~shard:shard_of.(src) ~kind ~actor
+                ~detail ~delay p);
+          sc_best_change =
+            (fun i _prefix _route ->
+              let s = shard_of.(i) in
+              bc.(s) <- bc.(s) + 1);
+        }
+      in
+      let saved = t.sched in
+      t.sched <- sharded_sched;
+      Fun.protect
+        ~finally:(fun () ->
+          t.sched <- saved;
+          sync_bc ();
+          Eventsim.Sharded.shutdown eng)
+        (fun () ->
+          let on_barrier =
+            Option.map
+              (fun f () ->
+                sync_bc ();
+                f ())
+              on_barrier
+          in
+          let outcome = Eventsim.Sharded.run ?until ?max_events ?on_barrier eng in
+          (outcome, Eventsim.Sharded.stats eng))
+end

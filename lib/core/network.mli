@@ -192,3 +192,62 @@ val load : t -> dump -> unit
 (** Restore into a network freshly {!create}d from the same config the
     dump was taken under. @raise Invalid_argument on a router-count
     mismatch. *)
+
+(** {1 Sharded execution (lib/eventsim {!Eventsim.Sharded})} *)
+
+val payload_owner : payload -> int
+(** The router whose state the event mutates — the sharding key (and the
+    per-router partitioning key for multi-part snapshots).
+    @raise Invalid_argument on a [Thunk] (no identifiable owner). *)
+
+module Sharded : sig
+  (** Run one simulation across OCaml 5 domains, deterministically.
+
+      Routers are partitioned into [jobs] shards — contiguous index
+      ranges, except that under ABRR (and Dual) each AP's ARR set is
+      colocated on one shard, preserving the scheme's address-partition
+      locality. The engine's lookahead is the minimum cross-shard link
+      delay capped by {!hold_time}; the conservative windows it induces
+      make the sharded run {e bit-identical} in observable state
+      (digests, counters, trace sink, BENCH records) to the serial one.
+      See DESIGN.md "Sharded simulation". *)
+
+  type plan = {
+    shards : int;  (** effective shard count ([jobs] clamped to routers) *)
+    shard_of : int array;  (** router index -> shard *)
+    lookahead : Time.t;
+  }
+
+  type stats = Eventsim.Sharded.stats = {
+    shards : int;
+    windows : int;
+    stalls : int;
+    cross_events : int;
+    max_window_events : int;
+  }
+
+  val plan : Config.t -> jobs:int -> (plan, string) result
+  (** Pure partitioning decision. [jobs] is clamped to [1 .. n_routers];
+      [jobs = 1] yields a single shard with unbounded lookahead (one
+      window runs the whole schedule). [Error] when some cross-shard
+      link delay is not positive — zero lookahead admits no
+      conservative window. *)
+
+  val run :
+    ?until:Time.t ->
+    ?max_events:int ->
+    ?on_barrier:(unit -> unit) ->
+    t ->
+    jobs:int ->
+    Sim.outcome * stats
+  (** Like {!Network.run} but sharded across [jobs] domains. The
+      network's observable state afterwards is identical to the serial
+      run's; [on_barrier] fires between windows with the master
+      simulator (and {!best_changes}) synced to the consistent barrier
+      state — the checkpoint / digest hook. [max_events] has barrier
+      granularity: the run can overshoot by up to one window before
+      reporting [Event_limit].
+      @raise Invalid_argument when the plan is an [Error], a [Thunk]
+      event is pending, or {!on_best_change} hooks are registered
+      (arbitrary closures cannot be run from worker domains). *)
+end

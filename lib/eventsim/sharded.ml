@@ -1,0 +1,336 @@
+(* Conservative-window sharded execution of one simulation.
+
+   The payload universe is partitioned across [shards] by an [owner]
+   function; each shard runs its own {!Sim.t} on its own domain. A
+   window executes every shard up to (but excluding) the global safe
+   horizon H = min-pending-time + lookahead: since any cross-shard
+   effect scheduled by an event at time t lands at or after t +
+   lookahead >= H, no shard can receive a message dated inside the
+   window it just ran — the windows are causally closed.
+
+   Determinism is reconstructed at the barrier, not assumed during the
+   window. Shards execute with *provisional* sequence numbers (each
+   window resets every shard's counter to the global value s0); every
+   executed event is logged as a cell carrying the calls it made. The
+   single-threaded barrier then k-way-merges the per-shard logs by
+   (time, resolved seq) — which provably equals the serial execution
+   order — assigning real sequence numbers to calls in merged order,
+   feeding the master trace sink the exact serial entry stream,
+   rewriting pending provisional seqs, and routing cross-shard events.
+
+   Why the merge order is exact: within a shard the executed (time,
+   resolved-seq) sequence is increasing (the shard ran a faithful
+   sub-simulation, and provisional->real maps are monotone per shard),
+   and a provisional head's scheduler is always an earlier cell of the
+   same shard's log (cross-shard events are withheld until the barrier),
+   so resolution never blocks and the k-way merge linearizes the union
+   exactly as one queue would have. *)
+
+type 'p remote = {
+  r_shard : int;
+  r_time : Time.t;
+  r_kind : int;
+  r_actor : int;
+  r_detail : int;
+  r_payload : 'p;
+}
+
+type 'p call = Local of int  (* provisional seq on the scheduling shard *)
+             | Remote of 'p remote
+
+(* One executed event, in shard execution order. [c_seq] is provisional
+   iff >= the window's s0. [c_calls] is kept reversed. *)
+type 'p cell = {
+  c_time : Time.t;
+  c_seq : int;
+  c_kind : int;
+  c_actor : int;
+  c_detail : int;
+  mutable c_calls : 'p call list;
+}
+
+type stats = {
+  shards : int;
+  windows : int;  (** synchronization windows executed *)
+  stalls : int;  (** shard-windows that executed zero events *)
+  cross_events : int;  (** events routed across a shard boundary *)
+  max_window_events : int;  (** largest single-window event count *)
+}
+
+type 'p t = {
+  master : 'p Sim.t;
+  n : int;
+  lookahead : Time.t;
+  owner : 'p -> int;
+  sims : 'p Sim.t array;
+  team : Parallel.Team.t option;
+  logs : 'p cell list array;  (* reversed execution order *)
+  cur : 'p cell option array;  (* cell being executed, per shard *)
+  mutable windows : int;
+  mutable stalls : int;
+  mutable cross : int;
+  mutable max_window : int;
+}
+
+let horizon ~next ~lookahead =
+  if lookahead > max_int - next then max_int else next + lookahead
+
+let create ~master ~shards ~lookahead ~owner ~exec () =
+  if shards < 1 then invalid_arg "Sharded.create: shards < 1";
+  if lookahead <= 0 then invalid_arg "Sharded.create: lookahead must be positive";
+  let sims = Array.init shards (fun s -> Sim.create_reified ~seed:s ()) in
+  let t =
+    {
+      master;
+      n = shards;
+      lookahead;
+      owner;
+      sims;
+      team = (if shards > 1 then Some (Parallel.Team.create ~workers:(shards - 1)) else None);
+      logs = Array.make shards [];
+      cur = Array.make shards None;
+      windows = 0;
+      stalls = 0;
+      cross = 0;
+      max_window = 0;
+    }
+  in
+  Array.iteri
+    (fun s sim ->
+      Sim.set_exec_event sim (fun ev ->
+          let cell =
+            {
+              c_time = ev.Sim.time;
+              c_seq = ev.Sim.seq;
+              c_kind = ev.Sim.kind;
+              c_actor = ev.Sim.actor;
+              c_detail = ev.Sim.detail;
+              c_calls = [];
+            }
+          in
+          t.logs.(s) <- cell :: t.logs.(s);
+          t.cur.(s) <- Some cell;
+          exec ~shard:s ev.Sim.payload;
+          t.cur.(s) <- None))
+    sims;
+  t
+
+let master t = t.master
+let shards t = t.n
+let lookahead t = t.lookahead
+
+let stats t =
+  {
+    shards = t.n;
+    windows = t.windows;
+    stalls = t.stalls;
+    cross_events = t.cross;
+    max_window_events = t.max_window;
+  }
+
+let now t ~shard = Sim.now t.sims.(shard)
+
+(* The only legal way for a shard to schedule during a window. Same
+   shard: schedule on the shard sim (provisional seq) and log it.
+   Other shard: log only — the event is *withheld* from every queue
+   until the barrier assigns its real seq and routes it. *)
+let schedule t ~shard ?(kind = 0) ?(actor = -1) ?(detail = 0) ~delay payload =
+  if delay < 0 then invalid_arg "Sharded.schedule: negative delay";
+  match t.cur.(shard) with
+  | None -> invalid_arg "Sharded.schedule: no event executing on this shard"
+  | Some cell ->
+    let target = t.owner payload in
+    if target < 0 || target >= t.n then
+      invalid_arg "Sharded.schedule: owner out of range";
+    if target = shard then begin
+      let prov = Sim.next_seq t.sims.(shard) in
+      Sim.schedule t.sims.(shard) ~kind ~actor ~detail ~delay payload;
+      cell.c_calls <- Local prov :: cell.c_calls
+    end
+    else
+      cell.c_calls <-
+        Remote
+          {
+            r_shard = target;
+            r_time = Sim.now t.sims.(shard) + delay;
+            r_kind = kind;
+            r_actor = actor;
+            r_detail = detail;
+            r_payload = payload;
+          }
+        :: cell.c_calls
+
+let total_pending t =
+  Array.fold_left (fun acc sim -> acc + Sim.pending sim) 0 t.sims
+
+(* Collapse the distributed state back into the master simulator so a
+   caller can checkpoint / digest / schedule externally. The master's
+   own random word is carried forward untouched: no event execution
+   draws from it, so the serial and sharded streams coincide. *)
+let sync_master t ~clock ~next_seq ~processed =
+  let events =
+    Array.fold_left
+      (fun acc sim -> List.rev_append (Sim.pending_events sim) acc)
+      [] t.sims
+  in
+  Sim.restore t.master ~clock ~next_seq ~processed
+    ~rng_state:(Prng.state (Sim.rng t.master))
+    events
+
+let run ?(until = max_int) ?(max_events = max_int) ?on_barrier t =
+  let clock = ref (Sim.now t.master) in
+  let next_seq = ref (Sim.next_seq t.master) in
+  let processed = ref (Sim.events_processed t.master) in
+  let sink = Sim.sink t.master in
+  (* Distribute the master's pending events to their owners. Each shard
+     starts at the master clock with the master seq counter; real seqs
+     (< s0 of the first window) are preserved verbatim. *)
+  let per_shard = Array.make t.n [] in
+  List.iter
+    (fun ev ->
+      let s = t.owner ev.Sim.payload in
+      if s < 0 || s >= t.n then invalid_arg "Sharded.run: owner out of range";
+      per_shard.(s) <- ev :: per_shard.(s))
+    (Sim.pending_events t.master);
+  Array.iteri
+    (fun s evs ->
+      Sim.restore t.sims.(s) ~clock:!clock ~next_seq:!next_seq ~processed:0
+        ~rng_state:(Prng.state (Sim.rng t.sims.(s)))
+        (List.rev evs))
+    per_shard;
+  (* Serial-replay queue depth: what the single master queue's length
+     would be at each point of the merged execution. Feeds the trace
+     sink the depths a serial run records. *)
+  let pdepth = ref (total_pending t) in
+  let budget = ref max_events in
+  let finish outcome =
+    sync_master t ~clock:!clock ~next_seq:!next_seq ~processed:!processed;
+    outcome
+  in
+  let rec loop () =
+    if !budget <= 0 then finish Sim.Event_limit
+    else
+      let tmin =
+        Array.fold_left
+          (fun acc sim ->
+            match (Sim.next_time sim, acc) with
+            | None, a -> a
+            | Some tt, None -> Some tt
+            | Some tt, Some a -> Some (min tt a))
+          None t.sims
+      in
+      match tmin with
+      | None -> finish Sim.Quiescent
+      | Some tmin when tmin > until -> finish Sim.Deadline
+      | Some tmin ->
+        let h = horizon ~next:tmin ~lookahead:t.lookahead in
+        let wuntil = min (h - 1) until in
+        let s0 = !next_seq in
+        Array.iter (fun sim -> Sim.set_next_seq sim s0) t.sims;
+        (* Execute the window: shard s runs on slot s. *)
+        let run_shard s = ignore (Sim.run ~until:wuntil t.sims.(s)) in
+        (match t.team with
+        | None -> run_shard 0
+        | Some team -> Parallel.Team.run team run_shard);
+        (* ---- Barrier: single-threaded deterministic merge. ---- *)
+        let heads = Array.map List.rev t.logs in
+        Array.fill t.logs 0 t.n [];
+        let maps = Array.init t.n (fun _ -> Hashtbl.create 64) in
+        let resolve s seq =
+          if seq < s0 then seq
+          else
+            match Hashtbl.find_opt maps.(s) seq with
+            | Some real -> real
+            | None -> failwith "Sharded: unresolvable provisional seq"
+        in
+        let inbox = Array.make t.n [] in
+        let w = ref 0 in
+        Array.iter (fun l -> if l = [] then t.stalls <- t.stalls + 1) heads;
+        let rec merge () =
+          let best = ref (-1) and bkey = ref (max_int, max_int) in
+          Array.iteri
+            (fun s l ->
+              match l with
+              | [] -> ()
+              | cell :: _ ->
+                let key = (cell.c_time, resolve s cell.c_seq) in
+                if key < !bkey then begin
+                  bkey := key;
+                  best := s
+                end)
+            heads;
+          if !best >= 0 then begin
+            let s = !best in
+            let cell = List.hd heads.(s) in
+            heads.(s) <- List.tl heads.(s);
+            incr w;
+            incr processed;
+            decr pdepth;
+            clock := cell.c_time;
+            (match sink with
+            | None -> ()
+            | Some sk ->
+              Sim.Trace.observe sk
+                {
+                  Sim.Trace.time = cell.c_time;
+                  kind = cell.c_kind;
+                  actor = cell.c_actor;
+                  depth = !pdepth;
+                  detail = cell.c_detail;
+                });
+            List.iter
+              (fun call ->
+                let real = !next_seq in
+                incr next_seq;
+                incr pdepth;
+                match call with
+                | Local prov -> Hashtbl.replace maps.(s) prov real
+                | Remote r ->
+                  t.cross <- t.cross + 1;
+                  if r.r_time < h then
+                    failwith "Sharded: lookahead violation (cross-shard event inside window)";
+                  inbox.(r.r_shard) <-
+                    {
+                      Sim.time = r.r_time;
+                      seq = real;
+                      kind = r.r_kind;
+                      actor = r.r_actor;
+                      detail = r.r_detail;
+                      payload = r.r_payload;
+                    }
+                    :: inbox.(r.r_shard))
+              (List.rev cell.c_calls);
+            merge ()
+          end
+        in
+        merge ();
+        (* Fix up the pending sets: provisional seqs -> merged, then
+           route the withheld cross-shard events in. *)
+        Array.iteri
+          (fun s sim ->
+            Sim.map_pending sim (fun ev ->
+                if ev.Sim.seq >= s0 then { ev with Sim.seq = resolve s ev.Sim.seq }
+                else ev);
+            Sim.set_next_seq sim !next_seq)
+          t.sims;
+        Array.iteri
+          (fun s evs -> List.iter (Sim.push_event t.sims.(s)) (List.rev evs))
+          inbox;
+        assert (!pdepth = total_pending t);
+        t.windows <- t.windows + 1;
+        if !w > t.max_window then t.max_window <- !w;
+        budget := !budget - !w;
+        (* Probe countdown advances by the whole window; firing counts
+           match a serial run exactly (see Sim.probe_advance). *)
+        Sim.probe_advance t.master !w;
+        (match on_barrier with
+        | None -> ()
+        | Some f ->
+          sync_master t ~clock:!clock ~next_seq:!next_seq ~processed:!processed;
+          f ());
+        loop ()
+  in
+  loop ()
+
+let shutdown t =
+  match t.team with None -> () | Some team -> Parallel.Team.shutdown team

@@ -1,0 +1,105 @@
+(** Conservative-window sharded execution of one simulation.
+
+    Partitions a simulation's payload universe across [shards] OCaml 5
+    domains by an [owner] function. Each shard runs its own {!Sim.t};
+    execution proceeds in {e synchronization windows}: with [T] the
+    global minimum pending event time, every shard runs strictly below
+    the safe horizon [H = T + lookahead], then a single-threaded barrier
+    merges the shards' execution logs.
+
+    Soundness of the window needs one property from the caller's model:
+    any event an event at time [t] schedules {e on another shard} must
+    land at time [>= t + lookahead] (for the network model, lookahead =
+    min cross-shard link delay, capped by the session hold time). The
+    barrier hard-checks this and fails fast on a violation.
+
+    Determinism is the contract, not an accident: shards execute with
+    provisional sequence numbers, and the barrier k-way-merges the logs
+    by (time, resolved seq) — exactly the serial dispatch order —
+    assigning real sequence numbers in merged order, reconstructing the
+    master clock / processed count / trace-sink stream, rewriting
+    pending provisional seqs, and routing withheld cross-shard events.
+    A sharded run is therefore {e bit-identical} in observable state to
+    the serial run of the same program, which the snapshot digest gates
+    prove end to end (see DESIGN.md "Sharded simulation"). *)
+
+type 'p t
+
+type stats = {
+  shards : int;
+  windows : int;  (** synchronization windows executed (cumulative) *)
+  stalls : int;  (** shard-windows that executed zero events *)
+  cross_events : int;  (** events routed across a shard boundary *)
+  max_window_events : int;  (** largest single-window event count *)
+}
+
+val create :
+  master:'p Sim.t ->
+  shards:int ->
+  lookahead:Time.t ->
+  owner:('p -> int) ->
+  exec:(shard:int -> 'p -> unit) ->
+  unit ->
+  'p t
+(** An engine over [master] (the canonical simulator — its pending
+    events, clock, counters, sink and probe are the source and sink of
+    every {!run}). [owner] maps a payload to its shard; [exec] executes
+    a payload on behalf of a shard and must confine its effects to
+    state owned by that shard, scheduling follow-ups only through
+    {!schedule}. Spawns [shards - 1] worker domains (a {!Parallel.Team})
+    that persist until {!shutdown}.
+    @raise Invalid_argument if [shards < 1] or [lookahead <= 0]. *)
+
+val run :
+  ?until:Time.t ->
+  ?max_events:int ->
+  ?on_barrier:(unit -> unit) ->
+  'p t ->
+  Sim.outcome
+(** Distribute the master's pending events to their owning shards, run
+    windows until quiescence / [until] / the event budget, and collapse
+    the final state back into the master. Observable master state
+    (clock, sequence counter, processed count, pending set, trace-sink
+    contents, probe firing count) ends identical to a serial
+    [Sim.run] of the same program — the determinism contract.
+
+    [max_events] has barrier granularity: the budget is checked between
+    windows, so the run may overshoot by up to one window before
+    returning [Event_limit] (the serial-equivalence contract is then
+    "a serial run limited to the count actually processed matches").
+
+    [on_barrier] runs after each window's merge, with the master synced
+    to the consistent barrier state — the checkpoint / digest hook. *)
+
+val schedule :
+  'p t ->
+  shard:int ->
+  ?kind:int ->
+  ?actor:int ->
+  ?detail:int ->
+  delay:Time.t ->
+  'p ->
+  unit
+(** Schedule a follow-up from inside [exec] running on [shard]. Same
+    owner: lands on the shard's own queue under a provisional sequence
+    number. Different owner: withheld and routed at the barrier (the
+    arrival must be at or past the horizon — the lookahead contract).
+    @raise Invalid_argument on negative delay, outside event execution,
+    or if the payload's owner is out of range. *)
+
+val now : 'p t -> shard:int -> Time.t
+(** The shard's current simulated time (valid inside [exec]). *)
+
+val master : 'p t -> 'p Sim.t
+val shards : 'p t -> int
+val lookahead : 'p t -> Time.t
+
+val stats : 'p t -> stats
+(** Cumulative across all {!run} calls on this engine. *)
+
+val horizon : next:Time.t -> lookahead:Time.t -> Time.t
+(** [next + lookahead], clamped to [max_int] on overflow — the safe
+    horizon arithmetic, exposed pure for tests. *)
+
+val shutdown : 'p t -> unit
+(** Join the worker domains. The engine is unusable afterwards. *)

@@ -95,6 +95,18 @@ module Trace = struct
     s.seen <- d.d_seen;
     s.recorded <- d.d_recorded;
     s
+
+  (* One dispatched event as the run loop sees it: count it as seen,
+     record every [every]-th. Factored out so the sharded barrier replay
+     can feed the master sink the exact entry stream a serial run would
+     have produced. *)
+  let observe s e =
+    s.seen <- s.seen + 1;
+    s.until_sample <- s.until_sample - 1;
+    if s.until_sample <= 0 then begin
+      s.until_sample <- s.every;
+      push s e
+    end
 end
 
 type phase_stat = {
@@ -110,7 +122,7 @@ type 'p t = {
   mutable next_seq : int;
   mutable processed : int;
   rng : Prng.t;
-  mutable exec : ('p -> unit) option;
+  mutable exec : ('p event -> unit) option;
   mutable probe : (unit -> unit) option;
   mutable probe_every : int;
   mutable until_probe : int;
@@ -142,10 +154,11 @@ let create_reified ?(seed = 42) () =
 
 let create ?seed () =
   let t = create_reified ?seed () in
-  t.exec <- Some (fun f -> f ());
+  t.exec <- Some (fun ev -> ev.payload ());
   t
 
-let set_exec t f = t.exec <- Some f
+let set_exec t f = t.exec <- Some (fun ev -> f ev.payload)
+let set_exec_event t f = t.exec <- Some f
 
 let now t = t.clock
 let rng t = t.rng
@@ -163,9 +176,19 @@ let schedule t ?kind ?actor ?detail ~delay payload =
 let pending t = Pqueue.Heap.length t.queue
 let events_processed t = t.processed
 let next_seq t = t.next_seq
+let set_next_seq t n = t.next_seq <- n
+let next_time t = Option.map (fun ev -> ev.time) (Pqueue.Heap.peek t.queue)
 
 let pending_events t =
   List.sort cmp_event (Pqueue.Heap.elements t.queue)
+
+(* Raw scheduler hooks for the sharded engine: enqueue an event keeping
+   its recorded seq (a barrier-merged cross-shard delivery), and rewrite
+   pending seqs in place (provisional -> merged). The rewrite must be
+   order-preserving, which provisional-to-real maps are: within one
+   shard, provisional order equals merged order. *)
+let push_event t ev = Pqueue.Heap.push t.queue ev
+let map_pending t f = Pqueue.Heap.map_inplace t.queue f
 
 let restore t ~clock ~next_seq ~processed ~rng_state events =
   Pqueue.Heap.clear t.queue;
@@ -204,20 +227,15 @@ let dispatch t exec ev =
   (match t.trace with
   | None -> ()
   | Some s ->
-    s.Trace.seen <- s.Trace.seen + 1;
-    s.Trace.until_sample <- s.Trace.until_sample - 1;
-    if s.Trace.until_sample <= 0 then begin
-      s.Trace.until_sample <- s.Trace.every;
-      Trace.push s
-        {
-          Trace.time = ev.time;
-          kind = ev.kind;
-          actor = ev.actor;
-          depth = Pqueue.Heap.length t.queue;
-          detail = ev.detail;
-        }
-    end);
-  exec ev.payload;
+    Trace.observe s
+      {
+        Trace.time = ev.time;
+        kind = ev.kind;
+        actor = ev.actor;
+        depth = Pqueue.Heap.length t.queue;
+        detail = ev.detail;
+      });
+  exec ev;
   match t.probe with
   | None -> ()
   | Some f ->
@@ -225,6 +243,24 @@ let dispatch t exec ev =
     if t.until_probe <= 0 then begin
       t.until_probe <- t.probe_every;
       f ()
+    end
+
+(* Barrier-granular probe accounting for the sharded engine: advance the
+   per-event countdown by a whole window's worth of processed events and
+   invoke the probe once per due firing, at the (consistent) barrier
+   state. The firing *count* matches a serial run's exactly; only the
+   states the probe observes are coarser (barrier boundaries instead of
+   every [every]-th event). *)
+let probe_advance t n =
+  match t.probe with
+  | None -> ()
+  | Some f ->
+    if n > 0 then begin
+      t.until_probe <- t.until_probe - n;
+      while t.until_probe <= 0 do
+        t.until_probe <- t.until_probe + t.probe_every;
+        f ()
+      done
     end
 
 let run ?(until = max_int) ?(max_events = max_int) t =

@@ -118,6 +118,43 @@ val next_seq : 'p t -> int
 val pending_events : 'p t -> 'p event list
 (** The pending queue, sorted by (time, seq). Non-destructive. *)
 
+val next_time : 'p t -> Time.t option
+(** Timestamp of the earliest pending event, [None] on an empty queue.
+    O(1) — the sharded engine polls this per synchronization window. *)
+
+(** {2 Sharded-scheduler hooks}
+
+    Raw queue surgery for {!Sharded}: a shard simulator executes a
+    conservative window with {e provisional} sequence numbers, and the
+    barrier replay then rewrites them to their merged global values and
+    routes cross-shard deliveries in. These bypass the usual scheduling
+    checks — ordinary schedulers never need them. *)
+
+val set_exec_event : 'p t -> ('p event -> unit) -> unit
+(** Like {!set_exec} but the executor receives the whole event (time,
+    seq, kind, actor, detail, payload) — the hook the sharded engine
+    uses to log each executed event for its barrier replay. *)
+
+val set_next_seq : 'p t -> int -> unit
+(** Overwrite the sequence counter (per-window provisional base). *)
+
+val push_event : 'p t -> 'p event -> unit
+(** Enqueue a fully-formed event keeping its [seq] — a barrier-merged
+    cross-shard delivery whose global sequence number is already
+    assigned. No past-time check: the barrier proves [time] lies at or
+    beyond the safe horizon. *)
+
+val map_pending : 'p t -> ('p event -> 'p event) -> unit
+(** Rewrite every pending event in place. [f] must preserve the
+    (time, seq) order of the pending set — true of the barrier's
+    provisional-to-merged seq maps, which are monotone per shard. *)
+
+val probe_advance : 'p t -> int -> unit
+(** Advance the {!set_probe} countdown by [n] processed events, invoking
+    the probe once per due firing at the current (barrier) state. Keeps
+    sharded runs' probe firing {e counts} identical to serial runs';
+    no-op when no probe is installed. *)
+
 val fire : 'p t -> seq:int -> 'p event
 (** Scheduler hook for the schedule explorer ({!Explore}): remove the
     pending event with sequence number [seq] — {e whatever its
@@ -197,6 +234,12 @@ module Trace : sig
   (** Rebuild a sink observationally identical to the dumped one.
       @raise Invalid_argument if the dump holds more entries than its
       capacity. *)
+
+  val observe : sink -> entry -> unit
+  (** Feed the sink one dispatched event: count it as seen, record it if
+      the sampling countdown says so — exactly what the run loop does
+      per event. The sharded barrier replay uses this to reproduce the
+      serial entry stream; ordinary callers never need it. *)
 end
 
 val set_sink : 'p t -> Trace.sink -> unit

@@ -1,6 +1,9 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-let map ?(jobs = 1) f items =
+(* [spawn] is injectable so the spawn-failure path is testable: the
+   regression test passes a spawner that fails on its n-th call and
+   checks no earlier domain is leaked. *)
+let map_gen ~spawn ?(jobs = 1) f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   let jobs = max 1 (min jobs n) in
@@ -23,9 +26,21 @@ let map ?(jobs = 1) f items =
         worker ()
       end
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* Spawn under protection: if spawn #k fails, domains 0..k-1 are
+       already running — starve them (claim all remaining work) and join
+       them before re-raising, so a failing sweep cannot leak domains. *)
+    let spawned = ref [] in
+    (try
+       for _ = 1 to jobs - 1 do
+         spawned := spawn worker :: !spawned
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Atomic.set next n;
+       List.iter Domain.join !spawned;
+       Printexc.raise_with_backtrace e bt);
     worker ();
-    Array.iter Domain.join domains;
+    List.iter Domain.join !spawned;
     match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
@@ -34,3 +49,9 @@ let map ?(jobs = 1) f items =
            (function Some r -> r | None -> assert false (* all claimed *))
            results)
   end
+
+let map ?jobs f items = map_gen ~spawn:Domain.spawn ?jobs f items
+
+module For_testing = struct
+  let map_with_spawn = map_gen
+end

@@ -23,4 +23,20 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
     [f] must not assume it runs on the calling domain: anything it
     touches must be domain-safe (the simulator's per-network state and
-    per-domain intern tables are; global mutable state is not). *)
+    per-domain intern tables are; global mutable state is not).
+
+    If spawning the [k]-th domain itself fails, the [k - 1] domains
+    already running are drained and joined before the spawn exception
+    propagates — a failing sweep never leaks running domains. *)
+
+(**/**)
+
+module For_testing : sig
+  val map_with_spawn :
+    spawn:((unit -> unit) -> unit Domain.t) ->
+    ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+  (** {!map} with an injectable domain spawner, for exercising the
+      spawn-failure cleanup path. *)
+end
+
+(**/**)

@@ -1,0 +1,128 @@
+(* A persistent crew of worker domains driven in lockstep rounds.
+
+   Domain.spawn costs ~100µs; the sharded simulator runs tens of
+   thousands of synchronization windows per run, so spawning per window
+   would dominate. A team spawns its workers once and reuses them:
+   [run t f] broadcasts one round — [f 0] on the calling domain,
+   [f (j + 1)] on worker [j] — and returns when every slot has finished.
+
+   Synchronization is a single mutex + condition pair. The round counter
+   is monotone; a worker waits until the counter moves past the last
+   round it executed (or [stop] is raised), so a missed broadcast can
+   never deadlock — the predicate is re-checked after every wakeup. *)
+
+type t = {
+  workers : int;  (* spawned domains; slot 0 is the caller *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (int -> unit) option;  (* body of the current round *)
+  mutable round : int;  (* monotone round id *)
+  mutable done_count : int;  (* workers finished with the current round *)
+  mutable errors : (int * exn * Printexc.raw_backtrace) list;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let size t = t.workers + 1
+
+let record_error t slot e bt =
+  Mutex.lock t.mutex;
+  t.errors <- (slot, e, bt) :: t.errors;
+  Mutex.unlock t.mutex
+
+let worker_loop t j =
+  let slot = j + 1 in
+  let rec loop last_round =
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.round = last_round do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      let r = t.round in
+      let f = match t.job with Some f -> f | None -> assert false in
+      Mutex.unlock t.mutex;
+      (try f slot
+       with e -> record_error t slot e (Printexc.get_raw_backtrace ()));
+      Mutex.lock t.mutex;
+      t.done_count <- t.done_count + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      loop r
+    end
+  in
+  loop 0
+
+let create ~workers =
+  if workers < 0 then invalid_arg "Team.create: negative workers";
+  let t =
+    {
+      workers;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      round = 0;
+      done_count = 0;
+      errors = [];
+      stop = false;
+      domains = [||];
+    }
+  in
+  (* Protected spawn: if worker #k fails to start, stop and join the
+     k - 1 already running before re-raising — no leaked domains. *)
+  let spawned = ref [] in
+  (try
+     for j = 0 to workers - 1 do
+       spawned := Domain.spawn (fun () -> worker_loop t j) :: !spawned
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock t.mutex;
+     t.stop <- true;
+     Condition.broadcast t.cond;
+     Mutex.unlock t.mutex;
+     List.iter Domain.join !spawned;
+     Printexc.raise_with_backtrace e bt);
+  t.domains <- Array.of_list (List.rev !spawned);
+  t
+
+let run t f =
+  if t.workers = 0 then begin
+    if t.stop then invalid_arg "Team.run: team is shut down";
+    f 0
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Team.run: team is shut down"
+    end;
+    t.job <- Some f;
+    t.round <- t.round + 1;
+    t.done_count <- 0;
+    t.errors <- [];
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    (try f 0 with e -> record_error t 0 e (Printexc.get_raw_backtrace ()));
+    Mutex.lock t.mutex;
+    while t.done_count < t.workers do
+      Condition.wait t.cond t.mutex
+    done;
+    let errors = t.errors in
+    t.errors <- [];
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    (* Every slot has finished — re-raising now cannot orphan a worker
+       mid-round. Lowest slot first, for a deterministic report. *)
+    match List.sort (fun (a, _, _) (b, _, _) -> compare a b) errors with
+    | [] -> ()
+    | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let first = not t.stop in
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  if first then Array.iter Domain.join t.domains

@@ -1,0 +1,33 @@
+(** A persistent crew of worker domains driven in lockstep rounds.
+
+    {!Pool.map} spawns domains per call, which is fine for a benchmark
+    sweep (a handful of long points) and hopeless for the sharded
+    simulator, whose conservative synchronization windows number in the
+    tens of thousands per run. A team spawns its [workers] domains once;
+    each {!run} is one round executed by all [workers + 1] slots (the
+    calling domain is slot 0), and the workers then park on a condition
+    variable until the next round or {!shutdown}. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] parked domains ([workers = 0] is legal — every round
+    runs entirely on the caller). If spawning the [k]-th worker fails,
+    the [k - 1] already running are shut down and joined before the
+    exception propagates.
+    @raise Invalid_argument on negative [workers]. *)
+
+val size : t -> int
+(** Total slots: [workers + 1]. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes one round: [f 0] on the calling domain and
+    [f (j + 1)] on worker [j], concurrently, returning once {e every}
+    slot has finished. If any slot raised, the lowest-slot exception is
+    re-raised (with its backtrace) after all slots have completed —
+    never before, so a failing round cannot leave a worker running into
+    torn shared state.
+    @raise Invalid_argument if the team has been shut down. *)
+
+val shutdown : t -> unit
+(** Wake and join all workers. Idempotent; the team is unusable after. *)

@@ -116,3 +116,9 @@ let to_sorted_list h =
   go []
 
 let elements h = List.init h.size (fun i -> h.data.(i).v)
+
+let map_inplace h f =
+  for i = 0 to h.size - 1 do
+    let s = h.data.(i) in
+    h.data.(i) <- { s with v = f s.v }
+  done

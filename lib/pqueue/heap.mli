@@ -43,3 +43,12 @@ val to_sorted_list : 'a t -> 'a list
 val elements : 'a t -> 'a list
 (** All elements in unspecified (heap-internal) order, without draining
     — the checkpoint codec sorts them itself. O(n). *)
+
+val map_inplace : 'a t -> ('a -> 'a) -> unit
+(** Rewrite every element in place {e without} re-establishing the heap
+    property: [f] MUST be order-preserving under [cmp] over the current
+    element set ([cmp x y] = [cmp (f x) (f y)] for any two stored
+    elements), or the heap invariant is silently broken. Insertion
+    stamps are kept, so FIFO tie order survives. O(n). The sharded
+    scheduler uses this to rewrite provisional event sequence numbers
+    to their merged global values at a synchronization barrier. *)

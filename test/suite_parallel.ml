@@ -83,6 +83,85 @@ let test_emit_determinism () =
   check_string "jobs=2 record is byte-identical to jobs=1" serial
     (bench_record 2)
 
+(* Regression: a mid-loop Domain.spawn failure must not leak the
+   domains already spawned — they are joined before the exception
+   escapes. We count live wrapped workers with an atomic: by the time
+   [map] re-raises, every one that started has finished. *)
+let test_spawn_failure_joins () =
+  let live = Atomic.make 0 in
+  let started = Atomic.make 0 in
+  let spawn f =
+    if Atomic.fetch_and_add started 1 >= 1 then failwith "spawn denied"
+    else
+      Domain.spawn (fun () ->
+          Atomic.incr live;
+          Fun.protect ~finally:(fun () -> Atomic.decr live) f)
+  in
+  (match
+     Parallel.Pool.For_testing.map_with_spawn ~spawn ~jobs:4 succ
+       (List.init 32 Fun.id)
+   with
+  | exception Failure m -> check_string "spawn error surfaced" "spawn denied" m
+  | _ -> Alcotest.fail "spawn failure swallowed");
+  check_int "no leaked domains after spawn failure" 0 (Atomic.get live);
+  check_int "it did try to spawn" 2 (Atomic.get started)
+
+let test_team_rounds () =
+  let team = Parallel.Team.create ~workers:3 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Team.shutdown team)
+    (fun () ->
+      check_int "size" 4 (Parallel.Team.size team);
+      let acc = Array.make 4 0 in
+      for round = 1 to 50 do
+        Parallel.Team.run team (fun slot -> acc.(slot) <- acc.(slot) + round)
+      done;
+      let expect = 50 * 51 / 2 in
+      Array.iteri
+        (fun slot v ->
+          check_int (Printf.sprintf "slot %d ran every round" slot) expect v)
+        acc)
+
+let test_team_error_propagation () =
+  let team = Parallel.Team.create ~workers:2 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Team.shutdown team)
+    (fun () ->
+      let finished = Array.make 3 false in
+      (* two slots fail; the lowest slot's exception wins, and the
+         healthy slot still completes before the raise *)
+      (match
+         Parallel.Team.run team (fun slot ->
+             if slot <= 1 then failwith (Printf.sprintf "slot %d" slot)
+             else finished.(slot) <- true)
+       with
+      | exception Failure m -> check_string "lowest slot wins" "slot 0" m
+      | () -> Alcotest.fail "errors swallowed");
+      check_bool "healthy slot completed" true finished.(2);
+      (* the team survives a failing round *)
+      let ok = Atomic.make 0 in
+      Parallel.Team.run team (fun _ -> Atomic.incr ok);
+      check_int "reusable after error" 3 (Atomic.get ok))
+
+let test_team_edges () =
+  (match Parallel.Team.create ~workers:(-1) with
+  | exception Invalid_argument _ -> ()
+  | t ->
+    Parallel.Team.shutdown t;
+    Alcotest.fail "negative workers accepted");
+  let solo = Parallel.Team.create ~workers:0 in
+  let hits = ref 0 in
+  Parallel.Team.run solo (fun slot ->
+      check_int "solo slot" 0 slot;
+      incr hits);
+  check_int "workers=0 runs on caller" 1 !hits;
+  Parallel.Team.shutdown solo;
+  Parallel.Team.shutdown solo;
+  (* idempotent *)
+  match Parallel.Team.run solo (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "run after shutdown accepted"
+
 let prop_map_is_list_map =
   QCheck.Test.make ~name:"pool map = List.map for any jobs" ~count:100
     QCheck.(pair (int_range 1 8) (list small_int))
@@ -98,5 +177,11 @@ let suite =
       Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
       Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
       Alcotest.test_case "emit-record determinism" `Quick test_emit_determinism;
+      Alcotest.test_case "spawn failure leaks no domains" `Quick
+        test_spawn_failure_joins;
+      Alcotest.test_case "team: lockstep rounds" `Quick test_team_rounds;
+      Alcotest.test_case "team: error propagation" `Quick
+        test_team_error_propagation;
+      Alcotest.test_case "team: edge cases" `Quick test_team_edges;
       QCheck_alcotest.to_alcotest prop_map_is_list_map;
     ] )

@@ -322,6 +322,139 @@ let test_segments () =
           | Some (k, p) -> Printf.sprintf "Some (%d, %s)" k p))
 
 (* ------------------------------------------------------------------ *)
+(* Sharded execution x checkpointing *)
+
+(* Pause a sharded run at a barrier, snapshot, restore into a fresh
+   network, finish serially — and the mirror image: pause serially,
+   restore, finish sharded. Both must land on the uninterrupted serial
+   run's digest: snapshots and shard barriers agree on what "the state
+   at event k" is. *)
+let test_sharded_pause_resume () =
+  let cfg () = scheme_cfg 0 in
+  let ops = mk_ops ~n:6 ~seed:17 ~count:20 in
+  let reference = prepare (cfg ()) ops in
+  run_to_quiescence reference;
+  let final = ok_digest reference in
+  let total = Sim.events_processed (N.sim reference) in
+  check_bool "enough events" true (total > 40);
+  let budget = total / 2 in
+  (* sharded pause -> serial resume *)
+  let a = prepare (cfg ()) ops in
+  (match N.Sharded.run ~max_events:budget a ~jobs:2 with
+  | Sim.Event_limit, _ -> ()
+  | o, _ -> Alcotest.failf "sharded pause: %a" Sim.pp_outcome o);
+  let bytes =
+    match S.encode a with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "encode at sharded pause: %s" e
+  in
+  let a' = N.create (cfg ()) in
+  (match S.decode a' bytes with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "decode: %s" e);
+  run_to_quiescence a';
+  check_string "sharded pause, serial resume" final (ok_digest a');
+  (* serial pause -> sharded resume *)
+  let b = prepare (cfg ()) ops in
+  (match N.run ~max_events:budget b with
+  | Sim.Event_limit -> ()
+  | o -> Alcotest.failf "serial pause: %a" Sim.pp_outcome o);
+  let bytes =
+    match S.encode b with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "encode at serial pause: %s" e
+  in
+  let b' = N.create (cfg ()) in
+  (match S.decode b' bytes with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "decode: %s" e);
+  (match N.Sharded.run ~max_events:500_000 b' ~jobs:2 with
+  | Sim.Quiescent, _ -> ()
+  | o, _ -> Alcotest.failf "sharded resume: %a" Sim.pp_outcome o);
+  check_string "serial pause, sharded resume" final (ok_digest b')
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "abrr_shards" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let mk_paused_net () =
+  let cfg () = scheme_cfg 2 in
+  let ops = mk_ops ~n:6 ~seed:23 ~count:16 in
+  let net = prepare (cfg ()) ops in
+  ignore (N.run ~max_events:60 net);
+  (net, cfg)
+
+let test_shards_roundtrip () =
+  with_tmpdir (fun dir ->
+      let net, cfg = mk_paused_net () in
+      List.iter
+        (fun parts ->
+          (match S.Shards.save net ~dir ~label:"rt" ~parts with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "save parts=%d: %s" parts e);
+          let net2 = N.create (cfg ()) in
+          (match S.Shards.load net2 ~dir ~label:"rt" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "load parts=%d: %s" parts e);
+          check_string
+            (Printf.sprintf "digest equal after %d-part roundtrip" parts)
+            (ok_digest net) (ok_digest net2);
+          (* and the merged restore resumes exactly like the original *)
+          if parts = 3 then begin
+            run_to_quiescence net2;
+            let net3 = N.create (cfg ()) in
+            (match
+               S.decode net3 (match S.encode net with Ok b -> b | Error e ->
+                 Alcotest.failf "encode: %s" e)
+             with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "decode: %s" e);
+            run_to_quiescence net3;
+            check_string "resume from parts = resume from single file"
+              (ok_digest net3) (ok_digest net2)
+          end)
+        [ 1; 3; 6 ];
+      match S.Shards.save net ~dir ~label:"rt" ~parts:0 with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "parts=0 accepted")
+
+let test_shards_corrupt_part () =
+  with_tmpdir (fun dir ->
+      let net, cfg = mk_paused_net () in
+      (match S.Shards.save net ~dir ~label:"c" ~parts:3 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "save: %s" e);
+      (* flip one byte in the middle of part 1: its CRC must fail the
+         whole merged load *)
+      let path = S.Shards.part_path ~dir ~label:"c" 1 in
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let bytes = really_input_string ic len in
+      close_in ic;
+      let b = Bytes.of_string bytes in
+      Bytes.set b (len / 2) (Char.chr (Char.code (Bytes.get b (len / 2)) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      (match S.Shards.load (N.create (cfg ())) ~dir ~label:"c" with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "corrupt part accepted");
+      (* restore the good bytes, drop a different part entirely *)
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      Sys.remove (S.Shards.part_path ~dir ~label:"c" 2);
+      match S.Shards.load (N.create (cfg ())) ~dir ~label:"c" with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "missing part accepted")
+
+(* ------------------------------------------------------------------ *)
 (* Bisection *)
 
 let test_bisect_pure () =
@@ -384,6 +517,11 @@ let suite =
       Alcotest.test_case "corruption never raises" `Quick test_corrupt_never_raises;
       Alcotest.test_case "save/load" `Quick test_save_load;
       Alcotest.test_case "segment files" `Quick test_segments;
+      Alcotest.test_case "sharded pause <-> serial resume" `Quick
+        test_sharded_pause_resume;
+      Alcotest.test_case "multi-part roundtrip" `Quick test_shards_roundtrip;
+      Alcotest.test_case "multi-part corruption rejected" `Quick
+        test_shards_corrupt_part;
       Alcotest.test_case "bisect (pure)" `Quick test_bisect_pure;
       Alcotest.test_case "bisect (simulation)" `Quick test_bisect_simulation;
     ] )
